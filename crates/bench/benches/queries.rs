@@ -1,0 +1,71 @@
+//! Criterion benchmarks: the 13 SSB queries on the row-store backend
+//! (shared engine) versus the columnar backend (dual-format engine), plus
+//! the freshness side-read overhead ablation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hat_engine::{DualConfig, DualEngine, EngineConfig, HtapEngine, ShdEngine};
+use hat_query::spec::QueryId;
+use hat_query::ssb;
+use hat_query::view::SnapshotView;
+use hattrick::gen::{generate, ScaleFactor};
+use std::hint::black_box;
+
+const BENCH_SF: f64 = 0.005;
+
+fn engines() -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
+    let data = generate(ScaleFactor(BENCH_SF), 0xBEEF);
+    let shared: Arc<dyn HtapEngine> = Arc::new(ShdEngine::new(EngineConfig::default()));
+    data.load_into(shared.as_ref()).unwrap();
+    let dual: Arc<dyn HtapEngine> = Arc::new(DualEngine::new(DualConfig::default()));
+    data.load_into(dual.as_ref()).unwrap();
+    vec![("row", shared), ("columnar", dual)]
+}
+
+/// One bench per SSB query per backend: the per-query latencies behind
+/// every frontier figure.
+fn ssb_queries(c: &mut Criterion) {
+    let engines = engines();
+    let mut group = c.benchmark_group("ssb");
+    group.sample_size(10);
+    for id in QueryId::ALL {
+        let spec = ssb::query(id);
+        for (backend, engine) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(*backend, id.label()),
+                &spec,
+                |b, spec| {
+                    b.iter(|| black_box(engine.run_query(spec).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: the cost of the freshness side-read (§4.2 claims the
+/// measurement has "minimal impact"; this measures it).
+fn freshness_overhead(c: &mut Criterion) {
+    let data = generate(ScaleFactor(BENCH_SF), 0xBEEF);
+    let engine = ShdEngine::new(EngineConfig::default());
+    data.load_into(&engine).unwrap();
+    let kernel = engine.kernel();
+    let mut group = c.benchmark_group("freshness_overhead");
+    group.sample_size(20);
+    // The full query (executor attaches the side-read).
+    let spec = ssb::query(QueryId::Q1_2);
+    group.bench_function("q12_with_side_read", |b| {
+        b.iter(|| black_box(engine.run_query(&spec).unwrap()));
+    });
+    // The side-read alone.
+    group.bench_function("side_read_alone", |b| {
+        let ts = kernel.oracle.read_ts();
+        let view = hat_query::view::MixedView::rows(&kernel.db, ts);
+        b.iter(|| black_box(view.freshness_vector()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ssb_queries, freshness_overhead);
+criterion_main!(benches);

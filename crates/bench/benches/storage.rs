@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the storage substrates, including two of
+//! the ablations DESIGN.md calls out: B+tree fanout and columnar
+//! compression.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hat_common::value::row_from;
+use hat_common::{Money, Row, TableId, Value};
+use hat_storage::bptree::BPlusTree;
+use hat_storage::colstore::{ColumnTable, SegmentBuilder};
+use hat_storage::rowstore::RowStore;
+use std::hint::black_box;
+
+fn history_row(i: u64) -> Row {
+    row_from([
+        Value::U64(i),
+        Value::U32((i % 97) as u32),
+        Value::Money(Money::from_cents(i as i64 * 3)),
+    ])
+}
+
+/// Ablation: B+tree point operations across fanouts (DESIGN.md §5).
+fn bptree_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bptree_fanout");
+    group.sample_size(20);
+    for order in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("insert_10k", order), &order, |b, &order| {
+            b.iter_batched(
+                || BPlusTree::<u64, u64>::with_order(order),
+                |mut tree| {
+                    for i in 0..10_000u64 {
+                        tree.insert(black_box(i.wrapping_mul(0x9E3779B9) % 50_000), i);
+                    }
+                    tree
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        let mut tree = BPlusTree::<u64, u64>::with_order(order);
+        for i in 0..100_000u64 {
+            tree.insert(i.wrapping_mul(0x9E3779B9) % 500_000, i);
+        }
+        group.bench_with_input(BenchmarkId::new("get_100k_tree", order), &order, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E3779B9) % 500_000;
+                black_box(tree.get(&k))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("range_1k", order), &order, |b, _| {
+            b.iter(|| {
+                let mut n = 0u32;
+                tree.range(
+                    std::ops::Bound::Included(&1000),
+                    std::ops::Bound::Included(&10_000),
+                    |_, _| {
+                        n += 1;
+                        true
+                    },
+                );
+                black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// MVCC row store: point reads with short vs long version chains, scans.
+fn rowstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowstore");
+    group.sample_size(20);
+
+    let store = RowStore::new(TableId::History);
+    for i in 0..100_000u64 {
+        store.install_insert(history_row(i), 2);
+    }
+    group.bench_function("point_read", |b| {
+        let mut rid = 0u64;
+        b.iter(|| {
+            rid = (rid + 7919) % 100_000;
+            black_box(store.read(rid, 2))
+        });
+    });
+    group.bench_function("scan_100k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            store.scan(2, |_, _| n += 1);
+            black_box(n)
+        });
+    });
+
+    // Long version chains: the MVCC traversal cost the paper attributes to
+    // analytical reads of hot rows (§2.2).
+    let hot = RowStore::new(TableId::History);
+    let rid = hot.install_insert(history_row(0), 2);
+    for v in 0..64u64 {
+        hot.install_update(rid, history_row(v), 3 + v).unwrap();
+    }
+    group.bench_function("point_read_chain64_old_snapshot", |b| {
+        b.iter(|| black_box(hot.read(rid, 2)));
+    });
+    group.bench_function("point_read_chain64_latest", |b| {
+        b.iter(|| black_box(hot.read(rid, u64::MAX)));
+    });
+    group.finish();
+}
+
+/// Ablation: columnar scan speed and segment build, compressed vs plain.
+fn colstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colstore");
+    group.sample_size(15);
+
+    let rows: Vec<Row> = (0..100_000).map(history_row).collect();
+    group.bench_function("build_segment_compressed", |b| {
+        b.iter(|| {
+            let mut builder = SegmentBuilder::new(TableId::History);
+            for row in &rows {
+                builder.push(2, Arc::clone(row));
+            }
+            black_box(builder.build())
+        });
+    });
+    group.bench_function("build_segment_plain", |b| {
+        b.iter(|| {
+            let mut builder = SegmentBuilder::new(TableId::History).without_compression();
+            for row in &rows {
+                builder.push(2, Arc::clone(row));
+            }
+            black_box(builder.build())
+        });
+    });
+
+    let ct = ColumnTable::new(TableId::History);
+    ct.load_segment(2, rows.iter().map(Arc::clone));
+    let snap = ct.snapshot(2);
+    group.bench_function("column_scan_100k", |b| {
+        b.iter(|| {
+            let mut total = 0i64;
+            for seg in snap.segments() {
+                let col = seg.col(2);
+                for i in 0..seg.visible_prefix(2) {
+                    total += col.money_at(i).cents();
+                }
+            }
+            black_box(total)
+        });
+    });
+
+    // Row-store scan over the same data, for the row-vs-column headline.
+    let store = RowStore::new(TableId::History);
+    for row in &rows {
+        store.install_insert(Arc::clone(row), 2);
+    }
+    group.bench_function("row_scan_100k_same_data", |b| {
+        b.iter(|| {
+            let mut total = 0i64;
+            store.scan(2, |_, row| total += row[2].as_money().unwrap().cents());
+            black_box(total)
+        });
+    });
+
+    // Delta merge cost: snapshot with a populated delta (merge-on-read).
+    let ct_delta = ColumnTable::new(TableId::History);
+    ct_delta.load_segment(2, rows.iter().take(90_000).map(Arc::clone));
+    for (i, row) in rows.iter().skip(90_000).enumerate() {
+        ct_delta.append_delta(3 + i as u64, Arc::clone(row));
+    }
+    group.bench_function("snapshot_with_10k_delta", |b| {
+        b.iter(|| black_box(ct_delta.snapshot(u64::MAX).visible_rows()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bptree_fanout, rowstore, colstore);
+criterion_main!(benches);

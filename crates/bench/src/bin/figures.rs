@@ -1,0 +1,625 @@
+//! Regenerates every figure of "How Good is My HTAP System?" (SIGMOD'22)
+//! against the reproduced engines.
+//!
+//! Usage: `figures <id>|all` where `<id>` ∈ {fig1, fig2, fig5, fig6a,
+//! fig6b, fig7, fig8a, fig8b, fig9, fig10, fig11, fig12, sizes}.
+//! Set `HATTRICK_QUICK=1` for a fast smoke pass.
+//!
+//! Each figure writes CSV series under `results/<id>/` and prints ASCII
+//! charts plus the shape metrics; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+use std::sync::Arc;
+
+use hat_bench::{
+    dataset, freshness_at_ratios, harness_for, out_dir, quick_mode, run_panel,
+    saturation_config, write_out, SfRole,
+};
+use hat_engine::{
+    DualConfig, DualEngine, EngineConfig, HtapEngine, IndexProfile, IsoConfig,
+    IsoEngine, LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode,
+    ShdEngine,
+};
+use hat_txn::IsolationLevel;
+use hattrick::freshness::{cdf, FreshnessAgg};
+use hattrick::frontier::{classify, Frontier};
+use hattrick::gen::MAX_TXN_CLIENTS;
+use hattrick::report::{self, Series};
+
+fn shared_engine(iso: IsolationLevel, idx: IndexProfile) -> Arc<dyn HtapEngine> {
+    Arc::new(ShdEngine::new(EngineConfig {
+        isolation: iso,
+        indexes: idx,
+        ..EngineConfig::default()
+    }))
+}
+
+fn iso_engine(mode: ReplicationMode) -> Arc<dyn HtapEngine> {
+    Arc::new(IsoEngine::new(IsoConfig { mode, ..IsoConfig::coalesced_default() }))
+}
+
+fn dual_engine() -> Arc<dyn HtapEngine> {
+    Arc::new(DualEngine::new(DualConfig::default()))
+}
+
+fn learner_engine(profile: LearnerProfile) -> Arc<dyn HtapEngine> {
+    Arc::new(LearnerEngine::new(LearnerConfig { profile, ..LearnerConfig::default() }))
+}
+
+/// Runs one engine at one scale role through the full saturation method.
+fn panel(
+    fig: &str,
+    panel_name: &str,
+    engine: Arc<dyn HtapEngine>,
+    role: SfRole,
+) -> hat_bench::PanelResult {
+    let quick = quick_mode();
+    let dir = out_dir(fig);
+    let data = dataset(role, quick);
+    let harness = harness_for(engine, &data, role, quick);
+    run_panel(&dir, panel_name, &harness, &saturation_config(quick))
+}
+
+/// Figure 1: sampling method vs saturation method for frontier creation.
+fn fig1() {
+    println!("== fig1: sampling vs saturation construction ==");
+    let quick = quick_mode();
+    let dir = out_dir("fig1");
+    let role = SfRole::Small;
+    let data = dataset(role, quick);
+    let harness = harness_for(dual_engine(), &data, role, quick);
+
+    // (a) random sampling of client mixes.
+    let n = if quick { 8 } else { 30 };
+    let mut rng = hat_common::rng::HatRng::seeded(0xF16);
+    let samples = hattrick::frontier::sample_random(&harness, n, 12, &mut rng);
+    let mut csv = String::from("t_clients,a_clients,tps,qps\n");
+    let mut pts = Vec::new();
+    for m in &samples {
+        csv.push_str(&format!(
+            "{},{},{:.2},{:.3}\n",
+            m.t_clients, m.a_clients, m.tps, m.qps
+        ));
+        pts.push((m.tps, m.qps));
+    }
+    write_out(&dir, "sampling.csv", &csv);
+    println!(
+        "{}",
+        report::ascii_plot(
+            "fig1a — sampling method",
+            "T throughput (tps)",
+            "A throughput (qps)",
+            &[Series { name: "random mixes", marker: 'x', points: pts }],
+            64,
+            18,
+        )
+    );
+
+    // (b) saturation method on the same system.
+    run_panel(&dir, "saturation", &harness, &saturation_config(quick));
+}
+
+/// Figure 2: grid-graph + frontier exemplars of the three shapes.
+fn fig2() {
+    println!("== fig2: grid graph and frontier exemplars ==");
+    // (a, b) isolated design at the large SF: near the bounding box.
+    panel("fig2", "pg-sr-large", iso_engine(ReplicationMode::SyncOn), SfRole::Large);
+    // (c) learner design at the medium SF: near the proportional line.
+    panel("fig2", "tidb-medium", learner_engine(LearnerProfile::SingleNode), SfRole::Medium);
+    // (d) dual-format design at the small SF: contention, below the line.
+    panel("fig2", "system-x-small", dual_engine(), SfRole::Small);
+}
+
+/// Figure 5: the shared engine across scale factors.
+fn fig5() {
+    println!("== fig5: PostgreSQL-like shared engine across SFs ==");
+    for role in SfRole::ALL {
+        let r = panel(
+            "fig5",
+            &format!("shared-{}", role.label()),
+            shared_engine(IsolationLevel::Serializable, IndexProfile::All),
+            role,
+        );
+        // The shared design is always fresh; verify via the ratio points.
+        if role == SfRole::Medium {
+            let quick = quick_mode();
+            let data = dataset(role, quick);
+            let harness = harness_for(
+                shared_engine(IsolationLevel::Serializable, IndexProfile::All),
+                &data,
+                role,
+                quick,
+            );
+            let ratios = freshness_at_ratios(&harness);
+            let mut csv = String::from("ratio,p99_seconds,mean_seconds,samples\n");
+            for (label, agg, _) in &ratios {
+                csv.push_str(&format!("{label},{:.6},{:.6},{}\n", agg.p99, agg.mean, agg.count));
+            }
+            write_out(&out_dir("fig5"), "freshness-ratios.csv", &csv);
+        }
+        drop(r);
+    }
+}
+
+/// Figure 6a: isolation levels on the shared engine.
+fn fig6a() {
+    println!("== fig6a: serializable vs read committed ==");
+    let ser = panel(
+        "fig6a",
+        "serializable",
+        shared_engine(IsolationLevel::Serializable, IndexProfile::All),
+        SfRole::Medium,
+    );
+    let rc = panel(
+        "fig6a",
+        "read-committed",
+        shared_engine(IsolationLevel::ReadCommitted, IndexProfile::All),
+        SfRole::Medium,
+    );
+    compare_two("fig6a", &ser.frontier, "serializable", &rc.frontier, "read-committed");
+}
+
+/// Figure 6b: physical schemas on the shared engine.
+fn fig6b() {
+    println!("== fig6b: physical schemas (none / semi / all indexes) ==");
+    for idx in [IndexProfile::None, IndexProfile::Semi, IndexProfile::All] {
+        panel(
+            "fig6b",
+            idx.label(),
+            shared_engine(IsolationLevel::Serializable, idx),
+            SfRole::Medium,
+        );
+    }
+}
+
+/// Figure 7: the isolated engine (mode ON) across scale factors, with
+/// freshness at the ratio points.
+fn fig7() {
+    println!("== fig7: PostgreSQL-SR-like isolated engine across SFs ==");
+    let quick = quick_mode();
+    for role in SfRole::ALL {
+        panel(
+            "fig7",
+            &format!("iso-on-{}", role.label()),
+            iso_engine(ReplicationMode::SyncOn),
+            role,
+        );
+        let data = dataset(role, quick);
+        let harness =
+            harness_for(iso_engine(ReplicationMode::SyncOn), &data, role, quick);
+        let ratios = freshness_at_ratios(&harness);
+        let mut csv = String::from("ratio,p99_seconds,mean_seconds,zero_fraction,samples\n");
+        for (label, agg, _) in &ratios {
+            csv.push_str(&format!(
+                "{label},{:.6},{:.6},{:.4},{}\n",
+                agg.p99, agg.mean, agg.zero_fraction, agg.count
+            ));
+        }
+        write_out(&out_dir("fig7"), &format!("freshness-{}.csv", role.label()), &csv);
+    }
+}
+
+/// Figure 8a: replication modes ON vs RA.
+fn fig8a() {
+    println!("== fig8a: replication modes ON vs remote-apply ==");
+    let quick = quick_mode();
+    let on = panel("fig8a", "mode-on", iso_engine(ReplicationMode::SyncOn), SfRole::Medium);
+    let ra = panel(
+        "fig8a",
+        "mode-remote-apply",
+        iso_engine(ReplicationMode::RemoteApply),
+        SfRole::Medium,
+    );
+    compare_two("fig8a", &on.frontier, "mode-on", &ra.frontier, "mode-remote-apply");
+    for (mode, engine) in [
+        ("on", iso_engine(ReplicationMode::SyncOn)),
+        ("remote-apply", iso_engine(ReplicationMode::RemoteApply)),
+    ] {
+        println!("-- freshness under mode {mode}");
+        let data = dataset(SfRole::Medium, quick);
+        let harness = harness_for(engine, &data, SfRole::Medium, quick);
+        let ratios = freshness_at_ratios(&harness);
+        let mut csv = String::from("ratio,p99_seconds,mean_seconds,zero_fraction\n");
+        for (label, agg, _) in &ratios {
+            csv.push_str(&format!(
+                "{label},{:.6},{:.6},{:.4}\n",
+                agg.p99, agg.mean, agg.zero_fraction
+            ));
+        }
+        write_out(&out_dir("fig8a"), &format!("freshness-{mode}.csv"), &csv);
+    }
+}
+
+/// Figure 8b: freshness CDFs at the three client ratios (mode ON).
+fn fig8b() {
+    println!("== fig8b: freshness CDFs, isolated engine mode ON ==");
+    let quick = quick_mode();
+    let dir = out_dir("fig8b");
+    let data = dataset(SfRole::Medium, quick);
+    let harness =
+        harness_for(iso_engine(ReplicationMode::SyncOn), &data, SfRole::Medium, quick);
+    let mut all_series = Vec::new();
+    for (label, agg, samples) in freshness_at_ratios(&harness) {
+        let points = cdf(&samples);
+        write_out(
+            &dir,
+            &format!("cdf-{}.csv", label.replace(':', "-")),
+            &report::cdf_csv(&points),
+        );
+        println!(
+            "  ratio {label}: {:.0}% fresh, p99 {:.4}s, max {:.4}s",
+            agg.zero_fraction * 100.0,
+            agg.p99,
+            agg.max
+        );
+        all_series.push((label, points));
+    }
+    let series: Vec<Series> = all_series
+        .iter()
+        .zip(['1', '2', '3'])
+        .map(|((name, points), marker)| Series {
+            name,
+            marker,
+            points: points.clone(),
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_plot(
+            "fig8b — freshness CDFs (mode ON)",
+            "freshness score (s)",
+            "fraction of queries",
+            &series,
+            64,
+            18,
+        )
+    );
+    let svg_cdfs: Vec<(&str, &[(f64, f64)])> = all_series
+        .iter()
+        .map(|(name, points)| (name.as_str(), points.as_slice()))
+        .collect();
+    write_out(
+        &dir,
+        "cdfs.svg",
+        &hattrick::svg::cdf_svg("fig8b — freshness CDFs (mode ON)", &svg_cdfs),
+    );
+}
+
+/// Figure 9: the dual-format engine across scale factors.
+fn fig9() {
+    println!("== fig9: System-X-like dual-format engine across SFs ==");
+    for role in SfRole::ALL {
+        panel("fig9", &format!("dual-{}", role.label()), dual_engine(), role);
+    }
+    check_zero_freshness("fig9", dual_engine());
+}
+
+/// Figure 10: the learner engine, single node, across scale factors.
+fn fig10() {
+    println!("== fig10: TiDB-like learner engine (single node) across SFs ==");
+    for role in SfRole::ALL {
+        panel(
+            "fig10",
+            &format!("learner-single-{}", role.label()),
+            learner_engine(LearnerProfile::SingleNode),
+            role,
+        );
+    }
+    check_zero_freshness("fig10", learner_engine(LearnerProfile::SingleNode));
+}
+
+/// Figure 11: the learner engine, distributed profile.
+fn fig11() {
+    println!("== fig11: TiDB-like learner engine (distributed) across SFs ==");
+    for role in SfRole::ALL {
+        panel(
+            "fig11",
+            &format!("learner-dist-{}", role.label()),
+            learner_engine(LearnerProfile::Distributed),
+            role,
+        );
+    }
+    check_zero_freshness("fig11", learner_engine(LearnerProfile::Distributed));
+}
+
+/// Figure 12: cross-system comparison at the large scale factor.
+fn fig12() {
+    println!("== fig12: cross-system comparison at {} ==", SfRole::Large.paper_label());
+    let engines: Vec<(&str, Arc<dyn HtapEngine>)> = vec![
+        ("shared", shared_engine(IsolationLevel::Serializable, IndexProfile::All)),
+        ("isolated-on", iso_engine(ReplicationMode::SyncOn)),
+        ("dual-format", dual_engine()),
+        ("learner-single", learner_engine(LearnerProfile::SingleNode)),
+        ("learner-dist", learner_engine(LearnerProfile::Distributed)),
+    ];
+    let quick = quick_mode();
+    let dir = out_dir("fig12");
+    let mut frontiers: Vec<(String, Frontier)> = Vec::new();
+    let mut summary = String::new();
+    for (name, engine) in engines {
+        let design = engine.design();
+        let r = panel("fig12", name, engine.clone(), SfRole::Large);
+        // Freshness at the 50:50 ratio point, as the paper reports.
+        let data = dataset(SfRole::Large, quick);
+        let harness = harness_for(engine, &data, SfRole::Large, quick);
+        let m = harness.run_point(5, 5);
+        let agg = FreshnessAgg::from_samples(&m.freshness);
+        let guess = classify(&r.frontier);
+        summary.push_str(&format!(
+            "{name}: X_T={:.0} X_A={:.2} area_ratio={:.3} shape={guess:?} \
+             design(truth)={} freshness_p99@50:50={:.4}s\n",
+            r.frontier.x_t,
+            r.frontier.x_a,
+            r.frontier.area_ratio(),
+            design.label(),
+            agg.p99,
+        ));
+        frontiers.push((name.to_string(), r.frontier));
+    }
+    // Envelopment matrix (§6.6's comparison rule).
+    summary.push_str("\nenvelopment (row envelops column):\n");
+    for (a_name, a) in &frontiers {
+        for (b_name, b) in &frontiers {
+            if a_name != b_name && a.envelops(b, 40) {
+                summary.push_str(&format!("  {a_name} envelops {b_name}\n"));
+            }
+        }
+    }
+    println!("{summary}");
+    write_out(&dir, "comparison.txt", &summary);
+    let svg_frontiers: Vec<(&str, &Frontier)> =
+        frontiers.iter().map(|(n, f)| (n.as_str(), f)).collect();
+    write_out(
+        &dir,
+        "comparison.svg",
+        &hattrick::svg::frontier_svg(
+            "fig12 — throughput frontiers of compared systems",
+            &svg_frontiers,
+        ),
+    );
+
+    let series: Vec<Series> = frontiers
+        .iter()
+        .zip(['s', 'i', 'd', 'l', 'D'])
+        .map(|((name, f), marker)| Series {
+            name,
+            marker,
+            points: f.points.iter().map(|p| (p.t, p.a)).collect(),
+        })
+        .collect();
+    println!(
+        "{}",
+        report::ascii_plot(
+            "fig12 — throughput frontiers of compared systems",
+            "T throughput (tps)",
+            "A throughput (qps)",
+            &series,
+            72,
+            22,
+        )
+    );
+}
+
+/// The schema/size table (Figure 4 / §6.1 raw-size claims).
+fn sizes() {
+    println!("== sizes: row counts and raw bytes per scale role ==");
+    let quick = quick_mode();
+    let dir = out_dir("sizes");
+    let mut csv =
+        String::from("role,scale,customer,supplier,part,date,lineorder,history,freshness,raw_mb\n");
+    for role in SfRole::ALL {
+        let data = dataset(role, quick);
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{:.1}\n",
+            role.label(),
+            role.scale(quick).0,
+            data.customer.len(),
+            data.supplier.len(),
+            data.part.len(),
+            data.date.len(),
+            data.lineorder.len(),
+            data.history.len(),
+            data.freshness.len(),
+            data.approx_bytes() as f64 / 1e6,
+        ));
+    }
+    print!("{csv}");
+    write_out(&dir, "sizes.csv", &csv);
+}
+
+/// Verifies a hybrid engine reports zero freshness at the ratio points.
+fn check_zero_freshness(fig: &str, engine: Arc<dyn HtapEngine>) {
+    let quick = quick_mode();
+    let data = dataset(SfRole::Small, quick);
+    let harness = harness_for(engine, &data, SfRole::Small, quick);
+    let ratios = freshness_at_ratios(&harness);
+    let mut csv = String::from("ratio,p99_seconds,zero_fraction\n");
+    for (label, agg, _) in &ratios {
+        csv.push_str(&format!("{label},{:.6},{:.4}\n", agg.p99, agg.zero_fraction));
+    }
+    write_out(&out_dir(fig), "freshness-ratios.csv", &csv);
+}
+
+/// Overlays two frontiers in one ASCII chart (within-system figures).
+fn compare_two(fig: &str, a: &Frontier, a_name: &str, b: &Frontier, b_name: &str) {
+    println!(
+        "{}",
+        report::ascii_plot(
+            &format!("{fig} — {a_name} vs {b_name}"),
+            "T throughput (tps)",
+            "A throughput (qps)",
+            &[
+                Series {
+                    name: a_name,
+                    marker: 'o',
+                    points: a.points.iter().map(|p| (p.t, p.a)).collect(),
+                },
+                Series {
+                    name: b_name,
+                    marker: '+',
+                    points: b.points.iter().map(|p| (p.t, p.a)).collect(),
+                },
+            ],
+            64,
+            20,
+        )
+    );
+}
+
+/// Post-processing: regenerate SVG charts from every CSV already under
+/// `results/` (useful when plots are wanted without re-measuring).
+fn svgize() {
+    let root = std::path::Path::new("results");
+    let Ok(entries) = std::fs::read_dir(root) else {
+        eprintln!("no results/ directory; run some figures first");
+        return;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in std::fs::read_dir(&dir).expect("read fig dir").flatten() {
+            let path = file.path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if let Some(stem) = name.strip_suffix(".frontier.csv") {
+                let Some(frontier) = read_frontier_csv(&path) else { continue };
+                let svg = hattrick::svg::frontier_svg(stem, &[(stem, &frontier)]);
+                write_out(&dir, &format!("{stem}.frontier.svg"), &svg);
+            } else if let Some(stem) = name.strip_suffix(".csv") {
+                if name.starts_with("cdf-") {
+                    let Some(points) = read_cdf_csv(&path) else { continue };
+                    let svg = hattrick::svg::cdf_svg(stem, &[(stem, points.as_slice())]);
+                    write_out(&dir, &format!("{stem}.svg"), &svg);
+                }
+            }
+        }
+    }
+}
+
+/// Parses a `t_clients,a_clients,tps,qps` frontier CSV back to a frontier.
+fn read_frontier_csv(path: &std::path::Path) -> Option<Frontier> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut points = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 4 {
+            continue;
+        }
+        points.push(hattrick::frontier::FrontierPoint {
+            t_clients: cols[0].parse().ok()?,
+            a_clients: cols[1].parse().ok()?,
+            t: cols[2].parse().ok()?,
+            a: cols[3].parse().ok()?,
+        });
+    }
+    if points.is_empty() {
+        None
+    } else {
+        Some(Frontier::from_points(points))
+    }
+}
+
+/// Parses a `seconds,fraction` CDF CSV.
+fn read_cdf_csv(path: &std::path::Path) -> Option<Vec<(f64, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let points: Vec<(f64, f64)> = text
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (a, b) = line.split_once(',')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        })
+        .collect();
+    if points.is_empty() {
+        None
+    } else {
+        Some(points)
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let quick = quick_mode();
+    println!(
+        "HATtrick figure reproduction — mode: {} (max {} T clients)",
+        if quick { "QUICK" } else { "full" },
+        MAX_TXN_CLIENTS
+    );
+    let t0 = std::time::Instant::now();
+    let run = |id: &str| match id {
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig5" => fig5(),
+        "fig6a" => fig6a(),
+        "fig6b" => fig6b(),
+        "fig7" => fig7(),
+        "fig8a" => fig8a(),
+        "fig8b" => fig8b(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "sizes" => sizes(),
+        "svgize" => svgize(),
+        other => {
+            eprintln!("unknown figure id {other}");
+            std::process::exit(2);
+        }
+    };
+    if arg == "all" {
+        for id in [
+            "sizes", "fig1", "fig2", "fig5", "fig6a", "fig6b", "fig7", "fig8a",
+            "fig8b", "fig9", "fig10", "fig11", "fig12",
+        ] {
+            run(id);
+        }
+    } else {
+        run(&arg);
+    }
+    println!("done in {:?}", t0.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hattrick-figtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.frontier.csv");
+        std::fs::write(
+            &path,
+            "t_clients,a_clients,tps,qps\n4,0,100.00,0.000\n0,4,0.00,10.000\n2,2,60.00,6.000\n",
+        )
+        .unwrap();
+        let f = read_frontier_csv(&path).unwrap();
+        assert_eq!(f.x_t, 100.0);
+        assert_eq!(f.x_a, 10.0);
+        assert_eq!(f.points.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn frontier_csv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("hattrick-figtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.frontier.csv");
+        std::fs::write(&path, "t_clients,a_clients,tps,qps\nnot,a,valid,row?extra\n").unwrap();
+        assert!(read_frontier_csv(&path).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cdf_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hattrick-figtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cdf-test.csv");
+        std::fs::write(&path, "seconds,fraction\n0.000000,0.500000\n1.500000,1.000000\n")
+            .unwrap();
+        let points = read_cdf_csv(&path).unwrap();
+        assert_eq!(points, vec![(0.0, 0.5), (1.5, 1.0)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

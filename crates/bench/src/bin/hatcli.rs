@@ -1,0 +1,285 @@
+//! `hatcli` — command-line driver for the HATtrick benchmark.
+//!
+//! ```text
+//! hatcli engines
+//! hatcli point    --engine shared --sf 0.01 -t 4 -a 2 [--repeats 3]
+//! hatcli frontier --engine learner-dist --sf 0.01 [--quick]
+//! hatcli compare  --sf 0.02
+//! ```
+//!
+//! Engine names: `shared`, `shared-rc`, `shared-semi`, `shared-noidx`,
+//! `isolated-on`, `isolated-ra`, `isolated-async`, `dual`, `learner`,
+//! `learner-dist`, `cow`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hat_engine::{
+    CowConfig, CowEngine, DualConfig, DualEngine, EngineConfig, HtapEngine,
+    IndexProfile, IsoConfig, IsoEngine, LearnerConfig, LearnerEngine,
+    LearnerProfile, ReplicationMode, ShdEngine,
+};
+use hat_txn::IsolationLevel;
+use hattrick::freshness::FreshnessAgg;
+use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
+use hattrick::gen::{generate, ScaleFactor};
+use hattrick::harness::{BenchmarkConfig, Harness, PointMeasurement};
+use hattrick::report;
+
+const ENGINES: [&str; 11] = [
+    "shared",
+    "shared-rc",
+    "shared-semi",
+    "shared-noidx",
+    "isolated-on",
+    "isolated-ra",
+    "isolated-async",
+    "dual",
+    "learner",
+    "learner-dist",
+    "cow",
+];
+
+fn build_engine(name: &str) -> Option<Arc<dyn HtapEngine>> {
+    let shd = |iso, idx| -> Arc<dyn HtapEngine> {
+        Arc::new(ShdEngine::new(EngineConfig {
+            isolation: iso,
+            indexes: idx,
+            ..EngineConfig::default()
+        }))
+    };
+    let iso = |mode| -> Arc<dyn HtapEngine> {
+        Arc::new(IsoEngine::new(IsoConfig { mode, ..IsoConfig::coalesced_default() }))
+    };
+    Some(match name {
+        "shared" => shd(IsolationLevel::Serializable, IndexProfile::All),
+        "shared-rc" => shd(IsolationLevel::ReadCommitted, IndexProfile::All),
+        "shared-semi" => shd(IsolationLevel::Serializable, IndexProfile::Semi),
+        "shared-noidx" => shd(IsolationLevel::Serializable, IndexProfile::None),
+        "isolated-on" => iso(ReplicationMode::SyncOn),
+        "isolated-ra" => iso(ReplicationMode::RemoteApply),
+        "isolated-async" => iso(ReplicationMode::Async),
+        "dual" => Arc::new(DualEngine::new(DualConfig::default())),
+        "learner" => Arc::new(LearnerEngine::new(LearnerConfig::default())),
+        "learner-dist" => Arc::new(LearnerEngine::new(LearnerConfig {
+            profile: LearnerProfile::Distributed,
+            ..LearnerConfig::default()
+        })),
+        "cow" => Arc::new(CowEngine::new(CowConfig::default())),
+        _ => return None,
+    })
+}
+
+/// Minimal flag parser: `--key value` and `-k value` pairs.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].trim_start_matches('-').to_string();
+            if i + 1 < argv.len() && argv[i].starts_with('-') {
+                pairs.push((key, argv[i + 1].clone()));
+                i += 2;
+            } else {
+                pairs.push((key, String::new()));
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    fn get(&self, names: &[&str]) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| names.contains(&k.as_str()))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn f64(&self, names: &[&str], default: f64) -> f64 {
+        self.get(names).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn u32(&self, names: &[&str], default: u32) -> u32 {
+        self.get(names).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == name)
+    }
+}
+
+fn make_harness(engine_name: &str, sf: f64, seed: u64) -> Option<Harness> {
+    let engine = build_engine(engine_name)?;
+    eprintln!("loading {} at SF {sf} ...", engine.name());
+    let data = generate(ScaleFactor(sf), seed);
+    data.load_into(engine.as_ref()).expect("load failed");
+    Some(Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+            seed,
+            reset_between_points: true,
+        },
+    ))
+}
+
+fn print_point(m: &PointMeasurement) {
+    println!(
+        "tps={:.1} qps={:.2} (commits={} queries={} aborts={})",
+        m.tps, m.qps, m.committed, m.queries, m.aborts
+    );
+    let agg = FreshnessAgg::from_samples(&m.freshness);
+    if agg.count > 0 {
+        println!(
+            "freshness: mean={:.4}s p99={:.4}s max={:.4}s fresh={:.0}%",
+            agg.mean,
+            agg.p99,
+            agg.max,
+            agg.zero_fraction * 100.0
+        );
+    }
+    if !m.txn_latency.is_empty() {
+        println!("transaction latency (ms):");
+        for (label, s) in &m.txn_latency {
+            println!(
+                "  {label:<14} n={:<7} mean={:.3} p95={:.3} max={:.3}",
+                s.count, s.mean_ms, s.p95_ms, s.max_ms
+            );
+        }
+    }
+    if !m.query_latency.is_empty() {
+        println!("query latency (ms):");
+        for (label, s) in &m.query_latency {
+            println!(
+                "  {label:<6} n={:<5} mean={:.2} p95={:.2} max={:.2}",
+                s.count, s.mean_ms, s.p95_ms, s.max_ms
+            );
+        }
+    }
+}
+
+fn cmd_point(args: &Args) -> i32 {
+    let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
+    let sf = args.f64(&["sf"], 0.01);
+    let t = args.u32(&["t"], 4);
+    let a = args.u32(&["a"], 2);
+    let repeats = args.u32(&["repeats", "r"], 1);
+    let Some(harness) = make_harness(&engine, sf, args.u32(&["seed"], 7) as u64) else {
+        eprintln!("unknown engine {engine}; try `hatcli engines`");
+        return 2;
+    };
+    let m = harness.run_point_avg(t, a, repeats);
+    println!("== {} @ SF {sf}, T:A = {t}:{a}, {repeats} repeat(s) ==", engine);
+    print_point(&m);
+    0
+}
+
+fn cmd_frontier(args: &Args) -> i32 {
+    let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
+    let sf = args.f64(&["sf"], 0.01);
+    let Some(harness) = make_harness(&engine, sf, args.u32(&["seed"], 7) as u64) else {
+        eprintln!("unknown engine {engine}; try `hatcli engines`");
+        return 2;
+    };
+    let cfg = if args.has("quick") {
+        SaturationConfig::quick()
+    } else {
+        SaturationConfig::default()
+    };
+    let grid = build_grid(&harness, &cfg);
+    let frontier = Frontier::from_grid(&grid);
+    println!("{}", report::frontier_ascii(&engine, &frontier));
+    let all_fresh: Vec<f64> = grid
+        .measurements
+        .iter()
+        .flat_map(|m| m.freshness.iter().copied())
+        .collect();
+    println!(
+        "{}",
+        report::summary(&engine, &frontier, &FreshnessAgg::from_samples(&all_fresh))
+    );
+    let (t_ret, a_ret) = grid.workload_retention();
+    println!("workload retention: T={t_ret:.2} A={a_ret:.2} (1.0 = unaffected by the other side)");
+    if let Some(out) = args.get(&["out", "o"]) {
+        std::fs::write(out, hattrick::svg::frontier_svg(&engine, &[(&engine, &frontier)]))
+            .expect("write svg");
+        println!("wrote {out}");
+    }
+    0
+}
+
+fn cmd_compare(args: &Args) -> i32 {
+    let sf = args.f64(&["sf"], 0.01);
+    let cfg = if args.has("quick") {
+        SaturationConfig::quick()
+    } else {
+        SaturationConfig::default()
+    };
+    let names = ["shared", "isolated-on", "dual", "learner"];
+    let mut results: Vec<(String, Frontier, FreshnessAgg)> = Vec::new();
+    for name in names {
+        let harness = make_harness(name, sf, 7).expect("builtin engine");
+        let grid = build_grid(&harness, &cfg);
+        let frontier = Frontier::from_grid(&grid);
+        let fresh: Vec<f64> = grid
+            .measurements
+            .iter()
+            .flat_map(|m| m.freshness.iter().copied())
+            .collect();
+        results.push((name.to_string(), frontier, FreshnessAgg::from_samples(&fresh)));
+    }
+    println!("== comparison @ SF {sf} ==");
+    for (name, frontier, fresh) in &results {
+        println!("{}", report::summary(name, frontier, fresh));
+    }
+    // §6.6 rule: A beats B if its frontier envelops B's with freshness no
+    // worse.
+    for (a_name, a_frontier, a_fresh) in &results {
+        for (b_name, b_frontier, b_fresh) in &results {
+            if a_name != b_name
+                && a_frontier.envelops(b_frontier, 40)
+                && a_fresh.p99 <= b_fresh.p99 + 1e-9
+            {
+                println!("{a_name} is better than {b_name} (envelops, freshness no worse)");
+            }
+        }
+    }
+    0
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    let args = Args::parse(&argv[argv.len().min(1)..]);
+    let code = match cmd {
+        "engines" => {
+            for e in ENGINES {
+                println!("{e}");
+            }
+            0
+        }
+        "point" => cmd_point(&args),
+        "frontier" => cmd_frontier(&args),
+        "compare" => cmd_compare(&args),
+        _ => {
+            eprintln!(
+                "usage: hatcli <engines|point|frontier|compare> [flags]\n\
+                 point:    --engine <name> --sf <f> -t <n> -a <n> [--repeats n]\n\
+                 frontier: --engine <name> --sf <f> [--quick] [--out chart.svg]\n\
+                 compare:  --sf <f> [--quick]"
+            );
+            if cmd == "help" {
+                0
+            } else {
+                2
+            }
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,30 @@
+//! Quick calibration probe: load times, txn and query throughput per engine.
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hat_engine::{EngineConfig, ShdEngine};
+use hattrick::gen::{generate, ScaleFactor};
+use hattrick::harness::{BenchmarkConfig, Harness};
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let t0 = Instant::now();
+    let data = generate(ScaleFactor(sf), 42);
+    println!("gen sf={sf}: {} lineorder rows, {:.1} MB, {:?}",
+        data.lineorder.len(), data.approx_bytes() as f64 / 1e6, t0.elapsed());
+    let t0 = Instant::now();
+    let engine = ShdEngine::new(EngineConfig::default());
+    data.load_into(&engine).unwrap();
+    println!("load: {:?}", t0.elapsed());
+    let harness = Harness::new(Arc::new(engine), data.profile.clone(), BenchmarkConfig {
+        warmup: Duration::from_millis(150),
+        measure: Duration::from_millis(400),
+        seed: 1,
+        reset_between_points: true,
+    });
+    for (t, a) in [(1,0),(2,0),(4,0),(0,1),(0,2),(2,2)] {
+        let t0 = Instant::now();
+        let m = harness.run_point(t, a);
+        println!("point ({t},{a}): tps={:.0} qps={:.2} aborts={} wall={:?}", m.tps, m.qps, m.aborts, t0.elapsed());
+    }
+}

@@ -1,0 +1,290 @@
+//! Calendar arithmetic for the SSB `DATE` dimension.
+//!
+//! SSB (and therefore HATtrick) fixes the date domain to the seven years
+//! 1992-01-01 through 1998-12-31 — 2,556 days. New Order transactions keep
+//! sampling order dates uniformly from this fixed range (§5.2.1), so the
+//! dimension never grows. Dates are identified by a compact `yyyymmdd` key.
+
+/// A date key in `yyyymmdd` form, e.g. `19940215`.
+pub type DateKey = u32;
+
+/// First day of the SSB calendar.
+pub const FIRST_DATE: DateKey = 19920101;
+/// Last day of the SSB calendar.
+pub const LAST_DATE: DateKey = 19981231;
+/// Number of days in the SSB calendar (7 years incl. leap days 1992/1996).
+/// The original SSB dbgen reports 2556 due to an off-by-one; the true
+/// 1992-01-01..1998-12-31 range is 2557 days.
+pub const NUM_DATES: usize = 2557;
+/// First year of the SSB calendar.
+pub const FIRST_YEAR: u32 = 1992;
+/// Last year of the SSB calendar.
+pub const LAST_YEAR: u32 = 1998;
+
+const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+];
+
+const MONTH_ABBREV: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct",
+    "Nov", "Dec",
+];
+
+const DAY_NAMES: [&str; 7] = [
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+];
+
+/// Whether `year` is a Gregorian leap year.
+#[inline]
+pub fn is_leap_year(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Number of days in `month` (1-based) of `year`.
+#[inline]
+pub fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// A fully decomposed calendar date within the SSB range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarDate {
+    pub year: u32,
+    /// 1-based month.
+    pub month: u32,
+    /// 1-based day of month.
+    pub day: u32,
+}
+
+impl CalendarDate {
+    /// Decomposes a `yyyymmdd` key.
+    #[inline]
+    pub fn from_key(key: DateKey) -> Self {
+        CalendarDate { year: key / 10000, month: (key / 100) % 100, day: key % 100 }
+    }
+
+    /// Recomposes the `yyyymmdd` key.
+    #[inline]
+    pub fn key(&self) -> DateKey {
+        self.year * 10000 + self.month * 100 + self.day
+    }
+
+    /// Days since 1992-01-01 (the SSB epoch), zero-based.
+    pub fn ordinal(&self) -> u32 {
+        let mut days = 0;
+        for y in FIRST_YEAR..self.year {
+            days += if is_leap_year(y) { 366 } else { 365 };
+        }
+        for m in 1..self.month {
+            days += days_in_month(self.year, m);
+        }
+        days + self.day - 1
+    }
+
+    /// Day of week; 0 = Monday .. 6 = Sunday. 1992-01-01 was a Wednesday.
+    #[inline]
+    pub fn weekday(&self) -> u32 {
+        (self.ordinal() + 2) % 7
+    }
+
+    /// English day-of-week name.
+    pub fn day_name(&self) -> &'static str {
+        DAY_NAMES[self.weekday() as usize]
+    }
+
+    /// English month name (`"January"` ...).
+    pub fn month_name(&self) -> &'static str {
+        MONTH_NAMES[(self.month - 1) as usize]
+    }
+
+    /// SSB `D_YEARMONTH` string such as `"Mar1992"`.
+    pub fn yearmonth(&self) -> String {
+        format!("{}{}", MONTH_ABBREV[(self.month - 1) as usize], self.year)
+    }
+
+    /// SSB `D_YEARMONTHNUM`, e.g. `199203`.
+    #[inline]
+    pub fn yearmonthnum(&self) -> u32 {
+        self.year * 100 + self.month
+    }
+
+    /// 1-based day number within the year.
+    pub fn day_num_in_year(&self) -> u32 {
+        let mut d = self.day;
+        for m in 1..self.month {
+            d += days_in_month(self.year, m);
+        }
+        d
+    }
+
+    /// SSB `D_WEEKNUMINYEAR`: 1-based week number (weeks of 7 ordinal days).
+    #[inline]
+    pub fn week_num_in_year(&self) -> u32 {
+        (self.day_num_in_year() - 1) / 7 + 1
+    }
+
+    /// SSB selling season, derived from month.
+    pub fn selling_season(&self) -> &'static str {
+        match self.month {
+            12 | 1 => "Christmas",
+            2..=4 => "Spring",
+            5..=7 => "Summer",
+            8..=10 => "Fall",
+            _ => "Winter",
+        }
+    }
+
+    /// Whether this is the last day of its month (SSB `D_LASTDAYINMONTHFL`).
+    #[inline]
+    pub fn is_last_day_in_month(&self) -> bool {
+        self.day == days_in_month(self.year, self.month)
+    }
+
+    /// Crude SSB-style holiday flag: fixed-date holidays only.
+    pub fn is_holiday(&self) -> bool {
+        matches!(
+            (self.month, self.day),
+            (1, 1) | (7, 4) | (12, 25) | (12, 31) | (11, 28)
+        )
+    }
+
+    /// Whether the date falls on Saturday or Sunday.
+    #[inline]
+    pub fn is_weekday(&self) -> bool {
+        self.weekday() < 5
+    }
+
+    /// The next calendar day, staying within proper month/year boundaries.
+    pub fn succ(&self) -> CalendarDate {
+        let mut d = *self;
+        if d.day < days_in_month(d.year, d.month) {
+            d.day += 1;
+        } else if d.month < 12 {
+            d.month += 1;
+            d.day = 1;
+        } else {
+            d.year += 1;
+            d.month = 1;
+            d.day = 1;
+        }
+        d
+    }
+}
+
+/// Iterates every date key in the SSB calendar in ascending order.
+pub fn all_date_keys() -> impl Iterator<Item = DateKey> {
+    let mut current = Some(CalendarDate::from_key(FIRST_DATE));
+    std::iter::from_fn(move || {
+        let d = current?;
+        current = if d.key() == LAST_DATE { None } else { Some(d.succ()) };
+        Some(d.key())
+    })
+}
+
+/// Adds `days` to a date key, clamping to the SSB range end.
+pub fn add_days(key: DateKey, days: u32) -> DateKey {
+    let mut d = CalendarDate::from_key(key);
+    for _ in 0..days {
+        if d.key() == LAST_DATE {
+            break;
+        }
+        d = d.succ();
+    }
+    d.key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(1992));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1993));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+    }
+
+    #[test]
+    fn calendar_has_2557_days() {
+        assert_eq!(all_date_keys().count(), NUM_DATES);
+    }
+
+    #[test]
+    fn first_and_last_days() {
+        let days: Vec<_> = all_date_keys().collect();
+        assert_eq!(days[0], FIRST_DATE);
+        assert_eq!(*days.last().unwrap(), LAST_DATE);
+        // Strictly increasing keys.
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn known_weekdays() {
+        // 1992-01-01 was a Wednesday.
+        assert_eq!(CalendarDate::from_key(19920101).day_name(), "Wednesday");
+        // 1998-12-31 was a Thursday.
+        assert_eq!(CalendarDate::from_key(19981231).day_name(), "Thursday");
+        // 1994-07-04 was a Monday.
+        assert_eq!(CalendarDate::from_key(19940704).day_name(), "Monday");
+    }
+
+    #[test]
+    fn decompose_roundtrip() {
+        for key in [19920101, 19940215, 19960229, 19981231] {
+            assert_eq!(CalendarDate::from_key(key).key(), key);
+        }
+    }
+
+    #[test]
+    fn ordinals() {
+        assert_eq!(CalendarDate::from_key(19920101).ordinal(), 0);
+        assert_eq!(CalendarDate::from_key(19920201).ordinal(), 31);
+        assert_eq!(
+            CalendarDate::from_key(19981231).ordinal() as usize,
+            NUM_DATES - 1
+        );
+    }
+
+    #[test]
+    fn derived_attributes() {
+        let d = CalendarDate::from_key(19940315);
+        assert_eq!(d.yearmonthnum(), 199403);
+        assert_eq!(d.yearmonth(), "Mar1994");
+        assert_eq!(d.month_name(), "March");
+        assert_eq!(d.selling_season(), "Spring");
+        assert_eq!(d.day_num_in_year(), 31 + 28 + 15);
+        assert!(!d.is_last_day_in_month());
+        assert!(CalendarDate::from_key(19960229).is_last_day_in_month());
+        assert!(CalendarDate::from_key(19961225).is_holiday());
+    }
+
+    #[test]
+    fn week_numbers_in_range() {
+        for key in all_date_keys() {
+            let w = CalendarDate::from_key(key).week_num_in_year();
+            assert!((1..=53).contains(&w));
+        }
+    }
+
+    #[test]
+    fn add_days_clamps() {
+        assert_eq!(add_days(19981230, 10), LAST_DATE);
+        assert_eq!(add_days(19920101, 31), 19920201);
+        assert_eq!(add_days(19920228, 1), 19920229, "1992 is a leap year");
+    }
+}

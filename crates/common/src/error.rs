@@ -1,0 +1,106 @@
+//! Common error type shared by every crate in the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, HatError>;
+
+/// The error type for every fallible operation in the HATtrick stack.
+///
+/// Transaction aborts are modelled as errors so that the client driver can
+/// distinguish a *retryable* outcome (write conflict, serialization failure)
+/// from a genuine bug (schema violation, missing table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HatError {
+    /// A write-write conflict was detected; the transaction must abort.
+    /// Retryable.
+    WriteConflict {
+        /// Table on which the conflict occurred.
+        table: &'static str,
+    },
+    /// Serializable validation failed (a read was invalidated by a
+    /// concurrent committer). Retryable.
+    SerializationFailure,
+    /// The transaction was already committed or aborted.
+    TxnClosed,
+    /// A unique-key constraint would be violated by an insert.
+    DuplicateKey { table: &'static str },
+    /// A referenced row does not exist.
+    NotFound { table: &'static str },
+    /// A table or index referenced by name/id does not exist.
+    UnknownTable(String),
+    /// A column index was out of bounds or had an unexpected type.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// The engine was asked to do something its configuration forbids
+    /// (e.g. an index seek with `IndexProfile::None`).
+    Unsupported(String),
+    /// The replication link or a background worker shut down unexpectedly.
+    EngineStopped,
+    /// Invalid benchmark or engine configuration.
+    InvalidConfig(String),
+}
+
+impl HatError {
+    /// Whether the client driver should retry the enclosing transaction.
+    ///
+    /// The HATtrick harness counts only *successful* transactions towards
+    /// throughput; conflicting transactions are retried with fresh inputs,
+    /// matching how the paper's driver treats aborts.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            HatError::WriteConflict { .. } | HatError::SerializationFailure
+        )
+    }
+}
+
+impl fmt::Display for HatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HatError::WriteConflict { table } => {
+                write!(f, "write-write conflict on table {table}")
+            }
+            HatError::SerializationFailure => {
+                write!(f, "serializable validation failed")
+            }
+            HatError::TxnClosed => write!(f, "transaction already closed"),
+            HatError::DuplicateKey { table } => {
+                write!(f, "duplicate key in table {table}")
+            }
+            HatError::NotFound { table } => {
+                write!(f, "row not found in table {table}")
+            }
+            HatError::UnknownTable(name) => write!(f, "unknown table {name}"),
+            HatError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            HatError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            HatError::EngineStopped => write!(f, "engine stopped"),
+            HatError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(HatError::WriteConflict { table: "customer" }.is_retryable());
+        assert!(HatError::SerializationFailure.is_retryable());
+        assert!(!HatError::TxnClosed.is_retryable());
+        assert!(!HatError::DuplicateKey { table: "history" }.is_retryable());
+        assert!(!HatError::EngineStopped.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = HatError::WriteConflict { table: "supplier" };
+        assert!(e.to_string().contains("supplier"));
+        let e = HatError::UnknownTable("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

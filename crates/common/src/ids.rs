@@ -1,0 +1,226 @@
+//! Stable identifiers for the HATtrick schema (Figure 4 of the paper).
+//!
+//! Tables and columns are addressed by dense integer ids so that the hot
+//! transaction and scan paths never do string lookups. The column-offset
+//! constants in the per-table modules define the physical row layout used by
+//! every storage backend in the workspace.
+
+/// Zero-based column offset within a table's row layout.
+pub type ColId = usize;
+
+/// The seven relations of the HATtrick schema.
+///
+/// `Freshness` models the family of single-row `FRESHNESS_j` tables from
+/// §4.2 of the paper: engines store one row per transactional client, and
+/// because every row store in this workspace versions and locks at row
+/// granularity, per-client rows are exactly as contention-free as the
+/// paper's per-client tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TableId {
+    Lineorder = 0,
+    Customer = 1,
+    Supplier = 2,
+    Part = 3,
+    Date = 4,
+    History = 5,
+    Freshness = 6,
+}
+
+impl TableId {
+    /// All tables, in id order.
+    pub const ALL: [TableId; 7] = [
+        TableId::Lineorder,
+        TableId::Customer,
+        TableId::Supplier,
+        TableId::Part,
+        TableId::Date,
+        TableId::History,
+        TableId::Freshness,
+    ];
+
+    /// Number of tables in the schema.
+    pub const COUNT: usize = 7;
+
+    /// Dense index usable for per-table arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case relation name, matching the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TableId::Lineorder => "lineorder",
+            TableId::Customer => "customer",
+            TableId::Supplier => "supplier",
+            TableId::Part => "part",
+            TableId::Date => "date",
+            TableId::History => "history",
+            TableId::Freshness => "freshness",
+        }
+    }
+
+    /// Whether the transactional workload mutates this table.
+    pub const fn is_mutable(self) -> bool {
+        matches!(
+            self,
+            TableId::Lineorder
+                | TableId::Customer
+                | TableId::Supplier
+                | TableId::History
+                | TableId::Freshness
+        )
+    }
+}
+
+/// `LINEORDER` column offsets (SSB fact table).
+pub mod lineorder {
+    use super::ColId;
+    pub const ORDERKEY: ColId = 0;
+    pub const LINENUMBER: ColId = 1;
+    pub const CUSTKEY: ColId = 2;
+    pub const PARTKEY: ColId = 3;
+    pub const SUPPKEY: ColId = 4;
+    pub const ORDERDATE: ColId = 5;
+    pub const ORDPRIORITY: ColId = 6;
+    pub const SHIPPRIORITY: ColId = 7;
+    pub const QUANTITY: ColId = 8;
+    pub const EXTENDEDPRICE: ColId = 9;
+    pub const ORDTOTALPRICE: ColId = 10;
+    pub const DISCOUNT: ColId = 11;
+    pub const REVENUE: ColId = 12;
+    pub const SUPPLYCOST: ColId = 13;
+    pub const TAX: ColId = 14;
+    pub const COMMITDATE: ColId = 15;
+    pub const SHIPMODE: ColId = 16;
+    pub const WIDTH: usize = 17;
+}
+
+/// `CUSTOMER` column offsets (extended with `PAYMENTCNT`).
+pub mod customer {
+    use super::ColId;
+    pub const CUSTKEY: ColId = 0;
+    pub const NAME: ColId = 1;
+    pub const ADDRESS: ColId = 2;
+    pub const CITY: ColId = 3;
+    pub const NATION: ColId = 4;
+    pub const REGION: ColId = 5;
+    pub const PHONE: ColId = 6;
+    pub const MKTSEGMENT: ColId = 7;
+    pub const PAYMENTCNT: ColId = 8;
+    pub const WIDTH: usize = 9;
+}
+
+/// `SUPPLIER` column offsets (extended with `YTD`).
+pub mod supplier {
+    use super::ColId;
+    pub const SUPPKEY: ColId = 0;
+    pub const NAME: ColId = 1;
+    pub const ADDRESS: ColId = 2;
+    pub const CITY: ColId = 3;
+    pub const NATION: ColId = 4;
+    pub const REGION: ColId = 5;
+    pub const PHONE: ColId = 6;
+    pub const YTD: ColId = 7;
+    pub const WIDTH: usize = 8;
+}
+
+/// `PART` column offsets (extended with `PRICE`).
+pub mod part {
+    use super::ColId;
+    pub const PARTKEY: ColId = 0;
+    pub const NAME: ColId = 1;
+    pub const MFGR: ColId = 2;
+    pub const CATEGORY: ColId = 3;
+    pub const BRAND1: ColId = 4;
+    pub const COLOR: ColId = 5;
+    pub const TYPE: ColId = 6;
+    pub const SIZE: ColId = 7;
+    pub const CONTAINER: ColId = 8;
+    pub const PRICE: ColId = 9;
+    pub const WIDTH: usize = 10;
+}
+
+/// `DATE` column offsets (full SSB date dimension).
+pub mod date {
+    use super::ColId;
+    pub const DATEKEY: ColId = 0;
+    pub const DATE: ColId = 1;
+    pub const DAYOFWEEK: ColId = 2;
+    pub const MONTH: ColId = 3;
+    pub const YEAR: ColId = 4;
+    pub const YEARMONTHNUM: ColId = 5;
+    pub const YEARMONTH: ColId = 6;
+    pub const DAYNUMINWEEK: ColId = 7;
+    pub const DAYNUMINMONTH: ColId = 8;
+    pub const DAYNUMINYEAR: ColId = 9;
+    pub const MONTHNUMINYEAR: ColId = 10;
+    pub const WEEKNUMINYEAR: ColId = 11;
+    pub const SELLINGSEASON: ColId = 12;
+    pub const LASTDAYINMONTHFL: ColId = 13;
+    pub const HOLIDAYFL: ColId = 14;
+    pub const WEEKDAYFL: ColId = 15;
+    pub const WIDTH: usize = 16;
+}
+
+/// `HISTORY` column offsets (new in HATtrick).
+pub mod history {
+    use super::ColId;
+    pub const ORDERKEY: ColId = 0;
+    pub const CUSTKEY: ColId = 1;
+    pub const AMOUNT: ColId = 2;
+    pub const WIDTH: usize = 3;
+}
+
+/// `FRESHNESS_j` column offsets (new in HATtrick, one row per T-client).
+pub mod freshness {
+    use super::ColId;
+    pub const CLIENT: ColId = 0;
+    pub const TXNNUM: ColId = 1;
+    pub const WIDTH: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_indices_are_dense() {
+        for (i, t) in TableId::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        assert_eq!(TableId::ALL.len(), TableId::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = TableId::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TableId::COUNT);
+    }
+
+    #[test]
+    fn mutability_matches_paper() {
+        // §5.1: after initial population CUSTOMER/SUPPLIER/PART/DATE sizes
+        // are unaffected by the T workload (but customer/supplier rows are
+        // updated in place by Payment).
+        assert!(TableId::Lineorder.is_mutable());
+        assert!(TableId::History.is_mutable());
+        assert!(TableId::Freshness.is_mutable());
+        assert!(!TableId::Part.is_mutable());
+        assert!(!TableId::Date.is_mutable());
+    }
+
+    #[test]
+    fn widths_cover_last_column() {
+        assert_eq!(lineorder::SHIPMODE + 1, lineorder::WIDTH);
+        assert_eq!(customer::PAYMENTCNT + 1, customer::WIDTH);
+        assert_eq!(supplier::YTD + 1, supplier::WIDTH);
+        assert_eq!(part::PRICE + 1, part::WIDTH);
+        assert_eq!(date::WEEKDAYFL + 1, date::WIDTH);
+        assert_eq!(history::AMOUNT + 1, history::WIDTH);
+        assert_eq!(freshness::TXNNUM + 1, freshness::WIDTH);
+    }
+}

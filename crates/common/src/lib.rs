@@ -1,0 +1,26 @@
+//! `hat-common` — shared foundation types for the HATtrick reproduction.
+//!
+//! This crate defines the value model used by the storage engines, the
+//! fixed-point money type used by the workload, date-key arithmetic for the
+//! SSB `DATE` dimension, the global benchmark clock used for freshness
+//! measurement, deterministic random-number helpers, and the common error
+//! type.
+//!
+//! Everything here is dependency-light (only `rand` for the RNG helpers) so
+//! that every other crate in the workspace can depend on it without pulling
+//! in heavyweight machinery.
+
+pub mod clock;
+pub mod dates;
+pub mod error;
+pub mod ids;
+pub mod money;
+pub mod rng;
+pub mod value;
+
+pub use clock::{BenchClock, Nanos};
+pub use dates::DateKey;
+pub use error::{HatError, Result};
+pub use ids::{ColId, TableId};
+pub use money::Money;
+pub use value::{Row, Value};

@@ -1,0 +1,159 @@
+//! Fixed-point money arithmetic.
+//!
+//! The HATtrick schema adds decimal attributes (`S_YTD`, `H_AMOUNT`,
+//! `P_PRICE`) and SSB carries decimal prices and costs. Floating point is
+//! unsuitable for balance bookkeeping (the Payment transaction accumulates
+//! `S_YTD` across millions of commits), so amounts are stored as integer
+//! hundredths ("cents") in an `i64`, giving an exact range of ±92 quadrillion
+//! cents — far beyond any benchmark run.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An exact monetary amount stored as integer cents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Constructs from a raw cent count.
+    #[inline]
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents)
+    }
+
+    /// Constructs from whole dollars.
+    #[inline]
+    pub const fn from_dollars(dollars: i64) -> Self {
+        Money(dollars * 100)
+    }
+
+    /// Raw cent count.
+    #[inline]
+    pub const fn cents(self) -> i64 {
+        self.0
+    }
+
+    /// Approximate floating-point dollar value (for reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// Multiplies by a percentage expressed in whole points (e.g. `7` for
+    /// 7%), truncating toward zero. Used for SSB discount/tax arithmetic.
+    #[inline]
+    pub fn pct(self, points: i64) -> Money {
+        Money(self.0 * points / 100)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    #[inline]
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    #[inline]
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    #[inline]
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<i64> for Money {
+    type Output = Money;
+    #[inline]
+    fn mul(self, rhs: i64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    #[inline]
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        assert_eq!(Money::from_dollars(12).cents(), 1200);
+        assert_eq!(Money::from_cents(5).cents(), 5);
+        assert_eq!(Money::ZERO, Money::default());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_cents(250);
+        let b = Money::from_cents(125);
+        assert_eq!((a + b).cents(), 375);
+        assert_eq!((a - b).cents(), 125);
+        assert_eq!((a * 3).cents(), 750);
+        assert_eq!((-a).cents(), -250);
+        let mut c = a;
+        c += b;
+        c -= Money::from_cents(25);
+        assert_eq!(c.cents(), 350);
+    }
+
+    #[test]
+    fn percentage_truncates() {
+        // 7% of $1.00 = 7 cents exactly.
+        assert_eq!(Money::from_dollars(1).pct(7).cents(), 7);
+        // 3% of 50 cents = 1.5 cents, truncated to 1.
+        assert_eq!(Money::from_cents(50).pct(3).cents(), 1);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Money = (1..=4).map(Money::from_cents).sum();
+        assert_eq!(total.cents(), 10);
+    }
+
+    #[test]
+    fn display_formats_cents() {
+        assert_eq!(Money::from_cents(1234).to_string(), "12.34");
+        assert_eq!(Money::from_cents(-5).to_string(), "-0.05");
+        assert_eq!(Money::ZERO.to_string(), "0.00");
+    }
+}

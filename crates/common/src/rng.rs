@@ -1,0 +1,175 @@
+//! Deterministic random-number helpers.
+//!
+//! Every random decision in the workspace (data generation, transaction
+//! parameter selection, query-batch permutation) flows through a seeded
+//! [`HatRng`], so a benchmark run is reproducible given its seed. Client
+//! RNGs are derived from a base seed with SplitMix64 so that adding a client
+//! never perturbs the streams of existing clients.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step: turns a seed + stream index into an independent seed.
+#[inline]
+pub fn split_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A fast, seedable RNG with the helpers the benchmark needs.
+#[derive(Debug, Clone)]
+pub struct HatRng {
+    inner: SmallRng,
+}
+
+impl HatRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        HatRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent per-stream RNG (e.g. one per client).
+    pub fn derive(base: u64, stream: u64) -> Self {
+        Self::seeded(split_seed(base, stream))
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform usize in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// True with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Selects an index according to integer weights (e.g. the 48/48/4
+    /// transaction mix). Weights must not all be zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|w| *w as u64).sum();
+        debug_assert!(total > 0);
+        let mut x = self.range_u64(0, total - 1);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w as u64 {
+                return i;
+            }
+            x -= *w as u64;
+        }
+        weights.len() - 1
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.index(i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = HatRng::seeded(42);
+        let mut b = HatRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let mut a = HatRng::derive(42, 0);
+        let mut b = HatRng::derive(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "derived streams should look unrelated");
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let mut rng = HatRng::seeded(1);
+        for _ in 0..1000 {
+            let v = rng.range_u32(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+        assert_eq!(rng.range_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn weighted_respects_mix() {
+        let mut rng = HatRng::seeded(7);
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.weighted(&[48, 48, 4])] += 1;
+        }
+        let f = |c: usize| c as f64 / n as f64;
+        assert!((f(counts[0]) - 0.48).abs() < 0.01);
+        assert!((f(counts[1]) - 0.48).abs() < 0.01);
+        assert!((f(counts[2]) - 0.04).abs() < 0.005);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = HatRng::seeded(13);
+        let p = rng.permutation(13);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutations_vary() {
+        let mut rng = HatRng::seeded(13);
+        let a = rng.permutation(13);
+        let b = rng.permutation(13);
+        assert_ne!(a, b, "astronomically unlikely to collide");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = HatRng::seeded(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+}

@@ -1,0 +1,291 @@
+//! The dynamic value and row model shared by all storage backends.
+//!
+//! Rows are immutable `Arc<[Value]>` slices: MVCC version chains, the
+//! replication log, and the columnar delta store all hold references to the
+//! same allocation, so "copying" a committed version anywhere is a pointer
+//! bump. Updates build a fresh row (typically by cloning and patching), as
+//! a multi-version store must.
+
+use std::sync::Arc;
+
+use crate::error::{HatError, Result};
+use crate::ids::TableId;
+use crate::money::Money;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit unsigned integer (order keys, transaction numbers).
+    U64(u64),
+    /// 32-bit unsigned integer (surrogate keys, dates, small numerics).
+    U32(u32),
+    /// Exact money amount.
+    Money(Money),
+    /// Interned string. `Arc<str>` so cloning rows is cheap.
+    Str(Arc<str>),
+    /// Boolean flag (date dimension flags).
+    Bool(bool),
+}
+
+impl Value {
+    /// Human-readable tag, used in error messages.
+    pub const fn type_name(&self) -> &'static str {
+        match self {
+            Value::U64(_) => "u64",
+            Value::U32(_) => "u32",
+            Value::Money(_) => "money",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Extracts a `u64`, also widening a `u32`.
+    #[inline]
+    pub fn as_u64(&self) -> Result<u64> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            Value::U32(v) => Ok(*v as u64),
+            other => Err(HatError::TypeMismatch { expected: "u64", got: other.type_name() }),
+        }
+    }
+
+    /// Extracts a `u32`.
+    #[inline]
+    pub fn as_u32(&self) -> Result<u32> {
+        match self {
+            Value::U32(v) => Ok(*v),
+            other => Err(HatError::TypeMismatch { expected: "u32", got: other.type_name() }),
+        }
+    }
+
+    /// Extracts a money amount.
+    #[inline]
+    pub fn as_money(&self) -> Result<Money> {
+        match self {
+            Value::Money(m) => Ok(*m),
+            other => Err(HatError::TypeMismatch { expected: "money", got: other.type_name() }),
+        }
+    }
+
+    /// Extracts a string slice.
+    #[inline]
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(HatError::TypeMismatch { expected: "str", got: other.type_name() }),
+        }
+    }
+
+    /// Extracts a boolean.
+    #[inline]
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(HatError::TypeMismatch { expected: "bool", got: other.type_name() }),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used for the raw-data-size
+    /// report (`figures sizes`).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Value::U64(_) => 8,
+            Value::U32(_) => 4,
+            Value::Money(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bool(_) => 1,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U32(v)
+    }
+}
+impl From<Money> for Value {
+    fn from(v: Money) -> Self {
+        Value::Money(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// An immutable, reference-counted row.
+pub type Row = Arc<[Value]>;
+
+/// Builds a [`Row`] from an iterator of values.
+pub fn row_from<I: IntoIterator<Item = Value>>(values: I) -> Row {
+    values.into_iter().collect::<Vec<_>>().into()
+}
+
+/// Clones `row` with column `col` replaced by `value`.
+pub fn row_with(row: &Row, col: usize, value: Value) -> Row {
+    let mut v: Vec<Value> = row.to_vec();
+    v[col] = value;
+    v.into()
+}
+
+/// Logical column type, used by the columnar store to pick a typed vector
+/// representation per column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    U64,
+    U32,
+    Money,
+    Str,
+    Bool,
+}
+
+impl ColumnType {
+    /// Whether a [`Value`] matches this column type.
+    pub fn matches(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::U64, Value::U64(_))
+                | (ColumnType::U32, Value::U32(_))
+                | (ColumnType::Money, Value::Money(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// Physical column types for each table, in the layout order defined in
+/// [`crate::ids`].
+pub fn table_column_types(table: TableId) -> &'static [ColumnType] {
+    use ColumnType::*;
+    match table {
+        TableId::Lineorder => &[
+            U64, U32, U32, U32, U32, U32, Str, Str, U32, Money, Money, U32,
+            Money, Money, U32, U32, Str,
+        ],
+        TableId::Customer => &[U32, Str, Str, Str, Str, Str, Str, Str, U32],
+        TableId::Supplier => &[U32, Str, Str, Str, Str, Str, Str, Money],
+        TableId::Part => &[U32, Str, Str, Str, Str, Str, Str, U32, Str, Money],
+        TableId::Date => &[
+            U32, Str, Str, Str, U32, U32, Str, U32, U32, U32, U32, U32, Str,
+            Bool, Bool, Bool,
+        ],
+        TableId::History => &[U64, U32, Money],
+        TableId::Freshness => &[U32, U64],
+    }
+}
+
+/// Checks that `row` conforms to `table`'s layout (arity and types).
+pub fn validate_row(table: TableId, row: &Row) -> Result<()> {
+    let types = table_column_types(table);
+    if row.len() != types.len() {
+        return Err(HatError::TypeMismatch { expected: "row arity", got: "wrong arity" });
+    }
+    for (t, v) in types.iter().zip(row.iter()) {
+        if !t.matches(v) {
+            return Err(HatError::TypeMismatch {
+                expected: "column type",
+                got: v.type_name(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::U32(7).as_u64().unwrap(), 7, "u32 widens");
+        assert_eq!(Value::U32(3).as_u32().unwrap(), 3);
+        assert_eq!(
+            Value::Money(Money::from_cents(5)).as_money().unwrap().cents(),
+            5
+        );
+        assert_eq!(Value::from("hi").as_str().unwrap(), "hi");
+        assert!(Value::from(true).as_bool().unwrap());
+        assert!(Value::U64(1).as_str().is_err());
+        assert!(Value::from("x").as_u32().is_err());
+    }
+
+    #[test]
+    fn row_with_patches_one_column() {
+        let r = row_from([Value::U32(1), Value::from("a")]);
+        let r2 = row_with(&r, 1, Value::from("b"));
+        assert_eq!(r[1].as_str().unwrap(), "a", "original untouched");
+        assert_eq!(r2[1].as_str().unwrap(), "b");
+        assert_eq!(r2[0].as_u32().unwrap(), 1);
+    }
+
+    #[test]
+    fn schema_widths_match_layouts() {
+        assert_eq!(
+            table_column_types(TableId::Lineorder).len(),
+            ids::lineorder::WIDTH
+        );
+        assert_eq!(
+            table_column_types(TableId::Customer).len(),
+            ids::customer::WIDTH
+        );
+        assert_eq!(
+            table_column_types(TableId::Supplier).len(),
+            ids::supplier::WIDTH
+        );
+        assert_eq!(table_column_types(TableId::Part).len(), ids::part::WIDTH);
+        assert_eq!(table_column_types(TableId::Date).len(), ids::date::WIDTH);
+        assert_eq!(
+            table_column_types(TableId::History).len(),
+            ids::history::WIDTH
+        );
+        assert_eq!(
+            table_column_types(TableId::Freshness).len(),
+            ids::freshness::WIDTH
+        );
+    }
+
+    #[test]
+    fn validate_row_checks_arity_and_types() {
+        let good = row_from([
+            Value::U64(1),
+            Value::U32(2),
+            Value::Money(Money::from_cents(10)),
+        ]);
+        assert!(validate_row(TableId::History, &good).is_ok());
+
+        let short = row_from([Value::U64(1)]);
+        assert!(validate_row(TableId::History, &short).is_err());
+
+        let wrong = row_from([Value::U64(1), Value::U32(2), Value::U32(3)]);
+        assert!(validate_row(TableId::History, &wrong).is_err());
+    }
+
+    #[test]
+    fn approx_bytes() {
+        assert_eq!(Value::U64(0).approx_bytes(), 8);
+        assert_eq!(Value::from("abcd").approx_bytes(), 4);
+    }
+}

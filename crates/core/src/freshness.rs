@@ -1,0 +1,256 @@
+//! Freshness measurement (§4).
+//!
+//! The theoretical score of an analytical query is
+//! `f_Aq = max(0, ts_Aq − tfns_Aq)` — its start time minus the commit time
+//! of the *first transaction it did not see*. The practical method (§4.2)
+//! identifies unseen transactions through the per-client `FRESHNESS` rows
+//! every query returns, and takes all time measurements on the client side:
+//! a [`CommitRegistry`] records each transaction's commit wall-time as
+//! observed by its client, and each query's score is computed from its own
+//! observed start time.
+
+use hat_common::clock::Nanos;
+use parking_lot::Mutex;
+
+/// Records, per transactional client, the wall-clock commit time of each
+/// sequence number.
+pub struct CommitRegistry {
+    clients: Vec<Mutex<ClientLog>>,
+}
+
+struct ClientLog {
+    /// First sequence number this registry covers (continuation runs start
+    /// past the numbers already in the FRESHNESS table).
+    base: u64,
+    times: Vec<Nanos>,
+}
+
+impl CommitRegistry {
+    /// A registry for `clients` transactional clients whose next sequence
+    /// numbers are `bases[c]` (1 for a freshly reset database).
+    pub fn new(bases: &[u64]) -> Self {
+        CommitRegistry {
+            clients: bases
+                .iter()
+                .map(|&b| Mutex::new(ClientLog { base: b, times: Vec::new() }))
+                .collect(),
+        }
+    }
+
+    /// Records that client `client`'s transaction `txnnum` committed (as
+    /// observed by the client) at `at`. Sequence numbers must arrive
+    /// densely in order per client.
+    pub fn record(&self, client: u32, txnnum: u64, at: Nanos) {
+        let mut log = self.clients[client as usize].lock();
+        debug_assert_eq!(txnnum, log.base + log.times.len() as u64);
+        log.times.push(at);
+    }
+
+    /// The commit time of `(client, txnnum)`, if recorded.
+    pub fn get(&self, client: u32, txnnum: u64) -> Option<Nanos> {
+        let log = self.clients[client as usize].lock();
+        if txnnum < log.base {
+            return None; // predates this run; treated as unknown
+        }
+        log.times.get((txnnum - log.base) as usize).copied()
+    }
+
+    /// Number of commits recorded for `client`.
+    pub fn count(&self, client: u32) -> usize {
+        self.clients[client as usize].lock().times.len()
+    }
+}
+
+/// One measured freshness score, in seconds.
+pub type FreshnessSample = f64;
+
+/// Computes a query's freshness score (seconds).
+///
+/// `query_start` is the client-observed start time; `seen` is the
+/// freshness vector the query returned (`(client, highest seen txnnum)`).
+/// For each client the first unseen transaction is `seen + 1`; the score
+/// is the age of the *earliest-committed* unseen transaction, or zero if
+/// every transaction committed before the query started was seen.
+pub fn score_query(
+    query_start: Nanos,
+    seen: &[(u32, u64)],
+    registry: &CommitRegistry,
+) -> FreshnessSample {
+    let mut earliest_unseen: Option<Nanos> = None;
+    for &(client, seen_txn) in seen {
+        if client as usize >= registry.clients.len() {
+            continue;
+        }
+        if let Some(tc) = registry.get(client, seen_txn + 1) {
+            if tc < query_start {
+                earliest_unseen =
+                    Some(earliest_unseen.map_or(tc, |cur| cur.min(tc)));
+            }
+        }
+    }
+    match earliest_unseen {
+        Some(tc) => (query_start - tc) as f64 / 1e9,
+        None => 0.0,
+    }
+}
+
+/// Aggregated freshness statistics over a set of samples (§4.1 defines the
+/// system score as an aggregation `f_agg`; the paper reports the 99th
+/// percentile).
+#[derive(Debug, Clone, Default)]
+pub struct FreshnessAgg {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+    /// Fraction of queries with (near-)zero staleness (< 1 ms).
+    pub zero_fraction: f64,
+}
+
+impl FreshnessAgg {
+    /// Aggregates raw samples.
+    pub fn from_samples(samples: &[FreshnessSample]) -> Self {
+        if samples.is_empty() {
+            return FreshnessAgg::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        FreshnessAgg {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *sorted.last().expect("non-empty"),
+            zero_fraction: sorted.iter().filter(|&&s| s < 1e-3).count() as f64
+                / sorted.len() as f64,
+        }
+    }
+}
+
+/// Empirical CDF points `(seconds, cumulative fraction)` for plotting
+/// (Figure 8b).
+pub fn cdf(samples: &[FreshnessSample]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry2() -> CommitRegistry {
+        CommitRegistry::new(&[1, 1])
+    }
+
+    #[test]
+    fn registry_records_and_retrieves() {
+        let r = registry2();
+        r.record(0, 1, 100);
+        r.record(0, 2, 250);
+        r.record(1, 1, 180);
+        assert_eq!(r.get(0, 1), Some(100));
+        assert_eq!(r.get(0, 2), Some(250));
+        assert_eq!(r.get(0, 3), None);
+        assert_eq!(r.get(1, 1), Some(180));
+        assert_eq!(r.count(0), 2);
+    }
+
+    #[test]
+    fn registry_with_nonzero_base() {
+        let r = CommitRegistry::new(&[5]);
+        r.record(0, 5, 42);
+        assert_eq!(r.get(0, 5), Some(42));
+        assert_eq!(r.get(0, 4), None, "predates the run");
+    }
+
+    #[test]
+    fn fresh_query_scores_zero() {
+        let r = registry2();
+        r.record(0, 1, 100);
+        // Query started at 200 and saw txn 1 — nothing unseen.
+        assert_eq!(score_query(200, &[(0, 1), (1, 0)], &r), 0.0);
+    }
+
+    #[test]
+    fn stale_query_scores_age_of_first_unseen() {
+        let r = registry2();
+        r.record(0, 1, 100);
+        r.record(0, 2, 1_000_000_100); // ~1s later
+        // Query started 2s in, saw only txn 0 of client 0: first unseen is
+        // txn 1 committed at t=100 -> staleness = (2e9 - 100) ns.
+        let f = score_query(2_000_000_000, &[(0, 0)], &r);
+        assert!((f - (2_000_000_000.0 - 100.0) / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_but_post_start_commits_do_not_count() {
+        let r = registry2();
+        r.record(0, 1, 5_000);
+        // Query started at 1_000, before txn 1 committed: up-to-date.
+        assert_eq!(score_query(1_000, &[(0, 0)], &r), 0.0);
+    }
+
+    #[test]
+    fn earliest_unseen_across_clients_wins() {
+        let r = registry2();
+        r.record(0, 1, 3_000_000_000);
+        r.record(1, 1, 1_000_000_000);
+        // Both unseen; client 1's commit is earlier -> larger staleness.
+        let f = score_query(4_000_000_000, &[(0, 0), (1, 0)], &r);
+        assert!((f - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_clients_are_ignored() {
+        let r = registry2();
+        let f = score_query(100, &[(9, 0)], &r);
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn aggregation_statistics() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let agg = FreshnessAgg::from_samples(&samples);
+        assert_eq!(agg.count, 100);
+        assert!((agg.mean - 0.505).abs() < 1e-9);
+        assert!((agg.p50 - 0.50).abs() < 0.02);
+        assert!((agg.p99 - 0.99).abs() < 0.02);
+        assert_eq!(agg.max, 1.0);
+        assert_eq!(agg.zero_fraction, 0.0);
+    }
+
+    #[test]
+    fn aggregation_of_zeroes() {
+        let agg = FreshnessAgg::from_samples(&[0.0; 50]);
+        assert_eq!(agg.p99, 0.0);
+        assert_eq!(agg.zero_fraction, 1.0);
+        let empty = FreshnessAgg::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let samples = [0.5, 0.1, 0.9, 0.1];
+        let points = cdf(&samples);
+        assert_eq!(points.len(), 4);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(cdf(&[]).is_empty());
+    }
+}

@@ -1,0 +1,618 @@
+//! SSB-based data generation for the HATtrick schema (§5.1, Figure 4).
+//!
+//! Follows SSB's scaling rules with HATtrick's extensions:
+//!
+//! | relation  | rows                           | HATtrick additions        |
+//! |-----------|--------------------------------|---------------------------|
+//! | LINEORDER | 6,000,000 × SF                 | —                         |
+//! | CUSTOMER  | 30,000 × SF                    | `PAYMENTCNT`              |
+//! | SUPPLIER  | 2,000 × SF                     | `YTD`                     |
+//! | PART      | 200,000 × (1 + ⌊log₂ SF⌋)      | `PRICE`                   |
+//! | DATE      | 2,557 (7 years)                | —                         |
+//! | HISTORY   | one row per distinct order (≈25% of LINEORDER) | new      |
+//! | FRESHNESS | one single-column row per T-client | new                   |
+//!
+//! Fractional scale factors are supported (this reproduction runs SF < 1 on
+//! a single core; see DESIGN.md) — counts scale linearly with sensible
+//! minimums. Generation is deterministic given the seed.
+
+use std::sync::Arc;
+
+use hat_common::dates::{self, CalendarDate};
+use hat_common::ids::TableId;
+use hat_common::rng::HatRng;
+use hat_common::value::row_from;
+use hat_common::{Money, Row, Value};
+
+/// Maximum transactional clients a run may use; one FRESHNESS row is
+/// pre-created per slot.
+pub const MAX_TXN_CLIENTS: u32 = 64;
+
+/// Lines per order, as in TPC-C/SSB orders.
+pub const MIN_LINES_PER_ORDER: u32 = 1;
+pub const MAX_LINES_PER_ORDER: u32 = 7;
+
+/// The five SSB regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 SSB nations, five per region (index / 5 == region index).
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM", // ASIA
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+];
+
+const MKT_SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+const SHIP_MODES: [&str; 7] =
+    ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+const COLORS: [&str; 16] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate",
+];
+
+const TYPES: [&str; 6] = [
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO",
+];
+
+const TYPE_MATERIALS: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE",
+    "JUMBO PKG",
+];
+
+/// A (possibly fractional) scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFactor(pub f64);
+
+impl ScaleFactor {
+    fn scaled(&self, base: u64, min: u64) -> u64 {
+        ((base as f64 * self.0).round() as u64).max(min)
+    }
+
+    /// LINEORDER row target (orders × lines average lands near this).
+    pub fn lineorder_rows(&self) -> u64 {
+        self.scaled(6_000_000, 100)
+    }
+
+    /// CUSTOMER rows.
+    pub fn customers(&self) -> u64 {
+        self.scaled(30_000, 50)
+    }
+
+    /// SUPPLIER rows.
+    pub fn suppliers(&self) -> u64 {
+        self.scaled(2_000, 10)
+    }
+
+    /// PART rows: `200,000 × (1 + ⌊log₂ SF⌋)`, scaled down linearly below
+    /// SF 1.
+    pub fn parts(&self) -> u64 {
+        if self.0 >= 1.0 {
+            200_000 * (1 + self.0.log2().floor() as u64)
+        } else {
+            self.scaled(200_000, 40)
+        }
+    }
+}
+
+/// City name: the nation's first 9 characters (space-padded) plus a digit,
+/// e.g. `"UNITED KI1"` — the format SSB queries 3.3/3.4 match on.
+pub fn city_name(nation: &str, suffix: u32) -> String {
+    let mut prefix: String = nation.chars().take(9).collect();
+    while prefix.len() < 9 {
+        prefix.push(' ');
+    }
+    format!("{prefix}{}", suffix % 10)
+}
+
+/// Shared string pools so generated rows intern their categorical values.
+struct Pools {
+    regions: Vec<Arc<str>>,
+    nations: Vec<Arc<str>>,
+    cities: Vec<Arc<str>>,
+    segments: Vec<Arc<str>>,
+    priorities: Vec<Arc<str>>,
+    ship_modes: Vec<Arc<str>>,
+    mfgrs: Vec<Arc<str>>,
+    categories: Vec<Arc<str>>,
+    brands: Vec<Arc<str>>,
+    colors: Vec<Arc<str>>,
+    types: Vec<Arc<str>>,
+    containers: Vec<Arc<str>>,
+    shippriority: Arc<str>,
+}
+
+impl Pools {
+    fn new() -> Self {
+        let mfgrs: Vec<Arc<str>> =
+            (1..=5).map(|m| Arc::from(format!("MFGR#{m}").as_str())).collect();
+        let categories: Vec<Arc<str>> = (1..=5)
+            .flat_map(|m| (1..=5).map(move |c| Arc::from(format!("MFGR#{m}{c}").as_str())))
+            .collect();
+        let brands: Vec<Arc<str>> = categories
+            .iter()
+            .flat_map(|cat| {
+                (1..=40).map(move |b| Arc::from(format!("{cat}{b:02}").as_str()))
+            })
+            .collect();
+        let types: Vec<Arc<str>> = TYPES
+            .iter()
+            .flat_map(|t| {
+                TYPE_MATERIALS.iter().map(move |m| Arc::from(format!("{t} {m}").as_str()))
+            })
+            .collect();
+        Pools {
+            regions: REGIONS.iter().map(|s| Arc::from(*s)).collect(),
+            nations: NATIONS.iter().map(|s| Arc::from(*s)).collect(),
+            cities: NATIONS
+                .iter()
+                .flat_map(|n| (0..10).map(move |i| Arc::from(city_name(n, i).as_str())))
+                .collect(),
+            segments: MKT_SEGMENTS.iter().map(|s| Arc::from(*s)).collect(),
+            priorities: ORDER_PRIORITIES.iter().map(|s| Arc::from(*s)).collect(),
+            ship_modes: SHIP_MODES.iter().map(|s| Arc::from(*s)).collect(),
+            mfgrs,
+            categories,
+            brands,
+            colors: COLORS.iter().map(|s| Arc::from(*s)).collect(),
+            types,
+            containers: CONTAINERS.iter().map(|s| Arc::from(*s)).collect(),
+            shippriority: Arc::from("0"),
+        }
+    }
+
+    fn nation_of(&self, idx: usize) -> (&Arc<str>, &Arc<str>, &Arc<str>) {
+        // (city template base handled separately) -> (nation, region)
+        let nation = &self.nations[idx];
+        let region = &self.regions[idx / 5];
+        (nation, region, &self.cities[idx * 10])
+    }
+}
+
+/// Key-domain metadata the transactional workload needs to generate
+/// parameters (§5.2.1: "given a random customer name, part key, supplier
+/// name, and day of order").
+#[derive(Debug, Clone)]
+pub struct DataProfile {
+    pub scale: f64,
+    pub customers: u32,
+    pub suppliers: u32,
+    pub parts: u32,
+    /// Highest orderkey in the initial LINEORDER population.
+    pub max_orderkey: u64,
+    /// Part prices by partkey-1 (New Order computes EXTENDEDPRICE from the
+    /// part's PRICE; carrying the price table here avoids a redundant read
+    /// API on the engine — the transaction still reads the PART row).
+    pub txn_clients: u32,
+}
+
+/// Fully generated initial database content.
+pub struct GeneratedData {
+    pub profile: DataProfile,
+    pub customer: Vec<Row>,
+    pub supplier: Vec<Row>,
+    pub part: Vec<Row>,
+    pub date: Vec<Row>,
+    pub lineorder: Vec<Row>,
+    pub history: Vec<Row>,
+    pub freshness: Vec<Row>,
+}
+
+impl GeneratedData {
+    /// The rows of `table`.
+    pub fn rows(&self, table: TableId) -> &[Row] {
+        match table {
+            TableId::Customer => &self.customer,
+            TableId::Supplier => &self.supplier,
+            TableId::Part => &self.part,
+            TableId::Date => &self.date,
+            TableId::Lineorder => &self.lineorder,
+            TableId::History => &self.history,
+            TableId::Freshness => &self.freshness,
+        }
+    }
+
+    /// Total generated rows.
+    pub fn total_rows(&self) -> usize {
+        TableId::ALL.iter().map(|&t| self.rows(t).len()).sum()
+    }
+
+    /// Approximate raw bytes (the `figures sizes` report).
+    pub fn approx_bytes(&self) -> usize {
+        TableId::ALL
+            .iter()
+            .flat_map(|&t| self.rows(t).iter())
+            .map(|row| row.iter().map(|v| v.approx_bytes()).sum::<usize>())
+            .sum()
+    }
+
+    /// Loads every table into an engine and finishes the load.
+    pub fn load_into(&self, engine: &dyn hat_engine::HtapEngine) -> hat_common::Result<()> {
+        for &table in &TableId::ALL {
+            let mut it = self.rows(table).iter().map(Arc::clone);
+            engine.load(table, &mut it)?;
+        }
+        engine.finish_load()
+    }
+}
+
+/// Canonical customer name for a key, e.g. `"Customer#000000042"`.
+pub fn customer_name(key: u32) -> String {
+    format!("Customer#{key:09}")
+}
+
+/// Canonical supplier name for a key, e.g. `"Supplier#000000042"`.
+pub fn supplier_name(key: u32) -> String {
+    format!("Supplier#{key:09}")
+}
+
+/// Generates the full initial database for `scale`, deterministically from
+/// `seed`.
+pub fn generate(scale: ScaleFactor, seed: u64) -> GeneratedData {
+    let pools = Pools::new();
+    let mut rng = HatRng::derive(seed, 0xDA7A);
+
+    let n_customers = scale.customers() as u32;
+    let n_suppliers = scale.suppliers() as u32;
+    let n_parts = scale.parts() as u32;
+
+    // --- dimensions ------------------------------------------------------
+    let customer: Vec<Row> = (1..=n_customers)
+        .map(|ck| {
+            let nidx = rng.index(25);
+            let (nation, region, _) = pools.nation_of(nidx);
+            let city = &pools.cities[nidx * 10 + rng.index(10)];
+            row_from([
+                Value::U32(ck),
+                Value::from(customer_name(ck)),
+                Value::from(format!("addr-{}", rng.range_u32(0, 999_999))),
+                Value::Str(Arc::clone(city)),
+                Value::Str(Arc::clone(nation)),
+                Value::Str(Arc::clone(region)),
+                Value::from(format!("{:02}-{:07}", 10 + nidx, rng.range_u32(0, 9_999_999))),
+                Value::Str(Arc::clone(&pools.segments[rng.index(5)])),
+                Value::U32(0), // PAYMENTCNT
+            ])
+        })
+        .collect();
+
+    let supplier: Vec<Row> = (1..=n_suppliers)
+        .map(|sk| {
+            let nidx = rng.index(25);
+            let (nation, region, _) = pools.nation_of(nidx);
+            let city = &pools.cities[nidx * 10 + rng.index(10)];
+            row_from([
+                Value::U32(sk),
+                Value::from(supplier_name(sk)),
+                Value::from(format!("addr-{}", rng.range_u32(0, 999_999))),
+                Value::Str(Arc::clone(city)),
+                Value::Str(Arc::clone(nation)),
+                Value::Str(Arc::clone(region)),
+                Value::from(format!("{:02}-{:07}", 10 + nidx, rng.range_u32(0, 9_999_999))),
+                Value::Money(Money::ZERO), // YTD
+            ])
+        })
+        .collect();
+
+    let part: Vec<Row> = (1..=n_parts)
+        .map(|pk| {
+            let mfgr_idx = rng.index(5);
+            let cat_idx = mfgr_idx * 5 + rng.index(5);
+            let brand_idx = cat_idx * 40 + rng.index(40);
+            let color = &pools.colors[rng.index(pools.colors.len())];
+            row_from([
+                Value::U32(pk),
+                Value::from(format!("{color} part {pk}")),
+                Value::Str(Arc::clone(&pools.mfgrs[mfgr_idx])),
+                Value::Str(Arc::clone(&pools.categories[cat_idx])),
+                Value::Str(Arc::clone(&pools.brands[brand_idx])),
+                Value::Str(Arc::clone(color)),
+                Value::Str(Arc::clone(&pools.types[rng.index(pools.types.len())])),
+                Value::U32(rng.range_u32(1, 50)),
+                Value::Str(Arc::clone(&pools.containers[rng.index(8)])),
+                Value::Money(Money::from_cents(rng.range_u64(90, 200_000) as i64)),
+            ])
+        })
+        .collect();
+
+    let date: Vec<Row> = dates::all_date_keys().map(date_row).collect();
+
+    // --- facts ------------------------------------------------------------
+    let target_lines = scale.lineorder_rows();
+    let mut lineorder = Vec::with_capacity(target_lines as usize + 8);
+    let mut history = Vec::with_capacity(target_lines as usize / 4 + 8);
+    let mut orderkey: u64 = 0;
+    while (lineorder.len() as u64) < target_lines {
+        orderkey += 1;
+        let custkey = rng.range_u32(1, n_customers);
+        let n_lines = rng.range_u32(MIN_LINES_PER_ORDER, MAX_LINES_PER_ORDER);
+        let orderdate = random_date_key(&mut rng);
+        let priority = &pools.priorities[rng.index(5)];
+        let mut lines = Vec::with_capacity(n_lines as usize);
+        let mut total = Money::ZERO;
+        for line_no in 1..=n_lines {
+            let partkey = rng.range_u32(1, n_parts);
+            let price = part[(partkey - 1) as usize][hat_common::ids::part::PRICE]
+                .as_money()
+                .expect("typed");
+            let quantity = rng.range_u32(1, 50);
+            let extended = price * quantity as i64;
+            total += extended;
+            lines.push((line_no, partkey, quantity, extended));
+        }
+        for (line_no, partkey, quantity, extended) in lines {
+            let suppkey = rng.range_u32(1, n_suppliers);
+            let discount = rng.range_u32(0, 10);
+            let tax = rng.range_u32(0, 8);
+            let revenue = extended.pct(100 - discount as i64);
+            let supplycost = extended.pct(60);
+            let commitdate = dates::add_days(orderdate, rng.range_u32(30, 90));
+            lineorder.push(row_from([
+                Value::U64(orderkey),
+                Value::U32(line_no),
+                Value::U32(custkey),
+                Value::U32(partkey),
+                Value::U32(suppkey),
+                Value::U32(orderdate),
+                Value::Str(Arc::clone(priority)),
+                Value::Str(Arc::clone(&pools.shippriority)),
+                Value::U32(quantity),
+                Value::Money(extended),
+                Value::Money(total),
+                Value::U32(discount),
+                Value::Money(revenue),
+                Value::Money(supplycost),
+                Value::U32(tax),
+                Value::U32(commitdate),
+                Value::Str(Arc::clone(&pools.ship_modes[rng.index(7)])),
+            ]));
+        }
+        // §5.1: HISTORY starts with one row per distinct ORDERKEY.
+        history.push(row_from([
+            Value::U64(orderkey),
+            Value::U32(custkey),
+            Value::Money(total),
+        ]));
+    }
+
+    let freshness: Vec<Row> = (0..MAX_TXN_CLIENTS)
+        .map(|client| row_from([Value::U32(client), Value::U64(0)]))
+        .collect();
+
+    GeneratedData {
+        profile: DataProfile {
+            scale: scale.0,
+            customers: n_customers,
+            suppliers: n_suppliers,
+            parts: n_parts,
+            max_orderkey: orderkey,
+            txn_clients: MAX_TXN_CLIENTS,
+        },
+        customer,
+        supplier,
+        part,
+        date,
+        lineorder,
+        history,
+        freshness,
+    }
+}
+
+/// A uniformly random date key from the fixed SSB range (§5.2.1).
+pub fn random_date_key(rng: &mut HatRng) -> u32 {
+    let ordinal = rng.range_u32(0, dates::NUM_DATES as u32 - 1);
+    // Convert ordinal back to a key by walking years/months — cheap enough
+    // for generation; transactions use the same helper.
+    let mut year = dates::FIRST_YEAR;
+    let mut remaining = ordinal;
+    loop {
+        let days = if dates::is_leap_year(year) { 366 } else { 365 };
+        if remaining < days {
+            break;
+        }
+        remaining -= days;
+        year += 1;
+    }
+    let mut month = 1;
+    loop {
+        let days = dates::days_in_month(year, month);
+        if remaining < days {
+            break;
+        }
+        remaining -= days;
+        month += 1;
+    }
+    year * 10000 + month * 100 + (remaining + 1)
+}
+
+/// Builds the full DATE dimension row for a date key.
+pub fn date_row(key: u32) -> Row {
+    let d = CalendarDate::from_key(key);
+    row_from([
+        Value::U32(key),
+        Value::from(format!("{} {}, {}", d.month_name(), d.day, d.year)),
+        Value::from(d.day_name()),
+        Value::from(d.month_name()),
+        Value::U32(d.year),
+        Value::U32(d.yearmonthnum()),
+        Value::from(d.yearmonth()),
+        Value::U32(d.weekday() + 1),
+        Value::U32(d.day),
+        Value::U32(d.day_num_in_year()),
+        Value::U32(d.month),
+        Value::U32(d.week_num_in_year()),
+        Value::from(d.selling_season()),
+        Value::from(d.is_last_day_in_month()),
+        Value::from(d.is_holiday()),
+        Value::from(d.is_weekday()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::ids::{customer as c, lineorder as lo, part as p};
+    use hat_common::value::validate_row;
+
+    fn tiny() -> GeneratedData {
+        generate(ScaleFactor(0.001), 42)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(ScaleFactor(0.001), 7);
+        let b = generate(ScaleFactor(0.001), 7);
+        assert_eq!(a.lineorder.len(), b.lineorder.len());
+        for (x, y) in a.lineorder.iter().zip(&b.lineorder).take(100) {
+            assert_eq!(x, y);
+        }
+        let c = generate(ScaleFactor(0.001), 8);
+        assert_ne!(
+            a.lineorder[0][lo::CUSTKEY], c.lineorder[0][lo::CUSTKEY],
+            "different seeds should diverge quickly (this key, this row)"
+        );
+    }
+
+    #[test]
+    fn row_counts_follow_scaling() {
+        let d = tiny();
+        assert_eq!(d.customer.len() as u64, ScaleFactor(0.001).customers());
+        assert_eq!(d.supplier.len() as u64, ScaleFactor(0.001).suppliers());
+        assert_eq!(d.date.len(), dates::NUM_DATES);
+        assert!(d.lineorder.len() as u64 >= ScaleFactor(0.001).lineorder_rows());
+        assert_eq!(d.freshness.len() as u32, MAX_TXN_CLIENTS);
+        // History is one row per distinct orderkey.
+        assert_eq!(d.history.len() as u64, d.profile.max_orderkey);
+        // Average lines per order ≈ 4 -> history ≈ 25% of lineorder (paper).
+        let ratio = d.history.len() as f64 / d.lineorder.len() as f64;
+        assert!((0.2..0.35).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn integer_scale_factors_match_ssb() {
+        assert_eq!(ScaleFactor(1.0).customers(), 30_000);
+        assert_eq!(ScaleFactor(1.0).suppliers(), 2_000);
+        assert_eq!(ScaleFactor(1.0).parts(), 200_000);
+        assert_eq!(ScaleFactor(1.0).lineorder_rows(), 6_000_000);
+        assert_eq!(ScaleFactor(2.0).parts(), 400_000, "1 + log2(2)");
+        assert_eq!(ScaleFactor(4.0).parts(), 600_000, "1 + log2(4)");
+        assert_eq!(ScaleFactor(10.0).parts(), 800_000, "1 + floor(log2 10)");
+    }
+
+    #[test]
+    fn all_rows_conform_to_schema() {
+        let d = tiny();
+        for &t in &TableId::ALL {
+            for row in d.rows(t).iter().take(200) {
+                validate_row(t, row).unwrap_or_else(|e| panic!("{t:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_dense_and_names_canonical() {
+        let d = tiny();
+        for (i, row) in d.customer.iter().enumerate() {
+            assert_eq!(row[c::CUSTKEY].as_u32().unwrap() as usize, i + 1);
+        }
+        assert_eq!(d.customer[41][c::NAME].as_str().unwrap(), "Customer#000000042");
+        assert_eq!(customer_name(1), "Customer#000000001");
+        assert_eq!(supplier_name(7), "Supplier#000000007");
+    }
+
+    #[test]
+    fn lineorder_money_arithmetic_consistent() {
+        let d = tiny();
+        for row in d.lineorder.iter().take(500) {
+            let partkey = row[lo::PARTKEY].as_u32().unwrap();
+            let price = d.part[(partkey - 1) as usize][p::PRICE].as_money().unwrap();
+            let qty = row[lo::QUANTITY].as_u32().unwrap() as i64;
+            let extended = row[lo::EXTENDEDPRICE].as_money().unwrap();
+            assert_eq!(extended, price * qty);
+            let discount = row[lo::DISCOUNT].as_u32().unwrap() as i64;
+            assert_eq!(row[lo::REVENUE].as_money().unwrap(), extended.pct(100 - discount));
+            assert!((0..=10).contains(&discount));
+        }
+    }
+
+    #[test]
+    fn orderdates_within_ssb_calendar() {
+        let d = tiny();
+        for row in d.lineorder.iter().take(500) {
+            let od = row[lo::ORDERDATE].as_u32().unwrap();
+            assert!((dates::FIRST_DATE..=dates::LAST_DATE).contains(&od));
+            let cd = row[lo::COMMITDATE].as_u32().unwrap();
+            assert!(cd >= od, "commit date after order date");
+            assert!(cd <= dates::LAST_DATE);
+        }
+    }
+
+    #[test]
+    fn random_date_key_roundtrip_is_valid() {
+        let mut rng = HatRng::seeded(3);
+        for _ in 0..2000 {
+            let key = random_date_key(&mut rng);
+            let d = CalendarDate::from_key(key);
+            assert!((1..=12).contains(&d.month), "{key}");
+            assert!(d.day >= 1 && d.day <= dates::days_in_month(d.year, d.month), "{key}");
+        }
+    }
+
+    #[test]
+    fn city_names_match_ssb_format() {
+        assert_eq!(city_name("UNITED KINGDOM", 1), "UNITED KI1");
+        assert_eq!(city_name("UNITED KINGDOM", 5), "UNITED KI5");
+        assert_eq!(city_name("PERU", 3), "PERU     3");
+        assert_eq!(city_name("CHINA", 12), "CHINA    2", "suffix mod 10");
+    }
+
+    #[test]
+    fn cities_in_data_derive_from_nations() {
+        let d = tiny();
+        for row in d.customer.iter().take(50) {
+            let nation = row[c::NATION].as_str().unwrap();
+            let city = row[c::CITY].as_str().unwrap();
+            assert!(city.starts_with(city_name(nation, 0).trim_end_matches('0')));
+        }
+    }
+
+    #[test]
+    fn string_values_are_interned() {
+        let d = tiny();
+        // Two customers in the same region share the same Arc.
+        let mut by_region: std::collections::HashMap<&str, *const u8> =
+            std::collections::HashMap::new();
+        let mut shared = false;
+        for row in &d.customer {
+            if let Value::Str(s) = &row[c::REGION] {
+                let ptr = s.as_ptr();
+                if let Some(&prev) = by_region.get(s.as_ref()) {
+                    if std::ptr::eq(prev, ptr) {
+                        shared = true;
+                        break;
+                    }
+                }
+                by_region.insert(s.as_ref(), ptr);
+            }
+        }
+        assert!(shared || d.customer.len() < 6, "region strings interned");
+    }
+
+    #[test]
+    fn approx_bytes_nonzero_and_scales() {
+        let small = generate(ScaleFactor(0.0005), 1);
+        let large = generate(ScaleFactor(0.002), 1);
+        assert!(large.approx_bytes() > small.approx_bytes());
+        assert!(small.total_rows() > 0);
+    }
+}

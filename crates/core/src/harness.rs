@@ -1,0 +1,524 @@
+//! The measurement harness: client drivers and per-operating-point runs.
+//!
+//! A *point* is one `(τ, α)` client configuration (§3.1). The harness
+//! spawns τ transactional clients and α analytical clients, runs a warm-up
+//! phase followed by a measurement phase (§6.1), and reports hybrid
+//! throughput `(tps, qps)` plus the freshness samples collected during
+//! measurement. Each client issues one request at a time and waits for the
+//! result before the next (§5.3); T and A clients are independent threads,
+//! so the engine is free to schedule them as it pleases.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hat_common::clock::BenchClock;
+use hat_common::rng::HatRng;
+use hat_engine::HtapEngine;
+use hat_query::ssb;
+use parking_lot::Mutex;
+
+use crate::freshness::{score_query, CommitRegistry, FreshnessSample};
+use crate::gen::{DataProfile, MAX_TXN_CLIENTS};
+use crate::workload::{query_batch, run_transaction, TxnMix, WorkloadState};
+
+/// Phases of a benchmark run.
+const PHASE_WARMUP: u8 = 0;
+const PHASE_MEASURE: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Harness configuration (§6.1 uses per-SF warm-up/measurement periods;
+/// scale these down along with the scale factor).
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    pub warmup: Duration,
+    pub measure: Duration,
+    /// Base RNG seed; client streams derive from it.
+    pub seed: u64,
+    /// Reset the database to its initial state before each point (§6.1:
+    /// "before each benchmark run we reset the data to their initial
+    /// state").
+    pub reset_between_points: bool,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(400),
+            seed: 0x4A77,
+            reset_between_points: true,
+        }
+    }
+}
+
+/// Latency summary for one operation label (a transaction type or query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p95_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_nanos(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats { count: 0, mean_ms: 0.0, p95_ms: 0.0, max_ms: 0.0 };
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let mean = samples.iter().sum::<u64>() as f64 / count as f64;
+        let p95 = samples[((samples.len() - 1) as f64 * 0.95).round() as usize];
+        LatencyStats {
+            count,
+            mean_ms: mean / 1e6,
+            p95_ms: p95 as f64 / 1e6,
+            max_ms: *samples.last().expect("non-empty") as f64 / 1e6,
+        }
+    }
+}
+
+/// Shared per-label latency collector.
+#[derive(Default)]
+struct LatencyLog {
+    samples: Mutex<HashMap<&'static str, Vec<u64>>>,
+}
+
+impl LatencyLog {
+    fn record(&self, label: &'static str, nanos: u64) {
+        self.samples.lock().entry(label).or_default().push(nanos);
+    }
+
+    fn summarize(self) -> Vec<(String, LatencyStats)> {
+        let mut out: Vec<(String, LatencyStats)> = self
+            .samples
+            .into_inner()
+            .into_iter()
+            .map(|(label, samples)| (label.to_string(), LatencyStats::from_nanos(samples)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// The measured outcome of one `(τ, α)` point.
+#[derive(Debug, Clone)]
+pub struct PointMeasurement {
+    pub t_clients: u32,
+    pub a_clients: u32,
+    /// Successful transactions per second during the measurement phase.
+    pub tps: f64,
+    /// Finished analytical queries per second during measurement.
+    pub qps: f64,
+    pub committed: u64,
+    pub queries: u64,
+    pub aborts: u64,
+    /// Freshness scores (seconds) of the queries finished during
+    /// measurement.
+    pub freshness: Vec<FreshnessSample>,
+    /// Actual measurement-phase length.
+    pub measured_secs: f64,
+    /// Per-transaction-type latency during measurement (§6.1: the
+    /// benchmark "extracts also the average response time of each
+    /// transaction type and analytical query").
+    pub txn_latency: Vec<(String, LatencyStats)>,
+    /// Per-query latency during measurement.
+    pub query_latency: Vec<(String, LatencyStats)>,
+}
+
+impl PointMeasurement {
+    /// Averages repeated measurements of the same point (§6.1: "we repeat
+    /// the execution of the benchmark three times and report the average
+    /// results"). Throughputs are averaged; counters summed; freshness
+    /// samples concatenated; latency stats taken from the longest run.
+    pub fn average(runs: Vec<PointMeasurement>) -> PointMeasurement {
+        assert!(!runs.is_empty(), "need at least one run");
+        let n = runs.len() as f64;
+        let t_clients = runs[0].t_clients;
+        let a_clients = runs[0].a_clients;
+        let tps = runs.iter().map(|m| m.tps).sum::<f64>() / n;
+        let qps = runs.iter().map(|m| m.qps).sum::<f64>() / n;
+        let committed = runs.iter().map(|m| m.committed).sum();
+        let queries = runs.iter().map(|m| m.queries).sum();
+        let aborts = runs.iter().map(|m| m.aborts).sum();
+        let measured_secs = runs.iter().map(|m| m.measured_secs).sum();
+        let mut freshness = Vec::new();
+        let mut best: Option<PointMeasurement> = None;
+        for m in runs {
+            freshness.extend_from_slice(&m.freshness);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| m.committed + m.queries > b.committed + b.queries);
+            if better {
+                best = Some(m);
+            }
+        }
+        let best = best.expect("non-empty");
+        PointMeasurement {
+            t_clients,
+            a_clients,
+            tps,
+            qps,
+            committed,
+            queries,
+            aborts,
+            freshness,
+            measured_secs,
+            txn_latency: best.txn_latency,
+            query_latency: best.query_latency,
+        }
+    }
+
+    /// An all-zero point (used for the τ=0, α=0 origin).
+    pub fn zero(t_clients: u32, a_clients: u32) -> Self {
+        PointMeasurement {
+            t_clients,
+            a_clients,
+            tps: 0.0,
+            qps: 0.0,
+            committed: 0,
+            queries: 0,
+            aborts: 0,
+            freshness: Vec::new(),
+            measured_secs: 0.0,
+            txn_latency: Vec::new(),
+            query_latency: Vec::new(),
+        }
+    }
+}
+
+/// Drives one engine + generated dataset through benchmark points.
+pub struct Harness {
+    engine: Arc<dyn HtapEngine>,
+    profile: DataProfile,
+    state: WorkloadState,
+    mix: TxnMix,
+    config: BenchmarkConfig,
+    /// Persistent per-client transaction sequence numbers (survive
+    /// non-resetting points; zeroed by reset).
+    txnnums: Vec<AtomicU64>,
+    points_run: AtomicU64,
+}
+
+impl Harness {
+    /// Builds a harness over a loaded engine.
+    pub fn new(
+        engine: Arc<dyn HtapEngine>,
+        profile: DataProfile,
+        config: BenchmarkConfig,
+    ) -> Self {
+        let state = WorkloadState::new(&profile);
+        Harness {
+            engine,
+            profile,
+            state,
+            mix: TxnMix::default(),
+            config,
+            txnnums: (0..MAX_TXN_CLIENTS).map(|_| AtomicU64::new(0)).collect(),
+            points_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the transaction mix.
+    pub fn with_mix(mut self, mix: TxnMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// The engine under test.
+    pub fn engine(&self) -> &Arc<dyn HtapEngine> {
+        &self.engine
+    }
+
+    /// The data profile in use.
+    pub fn profile(&self) -> &DataProfile {
+        &self.profile
+    }
+
+    /// The harness configuration.
+    pub fn config(&self) -> &BenchmarkConfig {
+        &self.config
+    }
+
+    fn reset(&self) -> hat_common::Result<()> {
+        self.engine.reset()?;
+        self.state.reset();
+        for n in &self.txnnums {
+            n.store(0, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Measures one `(τ, α)` point `repeats` times and averages, as the
+    /// paper does (three repetitions per configuration, §6.1).
+    pub fn run_point_avg(
+        &self,
+        t_clients: u32,
+        a_clients: u32,
+        repeats: u32,
+    ) -> PointMeasurement {
+        let runs: Vec<PointMeasurement> = (0..repeats.max(1))
+            .map(|_| self.run_point(t_clients, a_clients))
+            .collect();
+        PointMeasurement::average(runs)
+    }
+
+    /// Measures one `(τ, α)` point.
+    ///
+    /// Panics if `t_clients` exceeds [`MAX_TXN_CLIENTS`] (the FRESHNESS
+    /// table is pre-sized).
+    pub fn run_point(&self, t_clients: u32, a_clients: u32) -> PointMeasurement {
+        assert!(
+            t_clients <= MAX_TXN_CLIENTS,
+            "at most {MAX_TXN_CLIENTS} transactional clients"
+        );
+        if t_clients == 0 && a_clients == 0 {
+            return PointMeasurement::zero(0, 0);
+        }
+        if self.config.reset_between_points {
+            self.reset().expect("engine reset failed");
+        }
+        let point_idx = self.points_run.fetch_add(1, Ordering::Relaxed);
+
+        let clock = BenchClock::global();
+        let phase = AtomicU8::new(PHASE_WARMUP);
+        let stop = AtomicBool::new(false);
+        let committed = AtomicU64::new(0);
+        let queries = AtomicU64::new(0);
+        let aborts = AtomicU64::new(0);
+        let freshness: Mutex<Vec<FreshnessSample>> = Mutex::new(Vec::new());
+        let txn_latency = LatencyLog::default();
+        let query_latency = LatencyLog::default();
+        let bases: Vec<u64> = self
+            .txnnums
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed) + 1)
+            .collect();
+        let registry = CommitRegistry::new(&bases);
+
+        std::thread::scope(|scope| {
+            // Transactional clients.
+            for client in 0..t_clients {
+                let engine = &*self.engine;
+                let profile = &self.profile;
+                let state = &self.state;
+                let mix = self.mix;
+                let seed = self.config.seed;
+                let phase = &phase;
+                let stop = &stop;
+                let committed = &committed;
+                let aborts = &aborts;
+                let registry = &registry;
+                let txn_latency = &txn_latency;
+                let txnnum_slot = &self.txnnums[client as usize];
+                scope.spawn(move || {
+                    let mut rng =
+                        HatRng::derive(seed, (point_idx << 16) | client as u64 | 0x7000);
+                    while !stop.load(Ordering::Relaxed) {
+                        let kind = mix.draw(&mut rng);
+                        let txnnum = txnnum_slot.load(Ordering::Relaxed) + 1;
+                        let begin = clock.now();
+                        match run_transaction(
+                            engine, profile, state, &mut rng, kind, client, txnnum,
+                        ) {
+                            Ok(_ts) => {
+                                // Client-side commit time (§4.2: "the time
+                                // when the transaction result is returned
+                                // to a client").
+                                let done = clock.now();
+                                registry.record(client, txnnum, done);
+                                txnnum_slot.store(txnnum, Ordering::Relaxed);
+                                if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
+                                    committed.fetch_add(1, Ordering::Relaxed);
+                                    txn_latency.record(kind.label(), done - begin);
+                                }
+                            }
+                            Err(e) if e.is_retryable() => {
+                                if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
+                                    aborts.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => panic!("transactional client {client}: {e}"),
+                        }
+                    }
+                });
+            }
+
+            // Analytical clients.
+            for client in 0..a_clients {
+                let engine = &*self.engine;
+                let seed = self.config.seed;
+                let phase = &phase;
+                let stop = &stop;
+                let queries = &queries;
+                let freshness = &freshness;
+                let registry = &registry;
+                let query_latency = &query_latency;
+                scope.spawn(move || {
+                    let mut rng =
+                        HatRng::derive(seed, (point_idx << 16) | client as u64 | 0xA000);
+                    'outer: loop {
+                        // §5.3: batches of all 13 queries, randomly
+                        // permuted, back to back.
+                        for qid in query_batch(&mut rng) {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'outer;
+                            }
+                            let spec = ssb::query(qid);
+                            let start = clock.now();
+                            let out = engine
+                                .run_query(&spec)
+                                .expect("analytical query failed");
+                            let done = clock.now();
+                            let score = score_query(start, &out.freshness, registry);
+                            if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
+                                queries.fetch_add(1, Ordering::Relaxed);
+                                freshness.lock().push(score);
+                                query_latency.record(qid.label(), done - start);
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Coordinator: warm up, measure, stop.
+            std::thread::sleep(self.config.warmup);
+            let t0 = clock.now();
+            phase.store(PHASE_MEASURE, Ordering::Relaxed);
+            std::thread::sleep(self.config.measure);
+            phase.store(PHASE_DONE, Ordering::Relaxed);
+            let t1 = clock.now();
+            stop.store(true, Ordering::Relaxed);
+            // Scope joins all clients here.
+            (t0, t1)
+        });
+
+        let elapsed = self.config.measure.as_secs_f64();
+        let committed = committed.load(Ordering::Relaxed);
+        let queries = queries.load(Ordering::Relaxed);
+        PointMeasurement {
+            t_clients,
+            a_clients,
+            tps: committed as f64 / elapsed,
+            qps: queries as f64 / elapsed,
+            committed,
+            queries,
+            aborts: aborts.load(Ordering::Relaxed),
+            freshness: freshness.into_inner(),
+            measured_secs: elapsed,
+            txn_latency: txn_latency.summarize(),
+            query_latency: query_latency.summarize(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, ScaleFactor};
+    use hat_engine::{EngineConfig, ShdEngine};
+
+    fn tiny_harness() -> Harness {
+        let data = generate(ScaleFactor(0.0008), 21);
+        let engine = ShdEngine::new(EngineConfig::default());
+        data.load_into(&engine).unwrap();
+        Harness::new(
+            Arc::new(engine),
+            data.profile.clone(),
+            BenchmarkConfig {
+                warmup: Duration::from_millis(30),
+                measure: Duration::from_millis(120),
+                seed: 99,
+                reset_between_points: true,
+            },
+        )
+    }
+
+    #[test]
+    fn pure_txn_point_produces_throughput() {
+        let h = tiny_harness();
+        let m = h.run_point(2, 0);
+        assert!(m.tps > 0.0, "committed {} in {}s", m.committed, m.measured_secs);
+        assert_eq!(m.qps, 0.0);
+        assert_eq!(m.t_clients, 2);
+        assert!(m.freshness.is_empty());
+    }
+
+    #[test]
+    fn pure_analytic_point_produces_queries() {
+        let h = tiny_harness();
+        let m = h.run_point(0, 2);
+        assert!(m.qps > 0.0, "{} queries", m.queries);
+        assert_eq!(m.tps, 0.0);
+    }
+
+    #[test]
+    fn mixed_point_measures_both_and_scores_freshness() {
+        let h = tiny_harness();
+        let m = h.run_point(2, 1);
+        assert!(m.tps > 0.0);
+        assert!(m.qps > 0.0);
+        assert_eq!(m.freshness.len() as u64, m.queries);
+        // Shared engine: freshness must be (essentially) zero.
+        let agg = crate::freshness::FreshnessAgg::from_samples(&m.freshness);
+        assert!(agg.p99 < 0.005, "shared design is fresh, saw p99={}", agg.p99);
+    }
+
+    #[test]
+    fn latency_stats_collected_per_label() {
+        let h = tiny_harness();
+        let m = h.run_point(2, 1);
+        assert!(!m.txn_latency.is_empty(), "txn latencies recorded");
+        assert!(!m.query_latency.is_empty(), "query latencies recorded");
+        let total: u64 = m.txn_latency.iter().map(|(_, s)| s.count).sum();
+        assert_eq!(total, m.committed);
+        let qtotal: u64 = m.query_latency.iter().map(|(_, s)| s.count).sum();
+        assert_eq!(qtotal, m.queries);
+        for (label, stats) in m.txn_latency.iter().chain(&m.query_latency) {
+            assert!(stats.mean_ms > 0.0, "{label}");
+            assert!(stats.p95_ms >= stats.mean_ms * 0.1, "{label}");
+            assert!(stats.max_ms >= stats.p95_ms, "{label}");
+        }
+    }
+
+    #[test]
+    fn averaging_repeated_points() {
+        let h = tiny_harness();
+        let avg = h.run_point_avg(1, 1, 2);
+        assert!(avg.tps > 0.0);
+        assert_eq!(avg.freshness.len() as u64, avg.queries, "samples concatenated");
+        // Synthetic check of the math.
+        let mut a = PointMeasurement::zero(1, 0);
+        a.tps = 10.0;
+        a.committed = 10;
+        let mut b = PointMeasurement::zero(1, 0);
+        b.tps = 20.0;
+        b.committed = 20;
+        let m = PointMeasurement::average(vec![a, b]);
+        assert_eq!(m.tps, 15.0);
+        assert_eq!(m.committed, 30);
+    }
+
+    #[test]
+    fn origin_point_is_zero() {
+        let h = tiny_harness();
+        let m = h.run_point(0, 0);
+        assert_eq!(m.tps, 0.0);
+        assert_eq!(m.qps, 0.0);
+    }
+
+    #[test]
+    fn reset_between_points_keeps_results_stable() {
+        let h = tiny_harness();
+        let a = h.run_point(1, 0);
+        let b = h.run_point(1, 0);
+        assert!(a.tps > 0.0 && b.tps > 0.0);
+        // Same initial state both times: throughputs within 5x of each
+        // other (loose CI-safe check; the point is no systematic collapse
+        // from unreset growth).
+        let ratio = a.tps.max(b.tps) / a.tps.min(b.tps);
+        assert!(ratio < 5.0, "tps {} vs {}", a.tps, b.tps);
+    }
+}

@@ -1,0 +1,48 @@
+//! `hattrick` — the HATtrick HTAP benchmark (the paper's contribution).
+//!
+//! * [`gen`] — SSB-based data generation at a configurable scale factor.
+//! * [`workload`] — the three HATtrick transactions (New Order, Payment,
+//!   Count Orders) and the 13-query analytical batches.
+//! * [`harness`] — client drivers, warm-up/measurement phases, commit-time
+//!   registry, and per-operating-point measurement.
+//! * [`freshness`] — freshness-score computation and aggregation (§4).
+//! * [`frontier`] — the saturation method, grid graph, throughput frontier,
+//!   proportional line/bounding box annotations, and the design-category
+//!   classifier (§3).
+//! * [`report`] — text/CSV rendering of frontiers, grids, and CDFs.
+//!
+//! Quick start:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hattrick::gen::{generate, ScaleFactor};
+//! use hattrick::harness::{BenchmarkConfig, Harness};
+//! use hat_engine::{EngineConfig, ShdEngine};
+//!
+//! let data = generate(ScaleFactor(0.0005), 42);
+//! let engine = ShdEngine::new(EngineConfig::default());
+//! data.load_into(&engine).unwrap();
+//! let mut cfg = BenchmarkConfig::default();
+//! cfg.warmup = std::time::Duration::from_millis(20);
+//! cfg.measure = std::time::Duration::from_millis(60);
+//! let harness = Harness::new(Arc::new(engine), data.profile.clone(), cfg);
+//! let point = harness.run_point(1, 1);
+//! assert!(point.tps > 0.0 && point.qps > 0.0);
+//! ```
+
+pub mod freshness;
+pub mod frontier;
+pub mod gen;
+pub mod harness;
+pub mod report;
+pub mod svg;
+pub mod workload;
+
+pub use freshness::{cdf, score_query, CommitRegistry, FreshnessAgg, FreshnessSample};
+pub use frontier::{
+    build_grid, classify, find_saturation, sample_random, FixedKind, Frontier,
+    FrontierPoint, GridGraph, GridLine, SaturationConfig, ShapeClass,
+};
+pub use gen::{generate, DataProfile, GeneratedData, ScaleFactor, MAX_TXN_CLIENTS};
+pub use harness::{BenchmarkConfig, Harness, PointMeasurement};
+pub use workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};

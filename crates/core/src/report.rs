@@ -1,0 +1,231 @@
+//! Rendering of benchmark results: CSV series for plotting and ASCII
+//! charts for terminal inspection.
+//!
+//! The paper communicates its metrics through three plot families — the
+//! fixed-T lines, the fixed-A lines, and the throughput frontier with its
+//! proportional-line and bounding-box annotations, plus freshness CDFs.
+//! Every figure harness in `hat-bench` emits the CSV from here (one file
+//! per panel, ready for any plotting tool) and prints the ASCII chart.
+
+use std::fmt::Write as _;
+
+use crate::freshness::FreshnessAgg;
+use crate::frontier::{classify, FixedKind, Frontier, GridGraph};
+
+/// CSV of a frontier: `t_clients,a_clients,tps,qps`.
+pub fn frontier_csv(frontier: &Frontier) -> String {
+    let mut out = String::from("t_clients,a_clients,tps,qps\n");
+    for p in &frontier.points {
+        let _ = writeln!(out, "{},{},{:.2},{:.3}", p.t_clients, p.a_clients, p.t, p.a);
+    }
+    out
+}
+
+/// CSV of a grid graph: `kind,fixed_clients,t_clients,a_clients,tps,qps`.
+pub fn grid_csv(grid: &GridGraph) -> String {
+    let mut out = String::from("kind,fixed_clients,t_clients,a_clients,tps,qps\n");
+    for line in grid.fixed_t.iter().chain(&grid.fixed_a) {
+        let kind = match line.kind {
+            FixedKind::FixedT => "fixed-T",
+            FixedKind::FixedA => "fixed-A",
+        };
+        for p in &line.points {
+            let _ = writeln!(
+                out,
+                "{kind},{},{},{},{:.2},{:.3}",
+                line.fixed_clients, p.t_clients, p.a_clients, p.t, p.a
+            );
+        }
+    }
+    out
+}
+
+/// CSV of an empirical CDF: `seconds,fraction`.
+pub fn cdf_csv(points: &[(f64, f64)]) -> String {
+    let mut out = String::from("seconds,fraction\n");
+    for (s, f) in points {
+        let _ = writeln!(out, "{s:.6},{f:.6}");
+    }
+    out
+}
+
+/// A named series for ASCII plotting.
+pub struct Series<'a> {
+    pub name: &'a str,
+    pub marker: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a terminal scatter plot with axes.
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series<'_>],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(8);
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = ((x / x_max) * (width - 1) as f64).round() as usize;
+            let row = ((y / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            let cell = &mut canvas[row.min(height - 1)][col.min(width - 1)];
+            // First series wins collisions except over blanks.
+            if *cell == ' ' {
+                *cell = s.marker;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{y_label} (max {y_max:.2})");
+    for row in canvas {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "|{line}");
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    let _ = writeln!(out, " {x_label} (max {x_max:.2})");
+    for s in series {
+        let _ = writeln!(out, "   {} = {}", s.marker, s.name);
+    }
+    out
+}
+
+/// Renders a frontier chart with its proportional line annotation.
+pub fn frontier_ascii(name: &str, frontier: &Frontier) -> String {
+    let prop: Vec<(f64, f64)> = (0..=20)
+        .map(|i| {
+            let t = frontier.x_t * i as f64 / 20.0;
+            (t, frontier.proportional_at(t))
+        })
+        .collect();
+    let pts: Vec<(f64, f64)> = frontier.points.iter().map(|p| (p.t, p.a)).collect();
+    ascii_plot(
+        &format!("throughput frontier — {name}"),
+        "T throughput (tps)",
+        "A throughput (qps)",
+        &[
+            Series { name: "frontier", marker: 'o', points: pts },
+            Series { name: "proportional line", marker: '.', points: prop },
+        ],
+        64,
+        20,
+    )
+}
+
+/// One-paragraph interpretation of a frontier + freshness result, in the
+/// paper's vocabulary (§6.7: HATtrick "combines the above information into
+/// a few simple metrics and presents them in a user friendly way").
+pub fn summary(name: &str, frontier: &Frontier, freshness: &FreshnessAgg) -> String {
+    let shape = classify(frontier);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {name} ==");
+    let _ = writeln!(
+        out,
+        "  X_T = {:.1} tps, X_A = {:.2} qps, frontier area ratio = {:.3}",
+        frontier.x_t,
+        frontier.x_a,
+        frontier.area_ratio()
+    );
+    let _ = writeln!(out, "  shape: {}", shape.describe());
+    if freshness.count > 0 {
+        let _ = writeln!(
+            out,
+            "  freshness: mean {:.4}s, p99 {:.4}s, max {:.4}s, {:.0}% fresh",
+            freshness.mean,
+            freshness.p99,
+            freshness.max,
+            freshness.zero_fraction * 100.0
+        );
+    } else {
+        let _ = writeln!(out, "  freshness: no samples");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::FrontierPoint;
+
+    fn frontier() -> Frontier {
+        Frontier::from_points(vec![
+            FrontierPoint { t: 100.0, a: 0.0, t_clients: 4, a_clients: 0 },
+            FrontierPoint { t: 60.0, a: 6.0, t_clients: 2, a_clients: 2 },
+            FrontierPoint { t: 0.0, a: 10.0, t_clients: 0, a_clients: 4 },
+        ])
+    }
+
+    #[test]
+    fn frontier_csv_has_header_and_rows() {
+        let csv = frontier_csv(&frontier());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_clients,a_clients,tps,qps");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("2,2,60.00,6.000"));
+    }
+
+    #[test]
+    fn cdf_csv_rows() {
+        let csv = cdf_csv(&[(0.0, 0.5), (1.5, 1.0)]);
+        assert!(csv.contains("seconds,fraction"));
+        assert!(csv.contains("1.500000,1.000000"));
+    }
+
+    #[test]
+    fn ascii_plot_contains_markers_and_legend() {
+        let plot = ascii_plot(
+            "demo",
+            "x",
+            "y",
+            &[Series { name: "stuff", marker: '*', points: vec![(1.0, 1.0), (2.0, 0.5)] }],
+            32,
+            10,
+        );
+        assert!(plot.contains('*'));
+        assert!(plot.contains("demo"));
+        assert!(plot.contains("* = stuff"));
+        assert!(plot.contains("max 2.00"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_series() {
+        let plot = ascii_plot("empty", "x", "y", &[], 20, 8);
+        assert!(plot.contains("empty"));
+    }
+
+    #[test]
+    fn frontier_ascii_draws_both_series() {
+        let plot = frontier_ascii("test-engine", &frontier());
+        assert!(plot.contains('o'));
+        assert!(plot.contains('.'));
+        assert!(plot.contains("proportional line"));
+    }
+
+    #[test]
+    fn summary_reports_metrics() {
+        let agg = FreshnessAgg::from_samples(&[0.0, 0.1, 0.2]);
+        let s = summary("engine-x", &frontier(), &agg);
+        assert!(s.contains("engine-x"));
+        assert!(s.contains("X_T = 100.0"));
+        assert!(s.contains("p99"));
+        let s = summary("engine-y", &frontier(), &FreshnessAgg::default());
+        assert!(s.contains("no samples"));
+    }
+}

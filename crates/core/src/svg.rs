@@ -1,0 +1,378 @@
+//! Dependency-free SVG rendering of the paper's plot families: throughput
+//! frontiers with proportional-line and bounding-box annotations, grid
+//! graphs (fixed-T / fixed-A line families), and freshness CDFs.
+//!
+//! The `figures` harness writes one SVG per panel next to its CSV, so a
+//! run's output is viewable without any plotting toolchain.
+
+use std::fmt::Write as _;
+
+use crate::frontier::{FixedKind, Frontier, GridGraph};
+
+/// Chart geometry.
+const W: f64 = 640.0;
+const H: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// A named line/scatter series.
+pub struct SvgSeries<'a> {
+    pub name: &'a str,
+    pub color: &'a str,
+    /// Draw a connecting polyline (in addition to point markers).
+    pub line: bool,
+    /// Dash pattern (e.g. `"6,4"`) or empty for solid.
+    pub dash: &'a str,
+    pub points: Vec<(f64, f64)>,
+}
+
+struct Scale {
+    x_max: f64,
+    y_max: f64,
+}
+
+impl Scale {
+    fn x(&self, v: f64) -> f64 {
+        MARGIN_L + (v / self.x_max) * (W - MARGIN_L - MARGIN_R)
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        H - MARGIN_B - (v / self.y_max) * (H - MARGIN_T - MARGIN_B)
+    }
+}
+
+/// Default categorical palette (color-blind-safe-ish).
+pub const PALETTE: [&str; 6] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+
+fn axis_ticks(max: f64) -> Vec<f64> {
+    if max <= 0.0 {
+        return vec![0.0];
+    }
+    // A "nice" step: 1/2/5 × 10^k giving 4-8 ticks.
+    let raw = max / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| max / s <= 6.0)
+        .unwrap_or(mag * 10.0);
+    let mut ticks = Vec::new();
+    let mut v = 0.0;
+    while v <= max * 1.0001 {
+        ticks.push(v);
+        v += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a multi-series chart into an SVG string.
+pub fn chart(title: &str, x_label: &str, y_label: &str, series: &[SvgSeries<'_>]) -> String {
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let sc = Scale { x_max: x_max * 1.05, y_max: y_max * 1.05 };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+        W / 2.0,
+        escape(title)
+    );
+
+    // Axes.
+    let (x0, y0) = (MARGIN_L, H - MARGIN_B);
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+        W - MARGIN_R
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{MARGIN_T}" stroke="black"/>"#
+    );
+    for t in axis_ticks(sc.x_max) {
+        let x = sc.x(t);
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{y0}" x2="{x}" y2="{}" stroke="black"/><text x="{x}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+            y0 + 5.0,
+            y0 + 18.0,
+            fmt_tick(t)
+        );
+    }
+    for t in axis_ticks(sc.y_max) {
+        let y = sc.y(t);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/><text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"#,
+            x0 - 5.0,
+            x0 - 8.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+        (MARGIN_L + W - MARGIN_R) / 2.0,
+        H - 12.0,
+        escape(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        (MARGIN_T + H - MARGIN_B) / 2.0,
+        (MARGIN_T + H - MARGIN_B) / 2.0,
+        escape(y_label)
+    );
+
+    // Series.
+    for s in series {
+        if s.line && s.points.len() > 1 {
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sc.x(x), sc.y(y)))
+                .collect();
+            let dash = if s.dash.is_empty() {
+                String::new()
+            } else {
+                format!(r#" stroke-dasharray="{}""#, s.dash)
+            };
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"{dash}/>"#,
+                path.join(" "),
+                s.color
+            );
+        }
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="{}"/>"#,
+                sc.x(x),
+                sc.y(y),
+                s.color
+            );
+        }
+    }
+
+    // Legend (entries with empty names are hidden — used by the grid
+    // chart to avoid repeating a family label per line).
+    let mut ly = MARGIN_T + 8.0;
+    for s in series {
+        if s.name.is_empty() {
+            continue;
+        }
+        let lx = W - MARGIN_R - 170.0;
+        let _ = write!(
+            svg,
+            r#"<rect x="{lx}" y="{}" width="12" height="12" fill="{}"/><text x="{}" y="{}" font-size="12">{}</text>"#,
+            ly - 10.0,
+            s.color,
+            lx + 18.0,
+            ly,
+            escape(s.name)
+        );
+        ly += 18.0;
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+/// A frontier chart with proportional line and bounding box (Figure 2's
+/// style).
+pub fn frontier_svg(title: &str, frontiers: &[(&str, &Frontier)]) -> String {
+    let mut series = Vec::new();
+    for (i, (name, f)) in frontiers.iter().enumerate() {
+        series.push(SvgSeries {
+            name,
+            color: PALETTE[i % PALETTE.len()],
+            line: true,
+            dash: "",
+            points: f.points.iter().map(|p| (p.t, p.a)).collect(),
+        });
+    }
+    // Annotations from the first frontier.
+    if let Some((_, f)) = frontiers.first() {
+        series.push(SvgSeries {
+            name: "proportional line",
+            color: "#555555",
+            line: true,
+            dash: "6,4",
+            points: vec![(0.0, f.x_a), (f.x_t, 0.0)],
+        });
+        series.push(SvgSeries {
+            name: "bounding box",
+            color: "#bbbbbb",
+            line: true,
+            dash: "2,3",
+            points: vec![(0.0, f.x_a), (f.x_t, f.x_a), (f.x_t, 0.0)],
+        });
+    }
+    chart(title, "T throughput (tps)", "A throughput (qps)", &series)
+}
+
+/// A grid-graph chart: every fixed-T and fixed-A line (Figure 2a's style).
+pub fn grid_svg(title: &str, grid: &GridGraph) -> String {
+    let mut series = Vec::new();
+    for (family, color) in
+        [(&grid.fixed_t, PALETTE[0]), (&grid.fixed_a, PALETTE[1])]
+    {
+        for line in family.iter() {
+            let name = match line.kind {
+                FixedKind::FixedT => "fixed-T lines",
+                FixedKind::FixedA => "fixed-A lines",
+            };
+            series.push(SvgSeries {
+                name,
+                color,
+                line: true,
+                dash: "",
+                points: line.points.iter().map(|p| (p.t, p.a)).collect(),
+            });
+        }
+    }
+    // Deduplicate legend entries by keeping names only on the first of
+    // each family (the chart function prints every entry; cheap fix:
+    // blank the repeats).
+    let mut seen = std::collections::HashSet::new();
+    for s in &mut series {
+        if !seen.insert(s.name) {
+            s.name = "";
+        }
+    }
+    series.retain(|s| !s.points.is_empty());
+    chart(title, "T throughput (tps)", "A throughput (qps)", &series)
+}
+
+/// A freshness-CDF chart (Figure 8b's style).
+pub fn cdf_svg(title: &str, cdfs: &[(&str, &[(f64, f64)])]) -> String {
+    let series: Vec<SvgSeries> = cdfs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, points))| SvgSeries {
+            name,
+            color: PALETTE[i % PALETTE.len()],
+            line: true,
+            dash: "",
+            points: points.to_vec(),
+        })
+        .collect();
+    chart(title, "freshness score (s)", "fraction of queries", &series)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::FrontierPoint;
+
+    fn frontier() -> Frontier {
+        Frontier::from_points(vec![
+            FrontierPoint { t: 100.0, a: 0.0, t_clients: 4, a_clients: 0 },
+            FrontierPoint { t: 60.0, a: 6.0, t_clients: 2, a_clients: 2 },
+            FrontierPoint { t: 0.0, a: 10.0, t_clients: 0, a_clients: 4 },
+        ])
+    }
+
+    #[test]
+    fn chart_is_wellformed_svg() {
+        let svg = chart(
+            "demo <title>",
+            "x",
+            "y",
+            &[SvgSeries {
+                name: "s&1",
+                color: "#123456",
+                line: true,
+                dash: "",
+                points: vec![(0.0, 1.0), (2.0, 3.0)],
+            }],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("demo &lt;title&gt;"), "title escaped");
+        assert!(svg.contains("s&amp;1"), "legend escaped");
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        // Balanced tag count sanity.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn frontier_svg_includes_annotations() {
+        let f = frontier();
+        let svg = frontier_svg("panel", &[("engine-a", &f)]);
+        assert!(svg.contains("proportional line"));
+        assert!(svg.contains("bounding box"));
+        assert!(svg.contains("engine-a"));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn multi_frontier_uses_distinct_colors() {
+        let f1 = frontier();
+        let f2 = frontier();
+        let svg = frontier_svg("cmp", &[("a", &f1), ("b", &f2)]);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn cdf_svg_renders_all_series() {
+        let a = [(0.0, 0.5), (1.0, 1.0)];
+        let b = [(0.0, 0.2), (2.0, 1.0)];
+        let svg = cdf_svg("cdfs", &[("20:80", &a), ("80:20", &b)]);
+        assert!(svg.contains("20:80"));
+        assert!(svg.contains("80:20"));
+    }
+
+    #[test]
+    fn ticks_are_nice() {
+        let t = axis_ticks(100.0);
+        assert_eq!(t.first(), Some(&0.0));
+        assert!(t.len() >= 4 && t.len() <= 8, "{t:?}");
+        let t = axis_ticks(7.3);
+        assert!(t.iter().all(|v| *v <= 7.31));
+        assert_eq!(axis_ticks(0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(25000.0), "25k");
+        assert_eq!(fmt_tick(12.0), "12");
+        assert_eq!(fmt_tick(0.25), "0.25");
+    }
+}

@@ -1,0 +1,454 @@
+//! The HATtrick workload (§5.2): three TPC-C-style transactions and
+//! randomly permuted batches of the 13 SSB queries.
+//!
+//! Transactions are written once against the [`hat_engine::Session`] trait
+//! and run unchanged on every engine. Each transaction additionally updates
+//! its client's `FRESHNESS` row with the transaction's per-client sequence
+//! number (§4.2) — the hook the freshness measurement hangs off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hat_common::dates;
+use hat_common::ids::{customer, history, part, supplier, TableId};
+use hat_common::rng::HatRng;
+use hat_common::value::{row_from, row_with};
+use hat_common::{HatError, Money, Result, Row, Value};
+use hat_engine::{HtapEngine, NamedIndex};
+use hat_query::spec::QueryId;
+use hat_txn::Ts;
+
+use crate::gen::{customer_name, random_date_key, supplier_name, DataProfile};
+
+/// The three HATtrick transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    CountOrders,
+}
+
+impl TxnKind {
+    /// Label used in per-transaction latency reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TxnKind::NewOrder => "new-order",
+            TxnKind::Payment => "payment",
+            TxnKind::CountOrders => "count-orders",
+        }
+    }
+}
+
+/// The transaction mix. The paper fixes 48% New Order, 48% Payment, 4%
+/// Count Orders (§5.3); custom mixes are supported for ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnMix {
+    pub new_order: u32,
+    pub payment: u32,
+    pub count_orders: u32,
+}
+
+impl Default for TxnMix {
+    fn default() -> Self {
+        TxnMix { new_order: 48, payment: 48, count_orders: 4 }
+    }
+}
+
+impl TxnMix {
+    /// Draws a transaction type.
+    pub fn draw(&self, rng: &mut HatRng) -> TxnKind {
+        match rng.weighted(&[self.new_order, self.payment, self.count_orders]) {
+            0 => TxnKind::NewOrder,
+            1 => TxnKind::Payment,
+            _ => TxnKind::CountOrders,
+        }
+    }
+}
+
+/// Shared mutable workload state: the order-key allocator.
+///
+/// Order keys must be globally unique across T-clients; aborted
+/// transactions burn keys, which is harmless.
+pub struct WorkloadState {
+    next_orderkey: AtomicU64,
+    initial: u64,
+}
+
+impl WorkloadState {
+    /// Starts allocating after the loaded population's highest key.
+    pub fn new(profile: &DataProfile) -> Self {
+        WorkloadState {
+            next_orderkey: AtomicU64::new(profile.max_orderkey + 1),
+            initial: profile.max_orderkey + 1,
+        }
+    }
+
+    /// Allocates the next order key.
+    pub fn take_orderkey(&self) -> u64 {
+        self.next_orderkey.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Benchmark reset: restart after the loaded population (the engine's
+    /// own reset truncated the appended orders away).
+    pub fn reset(&self) {
+        self.next_orderkey.store(self.initial, Ordering::Relaxed);
+    }
+}
+
+/// Executes one transaction of `kind` for client `client` whose per-client
+/// sequence number is `txnnum`. Returns the commit timestamp.
+///
+/// Retryable errors ([`HatError::is_retryable`]) mean the driver should run
+/// a fresh transaction; other errors are bugs.
+pub fn run_transaction(
+    engine: &dyn HtapEngine,
+    profile: &DataProfile,
+    state: &WorkloadState,
+    rng: &mut HatRng,
+    kind: TxnKind,
+    client: u32,
+    txnnum: u64,
+) -> Result<Ts> {
+    match kind {
+        TxnKind::NewOrder => new_order(engine, profile, state, rng, client, txnnum),
+        TxnKind::Payment => payment(engine, profile, rng, client, txnnum),
+        TxnKind::CountOrders => count_orders(engine, profile, rng, client, txnnum),
+    }
+}
+
+/// Appends the freshness-table update all transactions carry (§4.2). The
+/// FRESHNESS row id equals the client id (one pre-loaded row per client).
+fn touch_freshness(
+    session: &mut Box<dyn hat_engine::Session + '_>,
+    client: u32,
+    txnnum: u64,
+) -> Result<()> {
+    session.update(
+        TableId::Freshness,
+        client as u64,
+        row_from([Value::U32(client), Value::U64(txnnum)]),
+    )
+}
+
+/// §5.2.1 New Order: read CUSTOMER/PART/SUPPLIER/DATE, insert a complete
+/// order of 1–7 lineorders with prices computed from `P_PRICE`.
+fn new_order(
+    engine: &dyn HtapEngine,
+    profile: &DataProfile,
+    state: &WorkloadState,
+    rng: &mut HatRng,
+    client: u32,
+    txnnum: u64,
+) -> Result<Ts> {
+    let mut s = engine.begin();
+    let cname = customer_name(rng.range_u32(1, profile.customers));
+    let Some((_, cust_row)) = s.lookup_str(NamedIndex::CustomerName, &cname)? else {
+        s.abort();
+        return Err(HatError::NotFound { table: "customer" });
+    };
+    let custkey = cust_row[customer::CUSTKEY].as_u32()?;
+
+    let orderdate = random_date_key(rng);
+    let Some((_, _date_row)) = s.lookup_u32(NamedIndex::DatePk, orderdate)? else {
+        s.abort();
+        return Err(HatError::NotFound { table: "date" });
+    };
+
+    let n_lines = rng.range_u32(1, 7);
+    // First pass: read parts and compute the order total.
+    let mut lines = Vec::with_capacity(n_lines as usize);
+    let mut total = Money::ZERO;
+    for line_no in 1..=n_lines {
+        let partkey = rng.range_u32(1, profile.parts);
+        let Some((_, part_row)) = s.lookup_u32(NamedIndex::PartPk, partkey)? else {
+            s.abort();
+            return Err(HatError::NotFound { table: "part" });
+        };
+        let price = part_row[part::PRICE].as_money()?;
+        let sname = supplier_name(rng.range_u32(1, profile.suppliers));
+        let Some((_, supp_row)) = s.lookup_str(NamedIndex::SupplierName, &sname)? else {
+            s.abort();
+            return Err(HatError::NotFound { table: "supplier" });
+        };
+        let suppkey = supp_row[supplier::SUPPKEY].as_u32()?;
+        let quantity = rng.range_u32(1, 50);
+        let extended = price * quantity as i64;
+        total += extended;
+        lines.push((line_no, partkey, suppkey, quantity, extended));
+    }
+
+    let orderkey = state.take_orderkey();
+    let priority = ORDER_PRIORITIES[rng.index(ORDER_PRIORITIES.len())];
+    let ship_mode_pool = SHIP_MODES;
+    for (line_no, partkey, suppkey, quantity, extended) in lines {
+        let discount = rng.range_u32(0, 10);
+        let tax = rng.range_u32(0, 8);
+        let revenue = extended.pct(100 - discount as i64);
+        let supplycost = extended.pct(60);
+        let commitdate = dates::add_days(orderdate, rng.range_u32(30, 90));
+        s.insert(
+            TableId::Lineorder,
+            row_from([
+                Value::U64(orderkey),
+                Value::U32(line_no),
+                Value::U32(custkey),
+                Value::U32(partkey),
+                Value::U32(suppkey),
+                Value::U32(orderdate),
+                Value::from(priority),
+                Value::from("0"),
+                Value::U32(quantity),
+                Value::Money(extended),
+                Value::Money(total),
+                Value::U32(discount),
+                Value::Money(revenue),
+                Value::Money(supplycost),
+                Value::U32(tax),
+                Value::U32(commitdate),
+                Value::from(ship_mode_pool[rng.index(ship_mode_pool.len())]),
+            ]),
+        )?;
+    }
+    touch_freshness(&mut s, client, txnnum)?;
+    s.commit()
+}
+
+const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] =
+    ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+/// §5.2.1 Payment: select the customer by name 60% of the time (key
+/// otherwise), bump `C_PAYMENTCNT` and the supplier's `S_YTD`, insert the
+/// payment into HISTORY.
+fn payment(
+    engine: &dyn HtapEngine,
+    profile: &DataProfile,
+    rng: &mut HatRng,
+    client: u32,
+    txnnum: u64,
+) -> Result<Ts> {
+    let mut s = engine.begin();
+    let custkey = rng.range_u32(1, profile.customers);
+    let lookup = if rng.chance(0.6) {
+        s.lookup_str(NamedIndex::CustomerName, &customer_name(custkey))?
+    } else {
+        s.lookup_u32(NamedIndex::CustomerPk, custkey)?
+    };
+    let Some((crid, cust_row)) = lookup else {
+        s.abort();
+        return Err(HatError::NotFound { table: "customer" });
+    };
+    let paycnt = cust_row[customer::PAYMENTCNT].as_u32()?;
+    s.update(
+        TableId::Customer,
+        crid,
+        row_with(&cust_row, customer::PAYMENTCNT, Value::U32(paycnt + 1)),
+    )?;
+
+    // The order being paid for: a previously created order of this
+    // customer, approximated by a uniformly random existing order key.
+    let orderkey = rng.range_u64(1, profile.max_orderkey);
+    let amount = Money::from_cents(rng.range_u64(100, 500_000) as i64);
+
+    let suppkey = rng.range_u32(1, profile.suppliers);
+    let Some((srid, supp_row)) = s.lookup_u32(NamedIndex::SupplierPk, suppkey)? else {
+        s.abort();
+        return Err(HatError::NotFound { table: "supplier" });
+    };
+    let ytd = supp_row[supplier::YTD].as_money()?;
+    s.update(
+        TableId::Supplier,
+        srid,
+        row_with(&supp_row, supplier::YTD, Value::Money(ytd + amount)),
+    )?;
+
+    s.insert(
+        TableId::History,
+        row_from([Value::U64(orderkey), Value::U32(custkey), Value::Money(amount)]),
+    )?;
+    touch_freshness(&mut s, client, txnnum)?;
+    s.commit()
+}
+
+/// §5.2.1 Count Orders: report the number of orders of a customer selected
+/// by name (secondary-index seek), counting in LINEORDER.
+fn count_orders(
+    engine: &dyn HtapEngine,
+    profile: &DataProfile,
+    rng: &mut HatRng,
+    client: u32,
+    txnnum: u64,
+) -> Result<Ts> {
+    let mut s = engine.begin();
+    let cname = customer_name(rng.range_u32(1, profile.customers));
+    let Some((_, cust_row)) = s.lookup_str(NamedIndex::CustomerName, &cname)? else {
+        s.abort();
+        return Err(HatError::NotFound { table: "customer" });
+    };
+    let custkey = cust_row[customer::CUSTKEY].as_u32()?;
+    let _count = s.count_orders(custkey)?;
+    touch_freshness(&mut s, client, txnnum)?;
+    s.commit()
+}
+
+/// A randomly permuted batch of the 13 SSB queries (§5.3: "an A batch
+/// contains all the 13 queries ordered randomly").
+pub fn query_batch(rng: &mut HatRng) -> Vec<QueryId> {
+    rng.permutation(13).into_iter().map(|i| QueryId::ALL[i]).collect()
+}
+
+/// Sanity accessor used by invariant tests: the sum of `H_AMOUNT` over
+/// HISTORY rows a payment run inserted must equal the sum of `S_YTD`
+/// deltas. (Helper for building expected values from rows.)
+pub fn history_amount(row: &Row) -> Money {
+    row[history::AMOUNT].as_money().expect("typed history row")
+}
+
+// Re-export for tests that need the fact column ids.
+pub use hat_common::ids::lineorder as lineorder_cols;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, ScaleFactor};
+    use hat_common::ids::lineorder;
+    use hat_engine::{EngineConfig, ShdEngine};
+
+    fn tiny_engine() -> (ShdEngine, DataProfile, WorkloadState) {
+        let data = generate(ScaleFactor(0.0008), 11);
+        let engine = ShdEngine::new(EngineConfig::default());
+        data.load_into(&engine).unwrap();
+        let state = WorkloadState::new(&data.profile);
+        (engine, data.profile.clone(), state)
+    }
+
+    #[test]
+    fn mix_draw_follows_weights() {
+        let mix = TxnMix::default();
+        let mut rng = HatRng::seeded(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            match mix.draw(&mut rng) {
+                TxnKind::NewOrder => counts[0] += 1,
+                TxnKind::Payment => counts[1] += 1,
+                TxnKind::CountOrders => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.48).abs() < 0.02);
+        assert!((counts[2] as f64 / 10_000.0 - 0.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn new_order_inserts_lines_and_bumps_freshness() {
+        let (engine, profile, state) = tiny_engine();
+        let mut rng = HatRng::seeded(1);
+        let before = engine.kernel().db.store(TableId::Lineorder).slot_count();
+        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 3, 1)
+            .unwrap();
+        let after = engine.kernel().db.store(TableId::Lineorder).slot_count();
+        assert!((1..=7).contains(&(after - before)), "1-7 lines inserted");
+        // Freshness row for client 3 now carries txnnum 1.
+        let ts = engine.kernel().oracle.read_ts();
+        let row = engine.kernel().db.store(TableId::Freshness).read(3, ts).unwrap();
+        assert_eq!(row[1].as_u64().unwrap(), 1);
+        // Other clients' rows untouched.
+        let row = engine.kernel().db.store(TableId::Freshness).read(4, ts).unwrap();
+        assert_eq!(row[1].as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn payment_updates_customer_supplier_history() {
+        let (engine, profile, state) = tiny_engine();
+        let mut rng = HatRng::seeded(2);
+        let h_before = engine.kernel().db.store(TableId::History).slot_count();
+        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::Payment, 0, 1)
+            .unwrap();
+        let h_after = engine.kernel().db.store(TableId::History).slot_count();
+        assert_eq!(h_after - h_before, 1);
+        // Some customer has paymentcnt 1 and some supplier has ytd > 0.
+        let ts = engine.kernel().oracle.read_ts();
+        let mut pay_total = 0u32;
+        engine.kernel().db.store(TableId::Customer).scan(ts, |_, row| {
+            pay_total += row[customer::PAYMENTCNT].as_u32().unwrap();
+        });
+        assert_eq!(pay_total, 1);
+        let mut ytd_total = Money::ZERO;
+        engine.kernel().db.store(TableId::Supplier).scan(ts, |_, row| {
+            ytd_total += row[supplier::YTD].as_money().unwrap();
+        });
+        assert!(ytd_total > Money::ZERO);
+        // Conservation: supplier YTD total equals new HISTORY amounts.
+        let mut hist_total = Money::ZERO;
+        let mut seen = 0;
+        engine.kernel().db.store(TableId::History).scan(ts, |rid, row| {
+            if rid >= h_before {
+                hist_total += history_amount(row);
+                seen += 1;
+            }
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(hist_total, ytd_total);
+    }
+
+    #[test]
+    fn count_orders_commits_and_touches_freshness() {
+        let (engine, profile, state) = tiny_engine();
+        let mut rng = HatRng::seeded(3);
+        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::CountOrders, 5, 9)
+            .unwrap();
+        let ts = engine.kernel().oracle.read_ts();
+        let row = engine.kernel().db.store(TableId::Freshness).read(5, ts).unwrap();
+        assert_eq!(row[1].as_u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn orderkeys_are_unique_across_clients() {
+        let (engine, profile, state) = tiny_engine();
+        let mut rng = HatRng::seeded(4);
+        for i in 0..20 {
+            run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
+                .unwrap();
+        }
+        let ts = engine.kernel().oracle.read_ts();
+        let mut keys = Vec::new();
+        engine.kernel().db.store(TableId::Lineorder).scan(ts, |_, row| {
+            keys.push((
+                row[lineorder::ORDERKEY].as_u64().unwrap(),
+                row[lineorder::LINENUMBER].as_u32().unwrap(),
+            ));
+        });
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "(orderkey, linenumber) unique");
+    }
+
+    #[test]
+    fn workload_state_reset_reuses_keyspace() {
+        let data = generate(ScaleFactor(0.0008), 11);
+        let state = WorkloadState::new(&data.profile);
+        let first = state.take_orderkey();
+        state.take_orderkey();
+        state.reset();
+        assert_eq!(state.take_orderkey(), first);
+    }
+
+    #[test]
+    fn query_batches_are_permutations() {
+        let mut rng = HatRng::seeded(6);
+        let batch = query_batch(&mut rng);
+        assert_eq!(batch.len(), 13);
+        let mut sorted = batch.clone();
+        sorted.sort();
+        assert_eq!(sorted, QueryId::ALL.to_vec());
+        let batch2 = query_batch(&mut rng);
+        assert_ne!(batch, batch2, "permutations vary");
+    }
+
+    #[test]
+    fn txn_labels() {
+        assert_eq!(TxnKind::NewOrder.label(), "new-order");
+        assert_eq!(TxnKind::Payment.label(), "payment");
+        assert_eq!(TxnKind::CountOrders.label(), "count-orders");
+    }
+}

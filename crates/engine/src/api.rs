@@ -1,0 +1,242 @@
+//! The engine-facing API the HATtrick workload drives.
+//!
+//! A [`Session`] is a single in-flight transaction offering typed point
+//! operations (index lookups, reads, buffered writes); [`HtapEngine`] adds
+//! bulk load, analytical query execution, benchmark reset, and stats. The
+//! workload crate is written once against these traits and runs unchanged
+//! on every engine design.
+
+use hat_common::{ColId, Result, Row, TableId};
+use hat_query::exec::QueryOutput;
+use hat_query::spec::QuerySpec;
+use hat_storage::rowstore::RowId;
+use hat_txn::{IsolationLevel, LockPolicy, Ts};
+
+/// Which B+tree indexes exist — the paper's "physical schemas" experiment
+/// (Figure 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexProfile {
+    /// No indexes at all: every lookup is a scan.
+    None,
+    /// Indexes that accelerate only the T workload: primary keys, the name
+    /// secondaries, and the lineorder-by-customer index.
+    Semi,
+    /// Everything in `Semi` plus the lineorder-by-orderdate index, which
+    /// also accelerates the date-filtered analytical queries.
+    #[default]
+    All,
+}
+
+impl IndexProfile {
+    /// Label used in figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexProfile::None => "no-indexes",
+            IndexProfile::Semi => "semi-indexes",
+            IndexProfile::All => "all-indexes",
+        }
+    }
+
+    /// Whether T-accelerating indexes exist.
+    pub fn has_txn_indexes(self) -> bool {
+        !matches!(self, IndexProfile::None)
+    }
+
+    /// Whether the analytical orderdate index exists.
+    pub fn has_analytic_indexes(self) -> bool {
+        matches!(self, IndexProfile::All)
+    }
+}
+
+/// Engine-independent configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub isolation: IsolationLevel,
+    pub indexes: IndexProfile,
+    /// Write-lock conflict policy (no-wait vs wait-die ablation).
+    pub lock_policy: LockPolicy,
+    /// Commit durability latency (WAL flush / group-commit wait), applied
+    /// after installation outside the commit critical section. Real
+    /// engines pay this on every commit; it is also what makes the
+    /// transactional workload scale with clients instead of saturating at
+    /// one (clients overlap their flush waits).
+    pub commit_latency: std::time::Duration,
+}
+
+impl EngineConfig {
+    /// Default commit durability latency (an SSD-class WAL flush).
+    pub const DEFAULT_COMMIT_LATENCY: std::time::Duration =
+        std::time::Duration::from_micros(100);
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            isolation: IsolationLevel::Serializable,
+            indexes: IndexProfile::All,
+            lock_policy: LockPolicy::NoWait,
+            commit_latency: Self::DEFAULT_COMMIT_LATENCY,
+        }
+    }
+}
+
+/// The architecture categories of §2.2, used as ground truth for the
+/// frontier-shape classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignCategory {
+    Shared,
+    Isolated,
+    Hybrid,
+}
+
+impl DesignCategory {
+    /// Label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignCategory::Shared => "shared",
+            DesignCategory::Isolated => "isolated",
+            DesignCategory::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Named secondary-access paths the workload can probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamedIndex {
+    /// `c_custkey -> rid`
+    CustomerPk,
+    /// `c_name -> rid`
+    CustomerName,
+    /// `s_suppkey -> rid`
+    SupplierPk,
+    /// `s_name -> rid`
+    SupplierName,
+    /// `p_partkey -> rid`
+    PartPk,
+    /// `d_datekey -> rid`
+    DatePk,
+    /// `(lo_custkey, rid)` composite — prefix counting for Count Orders.
+    LineorderByCustomer,
+}
+
+/// Point-in-time counters an engine exposes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub queries: u64,
+    /// Isolated engine: records shipped but not yet applied by the replica.
+    pub replication_backlog: u64,
+    /// Hybrid engines: rows currently in the columnar delta.
+    pub delta_rows: u64,
+}
+
+/// One in-flight transaction.
+///
+/// All reads observe the session's isolation level; all writes are buffered
+/// and installed atomically at [`Session::commit`].
+pub trait Session {
+    /// Point lookup through a `u32`-keyed index (or a scan fallback when
+    /// the index doesn't exist in the current [`IndexProfile`]).
+    fn lookup_u32(&mut self, index: NamedIndex, key: u32) -> Result<Option<(RowId, Row)>>;
+
+    /// Point lookup through a string-keyed index (or scan fallback).
+    fn lookup_str(&mut self, index: NamedIndex, key: &str) -> Result<Option<(RowId, Row)>>;
+
+    /// Counts visible fact rows with `lo_custkey = key` via the composite
+    /// index (or a full fact scan when absent — the Count Orders
+    /// transaction's cost under `IndexProfile::None`).
+    fn count_orders(&mut self, custkey: u32) -> Result<u64>;
+
+    /// Reads one row by id.
+    fn read(&mut self, table: TableId, rid: RowId) -> Result<Option<Row>>;
+
+    /// Buffers an insert.
+    fn insert(&mut self, table: TableId, row: Row) -> Result<()>;
+
+    /// Locks `rid` and buffers an update. Fails fast on write conflict.
+    fn update(&mut self, table: TableId, rid: RowId, row: Row) -> Result<()>;
+
+    /// Scan-based point lookup on an arbitrary `u32` column (no-index
+    /// fallback; exposed for tests and custom workloads).
+    fn scan_lookup_u32(
+        &mut self,
+        table: TableId,
+        col: ColId,
+        key: u32,
+    ) -> Result<Option<(RowId, Row)>>;
+
+    /// Commits, returning the commit timestamp.
+    fn commit(self: Box<Self>) -> Result<Ts>;
+
+    /// Aborts, releasing all locks.
+    fn abort(self: Box<Self>);
+}
+
+/// An HTAP engine under test.
+pub trait HtapEngine: Send + Sync {
+    /// Engine name used in reports ("postgres-like", "tidb-like", ...).
+    fn name(&self) -> String;
+
+    /// The architecture category this engine implements (ground truth).
+    fn design(&self) -> DesignCategory;
+
+    /// Bulk-loads rows into `table` at the load timestamp, building
+    /// indexes. Must be called before any traffic.
+    fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()>;
+
+    /// Finishes loading: seals columnar segments, starts background
+    /// workers, records loaded sizes for [`HtapEngine::reset`].
+    fn finish_load(&self) -> Result<()>;
+
+    /// Starts a transactional session.
+    fn begin(&self) -> Box<dyn Session + '_>;
+
+    /// Runs one analytical query at the engine's freshest available
+    /// snapshot, per its design (shared: current snapshot; isolated:
+    /// replica's applied horizon; hybrid: merge/wait then read).
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput>;
+
+    /// Restores the data to its initial post-load state (the paper resets
+    /// before each benchmark run, §6.1). Must be called with no concurrent
+    /// traffic.
+    fn reset(&self) -> Result<()>;
+
+    /// Current counters.
+    fn stats(&self) -> EngineStats;
+}
+
+/// Blanket helper: a handle bundling an engine reference (used by client
+/// drivers; object-safe).
+pub type TxnHandle<'a> = Box<dyn Session + 'a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_profiles() {
+        assert!(!IndexProfile::None.has_txn_indexes());
+        assert!(IndexProfile::Semi.has_txn_indexes());
+        assert!(!IndexProfile::Semi.has_analytic_indexes());
+        assert!(IndexProfile::All.has_analytic_indexes());
+        assert_eq!(IndexProfile::default(), IndexProfile::All);
+    }
+
+    #[test]
+    fn default_config_matches_paper_baseline() {
+        // §6.2 baseline: serializable isolation, all indexes.
+        let c = EngineConfig::default();
+        assert_eq!(c.isolation, IsolationLevel::Serializable);
+        assert_eq!(c.indexes, IndexProfile::All);
+        assert!(!c.commit_latency.is_zero());
+        assert_eq!(c.lock_policy, LockPolicy::NoWait);
+    }
+
+    #[test]
+    fn design_labels() {
+        assert_eq!(DesignCategory::Shared.label(), "shared");
+        assert_eq!(DesignCategory::Isolated.label(), "isolated");
+        assert_eq!(DesignCategory::Hybrid.label(), "hybrid");
+    }
+}

@@ -1,0 +1,712 @@
+//! The hybrid-design engines (§2.2): one machine, shared resources, two
+//! data formats.
+//!
+//! * [`DualEngine`] — "System-X"-like (§6.4): an OCC row store plus an
+//!   in-memory columnar copy. Committed fact rows land in a row-format
+//!   delta; every analytical query synchronously folds the delta tail up to
+//!   its start timestamp into its scan (merge-on-read), so freshness is
+//!   zero. A background thread compacts the delta into sealed compressed
+//!   segments.
+//! * [`LearnerEngine`] — TiDB-like (§6.5): commits pay simulated Raft
+//!   consensus rounds; an asynchronous *learner* thread consumes the log
+//!   and maintains the columnar copy; each analytical query performs a
+//!   read-index wait until the learner reaches the query's start timestamp,
+//!   so freshness is zero at the cost of wait latency.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hat_common::{Result, Row, TableId};
+use hat_query::exec::{execute, QueryOutput};
+use hat_query::spec::QuerySpec;
+use hat_query::view::MixedView;
+use hat_storage::colstore::{ColumnTable, DimColumnCopy};
+use hat_storage::wal::{TableOp, Wal};
+use hat_txn::{IsolationLevel, Ts, Watermark, LOAD_TS};
+use parking_lot::RwLock;
+
+use crate::api::{
+    DesignCategory, EngineConfig, EngineStats, HtapEngine, IndexProfile, Session,
+};
+use crate::kernel::{CommitHooks, RowKernel};
+use crate::netsim::NetworkLink;
+
+/// The columnar side shared by both hybrid engines: a live fact copy
+/// (insert delta) and dimension copies with update overlays.
+///
+/// HISTORY is insert-only and never scanned by the SSB queries; it stays
+/// row-format. The freshness side-read always goes to the row store at the
+/// query snapshot, which observes exactly the same committed prefix.
+struct ColumnarSide {
+    lineorder: ColumnTable,
+    dims: Vec<DimColumnCopy>,
+}
+
+impl ColumnarSide {
+    fn new() -> Self {
+        ColumnarSide {
+            lineorder: ColumnTable::new(TableId::Lineorder),
+            dims: [TableId::Customer, TableId::Supplier, TableId::Part, TableId::Date]
+                .iter()
+                .map(|&t| DimColumnCopy::new(t))
+                .collect(),
+        }
+    }
+
+    /// Builds the sealed load-time segments from the row kernel.
+    fn build_from(&self, kernel: &RowKernel) {
+        let mut rows = Vec::new();
+        kernel.db.store(TableId::Lineorder).scan(LOAD_TS, |_, row| {
+            rows.push(Arc::clone(row));
+        });
+        self.lineorder.load_segment(LOAD_TS, rows);
+        for dim in &self.dims {
+            let mut rows = Vec::new();
+            kernel.db.store(dim.table()).scan(LOAD_TS, |_, row| {
+                rows.push(Arc::clone(row));
+            });
+            dim.load(LOAD_TS, rows);
+        }
+    }
+
+    /// Applies one committed redo operation to the columnar copies.
+    /// Inserts land in the fact delta; dimension updates land in the
+    /// per-dimension update log.
+    fn apply_op(&self, ts: Ts, op: &TableOp) {
+        match op {
+            TableOp::Insert { table: TableId::Lineorder, row, .. } => {
+                self.lineorder.append_delta(ts, Arc::clone(row));
+            }
+            TableOp::Update { table, rid, row } => {
+                if let Some(dim) = self.dims.iter().find(|d| d.table() == *table) {
+                    dim.append_update(ts, *rid, Arc::clone(row));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Compacts the fact delta and folds dimension update logs.
+    fn merge_background(&self, upto: Ts, fact_threshold: usize) {
+        if self.lineorder.delta_len() >= fact_threshold {
+            self.lineorder.compact(upto);
+        }
+        for dim in &self.dims {
+            if dim.update_len() >= fact_threshold {
+                dim.fold(upto);
+            }
+        }
+    }
+
+    /// The analytical view at `ts`: columnar fact + dims, row store for
+    /// everything else (freshness).
+    fn view<'a>(&'a self, kernel: &'a RowKernel, ts: Ts) -> MixedView<'a> {
+        let mut view = MixedView::rows(&kernel.db, ts)
+            .with_columnar(TableId::Lineorder, self.lineorder.snapshot(ts));
+        for dim in &self.dims {
+            view = view.with_dim(dim.table(), dim.snapshot(ts));
+        }
+        view
+    }
+
+    /// Benchmark reset: back to the load-time content per table.
+    fn reset(&self) {
+        self.lineorder.reset_keep_segments(1);
+        for dim in &self.dims {
+            dim.reset();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DualEngine (System-X-like)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the dual-format engine.
+#[derive(Debug, Clone)]
+pub struct DualConfig {
+    /// Index profile for the transactional side. Isolation is fixed to
+    /// serializable (optimistic MVCC with read validation, like System-X).
+    pub indexes: IndexProfile,
+    /// Delta size that triggers background compaction.
+    pub merge_threshold: usize,
+    /// How often the compactor checks the delta.
+    pub merge_interval: Duration,
+}
+
+impl Default for DualConfig {
+    fn default() -> Self {
+        DualConfig {
+            indexes: IndexProfile::Semi,
+            merge_threshold: 4096,
+            merge_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Commit hooks: mirror fact-table inserts into the columnar delta inside
+/// the commit critical section (keeps the delta in timestamp order).
+struct DualHooks {
+    columnar: Arc<ColumnarSide>,
+}
+
+impl CommitHooks for DualHooks {
+    fn on_install(&self, ts: Ts, ops: &[TableOp]) {
+        for op in ops {
+            self.columnar.apply_op(ts, op);
+        }
+    }
+}
+
+/// A single-node dual-format in-memory engine.
+pub struct DualEngine {
+    kernel: Arc<RowKernel>,
+    columnar: Arc<ColumnarSide>,
+    config: DualConfig,
+    stop: Arc<AtomicBool>,
+    compactor: RwLock<Option<JoinHandle<()>>>,
+}
+
+impl DualEngine {
+    /// Builds the engine; the compactor starts at `finish_load`.
+    pub fn new(config: DualConfig) -> Self {
+        let columnar = Arc::new(ColumnarSide::new());
+        let hooks = Arc::new(DualHooks { columnar: Arc::clone(&columnar) });
+        let kernel = Arc::new(RowKernel::with_hooks(
+            EngineConfig {
+                isolation: IsolationLevel::Serializable,
+                indexes: config.indexes,
+                // Memory-optimized engine: cheaper log persistence.
+                commit_latency: Duration::from_micros(60),
+                ..EngineConfig::default()
+            },
+            hooks,
+        ));
+        DualEngine {
+            kernel,
+            columnar,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            compactor: RwLock::new(None),
+        }
+    }
+
+    /// Current delta size (tests, stats).
+    pub fn delta_rows(&self) -> usize {
+        self.columnar.lineorder.delta_len()
+    }
+
+    /// Number of sealed lineorder segments (tests).
+    pub fn lineorder_segments(&self) -> usize {
+        self.columnar.lineorder.segment_count()
+    }
+
+    fn spawn_compactor(&self) {
+        let columnar = Arc::clone(&self.columnar);
+        let kernel = Arc::clone(&self.kernel);
+        let stop = Arc::clone(&self.stop);
+        let threshold = self.config.merge_threshold;
+        let interval = self.config.merge_interval;
+        let handle = std::thread::Builder::new()
+            .name("dual-compactor".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    columnar.merge_background(kernel.oracle.read_ts(), threshold);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn compactor");
+        *self.compactor.write() = Some(handle);
+    }
+}
+
+impl HtapEngine for DualEngine {
+    fn name(&self) -> String {
+        "dual-format[serializable]".to_string()
+    }
+
+    fn design(&self) -> DesignCategory {
+        DesignCategory::Hybrid
+    }
+
+    fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
+        self.kernel.load(table, rows)
+    }
+
+    fn finish_load(&self) -> Result<()> {
+        self.kernel.finish_load();
+        self.columnar.build_from(&self.kernel);
+        self.spawn_compactor();
+        Ok(())
+    }
+
+    fn begin(&self) -> Box<dyn Session + '_> {
+        Box::new(self.kernel.begin_session())
+    }
+
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Merge-on-read: the snapshot at the query's start includes every
+        // delta row up to ts — the latest updates are always merged before
+        // execution, so freshness is zero (§6.4).
+        let ts = self.kernel.oracle.read_ts();
+        let view = self.columnar.view(&self.kernel, ts);
+        Ok(execute(spec, &view))
+    }
+
+    fn reset(&self) -> Result<()> {
+        self.kernel.reset()?;
+        self.columnar.reset();
+        Ok(())
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut stats = self.kernel.stats_snapshot();
+        stats.delta_rows = self.columnar.lineorder.delta_len() as u64;
+        stats
+    }
+}
+
+impl Drop for DualEngine {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.compactor.write().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LearnerEngine (TiDB-like)
+// ---------------------------------------------------------------------------
+
+/// Deployment profile for the learner engine (Figure 10 vs Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LearnerProfile {
+    /// Everything on one node: consensus over loopback-fast IPC.
+    SingleNode,
+    /// TiKV/TiFlash on separate nodes: real network RTTs on the commit
+    /// path ("high CPU-overhead of the TCP/IP stack and the limited
+    /// network bandwidth", §6.5.2).
+    Distributed,
+}
+
+impl LearnerProfile {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LearnerProfile::SingleNode => "single-node",
+            LearnerProfile::Distributed => "distributed",
+        }
+    }
+
+    fn link_one_way(self) -> Duration {
+        // Calibrated to the modeled systems' commit-latency class: TiDB
+        // commits pay 2PC + Raft-log fsync (~1ms even on one node), and
+        // cross-node deployments add real network RTTs (§6.5.2). These
+        // waits park the client thread, which is also what frees resources
+        // for the analytical side on shared hardware.
+        match self {
+            LearnerProfile::SingleNode => Duration::from_micros(200),
+            LearnerProfile::Distributed => Duration::from_micros(600),
+        }
+    }
+
+    fn commit_rounds(self) -> u32 {
+        // 2PC: prewrite + commit quorum rounds in both profiles.
+        match self {
+            LearnerProfile::SingleNode => 2,
+            LearnerProfile::Distributed => 2,
+        }
+    }
+}
+
+/// Configuration of the learner engine.
+#[derive(Debug, Clone)]
+pub struct LearnerConfig {
+    pub profile: LearnerProfile,
+    pub indexes: IndexProfile,
+    /// Learner cost to decode + transform one log record to columnar
+    /// format (§6.5: "preprocess, decode into row-format tuples, and
+    /// transform to columnar format").
+    pub apply_cost: Duration,
+    /// Delta size that triggers learner-side compaction.
+    pub merge_threshold: usize,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            profile: LearnerProfile::SingleNode,
+            indexes: IndexProfile::Semi,
+            apply_cost: Duration::from_micros(20),
+            merge_threshold: 4096,
+        }
+    }
+}
+
+/// Commit hooks: consensus latency before install, log append inside.
+struct LearnerHooks {
+    wal: Arc<Wal>,
+    link: Arc<NetworkLink>,
+    rounds: u32,
+    backlog: Arc<AtomicU64>,
+    /// Highest commit timestamp with a log record (see the isolated
+    /// engine: burned timestamps never produce records).
+    last_logged: Arc<AtomicU64>,
+}
+
+impl CommitHooks for LearnerHooks {
+    fn pre_commit(&self) {
+        // All consensus rounds in one coalesced wait (2 traversals each).
+        self.link.delay(self.rounds * 2);
+    }
+
+    fn on_install(&self, ts: Ts, ops: &[TableOp]) {
+        self.backlog.fetch_add(1, Ordering::Relaxed);
+        self.last_logged.store(ts, Ordering::Release);
+        self.wal.append(ts, ops.to_vec());
+    }
+}
+
+/// A consensus-commit row store with an asynchronous columnar learner.
+pub struct LearnerEngine {
+    kernel: Arc<RowKernel>,
+    columnar: Arc<ColumnarSide>,
+    wal: Arc<Wal>,
+    applied: Arc<Watermark>,
+    backlog: Arc<AtomicU64>,
+    last_logged: Arc<AtomicU64>,
+    /// Drops the simulated apply cost while quiescing (see the isolated
+    /// engine's fast-drain; harness hygiene only).
+    fast_drain: Arc<AtomicBool>,
+    config: LearnerConfig,
+    learner: RwLock<Option<JoinHandle<()>>>,
+}
+
+impl LearnerEngine {
+    /// Builds the engine; the learner thread starts at `finish_load`.
+    pub fn new(config: LearnerConfig) -> Self {
+        let wal = Arc::new(Wal::new());
+        let backlog = Arc::new(AtomicU64::new(0));
+        let link = Arc::new(NetworkLink::new(
+            config.profile.link_one_way(),
+            config.profile.link_one_way() / 4,
+        ));
+        let last_logged = Arc::new(AtomicU64::new(LOAD_TS));
+        let hooks = Arc::new(LearnerHooks {
+            wal: Arc::clone(&wal),
+            link,
+            rounds: config.profile.commit_rounds(),
+            backlog: Arc::clone(&backlog),
+            last_logged: Arc::clone(&last_logged),
+        });
+        let kernel = Arc::new(RowKernel::with_hooks(
+            EngineConfig {
+                // TiDB default: snapshot-isolated reads (§6.5.1).
+                isolation: IsolationLevel::SnapshotIsolation,
+                indexes: config.indexes,
+                // Durability is paid inside the consensus rounds.
+                commit_latency: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+            hooks,
+        ));
+        LearnerEngine {
+            kernel,
+            columnar: Arc::new(ColumnarSide::new()),
+            wal,
+            applied: Arc::new(Watermark::new(LOAD_TS)),
+            backlog,
+            last_logged,
+            fast_drain: Arc::new(AtomicBool::new(false)),
+            config,
+            learner: RwLock::new(None),
+        }
+    }
+
+    /// The deployment profile.
+    pub fn profile(&self) -> LearnerProfile {
+        self.config.profile
+    }
+
+    /// The learner's applied horizon (tests, diagnostics).
+    pub fn applied_ts(&self) -> Ts {
+        self.applied.get()
+    }
+
+    /// Blocks until the learner has consumed everything committed so far,
+    /// at full speed (no simulated apply cost; harness hygiene).
+    pub fn quiesce_learner(&self) {
+        self.fast_drain.store(true, Ordering::Release);
+        self.applied.wait_for(self.last_logged.load(Ordering::Acquire));
+        self.fast_drain.store(false, Ordering::Release);
+    }
+
+    fn spawn_learner(&self) {
+        let rx = self.wal.subscribe();
+        let columnar = Arc::clone(&self.columnar);
+        let applied = Arc::clone(&self.applied);
+        let backlog = Arc::clone(&self.backlog);
+        let fast_drain = Arc::clone(&self.fast_drain);
+        let apply_cost = self.config.apply_cost;
+        let threshold = self.config.merge_threshold;
+        let handle = std::thread::Builder::new()
+            .name("tiflash-learner".into())
+            .spawn(move || {
+                while let Ok(record) = rx.recv() {
+                    if !apply_cost.is_zero() && !fast_drain.load(Ordering::Acquire) {
+                        std::thread::sleep(apply_cost);
+                    }
+                    for op in &record.ops {
+                        columnar.apply_op(record.commit_ts, op);
+                    }
+                    backlog.fetch_sub(1, Ordering::Relaxed);
+                    applied.advance(record.commit_ts);
+                    columnar.merge_background(record.commit_ts, threshold);
+                }
+            })
+            .expect("spawn learner");
+        *self.learner.write() = Some(handle);
+    }
+}
+
+impl HtapEngine for LearnerEngine {
+    fn name(&self) -> String {
+        format!("learner[{}]", self.config.profile.label())
+    }
+
+    fn design(&self) -> DesignCategory {
+        DesignCategory::Hybrid
+    }
+
+    fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
+        self.kernel.load(table, rows)
+    }
+
+    fn finish_load(&self) -> Result<()> {
+        self.kernel.finish_load();
+        self.columnar.build_from(&self.kernel);
+        self.spawn_learner();
+        Ok(())
+    }
+
+    fn begin(&self) -> Box<dyn Session + '_> {
+        Box::new(self.kernel.begin_session())
+    }
+
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Read-index wait: TiDB merges the tail of the log with the
+        // analytical data before executing, so the query sees everything
+        // committed before its start — freshness zero by construction
+        // (§6.5.1), paid as wait latency here.
+        let ts = self.kernel.oracle.read_ts();
+        // Wait only up to the last logged commit: timestamps burned
+        // without a record (aborted installs) never reach the learner,
+        // and nothing with a record in (last_logged, ts] exists.
+        self.applied.wait_for(ts.min(self.last_logged.load(Ordering::Acquire)));
+        let view = self.columnar.view(&self.kernel, ts);
+        Ok(execute(spec, &view))
+    }
+
+    fn reset(&self) -> Result<()> {
+        self.quiesce_learner();
+        self.kernel.reset()?;
+        self.columnar.reset();
+        Ok(())
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut stats = self.kernel.stats_snapshot();
+        stats.replication_backlog = self.backlog.load(Ordering::Relaxed);
+        stats.delta_rows = self.columnar.lineorder.delta_len() as u64;
+        stats
+    }
+}
+
+impl Drop for LearnerEngine {
+    fn drop(&mut self) {
+        self.wal.close();
+        if let Some(handle) = self.learner.write().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::{Money, Value};
+    use hat_query::predicate::Predicate;
+    use hat_query::spec::{AggExpr, QueryId, QuerySpec};
+
+    fn lineorder_row(ok: u64, custkey: u32, revenue_c: i64) -> Row {
+        row_from([
+            Value::U64(ok),
+            Value::U32(1),
+            Value::U32(custkey),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(19940101),
+            Value::from("1-URGENT"),
+            Value::from("0"),
+            Value::U32(10),
+            Value::Money(Money::from_cents(revenue_c)),
+            Value::Money(Money::from_cents(revenue_c)),
+            Value::U32(5),
+            Value::Money(Money::from_cents(revenue_c)),
+            Value::Money(Money::from_cents(revenue_c / 2)),
+            Value::U32(0),
+            Value::U32(19940110),
+            Value::from("TRUCK"),
+        ])
+    }
+
+    fn sum_revenue_spec() -> QuerySpec {
+        QuerySpec {
+            id: QueryId::Q1_1,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![],
+            group_by: vec![],
+            agg: AggExpr::SumMoney(hat_common::ids::lineorder::REVENUE),
+        }
+    }
+
+    fn loaded_dual() -> DualEngine {
+        let engine = DualEngine::new(DualConfig {
+            merge_threshold: 8,
+            merge_interval: Duration::from_millis(1),
+            ..DualConfig::default()
+        });
+        let rows: Vec<Row> = (0..10).map(|i| lineorder_row(i, 1, 100)).collect();
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine
+    }
+
+    #[test]
+    fn dual_queries_include_fresh_commits() {
+        let engine = loaded_dual();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1000);
+        // Insert and immediately query: merge-on-read must see it.
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(10, 1, 500)).unwrap();
+        s.commit().unwrap();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1500, "zero freshness by construction");
+    }
+
+    #[test]
+    fn dual_compaction_seals_delta() {
+        let engine = loaded_dual();
+        for i in 0..20u64 {
+            let mut s = engine.begin();
+            s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
+            s.commit().unwrap();
+        }
+        // Compactor threshold is 8; wait for it to run.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while engine.delta_rows() >= 8 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(engine.delta_rows() < 8, "compactor drained the delta");
+        assert!(engine.lineorder_segments() >= 2);
+        // Results unchanged by compaction.
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1000 + 200);
+    }
+
+    #[test]
+    fn dual_reset_restores_load_state() {
+        let engine = loaded_dual();
+        for i in 0..20u64 {
+            let mut s = engine.begin();
+            s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
+            s.commit().unwrap();
+        }
+        engine.reset().unwrap();
+        assert_eq!(engine.lineorder_segments(), 1);
+        assert_eq!(engine.delta_rows(), 0);
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1000);
+    }
+
+    #[test]
+    fn dual_design_metadata() {
+        let engine = loaded_dual();
+        assert_eq!(engine.design(), DesignCategory::Hybrid);
+        assert!(engine.name().contains("dual-format"));
+    }
+
+    fn fast_learner(profile: LearnerProfile) -> LearnerEngine {
+        let engine = LearnerEngine::new(LearnerConfig {
+            profile,
+            apply_cost: Duration::from_micros(5),
+            merge_threshold: 8,
+            ..LearnerConfig::default()
+        });
+        let rows: Vec<Row> = (0..10).map(|i| lineorder_row(i, 1, 100)).collect();
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine
+    }
+
+    #[test]
+    fn learner_read_index_guarantees_freshness() {
+        let engine = fast_learner(LearnerProfile::SingleNode);
+        for i in 0..5u64 {
+            let mut s = engine.begin();
+            s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 100)).unwrap();
+            s.commit().unwrap();
+            // Query immediately after each commit: read-index wait must
+            // make the commit visible despite the async learner.
+            let out = engine.run_query(&sum_revenue_spec()).unwrap();
+            assert_eq!(out.groups[0].agg, 1000 + (i as i64 + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn learner_compacts_and_resets() {
+        let engine = fast_learner(LearnerProfile::SingleNode);
+        for i in 0..30u64 {
+            let mut s = engine.begin();
+            s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
+            s.commit().unwrap();
+        }
+        engine.quiesce_learner();
+        assert!(engine.columnar.lineorder.segment_count() >= 2);
+        engine.reset().unwrap();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1000);
+        assert_eq!(engine.stats().replication_backlog, 0);
+    }
+
+    #[test]
+    fn distributed_profile_has_higher_commit_latency() {
+        let single = fast_learner(LearnerProfile::SingleNode);
+        let dist = fast_learner(LearnerProfile::Distributed);
+        let time_commits = |engine: &LearnerEngine| {
+            let start = std::time::Instant::now();
+            for i in 0..10u64 {
+                let mut s = engine.begin();
+                s.insert(TableId::Lineorder, lineorder_row(100 + i, 1, 1)).unwrap();
+                s.commit().unwrap();
+            }
+            start.elapsed()
+        };
+        let t_single = time_commits(&single);
+        let t_dist = time_commits(&dist);
+        assert!(
+            t_dist > t_single * 2,
+            "distributed consensus must cost more ({t_single:?} vs {t_dist:?})"
+        );
+        assert_eq!(single.profile().label(), "single-node");
+        assert_eq!(dist.profile().label(), "distributed");
+    }
+}

@@ -1,0 +1,535 @@
+//! The isolated-design engine ("PostgreSQL streaming replication", §6.3).
+//!
+//! A primary row-store kernel handles the T workload and streams physical
+//! WAL records over a simulated link to a replica, where a replay thread
+//! applies them. Analytical queries read the *replica* at its applied
+//! horizon, so the two workloads touch disjoint data structures — the
+//! design's performance-isolation advantage — at the cost of staleness.
+//!
+//! Replication modes mirror PostgreSQL's `synchronous_commit`:
+//!
+//! * [`ReplicationMode::Async`] — commit returns immediately; maximum
+//!   staleness.
+//! * [`ReplicationMode::SyncOn`] (`on`) — commit waits one round trip for
+//!   the replica to acknowledge the record was received and durably
+//!   written; *replay* is still asynchronous, so queries can be stale
+//!   (the paper's "ON" mode, Figures 7/8).
+//! * [`ReplicationMode::RemoteApply`] (`remote_apply`) — commit waits until
+//!   the replica has applied the record; freshness is zero but commit
+//!   latency includes shipping + queueing + replay (the paper's "RA" mode).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hat_common::clock::BenchClock;
+use hat_common::{Result, Row, TableId};
+use hat_query::exec::{execute, QueryOutput};
+use hat_query::spec::QuerySpec;
+use hat_query::view::MixedView;
+use hat_storage::rowstore::RowDb;
+use hat_storage::wal::{TableOp, Wal};
+use hat_txn::{Ts, Watermark, LOAD_TS};
+use parking_lot::RwLock;
+
+use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
+use crate::kernel::{CommitHooks, RowKernel};
+use crate::netsim::NetworkLink;
+
+/// PostgreSQL-style `synchronous_commit` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No commit wait.
+    Async,
+    /// Wait for durable receipt at the standby (the paper's "ON").
+    SyncOn,
+    /// Wait for the standby to apply (the paper's "RA").
+    RemoteApply,
+}
+
+impl ReplicationMode {
+    /// Label used in figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicationMode::Async => "async",
+            ReplicationMode::SyncOn => "on",
+            ReplicationMode::RemoteApply => "remote-apply",
+        }
+    }
+}
+
+/// Configuration of the isolated engine.
+#[derive(Debug, Clone)]
+pub struct IsoConfig {
+    pub engine: EngineConfig,
+    pub mode: ReplicationMode,
+    /// One-way network latency between primary and standby.
+    pub link_one_way: Duration,
+    /// Simulated standby cost to decode + apply one record (WAL decode,
+    /// buffer lookups, fsync amortization). The replay thread is a single
+    /// consumer, so commit rates above `1/replay_cost` grow its queue —
+    /// the mechanism behind the paper's staleness-vs-T-clients trend
+    /// (Figure 8b).
+    pub replay_cost: Duration,
+}
+
+impl Default for IsoConfig {
+    fn default() -> Self {
+        IsoConfig {
+            engine: EngineConfig::default(),
+            mode: ReplicationMode::SyncOn,
+            // A LAN round trip plus standby WAL fsync: synchronous-commit
+            // acknowledgements are in the ~1ms class, far above the local
+            // flush in `EngineConfig::commit_latency`. (PostgreSQL docs
+            // warn of exactly this T-side cost for synchronous modes.)
+            link_one_way: Duration::from_micros(500),
+            replay_cost: Duration::from_micros(120),
+        }
+    }
+}
+
+impl IsoConfig {
+    /// The default configuration with the primary's local flush folded
+    /// into the replication acknowledgement (one coalesced wait per
+    /// commit instead of two sleeps — the standby ack already implies
+    /// local durability ordering).
+    pub fn coalesced_default() -> Self {
+        let mut cfg = IsoConfig::default();
+        cfg.engine.commit_latency = Duration::ZERO;
+        cfg
+    }
+}
+
+/// The standby node: its own row database, indexes for analytical plans,
+/// and the applied-timestamp watermark.
+struct Replica {
+    db: RowDb,
+    applied: Watermark,
+    /// Records shipped but not yet applied.
+    backlog: AtomicU64,
+    /// When set, the replay thread skips its simulated transit/apply
+    /// delays — used by reset/quiesce to drain the backlog at memory
+    /// speed (catch-up recovery runs unthrottled in real systems too;
+    /// only the measured benchmark phases model apply cost).
+    fast_drain: AtomicBool,
+}
+
+/// Commit hooks on the primary: append to the WAL inside installation;
+/// apply the mode's wait afterwards.
+struct PrimaryHooks {
+    wal: Arc<Wal>,
+    link: Arc<NetworkLink>,
+    mode: ReplicationMode,
+    replica: Arc<Replica>,
+    /// Highest commit timestamp with a WAL record. Timestamps *without*
+    /// records exist (serializable validation failures burn one), so
+    /// waiting for the replica must target this, not the read horizon.
+    last_logged: Arc<AtomicU64>,
+}
+
+impl CommitHooks for PrimaryHooks {
+    fn on_install(&self, ts: Ts, ops: &[TableOp]) {
+        self.replica.backlog.fetch_add(1, Ordering::Relaxed);
+        // Inside the commit critical section: monotonic.
+        self.last_logged.store(ts, Ordering::Release);
+        self.wal.append(ts, ops.to_vec());
+    }
+
+    fn post_commit(&self, ts: Ts) {
+        match self.mode {
+            ReplicationMode::Async => {}
+            // Synchronous transmission: request + durable-write ack.
+            ReplicationMode::SyncOn => self.link.round_trip(),
+            // Wait until the standby has replayed our record.
+            ReplicationMode::RemoteApply => self.replica.applied.wait_for(ts),
+        }
+    }
+}
+
+/// A two-node primary/standby engine.
+pub struct IsoEngine {
+    kernel: Arc<RowKernel>,
+    replica: Arc<Replica>,
+    wal: Arc<Wal>,
+    last_logged: Arc<AtomicU64>,
+    config: IsoConfig,
+    replay_handle: RwLock<Option<JoinHandle<()>>>,
+}
+
+impl IsoEngine {
+    /// Builds the engine; the replay thread starts at
+    /// [`HtapEngine::finish_load`].
+    pub fn new(config: IsoConfig) -> Self {
+        let wal = Arc::new(Wal::new());
+        let link = Arc::new(NetworkLink::new(
+            config.link_one_way,
+            config.link_one_way / 4,
+        ));
+        let replica = Arc::new(Replica {
+            db: RowDb::new(),
+            applied: Watermark::new(LOAD_TS),
+            backlog: AtomicU64::new(0),
+            fast_drain: AtomicBool::new(false),
+        });
+        let last_logged = Arc::new(AtomicU64::new(LOAD_TS));
+        let hooks = Arc::new(PrimaryHooks {
+            wal: Arc::clone(&wal),
+            link,
+            mode: config.mode,
+            replica: Arc::clone(&replica),
+            last_logged: Arc::clone(&last_logged),
+        });
+        let kernel = Arc::new(RowKernel::with_hooks(config.engine.clone(), hooks));
+        IsoEngine {
+            kernel,
+            replica,
+            wal,
+            last_logged,
+            config,
+            replay_handle: RwLock::new(None),
+        }
+    }
+
+    /// The configured replication mode.
+    pub fn mode(&self) -> ReplicationMode {
+        self.config.mode
+    }
+
+    /// The replica's applied horizon (tests, diagnostics).
+    pub fn applied_ts(&self) -> Ts {
+        self.replica.applied.get()
+    }
+
+    /// Blocks until the replica has applied everything committed so far,
+    /// draining the backlog at full speed (no simulated apply throttling —
+    /// this is harness hygiene, not a measured phase).
+    pub fn quiesce_replication(&self) {
+        self.replica.fast_drain.store(true, Ordering::Release);
+        // Wait for the last *logged* commit, not the read horizon:
+        // timestamps burned without a WAL record (e.g. serializable
+        // validation failures) never reach the replica.
+        self.replica.applied.wait_for(self.last_logged.load(Ordering::Acquire));
+        self.replica.fast_drain.store(false, Ordering::Release);
+    }
+
+    fn spawn_replay(&self) {
+        let rx = self.wal.subscribe();
+        let replica = Arc::clone(&self.replica);
+        let one_way = self.config.link_one_way;
+        let replay_cost = self.config.replay_cost;
+        let handle = std::thread::Builder::new()
+            .name("iso-replay".into())
+            .spawn(move || {
+                let clock = BenchClock::global();
+                while let Ok(record) = rx.recv() {
+                    if !replica.fast_drain.load(Ordering::Acquire) {
+                        // Model transit: the record becomes available
+                        // one-way latency after it was sent. Only sleep the
+                        // remainder — shipping overlaps with queueing.
+                        let available_at = record.sent_at + one_way.as_nanos() as u64;
+                        let now = clock.now();
+                        if now < available_at {
+                            std::thread::sleep(Duration::from_nanos(available_at - now));
+                        }
+                        // Per-record standby apply cost.
+                        if !replay_cost.is_zero() {
+                            std::thread::sleep(replay_cost);
+                        }
+                    }
+                    for op in &record.ops {
+                        match op {
+                            TableOp::Insert { table, rid, row } => {
+                                replica
+                                    .db
+                                    .store(*table)
+                                    .install_insert_at(*rid, Arc::clone(row), record.commit_ts)
+                                    .expect("replica applies in log order");
+                            }
+                            TableOp::Update { table, rid, row } => {
+                                replica
+                                    .db
+                                    .store(*table)
+                                    .install_update(*rid, Arc::clone(row), record.commit_ts)
+                                    .expect("replica row exists");
+                            }
+                        }
+                    }
+                    // Decrement before advancing: quiesce/reset observe a
+                    // zero backlog only after the watermark they waited on.
+                    replica.backlog.fetch_sub(1, Ordering::Relaxed);
+                    replica.applied.advance(record.commit_ts);
+                }
+            })
+            .expect("spawn replay thread");
+        *self.replay_handle.write() = Some(handle);
+    }
+}
+
+impl HtapEngine for IsoEngine {
+    fn name(&self) -> String {
+        format!(
+            "isolated[{},{}]",
+            self.config.mode.label(),
+            self.kernel.config.isolation.label()
+        )
+    }
+
+    fn design(&self) -> DesignCategory {
+        DesignCategory::Isolated
+    }
+
+    fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
+        // Base backup: load primary and standby directly (PostgreSQL
+        // standbys start from a basebackup, not from WAL replay of the
+        // initial population).
+        let store = self.replica.db.store(table);
+        let mut tee = rows.inspect(|row| {
+            store.install_insert(Arc::clone(row), LOAD_TS);
+        });
+        self.kernel.load(table, &mut tee)
+    }
+
+    fn finish_load(&self) -> Result<()> {
+        self.kernel.finish_load();
+        self.spawn_replay();
+        Ok(())
+    }
+
+    fn begin(&self) -> Box<dyn Session + '_> {
+        Box::new(self.kernel.begin_session())
+    }
+
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Queries read the standby at its applied horizon — whatever has
+        // been replayed so far. Staleness is visible through the
+        // freshness side-read of the replicated FRESHNESS rows.
+        let ts = self.replica.applied.get();
+        let view = MixedView::rows(&self.replica.db, ts);
+        Ok(execute(spec, &view))
+    }
+
+    fn reset(&self) -> Result<()> {
+        // Drain replication so the standby is consistent, then reset both
+        // nodes to their loaded state.
+        self.quiesce_replication();
+        self.kernel.reset()?;
+        for t in TableId::ALL {
+            let store = self.replica.db.store(t);
+            store.truncate_slots(self.kernel.loaded_count(t));
+            if t.is_mutable() {
+                store.revert_versions_after(LOAD_TS);
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut stats = self.kernel.stats_snapshot();
+        stats.replication_backlog = self.replica.backlog.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+impl Drop for IsoEngine {
+    fn drop(&mut self) {
+        self.wal.close();
+        if let Some(handle) = self.replay_handle.write().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::ids::customer;
+    use hat_common::value::{row_from, row_with};
+    use hat_common::Value;
+    use hat_query::predicate::Predicate;
+    use hat_query::spec::{AggExpr, QueryId, QuerySpec};
+    use crate::api::NamedIndex;
+
+    fn fast_config(mode: ReplicationMode) -> IsoConfig {
+        IsoConfig {
+            engine: EngineConfig::default(),
+            mode,
+            link_one_way: Duration::from_micros(50),
+            replay_cost: Duration::from_micros(10),
+        }
+    }
+
+    fn customer_row(ck: u32) -> Row {
+        row_from([
+            Value::U32(ck),
+            Value::from(format!("Customer#{ck:09}")),
+            Value::from("addr"),
+            Value::from("CITY0"),
+            Value::from("CHINA"),
+            Value::from("ASIA"),
+            Value::from("phone"),
+            Value::from("AUTO"),
+            Value::U32(0),
+        ])
+    }
+
+    fn freshness_row(client: u32, txn: u64) -> Row {
+        row_from([Value::U32(client), Value::U64(txn)])
+    }
+
+    fn loaded_engine(mode: ReplicationMode) -> IsoEngine {
+        let engine = IsoEngine::new(fast_config(mode));
+        let customers: Vec<Row> = (1..=10).map(customer_row).collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        let fr: Vec<Row> = (0..2).map(|c| freshness_row(c, 0)).collect();
+        engine.load(TableId::Freshness, &mut fr.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine
+    }
+
+    /// A trivial count(*) over customer for replica-visibility checks.
+    fn count_customers_spec() -> QuerySpec {
+        QuerySpec {
+            id: QueryId::Q1_1,
+            fact: TableId::Customer,
+            fact_filter: Predicate::all(),
+            joins: vec![],
+            group_by: vec![],
+            agg: AggExpr::CountRows,
+        }
+    }
+
+    #[test]
+    fn replica_receives_committed_writes() {
+        let engine = loaded_engine(ReplicationMode::SyncOn);
+        let mut s = engine.begin();
+        let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
+        s.update(
+            TableId::Customer,
+            rid,
+            row_with(&row, customer::PAYMENTCNT, Value::U32(5)),
+        )
+        .unwrap();
+        let commit_ts = s.commit().unwrap();
+        engine.replica.applied.wait_for(commit_ts);
+        let replicated = engine.replica.db.store(TableId::Customer).read(rid, commit_ts).unwrap();
+        assert_eq!(replicated[customer::PAYMENTCNT].as_u32().unwrap(), 5);
+    }
+
+    #[test]
+    fn remote_apply_commits_are_immediately_queryable() {
+        let engine = loaded_engine(ReplicationMode::RemoteApply);
+        let mut s = engine.begin();
+        let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        s.update(TableId::Customer, rid, row_with(&row, customer::PAYMENTCNT, Value::U32(9)))
+            .unwrap();
+        let commit_ts = s.commit().unwrap();
+        // RA: by the time commit returned, the replica has applied.
+        assert!(engine.applied_ts() >= commit_ts);
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 10);
+    }
+
+    #[test]
+    fn freshness_vector_comes_from_replica() {
+        let engine = loaded_engine(ReplicationMode::RemoteApply);
+        let mut s = engine.begin();
+        s.update(TableId::Freshness, 0, freshness_row(0, 42)).unwrap();
+        s.commit().unwrap();
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.freshness, vec![(0, 42), (1, 0)]);
+    }
+
+    #[test]
+    fn async_mode_can_be_stale_then_catches_up() {
+        // Large replay cost: the query right after commit misses the txn.
+        let mut cfg = fast_config(ReplicationMode::Async);
+        cfg.replay_cost = Duration::from_millis(30);
+        let engine = IsoEngine::new(cfg);
+        let customers: Vec<Row> = (1..=3).map(customer_row).collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        let fr = vec![freshness_row(0, 0)];
+        engine.load(TableId::Freshness, &mut fr.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+
+        let mut s = engine.begin();
+        s.update(TableId::Freshness, 0, freshness_row(0, 7)).unwrap();
+        let commit_ts = s.commit().unwrap();
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.freshness, vec![(0, 0)], "stale before replay");
+        engine.replica.applied.wait_for(commit_ts);
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.freshness, vec![(0, 7)], "fresh after replay");
+    }
+
+    #[test]
+    fn inserts_replicate_with_same_rids() {
+        let engine = loaded_engine(ReplicationMode::RemoteApply);
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(11)).unwrap();
+        let commit_ts = s.commit().unwrap();
+        let primary_count = engine.kernel.db.store(TableId::Customer).slot_count();
+        let replica_count = engine.replica.db.store(TableId::Customer).slot_count();
+        assert_eq!(primary_count, replica_count);
+        assert_eq!(primary_count, 11);
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 11);
+        let _ = commit_ts;
+    }
+
+    #[test]
+    fn reset_restores_both_nodes() {
+        let engine = loaded_engine(ReplicationMode::SyncOn);
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(11)).unwrap();
+        s.update(TableId::Freshness, 0, freshness_row(0, 3)).unwrap();
+        s.commit().unwrap();
+        engine.reset().unwrap();
+        assert_eq!(engine.kernel.db.store(TableId::Customer).slot_count(), 10);
+        assert_eq!(engine.replica.db.store(TableId::Customer).slot_count(), 10);
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 10);
+        assert_eq!(out.freshness, vec![(0, 0), (1, 0)]);
+        assert_eq!(engine.stats().replication_backlog, 0);
+    }
+
+    #[test]
+    fn quiesce_survives_burned_timestamps() {
+        // Regression: serializable validation failures burn a commit
+        // timestamp without producing a WAL record. Quiesce/reset must not
+        // wait for a record that will never arrive.
+        let engine = Arc::new(loaded_engine(ReplicationMode::SyncOn));
+        // t1 reads customer 1; t2 rewrites it and commits; t1 then writes
+        // customer 2 and fails validation -> burned timestamp.
+        let mut t1 = engine.begin();
+        let _ = t1.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        let mut t2 = engine.begin();
+        let (rid, row) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        t2.update(TableId::Customer, rid, row).unwrap();
+        t2.commit().unwrap();
+        let (rid2, row2) = t1.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+        t1.update(TableId::Customer, rid2, row2).unwrap();
+        assert!(t1.commit().is_err(), "validation must fail");
+
+        // Reset (which quiesces) must complete promptly.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let engine2 = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            engine2.reset().unwrap();
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("reset deadlocked on a burned timestamp");
+    }
+
+    #[test]
+    fn design_and_mode_labels() {
+        let engine = loaded_engine(ReplicationMode::SyncOn);
+        assert_eq!(engine.design(), DesignCategory::Isolated);
+        assert!(engine.name().contains("isolated"));
+        assert_eq!(engine.mode().label(), "on");
+        assert_eq!(ReplicationMode::RemoteApply.label(), "remote-apply");
+        assert_eq!(ReplicationMode::Async.label(), "async");
+    }
+}

@@ -1,0 +1,906 @@
+//! The row-store transaction kernel shared by every engine.
+//!
+//! [`RowKernel`] combines a [`RowDb`], a timestamp oracle, a lock manager,
+//! and an [`IndexSet`] into a complete transactional engine: sessions
+//! buffer writes, acquire no-wait row locks, and install at commit inside
+//! the oracle's critical section. Engines differ in the [`CommitHooks`]
+//! they attach (WAL shipping, columnar delta append, consensus latency) and
+//! in where their analytical queries read — the kernel itself is the
+//! "primary node" of all four designs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hat_common::ids::{customer, date, lineorder, part, supplier};
+use hat_common::{HatError, Result, Row, TableId};
+use hat_storage::bptree::BPlusTree;
+use hat_storage::rowstore::{RowDb, RowId};
+use hat_storage::wal::TableOp;
+use hat_txn::{LockManager, Ts, TsOracle, TxnCtx, WriteOp, LOAD_TS};
+use parking_lot::RwLock;
+
+use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
+
+/// Hooks an engine attaches to the kernel's commit path.
+pub trait CommitHooks: Send + Sync {
+    /// Runs before the commit critical section — consensus/prepare latency.
+    fn pre_commit(&self) {}
+
+    /// Runs inside the critical section with the resolved redo operations,
+    /// in commit-timestamp order across all transactions. WAL append and
+    /// columnar delta append live here.
+    fn on_install(&self, _ts: Ts, _ops: &[TableOp]) {}
+
+    /// Runs after the critical section is released — synchronous
+    /// replication waits live here so they don't serialize other commits.
+    fn post_commit(&self, _ts: Ts) {}
+}
+
+/// The default no-op hooks (shared design).
+pub struct NoHooks;
+impl CommitHooks for NoHooks {}
+
+/// The secondary access paths, governed by [`IndexProfile`].
+pub struct IndexSet {
+    profile: IndexProfile,
+    customer_pk: RwLock<BPlusTree<u32, RowId>>,
+    customer_name: RwLock<BPlusTree<String, RowId>>,
+    supplier_pk: RwLock<BPlusTree<u32, RowId>>,
+    supplier_name: RwLock<BPlusTree<String, RowId>>,
+    part_pk: RwLock<BPlusTree<u32, RowId>>,
+    date_pk: RwLock<BPlusTree<u32, RowId>>,
+    /// `(lo_custkey, rid) -> ()` — Count Orders prefix scans.
+    lineorder_cust: RwLock<BPlusTree<(u32, RowId), ()>>,
+    /// `(lo_orderdate, rid) -> ()` — analytical date prefiltering
+    /// (`All` profile only).
+    lineorder_date: RwLock<BPlusTree<(u32, RowId), ()>>,
+}
+
+impl IndexSet {
+    fn new(profile: IndexProfile) -> Self {
+        IndexSet {
+            profile,
+            customer_pk: RwLock::new(BPlusTree::new()),
+            customer_name: RwLock::new(BPlusTree::new()),
+            supplier_pk: RwLock::new(BPlusTree::new()),
+            supplier_name: RwLock::new(BPlusTree::new()),
+            part_pk: RwLock::new(BPlusTree::new()),
+            date_pk: RwLock::new(BPlusTree::new()),
+            lineorder_cust: RwLock::new(BPlusTree::new()),
+            lineorder_date: RwLock::new(BPlusTree::new()),
+        }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> IndexProfile {
+        self.profile
+    }
+
+    /// Index a freshly loaded/inserted row. Called with the row already
+    /// installed.
+    fn index_row(&self, table: TableId, rid: RowId, row: &Row) {
+        if !self.profile.has_txn_indexes() {
+            return;
+        }
+        match table {
+            TableId::Customer => {
+                let key = row[customer::CUSTKEY].as_u32().expect("typed");
+                self.customer_pk.write().insert(key, rid);
+                let name = row[customer::NAME].as_str().expect("typed").to_owned();
+                self.customer_name.write().insert(name, rid);
+            }
+            TableId::Supplier => {
+                let key = row[supplier::SUPPKEY].as_u32().expect("typed");
+                self.supplier_pk.write().insert(key, rid);
+                let name = row[supplier::NAME].as_str().expect("typed").to_owned();
+                self.supplier_name.write().insert(name, rid);
+            }
+            TableId::Part => {
+                let key = row[part::PARTKEY].as_u32().expect("typed");
+                self.part_pk.write().insert(key, rid);
+            }
+            TableId::Date => {
+                let key = row[date::DATEKEY].as_u32().expect("typed");
+                self.date_pk.write().insert(key, rid);
+            }
+            TableId::Lineorder => {
+                let ck = row[lineorder::CUSTKEY].as_u32().expect("typed");
+                self.lineorder_cust.write().insert((ck, rid), ());
+                if self.profile.has_analytic_indexes() {
+                    let od = row[lineorder::ORDERDATE].as_u32().expect("typed");
+                    self.lineorder_date.write().insert((od, rid), ());
+                }
+            }
+            TableId::History | TableId::Freshness => {}
+        }
+    }
+
+    /// Point probe of a `u32`-keyed unique index. `None` if the profile
+    /// lacks the index.
+    fn probe_u32(&self, which: NamedIndex, key: u32) -> Option<Option<RowId>> {
+        if !self.profile.has_txn_indexes() {
+            return None;
+        }
+        let tree = match which {
+            NamedIndex::CustomerPk => &self.customer_pk,
+            NamedIndex::SupplierPk => &self.supplier_pk,
+            NamedIndex::PartPk => &self.part_pk,
+            NamedIndex::DatePk => &self.date_pk,
+            _ => return None,
+        };
+        Some(tree.read().get(&key).copied())
+    }
+
+    /// Point probe of a string-keyed unique index.
+    fn probe_str(&self, which: NamedIndex, key: &str) -> Option<Option<RowId>> {
+        if !self.profile.has_txn_indexes() {
+            return None;
+        }
+        let tree = match which {
+            NamedIndex::CustomerName => &self.customer_name,
+            NamedIndex::SupplierName => &self.supplier_name,
+            _ => return None,
+        };
+        Some(tree.read().get(key).copied())
+    }
+
+    /// Rids of lineorder rows for `custkey` via the composite index.
+    fn lineorder_rids_for_customer(&self, custkey: u32) -> Option<Vec<RowId>> {
+        if !self.profile.has_txn_indexes() {
+            return None;
+        }
+        let tree = self.lineorder_cust.read();
+        let mut rids = Vec::new();
+        tree.range(
+            std::ops::Bound::Included(&(custkey, 0)),
+            std::ops::Bound::Excluded(&(custkey + 1, 0)),
+            |&(_, rid), _| {
+                rids.push(rid);
+                true
+            },
+        );
+        Some(rids)
+    }
+
+    /// Rids of lineorder rows with orderdate in `[lo, hi]` via the date
+    /// index (`All` profile only).
+    pub fn lineorder_rids_for_date_range(&self, lo: u32, hi: u32) -> Option<Vec<RowId>> {
+        if !self.profile.has_analytic_indexes() {
+            return None;
+        }
+        let tree = self.lineorder_date.read();
+        let mut rids = Vec::new();
+        tree.range(
+            std::ops::Bound::Included(&(lo, 0)),
+            std::ops::Bound::Excluded(&(hi + 1, 0)),
+            |&(_, rid), _| {
+                rids.push(rid);
+                true
+            },
+        );
+        Some(rids)
+    }
+
+    /// Benchmark reset: drops lineorder index entries for rids at or past
+    /// the loaded row count.
+    fn truncate_lineorder(&self, loaded: RowId) {
+        if !self.profile.has_txn_indexes() {
+            return;
+        }
+        for tree in [&self.lineorder_cust, &self.lineorder_date] {
+            let mut guard = tree.write();
+            let mut stale = Vec::new();
+            guard.for_each(|&(k, rid), _| {
+                if rid >= loaded {
+                    stale.push((k, rid));
+                }
+            });
+            for key in stale {
+                guard.remove(&key);
+            }
+        }
+    }
+}
+
+/// Counters shared across sessions.
+#[derive(Default)]
+pub struct KernelStats {
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub queries: AtomicU64,
+}
+
+/// The transactional core of an engine.
+pub struct RowKernel {
+    pub db: RowDb,
+    pub oracle: TsOracle,
+    pub locks: LockManager,
+    pub indexes: IndexSet,
+    pub config: EngineConfig,
+    pub stats: KernelStats,
+    hooks: Arc<dyn CommitHooks>,
+    /// Slot counts per table recorded at `finish_load`, for reset.
+    loaded_counts: RwLock<Vec<u64>>,
+}
+
+impl RowKernel {
+    /// A kernel with no commit hooks.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_hooks(config, Arc::new(NoHooks))
+    }
+
+    /// A kernel with engine-specific commit hooks.
+    pub fn with_hooks(config: EngineConfig, hooks: Arc<dyn CommitHooks>) -> Self {
+        RowKernel {
+            db: RowDb::new(),
+            oracle: TsOracle::new(),
+            locks: LockManager::with_policy(config.lock_policy),
+            indexes: IndexSet::new(config.indexes),
+            config,
+            stats: KernelStats::default(),
+            hooks,
+            loaded_counts: RwLock::new(vec![0; TableId::COUNT]),
+        }
+    }
+
+    /// Replaces the hooks (engines call this once during construction,
+    /// before any traffic).
+    pub fn set_hooks(&mut self, hooks: Arc<dyn CommitHooks>) {
+        self.hooks = hooks;
+    }
+
+    /// Bulk-loads rows at the load timestamp, building indexes.
+    pub fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
+        let store = self.db.store(table);
+        for row in rows {
+            let rid = store.install_insert(Arc::clone(&row), LOAD_TS);
+            self.indexes.index_row(table, rid, &row);
+        }
+        Ok(())
+    }
+
+    /// Records loaded sizes; call once after all [`RowKernel::load`]s.
+    pub fn finish_load(&self) {
+        let mut counts = self.loaded_counts.write();
+        for t in TableId::ALL {
+            counts[t.index()] = self.db.store(t).slot_count();
+        }
+    }
+
+    /// The loaded slot count of `table`.
+    pub fn loaded_count(&self, table: TableId) -> u64 {
+        self.loaded_counts.read()[table.index()]
+    }
+
+    /// Restores post-load state: truncates grown tables, reverts updated
+    /// rows, trims indexes. Caller must quiesce traffic first.
+    pub fn reset(&self) -> Result<()> {
+        let counts = self.loaded_counts.read();
+        for t in TableId::ALL {
+            let store = self.db.store(t);
+            store.truncate_slots(counts[t.index()]);
+            if t.is_mutable() {
+                store.revert_versions_after(LOAD_TS);
+            }
+        }
+        self.indexes.truncate_lineorder(counts[TableId::Lineorder.index()]);
+        Ok(())
+    }
+
+    /// Starts a session at the kernel's configured isolation level.
+    pub fn begin_session(self: &Arc<Self>) -> KernelSession {
+        let snapshot_ts = self.oracle.read_ts();
+        KernelSession {
+            kernel: Arc::clone(self),
+            ctx: TxnCtx::begin(self.config.isolation, snapshot_ts),
+        }
+    }
+
+    /// Current stats snapshot (kernel counters only).
+    pub fn stats_snapshot(&self) -> EngineStats {
+        EngineStats {
+            commits: self.stats.commits.load(Ordering::Relaxed),
+            aborts: self.stats.aborts.load(Ordering::Relaxed),
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            ..EngineStats::default()
+        }
+    }
+}
+
+/// A transaction running against a [`RowKernel`].
+pub struct KernelSession {
+    kernel: Arc<RowKernel>,
+    ctx: TxnCtx,
+}
+
+impl KernelSession {
+    /// The timestamp reads use right now (per-statement for read
+    /// committed, the begin snapshot otherwise).
+    fn read_ts(&self) -> Ts {
+        if self.ctx.isolation().uses_begin_snapshot() {
+            self.ctx.begin_snapshot().ts
+        } else {
+            self.kernel.oracle.read_ts()
+        }
+    }
+
+    /// Visibility-checked read of `rid` with own-write overlay.
+    fn read_visible(&mut self, table: TableId, rid: RowId) -> Option<Row> {
+        if let Some(own) = self.ctx.own_write(table, rid) {
+            return Some(Arc::clone(own));
+        }
+        let ts = self.read_ts();
+        let store = self.kernel.db.store(table);
+        let row = store.read(rid, ts)?;
+        // Record the observed version for serializable validation.
+        if self.ctx.isolation().validates_reads() {
+            // The version we read is the newest with ts' <= ts; its exact
+            // timestamp is what validation compares against.
+            if let Some(vts) = visible_version_ts(store, rid, ts) {
+                self.ctx.record_read(table, rid, vts);
+            }
+        }
+        Some(row)
+    }
+
+    fn abort_with(&mut self, err: HatError) -> HatError {
+        self.kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
+        self.ctx.close();
+        self.kernel.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        err
+    }
+
+    /// Scan fallback for point lookups when an index is absent.
+    fn scan_for_u32(&self, table: TableId, col: usize, key: u32) -> Option<(RowId, Row)> {
+        let ts = self.read_ts();
+        let mut found = None;
+        self.kernel.db.store(table).scan_while(ts, |rid, row| {
+            if row[col].as_u32().map(|v| v == key).unwrap_or(false) {
+                found = Some((rid, Arc::clone(row)));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    fn scan_for_str(&self, table: TableId, col: usize, key: &str) -> Option<(RowId, Row)> {
+        let ts = self.read_ts();
+        let mut found = None;
+        self.kernel.db.store(table).scan_while(ts, |rid, row| {
+            if row[col].as_str().map(|v| v == key).unwrap_or(false) {
+                found = Some((rid, Arc::clone(row)));
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+}
+
+/// Timestamp of the version of `rid` visible at `ts`.
+fn visible_version_ts(
+    store: &hat_storage::rowstore::RowStore,
+    rid: RowId,
+    ts: Ts,
+) -> Option<Ts> {
+    // The newest version overall: if it's visible, its ts is the answer;
+    // otherwise validation only needs *a* stable token — we use the latest
+    // visible ts via a read. To avoid a second chain walk API we
+    // approximate with latest_ts when it is visible, else the snapshot ts
+    // bound. Conservative: any concurrent rewrite changes latest_ts and
+    // fails validation.
+    let latest = store.latest_ts(rid)?;
+    Some(if latest <= ts { latest } else { ts })
+}
+
+impl Session for KernelSession {
+    fn lookup_u32(&mut self, index: NamedIndex, key: u32) -> Result<Option<(RowId, Row)>> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        let (table, col) = match index {
+            NamedIndex::CustomerPk => (TableId::Customer, customer::CUSTKEY),
+            NamedIndex::SupplierPk => (TableId::Supplier, supplier::SUPPKEY),
+            NamedIndex::PartPk => (TableId::Part, part::PARTKEY),
+            NamedIndex::DatePk => (TableId::Date, date::DATEKEY),
+            other => {
+                return Err(HatError::Unsupported(format!(
+                    "lookup_u32 on {other:?}"
+                )))
+            }
+        };
+        match self.kernel.indexes.probe_u32(index, key) {
+            Some(Some(rid)) => {
+                Ok(self.read_visible(table, rid).map(|row| (rid, row)))
+            }
+            Some(None) => Ok(None),
+            // No index in this profile: scan.
+            None => Ok(self.scan_for_u32(table, col, key)),
+        }
+    }
+
+    fn lookup_str(&mut self, index: NamedIndex, key: &str) -> Result<Option<(RowId, Row)>> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        let (table, col) = match index {
+            NamedIndex::CustomerName => (TableId::Customer, customer::NAME),
+            NamedIndex::SupplierName => (TableId::Supplier, supplier::NAME),
+            other => {
+                return Err(HatError::Unsupported(format!(
+                    "lookup_str on {other:?}"
+                )))
+            }
+        };
+        match self.kernel.indexes.probe_str(index, key) {
+            Some(Some(rid)) => {
+                Ok(self.read_visible(table, rid).map(|row| (rid, row)))
+            }
+            Some(None) => Ok(None),
+            None => Ok(self.scan_for_str(table, col, key)),
+        }
+    }
+
+    fn count_orders(&mut self, custkey: u32) -> Result<u64> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        let ts = self.read_ts();
+        let store = self.kernel.db.store(TableId::Lineorder);
+        match self.kernel.indexes.lineorder_rids_for_customer(custkey) {
+            Some(rids) => {
+                // Index entries may point at rows newer than our snapshot;
+                // verify visibility per rid (lineorder rows are
+                // insert-only, so latest_ts is the insert ts).
+                let mut n = 0;
+                for rid in rids {
+                    if store.latest_ts(rid).map(|t| t <= ts).unwrap_or(false) {
+                        n += 1;
+                    }
+                }
+                Ok(n)
+            }
+            None => {
+                // No-index fallback: scan the fact table.
+                let mut n = 0;
+                store.scan(ts, |_, row| {
+                    if row[lineorder::CUSTKEY]
+                        .as_u32()
+                        .map(|v| v == custkey)
+                        .unwrap_or(false)
+                    {
+                        n += 1;
+                    }
+                });
+                Ok(n)
+            }
+        }
+    }
+
+    fn read(&mut self, table: TableId, rid: RowId) -> Result<Option<Row>> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        Ok(self.read_visible(table, rid))
+    }
+
+    fn insert(&mut self, table: TableId, row: Row) -> Result<()> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        self.ctx.buffer_write(WriteOp::Insert { table, row });
+        Ok(())
+    }
+
+    fn update(&mut self, table: TableId, rid: RowId, row: Row) -> Result<()> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        let key = (table, rid);
+        if let Err(e) = self.kernel.locks.try_lock(key, self.ctx.id()) {
+            return Err(self.abort_with(e));
+        }
+        self.ctx.record_lock(key);
+        // First-committer-wins under snapshot-based isolation: if a version
+        // newer than our snapshot exists, we must abort.
+        if self.ctx.isolation().uses_begin_snapshot() {
+            let begin = self.ctx.begin_snapshot().ts;
+            if let Some(latest) = self.kernel.db.store(table).latest_ts(rid) {
+                if latest > begin {
+                    return Err(self.abort_with(HatError::WriteConflict {
+                        table: table.name(),
+                    }));
+                }
+            }
+        }
+        self.ctx.buffer_write(WriteOp::Update { table, rid, row });
+        Ok(())
+    }
+
+    fn scan_lookup_u32(
+        &mut self,
+        table: TableId,
+        col: usize,
+        key: u32,
+    ) -> Result<Option<(RowId, Row)>> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        Ok(self.scan_for_u32(table, col, key))
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<Ts> {
+        if self.ctx.is_closed() {
+            return Err(HatError::TxnClosed);
+        }
+        let kernel = Arc::clone(&self.kernel);
+        // Read-only transactions commit trivially at their snapshot.
+        if self.ctx.is_read_only() {
+            self.ctx.close();
+            kernel.stats.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.ctx.begin_snapshot().ts);
+        }
+
+        // Engine-specific pre-commit latency (consensus rounds).
+        kernel.hooks.pre_commit();
+
+        let guard = kernel.oracle.begin_commit();
+        let commit_ts = guard.ts();
+
+        // Serializable read validation inside the critical section: no
+        // concurrent committer can slip between validation and install.
+        if self.ctx.isolation().validates_reads() {
+            for entry in self.ctx.reads() {
+                let latest = kernel.db.store(entry.table).latest_ts(entry.rid);
+                if latest != Some(entry.version_ts) {
+                    drop(guard);
+                    return Err(self.abort_with(HatError::SerializationFailure));
+                }
+            }
+        }
+
+        // Install buffered writes and build the redo record. A transaction
+        // may update the same row several times; only its *final* version
+        // is installed (one version per row per commit timestamp), so scan
+        // backwards and mark superseded updates.
+        let writes = self.ctx.writes();
+        let mut superseded = vec![false; writes.len()];
+        {
+            let mut seen: std::collections::HashSet<(TableId, RowId)> =
+                std::collections::HashSet::new();
+            for (i, op) in writes.iter().enumerate().rev() {
+                if let WriteOp::Update { table, rid, .. } = op {
+                    if !seen.insert((*table, *rid)) {
+                        superseded[i] = true;
+                    }
+                }
+            }
+        }
+        let mut redo: Vec<TableOp> = Vec::with_capacity(writes.len());
+        for (op, skip) in writes.iter().zip(&superseded) {
+            if *skip {
+                continue;
+            }
+            match op {
+                WriteOp::Insert { table, row } => {
+                    let store = kernel.db.store(*table);
+                    let rid = store.install_insert(Arc::clone(row), commit_ts);
+                    kernel.indexes.index_row(*table, rid, row);
+                    redo.push(TableOp::Insert { table: *table, rid, row: Arc::clone(row) });
+                }
+                WriteOp::Update { table, rid, row } => {
+                    kernel
+                        .db
+                        .store(*table)
+                        .install_update(*rid, Arc::clone(row), commit_ts)
+                        .expect("locked row exists");
+                    redo.push(TableOp::Update {
+                        table: *table,
+                        rid: *rid,
+                        row: Arc::clone(row),
+                    });
+                }
+            }
+        }
+        kernel.hooks.on_install(commit_ts, &redo);
+        guard.finish();
+
+        kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
+        self.ctx.close();
+
+        // Durability wait (WAL flush) outside the critical section:
+        // concurrent commits overlap their flushes, as with group commit.
+        if !kernel.config.commit_latency.is_zero() {
+            std::thread::sleep(kernel.config.commit_latency);
+        }
+        // Synchronous replication waits also happen outside the critical
+        // section so concurrent commits can proceed.
+        kernel.hooks.post_commit(commit_ts);
+
+        kernel.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(commit_ts)
+    }
+
+    fn abort(mut self: Box<Self>) {
+        if !self.ctx.is_closed() {
+            self.kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
+            self.ctx.close();
+            self.kernel.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_txn::IsolationLevel;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+
+    fn kernel(iso: IsolationLevel, idx: IndexProfile) -> Arc<RowKernel> {
+        Arc::new(RowKernel::new(EngineConfig {
+            isolation: iso,
+            indexes: idx,
+            commit_latency: std::time::Duration::ZERO,
+            ..EngineConfig::default()
+        }))
+    }
+
+    fn customer_row(ck: u32, name: &str) -> Row {
+        row_from([
+            Value::U32(ck),
+            Value::from(name),
+            Value::from("addr"),
+            Value::from("CITY0"),
+            Value::from("CHINA"),
+            Value::from("ASIA"),
+            Value::from("phone"),
+            Value::from("AUTO"),
+            Value::U32(0),
+        ])
+    }
+
+    fn load_customers(k: &Arc<RowKernel>, n: u32) {
+        let rows: Vec<Row> =
+            (1..=n).map(|i| customer_row(i, &format!("Customer#{i:09}"))).collect();
+        k.load(TableId::Customer, &mut rows.into_iter()).unwrap();
+        k.finish_load();
+    }
+
+    #[test]
+    fn lookup_via_index_and_via_scan_agree() {
+        for profile in [IndexProfile::All, IndexProfile::None] {
+            let k = kernel(IsolationLevel::SnapshotIsolation, profile);
+            load_customers(&k, 50);
+            let mut s = k.begin_session();
+            let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 7).unwrap().unwrap();
+            assert_eq!(row[customer::CUSTKEY].as_u32().unwrap(), 7);
+            let (rid2, _) = s
+                .lookup_str(NamedIndex::CustomerName, "Customer#000000007")
+                .unwrap()
+                .unwrap();
+            assert_eq!(rid, rid2);
+            assert!(s.lookup_u32(NamedIndex::CustomerPk, 999).unwrap().is_none());
+            Box::new(s).abort();
+        }
+    }
+
+    #[test]
+    fn update_visible_after_commit_only() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 5);
+        let mut writer = k.begin_session();
+        let (rid, row) = writer.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
+        let patched = hat_common::value::row_with(&row, customer::PAYMENTCNT, Value::U32(9));
+        writer.update(TableId::Customer, rid, patched).unwrap();
+
+        // Concurrent reader sees the old value.
+        let mut reader = k.begin_session();
+        let (_, seen) = reader.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
+        assert_eq!(seen[customer::PAYMENTCNT].as_u32().unwrap(), 0);
+        Box::new(reader).abort();
+
+        // Writer sees its own write.
+        let own = writer.read(TableId::Customer, rid).unwrap().unwrap();
+        assert_eq!(own[customer::PAYMENTCNT].as_u32().unwrap(), 9);
+
+        Box::new(writer).commit().unwrap();
+
+        // New session sees the committed value.
+        let mut after = k.begin_session();
+        let (_, seen) = after.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
+        assert_eq!(seen[customer::PAYMENTCNT].as_u32().unwrap(), 9);
+        Box::new(after).abort();
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second_writer() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 5);
+        let mut a = k.begin_session();
+        let mut b = k.begin_session();
+        let (rid, row) = a.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        a.update(TableId::Customer, rid, Arc::clone(&row)).unwrap();
+        let err = b.update(TableId::Customer, rid, row).unwrap_err();
+        assert!(err.is_retryable());
+        // After A commits, a fresh session can update again.
+        Box::new(a).commit().unwrap();
+        let mut c = k.begin_session();
+        let (rid, row) = c.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        c.update(TableId::Customer, rid, row).unwrap();
+        Box::new(c).commit().unwrap();
+        assert_eq!(k.locks.held_count(), 0);
+    }
+
+    #[test]
+    fn first_committer_wins_under_si() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 5);
+        // B begins before A commits, then tries to update the row A wrote.
+        let mut a = k.begin_session();
+        let mut b = k.begin_session();
+        let (rid, row) = a.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+        a.update(TableId::Customer, rid, Arc::clone(&row)).unwrap();
+        Box::new(a).commit().unwrap();
+        let err = b.update(TableId::Customer, rid, row).unwrap_err();
+        assert!(matches!(err, HatError::WriteConflict { .. }));
+    }
+
+    #[test]
+    fn read_committed_allows_overwriting_newer_commits() {
+        let k = kernel(IsolationLevel::ReadCommitted, IndexProfile::All);
+        load_customers(&k, 5);
+        let mut a = k.begin_session();
+        let mut b = k.begin_session();
+        let (rid, row) = a.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+        a.update(TableId::Customer, rid, Arc::clone(&row)).unwrap();
+        Box::new(a).commit().unwrap();
+        // Under RC this succeeds (no first-committer-wins check).
+        b.update(TableId::Customer, rid, row).unwrap();
+        Box::new(b).commit().unwrap();
+    }
+
+    #[test]
+    fn serializable_validates_reads() {
+        let k = kernel(IsolationLevel::Serializable, IndexProfile::All);
+        load_customers(&k, 5);
+        // T1 reads row 1; T2 rewrites row 1 and commits; T1 then writes
+        // something else and must fail validation.
+        let mut t1 = k.begin_session();
+        let _ = t1.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+
+        let mut t2 = k.begin_session();
+        let (rid1, row1) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        t2.update(TableId::Customer, rid1, row1).unwrap();
+        Box::new(t2).commit().unwrap();
+
+        let mut t1 = t1; // continue t1
+        let (rid3, row3) = t1.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
+        t1.update(TableId::Customer, rid3, row3).unwrap();
+        let err = Box::new(t1).commit().unwrap_err();
+        assert_eq!(err, HatError::SerializationFailure);
+        assert_eq!(k.locks.held_count(), 0, "validation failure releases locks");
+    }
+
+    #[test]
+    fn serializable_read_only_never_fails() {
+        let k = kernel(IsolationLevel::Serializable, IndexProfile::All);
+        load_customers(&k, 5);
+        let mut t1 = k.begin_session();
+        let _ = t1.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        let mut t2 = k.begin_session();
+        let (rid, row) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        t2.update(TableId::Customer, rid, row).unwrap();
+        Box::new(t2).commit().unwrap();
+        // Read-only commit succeeds despite the invalidated read.
+        Box::new(t1).commit().unwrap();
+    }
+
+    #[test]
+    fn inserts_are_indexed_and_countable() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::Semi);
+        load_customers(&k, 3);
+        let mut s = k.begin_session();
+        for i in 0..4u64 {
+            s.insert(TableId::Lineorder, lineorder_row(i, 2)).unwrap();
+        }
+        Box::new(s).commit().unwrap();
+        let mut s = k.begin_session();
+        assert_eq!(s.count_orders(2).unwrap(), 4);
+        assert_eq!(s.count_orders(1).unwrap(), 0);
+        Box::new(s).abort();
+    }
+
+    #[test]
+    fn count_orders_scan_fallback_matches_index() {
+        for profile in [IndexProfile::Semi, IndexProfile::None] {
+            let k = kernel(IsolationLevel::SnapshotIsolation, profile);
+            load_customers(&k, 3);
+            let mut s = k.begin_session();
+            for i in 0..6u64 {
+                s.insert(TableId::Lineorder, lineorder_row(i, (i % 2) as u32 + 1))
+                    .unwrap();
+            }
+            Box::new(s).commit().unwrap();
+            let mut s = k.begin_session();
+            assert_eq!(s.count_orders(1).unwrap(), 3, "profile {profile:?}");
+            Box::new(s).abort();
+        }
+    }
+
+    #[test]
+    fn reset_restores_loaded_state() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 3);
+        // Mutate: update a customer, insert lineorders.
+        let mut s = k.begin_session();
+        let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        s.update(
+            TableId::Customer,
+            rid,
+            hat_common::value::row_with(&row, customer::PAYMENTCNT, Value::U32(7)),
+        )
+        .unwrap();
+        for i in 0..5u64 {
+            s.insert(TableId::Lineorder, lineorder_row(i, 1)).unwrap();
+        }
+        Box::new(s).commit().unwrap();
+
+        k.reset().unwrap();
+
+        let mut s = k.begin_session();
+        let (_, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        assert_eq!(row[customer::PAYMENTCNT].as_u32().unwrap(), 0);
+        assert_eq!(s.count_orders(1).unwrap(), 0);
+        assert_eq!(k.db.store(TableId::Lineorder).slot_count(), 0);
+        Box::new(s).abort();
+        // Post-reset traffic works.
+        let mut s = k.begin_session();
+        s.insert(TableId::Lineorder, lineorder_row(0, 1)).unwrap();
+        Box::new(s).commit().unwrap();
+        let mut s = k.begin_session();
+        assert_eq!(s.count_orders(1).unwrap(), 1);
+        Box::new(s).abort();
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 2);
+        let mut s = k.begin_session();
+        s.insert(TableId::Lineorder, lineorder_row(0, 1)).unwrap();
+        Box::new(s).commit().unwrap();
+        let s = k.begin_session();
+        Box::new(s).abort();
+        let stats = k.stats_snapshot();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.aborts, 1);
+    }
+
+    /// Minimal typed lineorder row for kernel tests.
+    fn lineorder_row(orderkey: u64, custkey: u32) -> Row {
+        use hat_common::Money;
+        row_from([
+            Value::U64(orderkey),
+            Value::U32(1),
+            Value::U32(custkey),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(19940101),
+            Value::from("1-URGENT"),
+            Value::from("0"),
+            Value::U32(10),
+            Value::Money(Money::from_dollars(100)),
+            Value::Money(Money::from_dollars(100)),
+            Value::U32(5),
+            Value::Money(Money::from_dollars(95)),
+            Value::Money(Money::from_dollars(60)),
+            Value::U32(3),
+            Value::U32(19940110),
+            Value::from("TRUCK"),
+        ])
+    }
+}

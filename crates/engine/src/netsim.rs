@@ -1,0 +1,135 @@
+//! Simulated network links.
+//!
+//! The paper's isolated and distributed systems pay real network latency on
+//! their commit and replication paths (PostgreSQL-SR's synchronous_commit
+//! acknowledgements; TiDB's Raft rounds, whose "high CPU-overhead of the
+//! TCP/IP stack and limited network bandwidth" §6.5.2 explain its
+//! distributed-mode T-throughput drop). This reproduction models a link as
+//! a latency distribution applied with a *parking* sleep: the waiting
+//! client thread yields the CPU, exactly as a thread blocked on a socket
+//! would — which is what lets the analytical workload use the freed
+//! resources, the effect the distributed-TiDB experiment shows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A point-to-point link with fixed one-way latency plus bounded uniform
+/// jitter.
+#[derive(Debug)]
+pub struct NetworkLink {
+    one_way: Duration,
+    jitter: Duration,
+    /// Cheap xorshift state for jitter; contention here is irrelevant.
+    seed: AtomicU64,
+    transmissions: AtomicU64,
+}
+
+impl NetworkLink {
+    /// A link with the given one-way latency and jitter bound.
+    pub fn new(one_way: Duration, jitter: Duration) -> Self {
+        NetworkLink {
+            one_way,
+            jitter,
+            seed: AtomicU64::new(0x9E3779B97F4A7C15),
+            transmissions: AtomicU64::new(0),
+        }
+    }
+
+    /// A zero-latency link (same-process "network"; transmit is free).
+    pub fn loopback() -> Self {
+        NetworkLink::new(Duration::ZERO, Duration::ZERO)
+    }
+
+    /// The configured one-way latency.
+    pub fn one_way(&self) -> Duration {
+        self.one_way
+    }
+
+    /// Whether transmits actually sleep.
+    pub fn is_loopback(&self) -> bool {
+        self.one_way.is_zero() && self.jitter.is_zero()
+    }
+
+    /// Number of transmissions so far.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions.load(Ordering::Relaxed)
+    }
+
+    fn sample_jitter(&self) -> Duration {
+        if self.jitter.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut x = self.seed.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.seed.store(x, Ordering::Relaxed);
+        Duration::from_nanos(x % self.jitter.as_nanos() as u64)
+    }
+
+    /// Blocks the calling thread for one one-way traversal.
+    pub fn transmit(&self) {
+        self.delay(1);
+    }
+
+    /// Blocks for a full round trip (request + acknowledgement).
+    pub fn round_trip(&self) {
+        self.delay(2);
+    }
+
+    /// Blocks for `traversals` one-way traversals in a single sleep.
+    ///
+    /// Coalescing matters on small machines: each `sleep` costs a timer
+    /// programming + wakeup, and tens of thousands of them per second are
+    /// real CPU. One sleep per logical wait keeps the simulation's
+    /// overhead out of the measurement.
+    pub fn delay(&self, traversals: u32) {
+        self.transmissions.fetch_add(traversals as u64, Ordering::Relaxed);
+        if self.is_loopback() || traversals == 0 {
+            return;
+        }
+        let mut total = self.one_way * traversals;
+        for _ in 0..traversals {
+            total += self.sample_jitter();
+        }
+        std::thread::sleep(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn loopback_is_free() {
+        let link = NetworkLink::loopback();
+        assert!(link.is_loopback());
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            link.transmit();
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(link.transmissions(), 10_000);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let link = NetworkLink::new(Duration::from_millis(2), Duration::ZERO);
+        let start = Instant::now();
+        link.round_trip();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(4), "two one-way traversals");
+        assert_eq!(link.transmissions(), 2);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let link =
+            NetworkLink::new(Duration::from_micros(100), Duration::from_micros(200));
+        for _ in 0..100 {
+            let j = link.sample_jitter();
+            assert!(j < Duration::from_micros(200));
+        }
+    }
+}

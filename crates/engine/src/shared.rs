@@ -1,0 +1,279 @@
+//! The shared-design engine ("PostgreSQL-like", §2.2 / §6.2).
+//!
+//! One MVCC row store serves both workloads: transactions run through the
+//! kernel, and analytical queries scan the same version chains under a
+//! snapshot. Freshness is zero by construction — a query's snapshot is the
+//! current visibility horizon, so it sees every transaction that committed
+//! before it started. The cost is interference: both workloads fight for
+//! CPU, slot locks, the commit critical section, and index latches.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hat_common::{Result, Row, TableId};
+use hat_query::exec::{execute, QueryOutput};
+use hat_query::spec::QuerySpec;
+use hat_query::view::MixedView;
+
+use crate::analytics::{date_range_hint, PrefilteredView};
+use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
+use crate::kernel::RowKernel;
+
+/// A single-node, single-copy MVCC engine.
+pub struct ShdEngine {
+    kernel: Arc<RowKernel>,
+}
+
+impl ShdEngine {
+    /// Builds an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        ShdEngine { kernel: Arc::new(RowKernel::new(config)) }
+    }
+
+    /// The engine's kernel (tests and the isolated engine reuse it).
+    pub fn kernel(&self) -> &Arc<RowKernel> {
+        &self.kernel
+    }
+}
+
+impl HtapEngine for ShdEngine {
+    fn name(&self) -> String {
+        format!(
+            "shared[{},{}]",
+            self.kernel.config.isolation.label(),
+            self.kernel.config.indexes.label()
+        )
+    }
+
+    fn design(&self) -> DesignCategory {
+        DesignCategory::Shared
+    }
+
+    fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
+        self.kernel.load(table, rows)
+    }
+
+    fn finish_load(&self) -> Result<()> {
+        self.kernel.finish_load();
+        Ok(())
+    }
+
+    fn begin(&self) -> Box<dyn Session + '_> {
+        Box::new(self.kernel.begin_session())
+    }
+
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let ts = self.kernel.oracle.read_ts();
+        // Index-accelerated plan when the physical schema allows it.
+        if let Some((lo, hi)) = date_range_hint(spec) {
+            if let Some(rids) =
+                self.kernel.indexes.lineorder_rids_for_date_range(lo, hi)
+            {
+                let view = PrefilteredView::new(&self.kernel.db, ts, spec.fact, &rids);
+                return Ok(execute(spec, &view));
+            }
+        }
+        let view = MixedView::rows(&self.kernel.db, ts);
+        Ok(execute(spec, &view))
+    }
+
+    fn reset(&self) -> Result<()> {
+        self.kernel.reset()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.kernel.stats_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{IndexProfile, NamedIndex};
+    use hat_common::ids::customer;
+    use hat_common::value::row_from;
+    use hat_common::{Money, Value};
+    use hat_query::spec::QueryId;
+    use hat_query::ssb;
+    use hat_txn::IsolationLevel;
+
+    fn date_row(key: u32) -> Row {
+        let d = hat_common::dates::CalendarDate::from_key(key);
+        row_from([
+            Value::U32(key),
+            Value::from(format!("{} {}, {}", d.month_name(), d.day, d.year)),
+            Value::from(d.day_name()),
+            Value::from(d.month_name()),
+            Value::U32(d.year),
+            Value::U32(d.yearmonthnum()),
+            Value::from(d.yearmonth()),
+            Value::U32(d.weekday() + 1),
+            Value::U32(d.day),
+            Value::U32(d.day_num_in_year()),
+            Value::U32(d.month),
+            Value::U32(d.week_num_in_year()),
+            Value::from(d.selling_season()),
+            Value::from(d.is_last_day_in_month()),
+            Value::from(d.is_holiday()),
+            Value::from(d.is_weekday()),
+        ])
+    }
+
+    fn lineorder_row(ok: u64, custkey: u32, orderdate: u32, price_c: i64, disc: u32, qty: u32) -> Row {
+        row_from([
+            Value::U64(ok),
+            Value::U32(1),
+            Value::U32(custkey),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(orderdate),
+            Value::from("1-URGENT"),
+            Value::from("0"),
+            Value::U32(qty),
+            Value::Money(Money::from_cents(price_c)),
+            Value::Money(Money::from_cents(price_c)),
+            Value::U32(disc),
+            Value::Money(Money::from_cents(price_c * 9 / 10)),
+            Value::Money(Money::from_cents(price_c * 6 / 10)),
+            Value::U32(0),
+            Value::U32(orderdate),
+            Value::from("TRUCK"),
+        ])
+    }
+
+    fn engine_with_data(indexes: IndexProfile) -> ShdEngine {
+        let engine = ShdEngine::new(EngineConfig {
+            isolation: IsolationLevel::Serializable,
+            indexes,
+            commit_latency: std::time::Duration::ZERO,
+            ..EngineConfig::default()
+        });
+        // Date dimension: all of 1993 and 1994.
+        let dates: Vec<Row> = hat_common::dates::all_date_keys()
+            .filter(|k| (19930101..=19941231).contains(k))
+            .map(date_row)
+            .collect();
+        engine.load(TableId::Date, &mut dates.into_iter()).unwrap();
+        // Facts: two qualifying rows in 1993, one in 1994.
+        let rows = vec![
+            lineorder_row(1, 1, 19930315, 10_000, 2, 10),
+            lineorder_row(2, 1, 19930720, 20_000, 3, 20),
+            lineorder_row(3, 1, 19940101, 30_000, 2, 10),
+        ];
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine
+    }
+
+    #[test]
+    fn q11_matches_on_both_plans() {
+        // Q1.1: d_year=1993, discount 1..3, quantity < 25
+        // -> rows 1 and 2: 10000*2% + 20000*3% = 200 + 600.
+        let expected = 800;
+        for profile in [IndexProfile::All, IndexProfile::Semi, IndexProfile::None] {
+            let engine = engine_with_data(profile);
+            let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+            assert_eq!(out.groups[0].agg, expected, "profile {profile:?}");
+            assert_eq!(out.matched_rows, 2);
+        }
+    }
+
+    #[test]
+    fn queries_see_committed_inserts_immediately() {
+        let engine = engine_with_data(IndexProfile::All);
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
+            .unwrap();
+        s.commit().unwrap();
+        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        assert_eq!(out.groups[0].agg, 800 + 1000, "freshness is zero by design");
+    }
+
+    #[test]
+    fn uncommitted_inserts_are_invisible_to_queries() {
+        let engine = engine_with_data(IndexProfile::All);
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
+            .unwrap();
+        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        assert_eq!(out.groups[0].agg, 800);
+        s.abort();
+    }
+
+    #[test]
+    fn design_and_name() {
+        let engine = engine_with_data(IndexProfile::All);
+        assert_eq!(engine.design(), DesignCategory::Shared);
+        assert!(engine.name().contains("shared"));
+        assert!(engine.name().contains("serializable"));
+    }
+
+    #[test]
+    fn reset_between_runs() {
+        let engine = engine_with_data(IndexProfile::All);
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
+            .unwrap();
+        s.commit().unwrap();
+        engine.reset().unwrap();
+        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        assert_eq!(out.groups[0].agg, 800);
+    }
+
+    #[test]
+    fn transactional_path_works_end_to_end() {
+        let engine = ShdEngine::new(EngineConfig::default());
+        let customers: Vec<Row> = (1..=10u32)
+            .map(|i| {
+                row_from([
+                    Value::U32(i),
+                    Value::from(format!("Customer#{i:09}")),
+                    Value::from("addr"),
+                    Value::from("CITY0"),
+                    Value::from("CHINA"),
+                    Value::from("ASIA"),
+                    Value::from("phone"),
+                    Value::from("AUTO"),
+                    Value::U32(0),
+                ])
+            })
+            .collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        let mut s = engine.begin();
+        let (rid, row) = s.lookup_str(NamedIndex::CustomerName, "Customer#000000004")
+            .unwrap()
+            .unwrap();
+        assert_eq!(row[customer::CUSTKEY].as_u32().unwrap(), 4);
+        let patched =
+            hat_common::value::row_with(&row, customer::PAYMENTCNT, Value::U32(1));
+        s.update(TableId::Customer, rid, patched).unwrap();
+        s.commit().unwrap();
+        assert_eq!(engine.stats().commits, 1);
+    }
+
+    #[test]
+    fn prefilter_consistency_with_concurrent_growth() {
+        // Rows inserted after the query's snapshot must not appear even
+        // though their index entries exist.
+        let engine = engine_with_data(IndexProfile::All);
+        let ts_before = engine.kernel().oracle.read_ts();
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
+            .unwrap();
+        s.commit().unwrap();
+        // Manually run the prefiltered plan at the old snapshot.
+        let spec = ssb::query(QueryId::Q1_1);
+        let (lo, hi) = date_range_hint(&spec).unwrap();
+        let rids = engine
+            .kernel()
+            .indexes
+            .lineorder_rids_for_date_range(lo, hi)
+            .unwrap();
+        assert_eq!(rids.len(), 3, "index has the new entry");
+        let view = PrefilteredView::new(&engine.kernel().db, ts_before, spec.fact, &rids);
+        let out = execute(&spec, &view);
+        assert_eq!(out.groups[0].agg, 800, "snapshot excludes the new row");
+    }
+}

@@ -1,0 +1,435 @@
+//! The star-join aggregation executor.
+//!
+//! Interprets a [`QuerySpec`] against a [`SnapshotView`] in two phases:
+//!
+//! 1. **Build** — for each dimension join, scan the (small) dimension table
+//!    once, apply its filter, and hash `dim_key -> payload columns`.
+//! 2. **Probe** — scan the fact table once; each fact row that passes the
+//!    fact filter probes every dimension hash table (a miss filters the
+//!    row), assembles its group key from fact columns and join payloads,
+//!    and folds into the aggregate accumulator.
+//!
+//! The output also carries the HATtrick freshness vector read from the same
+//! snapshot (§4.2's UNION + cross-join, expressed as a side read — the
+//! visibility semantics are identical because both reads observe one
+//! snapshot timestamp).
+
+use std::collections::HashMap;
+
+use hat_common::Money;
+
+use crate::spec::{AggExpr, GroupKey, GroupVal, QuerySpec};
+use crate::view::{RowRef, SnapshotView};
+
+/// One output row: the group key values and the aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputRow {
+    pub key: Vec<GroupVal>,
+    /// Money sums in cents, or a row count for `CountRows`.
+    pub agg: i64,
+    /// Number of fact rows folded into this group.
+    pub rows: u64,
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Group rows, sorted by key for deterministic comparison.
+    pub groups: Vec<OutputRow>,
+    /// Fact rows that survived filter + joins (diagnostic).
+    pub matched_rows: u64,
+    /// The freshness side-read: `(client, txnnum)` pairs visible in the
+    /// query's snapshot.
+    pub freshness: Vec<(u32, u64)>,
+}
+
+impl QueryOutput {
+    /// Total aggregate across all groups.
+    pub fn total(&self) -> i64 {
+        self.groups.iter().map(|g| g.agg).sum()
+    }
+}
+
+/// Hashed payload of one dimension join.
+struct DimTable {
+    map: HashMap<u32, Vec<GroupVal>>,
+}
+
+/// Executes `spec` against `view`.
+pub fn execute(spec: &QuerySpec, view: &dyn SnapshotView) -> QueryOutput {
+    assert!(spec.joins.len() <= 4, "SSB stars have at most 4 dimensions");
+    // Phase 1: build dimension hash tables.
+    let mut dims: Vec<DimTable> = Vec::with_capacity(spec.joins.len());
+    for join in &spec.joins {
+        let mut map: HashMap<u32, Vec<GroupVal>> = HashMap::new();
+        view.scan(join.dim, &mut |row| {
+            if join.dim_filter.eval(row) {
+                let key = row.u32(join.dim_key);
+                let payload: Vec<GroupVal> = join
+                    .payload
+                    .iter()
+                    .map(|&col| payload_val(row, join.dim, col))
+                    .collect();
+                map.insert(key, payload);
+            }
+        });
+        dims.push(DimTable { map });
+    }
+
+    // Phase 2: probe the fact table and aggregate.
+    let mut groups: HashMap<Vec<GroupVal>, (i64, u64)> = HashMap::new();
+    let mut matched: u64 = 0;
+    let mut key_buf: Vec<GroupVal> = Vec::with_capacity(spec.group_by.len());
+    view.scan(spec.fact, &mut |row| {
+        if !spec.fact_filter.eval(row) {
+            return;
+        }
+        // Probe every join; a miss filters the row. Collect payload refs.
+        let mut payloads: [Option<&Vec<GroupVal>>; 4] = [None; 4];
+        for (ji, join) in spec.joins.iter().enumerate() {
+            match dims[ji].map.get(&row.u32(join.fact_key)) {
+                Some(p) => payloads[ji] = Some(p),
+                None => return,
+            }
+        }
+        matched += 1;
+        key_buf.clear();
+        for gk in &spec.group_by {
+            key_buf.push(match gk {
+                GroupKey::FactU32(col) => GroupVal::U32(row.u32(*col)),
+                GroupKey::DimU32(ji, pi) | GroupKey::DimStr(ji, pi) => {
+                    payloads[*ji].expect("probed above")[*pi].clone()
+                }
+            });
+        }
+        let delta = match spec.agg {
+            AggExpr::SumMoney(col) => row.money(col).cents(),
+            AggExpr::SumMoneyTimesPct(mcol, pcol) => {
+                row.money(mcol).pct(row.u32(pcol) as i64).cents()
+            }
+            AggExpr::SumMoneyDiff(a, b) => (row.money(a) - row.money(b)).cents(),
+            AggExpr::CountRows => 1,
+        };
+        match groups.get_mut(key_buf.as_slice()) {
+            Some((agg, rows)) => {
+                *agg += delta;
+                *rows += 1;
+            }
+            None => {
+                groups.insert(key_buf.clone(), (delta, 1));
+            }
+        }
+    });
+
+    // Global aggregates produce one row even over zero matches, matching
+    // SQL `SUM` over an empty input (we report 0 rather than NULL).
+    if groups.is_empty() && spec.group_by.is_empty() {
+        groups.insert(Vec::new(), (0, 0));
+    }
+
+    let mut out: Vec<OutputRow> = groups
+        .into_iter()
+        .map(|(key, (agg, rows))| OutputRow { key, agg, rows })
+        .collect();
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+
+    QueryOutput { groups: out, matched_rows: matched, freshness: view.freshness_vector() }
+}
+
+/// Extracts a payload value with the right [`GroupVal`] variant based on
+/// the column's declared type.
+fn payload_val(row: &RowRef<'_>, table: hat_common::TableId, col: usize) -> GroupVal {
+    use hat_common::value::{table_column_types, ColumnType};
+    match table_column_types(table)[col] {
+        ColumnType::U32 => GroupVal::U32(row.u32(col)),
+        ColumnType::Str => GroupVal::Str(row.arc_str(col)),
+        other => panic!("unsupported payload column type {other:?}"),
+    }
+}
+
+/// Convenience: the sum a money aggregate would produce over `values`.
+/// Used by tests to compute expected results.
+pub fn sum_cents(values: impl IntoIterator<Item = Money>) -> i64 {
+    values.into_iter().map(|m| m.cents()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColPredicate, Predicate};
+    use crate::spec::{JoinSpec, QueryId};
+    use hat_common::ids::{customer, history};
+    use hat_common::value::row_from;
+    use hat_common::{Money, Row, TableId, Value};
+    use hat_storage::rowstore::RowDb;
+
+    /// A miniature star: HISTORY as "fact" (orderkey, custkey, amount),
+    /// CUSTOMER as dimension.
+    fn tiny_db() -> RowDb {
+        let db = RowDb::new();
+        let c = db.store(TableId::Customer);
+        for (ck, nation, region) in [
+            (1u32, "CHINA", "ASIA"),
+            (2, "FRANCE", "EUROPE"),
+            (3, "JAPAN", "ASIA"),
+        ] {
+            c.install_insert(customer_row(ck, nation, region), 1);
+        }
+        let h = db.store(TableId::History);
+        for (ok, ck, cents) in
+            [(1u64, 1u32, 100i64), (2, 2, 200), (3, 3, 300), (4, 1, 400), (5, 9, 999)]
+        {
+            h.install_insert(history_row(ok, ck, cents), 1);
+        }
+        db
+    }
+
+    fn customer_row(ck: u32, nation: &str, region: &str) -> Row {
+        row_from([
+            Value::U32(ck),
+            Value::from(format!("Customer#{ck:09}")),
+            Value::from("addr"),
+            Value::from("CITY0"),
+            Value::from(nation),
+            Value::from(region),
+            Value::from("phone"),
+            Value::from("AUTOMOBILE"),
+            Value::U32(0),
+        ])
+    }
+
+    fn history_row(ok: u64, ck: u32, cents: i64) -> Row {
+        row_from([
+            Value::U64(ok),
+            Value::U32(ck),
+            Value::Money(Money::from_cents(cents)),
+        ])
+    }
+
+    fn base_spec() -> QuerySpec {
+        QuerySpec {
+            id: QueryId::Q1_1,
+            fact: TableId::History,
+            fact_filter: Predicate::all(),
+            joins: vec![],
+            group_by: vec![],
+            agg: AggExpr::SumMoney(history::AMOUNT),
+        }
+    }
+
+    #[test]
+    fn global_sum_no_joins() {
+        let db = tiny_db();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].agg, 100 + 200 + 300 + 400 + 999);
+        assert_eq!(out.matched_rows, 5);
+    }
+
+    #[test]
+    fn fact_filter_applies() {
+        let db = tiny_db();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.fact_filter =
+            Predicate::and(vec![ColPredicate::U32Between(history::CUSTKEY, 1, 2)]);
+        let out = execute(&spec, &view);
+        assert_eq!(out.groups[0].agg, 100 + 200 + 400);
+    }
+
+    #[test]
+    fn join_filters_and_groups() {
+        let db = tiny_db();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.joins = vec![JoinSpec {
+            dim: TableId::Customer,
+            fact_key: history::CUSTKEY,
+            dim_key: customer::CUSTKEY,
+            dim_filter: Predicate::and(vec![ColPredicate::StrEq(
+                customer::REGION,
+                "ASIA".into(),
+            )]),
+            payload: vec![customer::NATION],
+        }];
+        spec.group_by = vec![GroupKey::DimStr(0, 0)];
+        let out = execute(&spec, &view);
+        // ASIA customers: 1 (CHINA: 100+400) and 3 (JAPAN: 300). Customer 9
+        // doesn't exist -> join miss. Customer 2 is EUROPE -> filtered.
+        assert_eq!(out.groups.len(), 2);
+        let china = out.groups.iter().find(|g| g.key[0].to_string() == "CHINA").unwrap();
+        assert_eq!(china.agg, 500);
+        assert_eq!(china.rows, 2);
+        let japan = out.groups.iter().find(|g| g.key[0].to_string() == "JAPAN").unwrap();
+        assert_eq!(japan.agg, 300);
+        assert_eq!(out.matched_rows, 3);
+        // Sorted by key: CHINA < JAPAN.
+        assert!(out.groups[0].key < out.groups[1].key);
+    }
+
+    #[test]
+    fn group_by_fact_column() {
+        let db = tiny_db();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.group_by = vec![GroupKey::FactU32(history::CUSTKEY)];
+        spec.agg = AggExpr::CountRows;
+        let out = execute(&spec, &view);
+        let counts: Vec<(String, i64)> =
+            out.groups.iter().map(|g| (g.key[0].to_string(), g.agg)).collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("1".into(), 2),
+                ("2".into(), 1),
+                ("3".into(), 1),
+                ("9".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_diff_aggregate() {
+        let db = RowDb::new();
+        let h = db.store(TableId::History);
+        // Reuse AMOUNT as both operands: a - a = 0.
+        h.install_insert(history_row(1, 1, 500), 1);
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.agg = AggExpr::SumMoneyDiff(history::AMOUNT, history::AMOUNT);
+        let out = execute(&spec, &view);
+        assert_eq!(out.groups[0].agg, 0);
+    }
+
+    #[test]
+    fn pct_aggregate() {
+        let db = RowDb::new();
+        let h = db.store(TableId::History);
+        // custkey doubles as a "discount percent" of 7.
+        h.install_insert(history_row(1, 7, 1000), 1);
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.agg = AggExpr::SumMoneyTimesPct(history::AMOUNT, history::CUSTKEY);
+        let out = execute(&spec, &view);
+        assert_eq!(out.groups[0].agg, 70, "7% of 1000 cents");
+    }
+
+    #[test]
+    fn empty_input_global_agg_yields_zero_row() {
+        let db = RowDb::new();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].agg, 0);
+        assert_eq!(out.matched_rows, 0);
+        assert_eq!(out.total(), 0);
+    }
+
+    #[test]
+    fn empty_input_grouped_agg_yields_no_rows() {
+        let db = RowDb::new();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.group_by = vec![GroupKey::FactU32(history::CUSTKEY)];
+        let out = execute(&spec, &view);
+        assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn columnar_backend_matches_row_backend() {
+        // Same data served row-format and column-format must aggregate
+        // identically, including rows arriving through the delta.
+        use hat_storage::colstore::ColumnTable;
+        let db = tiny_db();
+        let row_view = crate::view::MixedView::rows(&db, 10);
+
+        let ct = ColumnTable::new(TableId::History);
+        // Sealed segment: first three rows; delta: the last two.
+        ct.load_segment(
+            1,
+            [
+                history_row(1, 1, 100),
+                history_row(2, 2, 200),
+                history_row(3, 3, 300),
+            ],
+        );
+        ct.append_delta(2, history_row(4, 1, 400));
+        ct.append_delta(3, history_row(5, 9, 999));
+        let empty_db = RowDb::new();
+        // Customer dim stays row-format in this hybrid view.
+        for (ck, nation, region) in [
+            (1u32, "CHINA", "ASIA"),
+            (2, "FRANCE", "EUROPE"),
+            (3, "JAPAN", "ASIA"),
+        ] {
+            empty_db
+                .store(TableId::Customer)
+                .install_insert(customer_row(ck, nation, region), 1);
+        }
+        let col_view = crate::view::MixedView::rows(&empty_db, 10)
+            .with_columnar(TableId::History, ct.snapshot(10));
+
+        let mut spec = base_spec();
+        spec.joins = vec![JoinSpec {
+            dim: TableId::Customer,
+            fact_key: history::CUSTKEY,
+            dim_key: customer::CUSTKEY,
+            dim_filter: Predicate::all(),
+            payload: vec![customer::NATION],
+        }];
+        spec.group_by = vec![GroupKey::DimStr(0, 0)];
+        let via_rows = execute(&spec, &row_view);
+        let via_cols = execute(&spec, &col_view);
+        assert_eq!(via_rows.groups, via_cols.groups);
+        assert_eq!(via_rows.matched_rows, via_cols.matched_rows);
+    }
+
+    #[test]
+    fn dim_u32_group_key_from_payload() {
+        let db = tiny_db();
+        let view = crate::view::MixedView::rows(&db, 10);
+        let mut spec = base_spec();
+        spec.joins = vec![JoinSpec {
+            dim: TableId::Customer,
+            fact_key: history::CUSTKEY,
+            dim_key: customer::CUSTKEY,
+            dim_filter: Predicate::all(),
+            payload: vec![customer::PAYMENTCNT], // u32 payload column
+        }];
+        spec.group_by = vec![GroupKey::DimU32(0, 0)];
+        let out = execute(&spec, &view);
+        // All customers have paymentcnt 0 -> a single group.
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].key[0].to_string(), "0");
+    }
+
+    #[test]
+    fn snapshot_ts_filters_columnar_delta() {
+        use hat_storage::colstore::ColumnTable;
+        let db = RowDb::new();
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(1, [history_row(1, 1, 100)]);
+        ct.append_delta(5, history_row(2, 1, 200));
+        // Snapshot before the delta row: only the sealed row counts.
+        let view = crate::view::MixedView::rows(&db, 4)
+            .with_columnar(TableId::History, ct.snapshot(4));
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.groups[0].agg, 100);
+        // Snapshot after: both.
+        let view = crate::view::MixedView::rows(&db, 5)
+            .with_columnar(TableId::History, ct.snapshot(5));
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.groups[0].agg, 300);
+    }
+
+    #[test]
+    fn freshness_vector_attached() {
+        let db = tiny_db();
+        db.store(TableId::Freshness)
+            .install_insert(row_from([Value::U32(0), Value::U64(41)]), 1);
+        let view = crate::view::MixedView::rows(&db, 10);
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.freshness, vec![(0, 41)]);
+    }
+}

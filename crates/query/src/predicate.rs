@@ -1,0 +1,152 @@
+//! Column predicates (conjunctive filters) evaluated against [`RowRef`]s.
+//!
+//! The SSB query suite only needs equality, inclusive ranges, and small IN
+//! lists over integers and strings, so predicates are a closed enum the
+//! executor can evaluate without boxing or dynamic dispatch.
+
+use hat_common::ColId;
+
+use crate::view::RowRef;
+
+/// A single-column filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColPredicate {
+    /// `col = v`
+    U32Eq(ColId, u32),
+    /// `col BETWEEN lo AND hi` (inclusive)
+    U32Between(ColId, u32, u32),
+    /// `col IN (..)`
+    U32In(ColId, Vec<u32>),
+    /// `col = s`
+    StrEq(ColId, String),
+    /// `col IN (..)`
+    StrIn(ColId, Vec<String>),
+    /// `col BETWEEN lo AND hi` (inclusive, lexicographic)
+    StrBetween(ColId, String, String),
+}
+
+impl ColPredicate {
+    /// The column this predicate filters.
+    pub fn col(&self) -> ColId {
+        match self {
+            ColPredicate::U32Eq(c, _)
+            | ColPredicate::U32Between(c, _, _)
+            | ColPredicate::U32In(c, _)
+            | ColPredicate::StrEq(c, _)
+            | ColPredicate::StrIn(c, _)
+            | ColPredicate::StrBetween(c, _, _) => *c,
+        }
+    }
+
+    /// Evaluates against one row.
+    #[inline]
+    pub fn eval(&self, row: &RowRef<'_>) -> bool {
+        match self {
+            ColPredicate::U32Eq(c, v) => row.u32(*c) == *v,
+            ColPredicate::U32Between(c, lo, hi) => {
+                let v = row.u32(*c);
+                *lo <= v && v <= *hi
+            }
+            ColPredicate::U32In(c, vs) => vs.contains(&row.u32(*c)),
+            ColPredicate::StrEq(c, s) => row.str(*c) == s.as_str(),
+            ColPredicate::StrIn(c, vs) => {
+                let v = row.str(*c);
+                vs.iter().any(|s| s == v)
+            }
+            ColPredicate::StrBetween(c, lo, hi) => {
+                let v = row.str(*c);
+                lo.as_str() <= v && v <= hi.as_str()
+            }
+        }
+    }
+}
+
+/// A conjunction of column predicates. Empty means "accept everything".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Predicate {
+    pub conjuncts: Vec<ColPredicate>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn all() -> Self {
+        Predicate::default()
+    }
+
+    /// A conjunction of the given filters.
+    pub fn and(conjuncts: Vec<ColPredicate>) -> Self {
+        Predicate { conjuncts }
+    }
+
+    /// Evaluates against one row.
+    #[inline]
+    pub fn eval(&self, row: &RowRef<'_>) -> bool {
+        self.conjuncts.iter().all(|p| p.eval(row))
+    }
+
+    /// Whether this predicate filters nothing.
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+
+    fn test_row() -> hat_common::Row {
+        row_from([Value::U32(7), Value::from("ASIA"), Value::U32(1994)])
+    }
+
+    #[test]
+    fn u32_predicates() {
+        let row = test_row();
+        let r = RowRef::Row(&row);
+        assert!(ColPredicate::U32Eq(0, 7).eval(&r));
+        assert!(!ColPredicate::U32Eq(0, 8).eval(&r));
+        assert!(ColPredicate::U32Between(2, 1992, 1997).eval(&r));
+        assert!(ColPredicate::U32Between(2, 1994, 1994).eval(&r));
+        assert!(!ColPredicate::U32Between(2, 1995, 1997).eval(&r));
+        assert!(ColPredicate::U32In(0, vec![1, 7, 9]).eval(&r));
+        assert!(!ColPredicate::U32In(0, vec![1, 9]).eval(&r));
+    }
+
+    #[test]
+    fn str_predicates() {
+        let row = test_row();
+        let r = RowRef::Row(&row);
+        assert!(ColPredicate::StrEq(1, "ASIA".into()).eval(&r));
+        assert!(!ColPredicate::StrEq(1, "EUROPE".into()).eval(&r));
+        assert!(ColPredicate::StrIn(1, vec!["ASIA".into(), "EUROPE".into()]).eval(&r));
+        assert!(ColPredicate::StrBetween(1, "AMERICA".into(), "EUROPE".into()).eval(&r));
+        assert!(!ColPredicate::StrBetween(1, "EUROPE".into(), "ZZZ".into()).eval(&r));
+        // Inclusive at both ends.
+        assert!(ColPredicate::StrBetween(1, "ASIA".into(), "ASIA".into()).eval(&r));
+    }
+
+    #[test]
+    fn conjunction() {
+        let row = test_row();
+        let r = RowRef::Row(&row);
+        assert!(Predicate::all().eval(&r));
+        assert!(Predicate::all().is_trivial());
+        let p = Predicate::and(vec![
+            ColPredicate::U32Eq(0, 7),
+            ColPredicate::StrEq(1, "ASIA".into()),
+        ]);
+        assert!(p.eval(&r));
+        let p = Predicate::and(vec![
+            ColPredicate::U32Eq(0, 7),
+            ColPredicate::StrEq(1, "EUROPE".into()),
+        ]);
+        assert!(!p.eval(&r));
+    }
+
+    #[test]
+    fn col_accessor() {
+        assert_eq!(ColPredicate::U32Eq(3, 1).col(), 3);
+        assert_eq!(ColPredicate::StrBetween(5, "a".into(), "b".into()).col(), 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Declarative query plans: star joins over the fact table with grouped
+//! aggregation.
+//!
+//! Every SSB query is a star join — the fact table filtered and probed
+//! against hashed dimension tables — with at most one aggregate and up to
+//! three group-by keys. [`QuerySpec`] captures exactly that shape as data;
+//! [`crate::exec::execute`] interprets it against any
+//! [`crate::view::SnapshotView`].
+
+use std::sync::Arc;
+
+use hat_common::{ColId, TableId};
+
+use crate::predicate::Predicate;
+
+/// Identifies one of the 13 SSB queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryId {
+    Q1_1,
+    Q1_2,
+    Q1_3,
+    Q2_1,
+    Q2_2,
+    Q2_3,
+    Q3_1,
+    Q3_2,
+    Q3_3,
+    Q3_4,
+    Q4_1,
+    Q4_2,
+    Q4_3,
+}
+
+impl QueryId {
+    /// All queries, in flight order Q1.1 .. Q4.3.
+    pub const ALL: [QueryId; 13] = [
+        QueryId::Q1_1,
+        QueryId::Q1_2,
+        QueryId::Q1_3,
+        QueryId::Q2_1,
+        QueryId::Q2_2,
+        QueryId::Q2_3,
+        QueryId::Q3_1,
+        QueryId::Q3_2,
+        QueryId::Q3_3,
+        QueryId::Q3_4,
+        QueryId::Q4_1,
+        QueryId::Q4_2,
+        QueryId::Q4_3,
+    ];
+
+    /// Conventional label, e.g. `"Q2.3"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryId::Q1_1 => "Q1.1",
+            QueryId::Q1_2 => "Q1.2",
+            QueryId::Q1_3 => "Q1.3",
+            QueryId::Q2_1 => "Q2.1",
+            QueryId::Q2_2 => "Q2.2",
+            QueryId::Q2_3 => "Q2.3",
+            QueryId::Q3_1 => "Q3.1",
+            QueryId::Q3_2 => "Q3.2",
+            QueryId::Q3_3 => "Q3.3",
+            QueryId::Q3_4 => "Q3.4",
+            QueryId::Q4_1 => "Q4.1",
+            QueryId::Q4_2 => "Q4.2",
+            QueryId::Q4_3 => "Q4.3",
+        }
+    }
+
+    /// The SSB query flight (1–4), used in reporting.
+    pub fn flight(self) -> u8 {
+        match self {
+            QueryId::Q1_1 | QueryId::Q1_2 | QueryId::Q1_3 => 1,
+            QueryId::Q2_1 | QueryId::Q2_2 | QueryId::Q2_3 => 2,
+            QueryId::Q3_1 | QueryId::Q3_2 | QueryId::Q3_3 | QueryId::Q3_4 => 3,
+            QueryId::Q4_1 | QueryId::Q4_2 | QueryId::Q4_3 => 4,
+        }
+    }
+}
+
+/// One dimension join of the star.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// The dimension table.
+    pub dim: TableId,
+    /// Fact-side join key column (u32).
+    pub fact_key: ColId,
+    /// Dimension-side key column (u32).
+    pub dim_key: ColId,
+    /// Filter applied while building the dimension hash table. Rows that
+    /// fail are absent from the table, so the join doubles as a filter.
+    pub dim_filter: Predicate,
+    /// Dimension columns carried through the join (group-by payload).
+    pub payload: Vec<ColId>,
+}
+
+/// A group-by key source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    /// A fact-table column (u32).
+    FactU32(ColId),
+    /// A `u32` column of the `idx`-th join's payload: `(join idx, payload idx)`.
+    DimU32(usize, usize),
+    /// A string column of the `idx`-th join's payload.
+    DimStr(usize, usize),
+}
+
+/// The aggregate computed per group. All SSB aggregates are money sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggExpr {
+    /// `sum(col)` — e.g. `sum(lo_revenue)`.
+    SumMoney(ColId),
+    /// `sum(money_col * pct_col / 100)` — SSB flight 1's
+    /// `sum(lo_extendedprice * lo_discount)` with discount in percent.
+    SumMoneyTimesPct(ColId, ColId),
+    /// `sum(a - b)` — SSB flight 4's profit
+    /// `sum(lo_revenue - lo_supplycost)`.
+    SumMoneyDiff(ColId, ColId),
+    /// `count(*)` per group.
+    CountRows,
+}
+
+/// A full star-join aggregation plan.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub id: QueryId,
+    /// The fact table (always `LINEORDER` in SSB).
+    pub fact: TableId,
+    /// Filter applied to fact rows before probing.
+    pub fact_filter: Predicate,
+    /// The dimension joins.
+    pub joins: Vec<JoinSpec>,
+    /// Group-by keys; empty means a single global aggregate row.
+    pub group_by: Vec<GroupKey>,
+    /// The aggregate.
+    pub agg: AggExpr,
+}
+
+/// A materialized group-key component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupVal {
+    U32(u32),
+    Str(Arc<str>),
+}
+
+impl std::fmt::Display for GroupVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupVal::U32(v) => write!(f, "{v}"),
+            GroupVal::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries() {
+        assert_eq!(QueryId::ALL.len(), 13);
+        let labels: std::collections::HashSet<_> =
+            QueryId::ALL.iter().map(|q| q.label()).collect();
+        assert_eq!(labels.len(), 13);
+    }
+
+    #[test]
+    fn flights() {
+        let mut per_flight = [0usize; 5];
+        for q in QueryId::ALL {
+            per_flight[q.flight() as usize] += 1;
+        }
+        assert_eq!(per_flight[1..], [3, 3, 4, 3]);
+    }
+
+    #[test]
+    fn group_val_ordering_and_display() {
+        assert!(GroupVal::U32(1) < GroupVal::U32(2));
+        assert!(GroupVal::Str(Arc::from("a")) < GroupVal::Str(Arc::from("b")));
+        assert_eq!(GroupVal::U32(1994).to_string(), "1994");
+        assert_eq!(GroupVal::Str(Arc::from("ASIA")).to_string(), "ASIA");
+    }
+}

@@ -1,0 +1,408 @@
+//! The 13 Star-Schema-Benchmark queries (Q1.1–Q4.3) as [`QuerySpec`]s.
+//!
+//! Constants follow the SSB specification (O'Neil et al., 2009). HATtrick
+//! runs these unmodified except for the freshness side-read, which the
+//! executor attaches to every query (§5.2.2 of the paper).
+
+use hat_common::ids::{customer, date, lineorder, part, supplier};
+use hat_common::TableId;
+
+use crate::predicate::{ColPredicate, Predicate};
+use crate::spec::{AggExpr, GroupKey, JoinSpec, QueryId, QuerySpec};
+
+fn date_join(filter: Predicate, payload: Vec<usize>) -> JoinSpec {
+    JoinSpec {
+        dim: TableId::Date,
+        fact_key: lineorder::ORDERDATE,
+        dim_key: date::DATEKEY,
+        dim_filter: filter,
+        payload,
+    }
+}
+
+fn part_join(filter: Predicate, payload: Vec<usize>) -> JoinSpec {
+    JoinSpec {
+        dim: TableId::Part,
+        fact_key: lineorder::PARTKEY,
+        dim_key: part::PARTKEY,
+        dim_filter: filter,
+        payload,
+    }
+}
+
+fn supplier_join(filter: Predicate, payload: Vec<usize>) -> JoinSpec {
+    JoinSpec {
+        dim: TableId::Supplier,
+        fact_key: lineorder::SUPPKEY,
+        dim_key: supplier::SUPPKEY,
+        dim_filter: filter,
+        payload,
+    }
+}
+
+fn customer_join(filter: Predicate, payload: Vec<usize>) -> JoinSpec {
+    JoinSpec {
+        dim: TableId::Customer,
+        fact_key: lineorder::CUSTKEY,
+        dim_key: customer::CUSTKEY,
+        dim_filter: filter,
+        payload,
+    }
+}
+
+/// Returns the plan for `id`.
+pub fn query(id: QueryId) -> QuerySpec {
+    match id {
+        // --- Flight 1: revenue impact of discount ranges -----------------
+        // select sum(lo_extendedprice*lo_discount) from lineorder, date
+        // where lo_orderdate = d_datekey and d_year = 1993
+        //   and lo_discount between 1 and 3 and lo_quantity < 25
+        QueryId::Q1_1 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::and(vec![
+                ColPredicate::U32Between(lineorder::DISCOUNT, 1, 3),
+                ColPredicate::U32Between(lineorder::QUANTITY, 0, 24),
+            ]),
+            joins: vec![date_join(
+                Predicate::and(vec![ColPredicate::U32Eq(date::YEAR, 1993)]),
+                vec![],
+            )],
+            group_by: vec![],
+            agg: AggExpr::SumMoneyTimesPct(lineorder::EXTENDEDPRICE, lineorder::DISCOUNT),
+        },
+        // d_yearmonthnum = 199401, discount 4..6, quantity 26..35
+        QueryId::Q1_2 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::and(vec![
+                ColPredicate::U32Between(lineorder::DISCOUNT, 4, 6),
+                ColPredicate::U32Between(lineorder::QUANTITY, 26, 35),
+            ]),
+            joins: vec![date_join(
+                Predicate::and(vec![ColPredicate::U32Eq(date::YEARMONTHNUM, 199401)]),
+                vec![],
+            )],
+            group_by: vec![],
+            agg: AggExpr::SumMoneyTimesPct(lineorder::EXTENDEDPRICE, lineorder::DISCOUNT),
+        },
+        // d_weeknuminyear = 6 and d_year = 1994, discount 5..7, quantity 26..35
+        QueryId::Q1_3 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::and(vec![
+                ColPredicate::U32Between(lineorder::DISCOUNT, 5, 7),
+                ColPredicate::U32Between(lineorder::QUANTITY, 26, 35),
+            ]),
+            joins: vec![date_join(
+                Predicate::and(vec![
+                    ColPredicate::U32Eq(date::WEEKNUMINYEAR, 6),
+                    ColPredicate::U32Eq(date::YEAR, 1994),
+                ]),
+                vec![],
+            )],
+            group_by: vec![],
+            agg: AggExpr::SumMoneyTimesPct(lineorder::EXTENDEDPRICE, lineorder::DISCOUNT),
+        },
+
+        // --- Flight 2: revenue by brand over years -----------------------
+        // select sum(lo_revenue), d_year, p_brand1 ... where p_category =
+        // 'MFGR#12' and s_region = 'AMERICA' group by d_year, p_brand1
+        QueryId::Q2_1 => q2(id, ColPredicate::StrEq(part::CATEGORY, "MFGR#12".into()), "AMERICA"),
+        QueryId::Q2_2 => q2(
+            id,
+            ColPredicate::StrBetween(part::BRAND1, "MFGR#2221".into(), "MFGR#2228".into()),
+            "ASIA",
+        ),
+        QueryId::Q2_3 => q2(id, ColPredicate::StrEq(part::BRAND1, "MFGR#2239".into()), "EUROPE"),
+
+        // --- Flight 3: revenue by customer/supplier geography ------------
+        QueryId::Q3_1 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![
+                customer_join(
+                    Predicate::and(vec![ColPredicate::StrEq(customer::REGION, "ASIA".into())]),
+                    vec![customer::NATION],
+                ),
+                supplier_join(
+                    Predicate::and(vec![ColPredicate::StrEq(supplier::REGION, "ASIA".into())]),
+                    vec![supplier::NATION],
+                ),
+                date_join(
+                    Predicate::and(vec![ColPredicate::U32Between(date::YEAR, 1992, 1997)]),
+                    vec![date::YEAR],
+                ),
+            ],
+            group_by: vec![
+                GroupKey::DimStr(0, 0),
+                GroupKey::DimStr(1, 0),
+                GroupKey::DimU32(2, 0),
+            ],
+            agg: AggExpr::SumMoney(lineorder::REVENUE),
+        },
+        QueryId::Q3_2 => q3_cities(
+            id,
+            ColPredicate::StrEq(customer::NATION, "UNITED STATES".into()),
+            ColPredicate::StrEq(supplier::NATION, "UNITED STATES".into()),
+            ColPredicate::U32Between(date::YEAR, 1992, 1997),
+        ),
+        QueryId::Q3_3 => q3_cities(
+            id,
+            ColPredicate::StrIn(
+                customer::CITY,
+                vec!["UNITED KI1".into(), "UNITED KI5".into()],
+            ),
+            ColPredicate::StrIn(
+                supplier::CITY,
+                vec!["UNITED KI1".into(), "UNITED KI5".into()],
+            ),
+            ColPredicate::U32Between(date::YEAR, 1992, 1997),
+        ),
+        QueryId::Q3_4 => q3_cities(
+            id,
+            ColPredicate::StrIn(
+                customer::CITY,
+                vec!["UNITED KI1".into(), "UNITED KI5".into()],
+            ),
+            ColPredicate::StrIn(
+                supplier::CITY,
+                vec!["UNITED KI1".into(), "UNITED KI5".into()],
+            ),
+            ColPredicate::StrEq(date::YEARMONTH, "Dec1997".into()),
+        ),
+
+        // --- Flight 4: profit drill-down ---------------------------------
+        QueryId::Q4_1 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![
+                customer_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        customer::REGION,
+                        "AMERICA".into(),
+                    )]),
+                    vec![customer::NATION],
+                ),
+                supplier_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        supplier::REGION,
+                        "AMERICA".into(),
+                    )]),
+                    vec![],
+                ),
+                part_join(
+                    Predicate::and(vec![ColPredicate::StrIn(
+                        part::MFGR,
+                        vec!["MFGR#1".into(), "MFGR#2".into()],
+                    )]),
+                    vec![],
+                ),
+                date_join(Predicate::all(), vec![date::YEAR]),
+            ],
+            group_by: vec![GroupKey::DimU32(3, 0), GroupKey::DimStr(0, 0)],
+            agg: AggExpr::SumMoneyDiff(lineorder::REVENUE, lineorder::SUPPLYCOST),
+        },
+        QueryId::Q4_2 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![
+                customer_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        customer::REGION,
+                        "AMERICA".into(),
+                    )]),
+                    vec![],
+                ),
+                supplier_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        supplier::REGION,
+                        "AMERICA".into(),
+                    )]),
+                    vec![supplier::NATION],
+                ),
+                part_join(
+                    Predicate::and(vec![ColPredicate::StrIn(
+                        part::MFGR,
+                        vec!["MFGR#1".into(), "MFGR#2".into()],
+                    )]),
+                    vec![part::CATEGORY],
+                ),
+                date_join(
+                    Predicate::and(vec![ColPredicate::U32In(date::YEAR, vec![1997, 1998])]),
+                    vec![date::YEAR],
+                ),
+            ],
+            group_by: vec![
+                GroupKey::DimU32(3, 0),
+                GroupKey::DimStr(1, 0),
+                GroupKey::DimStr(2, 0),
+            ],
+            agg: AggExpr::SumMoneyDiff(lineorder::REVENUE, lineorder::SUPPLYCOST),
+        },
+        QueryId::Q4_3 => QuerySpec {
+            id,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![
+                customer_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        customer::REGION,
+                        "AMERICA".into(),
+                    )]),
+                    vec![],
+                ),
+                supplier_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        supplier::NATION,
+                        "UNITED STATES".into(),
+                    )]),
+                    vec![supplier::CITY],
+                ),
+                part_join(
+                    Predicate::and(vec![ColPredicate::StrEq(
+                        part::CATEGORY,
+                        "MFGR#14".into(),
+                    )]),
+                    vec![part::BRAND1],
+                ),
+                date_join(
+                    Predicate::and(vec![ColPredicate::U32In(date::YEAR, vec![1997, 1998])]),
+                    vec![date::YEAR],
+                ),
+            ],
+            group_by: vec![
+                GroupKey::DimU32(3, 0),
+                GroupKey::DimStr(1, 0),
+                GroupKey::DimStr(2, 0),
+            ],
+            agg: AggExpr::SumMoneyDiff(lineorder::REVENUE, lineorder::SUPPLYCOST),
+        },
+    }
+}
+
+/// Flight-2 template: part filter + supplier-region filter, grouped by
+/// `(d_year, p_brand1)`, summing `lo_revenue`.
+fn q2(id: QueryId, part_filter: ColPredicate, s_region: &str) -> QuerySpec {
+    QuerySpec {
+        id,
+        fact: TableId::Lineorder,
+        fact_filter: Predicate::all(),
+        joins: vec![
+            part_join(Predicate::and(vec![part_filter]), vec![part::BRAND1]),
+            supplier_join(
+                Predicate::and(vec![ColPredicate::StrEq(supplier::REGION, s_region.into())]),
+                vec![],
+            ),
+            date_join(Predicate::all(), vec![date::YEAR]),
+        ],
+        group_by: vec![GroupKey::DimU32(2, 0), GroupKey::DimStr(0, 0)],
+        agg: AggExpr::SumMoney(lineorder::REVENUE),
+    }
+}
+
+/// Flight-3 template for the city-level variants: grouped by
+/// `(c_city, s_city, d_year)`, summing `lo_revenue`.
+fn q3_cities(
+    id: QueryId,
+    c_filter: ColPredicate,
+    s_filter: ColPredicate,
+    d_filter: ColPredicate,
+) -> QuerySpec {
+    QuerySpec {
+        id,
+        fact: TableId::Lineorder,
+        fact_filter: Predicate::all(),
+        joins: vec![
+            customer_join(Predicate::and(vec![c_filter]), vec![customer::CITY]),
+            supplier_join(Predicate::and(vec![s_filter]), vec![supplier::CITY]),
+            date_join(Predicate::and(vec![d_filter]), vec![date::YEAR]),
+        ],
+        group_by: vec![
+            GroupKey::DimStr(0, 0),
+            GroupKey::DimStr(1, 0),
+            GroupKey::DimU32(2, 0),
+        ],
+        agg: AggExpr::SumMoney(lineorder::REVENUE),
+    }
+}
+
+/// All 13 plans in flight order.
+pub fn all_queries() -> Vec<QuerySpec> {
+    QueryId::ALL.iter().map(|&id| query(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_build() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 13);
+        for q in &qs {
+            assert_eq!(q.fact, TableId::Lineorder);
+            assert!(q.joins.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn flight1_has_no_group_by() {
+        for id in [QueryId::Q1_1, QueryId::Q1_2, QueryId::Q1_3] {
+            let q = query(id);
+            assert!(q.group_by.is_empty());
+            assert_eq!(q.joins.len(), 1, "date join only");
+            assert!(matches!(q.agg, AggExpr::SumMoneyTimesPct(_, _)));
+        }
+    }
+
+    #[test]
+    fn flight2_groups_by_year_brand() {
+        for id in [QueryId::Q2_1, QueryId::Q2_2, QueryId::Q2_3] {
+            let q = query(id);
+            assert_eq!(q.group_by.len(), 2);
+            assert_eq!(q.joins.len(), 3);
+            assert!(matches!(q.agg, AggExpr::SumMoney(_)));
+        }
+    }
+
+    #[test]
+    fn flight3_groups_three_keys() {
+        for id in [QueryId::Q3_1, QueryId::Q3_2, QueryId::Q3_3, QueryId::Q3_4] {
+            let q = query(id);
+            assert_eq!(q.group_by.len(), 3);
+            assert_eq!(q.joins.len(), 3, "customer, supplier, date");
+        }
+    }
+
+    #[test]
+    fn flight4_uses_all_four_dims_and_profit() {
+        for id in [QueryId::Q4_1, QueryId::Q4_2, QueryId::Q4_3] {
+            let q = query(id);
+            assert_eq!(q.joins.len(), 4);
+            assert!(matches!(q.agg, AggExpr::SumMoneyDiff(_, _)));
+        }
+    }
+
+    #[test]
+    fn group_keys_reference_existing_payloads() {
+        for q in all_queries() {
+            for gk in &q.group_by {
+                match gk {
+                    GroupKey::FactU32(_) => {}
+                    GroupKey::DimU32(ji, pi) | GroupKey::DimStr(ji, pi) => {
+                        assert!(*ji < q.joins.len(), "{}: join idx", q.id.label());
+                        assert!(
+                            *pi < q.joins[*ji].payload.len(),
+                            "{}: payload idx",
+                            q.id.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

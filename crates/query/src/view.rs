@@ -1,0 +1,279 @@
+//! Snapshot views: the abstraction that lets one query executor run against
+//! both row-format and column-format backends.
+//!
+//! Every engine hands the executor a [`MixedView`]: a snapshot timestamp, a
+//! row database, and (for hybrid engines) a set of tables served from
+//! columnar snapshots instead. Scans dispatch per table — the row path pays
+//! MVCC version-chain traversal, the columnar path reads compressed
+//! vectors — which is precisely the storage-format asymmetry the paper's
+//! engines differ on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hat_common::ids::freshness;
+use hat_common::{ColId, Money, Row, TableId};
+use hat_storage::colstore::{ColumnSnapshot, DimSnapshot, Segment};
+use hat_storage::rowstore::RowDb;
+use hat_txn::Ts;
+
+/// A borrowed reference to one logical row in either format.
+pub enum RowRef<'a> {
+    /// A row-format (MVCC) row.
+    Row(&'a Row),
+    /// Row `idx` of a sealed columnar segment.
+    Col { seg: &'a Segment, idx: usize },
+}
+
+impl RowRef<'_> {
+    /// `u64` column accessor.
+    #[inline]
+    pub fn u64(&self, col: ColId) -> u64 {
+        match self {
+            RowRef::Row(r) => r[col].as_u64().expect("typed row"),
+            RowRef::Col { seg, idx } => seg.col(col).u64_at(*idx),
+        }
+    }
+
+    /// `u32` column accessor.
+    #[inline]
+    pub fn u32(&self, col: ColId) -> u32 {
+        match self {
+            RowRef::Row(r) => r[col].as_u32().expect("typed row"),
+            RowRef::Col { seg, idx } => seg.col(col).u32_at(*idx),
+        }
+    }
+
+    /// Money column accessor.
+    #[inline]
+    pub fn money(&self, col: ColId) -> Money {
+        match self {
+            RowRef::Row(r) => r[col].as_money().expect("typed row"),
+            RowRef::Col { seg, idx } => seg.col(col).money_at(*idx),
+        }
+    }
+
+    /// String column accessor.
+    #[inline]
+    pub fn str(&self, col: ColId) -> &str {
+        match self {
+            RowRef::Row(r) => r[col].as_str().expect("typed row"),
+            RowRef::Col { seg, idx } => seg.col(col).str_at(*idx),
+        }
+    }
+
+    /// Cheap shared-string accessor (group keys).
+    #[inline]
+    pub fn arc_str(&self, col: ColId) -> Arc<str> {
+        match self {
+            RowRef::Row(r) => match &r[col] {
+                hat_common::Value::Str(s) => Arc::clone(s),
+                other => panic!("expected str, got {}", other.type_name()),
+            },
+            RowRef::Col { seg, idx } => Arc::clone(seg.col(col).arc_str_at(*idx)),
+        }
+    }
+}
+
+/// The executor's window onto an engine at one snapshot timestamp.
+pub trait SnapshotView {
+    /// The snapshot timestamp all scans observe.
+    fn ts(&self) -> Ts;
+
+    /// Scans every visible row of `table`, invoking `visit` per row.
+    fn scan(&self, table: TableId, visit: &mut dyn FnMut(&RowRef<'_>));
+
+    /// The HATtrick freshness side-read (§4.2): the highest transaction
+    /// number from each transactional client visible in this snapshot,
+    /// returned as `(client, txnnum)` pairs. Equivalent to UNIONing the
+    /// `FRESHNESS_j` tables into the query.
+    fn freshness_vector(&self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        self.scan(TableId::Freshness, &mut |row| {
+            out.push((row.u32(freshness::CLIENT), row.u64(freshness::TXNNUM)));
+        });
+        out.sort_unstable_by_key(|(c, _)| *c);
+        out
+    }
+}
+
+/// A snapshot view over a [`RowDb`], optionally overriding some tables with
+/// columnar snapshots. This single type serves every engine:
+///
+/// * shared engine — row db only;
+/// * isolated engine — the *replica's* row db;
+/// * hybrid engines — columnar snapshots for the fact (and dimension)
+///   tables, row db for the freshness side-read.
+pub struct MixedView<'a> {
+    ts: Ts,
+    row_db: &'a RowDb,
+    columnar: HashMap<TableId, ColumnSnapshot>,
+    dims: HashMap<TableId, DimSnapshot>,
+}
+
+impl<'a> MixedView<'a> {
+    /// A pure row-store view at `ts`.
+    pub fn rows(row_db: &'a RowDb, ts: Ts) -> Self {
+        MixedView { ts, row_db, columnar: HashMap::new(), dims: HashMap::new() }
+    }
+
+    /// Routes scans of `table` to a columnar snapshot.
+    pub fn with_columnar(mut self, table: TableId, snap: ColumnSnapshot) -> Self {
+        self.columnar.insert(table, snap);
+        self
+    }
+
+    /// Routes scans of `table` to a dimension snapshot (sealed segment +
+    /// update overlay).
+    pub fn with_dim(mut self, table: TableId, snap: DimSnapshot) -> Self {
+        self.dims.insert(table, snap);
+        self
+    }
+
+    /// Which tables are served columnar (diagnostics).
+    pub fn columnar_tables(&self) -> Vec<TableId> {
+        let mut v: Vec<TableId> =
+            self.columnar.keys().chain(self.dims.keys()).copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl SnapshotView for MixedView<'_> {
+    fn ts(&self) -> Ts {
+        self.ts
+    }
+
+    fn scan(&self, table: TableId, visit: &mut dyn FnMut(&RowRef<'_>)) {
+        if let Some(snap) = self.dims.get(&table) {
+            // Dimension path: sealed columns with the update overlay
+            // (merge-on-read for updates).
+            if let Some(seg) = snap.segment() {
+                let overlay = snap.overlay();
+                for idx in 0..seg.row_count() {
+                    match overlay.get(&(idx as u64)) {
+                        Some(row) => visit(&RowRef::Row(row)),
+                        None => visit(&RowRef::Col { seg, idx }),
+                    }
+                }
+            }
+            return;
+        }
+        if let Some(snap) = self.columnar.get(&table) {
+            for seg in snap.segments() {
+                let visible = seg.visible_prefix(self.ts);
+                for idx in 0..visible {
+                    visit(&RowRef::Col { seg, idx });
+                }
+            }
+            for (_, row) in snap.delta() {
+                visit(&RowRef::Row(row));
+            }
+        } else {
+            self.row_db.store(table).scan(self.ts, |_, row| visit(&RowRef::Row(row)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+    use hat_storage::colstore::ColumnTable;
+
+    fn history_row(ok: u64, ck: u32, cents: i64) -> Row {
+        row_from([
+            Value::U64(ok),
+            Value::U32(ck),
+            Value::Money(Money::from_cents(cents)),
+        ])
+    }
+
+    fn freshness_row(client: u32, txn: u64) -> Row {
+        row_from([Value::U32(client), Value::U64(txn)])
+    }
+
+    #[test]
+    fn row_view_scan_respects_snapshot() {
+        let db = RowDb::new();
+        let store = db.store(TableId::History);
+        store.install_insert(history_row(1, 1, 10), 2);
+        store.install_insert(history_row(2, 2, 20), 5);
+        let view = MixedView::rows(&db, 3);
+        let mut seen = Vec::new();
+        view.scan(TableId::History, &mut |r| seen.push(r.u64(0)));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(view.ts(), 3);
+        assert!(view.columnar_tables().is_empty());
+    }
+
+    #[test]
+    fn columnar_override_dispatches() {
+        let db = RowDb::new();
+        // Row store holds one row the columnar copy does NOT, to prove the
+        // dispatch goes columnar.
+        db.store(TableId::History).install_insert(history_row(99, 9, 0), 2);
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(2, (0..5).map(|i| history_row(i, 0, 0)));
+        ct.append_delta(4, history_row(5, 0, 0));
+        ct.append_delta(7, history_row(6, 0, 0));
+        let view = MixedView::rows(&db, 5).with_columnar(TableId::History, ct.snapshot(5));
+        let mut seen = Vec::new();
+        view.scan(TableId::History, &mut |r| seen.push(r.u64(0)));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "segment prefix + visible delta");
+        assert_eq!(view.columnar_tables(), vec![TableId::History]);
+    }
+
+    #[test]
+    fn rowref_accessors_match_across_formats() {
+        let row = history_row(3, 4, 55);
+        let r = RowRef::Row(&row);
+        assert_eq!(r.u64(0), 3);
+        assert_eq!(r.u32(1), 4);
+        assert_eq!(r.money(2).cents(), 55);
+
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(2, [history_row(3, 4, 55)]);
+        let snap = ct.snapshot(2);
+        let seg = &snap.segments()[0];
+        let c = RowRef::Col { seg, idx: 0 };
+        assert_eq!(c.u64(0), 3);
+        assert_eq!(c.u32(1), 4);
+        assert_eq!(c.money(2).cents(), 55);
+    }
+
+    #[test]
+    fn dim_overlay_dispatch_substitutes_updated_rows() {
+        use hat_storage::colstore::DimColumnCopy;
+        let db = RowDb::new();
+        let dim = DimColumnCopy::new(TableId::History);
+        dim.load(2, (0..4).map(|i| history_row(i, 10, 0)));
+        dim.append_update(5, 2, history_row(2, 99, 0));
+        let view = MixedView::rows(&db, 5).with_dim(TableId::History, dim.snapshot(5));
+        let mut custkeys = Vec::new();
+        view.scan(TableId::History, &mut |r| custkeys.push(r.u32(1)));
+        assert_eq!(custkeys, vec![10, 10, 99, 10]);
+        // Before the update's ts: the original value.
+        let view = MixedView::rows(&db, 4).with_dim(TableId::History, dim.snapshot(4));
+        let mut custkeys = Vec::new();
+        view.scan(TableId::History, &mut |r| custkeys.push(r.u32(1)));
+        assert_eq!(custkeys, vec![10, 10, 10, 10]);
+        assert_eq!(view.columnar_tables(), vec![TableId::History]);
+    }
+
+    #[test]
+    fn freshness_vector_reads_snapshot() {
+        let db = RowDb::new();
+        let store = db.store(TableId::Freshness);
+        let r0 = store.install_insert(freshness_row(0, 0), 2);
+        let r1 = store.install_insert(freshness_row(1, 0), 2);
+        store.install_update(r0, freshness_row(0, 5), 4).unwrap();
+        store.install_update(r1, freshness_row(1, 3), 6).unwrap();
+        // Snapshot at 5 sees client 0 at txn 5, client 1 still at 0.
+        let view = MixedView::rows(&db, 5);
+        assert_eq!(view.freshness_vector(), vec![(0, 5), (1, 0)]);
+        let view = MixedView::rows(&db, 6);
+        assert_eq!(view.freshness_vector(), vec![(0, 5), (1, 3)]);
+    }
+}

@@ -1,0 +1,762 @@
+//! An in-memory B+tree built from scratch.
+//!
+//! Used for every index in the workspace: primary-key indexes, the
+//! secondary name indexes that the Payment and Count Orders transactions
+//! seek on, and the `(custkey, orderkey)` composite index that accelerates
+//! per-customer order counting. The paper's "varying physical schemas"
+//! experiment (Figure 6b) toggles which of these exist, and its SF100
+//! discussion attributes the drop in maximum T-throughput to index
+//! maintenance cost — so indexes must be real data structures with real
+//! depth, not hash maps.
+//!
+//! Design notes:
+//! * All values live in leaves; internal nodes hold separator keys and
+//!   child pointers (a classic B+tree).
+//! * `ORDER` is the maximum number of children of an internal node; leaves
+//!   hold up to `ORDER - 1` entries. The default of 64 keeps trees shallow
+//!   while exercising multi-level splits at benchmark sizes. The fanout
+//!   ablation bench (`bptree_fanout`) measures 16/64/256.
+//! * Deletion rebalances by borrowing from or merging with siblings, so the
+//!   tree never degrades below half-full nodes.
+//! * Range scans walk leaf-to-leaf through a visitor, avoiding intermediate
+//!   allocation.
+//!
+//! The tree itself is single-writer; callers wrap it in a lock (the engines
+//! use `parking_lot::RwLock` per index, which mirrors the index-latch
+//! behaviour the paper's interference analysis implicates).
+
+use std::borrow::Borrow;
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// Default maximum fanout of internal nodes.
+pub const DEFAULT_ORDER: usize = 64;
+
+enum Node<K, V> {
+    Internal { keys: Vec<K>, children: Vec<Node<K, V>> },
+    Leaf { keys: Vec<K>, vals: Vec<V> },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+}
+
+/// Result of inserting into a subtree: possibly a split.
+enum InsertResult<K, V> {
+    /// No structural change (value may have been replaced; the old value is
+    /// returned).
+    Done(Option<V>),
+    /// The child split; `sep` separates it from `right`.
+    Split { sep: K, right: Node<K, V> },
+}
+
+/// An ordered map from `K` to `V` with B+tree structure.
+///
+/// ```
+/// use hat_storage::bptree::BPlusTree;
+/// use std::ops::Bound;
+///
+/// let mut index: BPlusTree<(u32, u64), ()> = BPlusTree::new();
+/// for rid in 0..100 {
+///     index.insert((rid % 10, rid), ());
+/// }
+/// // Prefix scan: all rows of customer 3.
+/// let mut rids = Vec::new();
+/// index.range(Bound::Included(&(3, 0)), Bound::Excluded(&(4, 0)), |&(_, rid), _| {
+///     rids.push(rid);
+///     true
+/// });
+/// assert_eq!(rids.len(), 10);
+/// ```
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone + Debug, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V> BPlusTree<K, V> {
+    /// An empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// An empty tree with a custom order (`order >= 4`).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "B+tree order must be at least 4");
+        BPlusTree {
+            root: Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key -> value`, returning the previous value if the key
+    /// existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let order = self.order;
+        match Self::insert_rec(&mut self.root, key, value, order) {
+            InsertResult::Done(old) => {
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+            InsertResult::Split { sep, right } => {
+                // Grow the tree by one level.
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+                );
+                self.root = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                };
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V, order: usize) -> InsertResult<K, V> {
+        match node {
+            Node::Leaf { keys, vals } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut vals[i], value);
+                        InsertResult::Done(Some(old))
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        if keys.len() > order - 1 {
+                            // Split the leaf in half; the separator is the
+                            // first key of the right half (copied up).
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_vals = vals.split_off(mid);
+                            let sep = right_keys[0].clone();
+                            InsertResult::Split {
+                                sep,
+                                right: Node::Leaf { keys: right_keys, vals: right_vals },
+                            }
+                        } else {
+                            InsertResult::Done(None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Child index: first separator greater than key.
+                let idx = keys.partition_point(|k| *k <= key);
+                match Self::insert_rec(&mut children[idx], key, value, order) {
+                    InsertResult::Done(old) => InsertResult::Done(old),
+                    InsertResult::Split { sep, right } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if children.len() > order {
+                            // Split this internal node; the middle key moves
+                            // up (it does not stay in either half).
+                            let mid = keys.len() / 2;
+                            let up = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // remove `up`
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split {
+                                sep: up,
+                                right: Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
+                            }
+                        } else {
+                            InsertResult::Done(None)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|k| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.borrow() <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Whether the key exists.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let min_leaf = (self.order - 1) / 2;
+        let min_children = self.order.div_ceil(2);
+        let removed = Self::remove_rec(&mut self.root, key, min_leaf, min_children);
+        if removed.is_some() {
+            self.len -= 1;
+            // Collapse a root that shrank to a single child.
+            if let Node::Internal { children, .. } = &mut self.root {
+                if children.len() == 1 {
+                    let child = children.pop().expect("just checked");
+                    self.root = child;
+                }
+            }
+        }
+        removed
+    }
+
+    fn remove_rec<Q>(
+        node: &mut Node<K, V>,
+        key: &Q,
+        min_leaf: usize,
+        min_children: usize,
+    ) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match node {
+            Node::Leaf { keys, vals } => {
+                let i = keys.binary_search_by(|k| k.borrow().cmp(key)).ok()?;
+                keys.remove(i);
+                Some(vals.remove(i))
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k.borrow() <= key);
+                let removed = Self::remove_rec(&mut children[idx], key, min_leaf, min_children)?;
+                // Rebalance child `idx` if it underflowed.
+                let under = match &children[idx] {
+                    Node::Leaf { keys, .. } => keys.len() < min_leaf,
+                    Node::Internal { children, .. } => children.len() < min_children,
+                };
+                if under {
+                    Self::rebalance_child(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Restores invariants for `children[idx]` by borrowing from a sibling
+    /// or merging with one.
+    fn rebalance_child(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize) {
+        // Prefer borrowing from the richer adjacent sibling.
+        let left_len = if idx > 0 { children[idx - 1].len() } else { 0 };
+        let right_len = if idx + 1 < children.len() { children[idx + 1].len() } else { 0 };
+
+        if left_len >= right_len && left_len > 1 && idx > 0 {
+            // Borrow the last entry/child of the left sibling.
+            let (left_half, right_half) = children.split_at_mut(idx);
+            let left = &mut left_half[idx - 1];
+            let cur = &mut right_half[0];
+            match (left, cur) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: ck, vals: cv },
+                ) => {
+                    let k = lk.pop().expect("left sibling non-empty");
+                    let v = lv.pop().expect("left sibling non-empty");
+                    ck.insert(0, k.clone());
+                    cv.insert(0, v);
+                    keys[idx - 1] = k;
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: ck, children: cc },
+                ) => {
+                    let child = lc.pop().expect("left sibling non-empty");
+                    let sep = lk.pop().expect("left sibling non-empty");
+                    let old_sep = std::mem::replace(&mut keys[idx - 1], sep);
+                    ck.insert(0, old_sep);
+                    cc.insert(0, child);
+                }
+                _ => unreachable!("siblings at the same level share kind"),
+            }
+        } else if right_len > 1 && idx + 1 < children.len() {
+            // Borrow the first entry/child of the right sibling.
+            let (left_half, right_half) = children.split_at_mut(idx + 1);
+            let cur = &mut left_half[idx];
+            let right = &mut right_half[0];
+            match (cur, right) {
+                (
+                    Node::Leaf { keys: ck, vals: cv },
+                    Node::Leaf { keys: rk, vals: rv },
+                ) => {
+                    let k = rk.remove(0);
+                    let v = rv.remove(0);
+                    ck.push(k);
+                    cv.push(v);
+                    keys[idx] = rk[0].clone();
+                }
+                (
+                    Node::Internal { keys: ck, children: cc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    let child = rc.remove(0);
+                    let sep = rk.remove(0);
+                    let old_sep = std::mem::replace(&mut keys[idx], sep);
+                    ck.push(old_sep);
+                    cc.push(child);
+                }
+                _ => unreachable!("siblings at the same level share kind"),
+            }
+        } else {
+            // Merge with a sibling (both are at minimum occupancy).
+            let merge_left = idx > 0;
+            let (li, ri) = if merge_left { (idx - 1, idx) } else { (idx, idx + 1) };
+            if ri >= children.len() {
+                return; // single child; root collapse handles it
+            }
+            let right_node = children.remove(ri);
+            let sep = keys.remove(li);
+            match (&mut children[li], right_node) {
+                (
+                    Node::Leaf { keys: lk, vals: lv },
+                    Node::Leaf { keys: mut rk, vals: mut rv },
+                ) => {
+                    lk.append(&mut rk);
+                    lv.append(&mut rv);
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: mut rk, children: mut rc },
+                ) => {
+                    lk.push(sep);
+                    lk.append(&mut rk);
+                    lc.append(&mut rc);
+                }
+                _ => unreachable!("siblings at the same level share kind"),
+            }
+        }
+    }
+
+    /// Visits entries with keys in `(lo, hi)` bounds in ascending order.
+    /// The visitor returns `false` to stop early.
+    pub fn range<F>(&self, lo: Bound<&K>, hi: Bound<&K>, mut visit: F)
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        Self::range_rec(&self.root, lo, hi, &mut visit);
+    }
+
+    fn range_rec<F>(node: &Node<K, V>, lo: Bound<&K>, hi: Bound<&K>, visit: &mut F) -> bool
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        let after_lo = |k: &K| match lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k >= b,
+            Bound::Excluded(b) => k > b,
+        };
+        let before_hi = |k: &K| match hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k <= b,
+            Bound::Excluded(b) => k < b,
+        };
+        match node {
+            Node::Leaf { keys, vals } => {
+                let start = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(b) => keys.partition_point(|k| k < b),
+                    Bound::Excluded(b) => keys.partition_point(|k| k <= b),
+                };
+                for i in start..keys.len() {
+                    if !before_hi(&keys[i]) {
+                        return false;
+                    }
+                    debug_assert!(after_lo(&keys[i]));
+                    if !visit(&keys[i], &vals[i]) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Internal { keys, children } => {
+                let start = match lo {
+                    Bound::Unbounded => 0,
+                    Bound::Included(b) => keys.partition_point(|k| k <= b),
+                    Bound::Excluded(b) => keys.partition_point(|k| k <= b),
+                };
+                for (i, child) in children.iter().enumerate().skip(start) {
+                    // Prune subtrees entirely above the range: child i holds
+                    // keys >= keys[i-1].
+                    if i > 0 && !before_hi(&keys[i - 1]) {
+                        return false;
+                    }
+                    if !Self::range_rec(child, lo, hi, visit) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Collects the values for keys in the inclusive range `[lo, hi]`.
+    pub fn range_values(&self, lo: &K, hi: &K) -> Vec<V>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        self.range(Bound::Included(lo), Bound::Included(hi), |_, v| {
+            out.push(v.clone());
+            true
+        });
+        out
+    }
+
+    /// Visits every entry in ascending key order.
+    pub fn for_each<F>(&self, mut visit: F)
+    where
+        F: FnMut(&K, &V),
+    {
+        self.range(Bound::Unbounded, Bound::Unbounded, |k, v| {
+            visit(k, v);
+            true
+        });
+    }
+
+    /// Tree depth (1 for a lone leaf). Diagnostic; O(depth).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+
+    /// Verifies structural invariants; panics with a description on
+    /// violation. Test/diagnostic helper, O(n).
+    pub fn check_invariants(&self) {
+        let counted = Self::check_rec(&self.root, None, None, self.order, true);
+        assert_eq!(counted, self.len, "len bookkeeping mismatch");
+    }
+
+    fn check_rec(
+        node: &Node<K, V>,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        order: usize,
+        is_root: bool,
+    ) -> usize {
+        match node {
+            Node::Leaf { keys, vals } => {
+                assert_eq!(keys.len(), vals.len(), "leaf key/val arity");
+                assert!(keys.len() < order, "leaf overflow");
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
+                if let Some(lo) = lo {
+                    assert!(keys.iter().all(|k| k >= lo), "leaf key below bound");
+                }
+                if let Some(hi) = hi {
+                    assert!(keys.iter().all(|k| k < hi), "leaf key above bound");
+                }
+                keys.len()
+            }
+            Node::Internal { keys, children } => {
+                assert!(!is_root || children.len() >= 2, "root internal needs 2+");
+                assert_eq!(keys.len() + 1, children.len(), "separator count");
+                assert!(children.len() <= order, "internal overflow");
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "separators sorted");
+                let mut total = 0;
+                for (i, child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    // All children at one level share kind.
+                    assert_eq!(child.is_leaf(), children[0].is_leaf());
+                    total += Self::check_rec(child, clo, chi, order, false);
+                }
+                total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&0), None);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::with_order(4);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        assert_eq!(t.len(), 5);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.get(&k), Some(&(k * 10)));
+        }
+        assert_eq!(t.get(&2), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(1u64, "a"), None);
+        assert_eq!(t.insert(1u64, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.depth() > 2, "order-4 tree with 1000 keys must be deep");
+        t.check_invariants();
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn reverse_inserts() {
+        let mut t = BPlusTree::with_order(5);
+        for k in (0..500u64).rev() {
+            t.insert(k, k + 1);
+        }
+        t.check_invariants();
+        for k in 0..500u64 {
+            assert_eq!(t.get(&k), Some(&(k + 1)));
+        }
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut t = BPlusTree::with_order(4);
+        for k in (0..100u64).step_by(2) {
+            t.insert(k, k);
+        }
+        let vals = t.range_values(&10, &20);
+        assert_eq!(vals, vec![10, 12, 14, 16, 18, 20]);
+        // Bounds that fall between keys.
+        let vals = t.range_values(&11, &19);
+        assert_eq!(vals, vec![12, 14, 16, 18]);
+        // Empty range.
+        assert!(t.range_values(&51, &51).is_empty());
+    }
+
+    #[test]
+    fn range_scan_early_stop() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        let mut seen = Vec::new();
+        t.range(Bound::Included(&10), Bound::Unbounded, |k, _| {
+            seen.push(*k);
+            seen.len() < 5
+        });
+        assert_eq!(seen, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn range_exclusive_bounds() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..20u64 {
+            t.insert(k, ());
+        }
+        let mut seen = Vec::new();
+        t.range(Bound::Excluded(&5), Bound::Excluded(&9), |k, _| {
+            seen.push(*k);
+            true
+        });
+        assert_eq!(seen, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn composite_keys_prefix_scan() {
+        // The lineorder-by-customer index uses (custkey, orderkey) keys;
+        // Count Orders scans the prefix.
+        let mut t: BPlusTree<(u32, u64), u64> = BPlusTree::new();
+        for cust in 1..=10u32 {
+            for ord in 0..cust as u64 {
+                t.insert((cust, ord), ord);
+            }
+        }
+        let mut count = 0;
+        t.range(
+            Bound::Included(&(7, 0)),
+            Bound::Excluded(&(8, 0)),
+            |_, _| {
+                count += 1;
+                true
+            },
+        );
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t: BPlusTree<String, u32> = BPlusTree::with_order(4);
+        for (i, name) in ["delta", "alpha", "echo", "bravo", "charlie"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(name.to_string(), i as u32);
+        }
+        assert_eq!(t.get("alpha"), Some(&1));
+        assert_eq!(t.get("echo"), Some(&2));
+        assert_eq!(t.get("zulu"), None);
+        let mut order = Vec::new();
+        t.for_each(|k, _| order.push(k.clone()));
+        assert_eq!(order, ["alpha", "bravo", "charlie", "delta", "echo"]);
+    }
+
+    #[test]
+    fn remove_simple() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..50u64 {
+            t.insert(k, k);
+        }
+        for k in (0..50u64).step_by(2) {
+            assert_eq!(t.remove(&k), Some(k));
+        }
+        assert_eq!(t.len(), 25);
+        t.check_invariants();
+        for k in 0..50u64 {
+            if k % 2 == 0 {
+                assert_eq!(t.get(&k), None);
+            } else {
+                assert_eq!(t.get(&k), Some(&k));
+            }
+        }
+        assert_eq!(t.remove(&2), None, "double remove");
+    }
+
+    #[test]
+    fn remove_everything_collapses_root() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 0..200u64 {
+            t.insert(k, k);
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.remove(&k), Some(k));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn randomized_against_btreemap() {
+        let mut rng = SmallRng::seed_from_u64(0xB17E5);
+        let mut model = BTreeMap::new();
+        let mut tree = BPlusTree::with_order(6);
+        for _ in 0..20_000 {
+            let k: u16 = rng.gen_range(0..2048);
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v: u32 = rng.gen();
+                    assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                6..=8 => {
+                    assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                _ => {
+                    assert_eq!(tree.get(&k), model.get(&k));
+                }
+            }
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), model.len());
+        let mut pairs = Vec::new();
+        tree.for_each(|k, v| pairs.push((*k, *v)));
+        let model_pairs: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, model_pairs);
+    }
+
+    #[test]
+    fn random_range_queries_match_model() {
+        let mut rng = SmallRng::seed_from_u64(0xCAFE);
+        let mut model = BTreeMap::new();
+        let mut tree = BPlusTree::with_order(8);
+        for _ in 0..3000 {
+            let k: u32 = rng.gen_range(0..10_000);
+            model.insert(k, k);
+            tree.insert(k, k);
+        }
+        for _ in 0..200 {
+            let a: u32 = rng.gen_range(0..10_000);
+            let b: u32 = rng.gen_range(0..10_000);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let got = tree.range_values(&lo, &hi);
+            let want: Vec<u32> = model.range(lo..=hi).map(|(_, v)| *v).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 4")]
+    fn tiny_order_rejected() {
+        let _ = BPlusTree::<u64, u64>::with_order(3);
+    }
+}

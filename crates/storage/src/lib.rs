@@ -1,0 +1,22 @@
+//! `hat-storage` — storage substrates for the HTAP engines.
+//!
+//! * [`bptree`] — an in-memory B+tree with range scans, built from scratch;
+//!   used for primary and secondary indexes.
+//! * [`rowstore`] — an MVCC row store with per-slot version chains and
+//!   timestamp-based visibility; the transactional backbone of every engine.
+//! * [`colstore`] — a columnar store with dictionary and run-length
+//!   compression plus an in-row-format delta; the analytical backbone of the
+//!   hybrid engines.
+//! * [`wal`] — commit log records and an in-memory write-ahead log with
+//!   subscriber channels, used for streaming replication and the columnar
+//!   learner.
+
+pub mod bptree;
+pub mod colstore;
+pub mod rowstore;
+pub mod wal;
+
+pub use bptree::BPlusTree;
+pub use colstore::{ColumnSnapshot, ColumnTable, DeltaStore, DimColumnCopy, DimSnapshot, Segment, SegmentBuilder};
+pub use rowstore::{RowDb, RowId, RowStore};
+pub use wal::{LogRecord, TableOp, Wal};

@@ -1,0 +1,679 @@
+//! An MVCC row store with per-slot version chains.
+//!
+//! This is the transactional backbone of every engine. Each logical row
+//! occupies one *slot*; a slot holds a chain of committed versions, newest
+//! first, each stamped with its commit timestamp. Readers traverse the
+//! chain to the first version visible at their snapshot — the cost the
+//! paper calls out for MVCC analytics ("every analytical query ... needs to
+//! traverse potentially lengthy version chains", §2.2) is real here.
+//!
+//! Slots live in fixed-size segments so the store can grow (New Order and
+//! Payment keep appending) without ever moving existing slots, and readers
+//! can address slots while writers append.
+//!
+//! Dirty data never enters the store: transactions buffer writes in their
+//! [`hat_txn::TxnCtx`] and install them at commit inside the oracle's
+//! commit critical section, so a version chain only ever contains committed
+//! versions in strictly increasing timestamp order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hat_common::{HatError, Result, Row, TableId};
+use hat_txn::Ts;
+use parking_lot::{Mutex, RwLock};
+
+/// Index of a logical row within its table. Stable for the row's lifetime.
+pub type RowId = u64;
+
+/// Rows per segment. Power of two so slot addressing is shift/mask.
+const SEG_SHIFT: usize = 12;
+const SEG_SIZE: usize = 1 << SEG_SHIFT;
+
+/// One committed version of a row.
+struct Version {
+    ts: Ts,
+    row: Row,
+    next: Option<Box<Version>>,
+}
+
+impl Drop for Version {
+    fn drop(&mut self) {
+        // Iterative chain teardown: hot rows accumulate arbitrarily long
+        // version chains between GC passes, and the default recursive drop
+        // of a linked list overflows the stack.
+        let mut next = self.next.take();
+        while let Some(mut v) = next {
+            next = v.next.take();
+        }
+    }
+}
+
+/// A fixed block of slots.
+struct Segment {
+    slots: Box<[Mutex<Option<Version>>]>,
+}
+
+impl Segment {
+    fn new() -> Arc<Segment> {
+        let slots: Vec<Mutex<Option<Version>>> =
+            (0..SEG_SIZE).map(|_| Mutex::new(None)).collect();
+        Arc::new(Segment { slots: slots.into_boxed_slice() })
+    }
+}
+
+/// A growable MVCC table of versioned rows.
+pub struct RowStore {
+    table: TableId,
+    segments: RwLock<Vec<Arc<Segment>>>,
+    /// Number of allocated slots (== next RowId).
+    count: AtomicU64,
+}
+
+impl RowStore {
+    /// An empty store for `table`.
+    pub fn new(table: TableId) -> Self {
+        RowStore {
+            table,
+            segments: RwLock::new(Vec::new()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The table this store holds.
+    #[inline]
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Number of slots ever allocated (visible and not-yet-visible alike).
+    #[inline]
+    pub fn slot_count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Grabs the segment holding `rid`, growing the directory if needed.
+    fn segment_for(&self, rid: RowId) -> Arc<Segment> {
+        let seg_idx = (rid >> SEG_SHIFT) as usize;
+        {
+            let segs = self.segments.read();
+            if seg_idx < segs.len() {
+                return Arc::clone(&segs[seg_idx]);
+            }
+        }
+        let mut segs = self.segments.write();
+        while segs.len() <= seg_idx {
+            segs.push(Segment::new());
+        }
+        Arc::clone(&segs[seg_idx])
+    }
+
+    #[inline]
+    fn slot_of(seg: &Segment, rid: RowId) -> &Mutex<Option<Version>> {
+        &seg.slots[(rid as usize) & (SEG_SIZE - 1)]
+    }
+
+    /// Installs a brand-new row committed at `ts`, returning its id.
+    ///
+    /// Used by the bulk loader, by commit installation, and by replication
+    /// replay (which must observe the same allocation order as the primary;
+    /// see [`RowStore::install_insert_at`] for the checked variant).
+    pub fn install_insert(&self, row: Row, ts: Ts) -> RowId {
+        let rid = self.count.fetch_add(1, Ordering::AcqRel);
+        let seg = self.segment_for(rid);
+        let mut slot = Self::slot_of(&seg, rid).lock();
+        debug_assert!(slot.is_none(), "fresh slot must be empty");
+        *slot = Some(Version { ts, row, next: None });
+        rid
+    }
+
+    /// Replay-side insert that asserts the replica allocates the same row
+    /// id the primary logged. Physical replication depends on this.
+    pub fn install_insert_at(&self, expected_rid: RowId, row: Row, ts: Ts) -> Result<()> {
+        let rid = self.install_insert(row, ts);
+        if rid != expected_rid {
+            return Err(HatError::InvalidConfig(format!(
+                "replica rid divergence on {}: expected {expected_rid}, got {rid}",
+                self.table.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Prepends a new version of an existing row, committed at `ts`.
+    pub fn install_update(&self, rid: RowId, row: Row, ts: Ts) -> Result<()> {
+        if rid >= self.slot_count() {
+            return Err(HatError::NotFound { table: self.table.name() });
+        }
+        let seg = self.segment_for(rid);
+        let mut slot = Self::slot_of(&seg, rid).lock();
+        let old = slot.take();
+        debug_assert!(
+            old.as_ref().is_none_or(|v| v.ts < ts),
+            "versions must be installed in increasing ts order"
+        );
+        *slot = Some(Version { ts, row, next: old.map(Box::new) });
+        Ok(())
+    }
+
+    /// Reads the version of `rid` visible at snapshot `ts`.
+    pub fn read(&self, rid: RowId, ts: Ts) -> Option<Row> {
+        if rid >= self.slot_count() {
+            return None;
+        }
+        let seg = self.segment_for(rid);
+        let slot = Self::slot_of(&seg, rid).lock();
+        let mut version = slot.as_ref()?;
+        loop {
+            if version.ts <= ts {
+                return Some(Arc::clone(&version.row));
+            }
+            version = version.next.as_deref()?;
+        }
+    }
+
+    /// Reads the newest committed version and its timestamp.
+    pub fn read_latest(&self, rid: RowId) -> Option<(Row, Ts)> {
+        if rid >= self.slot_count() {
+            return None;
+        }
+        let seg = self.segment_for(rid);
+        let slot = Self::slot_of(&seg, rid).lock();
+        slot.as_ref().map(|v| (Arc::clone(&v.row), v.ts))
+    }
+
+    /// Timestamp of the newest committed version, or `None` if the slot is
+    /// still empty. Used for first-committer-wins checks and serializable
+    /// read validation.
+    pub fn latest_ts(&self, rid: RowId) -> Option<Ts> {
+        if rid >= self.slot_count() {
+            return None;
+        }
+        let seg = self.segment_for(rid);
+        let slot = Self::slot_of(&seg, rid).lock();
+        slot.as_ref().map(|v| v.ts)
+    }
+
+    /// Scans every row visible at snapshot `ts` in row-id order, invoking
+    /// `visit(rid, &row)`. This is the row-store analytical scan path; it
+    /// pays a per-slot lock and a version-chain walk, as MVCC scans do.
+    pub fn scan<F>(&self, ts: Ts, mut visit: F)
+    where
+        F: FnMut(RowId, &Row),
+    {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut rid: RowId = 0;
+        'outer: for seg in segs {
+            for slot in seg.slots.iter() {
+                if rid >= count {
+                    break 'outer;
+                }
+                let guard = slot.lock();
+                if let Some(mut version) = guard.as_ref() {
+                    loop {
+                        if version.ts <= ts {
+                            visit(rid, &version.row);
+                            break;
+                        }
+                        match version.next.as_deref() {
+                            Some(next) => version = next,
+                            None => break,
+                        }
+                    }
+                }
+                rid += 1;
+            }
+        }
+    }
+
+    /// Like [`RowStore::scan`] but the visitor returns `false` to stop
+    /// early — the no-index lookup path uses this to stop at the first
+    /// matching row.
+    pub fn scan_while<F>(&self, ts: Ts, mut visit: F)
+    where
+        F: FnMut(RowId, &Row) -> bool,
+    {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut rid: RowId = 0;
+        'outer: for seg in segs {
+            for slot in seg.slots.iter() {
+                if rid >= count {
+                    break 'outer;
+                }
+                let guard = slot.lock();
+                if let Some(mut version) = guard.as_ref() {
+                    loop {
+                        if version.ts <= ts {
+                            if !visit(rid, &version.row) {
+                                return;
+                            }
+                            break;
+                        }
+                        match version.next.as_deref() {
+                            Some(next) => version = next,
+                            None => break,
+                        }
+                    }
+                }
+                rid += 1;
+            }
+        }
+    }
+
+    /// Number of rows visible at snapshot `ts` (diagnostic; full scan).
+    pub fn visible_count(&self, ts: Ts) -> u64 {
+        let mut n = 0;
+        self.scan(ts, |_, _| n += 1);
+        n
+    }
+
+    /// Garbage-collects versions that no snapshot at or above `horizon`
+    /// can ever read: for each slot, keeps all versions newer than
+    /// `horizon` plus the one version visible *at* `horizon`. Returns the
+    /// number of versions freed.
+    pub fn prune(&self, horizon: Ts) -> u64 {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut freed = 0;
+        let mut rid: RowId = 0;
+        'outer: for seg in segs {
+            for slot in seg.slots.iter() {
+                if rid >= count {
+                    break 'outer;
+                }
+                rid += 1;
+                let mut guard = slot.lock();
+                let Some(head) = guard.as_mut() else { continue };
+                // Walk to the first version with ts <= horizon; everything
+                // strictly older than that version is unreachable.
+                let mut cur: &mut Version = head;
+                loop {
+                    if cur.ts <= horizon {
+                        let mut dropped = cur.next.take();
+                        while let Some(mut v) = dropped {
+                            freed += 1;
+                            dropped = v.next.take();
+                        }
+                        break;
+                    }
+                    match cur.next {
+                        Some(ref mut next) => cur = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        freed
+    }
+
+    /// Drops every slot at or beyond `n`, shrinking the store back to `n`
+    /// rows. Used by benchmark reset to undo the appends of a measurement
+    /// run (the paper resets data to its initial state before each run,
+    /// §6.1). Callers must guarantee no concurrent writers.
+    pub fn truncate_slots(&self, n: u64) {
+        let count = self.slot_count();
+        if n >= count {
+            return;
+        }
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        for rid in n..count {
+            let seg = &segs[(rid >> SEG_SHIFT) as usize];
+            *Self::slot_of(seg, rid).lock() = None;
+        }
+        self.count.store(n, Ordering::Release);
+    }
+
+    /// Removes every version committed after `ts`, restoring each row to
+    /// the newest version at or before `ts` (rows inserted after `ts`
+    /// become empty slots — combine with [`RowStore::truncate_slots`] for a
+    /// full reset). Callers must guarantee no concurrent writers.
+    pub fn revert_versions_after(&self, ts: Ts) {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        for rid in 0..count {
+            let seg = &segs[(rid >> SEG_SHIFT) as usize];
+            let mut slot = Self::slot_of(seg, rid).lock();
+            // Pop newest versions until the head is old enough.
+            while let Some(head) = slot.as_mut() {
+                if head.ts <= ts {
+                    break;
+                }
+                *slot = head.next.take().map(|b| *b);
+            }
+        }
+    }
+
+    /// Approximate bytes of the newest versions (raw-data-size report).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        self.scan(Ts::MAX, |_, row| {
+            total += row.iter().map(|v| v.approx_bytes()).sum::<usize>();
+        });
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+
+    fn row(v: u32) -> Row {
+        row_from([Value::U32(v)])
+    }
+
+    fn store() -> RowStore {
+        RowStore::new(TableId::Customer)
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let s = store();
+        let rid = s.install_insert(row(7), 5);
+        assert_eq!(rid, 0);
+        assert_eq!(s.read(rid, 5).unwrap()[0].as_u32().unwrap(), 7);
+        assert_eq!(s.read(rid, 4), None, "invisible before commit ts");
+        assert_eq!(s.read(999, 100), None, "unknown rid");
+    }
+
+    #[test]
+    fn versions_visible_by_snapshot() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        s.install_update(rid, row(2), 5).unwrap();
+        s.install_update(rid, row(3), 9).unwrap();
+        assert_eq!(s.read(rid, 2).unwrap()[0].as_u32().unwrap(), 1);
+        assert_eq!(s.read(rid, 4).unwrap()[0].as_u32().unwrap(), 1);
+        assert_eq!(s.read(rid, 5).unwrap()[0].as_u32().unwrap(), 2);
+        assert_eq!(s.read(rid, 8).unwrap()[0].as_u32().unwrap(), 2);
+        assert_eq!(s.read(rid, 9).unwrap()[0].as_u32().unwrap(), 3);
+        assert_eq!(s.read(rid, 100).unwrap()[0].as_u32().unwrap(), 3);
+        let (latest, ts) = s.read_latest(rid).unwrap();
+        assert_eq!(latest[0].as_u32().unwrap(), 3);
+        assert_eq!(ts, 9);
+        assert_eq!(s.latest_ts(rid), Some(9));
+    }
+
+    #[test]
+    fn update_unknown_rid_fails() {
+        let s = store();
+        assert!(matches!(
+            s.install_update(0, row(1), 2),
+            Err(HatError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_respects_snapshot() {
+        let s = store();
+        for i in 0..10u32 {
+            s.install_insert(row(i), (i + 1) as u64 * 2);
+        }
+        // Snapshot 9 sees rows committed at ts 2,4,6,8.
+        let mut seen = Vec::new();
+        s.scan(9, |rid, r| seen.push((rid, r[0].as_u32().unwrap())));
+        assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(s.visible_count(20), 10);
+        assert_eq!(s.visible_count(1), 0);
+    }
+
+    #[test]
+    fn scan_uses_visible_version_not_latest() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        s.install_update(rid, row(99), 10).unwrap();
+        let mut vals = Vec::new();
+        s.scan(5, |_, r| vals.push(r[0].as_u32().unwrap()));
+        assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn growth_across_segments() {
+        let s = store();
+        let n = (SEG_SIZE * 2 + 100) as u32;
+        for i in 0..n {
+            s.install_insert(row(i), 2);
+        }
+        assert_eq!(s.slot_count(), n as u64);
+        assert_eq!(s.read(SEG_SIZE as u64 + 5, 2).unwrap()[0].as_u32().unwrap(), SEG_SIZE as u32 + 5);
+        assert_eq!(s.visible_count(2), n as u64);
+    }
+
+    #[test]
+    fn replica_rid_check() {
+        let s = store();
+        s.install_insert_at(0, row(1), 2).unwrap();
+        s.install_insert_at(1, row(2), 2).unwrap();
+        assert!(s.install_insert_at(5, row(3), 2).is_err());
+    }
+
+    #[test]
+    fn prune_drops_unreachable_versions() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        s.install_update(rid, row(2), 4).unwrap();
+        s.install_update(rid, row(3), 6).unwrap();
+        s.install_update(rid, row(4), 8).unwrap();
+        // Horizon 6: version@6 must stay (visible at 6), 8 stays (newer),
+        // versions @4 and @2 freed.
+        let freed = s.prune(6);
+        assert_eq!(freed, 2);
+        assert_eq!(s.read(rid, 6).unwrap()[0].as_u32().unwrap(), 3);
+        assert_eq!(s.read(rid, 100).unwrap()[0].as_u32().unwrap(), 4);
+        // Reads below the horizon may now miss — that's the GC contract.
+        assert_eq!(s.prune(6), 0, "idempotent");
+    }
+
+    #[test]
+    fn truncate_slots_shrinks() {
+        let s = store();
+        for i in 0..10u32 {
+            s.install_insert(row(i), 2);
+        }
+        s.truncate_slots(4);
+        assert_eq!(s.slot_count(), 4);
+        assert_eq!(s.visible_count(10), 4);
+        assert_eq!(s.read(5, 10), None);
+        // Slots freed by truncate are reusable.
+        let rid = s.install_insert(row(99), 3);
+        assert_eq!(rid, 4);
+        assert_eq!(s.read(4, 3).unwrap()[0].as_u32().unwrap(), 99);
+        // Truncating beyond the count is a no-op.
+        s.truncate_slots(100);
+        assert_eq!(s.slot_count(), 5);
+    }
+
+    #[test]
+    fn revert_versions_restores_old_state() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        s.install_update(rid, row(2), 5).unwrap();
+        s.install_update(rid, row(3), 8).unwrap();
+        let fresh = s.install_insert(row(9), 7);
+        s.revert_versions_after(2);
+        assert_eq!(s.read(rid, 100).unwrap()[0].as_u32().unwrap(), 1);
+        assert_eq!(s.read(fresh, 100), None, "post-ts insert reverted away");
+        assert_eq!(s.latest_ts(rid), Some(2));
+    }
+
+    #[test]
+    fn scan_while_stops_early() {
+        let s = store();
+        for i in 0..100u32 {
+            s.install_insert(row(i), 2);
+        }
+        let mut seen = 0;
+        s.scan_while(2, |_, _| {
+            seen += 1;
+            seen < 7
+        });
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn concurrent_inserts_get_unique_rids() {
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|i| s.install_insert(row(t * 1000 + i), 2)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<RowId> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<RowId> = (0..4000).collect();
+        assert_eq!(all, expect);
+        assert_eq!(s.visible_count(2), 4000);
+    }
+
+    #[test]
+    fn dropping_a_very_long_version_chain_does_not_overflow_stack() {
+        let s = store();
+        let rid = s.install_insert(row(0), 2);
+        for ts in 3..300_000u64 {
+            s.install_update(rid, row(1), ts).unwrap();
+        }
+        drop(s); // must not blow the stack
+    }
+
+    #[test]
+    fn snapshot_reads_are_repeatable_under_concurrent_updates() {
+        // A reader at a fixed snapshot must see the same version no matter
+        // how many newer versions writers prepend concurrently.
+        let s = Arc::new(store());
+        let rid = s.install_insert(row(0), 2);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ts = 3;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    s.install_update(rid, row(ts as u32), ts).unwrap();
+                    ts += 1;
+                }
+                ts
+            })
+        };
+        for _ in 0..2000 {
+            let seen = s.read(rid, 2).unwrap()[0].as_u32().unwrap();
+            assert_eq!(seen, 0, "snapshot at ts 2 must always see version 0");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let final_ts = writer.join().unwrap();
+        // The latest read at a current snapshot sees the newest version.
+        let latest = s.read(rid, final_ts).unwrap()[0].as_u32().unwrap();
+        assert_eq!(latest as u64, final_ts - 1);
+    }
+
+    #[test]
+    fn scan_during_concurrent_append_never_sees_future_rows() {
+        let s = Arc::new(store());
+        for i in 0..100u32 {
+            s.install_insert(row(i), 2);
+        }
+        let appender = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for ts in 10..20_010u64 {
+                    s.install_insert(row(999), ts);
+                }
+            })
+        };
+        // Scan concurrently with the bounded append storm.
+        while s.slot_count() < 20_100 {
+            let mut n = 0;
+            s.scan(2, |_, r| {
+                assert_ne!(r[0].as_u32().unwrap(), 999, "future row leaked");
+                n += 1;
+            });
+            assert_eq!(n, 100);
+        }
+        appender.join().unwrap();
+        assert_eq!(s.visible_count(2), 100);
+    }
+
+    #[test]
+    fn approx_bytes_counts_latest() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        let before = s.approx_bytes();
+        s.install_update(rid, row(2), 3).unwrap();
+        assert_eq!(s.approx_bytes(), before, "only newest version counted");
+    }
+}
+
+/// One [`RowStore`] per table of the HATtrick schema — the row-format
+/// "database" used by the shared engine, by replication primaries and
+/// replicas, and by the hybrid engines' transactional side.
+pub struct RowDb {
+    stores: Vec<Arc<RowStore>>,
+}
+
+impl RowDb {
+    /// Creates empty stores for every table.
+    pub fn new() -> Self {
+        RowDb {
+            stores: TableId::ALL.iter().map(|t| Arc::new(RowStore::new(*t))).collect(),
+        }
+    }
+
+    /// The store for `table`.
+    #[inline]
+    pub fn store(&self, table: TableId) -> &RowStore {
+        &self.stores[table.index()]
+    }
+
+    /// Shared handle to the store for `table`.
+    pub fn store_arc(&self, table: TableId) -> Arc<RowStore> {
+        Arc::clone(&self.stores[table.index()])
+    }
+
+    /// Approximate row-format bytes across all tables.
+    pub fn approx_bytes(&self) -> usize {
+        self.stores.iter().map(|s| s.approx_bytes()).sum()
+    }
+}
+
+impl Default for RowDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod rowdb_tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+
+    #[test]
+    fn stores_are_per_table() {
+        let db = RowDb::new();
+        db.store(TableId::Customer).install_insert(row_from([Value::U32(1)]), 2);
+        assert_eq!(db.store(TableId::Customer).slot_count(), 1);
+        assert_eq!(db.store(TableId::Supplier).slot_count(), 0);
+        assert_eq!(db.store(TableId::Customer).table(), TableId::Customer);
+    }
+
+    #[test]
+    fn store_arc_aliases_store() {
+        let db = RowDb::new();
+        let arc = db.store_arc(TableId::History);
+        arc.install_insert(
+            row_from([
+                Value::U64(1),
+                Value::U32(2),
+                Value::Money(hat_common::Money::ZERO),
+            ]),
+            2,
+        );
+        assert_eq!(db.store(TableId::History).slot_count(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-transaction bookkeeping shared by every engine.
+//!
+//! A [`TxnCtx`] buffers a transaction's writes until commit (no dirty
+//! versions are ever visible in a row store), records the read set for
+//! serializable validation, and tracks acquired row locks for release on
+//! commit or abort.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hat_common::{Row, TableId};
+
+use crate::locks::LockKey;
+use crate::oracle::Ts;
+use crate::snapshot::{IsolationLevel, Snapshot};
+
+/// Global transaction-id allocator (ids are process-unique lock owners).
+static NEXT_TXN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A buffered write, applied to the row store only at commit.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert a fresh row; the row id is assigned at install time.
+    Insert { table: TableId, row: Row },
+    /// Replace the current version of `rid` with `row`.
+    Update { table: TableId, rid: u64, row: Row },
+}
+
+impl WriteOp {
+    /// The table this write touches.
+    pub fn table(&self) -> TableId {
+        match self {
+            WriteOp::Insert { table, .. } | WriteOp::Update { table, .. } => *table,
+        }
+    }
+}
+
+/// One entry of the read set: which version of which row was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    pub table: TableId,
+    pub rid: u64,
+    /// Commit timestamp of the version the transaction read.
+    pub version_ts: Ts,
+}
+
+/// The state of an in-flight transaction.
+#[derive(Debug)]
+pub struct TxnCtx {
+    id: u64,
+    isolation: IsolationLevel,
+    begin_snapshot: Snapshot,
+    reads: Vec<ReadEntry>,
+    writes: Vec<WriteOp>,
+    locks: Vec<LockKey>,
+    closed: bool,
+}
+
+impl TxnCtx {
+    /// Starts a transaction with the given isolation level reading from
+    /// `snapshot_ts`.
+    pub fn begin(isolation: IsolationLevel, snapshot_ts: Ts) -> Self {
+        TxnCtx {
+            id: NEXT_TXN_ID.fetch_add(1, Ordering::Relaxed),
+            isolation,
+            begin_snapshot: Snapshot::at(snapshot_ts),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            locks: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Process-unique id, used as the lock owner.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The transaction's isolation level.
+    #[inline]
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// The snapshot taken at begin.
+    #[inline]
+    pub fn begin_snapshot(&self) -> Snapshot {
+        self.begin_snapshot
+    }
+
+    /// Whether commit/abort already ran.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Marks the transaction finished (engine calls this from commit/abort).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Records an observed version for serializable validation. Only
+    /// tracked when the isolation level validates reads.
+    pub fn record_read(&mut self, table: TableId, rid: u64, version_ts: Ts) {
+        if self.isolation.validates_reads() {
+            self.reads.push(ReadEntry { table, rid, version_ts });
+        }
+    }
+
+    /// The recorded read set.
+    #[inline]
+    pub fn reads(&self) -> &[ReadEntry] {
+        &self.reads
+    }
+
+    /// Buffers a write for installation at commit.
+    pub fn buffer_write(&mut self, op: WriteOp) {
+        self.writes.push(op);
+    }
+
+    /// The buffered writes, in execution order.
+    #[inline]
+    pub fn writes(&self) -> &[WriteOp] {
+        &self.writes
+    }
+
+    /// Whether the transaction wrote anything.
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Looks up a buffered update of `(table, rid)` so a transaction can
+    /// read its own writes; returns the latest buffered version.
+    pub fn own_write(&self, table: TableId, rid: u64) -> Option<&Row> {
+        self.writes.iter().rev().find_map(|w| match w {
+            WriteOp::Update { table: t, rid: r, row } if *t == table && *r == rid => {
+                Some(row)
+            }
+            _ => None,
+        })
+    }
+
+    /// Remembers an acquired row lock for release at commit/abort.
+    pub fn record_lock(&mut self, key: LockKey) {
+        self.locks.push(key);
+    }
+
+    /// The acquired lock keys.
+    #[inline]
+    pub fn locks(&self) -> &[LockKey] {
+        &self.locks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+    use hat_common::Value;
+
+    fn row(v: u32) -> Row {
+        row_from([Value::U32(v)])
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TxnCtx::begin(IsolationLevel::SnapshotIsolation, 1);
+        let b = TxnCtx::begin(IsolationLevel::SnapshotIsolation, 1);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn read_set_only_tracked_for_serializable() {
+        let mut si = TxnCtx::begin(IsolationLevel::SnapshotIsolation, 5);
+        si.record_read(TableId::Customer, 1, 3);
+        assert!(si.reads().is_empty());
+
+        let mut ser = TxnCtx::begin(IsolationLevel::Serializable, 5);
+        ser.record_read(TableId::Customer, 1, 3);
+        assert_eq!(
+            ser.reads(),
+            &[ReadEntry { table: TableId::Customer, rid: 1, version_ts: 3 }]
+        );
+    }
+
+    #[test]
+    fn write_buffering_and_own_reads() {
+        let mut t = TxnCtx::begin(IsolationLevel::SnapshotIsolation, 5);
+        assert!(t.is_read_only());
+        t.buffer_write(WriteOp::Update {
+            table: TableId::Supplier,
+            rid: 9,
+            row: row(1),
+        });
+        t.buffer_write(WriteOp::Update {
+            table: TableId::Supplier,
+            rid: 9,
+            row: row(2),
+        });
+        t.buffer_write(WriteOp::Insert { table: TableId::History, row: row(3) });
+        assert!(!t.is_read_only());
+        assert_eq!(t.writes().len(), 3);
+        // Own-write lookup returns the latest buffered version.
+        let r = t.own_write(TableId::Supplier, 9).unwrap();
+        assert_eq!(r[0].as_u32().unwrap(), 2);
+        assert!(t.own_write(TableId::Supplier, 8).is_none());
+        assert!(t.own_write(TableId::Customer, 9).is_none());
+    }
+
+    #[test]
+    fn lock_tracking() {
+        let mut t = TxnCtx::begin(IsolationLevel::Serializable, 5);
+        t.record_lock((TableId::Customer, 4));
+        t.record_lock((TableId::Supplier, 2));
+        assert_eq!(t.locks().len(), 2);
+    }
+
+    #[test]
+    fn close_marks_finished() {
+        let mut t = TxnCtx::begin(IsolationLevel::ReadCommitted, 5);
+        assert!(!t.is_closed());
+        t.close();
+        assert!(t.is_closed());
+    }
+}

@@ -1,0 +1,118 @@
+//! A waitable timestamp watermark.
+//!
+//! Used for replication apply horizons: the replay/learner thread
+//! [`Watermark::advance`]s as it applies records, replica queries read
+//! [`Watermark::get`] for their snapshot, and `remote_apply` commits /
+//! learner read-index waits block in [`Watermark::wait_for`].
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::oracle::Ts;
+
+/// A monotonically advancing timestamp others can wait on.
+///
+/// ```
+/// use hat_txn::Watermark;
+/// use std::sync::Arc;
+///
+/// let applied = Arc::new(Watermark::new(0));
+/// let replica = Arc::clone(&applied);
+/// let replay = std::thread::spawn(move || replica.advance(5));
+/// applied.wait_for(5); // blocks until the replay thread catches up
+/// replay.join().unwrap();
+/// assert_eq!(applied.get(), 5);
+/// ```
+#[derive(Debug)]
+pub struct Watermark {
+    value: Mutex<Ts>,
+    cond: Condvar,
+}
+
+impl Watermark {
+    /// A watermark starting at `initial`.
+    pub fn new(initial: Ts) -> Self {
+        Watermark { value: Mutex::new(initial), cond: Condvar::new() }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> Ts {
+        *self.value.lock()
+    }
+
+    /// Advances to `ts` (no-op if already past) and wakes waiters.
+    pub fn advance(&self, ts: Ts) {
+        let mut v = self.value.lock();
+        if ts > *v {
+            *v = ts;
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until the watermark reaches `ts`.
+    pub fn wait_for(&self, ts: Ts) {
+        let mut v = self.value.lock();
+        while *v < ts {
+            self.cond.wait(&mut v);
+        }
+    }
+
+    /// Blocks until the watermark reaches `ts` or the timeout elapses.
+    /// Returns whether the target was reached.
+    pub fn wait_for_timeout(&self, ts: Ts, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut v = self.value.lock();
+        while *v < ts {
+            if self.cond.wait_until(&mut v, deadline).timed_out() {
+                return *v >= ts;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn advance_is_monotonic() {
+        let w = Watermark::new(5);
+        w.advance(3);
+        assert_eq!(w.get(), 5, "cannot go backwards");
+        w.advance(9);
+        assert_eq!(w.get(), 9);
+    }
+
+    #[test]
+    fn wait_for_returns_immediately_when_reached() {
+        let w = Watermark::new(10);
+        w.wait_for(10);
+        w.wait_for(3);
+    }
+
+    #[test]
+    fn wait_for_blocks_until_advanced() {
+        let w = Arc::new(Watermark::new(0));
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || {
+            w2.wait_for(7);
+            w2.get()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        w.advance(4);
+        std::thread::sleep(Duration::from_millis(10));
+        w.advance(7);
+        assert!(t.join().unwrap() >= 7);
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let w = Watermark::new(0);
+        let reached = w.wait_for_timeout(5, Duration::from_millis(20));
+        assert!(!reached);
+        w.advance(5);
+        assert!(w.wait_for_timeout(5, Duration::from_millis(20)));
+    }
+}

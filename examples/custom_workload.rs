@@ -1,0 +1,83 @@
+//! Using the pieces à la carte: a custom transaction mix, a hand-written
+//! analytical query through the `QuerySpec` API, and direct engine
+//! sessions — the extension points a downstream user of this library gets.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::gen::{generate, ScaleFactor};
+use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
+use hattrick_repro::bench::workload::TxnMix;
+use hattrick_repro::common::ids::{customer, lineorder, TableId};
+use hattrick_repro::engine::{DualConfig, DualEngine, HtapEngine, NamedIndex};
+use hattrick_repro::query::predicate::{ColPredicate, Predicate};
+use hattrick_repro::query::spec::{AggExpr, GroupKey, JoinSpec, QueryId, QuerySpec};
+
+fn main() {
+    let data = generate(ScaleFactor(0.005), 99);
+    let engine = Arc::new(DualEngine::new(DualConfig::default()));
+    data.load_into(engine.as_ref()).expect("load");
+
+    // --- 1. A hand-written analytical query ------------------------------
+    // "Revenue by customer region for high-discount lines" — not an SSB
+    // query, but expressible in the same QuerySpec algebra.
+    let spec = QuerySpec {
+        id: QueryId::Q1_1, // ids label output; any tag works
+        fact: TableId::Lineorder,
+        fact_filter: Predicate::and(vec![ColPredicate::U32Between(
+            lineorder::DISCOUNT,
+            8,
+            10,
+        )]),
+        joins: vec![JoinSpec {
+            dim: TableId::Customer,
+            fact_key: lineorder::CUSTKEY,
+            dim_key: customer::CUSTKEY,
+            dim_filter: Predicate::all(),
+            payload: vec![customer::REGION],
+        }],
+        group_by: vec![GroupKey::DimStr(0, 0)],
+        agg: AggExpr::SumMoney(lineorder::REVENUE),
+    };
+    let out = engine.run_query(&spec).expect("query");
+    println!("revenue by region (discount 8-10):");
+    for g in &out.groups {
+        println!("  {:<12} {:>14.2}", g.key[0].to_string(), g.agg as f64 / 100.0);
+    }
+    assert!(!out.groups.is_empty());
+
+    // --- 2. A direct transactional session --------------------------------
+    // Look a customer up by name and read its payment counter.
+    let mut session = engine.begin();
+    let (rid, row) = session
+        .lookup_str(NamedIndex::CustomerName, "Customer#000000001")
+        .expect("lookup")
+        .expect("customer 1 exists");
+    println!(
+        "customer 1 at rid {rid}: city={}, paymentcnt={}",
+        row[customer::CITY].as_str().unwrap(),
+        row[customer::PAYMENTCNT].as_u32().unwrap()
+    );
+    session.abort();
+
+    // --- 3. A skewed transaction mix --------------------------------------
+    // 90% payments stress the dimension-update path; Count Orders off.
+    let harness = Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(400),
+            seed: 1,
+            reset_between_points: true,
+        },
+    )
+    .with_mix(TxnMix { new_order: 10, payment: 90, count_orders: 0 });
+    let m = harness.run_point(4, 1);
+    println!(
+        "payment-heavy mix: {:.0} tps / {:.1} qps, {} aborts (write-conflict retries)",
+        m.tps, m.qps, m.aborts
+    );
+}

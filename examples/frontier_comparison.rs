@@ -1,0 +1,95 @@
+//! Frontier comparison: run the saturation method (§3.3) on two engine
+//! designs, overlay their throughput frontiers, classify their shapes, and
+//! apply the paper's envelopment rule (§6.6).
+//!
+//! Run with: `cargo run --release --example frontier_comparison`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::frontier::{build_grid, classify, Frontier, SaturationConfig};
+use hattrick_repro::bench::gen::{generate, ScaleFactor};
+use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
+use hattrick_repro::bench::report::{ascii_plot, Series};
+use hattrick_repro::engine::{
+    EngineConfig, HtapEngine, IsoConfig, IsoEngine, ReplicationMode, ShdEngine,
+};
+
+fn measure(engine: Arc<dyn HtapEngine>, sf: f64) -> (String, Frontier) {
+    let data = generate(ScaleFactor(sf), 11);
+    let name = engine.name();
+    data.load_into(engine.as_ref()).expect("load");
+    let harness = Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(300),
+            seed: 3,
+            reset_between_points: true,
+        },
+    );
+    let cfg = SaturationConfig { lines: 4, points_per_line: 4, max_clients: 16, epsilon: 0.08 };
+    let grid = build_grid(&harness, &cfg);
+    println!(
+        "{name}: tau_max={} alpha_max={} X_T={:.0} X_A={:.2}",
+        grid.tau_max, grid.alpha_max, grid.x_t, grid.x_a
+    );
+    (name, Frontier::from_grid(&grid))
+}
+
+fn main() {
+    let sf = 0.01;
+    // A shared-design engine (one data copy, shared resources)...
+    let (shared_name, shared) =
+        measure(Arc::new(ShdEngine::new(EngineConfig::default())), sf);
+    // ...versus an isolated-design engine (primary + streaming replica).
+    let (iso_name, iso) = measure(
+        Arc::new(IsoEngine::new(IsoConfig {
+            mode: ReplicationMode::SyncOn,
+            ..IsoConfig::default()
+        })),
+        sf,
+    );
+
+    println!(
+        "{}",
+        ascii_plot(
+            "throughput frontiers",
+            "T throughput (tps)",
+            "A throughput (qps)",
+            &[
+                Series {
+                    name: &shared_name,
+                    marker: 'o',
+                    points: shared.points.iter().map(|p| (p.t, p.a)).collect(),
+                },
+                Series {
+                    name: &iso_name,
+                    marker: '+',
+                    points: iso.points.iter().map(|p| (p.t, p.a)).collect(),
+                },
+            ],
+            64,
+            20,
+        )
+    );
+
+    for (name, frontier) in [(&shared_name, &shared), (&iso_name, &iso)] {
+        println!(
+            "{name}: area ratio {:.3} -> {}",
+            frontier.area_ratio(),
+            classify(frontier).describe()
+        );
+    }
+
+    // §6.6's comparison rule: only a frontier that completely envelops the
+    // other (with no worse freshness) declares a winner.
+    if shared.envelops(&iso, 40) {
+        println!("{shared_name} envelops {iso_name}");
+    } else if iso.envelops(&shared, 40) {
+        println!("{iso_name} envelops {shared_name}");
+    } else {
+        println!("neither frontier envelops the other: consult workload mix and freshness");
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Post-run finalization: EXPERIMENTS digest, full test run, full bench run.
+# Run only when no figures process is active.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== appending results digest to EXPERIMENTS.md =="
+python3 scripts/summarize_results.py results/full_run.log >> EXPERIMENTS.md
+
+echo "== cargo test --workspace =="
+cargo test --workspace 2>&1 | tee test_output.txt | grep "test result:" | tail -5
+
+echo "== cargo bench --workspace =="
+cargo bench --workspace 2>&1 | tee bench_output.txt | grep -c "time:"
+
+echo "finalize done"

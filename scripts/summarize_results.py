@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Digest results/full_run.log into a per-figure markdown record for
+EXPERIMENTS.md. Pure-stdlib; run after `figures all`.
+"""
+import re
+import sys
+
+LOG = sys.argv[1] if len(sys.argv) > 1 else "results/full_run.log"
+
+fig_re = re.compile(r"^== (\S+): (.+) ==$")
+panel_re = re.compile(r"^-- panel (\S+)")
+metrics_re = re.compile(
+    r"tau_max=(\d+) alpha_max=(\d+) X_T=([\d.]+) X_A=([\d.]+) "
+    r"area_ratio=([\d.-]+) class=(\w+) retention\(T=([\d.]+),A=([\d.]+)\)"
+)
+fresh_re = re.compile(
+    r"freshness T:A=(\d+:\d+): p99=([\d.]+)s mean=([\d.]+)s over (\d+) queries"
+)
+ratio_re = re.compile(r"ratio (\d+:\d+): (\d+)% fresh, p99 ([\d.]+)s, max ([\d.]+)s")
+done_re = re.compile(r"^done in (.+)$")
+
+sections = []
+current = None
+panel = None
+
+with open(LOG) as f:
+    for line in f:
+        line = line.rstrip()
+        m = fig_re.match(line)
+        if m:
+            current = {"id": m.group(1), "title": m.group(2), "rows": []}
+            sections.append(current)
+            panel = None
+            continue
+        if current is None:
+            continue
+        m = panel_re.match(line.strip())
+        if m:
+            panel = m.group(1)
+            continue
+        m = metrics_re.search(line)
+        if m:
+            current["rows"].append(
+                ("panel", panel or "?", m.groups())
+            )
+            continue
+        m = fresh_re.search(line)
+        if m:
+            current["rows"].append(("fresh", panel or "-", m.groups()))
+            continue
+        m = ratio_re.search(line)
+        if m:
+            current["rows"].append(("cdf", panel or "-", m.groups()))
+            continue
+        m = done_re.match(line)
+        if m:
+            current = None
+
+print("## Per-figure record (latest full run)\n")
+for sec in sections:
+    print(f"### {sec['id']} — {sec['title']}\n")
+    panels = [r for r in sec["rows"] if r[0] == "panel"]
+    if panels:
+        print("| panel | τ_max | α_max | X_T (tps) | X_A (qps) | area ratio | shape | T-retention | A-retention |")
+        print("|---|---|---|---|---|---|---|---|---|")
+        for _, name, g in panels:
+            tau, alpha, xt, xa, ratio, cls, tr, ar = g
+            print(f"| {name} | {tau} | {alpha} | {float(xt):.0f} | {float(xa):.1f} | {ratio} | {cls} | {tr} | {ar} |")
+        print()
+    fresh = [r for r in sec["rows"] if r[0] == "fresh"]
+    if fresh:
+        print("| freshness at T:A | p99 (s) | mean (s) | queries |")
+        print("|---|---|---|---|")
+        for _, _, g in fresh:
+            ratio, p99, mean, n = g
+            print(f"| {ratio} | {p99} | {mean} | {n} |")
+        print()
+    cdfs = [r for r in sec["rows"] if r[0] == "cdf"]
+    if cdfs:
+        print("| CDF ratio | % fresh | p99 (s) | max (s) |")
+        print("|---|---|---|---|")
+        for _, _, g in cdfs:
+            print(f"| {g[0]} | {g[1]} | {g[2]} | {g[3]} |")
+        print()

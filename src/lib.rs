@@ -1,0 +1,10 @@
+//! Umbrella crate for the HATtrick reproduction: re-exports the public API
+//! of every workspace crate so examples and integration tests can use a
+//! single dependency.
+
+pub use hat_common as common;
+pub use hat_engine as engine;
+pub use hat_query as query;
+pub use hat_storage as storage;
+pub use hat_txn as txn;
+pub use hattrick as bench;

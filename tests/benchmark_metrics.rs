@@ -1,0 +1,140 @@
+//! End-to-end tests of the benchmark's metric pipeline: latency stats,
+//! the grid's interpretation helpers, the classifier against engine ground
+//! truth, and CSV/report plumbing.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::freshness::FreshnessAgg;
+use hattrick_repro::bench::frontier::{
+    build_grid, classify, Frontier, SaturationConfig, ShapeClass,
+};
+use hattrick_repro::bench::gen::{generate, ScaleFactor};
+use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
+use hattrick_repro::bench::report;
+use hattrick_repro::bench::workload::TxnMix;
+use hattrick_repro::engine::{HtapEngine, IsoConfig, IsoEngine, ReplicationMode};
+
+#[test]
+fn latency_stats_cover_the_full_mix() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let m = harness.run_point(3, 1);
+    // With enough commits, all three transaction types appear.
+    if m.committed > 100 {
+        let labels: Vec<&str> =
+            m.txn_latency.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"new-order"), "{labels:?}");
+        assert!(labels.contains(&"payment"), "{labels:?}");
+    }
+    // Query labels are SSB names.
+    for (label, stats) in &m.query_latency {
+        assert!(label.starts_with('Q'), "{label}");
+        assert!(stats.count > 0);
+    }
+}
+
+#[test]
+fn custom_mix_restricts_transaction_types() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    data.load_into(engine.as_ref()).unwrap();
+    let harness = Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(120),
+            seed: 5,
+            reset_between_points: true,
+        },
+    )
+    .with_mix(TxnMix { new_order: 0, payment: 100, count_orders: 0 });
+    let m = harness.run_point(2, 0);
+    assert!(m.committed > 0);
+    for (label, _) in &m.txn_latency {
+        assert_eq!(label, "payment");
+    }
+}
+
+#[test]
+fn classifier_sees_isolation_in_the_isolated_engine() {
+    // The paper's headline claim (§2.3/§6): the frontier shape discovers
+    // the design category. A latency-bound isolated engine must not be
+    // classified as interference, and its area ratio must exceed the
+    // shared engine's CPU-bound one under the same data.
+    let data = generate(ScaleFactor(0.002), 9);
+    let iso: Arc<dyn HtapEngine> = Arc::new(IsoEngine::new(IsoConfig {
+        mode: ReplicationMode::SyncOn,
+        link_one_way: Duration::from_micros(200),
+        ..IsoConfig::default()
+    }));
+    data.load_into(iso.as_ref()).unwrap();
+    let harness = Harness::new(
+        iso,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(250),
+            seed: 2,
+            reset_between_points: true,
+        },
+    );
+    let cfg = SaturationConfig { lines: 3, points_per_line: 3, max_clients: 8, epsilon: 0.1 };
+    let grid = build_grid(&harness, &cfg);
+    let frontier = Frontier::from_grid(&grid);
+    let shape = classify(&frontier);
+    assert_ne!(
+        shape,
+        ShapeClass::Interference,
+        "isolated engine misclassified (ratio {:.3})",
+        frontier.area_ratio()
+    );
+}
+
+#[test]
+fn grid_measurements_carry_freshness_and_latency() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let cfg = SaturationConfig { lines: 2, points_per_line: 2, max_clients: 2, epsilon: 0.2 };
+    let grid = build_grid(&harness, &cfg);
+    // Mixed points must carry freshness samples and latency stats.
+    let mixed: Vec<_> = grid
+        .measurements
+        .iter()
+        .filter(|m| m.t_clients > 0 && m.a_clients > 0 && m.queries > 0)
+        .collect();
+    assert!(!mixed.is_empty(), "grid has mixed points with queries");
+    for m in mixed {
+        assert_eq!(m.freshness.len() as u64, m.queries);
+        assert!(!m.query_latency.is_empty());
+    }
+}
+
+#[test]
+fn summary_report_is_complete() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let cfg = SaturationConfig { lines: 2, points_per_line: 2, max_clients: 2, epsilon: 0.2 };
+    let grid = build_grid(&harness, &cfg);
+    let frontier = Frontier::from_grid(&grid);
+    let freshness: Vec<f64> = grid
+        .measurements
+        .iter()
+        .flat_map(|m| m.freshness.iter().copied())
+        .collect();
+    let agg = FreshnessAgg::from_samples(&freshness);
+    let text = report::summary("test-engine", &frontier, &agg);
+    assert!(text.contains("X_T"));
+    assert!(text.contains("shape:"));
+    let grid_csv = report::grid_csv(&grid);
+    assert!(grid_csv.contains("fixed-T"));
+    assert!(grid_csv.contains("fixed-A"));
+    let plot = report::frontier_ascii("test-engine", &frontier);
+    assert!(plot.contains("frontier"));
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::gen::{generate, GeneratedData, ScaleFactor};
+use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
+use hattrick_repro::engine::{
+    DualConfig, DualEngine, EngineConfig, HtapEngine, IsoConfig, IsoEngine,
+    LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode, ShdEngine,
+};
+
+/// A small but non-trivial dataset (~6k lineorder rows).
+pub fn small_data() -> GeneratedData {
+    generate(ScaleFactor(0.001), 0xD5)
+}
+
+/// Engine constructors for "all four designs" sweeps. Latencies are tuned
+/// down so debug-mode tests stay fast.
+pub fn all_engines() -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
+    vec![
+        ("shared", Arc::new(ShdEngine::new(fast_engine_config()))),
+        (
+            "isolated",
+            Arc::new(IsoEngine::new(IsoConfig {
+                engine: fast_engine_config(),
+                mode: ReplicationMode::RemoteApply,
+                link_one_way: Duration::from_micros(20),
+                replay_cost: Duration::from_micros(5),
+            })),
+        ),
+        ("dual", Arc::new(DualEngine::new(DualConfig::default()))),
+        (
+            "learner",
+            Arc::new(LearnerEngine::new(LearnerConfig {
+                profile: LearnerProfile::SingleNode,
+                apply_cost: Duration::from_micros(5),
+                ..LearnerConfig::default()
+            })),
+        ),
+    ]
+}
+
+/// Engine config with no durability sleep (debug tests).
+pub fn fast_engine_config() -> EngineConfig {
+    EngineConfig { commit_latency: Duration::ZERO, ..EngineConfig::default() }
+}
+
+/// Loads `data` into `engine` and wraps it in a fast harness.
+pub fn fast_harness(engine: Arc<dyn HtapEngine>, data: &GeneratedData) -> Harness {
+    data.load_into(engine.as_ref()).expect("load");
+    Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(100),
+            seed: 42,
+            reset_between_points: true,
+        },
+    )
+}

@@ -1,0 +1,216 @@
+//! Engine-level semantic edge cases across all four designs: session
+//! lifecycle, index-profile fallbacks, snapshot stability of long
+//! analytical reads, and engine-specific behaviours.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::gen::{generate, ScaleFactor};
+use hattrick_repro::bench::workload::{run_transaction, TxnKind, WorkloadState};
+use hattrick_repro::common::ids::{customer, TableId};
+use hattrick_repro::common::rng::HatRng;
+use hattrick_repro::common::value::row_with;
+use hattrick_repro::common::{HatError, Value};
+use hattrick_repro::engine::{
+    EngineConfig, HtapEngine, IndexProfile, LearnerConfig, LearnerEngine,
+    LearnerProfile, NamedIndex, ShdEngine,
+};
+use hattrick_repro::query::spec::QueryId;
+use hattrick_repro::query::ssb;
+
+#[test]
+fn session_is_single_use() {
+    let data = common::small_data();
+    for (name, engine) in common::all_engines() {
+        data.load_into(engine.as_ref()).unwrap();
+        let mut s = engine.begin();
+        let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        s.update(TableId::Customer, rid, row).unwrap();
+        s.commit().unwrap();
+        // A fresh session works; operations on it after abort fail.
+        let s2 = engine.begin();
+        s2.abort();
+        // (s2 consumed; start another and check TxnClosed is surfaced via
+        // the session's own lifecycle.)
+        let s3 = engine.begin();
+        let err = s3.commit().unwrap_or_else(|_| panic!("{name}: read-only commit"));
+        assert!(err > 0, "{name}: commit timestamps are positive");
+    }
+}
+
+#[test]
+fn no_index_profile_falls_back_to_scans_with_same_answers() {
+    let data = generate(ScaleFactor(0.0008), 77);
+    let make = |profile| {
+        let engine = ShdEngine::new(EngineConfig {
+            indexes: profile,
+            commit_latency: Duration::ZERO,
+            ..EngineConfig::default()
+        });
+        data.load_into(&engine).unwrap();
+        engine
+    };
+    let indexed = make(IndexProfile::All);
+    let scanning = make(IndexProfile::None);
+    for key in [1u32, 7, 13] {
+        let mut a = indexed.begin();
+        let mut b = scanning.begin();
+        let via_index = a.lookup_u32(NamedIndex::CustomerPk, key).unwrap().unwrap();
+        let via_scan = b.lookup_u32(NamedIndex::CustomerPk, key).unwrap().unwrap();
+        assert_eq!(via_index.1, via_scan.1, "custkey {key}");
+        let name = format!("Customer#{key:09}");
+        let via_index = a.lookup_str(NamedIndex::CustomerName, &name).unwrap().unwrap();
+        let via_scan = b.lookup_str(NamedIndex::CustomerName, &name).unwrap().unwrap();
+        assert_eq!(via_index.1, via_scan.1, "name {name}");
+        // Supplier path too.
+        let sname = "Supplier#000000003";
+        let via_index = a.lookup_str(NamedIndex::SupplierName, sname).unwrap().unwrap();
+        let via_scan = b.lookup_str(NamedIndex::SupplierName, sname).unwrap().unwrap();
+        assert_eq!(via_index.1, via_scan.1);
+        a.abort();
+        b.abort();
+    }
+    // Missing keys miss on both paths.
+    let mut a = indexed.begin();
+    let mut b = scanning.begin();
+    assert!(a.lookup_u32(NamedIndex::PartPk, 9_999_999).unwrap().is_none());
+    assert!(b.lookup_u32(NamedIndex::PartPk, 9_999_999).unwrap().is_none());
+    a.abort();
+    b.abort();
+}
+
+#[test]
+fn writes_in_aborted_sessions_leave_no_trace() {
+    let data = common::small_data();
+    for (name, engine) in common::all_engines() {
+        data.load_into(engine.as_ref()).unwrap();
+        let before = engine.run_query(&ssb::query(QueryId::Q2_1)).unwrap();
+        let mut s = engine.begin();
+        let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+        s.update(
+            TableId::Customer,
+            rid,
+            row_with(&row, customer::PAYMENTCNT, Value::U32(77)),
+        )
+        .unwrap();
+        s.abort();
+        let after = engine.run_query(&ssb::query(QueryId::Q2_1)).unwrap();
+        assert_eq!(before.groups, after.groups, "{name}");
+        // Row unchanged for the next reader.
+        let mut s = engine.begin();
+        let (_, row) = s.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+        assert_eq!(row[customer::PAYMENTCNT].as_u32().unwrap(), 0, "{name}");
+        s.abort();
+    }
+}
+
+#[test]
+fn analytical_snapshot_is_stable_against_concurrent_commits() {
+    // Start a query while a writer storm runs: the executor's fact scan
+    // and its freshness side-read must agree on one snapshot — the
+    // freshness vector a query returns can never be *ahead* of the rows it
+    // scanned... verified here by checking monotonic relationship between
+    // successive queries' vectors and the registry of committed txns.
+    let data = common::small_data();
+    for (name, engine) in common::all_engines() {
+        data.load_into(engine.as_ref()).unwrap();
+        let state = WorkloadState::new(&data.profile);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let engine_ref = Arc::clone(&engine);
+            let profile = &data.profile;
+            let state = &state;
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut rng = HatRng::seeded(31);
+                let mut txnnum = 0;
+                while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    txnnum += 1;
+                    let _ = run_transaction(
+                        engine_ref.as_ref(),
+                        profile,
+                        state,
+                        &mut rng,
+                        TxnKind::Payment,
+                        0,
+                        txnnum,
+                    );
+                }
+            });
+            let mut last_seen = 0u64;
+            for _ in 0..20 {
+                let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+                let seen = out
+                    .freshness
+                    .iter()
+                    .find(|(c, _)| *c == 0)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(0);
+                assert!(
+                    seen >= last_seen,
+                    "{name}: freshness went backwards {last_seen} -> {seen}"
+                );
+                last_seen = seen;
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+}
+
+#[test]
+fn learner_distributed_profile_behaves_like_single_but_slower() {
+    let data = generate(ScaleFactor(0.0008), 5);
+    let mk = |profile| {
+        let engine = LearnerEngine::new(LearnerConfig {
+            profile,
+            apply_cost: Duration::from_micros(5),
+            ..LearnerConfig::default()
+        });
+        data.load_into(&engine).unwrap();
+        engine
+    };
+    let single = mk(LearnerProfile::SingleNode);
+    let dist = mk(LearnerProfile::Distributed);
+    // Same query answers.
+    for id in [QueryId::Q1_1, QueryId::Q3_1] {
+        let a = single.run_query(&ssb::query(id)).unwrap();
+        let b = dist.run_query(&ssb::query(id)).unwrap();
+        assert_eq!(a.groups, b.groups, "{}", id.label());
+    }
+    // Same transactional semantics (commit succeeds, learner catches up).
+    for engine in [&single, &dist] {
+        let state = WorkloadState::new(&data.profile);
+        let mut rng = HatRng::seeded(6);
+        run_transaction(engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, 1)
+            .unwrap();
+        engine.quiesce_learner();
+        assert_eq!(engine.stats().replication_backlog, 0);
+    }
+}
+
+#[test]
+fn duplicate_freshness_update_in_one_txn_is_idempotent_lockwise() {
+    // A transaction may lock the same row twice (same owner) without
+    // conflicting with itself.
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    data.load_into(engine.as_ref()).unwrap();
+    let mut s = engine.begin();
+    let row = |n| {
+        hattrick_repro::common::value::row_from([Value::U32(0), Value::U64(n)])
+    };
+    s.update(TableId::Freshness, 0, row(1)).unwrap();
+    s.update(TableId::Freshness, 0, row(2)).unwrap();
+    s.commit().unwrap();
+    // Final state is the last write.
+    let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+    assert_eq!(out.freshness.iter().find(|(c, _)| *c == 0).unwrap().1, 2);
+}
+
+#[test]
+fn not_found_errors_are_not_retryable() {
+    let e = HatError::NotFound { table: "customer" };
+    assert!(!e.is_retryable());
+}

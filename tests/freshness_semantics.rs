@@ -1,0 +1,145 @@
+//! End-to-end freshness semantics (§4): engines that guarantee zero
+//! freshness must measure zero through the full client-side pipeline, and
+//! the asynchronous isolated engine must measure real staleness that the
+//! remote-apply mode eliminates.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hattrick_repro::bench::freshness::FreshnessAgg;
+use hattrick_repro::bench::gen::{generate, ScaleFactor};
+use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
+use hattrick_repro::engine::{HtapEngine, IsoConfig, IsoEngine, ReplicationMode};
+
+fn iso_harness(mode: ReplicationMode, replay_cost: Duration) -> Harness {
+    let data = generate(ScaleFactor(0.0008), 3);
+    let engine: Arc<dyn HtapEngine> = Arc::new(IsoEngine::new(IsoConfig {
+        engine: common::fast_engine_config(),
+        mode,
+        link_one_way: Duration::from_micros(30),
+        replay_cost,
+    }));
+    data.load_into(engine.as_ref()).unwrap();
+    Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(30),
+            measure: Duration::from_millis(200),
+            seed: 11,
+            reset_between_points: true,
+        },
+    )
+}
+
+#[test]
+fn zero_freshness_engines_measure_zero() {
+    let data = common::small_data();
+    for (name, engine) in common::all_engines() {
+        // The isolated engine in this list runs remote-apply: also zero.
+        let harness = common::fast_harness(engine, &data);
+        let m = harness.run_point(3, 1);
+        assert!(m.queries > 0, "{name}: no queries finished");
+        let agg = FreshnessAgg::from_samples(&m.freshness);
+        assert!(
+            agg.p99 < 0.01,
+            "{name}: expected zero freshness, p99 = {:.4}s",
+            agg.p99
+        );
+    }
+}
+
+#[test]
+fn slow_replay_produces_measurable_staleness() {
+    // A deliberately slow replica (2ms per record) cannot keep up with
+    // several T clients: queries must observe stale snapshots.
+    let harness = iso_harness(ReplicationMode::SyncOn, Duration::from_millis(2));
+    let m = harness.run_point(4, 1);
+    assert!(m.queries > 0);
+    let agg = FreshnessAgg::from_samples(&m.freshness);
+    assert!(
+        agg.max > 0.01,
+        "expected staleness with a lagging replica, max = {:.4}s",
+        agg.max
+    );
+}
+
+#[test]
+fn remote_apply_eliminates_staleness_at_same_replay_cost() {
+    let harness = iso_harness(ReplicationMode::RemoteApply, Duration::from_millis(2));
+    let m = harness.run_point(4, 1);
+    assert!(m.queries > 0);
+    let agg = FreshnessAgg::from_samples(&m.freshness);
+    assert!(
+        agg.p99 < 0.005,
+        "remote-apply must be fresh, p99 = {:.4}s",
+        agg.p99
+    );
+    // And the freshness/performance trade-off: RA commits slower than ON.
+    let on = iso_harness(ReplicationMode::SyncOn, Duration::from_millis(2));
+    let m_on = on.run_point(4, 1);
+    assert!(
+        m_on.tps > m.tps,
+        "ON mode should out-commit remote-apply ({} vs {})",
+        m_on.tps,
+        m.tps
+    );
+}
+
+#[test]
+fn cow_engine_staleness_is_bounded_by_the_snapshot_interval() {
+    use hattrick_repro::engine::{CowConfig, CowEngine};
+    let interval = Duration::from_millis(40);
+    let data = generate(ScaleFactor(0.0008), 3);
+    let engine: Arc<dyn HtapEngine> = Arc::new(CowEngine::new(CowConfig {
+        engine: common::fast_engine_config(),
+        snapshot_interval: interval,
+        fork_pause: Duration::from_micros(50),
+    }));
+    data.load_into(engine.as_ref()).unwrap();
+    let harness = Harness::new(
+        engine,
+        data.profile.clone(),
+        BenchmarkConfig {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(400),
+            seed: 13,
+            reset_between_points: true,
+        },
+    );
+    let m = harness.run_point(4, 1);
+    assert!(m.queries > 0);
+    let agg = FreshnessAgg::from_samples(&m.freshness);
+    // Bounded: max staleness is about one interval (generous slack for
+    // scheduling on one core), and under constant update load most
+    // queries see *some* staleness, unlike the always-fresh engines.
+    assert!(
+        agg.max <= interval.as_secs_f64() * 4.0,
+        "staleness {}s exceeds the snapshot-interval bound",
+        agg.max
+    );
+    assert!(
+        agg.zero_fraction < 0.9,
+        "with a 40ms interval and constant updates, stale queries expected"
+    );
+}
+
+#[test]
+fn staleness_grows_with_transactional_clients() {
+    // Figure 8b's trend: more T clients -> more update volume -> the
+    // replica lags further -> worse freshness scores.
+    let harness = iso_harness(ReplicationMode::SyncOn, Duration::from_micros(800));
+    let low = harness.run_point(1, 2);
+    let high = harness.run_point(6, 2);
+    let agg_low = FreshnessAgg::from_samples(&low.freshness);
+    let agg_high = FreshnessAgg::from_samples(&high.freshness);
+    assert!(
+        agg_high.mean >= agg_low.mean,
+        "mean staleness should not shrink with more T clients: {} -> {}",
+        agg_low.mean,
+        agg_high.mean
+    );
+    assert!(agg_high.max > 0.0, "high-T point must show some staleness");
+}

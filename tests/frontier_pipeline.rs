@@ -1,0 +1,115 @@
+//! End-to-end saturation-method pipeline (§3.3): build a grid on a real
+//! engine, extract the frontier, and check the structural guarantees the
+//! paper's methodology relies on.
+
+mod common;
+
+use hattrick_repro::bench::frontier::{
+    build_grid, find_saturation, sample_random, FixedKind, Frontier, SaturationConfig,
+};
+use hattrick_repro::common::rng::HatRng;
+
+fn tiny_cfg() -> SaturationConfig {
+    SaturationConfig { lines: 2, points_per_line: 3, max_clients: 4, epsilon: 0.15 }
+}
+
+#[test]
+fn grid_and_frontier_structure() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let cfg = tiny_cfg();
+    let grid = build_grid(&harness, &cfg);
+
+    assert!(grid.tau_max >= 1 && grid.tau_max <= cfg.max_clients);
+    assert!(grid.alpha_max >= 1);
+    assert!(grid.x_t > 0.0, "pure T throughput");
+    assert!(grid.x_a > 0.0, "pure A throughput");
+    assert!(!grid.fixed_t.is_empty() && !grid.fixed_a.is_empty());
+    for line in grid.fixed_t.iter().chain(&grid.fixed_a) {
+        assert!(!line.points.is_empty());
+    }
+
+    let frontier = Frontier::from_grid(&grid);
+    assert!(frontier.points.len() >= 2, "axis extremes always present");
+    // Bounded by the bounding box (§3.1: "always bounded by X_T and X_A").
+    for p in &frontier.points {
+        assert!(p.t <= frontier.x_t + 1e-9);
+        assert!(p.a <= frontier.x_a + 1e-9);
+    }
+    // Pareto order: ascending t, descending a, no dominated points.
+    for w in frontier.points.windows(2) {
+        assert!(w[0].t <= w[1].t);
+        assert!(w[0].a >= w[1].a);
+    }
+    // The extremes reach the axes.
+    assert_eq!(frontier.points.first().unwrap().t, 0.0);
+    assert_eq!(frontier.points.last().unwrap().a, 0.0);
+    // Area ratio lies in (0, 1].
+    let r = frontier.area_ratio();
+    assert!(r > 0.0 && r <= 1.0, "area ratio {r}");
+}
+
+#[test]
+fn saturation_search_terminates_and_is_positive() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let cfg = tiny_cfg();
+    let (tau, x_t, ms) = find_saturation(&harness, FixedKind::FixedT, &cfg);
+    assert!(tau >= 1 && tau <= cfg.max_clients);
+    assert!(x_t > 0.0);
+    assert!(!ms.is_empty());
+    // Client counts explored are powers of two.
+    for m in &ms {
+        assert!(m.t_clients.is_power_of_two());
+        assert_eq!(m.a_clients, 0);
+    }
+}
+
+#[test]
+fn sampling_method_points_fall_inside_saturation_box() {
+    // Figure 1's two construction methods must agree on the bound: random
+    // mixes cannot (materially) exceed the saturation-method extremes.
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let cfg = tiny_cfg();
+    let grid = build_grid(&harness, &cfg);
+    let mut rng = HatRng::seeded(2024);
+    let samples = sample_random(&harness, 4, 4, &mut rng);
+    for m in &samples {
+        // 25% tolerance: short measurement windows are noisy.
+        assert!(
+            m.tps <= grid.x_t * 1.25,
+            "sampled tps {} above X_T {}",
+            m.tps,
+            grid.x_t
+        );
+        assert!(
+            m.qps <= grid.x_a * 1.25 + 5.0,
+            "sampled qps {} above X_A {}",
+            m.qps,
+            grid.x_a
+        );
+    }
+}
+
+#[test]
+fn frontier_csv_roundtrip_has_all_points() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let grid = build_grid(&harness, &tiny_cfg());
+    let frontier = Frontier::from_grid(&grid);
+    let csv = hattrick_repro::bench::report::frontier_csv(&frontier);
+    assert_eq!(csv.lines().count(), frontier.points.len() + 1);
+    let grid_csv = hattrick_repro::bench::report::grid_csv(&grid);
+    let expected_rows: usize = grid
+        .fixed_t
+        .iter()
+        .chain(&grid.fixed_a)
+        .map(|l| l.points.len())
+        .sum();
+    assert_eq!(grid_csv.lines().count(), expected_rows + 1);
+}
