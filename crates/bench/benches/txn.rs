@@ -32,6 +32,7 @@ fn engines(data: &GeneratedData) -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
                 mode: ReplicationMode::Async,
                 link_one_way: Duration::ZERO,
                 replay_cost: Duration::ZERO,
+                ..IsoConfig::default()
             })),
         ),
         ("dual", Arc::new(DualEngine::new(DualConfig::default()))),

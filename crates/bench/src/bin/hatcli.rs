@@ -125,6 +125,7 @@ fn make_harness(engine_name: &str, sf: f64, seed: u64) -> Option<Harness> {
             measure: Duration::from_millis(600),
             seed,
             reset_between_points: true,
+            ..Default::default()
         },
     ))
 }
@@ -134,6 +135,7 @@ fn print_point(m: &PointMeasurement) {
         "tps={:.1} qps={:.2} (commits={} queries={} aborts={})",
         m.tps, m.qps, m.committed, m.queries, m.aborts
     );
+    println!("{}", report::resilience_line(m).trim_start());
     let agg = FreshnessAgg::from_samples(&m.freshness);
     if agg.count > 0 {
         println!(

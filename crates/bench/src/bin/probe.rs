@@ -21,6 +21,7 @@ fn main() {
         measure: Duration::from_millis(400),
         seed: 1,
         reset_between_points: true,
+        ..Default::default()
     });
     for (t, a) in [(1,0),(2,0),(4,0),(0,1),(0,2),(2,2)] {
         let t0 = Instant::now();

@@ -106,7 +106,7 @@ pub fn harness_for(
     Harness::new(
         engine,
         data.profile.clone(),
-        BenchmarkConfig { warmup, measure, seed: 0xBE7C, reset_between_points: true },
+        BenchmarkConfig { warmup, measure, seed: 0xBE7C, reset_between_points: true, ..Default::default() },
     )
 }
 

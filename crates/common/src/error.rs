@@ -38,6 +38,22 @@ pub enum HatError {
     EngineStopped,
     /// Invalid benchmark or engine configuration.
     InvalidConfig(String),
+    /// A synchronous-replication wait (standby acknowledgement or remote
+    /// apply) exceeded its configured bound *after* the transaction was
+    /// installed on the primary. The transaction is durable locally but
+    /// in doubt at the replica — clients must treat it as
+    /// committed-in-doubt, not as a clean abort. Retryable in the sense
+    /// that the *connection* recovers; the harness accounts it separately
+    /// so the work is never double-applied.
+    ReplicationTimeout,
+    /// The replication/consensus service could not be reached *before*
+    /// anything was installed (e.g. consensus rounds timed out under a
+    /// link partition). The transaction aborted cleanly; safe to retry.
+    ReplicaUnavailable,
+    /// A WAL subscription asked for an LSN that the bounded retention
+    /// ring has already evicted; the subscriber needs a full resync
+    /// (basebackup) instead of log catch-up.
+    WalTruncated { requested: u64, oldest: u64 },
 }
 
 impl HatError {
@@ -49,8 +65,18 @@ impl HatError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            HatError::WriteConflict { .. } | HatError::SerializationFailure
+            HatError::WriteConflict { .. }
+                | HatError::SerializationFailure
+                | HatError::ReplicationTimeout
+                | HatError::ReplicaUnavailable
         )
+    }
+
+    /// Whether the transaction may have installed on the primary despite
+    /// the error. Such outcomes must not be blindly re-executed: the
+    /// writes are durable locally and a retry would double-apply them.
+    pub fn is_commit_in_doubt(&self) -> bool {
+        matches!(self, HatError::ReplicationTimeout)
     }
 }
 
@@ -77,6 +103,18 @@ impl fmt::Display for HatError {
             HatError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             HatError::EngineStopped => write!(f, "engine stopped"),
             HatError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            HatError::ReplicationTimeout => {
+                write!(f, "synchronous replication wait timed out (commit in doubt)")
+            }
+            HatError::ReplicaUnavailable => {
+                write!(f, "replication/consensus service unavailable")
+            }
+            HatError::WalTruncated { requested, oldest } => {
+                write!(
+                    f,
+                    "wal truncated: lsn {requested} requested but oldest retained is {oldest}"
+                )
+            }
         }
     }
 }
@@ -87,13 +125,68 @@ impl std::error::Error for HatError {}
 mod tests {
     use super::*;
 
+    /// One exemplar of every variant, with its expected classification.
+    /// Adding a variant without extending this table fails the
+    /// completeness check below, so new errors can't ship unclassified.
+    fn classification_table() -> Vec<(HatError, /*retryable*/ bool, /*in_doubt*/ bool)> {
+        vec![
+            (HatError::WriteConflict { table: "customer" }, true, false),
+            (HatError::SerializationFailure, true, false),
+            (HatError::TxnClosed, false, false),
+            (HatError::DuplicateKey { table: "history" }, false, false),
+            (HatError::NotFound { table: "supplier" }, false, false),
+            (HatError::UnknownTable("nope".into()), false, false),
+            (HatError::TypeMismatch { expected: "u32", got: "str" }, false, false),
+            (HatError::Unsupported("index seek".into()), false, false),
+            (HatError::EngineStopped, false, false),
+            (HatError::InvalidConfig("bad".into()), false, false),
+            (HatError::ReplicationTimeout, true, true),
+            (HatError::ReplicaUnavailable, true, false),
+            (HatError::WalTruncated { requested: 7, oldest: 42 }, false, false),
+        ]
+    }
+
     #[test]
-    fn retryable_classification() {
-        assert!(HatError::WriteConflict { table: "customer" }.is_retryable());
-        assert!(HatError::SerializationFailure.is_retryable());
-        assert!(!HatError::TxnClosed.is_retryable());
-        assert!(!HatError::DuplicateKey { table: "history" }.is_retryable());
-        assert!(!HatError::EngineStopped.is_retryable());
+    fn every_variant_is_classified() {
+        for (err, retryable, in_doubt) in classification_table() {
+            assert_eq!(err.is_retryable(), retryable, "is_retryable({err:?})");
+            assert_eq!(err.is_commit_in_doubt(), in_doubt, "is_commit_in_doubt({err:?})");
+            // Commit-in-doubt implies the connection-level retry class:
+            // the client reconnects, but must not re-execute blindly.
+            if err.is_commit_in_doubt() {
+                assert!(err.is_retryable(), "{err:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_table_is_complete() {
+        // Exhaustive match: a new variant breaks this compile until it is
+        // added here AND to `classification_table`.
+        let table = classification_table();
+        for (err, _, _) in &table {
+            let covered = match err {
+                HatError::WriteConflict { .. }
+                | HatError::SerializationFailure
+                | HatError::TxnClosed
+                | HatError::DuplicateKey { .. }
+                | HatError::NotFound { .. }
+                | HatError::UnknownTable(_)
+                | HatError::TypeMismatch { .. }
+                | HatError::Unsupported(_)
+                | HatError::EngineStopped
+                | HatError::InvalidConfig(_)
+                | HatError::ReplicationTimeout
+                | HatError::ReplicaUnavailable
+                | HatError::WalTruncated { .. } => true,
+            };
+            assert!(covered);
+        }
+        // Every variant appears in the table exactly once (by discriminant).
+        let discriminants: std::collections::HashSet<std::mem::Discriminant<HatError>> =
+            table.iter().map(|(e, _, _)| std::mem::discriminant(e)).collect();
+        assert_eq!(discriminants.len(), table.len(), "duplicate table entries");
+        assert_eq!(discriminants.len(), 13, "table must cover all 13 variants");
     }
 
     #[test]
@@ -102,5 +195,9 @@ mod tests {
         assert!(e.to_string().contains("supplier"));
         let e = HatError::UnknownTable("nope".into());
         assert!(e.to_string().contains("nope"));
+        let e = HatError::ReplicationTimeout;
+        assert!(e.to_string().contains("in doubt"));
+        let e = HatError::WalTruncated { requested: 3, oldest: 9 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('9'));
     }
 }

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hat_common::clock::BenchClock;
 use hat_common::rng::HatRng;
@@ -28,6 +28,54 @@ const PHASE_WARMUP: u8 = 0;
 const PHASE_MEASURE: u8 = 1;
 const PHASE_DONE: u8 = 2;
 
+/// How a client reacts to retryable failures: capped exponential backoff
+/// with full jitter, and a bound on attempts per logical operation.
+///
+/// The previous driver retried in a hot loop — correct for the pure
+/// conflict-abort case the paper measures, but under injected faults
+/// (partitions, crashed replicas) it spins at full CPU against a dead
+/// service and floods it the instant it heals. Backoff-with-jitter spreads
+/// the retry storm; the attempt cap turns an extended outage into an
+/// accounted `gave_up` instead of an unbounded stall.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Backoff ceiling for the first retry.
+    pub initial_backoff: Duration,
+    /// Cap on the exponentially growing ceiling.
+    pub max_backoff: Duration,
+    /// Attempts per logical operation (1 = no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(20),
+            max_attempts: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Full-jitter backoff before retry number `attempt` (1-based):
+    /// uniform in `[0, min(max_backoff, initial_backoff * 2^(attempt-1))]`.
+    /// Jitter is essential here — synchronized clients that all failed on
+    /// the same partition would otherwise retry in lockstep.
+    pub fn backoff(&self, attempt: u32, rng: &mut HatRng) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let ceiling = self
+            .initial_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.range_u64(0, nanos))
+    }
+}
+
 /// Harness configuration (§6.1 uses per-SF warm-up/measurement periods;
 /// scale these down along with the scale factor).
 #[derive(Debug, Clone)]
@@ -40,6 +88,8 @@ pub struct BenchmarkConfig {
     /// "before each benchmark run we reset the data to their initial
     /// state").
     pub reset_between_points: bool,
+    /// Client reaction to retryable failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BenchmarkConfig {
@@ -49,6 +99,7 @@ impl Default for BenchmarkConfig {
             measure: Duration::from_millis(400),
             seed: 0x4A77,
             reset_between_points: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -115,6 +166,21 @@ pub struct PointMeasurement {
     pub committed: u64,
     pub queries: u64,
     pub aborts: u64,
+    /// Retry attempts issued by transactional clients after retryable
+    /// aborts (each is also counted in `aborts`).
+    pub retries: u64,
+    /// Commits that returned committed-in-doubt (replication timeout): the
+    /// work is durable on the primary but the acknowledgment bound was
+    /// missed. Not counted in `committed` or `tps`.
+    pub timeouts: u64,
+    /// Logical transactions abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Analytical query attempts that failed retryably (replica
+    /// unavailable / read-index timeout) and were retried or abandoned.
+    pub query_retries: u64,
+    /// High-water mark of the engine's replication backlog sampled during
+    /// the measurement phase (records shipped but not yet applied).
+    pub backlog_hwm: u64,
     /// Freshness scores (seconds) of the queries finished during
     /// measurement.
     pub freshness: Vec<FreshnessSample>,
@@ -143,6 +209,11 @@ impl PointMeasurement {
         let committed = runs.iter().map(|m| m.committed).sum();
         let queries = runs.iter().map(|m| m.queries).sum();
         let aborts = runs.iter().map(|m| m.aborts).sum();
+        let retries = runs.iter().map(|m| m.retries).sum();
+        let timeouts = runs.iter().map(|m| m.timeouts).sum();
+        let gave_up = runs.iter().map(|m| m.gave_up).sum();
+        let query_retries = runs.iter().map(|m| m.query_retries).sum();
+        let backlog_hwm = runs.iter().map(|m| m.backlog_hwm).max().unwrap_or(0);
         let measured_secs = runs.iter().map(|m| m.measured_secs).sum();
         let mut freshness = Vec::new();
         let mut best: Option<PointMeasurement> = None;
@@ -164,6 +235,11 @@ impl PointMeasurement {
             committed,
             queries,
             aborts,
+            retries,
+            timeouts,
+            gave_up,
+            query_retries,
+            backlog_hwm,
             freshness,
             measured_secs,
             txn_latency: best.txn_latency,
@@ -181,6 +257,11 @@ impl PointMeasurement {
             committed: 0,
             queries: 0,
             aborts: 0,
+            retries: 0,
+            timeouts: 0,
+            gave_up: 0,
+            query_retries: 0,
+            backlog_hwm: 0,
             freshness: Vec::new(),
             measured_secs: 0.0,
             txn_latency: Vec::new(),
@@ -288,6 +369,10 @@ impl Harness {
         let committed = AtomicU64::new(0);
         let queries = AtomicU64::new(0);
         let aborts = AtomicU64::new(0);
+        let retries = AtomicU64::new(0);
+        let timeouts = AtomicU64::new(0);
+        let gave_up = AtomicU64::new(0);
+        let query_retries = AtomicU64::new(0);
         let freshness: Mutex<Vec<FreshnessSample>> = Mutex::new(Vec::new());
         let txn_latency = LatencyLog::default();
         let query_latency = LatencyLog::default();
@@ -298,7 +383,7 @@ impl Harness {
             .collect();
         let registry = CommitRegistry::new(&bases);
 
-        std::thread::scope(|scope| {
+        let backlog_hwm = std::thread::scope(|scope| {
             // Transactional clients.
             for client in 0..t_clients {
                 let engine = &*self.engine;
@@ -310,16 +395,26 @@ impl Harness {
                 let stop = &stop;
                 let committed = &committed;
                 let aborts = &aborts;
+                let retries = &retries;
+                let timeouts = &timeouts;
+                let gave_up = &gave_up;
+                let retry = &self.config.retry;
                 let registry = &registry;
                 let txn_latency = &txn_latency;
                 let txnnum_slot = &self.txnnums[client as usize];
                 scope.spawn(move || {
                     let mut rng =
                         HatRng::derive(seed, (point_idx << 16) | client as u64 | 0x7000);
+                    // The current logical transaction: retries keep the
+                    // same kind (parameters are re-drawn, as the paper's
+                    // driver does) and the same freshness sequence number.
+                    let mut kind = mix.draw(&mut rng);
+                    let mut attempt: u32 = 1;
                     while !stop.load(Ordering::Relaxed) {
-                        let kind = mix.draw(&mut rng);
                         let txnnum = txnnum_slot.load(Ordering::Relaxed) + 1;
                         let begin = clock.now();
+                        let measuring =
+                            || phase.load(Ordering::Relaxed) == PHASE_MEASURE;
                         match run_transaction(
                             engine, profile, state, &mut rng, kind, client, txnnum,
                         ) {
@@ -330,14 +425,46 @@ impl Harness {
                                 let done = clock.now();
                                 registry.record(client, txnnum, done);
                                 txnnum_slot.store(txnnum, Ordering::Relaxed);
-                                if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
+                                if measuring() {
                                     committed.fetch_add(1, Ordering::Relaxed);
                                     txn_latency.record(kind.label(), done - begin);
                                 }
+                                kind = mix.draw(&mut rng);
+                                attempt = 1;
+                            }
+                            Err(e) if e.is_commit_in_doubt() => {
+                                // The commit installed durably on the
+                                // primary; only the replication ack timed
+                                // out. Record it for freshness density
+                                // (the sequence number is consumed) but
+                                // keep it out of `committed`/tps, and
+                                // never re-execute it.
+                                let done = clock.now();
+                                registry.record(client, txnnum, done);
+                                txnnum_slot.store(txnnum, Ordering::Relaxed);
+                                if measuring() {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                kind = mix.draw(&mut rng);
+                                attempt = 1;
                             }
                             Err(e) if e.is_retryable() => {
-                                if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
+                                if measuring() {
                                     aborts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if attempt >= retry.max_attempts {
+                                    if measuring() {
+                                        gave_up.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    kind = mix.draw(&mut rng);
+                                    attempt = 1;
+                                } else {
+                                    if measuring() {
+                                        retries.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    let pause = retry.backoff(attempt, &mut rng);
+                                    attempt += 1;
+                                    std::thread::sleep(pause);
                                 }
                             }
                             Err(e) => panic!("transactional client {client}: {e}"),
@@ -353,6 +480,8 @@ impl Harness {
                 let phase = &phase;
                 let stop = &stop;
                 let queries = &queries;
+                let query_retries = &query_retries;
+                let retry = &self.config.retry;
                 let freshness = &freshness;
                 let registry = &registry;
                 let query_latency = &query_latency;
@@ -367,32 +496,68 @@ impl Harness {
                                 break 'outer;
                             }
                             let spec = ssb::query(qid);
-                            let start = clock.now();
-                            let out = engine
-                                .run_query(&spec)
-                                .expect("analytical query failed");
-                            let done = clock.now();
-                            let score = score_query(start, &out.freshness, registry);
-                            if phase.load(Ordering::Relaxed) == PHASE_MEASURE {
-                                queries.fetch_add(1, Ordering::Relaxed);
-                                freshness.lock().push(score);
-                                query_latency.record(qid.label(), done - start);
+                            let mut attempt: u32 = 1;
+                            loop {
+                                let start = clock.now();
+                                match engine.run_query(&spec) {
+                                    Ok(out) => {
+                                        let done = clock.now();
+                                        let score =
+                                            score_query(start, &out.freshness, registry);
+                                        if phase.load(Ordering::Relaxed) == PHASE_MEASURE
+                                        {
+                                            queries.fetch_add(1, Ordering::Relaxed);
+                                            freshness.lock().push(score);
+                                            query_latency
+                                                .record(qid.label(), done - start);
+                                        }
+                                        break;
+                                    }
+                                    // The replica/learner serving this
+                                    // query is down or its read-index wait
+                                    // timed out: back off and retry, then
+                                    // move on to the next query in the
+                                    // batch once the budget is spent.
+                                    Err(e) if e.is_retryable() => {
+                                        if phase.load(Ordering::Relaxed) == PHASE_MEASURE
+                                        {
+                                            query_retries.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        if attempt >= retry.max_attempts
+                                            || stop.load(Ordering::Relaxed)
+                                        {
+                                            break;
+                                        }
+                                        let pause = retry.backoff(attempt, &mut rng);
+                                        attempt += 1;
+                                        std::thread::sleep(pause);
+                                    }
+                                    Err(e) => panic!("analytical client {client}: {e}"),
+                                }
                             }
                         }
                     }
                 });
             }
 
-            // Coordinator: warm up, measure, stop.
+            // Coordinator: warm up, then sample the replication backlog
+            // while the measurement phase elapses, then stop.
             std::thread::sleep(self.config.warmup);
-            let t0 = clock.now();
             phase.store(PHASE_MEASURE, Ordering::Relaxed);
-            std::thread::sleep(self.config.measure);
+            let deadline = Instant::now() + self.config.measure;
+            let mut hwm = self.engine.stats().replication_backlog;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                hwm = hwm.max(self.engine.stats().replication_backlog);
+            }
             phase.store(PHASE_DONE, Ordering::Relaxed);
-            let t1 = clock.now();
             stop.store(true, Ordering::Relaxed);
             // Scope joins all clients here.
-            (t0, t1)
+            hwm
         });
 
         let elapsed = self.config.measure.as_secs_f64();
@@ -406,6 +571,11 @@ impl Harness {
             committed,
             queries,
             aborts: aborts.load(Ordering::Relaxed),
+            retries: retries.load(Ordering::Relaxed),
+            timeouts: timeouts.load(Ordering::Relaxed),
+            gave_up: gave_up.load(Ordering::Relaxed),
+            query_retries: query_retries.load(Ordering::Relaxed),
+            backlog_hwm,
             freshness: freshness.into_inner(),
             measured_secs: elapsed,
             txn_latency: txn_latency.summarize(),
@@ -432,6 +602,7 @@ mod tests {
                 measure: Duration::from_millis(120),
                 seed: 99,
                 reset_between_points: true,
+                ..BenchmarkConfig::default()
             },
         )
     }

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use crate::freshness::FreshnessAgg;
 use crate::frontier::{classify, FixedKind, Frontier, GridGraph};
+use crate::harness::PointMeasurement;
 
 /// CSV of a frontier: `t_clients,a_clients,tps,qps`.
 pub fn frontier_csv(frontier: &Frontier) -> String {
@@ -159,6 +160,26 @@ pub fn summary(name: &str, frontier: &Frontier, freshness: &FreshnessAgg) -> Str
     out
 }
 
+/// One-line resilience accounting for a measured point: how the clients
+/// coped with retryable failures, and how far replication fell behind.
+/// Fault-free runs (all counters zero) report "clean".
+pub fn resilience_line(m: &PointMeasurement) -> String {
+    if m.aborts == 0
+        && m.retries == 0
+        && m.timeouts == 0
+        && m.gave_up == 0
+        && m.query_retries == 0
+        && m.backlog_hwm == 0
+    {
+        return "  resilience: clean (no retryable failures, backlog 0)".to_string();
+    }
+    format!(
+        "  resilience: {} aborts, {} retries, {} in-doubt commits, {} gave up, \
+         {} query retries, backlog hwm {}",
+        m.aborts, m.retries, m.timeouts, m.gave_up, m.query_retries, m.backlog_hwm
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +237,26 @@ mod tests {
         assert!(plot.contains('o'));
         assert!(plot.contains('.'));
         assert!(plot.contains("proportional line"));
+    }
+
+    #[test]
+    fn resilience_line_elides_clean_runs_and_reports_counters() {
+        let clean = PointMeasurement::zero(2, 1);
+        assert!(resilience_line(&clean).contains("clean"));
+        let mut noisy = PointMeasurement::zero(2, 1);
+        noisy.aborts = 4;
+        noisy.retries = 3;
+        noisy.timeouts = 2;
+        noisy.gave_up = 1;
+        noisy.query_retries = 5;
+        noisy.backlog_hwm = 17;
+        let line = resilience_line(&noisy);
+        assert!(line.contains("4 aborts"));
+        assert!(line.contains("3 retries"));
+        assert!(line.contains("2 in-doubt commits"));
+        assert!(line.contains("1 gave up"));
+        assert!(line.contains("5 query retries"));
+        assert!(line.contains("backlog hwm 17"));
     }
 
     #[test]

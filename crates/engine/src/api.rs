@@ -129,6 +129,12 @@ pub struct EngineStats {
     pub replication_backlog: u64,
     /// Hybrid engines: rows currently in the columnar delta.
     pub delta_rows: u64,
+    /// Commits whose synchronous-replication wait timed out (the
+    /// committed-in-doubt outcomes of [`HatError::ReplicationTimeout`]).
+    /// A subset of `commits`.
+    ///
+    /// [`HatError::ReplicationTimeout`]: hat_common::HatError::ReplicationTimeout
+    pub replication_timeouts: u64,
 }
 
 /// One in-flight transaction.

@@ -126,8 +126,18 @@ impl CowEngine {
         let handle = std::thread::Builder::new()
             .name("cow-refresher".into())
             .spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
+                // Sleep in short slices so a long snapshot interval does
+                // not wedge shutdown: Drop joins this thread.
+                'refresh: while !stop.load(Ordering::Relaxed) {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'refresh;
+                        }
+                        let slice = (interval - slept).min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
                     engine_ptr.refresh();
                 }
             })
@@ -217,7 +227,6 @@ impl Drop for CowEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::NamedIndex;
     use hat_common::value::row_from;
     use hat_common::Value;
     use hat_query::predicate::Predicate;

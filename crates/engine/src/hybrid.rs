@@ -18,12 +18,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use hat_common::{Result, Row, TableId};
+use crossbeam::channel::RecvTimeoutError;
+use hat_common::{HatError, Result, Row, TableId};
 use hat_query::exec::{execute, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_storage::colstore::{ColumnTable, DimColumnCopy};
-use hat_storage::wal::{TableOp, Wal};
+use hat_storage::wal::{TableOp, Wal, DEFAULT_RETENTION};
 use hat_txn::{IsolationLevel, Ts, Watermark, LOAD_TS};
 use parking_lot::RwLock;
 
@@ -334,6 +335,17 @@ pub struct LearnerConfig {
     pub apply_cost: Duration,
     /// Delta size that triggers learner-side compaction.
     pub merge_threshold: usize,
+    /// Bound on the consensus rounds in `pre_commit`. Under a link
+    /// partition the quorum is unreachable; after this long the commit
+    /// aborts cleanly with [`HatError::ReplicaUnavailable`] (nothing was
+    /// installed, so a plain retry is safe).
+    pub consensus_timeout: Duration,
+    /// Bound on the analytical read-index wait. A crashed learner stalls
+    /// the applied watermark; rather than hanging, the query fails with
+    /// the retryable [`HatError::ReplicaUnavailable`].
+    pub read_index_timeout: Duration,
+    /// Log records retained for learner catch-up after a crash.
+    pub wal_retention: usize,
 }
 
 impl Default for LearnerConfig {
@@ -343,6 +355,9 @@ impl Default for LearnerConfig {
             indexes: IndexProfile::Semi,
             apply_cost: Duration::from_micros(20),
             merge_threshold: 4096,
+            consensus_timeout: Duration::from_millis(250),
+            read_index_timeout: Duration::from_millis(500),
+            wal_retention: DEFAULT_RETENTION,
         }
     }
 }
@@ -356,12 +371,19 @@ struct LearnerHooks {
     /// Highest commit timestamp with a log record (see the isolated
     /// engine: burned timestamps never produce records).
     last_logged: Arc<AtomicU64>,
+    /// Bound on the consensus wait; see [`LearnerConfig::consensus_timeout`].
+    consensus_timeout: Duration,
 }
 
 impl CommitHooks for LearnerHooks {
-    fn pre_commit(&self) {
+    fn pre_commit(&self) -> Result<()> {
         // All consensus rounds in one coalesced wait (2 traversals each).
-        self.link.delay(self.rounds * 2);
+        // If the quorum is unreachable (partition) past the bound, nothing
+        // has been installed: surface a clean, retryable abort rather
+        // than an in-doubt timeout.
+        self.link
+            .try_delay(self.rounds * 2, self.consensus_timeout)
+            .map_err(|_| HatError::ReplicaUnavailable)
     }
 
     fn on_install(&self, ts: Ts, ops: &[TableOp]) {
@@ -371,25 +393,37 @@ impl CommitHooks for LearnerHooks {
     }
 }
 
+/// Stop flag + handle of one incarnation of the learner thread.
+struct LearnerCtl {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
 /// A consensus-commit row store with an asynchronous columnar learner.
 pub struct LearnerEngine {
     kernel: Arc<RowKernel>,
     columnar: Arc<ColumnarSide>,
     wal: Arc<Wal>,
+    link: Arc<NetworkLink>,
     applied: Arc<Watermark>,
     backlog: Arc<AtomicU64>,
     last_logged: Arc<AtomicU64>,
+    /// Highest log LSN the learner has applied; survives a learner crash
+    /// so a restart can rejoin the log without loss or duplication.
+    applied_lsn: Arc<AtomicU64>,
+    /// The learner is crashed: read-index waits will time out.
+    down: AtomicBool,
     /// Drops the simulated apply cost while quiescing (see the isolated
     /// engine's fast-drain; harness hygiene only).
     fast_drain: Arc<AtomicBool>,
     config: LearnerConfig,
-    learner: RwLock<Option<JoinHandle<()>>>,
+    learner: RwLock<Option<LearnerCtl>>,
 }
 
 impl LearnerEngine {
     /// Builds the engine; the learner thread starts at `finish_load`.
     pub fn new(config: LearnerConfig) -> Self {
-        let wal = Arc::new(Wal::new());
+        let wal = Arc::new(Wal::with_retention(config.wal_retention));
         let backlog = Arc::new(AtomicU64::new(0));
         let link = Arc::new(NetworkLink::new(
             config.profile.link_one_way(),
@@ -398,10 +432,11 @@ impl LearnerEngine {
         let last_logged = Arc::new(AtomicU64::new(LOAD_TS));
         let hooks = Arc::new(LearnerHooks {
             wal: Arc::clone(&wal),
-            link,
+            link: Arc::clone(&link),
             rounds: config.profile.commit_rounds(),
             backlog: Arc::clone(&backlog),
             last_logged: Arc::clone(&last_logged),
+            consensus_timeout: config.consensus_timeout,
         });
         let kernel = Arc::new(RowKernel::with_hooks(
             EngineConfig {
@@ -418,9 +453,12 @@ impl LearnerEngine {
             kernel,
             columnar: Arc::new(ColumnarSide::new()),
             wal,
+            link,
             applied: Arc::new(Watermark::new(LOAD_TS)),
             backlog,
             last_logged,
+            applied_lsn: Arc::new(AtomicU64::new(0)),
+            down: AtomicBool::new(false),
             fast_drain: Arc::new(AtomicBool::new(false)),
             config,
             learner: RwLock::new(None),
@@ -437,39 +475,96 @@ impl LearnerEngine {
         self.applied.get()
     }
 
+    /// The consensus/learner link — the chaos surface for this engine.
+    pub fn link(&self) -> &Arc<NetworkLink> {
+        &self.link
+    }
+
+    /// Whether the learner is currently crashed.
+    pub fn is_learner_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    /// Kills the learner thread, simulating a TiFlash node crash. The
+    /// columnar copy and applied LSN survive; transactional commits keep
+    /// succeeding (the learner is not in the commit quorum), but
+    /// analytical read-index waits start timing out.
+    pub fn crash_learner(&self) {
+        let ctl = self.learner.write().take();
+        if let Some(ctl) = ctl {
+            self.down.store(true, Ordering::Release);
+            ctl.stop.store(true, Ordering::Release);
+            let _ = ctl.handle.join();
+        }
+    }
+
+    /// Restarts a crashed learner: rejoins the log at the last applied
+    /// LSN + 1, fast-drains the retained backlog, resumes normal replay.
+    /// Fails with [`HatError::WalTruncated`] if the learner fell behind
+    /// the retention ring.
+    pub fn restart_learner(&self) -> Result<()> {
+        if !self.is_learner_down() {
+            return Ok(());
+        }
+        self.spawn_learner()?;
+        self.down.store(false, Ordering::Release);
+        Ok(())
+    }
+
     /// Blocks until the learner has consumed everything committed so far,
-    /// at full speed (no simulated apply cost; harness hygiene).
+    /// at full speed (no simulated apply cost; harness hygiene). The
+    /// learner must be up; recover a crash via
+    /// [`LearnerEngine::restart_learner`] first.
     pub fn quiesce_learner(&self) {
+        debug_assert!(!self.is_learner_down(), "quiesce requires a live learner");
         self.fast_drain.store(true, Ordering::Release);
         self.applied.wait_for(self.last_logged.load(Ordering::Acquire));
         self.fast_drain.store(false, Ordering::Release);
     }
 
-    fn spawn_learner(&self) {
-        let rx = self.wal.subscribe();
+    fn spawn_learner(&self) -> Result<()> {
+        let from = self.applied_lsn.load(Ordering::Acquire) + 1;
+        let rx = self.wal.subscribe_from(from)?;
+        // Catch-up suffix replays at memory speed; later records pay the
+        // normal apply cost.
+        let catchup_end = self.wal.appended();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
         let columnar = Arc::clone(&self.columnar);
         let applied = Arc::clone(&self.applied);
+        let applied_lsn = Arc::clone(&self.applied_lsn);
         let backlog = Arc::clone(&self.backlog);
         let fast_drain = Arc::clone(&self.fast_drain);
         let apply_cost = self.config.apply_cost;
         let threshold = self.config.merge_threshold;
+        const POLL: Duration = Duration::from_millis(5);
         let handle = std::thread::Builder::new()
             .name("tiflash-learner".into())
-            .spawn(move || {
-                while let Ok(record) = rx.recv() {
-                    if !apply_cost.is_zero() && !fast_drain.load(Ordering::Acquire) {
-                        std::thread::sleep(apply_cost);
-                    }
-                    for op in &record.ops {
-                        columnar.apply_op(record.commit_ts, op);
-                    }
-                    backlog.fetch_sub(1, Ordering::Relaxed);
-                    applied.advance(record.commit_ts);
-                    columnar.merge_background(record.commit_ts, threshold);
+            .spawn(move || loop {
+                if stop2.load(Ordering::Acquire) {
+                    break;
                 }
+                let record = match rx.recv_timeout(POLL) {
+                    Ok(record) => record,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                let throttled = record.lsn > catchup_end
+                    && !fast_drain.load(Ordering::Acquire);
+                if throttled && !apply_cost.is_zero() {
+                    std::thread::sleep(apply_cost);
+                }
+                for op in &record.ops {
+                    columnar.apply_op(record.commit_ts, op);
+                }
+                applied_lsn.store(record.lsn, Ordering::Release);
+                backlog.fetch_sub(1, Ordering::Relaxed);
+                applied.advance(record.commit_ts);
+                columnar.merge_background(record.commit_ts, threshold);
             })
             .expect("spawn learner");
-        *self.learner.write() = Some(handle);
+        *self.learner.write() = Some(LearnerCtl { stop, handle });
+        Ok(())
     }
 }
 
@@ -489,8 +584,7 @@ impl HtapEngine for LearnerEngine {
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
         self.columnar.build_from(&self.kernel);
-        self.spawn_learner();
-        Ok(())
+        self.spawn_learner()
     }
 
     fn begin(&self) -> Box<dyn Session + '_> {
@@ -506,13 +600,18 @@ impl HtapEngine for LearnerEngine {
         let ts = self.kernel.oracle.read_ts();
         // Wait only up to the last logged commit: timestamps burned
         // without a record (aborted installs) never reach the learner,
-        // and nothing with a record in (last_logged, ts] exists.
-        self.applied.wait_for(ts.min(self.last_logged.load(Ordering::Acquire)));
+        // and nothing with a record in (last_logged, ts] exists. Bounded:
+        // a crashed learner must fail the query, not hang the client.
+        let target = ts.min(self.last_logged.load(Ordering::Acquire));
+        if !self.applied.wait_for_timeout(target, self.config.read_index_timeout) {
+            return Err(HatError::ReplicaUnavailable);
+        }
         let view = self.columnar.view(&self.kernel, ts);
         Ok(execute(spec, &view))
     }
 
     fn reset(&self) -> Result<()> {
+        self.restart_learner()?;
         self.quiesce_learner();
         self.kernel.reset()?;
         self.columnar.reset();
@@ -530,8 +629,9 @@ impl HtapEngine for LearnerEngine {
 impl Drop for LearnerEngine {
     fn drop(&mut self) {
         self.wal.close();
-        if let Some(handle) = self.learner.write().take() {
-            let _ = handle.join();
+        if let Some(ctl) = self.learner.write().take() {
+            ctl.stop.store(true, Ordering::Release);
+            let _ = ctl.handle.join();
         }
     }
 }
@@ -685,6 +785,77 @@ mod tests {
         let out = engine.run_query(&sum_revenue_spec()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
         assert_eq!(engine.stats().replication_backlog, 0);
+    }
+
+    #[test]
+    fn learner_crash_restart_recovers_columnar_state() {
+        let engine = fast_learner(LearnerProfile::SingleNode);
+        engine.crash_learner();
+        assert!(engine.is_learner_down());
+        // Commits keep succeeding: the learner is not in the quorum.
+        for i in 0..5u64 {
+            let mut s = engine.begin();
+            s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 100)).unwrap();
+            s.commit().unwrap();
+        }
+        assert_eq!(engine.stats().replication_backlog, 5);
+        engine.restart_learner().unwrap();
+        engine.quiesce_learner();
+        assert_eq!(engine.stats().replication_backlog, 0);
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1500, "no lost or doubled records");
+    }
+
+    #[test]
+    fn read_index_times_out_while_learner_down() {
+        let engine = LearnerEngine::new(LearnerConfig {
+            apply_cost: Duration::from_micros(5),
+            read_index_timeout: Duration::from_millis(20),
+            ..LearnerConfig::default()
+        });
+        let rows: Vec<Row> = (0..4).map(|i| lineorder_row(i, 1, 100)).collect();
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine.crash_learner();
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(10, 1, 100)).unwrap();
+        s.commit().unwrap();
+        let err = engine.run_query(&sum_revenue_spec()).unwrap_err();
+        assert_eq!(err, HatError::ReplicaUnavailable);
+        assert!(err.is_retryable() && !err.is_commit_in_doubt());
+        engine.restart_learner().unwrap();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 500);
+    }
+
+    #[test]
+    fn consensus_times_out_under_partition_as_clean_abort() {
+        let engine = LearnerEngine::new(LearnerConfig {
+            apply_cost: Duration::from_micros(5),
+            consensus_timeout: Duration::from_millis(20),
+            ..LearnerConfig::default()
+        });
+        let rows: Vec<Row> = (0..4).map(|i| lineorder_row(i, 1, 100)).collect();
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine.link().partition();
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(10, 1, 100)).unwrap();
+        let err = s.commit().unwrap_err();
+        assert_eq!(err, HatError::ReplicaUnavailable);
+        let stats = engine.stats();
+        assert_eq!(stats.commits, 0, "pre-install failure is a clean abort");
+        assert_eq!(stats.aborts, 1);
+        // Nothing reached the log or the learner.
+        engine.link().heal();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 400);
+        // And a plain retry succeeds after the heal.
+        let mut s = engine.begin();
+        s.insert(TableId::Lineorder, lineorder_row(10, 1, 100)).unwrap();
+        s.commit().unwrap();
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 500);
     }
 
     #[test]

@@ -21,15 +21,16 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crossbeam::channel::RecvTimeoutError;
 use hat_common::clock::BenchClock;
-use hat_common::{Result, Row, TableId};
+use hat_common::{HatError, Result, Row, TableId};
 use hat_query::exec::{execute, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_storage::rowstore::RowDb;
-use hat_storage::wal::{TableOp, Wal};
+use hat_storage::wal::{TableOp, Wal, DEFAULT_RETENTION};
 use hat_txn::{Ts, Watermark, LOAD_TS};
 use parking_lot::RwLock;
 
@@ -72,6 +73,16 @@ pub struct IsoConfig {
     /// the mechanism behind the paper's staleness-vs-T-clients trend
     /// (Figure 8b).
     pub replay_cost: Duration,
+    /// Bound on the synchronous-replication wait ([`ReplicationMode::SyncOn`]
+    /// ack, [`ReplicationMode::RemoteApply`] apply). A commit that cannot
+    /// get its acknowledgement within this bound — standby crashed, link
+    /// partitioned — returns [`HatError::ReplicationTimeout`] instead of
+    /// hanging: the writes stay durable on the primary (committed-in-doubt).
+    pub commit_timeout: Duration,
+    /// WAL records retained for standby catch-up after a crash
+    /// (`wal_keep_size`); a standby further behind than this needs a full
+    /// basebackup ([`HatError::WalTruncated`]).
+    pub wal_retention: usize,
 }
 
 impl Default for IsoConfig {
@@ -85,6 +96,8 @@ impl Default for IsoConfig {
             // warn of exactly this T-side cost for synchronous modes.)
             link_one_way: Duration::from_micros(500),
             replay_cost: Duration::from_micros(120),
+            commit_timeout: Duration::from_millis(250),
+            wal_retention: DEFAULT_RETENTION,
         }
     }
 }
@@ -108,6 +121,13 @@ struct Replica {
     applied: Watermark,
     /// Records shipped but not yet applied.
     backlog: AtomicU64,
+    /// Highest LSN the replay thread has applied. Survives a replay-thread
+    /// crash, so a restart can rejoin the WAL at `applied_lsn + 1` without
+    /// losing or double-applying records.
+    applied_lsn: AtomicU64,
+    /// The standby is crashed: no replay thread is consuming the WAL, and
+    /// synchronous commits cannot get their acknowledgements.
+    down: AtomicBool,
     /// When set, the replay thread skips its simulated transit/apply
     /// delays — used by reset/quiesce to drain the backlog at memory
     /// speed (catch-up recovery runs unthrottled in real systems too;
@@ -126,6 +146,8 @@ struct PrimaryHooks {
     /// records exist (serializable validation failures burn one), so
     /// waiting for the replica must target this, not the read horizon.
     last_logged: Arc<AtomicU64>,
+    /// Bound on the synchronous wait; see [`IsoConfig::commit_timeout`].
+    commit_timeout: Duration,
 }
 
 impl CommitHooks for PrimaryHooks {
@@ -136,15 +158,41 @@ impl CommitHooks for PrimaryHooks {
         self.wal.append(ts, ops.to_vec());
     }
 
-    fn post_commit(&self, ts: Ts) {
+    fn post_commit(&self, ts: Ts) -> hat_common::Result<()> {
         match self.mode {
-            ReplicationMode::Async => {}
-            // Synchronous transmission: request + durable-write ack.
-            ReplicationMode::SyncOn => self.link.round_trip(),
-            // Wait until the standby has replayed our record.
-            ReplicationMode::RemoteApply => self.replica.applied.wait_for(ts),
+            ReplicationMode::Async => Ok(()),
+            // Synchronous transmission: request + durable-write ack. The
+            // ack needs a live standby and an unpartitioned link; both
+            // waits share one deadline.
+            ReplicationMode::SyncOn => {
+                let deadline = Instant::now() + self.commit_timeout;
+                while self.replica.down.load(Ordering::Acquire) {
+                    if Instant::now() >= deadline {
+                        return Err(HatError::ReplicationTimeout);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.link.try_delay(2, remaining)
+            }
+            // Wait until the standby has replayed our record. A crashed
+            // standby or a partitioned link both stall the applied
+            // watermark, so one bounded wait covers every fault.
+            ReplicationMode::RemoteApply => {
+                if self.replica.applied.wait_for_timeout(ts, self.commit_timeout) {
+                    Ok(())
+                } else {
+                    Err(HatError::ReplicationTimeout)
+                }
+            }
         }
     }
+}
+
+/// Stop flag + handle of one incarnation of the replay thread.
+struct ReplayCtl {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
 }
 
 /// A two-node primary/standby engine.
@@ -152,16 +200,17 @@ pub struct IsoEngine {
     kernel: Arc<RowKernel>,
     replica: Arc<Replica>,
     wal: Arc<Wal>,
+    link: Arc<NetworkLink>,
     last_logged: Arc<AtomicU64>,
     config: IsoConfig,
-    replay_handle: RwLock<Option<JoinHandle<()>>>,
+    replay: RwLock<Option<ReplayCtl>>,
 }
 
 impl IsoEngine {
     /// Builds the engine; the replay thread starts at
     /// [`HtapEngine::finish_load`].
     pub fn new(config: IsoConfig) -> Self {
-        let wal = Arc::new(Wal::new());
+        let wal = Arc::new(Wal::with_retention(config.wal_retention));
         let link = Arc::new(NetworkLink::new(
             config.link_one_way,
             config.link_one_way / 4,
@@ -170,25 +219,69 @@ impl IsoEngine {
             db: RowDb::new(),
             applied: Watermark::new(LOAD_TS),
             backlog: AtomicU64::new(0),
+            applied_lsn: AtomicU64::new(0),
+            down: AtomicBool::new(false),
             fast_drain: AtomicBool::new(false),
         });
         let last_logged = Arc::new(AtomicU64::new(LOAD_TS));
         let hooks = Arc::new(PrimaryHooks {
             wal: Arc::clone(&wal),
-            link,
+            link: Arc::clone(&link),
             mode: config.mode,
             replica: Arc::clone(&replica),
             last_logged: Arc::clone(&last_logged),
+            commit_timeout: config.commit_timeout,
         });
         let kernel = Arc::new(RowKernel::with_hooks(config.engine.clone(), hooks));
         IsoEngine {
             kernel,
             replica,
             wal,
+            link,
             last_logged,
             config,
-            replay_handle: RwLock::new(None),
+            replay: RwLock::new(None),
         }
+    }
+
+    /// The primary↔standby link — the chaos surface: partition, brown
+    /// out, or schedule a [`crate::netsim::FaultPlan`] against it.
+    pub fn link(&self) -> &Arc<NetworkLink> {
+        &self.link
+    }
+
+    /// Whether the standby is currently crashed.
+    pub fn is_replica_down(&self) -> bool {
+        self.replica.down.load(Ordering::Acquire)
+    }
+
+    /// Kills the standby's replay thread, simulating a replica crash.
+    /// The replica's database and applied LSN survive (crash, not
+    /// wipeout), so [`IsoEngine::restart_replica`] can catch up from the
+    /// WAL. Idempotent; synchronous commits start timing out immediately.
+    pub fn crash_replica(&self) {
+        let ctl = self.replay.write().take();
+        if let Some(ctl) = ctl {
+            self.replica.down.store(true, Ordering::Release);
+            ctl.stop.store(true, Ordering::Release);
+            let _ = ctl.handle.join();
+        }
+    }
+
+    /// Restarts a crashed standby: rejoins the WAL at the last applied
+    /// LSN + 1, fast-drains the retained backlog (catch-up recovery runs
+    /// unthrottled), then resumes normal throttled replay.
+    ///
+    /// Fails with [`HatError::WalTruncated`] if the standby fell further
+    /// behind than [`IsoConfig::wal_retention`]; a real system would take
+    /// a fresh basebackup here.
+    pub fn restart_replica(&self) -> Result<()> {
+        if !self.is_replica_down() {
+            return Ok(());
+        }
+        self.spawn_replay()?;
+        self.replica.down.store(false, Ordering::Release);
+        Ok(())
     }
 
     /// The configured replication mode.
@@ -203,8 +296,11 @@ impl IsoEngine {
 
     /// Blocks until the replica has applied everything committed so far,
     /// draining the backlog at full speed (no simulated apply throttling —
-    /// this is harness hygiene, not a measured phase).
+    /// this is harness hygiene, not a measured phase). The standby must be
+    /// up; callers recovering from a crash go through
+    /// [`IsoEngine::restart_replica`] first.
     pub fn quiesce_replication(&self) {
+        debug_assert!(!self.is_replica_down(), "quiesce requires a live standby");
         self.replica.fast_drain.store(true, Ordering::Release);
         // Wait for the last *logged* commit, not the read horizon:
         // timestamps burned without a WAL record (e.g. serializable
@@ -213,17 +309,52 @@ impl IsoEngine {
         self.replica.fast_drain.store(false, Ordering::Release);
     }
 
-    fn spawn_replay(&self) {
-        let rx = self.wal.subscribe();
+    fn spawn_replay(&self) -> Result<()> {
+        // Rejoin exactly after the last applied record: the retention ring
+        // replays everything committed while the standby was down,
+        // atomically with registration, so no record is lost or doubled.
+        let from = self.replica.applied_lsn.load(Ordering::Acquire) + 1;
+        let rx = self.wal.subscribe_from(from)?;
+        // Records appended before this restart are catch-up work: applied
+        // at memory speed, like recovery replay. Later records pay the
+        // normal simulated transit + apply cost.
+        let catchup_end = self.wal.appended();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
         let replica = Arc::clone(&self.replica);
+        let link = Arc::clone(&self.link);
         let one_way = self.config.link_one_way;
         let replay_cost = self.config.replay_cost;
+        const POLL: Duration = Duration::from_millis(5);
         let handle = std::thread::Builder::new()
             .name("iso-replay".into())
             .spawn(move || {
                 let clock = BenchClock::global();
-                while let Ok(record) = rx.recv() {
-                    if !replica.fast_drain.load(Ordering::Acquire) {
+                'replay: loop {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let record = match rx.recv_timeout(POLL) {
+                        Ok(record) => record,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    let throttled = record.lsn > catchup_end
+                        && !replica.fast_drain.load(Ordering::Acquire);
+                    if throttled {
+                        // Records cannot cross a partitioned link; park
+                        // until it heals, still honoring crash/quiesce.
+                        while !link.wait_healthy_until(Instant::now() + POLL) {
+                            if stop2.load(Ordering::Acquire) {
+                                // Unapplied: applied_lsn still points
+                                // before this record, so a restart's
+                                // subscribe_from replays it.
+                                break 'replay;
+                            }
+                            if replica.fast_drain.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
                         // Model transit: the record becomes available
                         // one-way latency after it was sent. Only sleep the
                         // remainder — shipping overlaps with queueing.
@@ -255,6 +386,7 @@ impl IsoEngine {
                             }
                         }
                     }
+                    replica.applied_lsn.store(record.lsn, Ordering::Release);
                     // Decrement before advancing: quiesce/reset observe a
                     // zero backlog only after the watermark they waited on.
                     replica.backlog.fetch_sub(1, Ordering::Relaxed);
@@ -262,7 +394,8 @@ impl IsoEngine {
                 }
             })
             .expect("spawn replay thread");
-        *self.replay_handle.write() = Some(handle);
+        *self.replay.write() = Some(ReplayCtl { stop, handle });
+        Ok(())
     }
 }
 
@@ -292,8 +425,7 @@ impl HtapEngine for IsoEngine {
 
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
-        self.spawn_replay();
-        Ok(())
+        self.spawn_replay()
     }
 
     fn begin(&self) -> Box<dyn Session + '_> {
@@ -311,8 +443,9 @@ impl HtapEngine for IsoEngine {
     }
 
     fn reset(&self) -> Result<()> {
-        // Drain replication so the standby is consistent, then reset both
-        // nodes to their loaded state.
+        // Recover a crashed standby, drain replication so it is
+        // consistent, then reset both nodes to their loaded state.
+        self.restart_replica()?;
         self.quiesce_replication();
         self.kernel.reset()?;
         for t in TableId::ALL {
@@ -335,8 +468,9 @@ impl HtapEngine for IsoEngine {
 impl Drop for IsoEngine {
     fn drop(&mut self) {
         self.wal.close();
-        if let Some(handle) = self.replay_handle.write().take() {
-            let _ = handle.join();
+        if let Some(ctl) = self.replay.write().take() {
+            ctl.stop.store(true, Ordering::Release);
+            let _ = ctl.handle.join();
         }
     }
 }
@@ -357,6 +491,7 @@ mod tests {
             mode,
             link_one_way: Duration::from_micros(50),
             replay_cost: Duration::from_micros(10),
+            ..IsoConfig::default()
         }
     }
 
@@ -521,6 +656,126 @@ mod tests {
         });
         rx.recv_timeout(Duration::from_secs(10))
             .expect("reset deadlocked on a burned timestamp");
+    }
+
+    #[test]
+    fn sync_commit_times_out_under_partition_within_bound() {
+        let mut cfg = fast_config(ReplicationMode::SyncOn);
+        cfg.commit_timeout = Duration::from_millis(30);
+        let engine = {
+            let engine = IsoEngine::new(cfg);
+            let customers: Vec<Row> = (1..=10).map(customer_row).collect();
+            engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+            engine.finish_load().unwrap();
+            engine
+        };
+        engine.link().partition();
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(11)).unwrap();
+        let start = Instant::now();
+        let err = s.commit().unwrap_err();
+        assert_eq!(err, HatError::ReplicationTimeout);
+        assert!(err.is_commit_in_doubt());
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert!(start.elapsed() < Duration::from_millis(500), "bounded, not hung");
+        let stats = engine.stats();
+        assert_eq!(stats.replication_timeouts, 1);
+        assert_eq!(stats.commits, 1, "in-doubt commit is durable on the primary");
+
+        // After the partition heals, commits flow again and the in-doubt
+        // write is visible everywhere.
+        engine.link().heal();
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(12)).unwrap();
+        s.commit().unwrap();
+        engine.quiesce_replication();
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 12, "no lost commits after recovery");
+    }
+
+    #[test]
+    fn remote_apply_times_out_when_replica_down() {
+        let mut cfg = fast_config(ReplicationMode::RemoteApply);
+        cfg.commit_timeout = Duration::from_millis(30);
+        let engine = {
+            let engine = IsoEngine::new(cfg);
+            let customers: Vec<Row> = (1..=5).map(customer_row).collect();
+            engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+            engine.finish_load().unwrap();
+            engine
+        };
+        engine.crash_replica();
+        assert!(engine.is_replica_down());
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(6)).unwrap();
+        let err = s.commit().unwrap_err();
+        assert_eq!(err, HatError::ReplicationTimeout);
+        // Recovery: restart, catch up, and the write is there.
+        engine.restart_replica().unwrap();
+        engine.quiesce_replication();
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 6);
+    }
+
+    #[test]
+    fn crashed_replica_catches_up_from_wal_on_restart() {
+        let engine = loaded_engine(ReplicationMode::Async);
+        engine.crash_replica();
+        // Async commits keep succeeding while the standby is down.
+        for ck in 11..=20 {
+            let mut s = engine.begin();
+            s.insert(TableId::Customer, customer_row(ck)).unwrap();
+            s.commit().unwrap();
+        }
+        assert_eq!(engine.stats().replication_backlog, 10);
+        let stale = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(stale.groups[0].agg, 10, "standby frozen at crash point");
+
+        engine.restart_replica().unwrap();
+        engine.quiesce_replication();
+        assert_eq!(engine.stats().replication_backlog, 0);
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 20, "every record recovered, none doubled");
+        // Watermark continuity: the applied horizon reached the last
+        // logged commit.
+        assert!(engine.applied_ts() >= engine.last_logged.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn crash_restart_is_idempotent_and_cheap_when_up() {
+        let engine = loaded_engine(ReplicationMode::Async);
+        engine.restart_replica().unwrap();
+        engine.crash_replica();
+        engine.crash_replica();
+        engine.restart_replica().unwrap();
+        engine.restart_replica().unwrap();
+        assert!(!engine.is_replica_down());
+        let mut s = engine.begin();
+        s.insert(TableId::Customer, customer_row(11)).unwrap();
+        s.commit().unwrap();
+        engine.quiesce_replication();
+        assert_eq!(
+            engine.run_query(&count_customers_spec()).unwrap().groups[0].agg,
+            11
+        );
+    }
+
+    #[test]
+    fn replica_too_stale_for_retained_wal_needs_basebackup() {
+        let mut cfg = fast_config(ReplicationMode::Async);
+        cfg.wal_retention = 4;
+        let engine = IsoEngine::new(cfg);
+        let customers: Vec<Row> = (1..=3).map(customer_row).collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        engine.crash_replica();
+        for ck in 4..=13 {
+            let mut s = engine.begin();
+            s.insert(TableId::Customer, customer_row(ck)).unwrap();
+            s.commit().unwrap();
+        }
+        let err = engine.restart_replica().unwrap_err();
+        assert!(matches!(err, HatError::WalTruncated { .. }), "{err:?}");
     }
 
     #[test]

@@ -24,16 +24,30 @@ use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
 /// Hooks an engine attaches to the kernel's commit path.
 pub trait CommitHooks: Send + Sync {
     /// Runs before the commit critical section — consensus/prepare latency.
-    fn pre_commit(&self) {}
+    ///
+    /// May fail (e.g. consensus rounds unreachable under a link
+    /// partition): nothing has been installed yet, so an error here aborts
+    /// the transaction cleanly and is safe to retry.
+    fn pre_commit(&self) -> Result<()> {
+        Ok(())
+    }
 
     /// Runs inside the critical section with the resolved redo operations,
     /// in commit-timestamp order across all transactions. WAL append and
-    /// columnar delta append live here.
+    /// columnar delta append live here. Infallible: by this point the
+    /// writes are installed and the record must reach the log.
     fn on_install(&self, _ts: Ts, _ops: &[TableOp]) {}
 
     /// Runs after the critical section is released — synchronous
     /// replication waits live here so they don't serialize other commits.
-    fn post_commit(&self, _ts: Ts) {}
+    ///
+    /// May fail with [`HatError::ReplicationTimeout`]: the transaction is
+    /// already durable on the primary, so such an error means
+    /// *committed-in-doubt*, not aborted — [`KernelSession::commit`]
+    /// surfaces it after counting the commit.
+    fn post_commit(&self, _ts: Ts) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// The default no-op hooks (shared design).
@@ -208,6 +222,9 @@ pub struct KernelStats {
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
     pub queries: AtomicU64,
+    /// Commits whose synchronous replication wait timed out
+    /// (committed-in-doubt outcomes). A subset of `commits`.
+    pub replication_timeouts: AtomicU64,
 }
 
 /// The transactional core of an engine.
@@ -302,6 +319,7 @@ impl RowKernel {
             commits: self.stats.commits.load(Ordering::Relaxed),
             aborts: self.stats.aborts.load(Ordering::Relaxed),
             queries: self.stats.queries.load(Ordering::Relaxed),
+            replication_timeouts: self.stats.replication_timeouts.load(Ordering::Relaxed),
             ..EngineStats::default()
         }
     }
@@ -544,8 +562,11 @@ impl Session for KernelSession {
             return Ok(self.ctx.begin_snapshot().ts);
         }
 
-        // Engine-specific pre-commit latency (consensus rounds).
-        kernel.hooks.pre_commit();
+        // Engine-specific pre-commit latency (consensus rounds). Nothing
+        // is installed yet, so a failure here is a clean, retryable abort.
+        if let Err(e) = kernel.hooks.pre_commit() {
+            return Err(self.abort_with(e));
+        }
 
         let guard = kernel.oracle.begin_commit();
         let commit_ts = guard.ts();
@@ -617,10 +638,17 @@ impl Session for KernelSession {
             std::thread::sleep(kernel.config.commit_latency);
         }
         // Synchronous replication waits also happen outside the critical
-        // section so concurrent commits can proceed.
-        kernel.hooks.post_commit(commit_ts);
-
+        // section so concurrent commits can proceed. A timeout here does
+        // NOT undo the commit: the writes are durable on the primary, so
+        // the outcome is committed-in-doubt — counted as a commit, and the
+        // timeout surfaced for the client to account separately.
+        let post = kernel.hooks.post_commit(commit_ts);
         kernel.stats.commits.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = post {
+            debug_assert!(e.is_commit_in_doubt(), "post_commit errors must be in-doubt");
+            kernel.stats.replication_timeouts.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         Ok(commit_ts)
     }
 

@@ -55,6 +55,8 @@ pub use api::{
 pub use cow::{CowConfig, CowEngine};
 pub use hybrid::{DualConfig, DualEngine, LearnerConfig, LearnerEngine, LearnerProfile};
 pub use isolated::{IsoConfig, IsoEngine, ReplicationMode};
-pub use netsim::NetworkLink;
+pub use netsim::{
+    FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, FaultWindow, NetworkLink,
+};
 pub use shared::ShdEngine;
 pub use hat_txn::LockPolicy;

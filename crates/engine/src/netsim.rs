@@ -1,4 +1,4 @@
-//! Simulated network links.
+//! Simulated network links with fault injection.
 //!
 //! The paper's isolated and distributed systems pay real network latency on
 //! their commit and replication paths (PostgreSQL-SR's synchronous_commit
@@ -9,19 +9,53 @@
 //! client thread yields the CPU, exactly as a thread blocked on a socket
 //! would — which is what lets the analytical workload use the freed
 //! resources, the effect the distributed-TiDB experiment shows.
+//!
+//! On top of the latency model sits a fault state machine:
+//!
+//! * **Partition** — transmits block until the link is healed or the
+//!   caller's timeout fires ([`NetworkLink::try_delay`] surfaces the
+//!   timeout; [`NetworkLink::delay`] waits for the heal).
+//! * **Brownout** — a latency multiplier modeling congestion or a
+//!   saturated NIC; transmits still complete, just slower.
+//!
+//! Faults can be driven by hand (chaos tests) or by a [`FaultPlan`]: a
+//! deterministic schedule of fault windows derived from a SplitMix64 seed,
+//! applied against the benchmark clock by a [`FaultInjector`] thread. Same
+//! seed, same plan — chaos runs are reproducible.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hat_common::rng::{split_seed, HatRng};
+use hat_common::{HatError, Result};
+use parking_lot::{Condvar, Mutex};
+
+/// Mutable fault state of a link.
+#[derive(Debug, Clone, Copy)]
+struct FaultState {
+    partitioned: bool,
+    /// Latency multiplier; 1 = healthy.
+    brownout: u32,
+}
 
 /// A point-to-point link with fixed one-way latency plus bounded uniform
-/// jitter.
+/// jitter, and an injectable fault state.
 #[derive(Debug)]
 pub struct NetworkLink {
     one_way: Duration,
     jitter: Duration,
-    /// Cheap xorshift state for jitter; contention here is irrelevant.
-    seed: AtomicU64,
+    /// Jitter is hashed from a per-call counter: `fetch_add` never loses
+    /// an increment under concurrent callers, so every transmit gets a
+    /// distinct position in the jitter stream. (The previous
+    /// load/xorshift/store scheme dropped updates under contention,
+    /// collapsing concurrent transmits onto identical jitter.)
+    jitter_counter: AtomicU64,
+    jitter_salt: u64,
     transmissions: AtomicU64,
+    faults: Mutex<FaultState>,
+    healed: Condvar,
 }
 
 impl NetworkLink {
@@ -30,8 +64,11 @@ impl NetworkLink {
         NetworkLink {
             one_way,
             jitter,
-            seed: AtomicU64::new(0x9E3779B97F4A7C15),
+            jitter_counter: AtomicU64::new(0),
+            jitter_salt: 0x9E3779B97F4A7C15,
             transmissions: AtomicU64::new(0),
+            faults: Mutex::new(FaultState { partitioned: false, brownout: 1 }),
+            healed: Condvar::new(),
         }
     }
 
@@ -45,7 +82,7 @@ impl NetworkLink {
         self.one_way
     }
 
-    /// Whether transmits actually sleep.
+    /// Whether transmits actually sleep (fault-free case).
     pub fn is_loopback(&self) -> bool {
         self.one_way.is_zero() && self.jitter.is_zero()
     }
@@ -55,15 +92,77 @@ impl NetworkLink {
         self.transmissions.load(Ordering::Relaxed)
     }
 
+    // -- fault state machine ------------------------------------------------
+
+    /// Cuts the link: subsequent transmits block until [`heal`] or their
+    /// timeout. Idempotent.
+    ///
+    /// [`heal`]: NetworkLink::heal
+    pub fn partition(&self) {
+        self.faults.lock().partitioned = true;
+    }
+
+    /// Restores a partitioned link and wakes blocked transmitters.
+    pub fn heal(&self) {
+        let mut st = self.faults.lock();
+        st.partitioned = false;
+        drop(st);
+        self.healed.notify_all();
+    }
+
+    /// Degrades the link: latency is multiplied by `multiplier` (clamped
+    /// to at least 1) until [`clear_brownout`].
+    ///
+    /// [`clear_brownout`]: NetworkLink::clear_brownout
+    pub fn set_brownout(&self, multiplier: u32) {
+        self.faults.lock().brownout = multiplier.max(1);
+    }
+
+    /// Restores full link speed.
+    pub fn clear_brownout(&self) {
+        self.faults.lock().brownout = 1;
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.faults.lock().partitioned
+    }
+
+    /// The current latency multiplier (1 = healthy).
+    pub fn brownout(&self) -> u32 {
+        self.faults.lock().brownout
+    }
+
+    /// Blocks until the link is not partitioned (no latency is charged).
+    /// Receiver-side gate: a consumer thread parks here while records
+    /// cannot cross the link.
+    pub fn wait_healthy(&self) {
+        let mut st = self.faults.lock();
+        while st.partitioned {
+            self.healed.wait(&mut st);
+        }
+    }
+
+    /// Like [`NetworkLink::wait_healthy`] but gives up at `deadline`,
+    /// returning false if still partitioned.
+    pub fn wait_healthy_until(&self, deadline: Instant) -> bool {
+        let mut st = self.faults.lock();
+        while st.partitioned {
+            if self.healed.wait_until(&mut st, deadline).timed_out() && st.partitioned {
+                return false;
+            }
+        }
+        true
+    }
+
+    // -- transmission -------------------------------------------------------
+
     fn sample_jitter(&self) -> Duration {
         if self.jitter.is_zero() {
             return Duration::ZERO;
         }
-        let mut x = self.seed.load(Ordering::Relaxed);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.seed.store(x, Ordering::Relaxed);
+        let n = self.jitter_counter.fetch_add(1, Ordering::Relaxed);
+        let x = split_seed(self.jitter_salt, n);
         Duration::from_nanos(x % self.jitter.as_nanos() as u64)
     }
 
@@ -83,7 +182,42 @@ impl NetworkLink {
     /// programming + wakeup, and tens of thousands of them per second are
     /// real CPU. One sleep per logical wait keeps the simulation's
     /// overhead out of the measurement.
+    ///
+    /// If the link is partitioned, blocks until it is healed. Callers on
+    /// a bounded path (sync commits) should use [`NetworkLink::try_delay`].
     pub fn delay(&self, traversals: u32) {
+        let mult = {
+            let mut st = self.faults.lock();
+            while st.partitioned {
+                self.healed.wait(&mut st);
+            }
+            st.brownout
+        };
+        self.sleep_traversals(traversals, mult);
+    }
+
+    /// Like [`NetworkLink::delay`], but gives up after `timeout` if the
+    /// link is partitioned, returning [`HatError::ReplicationTimeout`].
+    ///
+    /// The timeout bounds only the partition wait; a healthy (or
+    /// browned-out) link always transmits. This mirrors how a TCP peer
+    /// behaves: slow links deliver late, dead links trip the timer.
+    pub fn try_delay(&self, traversals: u32, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mult = {
+            let mut st = self.faults.lock();
+            while st.partitioned {
+                if self.healed.wait_until(&mut st, deadline).timed_out() && st.partitioned {
+                    return Err(HatError::ReplicationTimeout);
+                }
+            }
+            st.brownout
+        };
+        self.sleep_traversals(traversals, mult);
+        Ok(())
+    }
+
+    fn sleep_traversals(&self, traversals: u32, mult: u32) {
         self.transmissions.fetch_add(traversals as u64, Ordering::Relaxed);
         if self.is_loopback() || traversals == 0 {
             return;
@@ -92,7 +226,192 @@ impl NetworkLink {
         for _ in 0..traversals {
             total += self.sample_jitter();
         }
+        if mult > 1 {
+            total *= mult;
+        }
         std::thread::sleep(total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// What a scheduled fault window does to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Transmits block for the window's duration.
+    Partition,
+    /// Latency is multiplied for the window's duration.
+    Brownout { multiplier: u32 },
+}
+
+/// One scheduled fault: `[start, start + duration)` relative to the
+/// injector's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    pub start: Duration,
+    pub duration: Duration,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// End offset of the window.
+    pub fn end(&self) -> Duration {
+        self.start + self.duration
+    }
+}
+
+/// Knobs for [`FaultPlan::generate`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Mean healthy gap between consecutive fault windows.
+    pub mean_gap: Duration,
+    /// Fault window length bounds (uniform).
+    pub min_duration: Duration,
+    pub max_duration: Duration,
+    /// Probability that a window is a partition (vs a brownout).
+    pub partition_weight: f64,
+    /// Brownout multipliers are drawn uniformly from `2..=max`.
+    pub max_brownout: u32,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            mean_gap: Duration::from_millis(200),
+            min_duration: Duration::from_millis(20),
+            max_duration: Duration::from_millis(80),
+            partition_weight: 0.5,
+            max_brownout: 8,
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of fault windows over a horizon.
+///
+/// Derived with SplitMix64 from `(seed, stream)` pairs: the same seed
+/// always yields the same plan, so chaos runs replay bit-identically, and
+/// plans for different links can be derived from one base seed without
+/// correlation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// Generates a plan covering `[0, horizon)` with the given knobs.
+    pub fn generate(seed: u64, horizon: Duration, cfg: &FaultPlanConfig) -> Self {
+        let mut rng = HatRng::seeded(split_seed(seed, 0xFA07));
+        let mut windows = Vec::new();
+        let mut cursor = Duration::ZERO;
+        let gap_lo = (cfg.mean_gap / 2).as_nanos() as u64;
+        let gap_hi = ((cfg.mean_gap * 3 / 2).as_nanos() as u64).max(gap_lo + 1);
+        loop {
+            cursor += Duration::from_nanos(rng.range_u64(gap_lo, gap_hi));
+            if cursor >= horizon {
+                break;
+            }
+            let dur_lo = cfg.min_duration.as_nanos() as u64;
+            let dur_hi = cfg.max_duration.as_nanos() as u64;
+            let duration = Duration::from_nanos(rng.range_u64(dur_lo, dur_hi.max(dur_lo)));
+            let kind = if rng.chance(cfg.partition_weight) {
+                FaultKind::Partition
+            } else {
+                FaultKind::Brownout {
+                    multiplier: rng.range_u32(2, cfg.max_brownout.max(2)),
+                }
+            };
+            windows.push(FaultWindow { start: cursor, duration, kind });
+            cursor += duration;
+        }
+        FaultPlan { windows }
+    }
+
+    /// An explicit plan (tests, hand-scripted scenarios). Windows must be
+    /// sorted by start and non-overlapping.
+    pub fn from_windows(windows: Vec<FaultWindow>) -> Self {
+        debug_assert!(
+            windows.windows(2).all(|w| w[0].end() <= w[1].start),
+            "fault windows must be sorted and disjoint"
+        );
+        FaultPlan { windows }
+    }
+
+    /// The scheduled windows, sorted by start offset.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+}
+
+/// Background thread that walks a [`FaultPlan`], applying each window to a
+/// link at its scheduled offset and clearing it at the window's end.
+pub struct FaultInjector {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FaultInjector {
+    /// Spawns the injector; windows are interpreted relative to now.
+    pub fn spawn(plan: FaultPlan, link: Arc<NetworkLink>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fault-injector".into())
+            .spawn(move || {
+                let t0 = Instant::now();
+                for w in plan.windows() {
+                    if !sleep_until(t0 + w.start, &stop2) {
+                        break;
+                    }
+                    match w.kind {
+                        FaultKind::Partition => link.partition(),
+                        FaultKind::Brownout { multiplier } => link.set_brownout(multiplier),
+                    }
+                    let survived = sleep_until(t0 + w.end(), &stop2);
+                    match w.kind {
+                        FaultKind::Partition => link.heal(),
+                        FaultKind::Brownout { .. } => link.clear_brownout(),
+                    }
+                    if !survived {
+                        break;
+                    }
+                }
+                // Whatever happens, leave the link healthy.
+                link.heal();
+                link.clear_brownout();
+            })
+            .expect("spawn fault injector");
+        FaultInjector { stop, handle: Some(handle) }
+    }
+
+    /// Stops the injector, healing the link. Called automatically on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Sleeps until `deadline` in short slices, returning false if `stop` was
+/// raised before the deadline.
+fn sleep_until(deadline: Instant, stop: &AtomicBool) -> bool {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(2)));
     }
 }
 
@@ -131,5 +450,117 @@ mod tests {
             let j = link.sample_jitter();
             assert!(j < Duration::from_micros(200));
         }
+    }
+
+    #[test]
+    fn concurrent_jitter_streams_do_not_collapse() {
+        // Regression for the racy load/xorshift/store: concurrent callers
+        // must consume distinct counter values, so across threads the
+        // total number of samples equals the counter advance.
+        let link = Arc::new(NetworkLink::new(
+            Duration::from_nanos(1),
+            Duration::from_micros(50),
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let link = Arc::clone(&link);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = link.sample_jitter();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(link.jitter_counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn partitioned_link_times_out_then_heals() {
+        let link = Arc::new(NetworkLink::new(Duration::from_micros(10), Duration::ZERO));
+        link.partition();
+        assert!(link.is_partitioned());
+        let start = Instant::now();
+        let err = link.try_delay(2, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, HatError::ReplicationTimeout);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert!(start.elapsed() < Duration::from_secs(2), "bounded wait");
+
+        // A waiter blocked on the partition is released by heal().
+        let link2 = Arc::clone(&link);
+        let waiter = std::thread::spawn(move || link2.try_delay(1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        link.heal();
+        assert!(waiter.join().unwrap().is_ok());
+        assert!(!link.is_partitioned());
+    }
+
+    #[test]
+    fn brownout_multiplies_latency() {
+        let link = NetworkLink::new(Duration::from_millis(1), Duration::ZERO);
+        link.set_brownout(5);
+        assert_eq!(link.brownout(), 5);
+        let start = Instant::now();
+        link.transmit();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        link.clear_brownout();
+        assert_eq!(link.brownout(), 1);
+        let start = Instant::now();
+        link.transmit();
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_per_seed() {
+        let cfg = FaultPlanConfig::default();
+        let horizon = Duration::from_secs(5);
+        let a = FaultPlan::generate(0xC0FFEE, horizon, &cfg);
+        let b = FaultPlan::generate(0xC0FFEE, horizon, &cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.windows().is_empty(), "5s horizon yields windows");
+        let c = FaultPlan::generate(0xDECAF, horizon, &cfg);
+        assert_ne!(a, c, "different seed, different schedule");
+        // Windows are sorted, disjoint, and inside the horizon.
+        for w in a.windows().windows(2) {
+            assert!(w[0].end() <= w[1].start);
+        }
+        for w in a.windows() {
+            assert!(w.start < horizon);
+            assert!(w.duration >= cfg.min_duration);
+            assert!(w.duration <= cfg.max_duration);
+        }
+    }
+
+    #[test]
+    fn injector_applies_and_clears_windows() {
+        let link = Arc::new(NetworkLink::new(Duration::from_micros(10), Duration::ZERO));
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: Duration::from_millis(5),
+            duration: Duration::from_millis(30),
+            kind: FaultKind::Partition,
+        }]);
+        let mut injector = FaultInjector::spawn(plan, Arc::clone(&link));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(link.is_partitioned(), "inside the window");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!link.is_partitioned(), "window expired");
+        injector.stop();
+    }
+
+    #[test]
+    fn injector_stop_heals_immediately() {
+        let link = Arc::new(NetworkLink::loopback());
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: Duration::ZERO,
+            duration: Duration::from_secs(60),
+            kind: FaultKind::Partition,
+        }]);
+        let mut injector = FaultInjector::spawn(plan, Arc::clone(&link));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(link.is_partitioned());
+        injector.stop();
+        assert!(!link.is_partitioned(), "stop() must not leave the link cut");
     }
 }

@@ -65,8 +65,8 @@ enum InsertResult<K, V> {
 /// use std::ops::Bound;
 ///
 /// let mut index: BPlusTree<(u32, u64), ()> = BPlusTree::new();
-/// for rid in 0..100 {
-///     index.insert((rid % 10, rid), ());
+/// for rid in 0..100u64 {
+///     index.insert((rid as u32 % 10, rid), ());
 /// }
 /// // Prefix scan: all rows of customer 3.
 /// let mut rids = Vec::new();

@@ -1,22 +1,40 @@
-//! Commit log records and an in-memory write-ahead log with subscribers.
+//! Commit log records and an in-memory write-ahead log with subscribers
+//! and a bounded retention ring.
 //!
 //! The isolated engine ships these records to its replica ("streaming WAL
 //! records ... as they are generated", §6.3) and the TiDB-like engine ships
 //! them to its columnar learner. Records are *physical*: inserts carry the
 //! row id the primary allocated, so a replica that applies records in LSN
 //! order reproduces the primary's row addressing exactly.
+//!
+//! # Retention and rejoin
+//!
+//! The log keeps the most recent [`Wal::retention`] records in a ring (the
+//! in-memory analogue of `wal_keep_size` / a Raft log's unsnapshotted
+//! suffix). A replica that crashed can rejoin with
+//! [`Wal::subscribe_from`]`(last_applied_lsn + 1)`: retained records from
+//! that LSN are replayed into the new channel atomically with subscriber
+//! registration, so no record is lost or duplicated at the hand-off. If
+//! the requested LSN has already been evicted from the ring, the call
+//! fails with [`HatError::WalTruncated`] and the subscriber must take a
+//! full basebackup instead of log catch-up.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hat_common::clock::BenchClock;
-use hat_common::{Nanos, Row, TableId};
+use hat_common::{HatError, Nanos, Result, Row, TableId};
 use hat_txn::Ts;
 use parking_lot::Mutex;
 
 /// Log sequence number; dense, starting at 1.
 pub type Lsn = u64;
+
+/// Records retained for catch-up unless overridden with
+/// [`Wal::with_retention`].
+pub const DEFAULT_RETENTION: usize = 65_536;
 
 /// One redo operation within a committed transaction.
 #[derive(Debug, Clone)]
@@ -47,6 +65,15 @@ pub struct LogRecord {
     pub ops: Vec<TableOp>,
 }
 
+/// Subscriber list and retention ring, guarded together so that
+/// `subscribe_from`'s replay + registration is atomic with respect to
+/// concurrent appends.
+struct WalInner {
+    subscribers: Vec<Sender<Arc<LogRecord>>>,
+    /// Most recent records, oldest first; contiguous LSNs.
+    ring: VecDeque<Arc<LogRecord>>,
+}
+
 /// An in-memory write-ahead log that fans records out to subscribers.
 ///
 /// Appends are expected to happen inside the commit critical section, so
@@ -54,24 +81,75 @@ pub struct LogRecord {
 /// order.
 pub struct Wal {
     next_lsn: AtomicU64,
-    subscribers: Mutex<Vec<Sender<Arc<LogRecord>>>>,
+    retention: usize,
+    inner: Mutex<WalInner>,
 }
 
 impl Wal {
-    /// An empty log with no subscribers.
+    /// An empty log with no subscribers and default retention.
     pub fn new() -> Self {
-        Wal { next_lsn: AtomicU64::new(1), subscribers: Mutex::new(Vec::new()) }
+        Self::with_retention(DEFAULT_RETENTION)
     }
 
-    /// Registers a subscriber. Must be called before traffic starts;
-    /// records appended earlier are not replayed.
+    /// An empty log retaining at most `retention` records for catch-up.
+    pub fn with_retention(retention: usize) -> Self {
+        Wal {
+            next_lsn: AtomicU64::new(1),
+            retention,
+            inner: Mutex::new(WalInner {
+                subscribers: Vec::new(),
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The retention bound (maximum records replayable on rejoin).
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Registers a subscriber receiving only records appended from now on.
+    ///
+    /// Equivalent to `subscribe_from(next_lsn())`, which cannot fail: the
+    /// next LSN is never truncated.
     pub fn subscribe(&self) -> Receiver<Arc<LogRecord>> {
-        let (tx, rx) = unbounded();
-        self.subscribers.lock().push(tx);
-        rx
+        self.subscribe_from(self.next_lsn())
+            .expect("next_lsn is always retained")
     }
 
-    /// Appends a commit record and fans it out. Returns the record's LSN.
+    /// Registers a subscriber starting at `from`: retained records with
+    /// `lsn >= from` are replayed into the channel before registration
+    /// completes, atomically with concurrent appends, so the subscriber
+    /// sees every record from `from` on, exactly once and in order.
+    ///
+    /// Fails with [`HatError::WalTruncated`] if `from` precedes the
+    /// oldest retained record — the caller's state is too stale for log
+    /// catch-up and needs a full resync.
+    pub fn subscribe_from(&self, from: Lsn) -> Result<Receiver<Arc<LogRecord>>> {
+        let (tx, rx) = unbounded();
+        let mut inner = self.inner.lock();
+        let oldest = match inner.ring.front() {
+            Some(first) => first.lsn,
+            // Empty ring: everything up to next_lsn-1 is gone (or nothing
+            // was ever appended); only a subscription at the head works.
+            None => self.next_lsn(),
+        };
+        if from < oldest {
+            return Err(HatError::WalTruncated { requested: from, oldest });
+        }
+        if let Some(first) = inner.ring.front() {
+            let skip = (from - first.lsn) as usize;
+            for record in inner.ring.iter().skip(skip) {
+                // The receiver is local; send cannot fail.
+                let _ = tx.send(Arc::clone(record));
+            }
+        }
+        inner.subscribers.push(tx);
+        Ok(rx)
+    }
+
+    /// Appends a commit record, retains it, and fans it out. Returns the
+    /// record's LSN.
     pub fn append(&self, commit_ts: Ts, ops: Vec<TableOp>) -> Lsn {
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         let record = Arc::new(LogRecord {
@@ -80,9 +158,15 @@ impl Wal {
             sent_at: BenchClock::global().now(),
             ops,
         });
-        let mut subs = self.subscribers.lock();
+        let mut inner = self.inner.lock();
+        if self.retention > 0 {
+            if inner.ring.len() == self.retention {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(Arc::clone(&record));
+        }
         // Drop subscribers whose receiving end hung up.
-        subs.retain(|tx| tx.send(Arc::clone(&record)).is_ok());
+        inner.subscribers.retain(|tx| tx.send(Arc::clone(&record)).is_ok());
         lsn
     }
 
@@ -96,10 +180,17 @@ impl Wal {
         self.next_lsn() - 1
     }
 
+    /// Oldest LSN still retained, if any records are retained.
+    pub fn oldest_retained(&self) -> Option<Lsn> {
+        self.inner.lock().ring.front().map(|r| r.lsn)
+    }
+
     /// Disconnects every subscriber, letting receiver threads exit their
-    /// `recv` loops. Used on engine shutdown.
+    /// `recv` loops. Retained records survive, so a later
+    /// [`Wal::subscribe_from`] can still catch up — this is a connection
+    /// teardown, not a log reset.
     pub fn close(&self) {
-        self.subscribers.lock().clear();
+        self.inner.lock().subscribers.clear();
     }
 }
 
@@ -159,7 +250,7 @@ mod tests {
         drop(rx);
         // Append must not fail or leak the dead channel.
         wal.append(2, vec![op(1)]);
-        assert_eq!(wal.subscribers.lock().len(), 0);
+        assert_eq!(wal.inner.lock().subscribers.len(), 0);
     }
 
     #[test]
@@ -171,5 +262,56 @@ mod tests {
         let rec = rx.recv().unwrap();
         assert_eq!(rec.lsn, 2);
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn subscribe_from_replays_retained_suffix() {
+        let wal = Wal::new();
+        for i in 0..10u32 {
+            wal.append(i as u64 + 2, vec![op(i)]);
+        }
+        // Rejoin as if we had applied through LSN 6.
+        let rx = wal.subscribe_from(7).unwrap();
+        wal.append(100, vec![op(99)]);
+        let lsns: Vec<Lsn> = (0..5).map(|_| rx.recv().unwrap().lsn).collect();
+        assert_eq!(lsns, vec![7, 8, 9, 10, 11], "catch-up then live tail");
+    }
+
+    #[test]
+    fn subscribe_from_head_of_empty_log() {
+        let wal = Wal::new();
+        let rx = wal.subscribe_from(1).unwrap();
+        wal.append(2, vec![op(1)]);
+        assert_eq!(rx.recv().unwrap().lsn, 1);
+    }
+
+    #[test]
+    fn truncated_lsn_is_an_explicit_error() {
+        let wal = Wal::with_retention(4);
+        for i in 0..10u32 {
+            wal.append(i as u64 + 2, vec![op(i)]);
+        }
+        // LSNs 1..=6 were evicted; oldest retained is 7.
+        assert_eq!(wal.oldest_retained(), Some(7));
+        let err = wal.subscribe_from(3).unwrap_err();
+        assert_eq!(err, HatError::WalTruncated { requested: 3, oldest: 7 });
+        assert!(!err.is_retryable(), "needs a basebackup, not a retry");
+        // The boundary LSN still works.
+        let rx = wal.subscribe_from(7).unwrap();
+        let lsns: Vec<Lsn> = (0..4).map(|_| rx.recv().unwrap().lsn).collect();
+        assert_eq!(lsns, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn close_preserves_retention_for_rejoin() {
+        let wal = Wal::new();
+        let rx = wal.subscribe();
+        wal.append(2, vec![op(1)]);
+        assert_eq!(rx.recv().unwrap().lsn, 1);
+        wal.close();
+        assert!(rx.recv().is_err(), "channel torn down");
+        // A rejoin from LSN 1 still replays the retained record.
+        let rx2 = wal.subscribe_from(1).unwrap();
+        assert_eq!(rx2.recv().unwrap().lsn, 1);
     }
 }

@@ -72,6 +72,7 @@ fn main() {
             measure: Duration::from_millis(400),
             seed: 1,
             reset_between_points: true,
+            ..Default::default()
         },
     )
     .with_mix(TxnMix { new_order: 10, payment: 90, count_orders: 0 });

@@ -27,6 +27,7 @@ fn run_mode(mode: ReplicationMode, t: u32, a: u32) -> PointMeasurement {
             measure: Duration::from_millis(900),
             seed: 17,
             reset_between_points: true,
+            ..Default::default()
         },
     );
     harness.run_point(t, a)

@@ -27,6 +27,7 @@ fn measure(engine: Arc<dyn HtapEngine>, sf: f64) -> (String, Frontier) {
             measure: Duration::from_millis(300),
             seed: 3,
             reset_between_points: true,
+            ..Default::default()
         },
     );
     let cfg = SaturationConfig { lines: 4, points_per_line: 4, max_clients: 16, epsilon: 0.08 };

@@ -37,6 +37,7 @@ fn main() {
             measure: Duration::from_millis(800),
             seed: 7,
             reset_between_points: true,
+            ..Default::default()
         },
     );
     let point = harness.run_point(4, 2);

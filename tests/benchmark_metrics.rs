@@ -50,6 +50,7 @@ fn custom_mix_restricts_transaction_types() {
             measure: Duration::from_millis(120),
             seed: 5,
             reset_between_points: true,
+            ..Default::default()
         },
     )
     .with_mix(TxnMix { new_order: 0, payment: 100, count_orders: 0 });
@@ -81,6 +82,7 @@ fn classifier_sees_isolation_in_the_isolated_engine() {
             measure: Duration::from_millis(250),
             seed: 2,
             reset_between_points: true,
+            ..Default::default()
         },
     );
     let cfg = SaturationConfig { lines: 3, points_per_line: 3, max_clients: 8, epsilon: 0.1 };

@@ -28,6 +28,7 @@ pub fn all_engines() -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
                 mode: ReplicationMode::RemoteApply,
                 link_one_way: Duration::from_micros(20),
                 replay_cost: Duration::from_micros(5),
+                ..IsoConfig::default()
             })),
         ),
         ("dual", Arc::new(DualEngine::new(DualConfig::default()))),
@@ -58,6 +59,7 @@ pub fn fast_harness(engine: Arc<dyn HtapEngine>, data: &GeneratedData) -> Harnes
             measure: Duration::from_millis(100),
             seed: 42,
             reset_between_points: true,
+            ..Default::default()
         },
     )
 }

@@ -20,6 +20,7 @@ fn iso_harness(mode: ReplicationMode, replay_cost: Duration) -> Harness {
         mode,
         link_one_way: Duration::from_micros(30),
         replay_cost,
+        ..IsoConfig::default()
     }));
     data.load_into(engine.as_ref()).unwrap();
     Harness::new(
@@ -30,6 +31,7 @@ fn iso_harness(mode: ReplicationMode, replay_cost: Duration) -> Harness {
             measure: Duration::from_millis(200),
             seed: 11,
             reset_between_points: true,
+            ..Default::default()
         },
     )
 }
@@ -107,6 +109,7 @@ fn cow_engine_staleness_is_bounded_by_the_snapshot_interval() {
             measure: Duration::from_millis(400),
             seed: 13,
             reset_between_points: true,
+            ..Default::default()
         },
     );
     let m = harness.run_point(4, 1);

@@ -23,6 +23,7 @@ fn no_reset_harness() -> Harness {
             measure: Duration::from_millis(100),
             seed: 77,
             reset_between_points: false,
+            ..Default::default()
         },
     )
 }

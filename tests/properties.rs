@@ -1,11 +1,16 @@
-//! Property-based tests (proptest) on the core data structures and
-//! benchmark math.
+//! Property-based tests on the core data structures and benchmark math.
+//!
+//! Formerly driven by proptest; now driven by a seeded `SmallRng` so the
+//! suite runs in the offline build environment. Each property executes a
+//! fixed number of randomized cases from a fixed seed, so failures are
+//! deterministic and reproducible: rerun with the printed seed to replay.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use hattrick_repro::bench::freshness::{cdf, score_query, CommitRegistry, FreshnessAgg};
 use hattrick_repro::bench::frontier::{Frontier, FrontierPoint};
@@ -13,6 +18,23 @@ use hattrick_repro::common::dates::{add_days, CalendarDate, FIRST_DATE, LAST_DAT
 use hattrick_repro::common::Money;
 use hattrick_repro::storage::bptree::BPlusTree;
 use hattrick_repro::storage::colstore::{DictColumn, RleU32};
+
+const BASE_SEED: u64 = 0x4a77_5ec0_0d15_ea5e;
+
+/// Runs `case` for `cases` deterministic seeds derived from [`BASE_SEED`].
+fn property(name: &str, cases: u64, mut case: impl FnMut(&mut SmallRng)) {
+    for i in 0..cases {
+        let seed = BASE_SEED ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property {name} failed on case {i} (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // B+tree vs BTreeMap model
@@ -26,182 +48,218 @@ enum TreeOp {
     Range(u16, u16),
 }
 
-fn tree_op() -> impl Strategy<Value = TreeOp> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| TreeOp::Insert(k % 512, v)),
-        any::<u16>().prop_map(|k| TreeOp::Remove(k % 512)),
-        any::<u16>().prop_map(|k| TreeOp::Get(k % 512)),
-        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| TreeOp::Range(a % 512, b % 512)),
-    ]
+fn tree_op(rng: &mut SmallRng) -> TreeOp {
+    match rng.gen_range(0..4u32) {
+        0 => TreeOp::Insert(rng.gen::<u16>() % 512, rng.gen::<u32>()),
+        1 => TreeOp::Remove(rng.gen::<u16>() % 512),
+        2 => TreeOp::Get(rng.gen::<u16>() % 512),
+        _ => TreeOp::Range(rng.gen::<u16>() % 512, rng.gen::<u16>() % 512),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bptree_behaves_like_btreemap(ops in prop::collection::vec(tree_op(), 1..400),
-                                    order in 4usize..32) {
+#[test]
+fn bptree_behaves_like_btreemap() {
+    property("bptree_behaves_like_btreemap", 64, |rng| {
+        let order = rng.gen_range(4usize..32);
+        let n_ops = rng.gen_range(1usize..400);
         let mut tree = BPlusTree::with_order(order);
         let mut model: BTreeMap<u16, u32> = BTreeMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match tree_op(rng) {
                 TreeOp::Insert(k, v) => {
-                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                    assert_eq!(tree.insert(k, v), model.insert(k, v));
                 }
                 TreeOp::Remove(k) => {
-                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                    assert_eq!(tree.remove(&k), model.remove(&k));
                 }
                 TreeOp::Get(k) => {
-                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                    assert_eq!(tree.get(&k), model.get(&k));
                 }
                 TreeOp::Range(a, b) => {
                     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                     let got = tree.range_values(&lo, &hi);
                     let want: Vec<u32> = model.range(lo..=hi).map(|(_, v)| *v).collect();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
         tree.check_invariants();
-        prop_assert_eq!(tree.len(), model.len());
-    }
+        assert_eq!(tree.len(), model.len());
+    });
+}
 
-    #[test]
-    fn bptree_range_bounds_agree_with_model(
-        keys in prop::collection::btree_set(any::<u16>(), 0..200),
-        lo in any::<u16>(), hi in any::<u16>(),
-        inc_lo in any::<bool>(), inc_hi in any::<bool>(),
-    ) {
+#[test]
+fn bptree_range_bounds_agree_with_model() {
+    property("bptree_range_bounds_agree_with_model", 64, |rng| {
+        let n_keys = rng.gen_range(0usize..200);
+        let keys: BTreeSet<u16> = (0..n_keys).map(|_| rng.gen::<u16>()).collect();
         let mut tree = BPlusTree::with_order(8);
         for &k in &keys {
             tree.insert(k, k);
         }
-        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (mut lo, mut hi) = (rng.gen::<u16>(), rng.gen::<u16>());
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let (inc_lo, inc_hi) = (rng.gen_bool(0.5), rng.gen_bool(0.5));
         let lb = if inc_lo { Bound::Included(&lo) } else { Bound::Excluded(&lo) };
         let ub = if inc_hi { Bound::Included(&hi) } else { Bound::Excluded(&hi) };
         let mut got = Vec::new();
-        tree.range(lb, ub, |k, _| { got.push(*k); true });
-        let want: Vec<u16> = keys.iter().copied().filter(|k| {
-            (if inc_lo { *k >= lo } else { *k > lo })
-                && (if inc_hi { *k <= hi } else { *k < hi })
-        }).collect();
-        prop_assert_eq!(got, want);
-    }
+        tree.range(lb, ub, |k, _| {
+            got.push(*k);
+            true
+        });
+        let want: Vec<u16> = keys
+            .iter()
+            .copied()
+            .filter(|k| {
+                (if inc_lo { *k >= lo } else { *k > lo })
+                    && (if inc_hi { *k <= hi } else { *k < hi })
+            })
+            .collect();
+        assert_eq!(got, want);
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Columnar encodings
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Columnar encodings
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn rle_roundtrips(values in prop::collection::vec(0u32..16, 0..500)) {
+#[test]
+fn rle_roundtrips() {
+    property("rle_roundtrips", 64, |rng| {
+        let n = rng.gen_range(0usize..500);
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..16)).collect();
         let rle = RleU32::encode(&values);
-        prop_assert_eq!(rle.len(), values.len());
-        prop_assert_eq!(rle.iter().collect::<Vec<_>>(), values.clone());
+        assert_eq!(rle.len(), values.len());
+        assert_eq!(rle.iter().collect::<Vec<_>>(), values.clone());
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(rle.get(i), v);
+            assert_eq!(rle.get(i), v);
         }
         // Runs never exceed distinct transitions + 1.
         let transitions = values.windows(2).filter(|w| w[0] != w[1]).count();
-        prop_assert!(rle.run_count() <= transitions + 1);
-    }
+        assert!(rle.run_count() <= transitions + 1);
+    });
+}
 
-    #[test]
-    fn dict_roundtrips(words in prop::collection::vec("[a-e]{1,4}", 0..200)) {
+#[test]
+fn dict_roundtrips() {
+    property("dict_roundtrips", 64, |rng| {
+        let n = rng.gen_range(0usize..200);
+        let words: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1usize..=4);
+                (0..len).map(|_| (b'a' + rng.gen_range(0u8..5)) as char).collect()
+            })
+            .collect();
         let arcs: Vec<Arc<str>> = words.iter().map(|w| Arc::from(w.as_str())).collect();
         let dict = DictColumn::encode(arcs.iter());
-        prop_assert_eq!(dict.len(), words.len());
+        assert_eq!(dict.len(), words.len());
         for (i, w) in words.iter().enumerate() {
-            prop_assert_eq!(dict.get(i), w.as_str());
+            assert_eq!(dict.get(i), w.as_str());
         }
-        let distinct: std::collections::HashSet<&str> =
-            words.iter().map(|s| s.as_str()).collect();
-        prop_assert_eq!(dict.cardinality(), distinct.len());
-    }
+        let distinct: HashSet<&str> = words.iter().map(|s| s.as_str()).collect();
+        assert_eq!(dict.cardinality(), distinct.len());
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Money
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Money
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn money_addition_is_associative_and_invertible(
-        a in -1_000_000_000i64..1_000_000_000,
-        b in -1_000_000_000i64..1_000_000_000,
-        c in -1_000_000_000i64..1_000_000_000,
-    ) {
+#[test]
+fn money_addition_is_associative_and_invertible() {
+    property("money_addition_is_associative_and_invertible", 256, |rng| {
+        let a = rng.gen_range(-1_000_000_000i64..1_000_000_000);
+        let b = rng.gen_range(-1_000_000_000i64..1_000_000_000);
+        let c = rng.gen_range(-1_000_000_000i64..1_000_000_000);
         let (ma, mb, mc) = (Money::from_cents(a), Money::from_cents(b), Money::from_cents(c));
-        prop_assert_eq!((ma + mb) + mc, ma + (mb + mc));
-        prop_assert_eq!(ma + mb - mb, ma);
-        prop_assert_eq!(-(-ma), ma);
-    }
+        assert_eq!((ma + mb) + mc, ma + (mb + mc));
+        assert_eq!(ma + mb - mb, ma);
+        assert_eq!(-(-ma), ma);
+    });
+}
 
-    #[test]
-    fn money_pct_bounds(cents in 0i64..10_000_000, pct in 0i64..=100) {
+#[test]
+fn money_pct_bounds() {
+    property("money_pct_bounds", 256, |rng| {
+        let cents = rng.gen_range(0i64..10_000_000);
+        let pct = rng.gen_range(0i64..=100);
         let m = Money::from_cents(cents);
         let part = m.pct(pct);
-        prop_assert!(part.cents() <= m.cents());
-        prop_assert!(part.cents() >= 0);
+        assert!(part.cents() <= m.cents());
+        assert!(part.cents() >= 0);
         // pct(100) is exact.
-        prop_assert_eq!(m.pct(100), m);
-        prop_assert_eq!(m.pct(0), Money::ZERO);
-    }
+        assert_eq!(m.pct(100), m);
+        assert_eq!(m.pct(0), Money::ZERO);
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Dates
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Dates
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn date_ordinals_are_dense_and_monotone(offset in 0u32..2556) {
+#[test]
+fn date_ordinals_are_dense_and_monotone() {
+    property("date_ordinals_are_dense_and_monotone", 256, |rng| {
+        let offset = rng.gen_range(0u32..2556);
         let key = add_days(FIRST_DATE, offset);
         let d = CalendarDate::from_key(key);
-        prop_assert_eq!(d.ordinal(), offset);
-        prop_assert!((FIRST_DATE..=LAST_DATE).contains(&key));
-        prop_assert_eq!(d.key(), key);
-    }
+        assert_eq!(d.ordinal(), offset);
+        assert!((FIRST_DATE..=LAST_DATE).contains(&key));
+        assert_eq!(d.key(), key);
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Frontier math
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Frontier math
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn pareto_frontier_is_minimal_and_complete(
-        raw in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..60)
-    ) {
-        let pts: Vec<FrontierPoint> = raw
-            .iter()
-            .map(|&(t, a)| FrontierPoint { t, a, t_clients: 0, a_clients: 0 })
+#[test]
+fn pareto_frontier_is_minimal_and_complete() {
+    property("pareto_frontier_is_minimal_and_complete", 64, |rng| {
+        let n = rng.gen_range(1usize..60);
+        let pts: Vec<FrontierPoint> = (0..n)
+            .map(|_| FrontierPoint {
+                t: rng.gen::<f64>() * 1000.0,
+                a: rng.gen::<f64>() * 1000.0,
+                t_clients: 0,
+                a_clients: 0,
+            })
             .collect();
         let f = Frontier::from_points(pts.clone());
         // 1. No frontier point is dominated by any input point.
         for fp in &f.points {
             for p in &pts {
-                prop_assert!(!p.dominates(fp), "{:?} dominates frontier {:?}", p, fp);
+                assert!(!p.dominates(fp), "{p:?} dominates frontier {fp:?}");
             }
         }
         // 2. Every input point is dominated by or equal to some frontier point.
         for p in &pts {
             let covered = f.points.iter().any(|fp| fp.t >= p.t && fp.a >= p.a);
-            prop_assert!(covered);
+            assert!(covered);
         }
         // 3. Interpolation stays within the bounding box.
         for i in 0..=10 {
             let t = f.x_t * i as f64 / 10.0;
             let a = f.a_at(t);
-            prop_assert!(a <= f.x_a + 1e-9);
-            prop_assert!(a >= 0.0);
+            assert!(a <= f.x_a + 1e-9);
+            assert!(a >= 0.0);
         }
         // 4. A frontier always envelops itself.
-        prop_assert!(f.envelops(&f, 20));
-    }
+        assert!(f.envelops(&f, 20));
+    });
+}
 
-    // -----------------------------------------------------------------------
-    // Freshness math
-    // -----------------------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Freshness math
+// ---------------------------------------------------------------------------
 
-    #[test]
-    fn freshness_scores_are_nonnegative_and_monotone_in_start_time(
-        commit_gap in 1u64..1_000_000_000,
-        seen in 0u64..5,
-    ) {
+#[test]
+fn freshness_scores_are_nonnegative_and_monotone_in_start_time() {
+    property("freshness_scores_monotone", 128, |rng| {
+        let commit_gap = rng.gen_range(1u64..1_000_000_000);
+        let seen = rng.gen_range(0u64..5);
         let registry = CommitRegistry::new(&[1]);
         // Client 0 commits txns 1..=6, spaced commit_gap apart.
         for i in 1..=6u64 {
@@ -211,26 +269,28 @@ proptest! {
         let start_b = 6 * commit_gap + 2;
         let fa = score_query(start_a, &[(0, seen)], &registry);
         let fb = score_query(start_b, &[(0, seen)], &registry);
-        prop_assert!(fa >= 0.0);
-        prop_assert!(fb >= fa, "later start can only be staler for same snapshot");
+        assert!(fa >= 0.0);
+        assert!(fb >= fa, "later start can only be staler for same snapshot");
         // Seeing everything committed before start means zero.
         let all_seen = score_query(start_b, &[(0, 6)], &registry);
-        prop_assert_eq!(all_seen, 0.0);
-    }
+        assert_eq!(all_seen, 0.0);
+    });
+}
 
-    #[test]
-    fn freshness_aggregation_is_order_invariant(
-        mut samples in prop::collection::vec(0.0f64..10.0, 1..100)
-    ) {
+#[test]
+fn freshness_aggregation_is_order_invariant() {
+    property("freshness_aggregation_is_order_invariant", 128, |rng| {
+        let n = rng.gen_range(1usize..100);
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 10.0).collect();
         let a = FreshnessAgg::from_samples(&samples);
         samples.reverse();
         let b = FreshnessAgg::from_samples(&samples);
-        prop_assert!((a.mean - b.mean).abs() < 1e-9);
-        prop_assert_eq!(a.p99, b.p99);
-        prop_assert_eq!(a.max, b.max);
-        prop_assert!(a.p50 <= a.p95 && a.p95 <= a.p99 && a.p99 <= a.max);
+        assert!((a.mean - b.mean).abs() < 1e-9);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.max, b.max);
+        assert!(a.p50 <= a.p95 && a.p95 <= a.p99 && a.p99 <= a.max);
         let points = cdf(&samples);
-        prop_assert_eq!(points.len(), samples.len());
-        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
-    }
+        assert_eq!(points.len(), samples.len());
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    });
 }
