@@ -22,7 +22,7 @@ const BENCH_SF: f64 = 0.003;
 /// Engines with zeroed latency knobs so the bench isolates code-path cost
 /// (the latency knobs themselves are measured by the figures harness).
 fn engines(data: &GeneratedData) -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
-    let zero = EngineConfig { commit_latency: Duration::ZERO, ..EngineConfig::default() };
+    let zero = EngineConfig::default().without_durability();
     let list: Vec<(&'static str, Arc<dyn HtapEngine>)> = vec![
         ("shared", Arc::new(ShdEngine::new(zero.clone()))),
         (
@@ -163,8 +163,7 @@ fn lock_policy(c: &mut Criterion) {
     for policy in [LockPolicy::NoWait, LockPolicy::WaitDie] {
         let engine = ShdEngine::new(EngineConfig {
             lock_policy: policy,
-            commit_latency: Duration::ZERO,
-            ..EngineConfig::default()
+            ..EngineConfig::default().without_durability()
         });
         data.load_into(&engine).unwrap();
         let engine = Arc::new(engine);

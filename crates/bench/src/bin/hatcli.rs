@@ -15,9 +15,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hat_engine::{
-    CowConfig, CowEngine, DualConfig, DualEngine, EngineConfig, HtapEngine,
-    IndexProfile, IsoConfig, IsoEngine, LearnerConfig, LearnerEngine,
-    LearnerProfile, ReplicationMode, ShdEngine,
+    CowConfig, CowEngine, DualConfig, DualEngine, DurabilityMode, EngineConfig,
+    HtapEngine, IndexProfile, IsoConfig, IsoEngine, LearnerConfig, LearnerEngine,
+    LearnerProfile, ReplicationMode, ShdEngine, WalConfig,
 };
 use hat_txn::IsolationLevel;
 use hattrick::freshness::FreshnessAgg;
@@ -40,11 +40,12 @@ const ENGINES: [&str; 11] = [
     "cow",
 ];
 
-fn build_engine(name: &str) -> Option<Arc<dyn HtapEngine>> {
+fn build_engine(name: &str, durability: &DurabilityMode) -> Option<Arc<dyn HtapEngine>> {
     let shd = |iso, idx| -> Arc<dyn HtapEngine> {
         Arc::new(ShdEngine::new(EngineConfig {
             isolation: iso,
             indexes: idx,
+            durability: durability.clone(),
             ..EngineConfig::default()
         }))
     };
@@ -112,8 +113,38 @@ impl Args {
     }
 }
 
-fn make_harness(engine_name: &str, sf: f64, seed: u64) -> Option<Harness> {
-    let engine = build_engine(engine_name)?;
+/// Parses `--durability off|sleep|fsync` (default: sleep, the benchmark
+/// baseline). `fsync` opens a real WAL in `--wal-dir` or a fresh temp
+/// directory; it applies to the engines built directly from an
+/// [`EngineConfig`] (the shared family) — the other designs price
+/// durability inside their own replication/consensus waits.
+fn parse_durability(args: &Args) -> Option<DurabilityMode> {
+    Some(match args.get(&["durability"]) {
+        None | Some("sleep") => DurabilityMode::SleepDefault,
+        Some("off") => DurabilityMode::Off,
+        Some("fsync") => {
+            let dir = match args.get(&["wal-dir"]) {
+                Some(d) => std::path::PathBuf::from(d),
+                None => std::env::temp_dir()
+                    .join(format!("hatcli-wal-{}", std::process::id())),
+            };
+            eprintln!("durability: fsync WAL in {}", dir.display());
+            DurabilityMode::Fsync(WalConfig::new(dir))
+        }
+        Some(other) => {
+            eprintln!("unknown --durability {other}; use off|sleep|fsync");
+            return None;
+        }
+    })
+}
+
+fn make_harness(
+    engine_name: &str,
+    sf: f64,
+    seed: u64,
+    durability: &DurabilityMode,
+) -> Option<Harness> {
+    let engine = build_engine(engine_name, durability)?;
     eprintln!("loading {} at SF {sf} ...", engine.name());
     let data = generate(ScaleFactor(sf), seed);
     data.load_into(engine.as_ref()).expect("load failed");
@@ -136,6 +167,9 @@ fn print_point(m: &PointMeasurement) {
         m.tps, m.qps, m.committed, m.queries, m.aborts
     );
     println!("{}", report::resilience_line(m).trim_start());
+    if let Some(line) = report::durability_line(m) {
+        println!("{}", line.trim_start());
+    }
     let agg = FreshnessAgg::from_samples(&m.freshness);
     if agg.count > 0 {
         println!(
@@ -172,7 +206,10 @@ fn cmd_point(args: &Args) -> i32 {
     let t = args.u32(&["t"], 4);
     let a = args.u32(&["a"], 2);
     let repeats = args.u32(&["repeats", "r"], 1);
-    let Some(harness) = make_harness(&engine, sf, args.u32(&["seed"], 7) as u64) else {
+    let Some(durability) = parse_durability(args) else { return 2 };
+    let Some(harness) =
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability)
+    else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
     };
@@ -185,7 +222,10 @@ fn cmd_point(args: &Args) -> i32 {
 fn cmd_frontier(args: &Args) -> i32 {
     let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
     let sf = args.f64(&["sf"], 0.01);
-    let Some(harness) = make_harness(&engine, sf, args.u32(&["seed"], 7) as u64) else {
+    let Some(durability) = parse_durability(args) else { return 2 };
+    let Some(harness) =
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability)
+    else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
     };
@@ -226,7 +266,8 @@ fn cmd_compare(args: &Args) -> i32 {
     let names = ["shared", "isolated-on", "dual", "learner"];
     let mut results: Vec<(String, Frontier, FreshnessAgg)> = Vec::new();
     for name in names {
-        let harness = make_harness(name, sf, 7).expect("builtin engine");
+        let harness =
+            make_harness(name, sf, 7, &DurabilityMode::SleepDefault).expect("builtin engine");
         let grid = build_grid(&harness, &cfg);
         let frontier = Frontier::from_grid(&grid);
         let fresh: Vec<f64> = grid
@@ -274,7 +315,9 @@ fn main() {
                 "usage: hatcli <engines|point|frontier|compare> [flags]\n\
                  point:    --engine <name> --sf <f> -t <n> -a <n> [--repeats n]\n\
                  frontier: --engine <name> --sf <f> [--quick] [--out chart.svg]\n\
-                 compare:  --sf <f> [--quick]"
+                 compare:  --sf <f> [--quick]\n\
+                 point/frontier also take --durability off|sleep|fsync\n\
+                 [--wal-dir <dir>] (fsync runs a real on-disk WAL)"
             );
             if cmd == "help" {
                 0

@@ -54,6 +54,17 @@ pub enum HatError {
     /// ring has already evicted; the subscriber needs a full resync
     /// (basebackup) instead of log catch-up.
     WalTruncated { requested: u64, oldest: u64 },
+    /// An on-disk WAL segment or checkpoint is structurally invalid
+    /// (bad magic, impossible frame length, LSN discontinuity, torn
+    /// record in a *sealed* segment). Recovery cannot proceed; operator
+    /// intervention (restore from backup) is required. Not retryable.
+    WalCorrupt { detail: String },
+    /// A complete WAL record failed its CRC32 check — the bytes were
+    /// fully written but silently corrupted (bit rot, torn sector).
+    /// Distinguished from [`HatError::WalCorrupt`] so the harness can
+    /// assert that injected bit-flips are detected as such. `lsn` is the
+    /// expected sequence position of the bad record. Not retryable.
+    ChecksumMismatch { lsn: u64 },
 }
 
 impl HatError {
@@ -115,6 +126,10 @@ impl fmt::Display for HatError {
                     "wal truncated: lsn {requested} requested but oldest retained is {oldest}"
                 )
             }
+            HatError::WalCorrupt { detail } => write!(f, "wal corrupt: {detail}"),
+            HatError::ChecksumMismatch { lsn } => {
+                write!(f, "wal record checksum mismatch at lsn {lsn}")
+            }
         }
     }
 }
@@ -143,6 +158,8 @@ mod tests {
             (HatError::ReplicationTimeout, true, true),
             (HatError::ReplicaUnavailable, true, false),
             (HatError::WalTruncated { requested: 7, oldest: 42 }, false, false),
+            (HatError::WalCorrupt { detail: "bad magic".into() }, false, false),
+            (HatError::ChecksumMismatch { lsn: 99 }, false, false),
         ]
     }
 
@@ -178,7 +195,9 @@ mod tests {
                 | HatError::InvalidConfig(_)
                 | HatError::ReplicationTimeout
                 | HatError::ReplicaUnavailable
-                | HatError::WalTruncated { .. } => true,
+                | HatError::WalTruncated { .. }
+                | HatError::WalCorrupt { .. }
+                | HatError::ChecksumMismatch { .. } => true,
             };
             assert!(covered);
         }
@@ -186,7 +205,7 @@ mod tests {
         let discriminants: std::collections::HashSet<std::mem::Discriminant<HatError>> =
             table.iter().map(|(e, _, _)| std::mem::discriminant(e)).collect();
         assert_eq!(discriminants.len(), table.len(), "duplicate table entries");
-        assert_eq!(discriminants.len(), 13, "table must cover all 13 variants");
+        assert_eq!(discriminants.len(), 15, "table must cover all 15 variants");
     }
 
     #[test]
@@ -199,5 +218,9 @@ mod tests {
         assert!(e.to_string().contains("in doubt"));
         let e = HatError::WalTruncated { requested: 3, oldest: 9 };
         assert!(e.to_string().contains('3') && e.to_string().contains('9'));
+        let e = HatError::WalCorrupt { detail: "short header".into() };
+        assert!(e.to_string().contains("short header"));
+        let e = HatError::ChecksumMismatch { lsn: 12 };
+        assert!(e.to_string().contains("12") && e.to_string().contains("checksum"));
     }
 }

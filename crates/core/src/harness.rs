@@ -181,6 +181,17 @@ pub struct PointMeasurement {
     /// High-water mark of the engine's replication backlog sampled during
     /// the measurement phase (records shipped but not yet applied).
     pub backlog_hwm: u64,
+    /// Durability flushes since engine start (real fsyncs in `Fsync`
+    /// mode, simulated group-commit flushes in `Sleep` mode).
+    pub fsyncs: u64,
+    /// Median group-commit batch size (commits per flush).
+    pub group_commit_p50: f64,
+    /// 99th-percentile group-commit batch size.
+    pub group_commit_p99: f64,
+    /// WAL records replayed at engine start (crash recovery).
+    pub recovery_replayed_records: u64,
+    /// Torn trailing records truncated at engine start.
+    pub torn_tail_truncations: u64,
     /// Freshness scores (seconds) of the queries finished during
     /// measurement.
     pub freshness: Vec<FreshnessSample>,
@@ -214,6 +225,11 @@ impl PointMeasurement {
         let gave_up = runs.iter().map(|m| m.gave_up).sum();
         let query_retries = runs.iter().map(|m| m.query_retries).sum();
         let backlog_hwm = runs.iter().map(|m| m.backlog_hwm).max().unwrap_or(0);
+        let fsyncs = runs.iter().map(|m| m.fsyncs).max().unwrap_or(0);
+        let recovery_replayed_records =
+            runs.iter().map(|m| m.recovery_replayed_records).max().unwrap_or(0);
+        let torn_tail_truncations =
+            runs.iter().map(|m| m.torn_tail_truncations).max().unwrap_or(0);
         let measured_secs = runs.iter().map(|m| m.measured_secs).sum();
         let mut freshness = Vec::new();
         let mut best: Option<PointMeasurement> = None;
@@ -240,6 +256,11 @@ impl PointMeasurement {
             gave_up,
             query_retries,
             backlog_hwm,
+            fsyncs,
+            group_commit_p50: best.group_commit_p50,
+            group_commit_p99: best.group_commit_p99,
+            recovery_replayed_records,
+            torn_tail_truncations,
             freshness,
             measured_secs,
             txn_latency: best.txn_latency,
@@ -262,6 +283,11 @@ impl PointMeasurement {
             gave_up: 0,
             query_retries: 0,
             backlog_hwm: 0,
+            fsyncs: 0,
+            group_commit_p50: 0.0,
+            group_commit_p99: 0.0,
+            recovery_replayed_records: 0,
+            torn_tail_truncations: 0,
             freshness: Vec::new(),
             measured_secs: 0.0,
             txn_latency: Vec::new(),
@@ -563,6 +589,9 @@ impl Harness {
         let elapsed = self.config.measure.as_secs_f64();
         let committed = committed.load(Ordering::Relaxed);
         let queries = queries.load(Ordering::Relaxed);
+        // Durability counters are cumulative since engine start; report
+        // the post-measurement snapshot.
+        let dstats = self.engine.stats();
         PointMeasurement {
             t_clients,
             a_clients,
@@ -576,6 +605,11 @@ impl Harness {
             gave_up: gave_up.load(Ordering::Relaxed),
             query_retries: query_retries.load(Ordering::Relaxed),
             backlog_hwm,
+            fsyncs: dstats.fsyncs,
+            group_commit_p50: dstats.group_commit_p50,
+            group_commit_p99: dstats.group_commit_p99,
+            recovery_replayed_records: dstats.recovery_replayed_records,
+            torn_tail_truncations: dstats.torn_tail_truncations,
             freshness: freshness.into_inner(),
             measured_secs: elapsed,
             txn_latency: txn_latency.summarize(),

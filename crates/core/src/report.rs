@@ -180,6 +180,27 @@ pub fn resilience_line(m: &PointMeasurement) -> String {
     )
 }
 
+/// One-line durability accounting for a measured point: how many flushes
+/// the durability layer issued, how well group commit batched concurrent
+/// commits, and what (if anything) crash recovery replayed at startup.
+/// Returns `None` when durability is off (nothing to report).
+pub fn durability_line(m: &PointMeasurement) -> Option<String> {
+    if m.fsyncs == 0 && m.recovery_replayed_records == 0 && m.torn_tail_truncations == 0 {
+        return None;
+    }
+    let mut line = format!(
+        "  durability: {} fsyncs, group-commit batch p50 {:.1} / p99 {:.1}",
+        m.fsyncs, m.group_commit_p50, m.group_commit_p99
+    );
+    if m.recovery_replayed_records > 0 || m.torn_tail_truncations > 0 {
+        line.push_str(&format!(
+            ", recovered {} records ({} torn tails truncated)",
+            m.recovery_replayed_records, m.torn_tail_truncations
+        ));
+    }
+    Some(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +221,26 @@ mod tests {
         assert_eq!(lines[0], "t_clients,a_clients,tps,qps");
         assert_eq!(lines.len(), 4);
         assert!(lines[2].starts_with("2,2,60.00,6.000"));
+    }
+
+    #[test]
+    fn durability_line_elides_off_mode_and_reports_counters() {
+        let off = PointMeasurement::zero(2, 1);
+        assert!(durability_line(&off).is_none(), "nothing to say when durability is off");
+        let mut flushed = PointMeasurement::zero(2, 1);
+        flushed.fsyncs = 120;
+        flushed.group_commit_p50 = 3.0;
+        flushed.group_commit_p99 = 9.0;
+        let line = durability_line(&flushed).unwrap();
+        assert!(line.contains("120 fsyncs"));
+        assert!(line.contains("p50 3.0"));
+        assert!(line.contains("p99 9.0"));
+        assert!(!line.contains("recovered"), "no recovery counters on a clean start");
+        flushed.recovery_replayed_records = 42;
+        flushed.torn_tail_truncations = 1;
+        let line = durability_line(&flushed).unwrap();
+        assert!(line.contains("recovered 42 records"));
+        assert!(line.contains("1 torn tails truncated"));
     }
 
     #[test]

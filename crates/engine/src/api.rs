@@ -12,6 +12,8 @@ use hat_query::spec::QuerySpec;
 use hat_storage::rowstore::RowId;
 use hat_txn::{IsolationLevel, LockPolicy, Ts};
 
+pub use crate::durability::DurabilityMode;
+
 /// Which B+tree indexes exist — the paper's "physical schemas" experiment
 /// (Figure 6b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,18 +57,25 @@ pub struct EngineConfig {
     pub indexes: IndexProfile,
     /// Write-lock conflict policy (no-wait vs wait-die ablation).
     pub lock_policy: LockPolicy,
-    /// Commit durability latency (WAL flush / group-commit wait), applied
-    /// after installation outside the commit critical section. Real
-    /// engines pay this on every commit; it is also what makes the
-    /// transactional workload scale with clients instead of saturating at
-    /// one (clients overlap their flush waits).
-    pub commit_latency: std::time::Duration,
+    /// How commits become durable, paid after installation outside the
+    /// commit critical section. Real engines pay this on every commit; it
+    /// is also what makes the transactional workload scale with clients
+    /// instead of saturating at one (clients overlap their flush waits).
+    /// The default models an SSD-class group-commit flush as a coalesced
+    /// sleep; [`DurabilityMode::Fsync`] runs a real on-disk WAL.
+    pub durability: DurabilityMode,
 }
 
 impl EngineConfig {
     /// Default commit durability latency (an SSD-class WAL flush).
     pub const DEFAULT_COMMIT_LATENCY: std::time::Duration =
         std::time::Duration::from_micros(100);
+
+    /// Convenience: this config with durability waits disabled (tests).
+    pub fn without_durability(mut self) -> Self {
+        self.durability = DurabilityMode::Off;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -75,7 +84,7 @@ impl Default for EngineConfig {
             isolation: IsolationLevel::Serializable,
             indexes: IndexProfile::All,
             lock_policy: LockPolicy::NoWait,
-            commit_latency: Self::DEFAULT_COMMIT_LATENCY,
+            durability: DurabilityMode::SleepDefault,
         }
     }
 }
@@ -135,6 +144,20 @@ pub struct EngineStats {
     ///
     /// [`HatError::ReplicationTimeout`]: hat_common::HatError::ReplicationTimeout
     pub replication_timeouts: u64,
+    /// Durability-layer flushes: real fsyncs in `Fsync` mode, simulated
+    /// group-commit flushes in `Sleep` mode. Zero when durability is off.
+    pub fsyncs: u64,
+    /// Median commits acknowledged per durability flush (group-commit
+    /// batch size). `1.0` means no coalescing happened.
+    pub group_commit_p50: f64,
+    /// 99th-percentile group-commit batch size.
+    pub group_commit_p99: f64,
+    /// WAL records replayed from disk when the engine started (zero
+    /// unless `Fsync` mode recovered an existing WAL directory).
+    pub recovery_replayed_records: u64,
+    /// Torn (partially written) trailing records truncated during
+    /// recovery. Nonzero after a crash mid-write; always safe.
+    pub torn_tail_truncations: u64,
 }
 
 /// One in-flight transaction.
@@ -235,8 +258,15 @@ mod tests {
         let c = EngineConfig::default();
         assert_eq!(c.isolation, IsolationLevel::Serializable);
         assert_eq!(c.indexes, IndexProfile::All);
-        assert!(!c.commit_latency.is_zero());
+        // Commits pay a durability wait by default (Sleep group commit at
+        // the SSD-class latency) so throughput numbers stay honest.
+        assert!(!c.durability.is_off());
+        assert_eq!(
+            c.durability.resolved(),
+            DurabilityMode::Sleep(EngineConfig::DEFAULT_COMMIT_LATENCY)
+        );
         assert_eq!(c.lock_policy, LockPolicy::NoWait);
+        assert_eq!(c.without_durability().durability, DurabilityMode::Off);
     }
 
     #[test]

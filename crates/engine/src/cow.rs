@@ -249,10 +249,7 @@ mod tests {
 
     fn loaded(interval: Duration) -> CowEngine {
         let engine = CowEngine::new(CowConfig {
-            engine: EngineConfig {
-                commit_latency: Duration::ZERO,
-                ..EngineConfig::default()
-            },
+            engine: EngineConfig::default().without_durability(),
             snapshot_interval: interval,
             fork_pause: Duration::from_micros(50),
         });

@@ -180,7 +180,7 @@ impl DualEngine {
                 isolation: IsolationLevel::Serializable,
                 indexes: config.indexes,
                 // Memory-optimized engine: cheaper log persistence.
-                commit_latency: Duration::from_micros(60),
+                durability: crate::api::DurabilityMode::Sleep(Duration::from_micros(60)),
                 ..EngineConfig::default()
             },
             hooks,
@@ -444,7 +444,7 @@ impl LearnerEngine {
                 isolation: IsolationLevel::SnapshotIsolation,
                 indexes: config.indexes,
                 // Durability is paid inside the consensus rounds.
-                commit_latency: Duration::ZERO,
+                durability: crate::api::DurabilityMode::Off,
                 ..EngineConfig::default()
             },
             hooks,

@@ -92,7 +92,7 @@ impl Default for IsoConfig {
             mode: ReplicationMode::SyncOn,
             // A LAN round trip plus standby WAL fsync: synchronous-commit
             // acknowledgements are in the ~1ms class, far above the local
-            // flush in `EngineConfig::commit_latency`. (PostgreSQL docs
+            // flush in `EngineConfig::durability`. (PostgreSQL docs
             // warn of exactly this T-side cost for synchronous modes.)
             link_one_way: Duration::from_micros(500),
             replay_cost: Duration::from_micros(120),
@@ -109,7 +109,7 @@ impl IsoConfig {
     /// local durability ordering).
     pub fn coalesced_default() -> Self {
         let mut cfg = IsoConfig::default();
-        cfg.engine.commit_latency = Duration::ZERO;
+        cfg.engine.durability = crate::api::DurabilityMode::Off;
         cfg
     }
 }

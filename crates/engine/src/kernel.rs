@@ -14,12 +14,14 @@ use std::sync::Arc;
 use hat_common::ids::{customer, date, lineorder, part, supplier};
 use hat_common::{HatError, Result, Row, TableId};
 use hat_storage::bptree::BPlusTree;
+use hat_storage::dwal::{CheckpointData, TableCheckpoint, WalRecovery};
 use hat_storage::rowstore::{RowDb, RowId};
 use hat_storage::wal::TableOp;
 use hat_txn::{LockManager, Ts, TsOracle, TxnCtx, WriteOp, LOAD_TS};
 use parking_lot::RwLock;
 
 use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
+use crate::durability::DurabilityLayer;
 
 /// Hooks an engine attaches to the kernel's commit path.
 pub trait CommitHooks: Send + Sync {
@@ -235,29 +237,122 @@ pub struct RowKernel {
     pub indexes: IndexSet,
     pub config: EngineConfig,
     pub stats: KernelStats,
+    /// The durability layer commits log to and wait on. In `Fsync` mode
+    /// this owns the on-disk WAL; engines reach through it for
+    /// checkpoints, crash injection, and counters.
+    pub durability: DurabilityLayer,
     hooks: Arc<dyn CommitHooks>,
     /// Slot counts per table recorded at `finish_load`, for reset.
     loaded_counts: RwLock<Vec<u64>>,
 }
 
 impl RowKernel {
-    /// A kernel with no commit hooks.
+    /// A kernel with no commit hooks. Panics if the durability mode needs
+    /// disk and the WAL directory can't be opened; use
+    /// [`RowKernel::try_new`] to handle that.
     pub fn new(config: EngineConfig) -> Self {
         Self::with_hooks(config, Arc::new(NoHooks))
     }
 
-    /// A kernel with engine-specific commit hooks.
+    /// Fallible [`RowKernel::new`].
+    pub fn try_new(config: EngineConfig) -> Result<Self> {
+        Self::try_with_hooks(config, Arc::new(NoHooks))
+    }
+
+    /// A kernel with engine-specific commit hooks (panicking variant).
     pub fn with_hooks(config: EngineConfig, hooks: Arc<dyn CommitHooks>) -> Self {
-        RowKernel {
+        Self::try_with_hooks(config, hooks).expect("durability layer open failed")
+    }
+
+    /// A kernel with engine-specific commit hooks. In
+    /// [`DurabilityMode::Fsync`](crate::api::DurabilityMode) this opens
+    /// the WAL directory, replays any checkpoint + log tail found there
+    /// into the row store, and restores the timestamp horizon — the
+    /// kernel comes back exactly as of the last acknowledged commit.
+    pub fn try_with_hooks(config: EngineConfig, hooks: Arc<dyn CommitHooks>) -> Result<Self> {
+        let (durability, recovery) = DurabilityLayer::open(&config.durability)?;
+        let kernel = RowKernel {
             db: RowDb::new(),
             oracle: TsOracle::new(),
             locks: LockManager::with_policy(config.lock_policy),
             indexes: IndexSet::new(config.indexes),
             config,
             stats: KernelStats::default(),
+            durability,
             hooks,
             loaded_counts: RwLock::new(vec![0; TableId::COUNT]),
+        };
+        if let Some(recovery) = recovery {
+            kernel.apply_recovery(&recovery)?;
         }
+        Ok(kernel)
+    }
+
+    /// Rebuilds row-store state from what recovery found on disk: the
+    /// checkpoint snapshot first (rows land at their original rids, in
+    /// rid order), then the WAL tail in LSN order. Replayed timestamps
+    /// feed [`TsOracle::advance_to`] so new transactions snapshot past
+    /// everything recovered.
+    fn apply_recovery(&self, recovery: &WalRecovery) -> Result<()> {
+        if let Some(ckpt) = &recovery.checkpoint {
+            for tc in &ckpt.tables {
+                let store = self.db.store(tc.table);
+                for (rid, ts, row) in &tc.rows {
+                    store.install_insert_at(*rid, Arc::clone(row), *ts)?;
+                    self.indexes.index_row(tc.table, *rid, row);
+                }
+            }
+        }
+        for rec in &recovery.tail {
+            for op in &rec.ops {
+                match op {
+                    TableOp::Insert { table, rid, row } => {
+                        let store = self.db.store(*table);
+                        store.install_insert_at(*rid, Arc::clone(row), rec.commit_ts)?;
+                        self.indexes.index_row(*table, *rid, row);
+                    }
+                    TableOp::Update { table, rid, row } => {
+                        self.db
+                            .store(*table)
+                            .install_update(*rid, Arc::clone(row), rec.commit_ts)?;
+                    }
+                }
+            }
+        }
+        self.oracle.advance_to(recovery.max_ts());
+        Ok(())
+    }
+
+    /// Writes a checkpoint: an atomically chosen `(lsn, ts)` pair from the
+    /// WAL plus a snapshot of every table at `ts`. Completed checkpoints
+    /// let recovery skip the log prefix and let sealed segments below the
+    /// checkpoint LSN be deleted. No-op unless durability is `Fsync`.
+    ///
+    /// Call once after bulk load (so the base data is durable without
+    /// logging it), then periodically.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = self.durability.wal() else { return Ok(()) };
+        // (lsn, ts) are read atomically; appends happen in ts order inside
+        // the commit critical section, so "wal prefix <= lsn" is exactly
+        // "commits with commit_ts <= ts". LOAD_TS floors the snapshot so a
+        // checkpoint right after load captures the loaded rows.
+        let (lsn, wal_ts) = wal.last_appended();
+        let ts = wal_ts.max(LOAD_TS);
+        let mut tables = Vec::new();
+        for t in TableId::ALL {
+            let store = self.db.store(t);
+            let mut rows: Vec<(u64, Ts, Row)> = Vec::new();
+            store.scan(ts, |rid, row| rows.push((rid, ts, Arc::clone(row))));
+            // Version stamps are resolved in a second pass: the scan
+            // callback runs under the slot lock, which latest_ts retakes.
+            for (rid, vts, _) in &mut rows {
+                *vts = visible_version_ts(store, *rid, ts).unwrap_or(ts);
+            }
+            if !rows.is_empty() {
+                tables.push(TableCheckpoint { table: t, rows });
+            }
+        }
+        wal.checkpoint(&CheckpointData { lsn, last_ts: ts, tables })
     }
 
     /// Replaces the hooks (engines call this once during construction,
@@ -313,13 +408,19 @@ impl RowKernel {
         }
     }
 
-    /// Current stats snapshot (kernel counters only).
+    /// Current stats snapshot (kernel counters plus durability counters).
     pub fn stats_snapshot(&self) -> EngineStats {
+        let d = self.durability.stats();
         EngineStats {
             commits: self.stats.commits.load(Ordering::Relaxed),
             aborts: self.stats.aborts.load(Ordering::Relaxed),
             queries: self.stats.queries.load(Ordering::Relaxed),
             replication_timeouts: self.stats.replication_timeouts.load(Ordering::Relaxed),
+            fsyncs: d.fsyncs,
+            group_commit_p50: d.group_commit_p50,
+            group_commit_p99: d.group_commit_p99,
+            recovery_replayed_records: d.recovery_replayed_records,
+            torn_tail_truncations: d.torn_tail_truncations,
             ..EngineStats::default()
         }
     }
@@ -627,6 +728,10 @@ impl Session for KernelSession {
             }
         }
         kernel.hooks.on_install(commit_ts, &redo);
+        // Log inside the critical section so WAL order equals commit-ts
+        // order (recovery replays the log sequentially). The append only
+        // enqueues bytes; the expensive flush wait happens after unlock.
+        let durability_token = kernel.durability.log(commit_ts, &redo);
         guard.finish();
 
         kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
@@ -634,8 +739,12 @@ impl Session for KernelSession {
 
         // Durability wait (WAL flush) outside the critical section:
         // concurrent commits overlap their flushes, as with group commit.
-        if !kernel.config.commit_latency.is_zero() {
-            std::thread::sleep(kernel.config.commit_latency);
+        // A failure here (WAL crashed before covering our record) means
+        // the commit was never acknowledged — surface the error without
+        // counting the commit; recovery decides its fate.
+        match durability_token {
+            Ok(token) => kernel.durability.wait(token)?,
+            Err(e) => return Err(e),
         }
         // Synchronous replication waits also happen outside the critical
         // section so concurrent commits can proceed. A timeout here does
@@ -672,7 +781,7 @@ mod tests {
         Arc::new(RowKernel::new(EngineConfig {
             isolation: iso,
             indexes: idx,
-            commit_latency: std::time::Duration::ZERO,
+            durability: crate::api::DurabilityMode::Off,
             ..EngineConfig::default()
         }))
     }

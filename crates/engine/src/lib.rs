@@ -42,6 +42,7 @@
 pub mod analytics;
 pub mod api;
 pub mod cow;
+pub mod durability;
 pub mod hybrid;
 pub mod isolated;
 pub mod kernel;
@@ -49,9 +50,11 @@ pub mod netsim;
 pub mod shared;
 
 pub use api::{
-    DesignCategory, EngineConfig, EngineStats, HtapEngine, IndexProfile, NamedIndex,
-    Session, TxnHandle,
+    DesignCategory, DurabilityMode, EngineConfig, EngineStats, HtapEngine, IndexProfile,
+    NamedIndex, Session, TxnHandle,
 };
+pub use durability::DurabilityLayer;
+pub use hat_storage::dwal::{KillPoint, WalConfig};
 pub use cow::{CowConfig, CowEngine};
 pub use hybrid::{DualConfig, DualEngine, LearnerConfig, LearnerEngine, LearnerProfile};
 pub use isolated::{IsoConfig, IsoEngine, ReplicationMode};

@@ -7,13 +7,16 @@
 //! before it started. The cost is interference: both workloads fight for
 //! CPU, slot locks, the commit critical section, and index latches.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use hat_common::{Result, Row, TableId};
 use hat_query::exec::{execute, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
+use parking_lot::RwLock;
 
 use crate::analytics::{date_range_hint, PrefilteredView};
 use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
@@ -22,17 +25,57 @@ use crate::kernel::RowKernel;
 /// A single-node, single-copy MVCC engine.
 pub struct ShdEngine {
     kernel: Arc<RowKernel>,
+    /// Background checkpointer (Fsync durability with `checkpoint_every`).
+    stop_checkpointer: Arc<AtomicBool>,
+    checkpointer: RwLock<Option<JoinHandle<()>>>,
 }
 
 impl ShdEngine {
-    /// Builds an engine with the given configuration.
+    /// Builds an engine with the given configuration. Panics if the
+    /// durability mode needs disk and the WAL can't be opened; use
+    /// [`ShdEngine::try_new`] to handle that (and to recover a WAL
+    /// directory left by a previous process).
     pub fn new(config: EngineConfig) -> Self {
-        ShdEngine { kernel: Arc::new(RowKernel::new(config)) }
+        Self::try_new(config).expect("engine construction failed")
+    }
+
+    /// Fallible [`ShdEngine::new`]: with `DurabilityMode::Fsync` this
+    /// replays any checkpoint + WAL tail found in the configured
+    /// directory before returning, so the engine resumes exactly at the
+    /// last acknowledged commit.
+    pub fn try_new(config: EngineConfig) -> Result<Self> {
+        Ok(ShdEngine {
+            kernel: Arc::new(RowKernel::try_new(config)?),
+            stop_checkpointer: Arc::new(AtomicBool::new(false)),
+            checkpointer: RwLock::new(None),
+        })
     }
 
     /// The engine's kernel (tests and the isolated engine reuse it).
     pub fn kernel(&self) -> &Arc<RowKernel> {
         &self.kernel
+    }
+
+    /// Writes a checkpoint now (no-op unless durability is `Fsync`).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.kernel.checkpoint()
+    }
+
+    /// Whether a periodic checkpointer was requested by the WAL config.
+    fn checkpoint_interval(&self) -> Option<Duration> {
+        self.kernel
+            .durability
+            .wal()
+            .and_then(|w| w.config().checkpoint_every)
+    }
+}
+
+impl Drop for ShdEngine {
+    fn drop(&mut self) {
+        self.stop_checkpointer.store(true, Ordering::Release);
+        if let Some(handle) = self.checkpointer.write().take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -55,6 +98,33 @@ impl HtapEngine for ShdEngine {
 
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
+        // With an on-disk WAL, make the bulk-loaded base data durable via
+        // an initial checkpoint (loads are not logged), then start the
+        // periodic checkpointer if the config asked for one.
+        if self.kernel.durability.wal().is_some() {
+            self.kernel.checkpoint()?;
+            if let Some(every) = self.checkpoint_interval() {
+                let kernel = Arc::clone(&self.kernel);
+                let stop = Arc::clone(&self.stop_checkpointer);
+                let handle = std::thread::Builder::new()
+                    .name("wal-checkpointer".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            std::thread::sleep(every);
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // A crashed WAL ends the loop; errors are
+                            // surfaced through the WAL's crashed flag.
+                            if kernel.checkpoint().is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn checkpointer");
+                *self.checkpointer.write() = Some(handle);
+            }
+        }
         Ok(())
     }
 
@@ -146,7 +216,7 @@ mod tests {
         let engine = ShdEngine::new(EngineConfig {
             isolation: IsolationLevel::Serializable,
             indexes,
-            commit_latency: std::time::Duration::ZERO,
+            durability: crate::api::DurabilityMode::Off,
             ..EngineConfig::default()
         });
         // Date dimension: all of 1993 and 1994.

@@ -1,0 +1,1478 @@
+//! Durable on-disk write-ahead log with group commit, checksummed
+//! segments, checkpoints, and crash recovery.
+//!
+//! The in-memory [`crate::wal::Wal`] models *shipping* (replication fan-out
+//! with bounded retention); this module models *durability* — the cost the
+//! paper's evaluated systems pay at `synchronous_commit = on` (PostgreSQL)
+//! or on the Raft-log fsync path (TiDB, §6.3).
+//!
+//! # Segment format
+//!
+//! The log is a sequence of fixed-size-ish segment files named
+//! `wal-<first_lsn>.seg`:
+//!
+//! ```text
+//! +----------------------+----------------------------------------------+
+//! | header (16 bytes)    | frames ...                                   |
+//! | magic "HATWAL01" (8) | [len: u32][crc32: u32][payload: len bytes]   |
+//! | first_lsn: u64 LE    | [len: u32][crc32: u32][payload]  ...         |
+//! +----------------------+----------------------------------------------+
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload. The payload is one commit
+//! record: `lsn, commit_ts, op_count, ops…` (all integers little-endian).
+//! Records never split across segments; a segment rotates once it exceeds
+//! [`WalConfig::segment_bytes`].
+//!
+//! # Torn tails vs. corruption
+//!
+//! On recovery, an *incomplete* frame at the end of the **last** segment is
+//! a torn write (the crash interrupted an unacknowledged flush): the tail
+//! is truncated at the last complete record and counted in
+//! `torn_tail_truncations`. A *complete* frame whose CRC does not match is
+//! silent corruption and fails recovery with
+//! [`HatError::ChecksumMismatch`]; structural damage anywhere else (bad
+//! magic, LSN discontinuity, torn frame in a sealed segment) fails with
+//! [`HatError::WalCorrupt`].
+//!
+//! # Group commit
+//!
+//! [`DurableWal::append`] only enqueues the encoded frame (it is called
+//! inside the commit critical section, so frames are enqueued in
+//! commit-timestamp order); a dedicated flusher thread drains the queue,
+//! writes the whole batch, and issues **one** fsync for every waiter that
+//! accumulated meanwhile. [`DurableWal::wait_durable`] blocks until the
+//! flusher's durable horizon covers the record — many concurrent commits
+//! share one fsync, which is exactly PostgreSQL's group commit.
+//!
+//! # Checkpoints
+//!
+//! [`DurableWal::checkpoint`] durably persists a snapshot of the table
+//! stores (built by the caller) tagged with a low-water LSN: it is written
+//! to a `.tmp` file, fsynced, and atomically renamed to
+//! `ckpt-<lsn>.ckpt`, after which sealed segments entirely below the
+//! low-water mark are deleted. Recovery loads the newest valid checkpoint
+//! and replays only the WAL tail past its LSN.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hat_common::{HatError, Money, Result, Row, TableId, Value};
+use hat_txn::Ts;
+use parking_lot::{Condvar, Mutex};
+
+use crate::wal::{Lsn, TableOp};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"HATWAL01";
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"HATCKPT1";
+/// Segment header: magic + first LSN.
+const SEGMENT_HEADER_BYTES: u64 = 16;
+/// Frame header: length + CRC32.
+const FRAME_HEADER_BYTES: usize = 8;
+
+/// Configuration of the on-disk WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Directory holding segment and checkpoint files (created on open).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the active one exceeds this size.
+    pub segment_bytes: u64,
+    /// Issue real `fsync` syscalls. `false` keeps the full group-commit
+    /// protocol (batching, durable horizon, counters) but skips the
+    /// syscall — useful for CI where the backing store is a ramdisk
+    /// anyway.
+    pub sync: bool,
+    /// If set, the owning engine runs a background checkpoint at this
+    /// interval (after load completes).
+    pub checkpoint_every: Option<Duration>,
+}
+
+impl WalConfig {
+    /// Defaults: 4 MiB segments, real fsync, no background checkpoints.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 4 << 20,
+            sync: true,
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// Crash-injection points used by the recovery harness. Arming one makes
+/// the WAL "die" at that point: the flusher stops, pending work is
+/// dropped, and every in-flight or future `wait_durable`/`append` fails
+/// with [`HatError::EngineStopped`] — the in-process analogue of
+/// `kill -9` between two specific instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Die before the next batch reaches the file: nothing of it survives.
+    BeforeFlush,
+    /// Die after the next batch is written but **not** fsynced: its bytes
+    /// may survive in any prefix (the harness injects the torn tail).
+    TornFlush,
+    /// Die right after the next fsync: the batch is durable, waiters are
+    /// acknowledged, everything later is lost.
+    AfterFlush,
+    /// Die midway through the next checkpoint, leaving a partial `.tmp`.
+    MidCheckpoint,
+}
+
+/// One recovered commit record.
+#[derive(Debug, Clone)]
+pub struct RecoveredRecord {
+    pub lsn: Lsn,
+    pub commit_ts: Ts,
+    pub ops: Vec<TableOp>,
+}
+
+/// Snapshot of one table store inside a checkpoint: `(rid, version_ts,
+/// row)` for every row visible at the checkpoint timestamp, in rid order.
+#[derive(Debug, Clone)]
+pub struct TableCheckpoint {
+    pub table: TableId,
+    pub rows: Vec<(u64, Ts, Row)>,
+}
+
+/// A durable snapshot of the table stores plus its low-water mark: every
+/// commit with `ts <= last_ts` is contained, and exactly the WAL records
+/// with `lsn <= lsn` are reflected.
+#[derive(Debug, Clone)]
+pub struct CheckpointData {
+    pub lsn: Lsn,
+    pub last_ts: Ts,
+    pub tables: Vec<TableCheckpoint>,
+}
+
+/// What `DurableWal::open` found on disk.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Newest valid checkpoint, if any.
+    pub checkpoint: Option<CheckpointData>,
+    /// WAL records past the checkpoint's low-water mark, in LSN order.
+    pub tail: Vec<RecoveredRecord>,
+    /// Incomplete trailing frames removed from the last segment.
+    pub torn_tail_truncations: u64,
+    /// LSN the next append will receive.
+    pub next_lsn: Lsn,
+}
+
+impl WalRecovery {
+    /// Number of records replayed from the WAL tail.
+    pub fn replayed_records(&self) -> u64 {
+        self.tail.len() as u64
+    }
+
+    /// Highest commit timestamp contained in the recovered state.
+    pub fn max_ts(&self) -> Ts {
+        let ckpt = self.checkpoint.as_ref().map(|c| c.last_ts).unwrap_or(0);
+        let tail = self.tail.last().map(|r| r.commit_ts).unwrap_or(0);
+        ckpt.max(tail)
+    }
+}
+
+/// Counters surfaced through `KernelStats` → `report.rs` → `hatcli`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableWalStats {
+    /// Flush batches made durable (one fsync each).
+    pub fsyncs: u64,
+    /// Highest LSN guaranteed on disk.
+    pub durable_lsn: Lsn,
+    /// Median records per fsync batch.
+    pub group_commit_p50: f64,
+    /// 99th-percentile records per fsync batch.
+    pub group_commit_p99: f64,
+    /// Records replayed from the WAL tail at open.
+    pub recovery_replayed_records: u64,
+    /// Incomplete trailing frames truncated at open.
+    pub torn_tail_truncations: u64,
+    /// Checkpoints durably written.
+    pub checkpoints: u64,
+    /// Sealed segments deleted below the checkpoint low-water mark.
+    pub segments_deleted: u64,
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, reflected, table-driven)
+// ---------------------------------------------------------------------------
+
+/// The standard CRC-32 lookup table for polynomial 0xEDB88320.
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `bytes` (the checksum zlib/gzip/Ethernet use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::U64(x) => {
+            buf.push(0);
+            put_u64(buf, *x);
+        }
+        Value::U32(x) => {
+            buf.push(1);
+            put_u32(buf, *x);
+        }
+        Value::Money(m) => {
+            buf.push(2);
+            put_u64(buf, m.cents() as u64);
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(4);
+            buf.push(*b as u8);
+        }
+    }
+}
+
+fn encode_row(buf: &mut Vec<u8>, row: &Row) {
+    put_u16(buf, row.len() as u16);
+    for v in row.iter() {
+        encode_value(buf, v);
+    }
+}
+
+/// Serializes one commit record's payload (without framing).
+fn encode_record_payload(lsn: Lsn, commit_ts: Ts, ops: &[TableOp]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 * ops.len().max(1));
+    put_u64(&mut buf, lsn);
+    put_u64(&mut buf, commit_ts);
+    put_u32(&mut buf, ops.len() as u32);
+    for op in ops {
+        let (tag, table, rid, row) = match op {
+            TableOp::Insert { table, rid, row } => (0u8, table, rid, row),
+            TableOp::Update { table, rid, row } => (1u8, table, rid, row),
+        };
+        buf.push(tag);
+        buf.push(table.index() as u8);
+        put_u64(&mut buf, *rid);
+        encode_row(&mut buf, row);
+    }
+    buf
+}
+
+/// Wraps a payload in `[len][crc32]` framing.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(payload));
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Bounded little-endian reader over a byte slice; any overrun or invalid
+/// tag decodes to [`HatError::WalCorrupt`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "record truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> HatError {
+    HatError::WalCorrupt { detail: detail.into() }
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> HatError {
+    HatError::WalCorrupt { detail: format!("{ctx}: {e}") }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::U64(r.u64()?),
+        1 => Value::U32(r.u32()?),
+        2 => Value::Money(Money::from_cents(r.u64()? as i64)),
+        3 => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| corrupt("string value is not utf-8"))?;
+            Value::Str(Arc::from(s))
+        }
+        4 => Value::Bool(r.u8()? != 0),
+        tag => return Err(corrupt(format!("unknown value tag {tag}"))),
+    })
+}
+
+fn decode_row(r: &mut Reader<'_>) -> Result<Row> {
+    let ncols = r.u16()? as usize;
+    let mut values = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        values.push(decode_value(r)?);
+    }
+    Ok(values.into())
+}
+
+fn decode_table(r: &mut Reader<'_>) -> Result<TableId> {
+    let idx = r.u8()? as usize;
+    TableId::ALL
+        .get(idx)
+        .copied()
+        .ok_or_else(|| corrupt(format!("unknown table index {idx}")))
+}
+
+fn decode_record_payload(payload: &[u8]) -> Result<RecoveredRecord> {
+    let mut r = Reader::new(payload);
+    let lsn = r.u64()?;
+    let commit_ts = r.u64()?;
+    let nops = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        let tag = r.u8()?;
+        let table = decode_table(&mut r)?;
+        let rid = r.u64()?;
+        let row = decode_row(&mut r)?;
+        ops.push(match tag {
+            0 => TableOp::Insert { table, rid, row },
+            1 => TableOp::Update { table, rid, row },
+            t => return Err(corrupt(format!("unknown op tag {t}"))),
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after record payload"));
+    }
+    Ok(RecoveredRecord { lsn, commit_ts, ops })
+}
+
+fn encode_checkpoint_body(data: &CheckpointData) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, data.lsn);
+    put_u64(&mut buf, data.last_ts);
+    buf.push(data.tables.len() as u8);
+    for t in &data.tables {
+        buf.push(t.table.index() as u8);
+        put_u64(&mut buf, t.rows.len() as u64);
+        for (rid, ts, row) in &t.rows {
+            put_u64(&mut buf, *rid);
+            put_u64(&mut buf, *ts);
+            encode_row(&mut buf, row);
+        }
+    }
+    buf
+}
+
+fn decode_checkpoint_body(body: &[u8]) -> Result<CheckpointData> {
+    let mut r = Reader::new(body);
+    let lsn = r.u64()?;
+    let last_ts = r.u64()?;
+    let ntables = r.u8()? as usize;
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let table = decode_table(&mut r)?;
+        let nrows = r.u64()? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let rid = r.u64()?;
+            let ts = r.u64()?;
+            rows.push((rid, ts, decode_row(&mut r)?));
+        }
+        tables.push(TableCheckpoint { table, rows });
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after checkpoint body"));
+    }
+    Ok(CheckpointData { lsn, last_ts, tables })
+}
+
+// ---------------------------------------------------------------------------
+// File naming
+// ---------------------------------------------------------------------------
+
+fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:020}.seg"))
+}
+
+fn checkpoint_path(dir: &Path, lsn: Lsn) -> PathBuf {
+    dir.join(format!("ckpt-{lsn:020}.ckpt"))
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+fn sync_dir(dir: &Path, sync: bool) -> Result<()> {
+    if sync {
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err("fsync wal dir", e))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The durable WAL
+// ---------------------------------------------------------------------------
+
+/// Shared state between appenders, durability waiters, the flusher
+/// thread, and the checkpointer.
+struct FlushState {
+    /// Encoded frames awaiting the flusher, in LSN order.
+    pending: Vec<(Lsn, Vec<u8>)>,
+    /// LSN the next append receives.
+    next_lsn: Lsn,
+    /// `(lsn, commit_ts)` of the most recent append — the consistent
+    /// low-water pair a checkpoint snapshots at.
+    last_appended: (Lsn, Ts),
+    /// Every record with `lsn <=` this is on disk (or durably recovered).
+    durable_lsn: Lsn,
+    /// Set by kill points, I/O errors, or [`DurableWal::crash`]: the
+    /// simulated process death. No further work is accepted.
+    crashed: bool,
+    /// Set by Drop for a clean shutdown (flush everything, then exit).
+    shutdown: bool,
+    kill: Option<KillPoint>,
+    fsyncs: u64,
+    /// Records per flush batch, for the group-commit percentiles.
+    batch_sizes: Vec<u64>,
+    checkpoints: u64,
+    segments_deleted: u64,
+}
+
+/// State shared with the flusher thread. The thread holds only this, not
+/// the [`DurableWal`] handle, so dropping the last handle can signal
+/// shutdown and join the thread.
+struct WalShared {
+    config: WalConfig,
+    state: Mutex<FlushState>,
+    /// Wakes the flusher when pending work or shutdown arrives.
+    work: Condvar,
+    /// Wakes `wait_durable` callers when the durable horizon advances or
+    /// the WAL crashes.
+    durable: Condvar,
+    /// First LSN of the segment the flusher currently appends to; the
+    /// checkpointer must never delete that file.
+    active_first_lsn: std::sync::atomic::AtomicU64,
+}
+
+/// See the module docs: segment files + group-commit flusher +
+/// checkpoints + recovery.
+pub struct DurableWal {
+    inner: Arc<WalShared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+    recovery_replayed: u64,
+    recovery_torn: u64,
+}
+
+impl std::fmt::Debug for DurableWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableWal")
+            .field("dir", &self.inner.config.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The flusher's file handle plus rotation bookkeeping.
+struct ActiveSegment {
+    file: File,
+    bytes: u64,
+}
+
+impl ActiveSegment {
+    /// Creates (or truncates) the segment for `first_lsn` and writes its
+    /// header. Callers fsync the directory afterwards if configured.
+    fn create(dir: &Path, first_lsn: Lsn) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(segment_path(dir, first_lsn))?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(&first_lsn.to_le_bytes())?;
+        Ok(ActiveSegment { file, bytes: SEGMENT_HEADER_BYTES })
+    }
+}
+
+impl DurableWal {
+    /// Opens (creating if needed) the WAL at `config.dir`, running
+    /// recovery: the newest valid checkpoint is loaded, the WAL tail past
+    /// it is decoded and CRC-verified, a torn trailing frame is truncated,
+    /// and the group-commit flusher thread is started at the recovered
+    /// LSN horizon.
+    pub fn open(config: WalConfig) -> Result<(Arc<DurableWal>, WalRecovery)> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err("create wal dir", e))?;
+        let recovery = recover(&config)?;
+
+        let inner = Arc::new(WalShared {
+            state: Mutex::new(FlushState {
+                pending: Vec::new(),
+                next_lsn: recovery.next_lsn,
+                last_appended: (recovery.next_lsn - 1, recovery.max_ts()),
+                durable_lsn: recovery.next_lsn - 1,
+                crashed: false,
+                shutdown: false,
+                kill: None,
+                fsyncs: 0,
+                batch_sizes: Vec::new(),
+                checkpoints: 0,
+                segments_deleted: 0,
+            }),
+            work: Condvar::new(),
+            durable: Condvar::new(),
+            active_first_lsn: std::sync::atomic::AtomicU64::new(recovery.next_lsn),
+            config,
+        });
+
+        // A fresh active segment at the recovered horizon: recovered
+        // segments stay sealed, so a second crash can only tear the new
+        // file.
+        let seg = ActiveSegment::create(&inner.config.dir, recovery.next_lsn)
+            .map_err(|e| io_err("create active segment", e))?;
+        sync_dir(&inner.config.dir, inner.config.sync)?;
+
+        let thread_shared = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("wal-flusher".into())
+            .spawn(move || flusher_loop(thread_shared, seg))
+            .map_err(|e| io_err("spawn wal flusher", e))?;
+        let wal = Arc::new(DurableWal {
+            inner,
+            flusher: Mutex::new(Some(handle)),
+            recovery_replayed: recovery.replayed_records(),
+            recovery_torn: recovery.torn_tail_truncations,
+        });
+        Ok((wal, recovery))
+    }
+
+    /// Enqueues one commit record and returns its LSN. Must be called
+    /// inside the commit critical section so that LSN order equals
+    /// commit-timestamp order. The record is **not** durable until
+    /// [`DurableWal::wait_durable`] returns for it.
+    pub fn append(&self, commit_ts: Ts, ops: &[TableOp]) -> Result<Lsn> {
+        let mut st = self.inner.state.lock();
+        if st.crashed {
+            return Err(HatError::EngineStopped);
+        }
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.last_appended = (lsn, commit_ts);
+        let frame = encode_frame(&encode_record_payload(lsn, commit_ts, ops));
+        st.pending.push((lsn, frame));
+        self.inner.work.notify_one();
+        Ok(lsn)
+    }
+
+    /// Blocks until `lsn` is on disk (one shared fsync per batch of
+    /// waiters). Fails with [`HatError::EngineStopped`] if the WAL
+    /// crashed before covering `lsn` — the commit's durability is then
+    /// unknown to the caller, exactly like a process crash between write
+    /// and acknowledgement.
+    pub fn wait_durable(&self, lsn: Lsn) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        while st.durable_lsn < lsn && !st.crashed {
+            self.inner.durable.wait(&mut st);
+        }
+        if st.durable_lsn >= lsn {
+            Ok(())
+        } else {
+            Err(HatError::EngineStopped)
+        }
+    }
+
+    /// `(lsn, commit_ts)` of the most recent append — the consistent
+    /// pair a checkpoint snapshot is taken at.
+    pub fn last_appended(&self) -> (Lsn, Ts) {
+        self.inner.state.lock().last_appended
+    }
+
+    /// Highest LSN guaranteed on disk.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.state.lock().durable_lsn
+    }
+
+    /// Durably writes `data` (tmp + fsync + atomic rename), then deletes
+    /// sealed segments entirely below its low-water LSN and superseded
+    /// checkpoint files.
+    pub fn checkpoint(&self, data: &CheckpointData) -> Result<()> {
+        {
+            let mut st = self.inner.state.lock();
+            if st.crashed {
+                return Err(HatError::EngineStopped);
+            }
+            if st.kill == Some(KillPoint::MidCheckpoint) {
+                st.kill = None;
+                st.crashed = true;
+                st.pending.clear();
+                drop(st);
+                // Simulate dying halfway through the tmp write: a partial
+                // file with a valid magic but truncated body.
+                let mut body = encode_checkpoint_body(data);
+                body.truncate(body.len() / 2);
+                let tmp = self.inner.config.dir.join(format!("ckpt-{:020}.tmp", data.lsn));
+                let _ = fs::write(&tmp, [CHECKPOINT_MAGIC.as_slice(), &body].concat());
+                self.inner.durable.notify_all();
+                self.inner.work.notify_all();
+                return Err(HatError::EngineStopped);
+            }
+        }
+
+        let body = encode_checkpoint_body(data);
+        let tmp = self.inner.config.dir.join(format!("ckpt-{:020}.tmp", data.lsn));
+        let mut file = File::create(&tmp).map_err(|e| io_err("create ckpt tmp", e))?;
+        file.write_all(CHECKPOINT_MAGIC).map_err(|e| io_err("write ckpt", e))?;
+        file.write_all(&body).map_err(|e| io_err("write ckpt", e))?;
+        file.write_all(&crc32(&body).to_le_bytes())
+            .map_err(|e| io_err("write ckpt", e))?;
+        if self.inner.config.sync {
+            file.sync_all().map_err(|e| io_err("fsync ckpt", e))?;
+        }
+        drop(file);
+        fs::rename(&tmp, checkpoint_path(&self.inner.config.dir, data.lsn))
+            .map_err(|e| io_err("rename ckpt", e))?;
+        sync_dir(&self.inner.config.dir, self.inner.config.sync)?;
+
+        let deleted = self.prune_below(data.lsn)?;
+        let mut st = self.inner.state.lock();
+        st.checkpoints += 1;
+        st.segments_deleted += deleted;
+        Ok(())
+    }
+
+    /// Deletes sealed segments whose every record is `<= low_water`, plus
+    /// checkpoint files older than the one at `low_water`. Returns the
+    /// number of segments removed.
+    fn prune_below(&self, low_water: Lsn) -> Result<u64> {
+        let dir = &self.inner.config.dir;
+        let mut segs: Vec<Lsn> = Vec::new();
+        let mut old_ckpts: Vec<Lsn> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| io_err("read wal dir", e))? {
+            let entry = entry.map_err(|e| io_err("read wal dir", e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(lsn) = parse_numbered(&name, "wal-", ".seg") {
+                segs.push(lsn);
+            } else if let Some(lsn) = parse_numbered(&name, "ckpt-", ".ckpt") {
+                if lsn < low_water {
+                    old_ckpts.push(lsn);
+                }
+            }
+        }
+        segs.sort_unstable();
+        let active = self.inner.active_first_lsn.load(std::sync::atomic::Ordering::Relaxed);
+        let mut deleted = 0;
+        // Segment i covers [segs[i], segs[i+1] - 1]; deletable when that
+        // whole range is at or below the low-water mark and the flusher is
+        // not appending to it.
+        for w in segs.windows(2) {
+            let (first, next_first) = (w[0], w[1]);
+            if next_first <= low_water + 1 && first < active {
+                fs::remove_file(segment_path(dir, first))
+                    .map_err(|e| io_err("delete sealed segment", e))?;
+                deleted += 1;
+            }
+        }
+        for lsn in old_ckpts {
+            let _ = fs::remove_file(checkpoint_path(dir, lsn));
+        }
+        Ok(deleted)
+    }
+
+    /// Arms a one-shot crash injection point (see [`KillPoint`]).
+    pub fn arm_kill(&self, kp: KillPoint) {
+        // The kill fires when the flusher next touches a batch (or the
+        // checkpointer runs); an idle flusher observes it with the next
+        // append's wakeup.
+        self.inner.state.lock().kill = Some(kp);
+    }
+
+    /// Immediate simulated process death: pending (unflushed) records are
+    /// dropped, the flusher stops without a final flush, and all waiters
+    /// fail. Disk state is whatever previous fsyncs made durable.
+    pub fn crash(&self) {
+        let mut st = self.inner.state.lock();
+        st.crashed = true;
+        st.pending.clear();
+        drop(st);
+        self.inner.work.notify_all();
+        self.inner.durable.notify_all();
+        self.join_flusher();
+    }
+
+    /// Whether a crash (injected or real I/O failure) has stopped the WAL.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.state.lock().crashed
+    }
+
+    /// The directory this WAL lives in.
+    pub fn dir(&self) -> &Path {
+        &self.inner.config.dir
+    }
+
+    /// The configuration this WAL was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.inner.config
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DurableWalStats {
+        let st = self.inner.state.lock();
+        let (p50, p99) = percentiles(&st.batch_sizes);
+        DurableWalStats {
+            fsyncs: st.fsyncs,
+            durable_lsn: st.durable_lsn,
+            group_commit_p50: p50,
+            group_commit_p99: p99,
+            recovery_replayed_records: self.recovery_replayed,
+            torn_tail_truncations: self.recovery_torn,
+            checkpoints: st.checkpoints,
+            segments_deleted: st.segments_deleted,
+        }
+    }
+
+    fn join_flusher(&self) {
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DurableWal {
+    fn drop(&mut self) {
+        self.inner.state.lock().shutdown = true;
+        self.inner.work.notify_all();
+        self.join_flusher();
+    }
+}
+
+/// Median and p99 of a sample set (0 when empty).
+fn percentiles(samples: &[u64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let at = |q: f64| {
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx] as f64
+    };
+    (at(0.50), at(0.99))
+}
+
+/// The group-commit flusher: drains whole batches of pending frames,
+/// writes them (rotating segments), issues one fsync, then advances the
+/// durable horizon and wakes every covered waiter.
+fn flusher_loop(wal: Arc<WalShared>, mut seg: ActiveSegment) {
+    let die = |wal: &WalShared| {
+        let mut st = wal.state.lock();
+        st.crashed = true;
+        st.pending.clear();
+        drop(st);
+        wal.durable.notify_all();
+    };
+
+    loop {
+        let batch = {
+            let mut st = wal.state.lock();
+            while st.pending.is_empty() && !st.shutdown && !st.crashed {
+                wal.work.wait(&mut st);
+            }
+            if st.crashed {
+                drop(st);
+                wal.durable.notify_all();
+                return;
+            }
+            if st.pending.is_empty() {
+                // Clean shutdown with nothing left to write.
+                if wal.config.sync {
+                    let _ = seg.file.sync_all();
+                }
+                return;
+            }
+            if st.kill == Some(KillPoint::BeforeFlush) {
+                st.kill = None;
+                st.crashed = true;
+                st.pending.clear();
+                drop(st);
+                wal.durable.notify_all();
+                return;
+            }
+            std::mem::take(&mut st.pending)
+        };
+
+        let last_lsn = batch.last().expect("non-empty batch").0;
+        let count = batch.len() as u64;
+        let mut write_failed = false;
+        for (lsn, frame) in &batch {
+            if seg.bytes >= wal.config.segment_bytes {
+                // Seal the full segment and rotate to a new one starting
+                // at this record's LSN.
+                let sealed = if wal.config.sync { seg.file.sync_all() } else { Ok(()) };
+                let rotated = ActiveSegment::create(&wal.config.dir, *lsn)
+                    .and_then(|s| {
+                        wal.active_first_lsn
+                            .store(*lsn, std::sync::atomic::Ordering::Relaxed);
+                        seg = s;
+                        if wal.config.sync {
+                            File::open(&wal.config.dir).and_then(|d| d.sync_all())
+                        } else {
+                            Ok(())
+                        }
+                    });
+                if sealed.is_err() || rotated.is_err() {
+                    write_failed = true;
+                    break;
+                }
+            }
+            if seg.file.write_all(frame).is_err() {
+                write_failed = true;
+                break;
+            }
+            seg.bytes += frame.len() as u64;
+        }
+        if write_failed {
+            die(&wal);
+            return;
+        }
+
+        let torn_kill = {
+            let mut st = wal.state.lock();
+            if st.kill == Some(KillPoint::TornFlush) {
+                st.kill = None;
+                true
+            } else {
+                false
+            }
+        };
+        if torn_kill {
+            // Written but never fsynced: the harness may now shear the
+            // file at an arbitrary byte to model a torn page.
+            die(&wal);
+            return;
+        }
+
+        if wal.config.sync && seg.file.sync_all().is_err() {
+            die(&wal);
+            return;
+        }
+
+        let mut st = wal.state.lock();
+        st.durable_lsn = last_lsn;
+        st.fsyncs += 1;
+        st.batch_sizes.push(count);
+        if st.batch_sizes.len() > 1 << 16 {
+            let half = st.batch_sizes.len() / 2;
+            st.batch_sizes.drain(..half);
+        }
+        let after_kill = st.kill == Some(KillPoint::AfterFlush);
+        if after_kill {
+            st.kill = None;
+            st.crashed = true;
+            st.pending.clear();
+        }
+        drop(st);
+        wal.durable.notify_all();
+        if after_kill {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Scans `config.dir`: loads the newest valid checkpoint, replays the WAL
+/// tail, truncates a torn final frame, and removes leftover `.tmp` files.
+fn recover(config: &WalConfig) -> Result<WalRecovery> {
+    let mut seg_lsns: Vec<Lsn> = Vec::new();
+    let mut ckpt_lsns: Vec<Lsn> = Vec::new();
+    for entry in fs::read_dir(&config.dir).map_err(|e| io_err("read wal dir", e))? {
+        let entry = entry.map_err(|e| io_err("read wal dir", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(lsn) = parse_numbered(&name, "wal-", ".seg") {
+            seg_lsns.push(lsn);
+        } else if let Some(lsn) = parse_numbered(&name, "ckpt-", ".ckpt") {
+            ckpt_lsns.push(lsn);
+        } else if name.ends_with(".tmp") {
+            // A checkpoint the crash interrupted before its atomic
+            // rename; never valid, always discarded.
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    seg_lsns.sort_unstable();
+    ckpt_lsns.sort_unstable();
+
+    let checkpoint = match ckpt_lsns.last() {
+        Some(&lsn) => Some(load_checkpoint(&checkpoint_path(&config.dir, lsn), lsn)?),
+        None => None,
+    };
+    let start_lsn = checkpoint.as_ref().map(|c| c.lsn + 1).unwrap_or(1);
+
+    if let Some(&first) = seg_lsns.first() {
+        if first > start_lsn {
+            return Err(corrupt(format!(
+                "gap between checkpoint (low water {}) and first segment (lsn {first})",
+                start_lsn - 1
+            )));
+        }
+    }
+
+    let mut tail: Vec<RecoveredRecord> = Vec::new();
+    let mut torn = 0u64;
+    let mut next_lsn = start_lsn;
+    let mut expected = seg_lsns.first().copied().unwrap_or(start_lsn);
+    for (i, &first_lsn) in seg_lsns.iter().enumerate() {
+        if first_lsn != expected {
+            return Err(corrupt(format!(
+                "segment chain broken: expected lsn {expected}, found segment at {first_lsn}"
+            )));
+        }
+        let is_last = i == seg_lsns.len() - 1;
+        let scanned = scan_segment(config, first_lsn, is_last)?;
+        torn += scanned.torn;
+        expected = first_lsn + scanned.records.len() as u64;
+        for rec in scanned.records {
+            next_lsn = rec.lsn + 1;
+            if rec.lsn >= start_lsn {
+                tail.push(rec);
+            }
+        }
+    }
+    next_lsn = next_lsn.max(start_lsn);
+
+    Ok(WalRecovery { checkpoint, tail, torn_tail_truncations: torn, next_lsn })
+}
+
+struct ScannedSegment {
+    records: Vec<RecoveredRecord>,
+    torn: u64,
+}
+
+/// Decodes every frame of one segment. A short trailing frame is torn:
+/// in the last segment it is truncated away and counted; in a sealed
+/// segment it is corruption. A complete frame with a bad CRC is
+/// [`HatError::ChecksumMismatch`] everywhere.
+fn scan_segment(config: &WalConfig, first_lsn: Lsn, is_last: bool) -> Result<ScannedSegment> {
+    let path = segment_path(&config.dir, first_lsn);
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read segment", e))?;
+    if bytes.len() < SEGMENT_HEADER_BYTES as usize || &bytes[..8] != SEGMENT_MAGIC {
+        return Err(corrupt(format!("segment {} has a bad header", path.display())));
+    }
+    let header_lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if header_lsn != first_lsn {
+        return Err(corrupt(format!(
+            "segment {} header lsn {header_lsn} does not match its name",
+            path.display()
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut torn = 0u64;
+    let mut offset = SEGMENT_HEADER_BYTES as usize;
+    let mut expected = first_lsn;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        let complete = remaining >= FRAME_HEADER_BYTES && {
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            remaining >= FRAME_HEADER_BYTES + len
+        };
+        if !complete {
+            if !is_last {
+                return Err(corrupt(format!(
+                    "torn frame inside sealed segment {}",
+                    path.display()
+                )));
+            }
+            // Torn tail: shear the incomplete frame off so the segment
+            // ends at the last whole record.
+            OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(offset as u64))
+                .map_err(|e| io_err("truncate torn tail", e))?;
+            torn += 1;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        let payload = &bytes[offset + FRAME_HEADER_BYTES..offset + FRAME_HEADER_BYTES + len];
+        if crc32(payload) != crc {
+            return Err(HatError::ChecksumMismatch { lsn: expected });
+        }
+        let rec = decode_record_payload(payload)?;
+        if rec.lsn != expected {
+            return Err(corrupt(format!(
+                "lsn discontinuity in {}: expected {expected}, found {}",
+                path.display(),
+                rec.lsn
+            )));
+        }
+        expected += 1;
+        offset += FRAME_HEADER_BYTES + len;
+        records.push(rec);
+    }
+    Ok(ScannedSegment { records, torn })
+}
+
+fn load_checkpoint(path: &Path, lsn: Lsn) -> Result<CheckpointData> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read checkpoint", e))?;
+    if bytes.len() < 12 || &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(corrupt(format!("checkpoint {} has a bad header", path.display())));
+    }
+    let body = &bytes[8..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(HatError::ChecksumMismatch { lsn });
+    }
+    let data = decode_checkpoint_body(body)?;
+    if data.lsn != lsn {
+        return Err(corrupt(format!(
+            "checkpoint {} body lsn {} does not match its name",
+            path.display(),
+            data.lsn
+        )));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_common::value::row_from;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("hat-dwal-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg(dir: &Path) -> WalConfig {
+        WalConfig { sync: false, ..WalConfig::new(dir) }
+    }
+
+    fn op(v: u32) -> TableOp {
+        TableOp::Insert {
+            table: TableId::History,
+            rid: v as u64,
+            row: row_from([
+                Value::U32(v),
+                Value::U64(v as u64 * 10),
+                Value::Money(Money::from_cents(-25)),
+                Value::Str(Arc::from("note")),
+                Value::Bool(v % 2 == 0),
+            ]),
+        }
+    }
+
+    fn append_n(wal: &DurableWal, n: u32) {
+        for i in 0..n {
+            let lsn = wal.append(i as u64 + 2, &[op(i)]).unwrap();
+            wal.wait_durable(lsn).unwrap();
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_all_value_types() {
+        let ops = vec![op(1), TableOp::Update { table: TableId::Supplier, rid: 3, row: row_from([Value::U32(9)]) }];
+        let payload = encode_record_payload(42, 17, &ops);
+        let rec = decode_record_payload(&payload).unwrap();
+        assert_eq!(rec.lsn, 42);
+        assert_eq!(rec.commit_ts, 17);
+        assert_eq!(rec.ops.len(), 2);
+        match &rec.ops[0] {
+            TableOp::Insert { table, rid, row } => {
+                assert_eq!(*table, TableId::History);
+                assert_eq!(*rid, 1);
+                assert_eq!(row[0], Value::U32(1));
+                assert_eq!(row[1], Value::U64(10));
+                assert_eq!(row[2], Value::Money(Money::from_cents(-25)));
+                assert_eq!(row[3].as_str().unwrap(), "note");
+                assert_eq!(row[4], Value::Bool(false));
+            }
+            other => panic!("wrong op {other:?}"),
+        }
+        match &rec.ops[1] {
+            TableOp::Update { table, rid, .. } => {
+                assert_eq!(*table, TableId::Supplier);
+                assert_eq!(*rid, 3);
+            }
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_flush_reopen_recovers_everything() {
+        let dir = test_dir("reopen");
+        {
+            let (wal, rec) = DurableWal::open(cfg(&dir)).unwrap();
+            assert!(rec.checkpoint.is_none());
+            assert_eq!(rec.next_lsn, 1);
+            append_n(&wal, 20);
+            assert_eq!(wal.durable_lsn(), 20);
+        }
+        let (wal, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.tail.len(), 20);
+        assert_eq!(rec.tail[0].lsn, 1);
+        assert_eq!(rec.tail[19].lsn, 20);
+        assert_eq!(rec.next_lsn, 21);
+        assert_eq!(rec.torn_tail_truncations, 0);
+        assert_eq!(wal.stats().recovery_replayed_records, 20);
+    }
+
+    #[test]
+    fn segments_rotate_and_recover_across_files() {
+        let dir = test_dir("rotate");
+        let config = WalConfig { segment_bytes: 256, ..cfg(&dir) };
+        {
+            let (wal, _) = DurableWal::open(config.clone()).unwrap();
+            append_n(&wal, 40);
+        }
+        let segs = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".seg")
+            })
+            .count();
+        assert!(segs > 2, "expected rotation, got {segs} segment(s)");
+        let (_, rec) = DurableWal::open(config).unwrap();
+        assert_eq!(rec.tail.len(), 40);
+        assert_eq!(rec.tail.last().unwrap().lsn, 40);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = test_dir("torn");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 5);
+        }
+        // Shear the newest non-empty segment mid-frame (the last segment
+        // is the empty one the second open created; records live in the
+        // previous one).
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.to_string_lossy().ends_with(".seg"))
+            .collect();
+        segs.sort();
+        let target = segs
+            .iter()
+            .rev()
+            .find(|p| fs::metadata(p).unwrap().len() > SEGMENT_HEADER_BYTES)
+            .unwrap();
+        let len = fs::metadata(target).unwrap().len();
+        OpenOptions::new().write(true).open(target).unwrap().set_len(len - 3).unwrap();
+
+        let (wal, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.torn_tail_truncations, 1);
+        assert_eq!(rec.tail.len(), 4, "last record sheared off");
+        assert_eq!(rec.next_lsn, 5);
+        assert_eq!(wal.stats().torn_tail_truncations, 1);
+        drop(wal);
+        // After truncation the directory recovers cleanly again.
+        let (_, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.torn_tail_truncations, 0);
+        assert_eq!(rec.tail.len(), 4);
+    }
+
+    #[test]
+    fn bit_flip_fails_with_checksum_mismatch() {
+        let dir = test_dir("flip");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 3);
+        }
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip one payload bit of the second record (well past the first
+        // frame's header).
+        let idx = bytes.len() - 5;
+        bytes[idx] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let err = DurableWal::open(cfg(&dir)).unwrap_err();
+        assert!(
+            matches!(err, HatError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn garbage_header_is_wal_corrupt() {
+        let dir = test_dir("garbage");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 1);
+        }
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[0] = b'X';
+        fs::write(&seg, &bytes).unwrap();
+        let err = DurableWal::open(cfg(&dir)).unwrap_err();
+        assert!(matches!(err, HatError::WalCorrupt { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn checkpoint_truncates_sealed_segments_and_bounds_replay() {
+        let dir = test_dir("ckpt");
+        let config = WalConfig { segment_bytes: 256, ..cfg(&dir) };
+        {
+            let (wal, _) = DurableWal::open(config.clone()).unwrap();
+            append_n(&wal, 40);
+            let (lsn, ts) = wal.last_appended();
+            wal.checkpoint(&CheckpointData {
+                lsn,
+                last_ts: ts,
+                tables: vec![TableCheckpoint {
+                    table: TableId::History,
+                    rows: vec![(0, 2, row_from([Value::U32(7)]))],
+                }],
+            })
+            .unwrap();
+            let stats = wal.stats();
+            assert_eq!(stats.checkpoints, 1);
+            assert!(stats.segments_deleted > 0, "sealed segments below low water");
+            // The log keeps accepting appends after a checkpoint.
+            let lsn = wal.append(100, &[op(41)]).unwrap();
+            wal.wait_durable(lsn).unwrap();
+        }
+        let (_, rec) = DurableWal::open(config).unwrap();
+        let ckpt = rec.checkpoint.expect("checkpoint recovered");
+        assert_eq!(ckpt.lsn, 40);
+        assert_eq!(ckpt.last_ts, 41);
+        assert_eq!(ckpt.tables[0].rows[0].2[0], Value::U32(7));
+        assert_eq!(rec.tail.len(), 1, "only the post-checkpoint record replays");
+        assert_eq!(rec.tail[0].lsn, 41);
+        assert_eq!(rec.next_lsn, 42);
+    }
+
+    #[test]
+    fn kill_before_flush_loses_only_unacknowledged_records() {
+        let dir = test_dir("kill-before");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 3);
+            wal.arm_kill(KillPoint::BeforeFlush);
+            let lsn = wal.append(50, &[op(99)]).unwrap();
+            assert_eq!(wal.wait_durable(lsn), Err(HatError::EngineStopped));
+            assert!(wal.is_crashed());
+            assert!(wal.append(51, &[op(100)]).is_err(), "no appends after death");
+        }
+        let (_, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.tail.len(), 3, "acknowledged records survive, the doomed one doesn't");
+    }
+
+    #[test]
+    fn kill_after_flush_preserves_acknowledged_batch() {
+        let dir = test_dir("kill-after");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 2);
+            wal.arm_kill(KillPoint::AfterFlush);
+            let lsn = wal.append(50, &[op(9)]).unwrap();
+            assert_eq!(wal.wait_durable(lsn), Ok(()), "fsync completed before death");
+        }
+        let (_, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.tail.len(), 3);
+    }
+
+    #[test]
+    fn mid_checkpoint_kill_leaves_no_visible_checkpoint() {
+        let dir = test_dir("kill-ckpt");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 4);
+            wal.arm_kill(KillPoint::MidCheckpoint);
+            let (lsn, ts) = wal.last_appended();
+            let err = wal
+                .checkpoint(&CheckpointData { lsn, last_ts: ts, tables: vec![] })
+                .unwrap_err();
+            assert_eq!(err, HatError::EngineStopped);
+        }
+        let (_, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert!(rec.checkpoint.is_none(), "partial tmp must be ignored");
+        assert_eq!(rec.tail.len(), 4, "wal tail still replays fully");
+        let tmps = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 0, "recovery removes the partial tmp");
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_waiters() {
+        let dir = test_dir("group");
+        let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for j in 0..50u32 {
+                        let lsn = wal.append(2 + (i * 50 + j) as u64, &[op(j)]).unwrap();
+                        wal.wait_durable(lsn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.durable_lsn, 400);
+        assert!(
+            stats.fsyncs < 400,
+            "some of the 400 commits must share an fsync (got {})",
+            stats.fsyncs
+        );
+        assert!(stats.group_commit_p99 >= stats.group_commit_p50);
+        assert!(stats.group_commit_p50 >= 1.0);
+    }
+
+    #[test]
+    fn any_byte_prefix_recovers_a_record_prefix() {
+        // Satellite property: shear a valid segment at EVERY byte offset;
+        // recovery must yield an exact prefix of the committed history and
+        // never fail.
+        let dir = test_dir("prefix");
+        {
+            let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+            append_n(&wal, 6);
+        }
+        let seg = segment_path(&dir, 1);
+        let full = fs::read(&seg).unwrap();
+        let scratch = test_dir("prefix-scratch");
+        for cut in SEGMENT_HEADER_BYTES as usize..=full.len() {
+            let _ = fs::remove_dir_all(&scratch);
+            fs::create_dir_all(&scratch).unwrap();
+            fs::write(segment_path(&scratch, 1), &full[..cut]).unwrap();
+            let (_, rec) = DurableWal::open(cfg(&scratch)).unwrap();
+            // An exact prefix: lsns 1..=n with payloads intact.
+            for (i, r) in rec.tail.iter().enumerate() {
+                assert_eq!(r.lsn, i as u64 + 1, "cut at {cut}");
+                assert_eq!(r.commit_ts, i as u64 + 2, "cut at {cut}");
+            }
+            assert_eq!(
+                rec.torn_tail_truncations,
+                u64::from(rec.tail.len() < 6 && cut > SEGMENT_HEADER_BYTES as usize && {
+                    // A cut exactly on a frame boundary is a clean end,
+                    // not a torn record.
+                    let mut off = SEGMENT_HEADER_BYTES as usize;
+                    let mut on_boundary = cut == off;
+                    while off < cut {
+                        let len = u32::from_le_bytes(full[off..off + 4].try_into().unwrap())
+                            as usize;
+                        off += FRAME_HEADER_BYTES + len;
+                        if off == cut {
+                            on_boundary = true;
+                        }
+                    }
+                    !on_boundary
+                }),
+                "cut at {cut}"
+            );
+        }
+        let _ = fs::remove_dir_all(&scratch);
+    }
+
+    #[test]
+    fn crash_discards_pending_without_flush() {
+        let dir = test_dir("crash");
+        let (wal, _) = DurableWal::open(cfg(&dir)).unwrap();
+        append_n(&wal, 2);
+        wal.crash();
+        assert!(wal.is_crashed());
+        assert_eq!(wal.append(9, &[op(1)]), Err(HatError::EngineStopped));
+        drop(wal);
+        let (_, rec) = DurableWal::open(cfg(&dir)).unwrap();
+        assert_eq!(rec.tail.len(), 2);
+    }
+}

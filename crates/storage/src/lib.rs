@@ -10,13 +10,20 @@
 //! * [`wal`] — commit log records and an in-memory write-ahead log with
 //!   subscriber channels, used for streaming replication and the columnar
 //!   learner.
+//! * [`dwal`] — the durable on-disk write-ahead log: checksummed segment
+//!   files, a group-commit flusher, checkpoints, and crash recovery.
 
 pub mod bptree;
 pub mod colstore;
+pub mod dwal;
 pub mod rowstore;
 pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use colstore::{ColumnSnapshot, ColumnTable, DeltaStore, DimColumnCopy, DimSnapshot, Segment, SegmentBuilder};
+pub use dwal::{
+    CheckpointData, DurableWal, DurableWalStats, KillPoint, TableCheckpoint, WalConfig,
+    WalRecovery,
+};
 pub use rowstore::{RowDb, RowId, RowStore};
 pub use wal::{LogRecord, TableOp, Wal};

@@ -303,6 +303,37 @@ mod tests {
     }
 
     #[test]
+    fn subscribe_boundary_at_exact_ring_eviction_edge() {
+        // Pin the off-by-one at the eviction edge: with retention 4, each
+        // append past the 4th evicts exactly one record, so after N
+        // appends the oldest retained LSN is N-3. At every step,
+        // `oldest` must subscribe cleanly and `oldest - 1` must fail
+        // with a WalTruncated naming both sides of the edge.
+        let wal = Wal::with_retention(4);
+        for i in 0..8u32 {
+            wal.append(i as u64 + 2, vec![op(i)]);
+            let appended = i as u64 + 1;
+            let oldest = appended.saturating_sub(3).max(1);
+            assert_eq!(wal.oldest_retained(), Some(oldest));
+            // The edge itself: full retained suffix replays.
+            let rx = wal.subscribe_from(oldest).unwrap();
+            let replayed: Vec<Lsn> =
+                (oldest..=appended).map(|_| rx.recv().unwrap().lsn).collect();
+            assert_eq!(replayed, (oldest..=appended).collect::<Vec<_>>());
+            // One before the edge: evicted, explicit error (only once
+            // eviction has actually happened).
+            if oldest > 1 {
+                let err = wal.subscribe_from(oldest - 1).unwrap_err();
+                assert_eq!(
+                    err,
+                    HatError::WalTruncated { requested: oldest - 1, oldest },
+                    "after {appended} appends"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn close_preserves_retention_for_rejoin() {
         let wal = Wal::new();
         let rx = wal.subscribe();

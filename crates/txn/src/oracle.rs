@@ -60,6 +60,17 @@ impl TsOracle {
         let ts = self.last_committed.load(Ordering::Relaxed) + 1;
         CommitGuard { oracle: self, ts, _guard: guard }
     }
+
+    /// Restores the visibility horizon after crash recovery: every
+    /// replayed commit with `ts <= horizon` is installed, so new
+    /// transactions must snapshot at (and allocate past) it. Only moves
+    /// forward; must run before any traffic.
+    pub fn advance_to(&self, horizon: Ts) {
+        let _guard = self.commit_lock.lock();
+        if self.last_committed.load(Ordering::Relaxed) < horizon {
+            self.last_committed.store(horizon, Ordering::Release);
+        }
+    }
 }
 
 impl Default for TsOracle {
@@ -167,6 +178,18 @@ mod tests {
         let expect: Vec<Ts> = (LOAD_TS + 1..=LOAD_TS + 1600).collect();
         assert_eq!(all, expect, "timestamps dense and unique");
         assert_eq!(o.read_ts(), LOAD_TS + 1600);
+    }
+
+    #[test]
+    fn advance_to_moves_horizon_forward_only() {
+        let o = TsOracle::new();
+        o.advance_to(17);
+        assert_eq!(o.read_ts(), 17);
+        o.advance_to(5);
+        assert_eq!(o.read_ts(), 17, "never moves backwards");
+        let g = o.begin_commit();
+        assert_eq!(g.ts(), 18, "allocation continues past the recovered horizon");
+        g.finish();
     }
 
     #[test]

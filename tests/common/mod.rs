@@ -45,7 +45,7 @@ pub fn all_engines() -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
 
 /// Engine config with no durability sleep (debug tests).
 pub fn fast_engine_config() -> EngineConfig {
-    EngineConfig { commit_latency: Duration::ZERO, ..EngineConfig::default() }
+    EngineConfig::default().without_durability()
 }
 
 /// Loads `data` into `engine` and wraps it in a fast harness.

@@ -46,8 +46,7 @@ fn no_index_profile_falls_back_to_scans_with_same_answers() {
     let make = |profile| {
         let engine = ShdEngine::new(EngineConfig {
             indexes: profile,
-            commit_latency: Duration::ZERO,
-            ..EngineConfig::default()
+            ..EngineConfig::default().without_durability()
         });
         data.load_into(&engine).unwrap();
         engine

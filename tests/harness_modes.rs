@@ -68,8 +68,7 @@ fn wait_die_engine_completes_contended_workload() {
     for policy in [LockPolicy::NoWait, LockPolicy::WaitDie] {
         let engine = Arc::new(ShdEngine::new(EngineConfig {
             lock_policy: policy,
-            commit_latency: Duration::ZERO,
-            ..EngineConfig::default()
+            ..EngineConfig::default().without_durability()
         }));
         data.load_into(engine.as_ref()).unwrap();
         let state = WorkloadState::new(&data.profile);
