@@ -161,10 +161,12 @@ fn lock_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("lock_policy");
     group.sample_size(10);
     for policy in [LockPolicy::NoWait, LockPolicy::WaitDie] {
-        let engine = ShdEngine::new(EngineConfig {
-            lock_policy: policy,
-            ..EngineConfig::default().without_durability()
-        });
+        let engine = ShdEngine::new(
+            EngineConfig::builder()
+                .lock_policy(policy)
+                .durability(DurabilityMode::Off)
+                .build(),
+        );
         data.load_into(&engine).unwrap();
         let engine = Arc::new(engine);
         group.bench_with_input(

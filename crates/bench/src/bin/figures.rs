@@ -27,11 +27,7 @@ use hattrick::gen::MAX_TXN_CLIENTS;
 use hattrick::report::{self, Series};
 
 fn shared_engine(iso: IsolationLevel, idx: IndexProfile) -> Arc<dyn HtapEngine> {
-    Arc::new(ShdEngine::new(EngineConfig {
-        isolation: iso,
-        indexes: idx,
-        ..EngineConfig::default()
-    }))
+    Arc::new(ShdEngine::new(EngineConfig::builder().isolation(iso).indexes(idx).build()))
 }
 
 fn iso_engine(mode: ReplicationMode) -> Arc<dyn HtapEngine> {

@@ -17,7 +17,7 @@ use std::time::Duration;
 use hat_engine::{
     CowConfig, CowEngine, DualConfig, DualEngine, DurabilityMode, EngineConfig,
     HtapEngine, IndexProfile, IsoConfig, IsoEngine, LearnerConfig, LearnerEngine,
-    LearnerProfile, ReplicationMode, ShdEngine, WalConfig,
+    LearnerProfile, QueryOpts, ReplicationMode, ShdEngine, WalConfig,
 };
 use hat_txn::IsolationLevel;
 use hattrick::freshness::FreshnessAgg;
@@ -42,12 +42,13 @@ const ENGINES: [&str; 11] = [
 
 fn build_engine(name: &str, durability: &DurabilityMode) -> Option<Arc<dyn HtapEngine>> {
     let shd = |iso, idx| -> Arc<dyn HtapEngine> {
-        Arc::new(ShdEngine::new(EngineConfig {
-            isolation: iso,
-            indexes: idx,
-            durability: durability.clone(),
-            ..EngineConfig::default()
-        }))
+        Arc::new(ShdEngine::new(
+            EngineConfig::builder()
+                .isolation(iso)
+                .indexes(idx)
+                .durability(durability.clone())
+                .build(),
+        ))
     };
     let iso = |mode| -> Arc<dyn HtapEngine> {
         Arc::new(IsoEngine::new(IsoConfig { mode, ..IsoConfig::coalesced_default() }))
@@ -143,6 +144,7 @@ fn make_harness(
     sf: f64,
     seed: u64,
     durability: &DurabilityMode,
+    a_threads: u32,
 ) -> Option<Harness> {
     let engine = build_engine(engine_name, durability)?;
     eprintln!("loading {} at SF {sf} ...", engine.name());
@@ -156,6 +158,7 @@ fn make_harness(
             measure: Duration::from_millis(600),
             seed,
             reset_between_points: true,
+            query_opts: QueryOpts::with_parallelism(a_threads as usize),
             ..Default::default()
         },
     ))
@@ -168,6 +171,9 @@ fn print_point(m: &PointMeasurement) {
     );
     println!("{}", report::resilience_line(m).trim_start());
     if let Some(line) = report::durability_line(m) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(line) = report::analytics_line(m) {
         println!("{}", line.trim_start());
     }
     let agg = FreshnessAgg::from_samples(&m.freshness);
@@ -206,9 +212,10 @@ fn cmd_point(args: &Args) -> i32 {
     let t = args.u32(&["t"], 4);
     let a = args.u32(&["a"], 2);
     let repeats = args.u32(&["repeats", "r"], 1);
+    let a_threads = args.u32(&["a-threads"], 1);
     let Some(durability) = parse_durability(args) else { return 2 };
     let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability)
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, a_threads)
     else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
@@ -222,9 +229,10 @@ fn cmd_point(args: &Args) -> i32 {
 fn cmd_frontier(args: &Args) -> i32 {
     let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
     let sf = args.f64(&["sf"], 0.01);
+    let a_threads = args.u32(&["a-threads"], 1);
     let Some(durability) = parse_durability(args) else { return 2 };
     let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability)
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, a_threads)
     else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
@@ -266,8 +274,9 @@ fn cmd_compare(args: &Args) -> i32 {
     let names = ["shared", "isolated-on", "dual", "learner"];
     let mut results: Vec<(String, Frontier, FreshnessAgg)> = Vec::new();
     for name in names {
-        let harness =
-            make_harness(name, sf, 7, &DurabilityMode::SleepDefault).expect("builtin engine");
+        let a_threads = args.u32(&["a-threads"], 1);
+        let harness = make_harness(name, sf, 7, &DurabilityMode::SleepDefault, a_threads)
+            .expect("builtin engine");
         let grid = build_grid(&harness, &cfg);
         let frontier = Frontier::from_grid(&grid);
         let fresh: Vec<f64> = grid
@@ -316,7 +325,9 @@ fn main() {
                  point:    --engine <name> --sf <f> -t <n> -a <n> [--repeats n]\n\
                  frontier: --engine <name> --sf <f> [--quick] [--out chart.svg]\n\
                  compare:  --sf <f> [--quick]\n\
-                 point/frontier also take --durability off|sleep|fsync\n\
+                 point/frontier/compare also take --a-threads <n> (morsel\n\
+                 parallelism per analytical query, default 1) and\n\
+                 point/frontier --durability off|sleep|fsync\n\
                  [--wal-dir <dir>] (fsync runs a real on-disk WAL)"
             );
             if cmd == "help" {

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use hat_common::clock::BenchClock;
 use hat_common::rng::HatRng;
-use hat_engine::HtapEngine;
+use hat_engine::{HtapEngine, QueryOpts};
 use hat_query::ssb;
 use parking_lot::Mutex;
 
@@ -90,6 +90,10 @@ pub struct BenchmarkConfig {
     pub reset_between_points: bool,
     /// Client reaction to retryable failures.
     pub retry: RetryPolicy,
+    /// Execution options every analytical client passes to
+    /// [`HtapEngine::run_query_opts`] — notably the intra-query morsel
+    /// parallelism (`hatcli --a-threads`).
+    pub query_opts: QueryOpts,
 }
 
 impl Default for BenchmarkConfig {
@@ -100,6 +104,7 @@ impl Default for BenchmarkConfig {
             seed: 0x4A77,
             reset_between_points: true,
             retry: RetryPolicy::default(),
+            query_opts: QueryOpts::default(),
         }
     }
 }
@@ -188,6 +193,16 @@ pub struct PointMeasurement {
     pub group_commit_p50: f64,
     /// 99th-percentile group-commit batch size.
     pub group_commit_p99: f64,
+    /// Morsels the analytical executor scanned since engine start.
+    pub morsels_scanned: u64,
+    /// Morsels skipped by zone-map pruning since engine start.
+    pub morsels_pruned: u64,
+    /// Wall-clock nanoseconds spent in parallel probe phases.
+    pub probe_nanos: u64,
+    /// Largest worker pool any single query used.
+    pub probe_workers: u32,
+    /// Aggregate folds clamped at the i64 range instead of wrapping.
+    pub agg_saturations: u64,
     /// WAL records replayed at engine start (crash recovery).
     pub recovery_replayed_records: u64,
     /// Torn trailing records truncated at engine start.
@@ -226,6 +241,13 @@ impl PointMeasurement {
         let query_retries = runs.iter().map(|m| m.query_retries).sum();
         let backlog_hwm = runs.iter().map(|m| m.backlog_hwm).max().unwrap_or(0);
         let fsyncs = runs.iter().map(|m| m.fsyncs).max().unwrap_or(0);
+        // Scan counters are cumulative since engine start, like `fsyncs`:
+        // the last (largest) snapshot covers all runs.
+        let morsels_scanned = runs.iter().map(|m| m.morsels_scanned).max().unwrap_or(0);
+        let morsels_pruned = runs.iter().map(|m| m.morsels_pruned).max().unwrap_or(0);
+        let probe_nanos = runs.iter().map(|m| m.probe_nanos).max().unwrap_or(0);
+        let probe_workers = runs.iter().map(|m| m.probe_workers).max().unwrap_or(0);
+        let agg_saturations = runs.iter().map(|m| m.agg_saturations).max().unwrap_or(0);
         let recovery_replayed_records =
             runs.iter().map(|m| m.recovery_replayed_records).max().unwrap_or(0);
         let torn_tail_truncations =
@@ -259,6 +281,11 @@ impl PointMeasurement {
             fsyncs,
             group_commit_p50: best.group_commit_p50,
             group_commit_p99: best.group_commit_p99,
+            morsels_scanned,
+            morsels_pruned,
+            probe_nanos,
+            probe_workers,
+            agg_saturations,
             recovery_replayed_records,
             torn_tail_truncations,
             freshness,
@@ -286,6 +313,11 @@ impl PointMeasurement {
             fsyncs: 0,
             group_commit_p50: 0.0,
             group_commit_p99: 0.0,
+            morsels_scanned: 0,
+            morsels_pruned: 0,
+            probe_nanos: 0,
+            probe_workers: 0,
+            agg_saturations: 0,
             recovery_replayed_records: 0,
             torn_tail_truncations: 0,
             freshness: Vec::new(),
@@ -508,6 +540,7 @@ impl Harness {
                 let queries = &queries;
                 let query_retries = &query_retries;
                 let retry = &self.config.retry;
+                let query_opts = &self.config.query_opts;
                 let freshness = &freshness;
                 let registry = &registry;
                 let query_latency = &query_latency;
@@ -525,7 +558,7 @@ impl Harness {
                             let mut attempt: u32 = 1;
                             loop {
                                 let start = clock.now();
-                                match engine.run_query(&spec) {
+                                match engine.run_query_opts(&spec, query_opts) {
                                     Ok(out) => {
                                         let done = clock.now();
                                         let score =
@@ -608,6 +641,11 @@ impl Harness {
             fsyncs: dstats.fsyncs,
             group_commit_p50: dstats.group_commit_p50,
             group_commit_p99: dstats.group_commit_p99,
+            morsels_scanned: dstats.morsels_scanned,
+            morsels_pruned: dstats.morsels_pruned,
+            probe_nanos: dstats.probe_nanos,
+            probe_workers: dstats.probe_workers_max,
+            agg_saturations: dstats.agg_saturations,
             recovery_replayed_records: dstats.recovery_replayed_records,
             torn_tail_truncations: dstats.torn_tail_truncations,
             freshness: freshness.into_inner(),

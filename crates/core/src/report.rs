@@ -201,6 +201,27 @@ pub fn durability_line(m: &PointMeasurement) -> Option<String> {
     Some(line)
 }
 
+/// One-line analytical-executor accounting for a measured point: the
+/// largest worker pool a query used, how many morsels the probe phases
+/// scanned vs. pruned via zone maps, and the wall time spent probing.
+/// Returns `None` when no analytical query ran (no morsels scanned).
+pub fn analytics_line(m: &PointMeasurement) -> Option<String> {
+    if m.morsels_scanned == 0 && m.morsels_pruned == 0 {
+        return None;
+    }
+    let mut line = format!(
+        "  analytics: {} workers max, {} morsels scanned, {} pruned, probe {:.1}ms",
+        m.probe_workers,
+        m.morsels_scanned,
+        m.morsels_pruned,
+        m.probe_nanos as f64 / 1e6
+    );
+    if m.agg_saturations > 0 {
+        line.push_str(&format!(", {} aggregate saturations", m.agg_saturations));
+    }
+    Some(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +262,26 @@ mod tests {
         let line = durability_line(&flushed).unwrap();
         assert!(line.contains("recovered 42 records"));
         assert!(line.contains("1 torn tails truncated"));
+    }
+
+    #[test]
+    fn analytics_line_elides_idle_points_and_reports_counters() {
+        let idle = PointMeasurement::zero(2, 0);
+        assert!(analytics_line(&idle).is_none(), "no queries ran, nothing to say");
+        let mut busy = PointMeasurement::zero(2, 1);
+        busy.probe_workers = 8;
+        busy.morsels_scanned = 240;
+        busy.morsels_pruned = 60;
+        busy.probe_nanos = 2_500_000;
+        let line = analytics_line(&busy).unwrap();
+        assert!(line.contains("8 workers max"));
+        assert!(line.contains("240 morsels scanned"));
+        assert!(line.contains("60 pruned"));
+        assert!(line.contains("probe 2.5ms"));
+        assert!(!line.contains("saturations"), "clamp counter elided when zero");
+        busy.agg_saturations = 3;
+        let line = analytics_line(&busy).unwrap();
+        assert!(line.contains("3 aggregate saturations"));
     }
 
     #[test]

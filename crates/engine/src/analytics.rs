@@ -7,72 +7,14 @@
 //! provides the orderdate index, the engine prefilters fact row-ids through
 //! the index instead of scanning the whole fact table.
 
-use hat_common::dates;
-use hat_common::ids::{date, lineorder};
 use hat_common::{Row, TableId};
-use hat_query::predicate::ColPredicate;
-use hat_query::spec::QuerySpec;
-use hat_query::view::{RowRef, SnapshotView};
+use hat_query::view::{Morsel, MorselSource, RowRef, SnapshotView, MORSEL_ROWS};
 use hat_storage::rowstore::RowDb;
 use hat_txn::Ts;
 
-/// If `spec`'s date join restricts orders to one contiguous, selective
-/// date-key range, returns `(lo, hi)` inclusive.
-///
-/// Recognized filters: `d_year = y` and `d_yearmonthnum = yyyymm`, plus the
-/// string form `d_yearmonth = "MonYYYY"`. Ranges wider than a year (the
-/// flight-3 `d_year between` filters) are not worth an index pass and
-/// return `None`. The hint may be a superset of the true filter (e.g. the
-/// week-level Q1.3 hints its whole year) — the date join re-applies the
-/// exact predicate, so correctness never depends on hint tightness.
-pub fn date_range_hint(spec: &QuerySpec) -> Option<(u32, u32)> {
-    let join = spec
-        .joins
-        .iter()
-        .find(|j| j.dim == TableId::Date && j.fact_key == lineorder::ORDERDATE)?;
-    for pred in &join.dim_filter.conjuncts {
-        match pred {
-            ColPredicate::U32Eq(col, y) if *col == date::YEAR => {
-                return Some((y * 10000 + 101, y * 10000 + 1231));
-            }
-            ColPredicate::U32Eq(col, ym) if *col == date::YEARMONTHNUM => {
-                let (y, m) = (ym / 100, ym % 100);
-                let last = dates::days_in_month(y, m);
-                return Some((ym * 100 + 1, ym * 100 + last));
-            }
-            ColPredicate::StrEq(col, s) if *col == date::YEARMONTH => {
-                return parse_yearmonth(s).map(|(y, m)| {
-                    let ym = y * 100 + m;
-                    (ym * 100 + 1, ym * 100 + dates::days_in_month(y, m))
-                });
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-fn parse_yearmonth(s: &str) -> Option<(u32, u32)> {
-    if s.len() != 7 {
-        return None;
-    }
-    let month = match &s[..3] {
-        "Jan" => 1,
-        "Feb" => 2,
-        "Mar" => 3,
-        "Apr" => 4,
-        "May" => 5,
-        "Jun" => 6,
-        "Jul" => 7,
-        "Aug" => 8,
-        "Sep" => 9,
-        "Oct" => 10,
-        "Nov" => 11,
-        "Dec" => 12,
-        _ => return None,
-    };
-    s[3..].parse::<u32>().ok().map(|y| (y, month))
-}
+/// Re-exported from [`hat_query::hint`], where the executor's morsel
+/// pruner shares it; the engines keep importing it from here.
+pub use hat_query::hint::date_range_hint;
 
 /// A row-store view whose fact-table scan is restricted to a prefetched
 /// row set (the index prefilter result). All other tables scan normally.
@@ -117,6 +59,40 @@ impl SnapshotView for PrefilteredView<'_> {
             self.row_db.store(table).scan(self.ts, |_, row| visit(&RowRef::Row(row)));
         }
     }
+
+    fn morsels(&self, table: TableId, _hint: Option<(u32, u32)>) -> Vec<Morsel> {
+        if table != self.fact {
+            return vec![Morsel::whole()];
+        }
+        // The index prefilter already pruned by date; chunk the surviving
+        // rows so the probe phase still parallelizes.
+        let n = self.fact_rows.len();
+        let mut out = Vec::with_capacity(n.div_ceil(MORSEL_ROWS.max(1)));
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + MORSEL_ROWS).min(n);
+            out.push(Morsel { source: MorselSource::RowSlice { lo, hi }, date_minmax: None });
+            lo = hi;
+        }
+        out
+    }
+
+    fn scan_morsel(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        visit: &mut dyn FnMut(&RowRef<'_>),
+    ) {
+        match morsel.source {
+            MorselSource::Whole => self.scan(table, visit),
+            MorselSource::RowSlice { lo, hi } if table == self.fact => {
+                for row in &self.fact_rows[lo..hi] {
+                    visit(&RowRef::Row(row));
+                }
+            }
+            other => panic!("unexpected morsel {other:?} for prefiltered view"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,41 +102,13 @@ mod tests {
     use hat_query::ssb;
 
     #[test]
-    fn hints_for_flight1_and_q34() {
+    fn hint_still_reachable_through_reexport() {
+        // The extraction lives in hat_query::hint (tested there); this
+        // guards the engines' import path.
         assert_eq!(
             date_range_hint(&ssb::query(QueryId::Q1_1)),
             Some((19930101, 19931231))
         );
-        assert_eq!(
-            date_range_hint(&ssb::query(QueryId::Q1_2)),
-            Some((19940101, 19940131))
-        );
-        // Week-level filter: the year conjunct still yields a (superset)
-        // year range — the join re-applies the exact filter.
-        assert_eq!(
-            date_range_hint(&ssb::query(QueryId::Q1_3)),
-            Some((19940101, 19941231))
-        );
-        // Q3.4 filters d_yearmonth = Dec1997.
-        assert_eq!(
-            date_range_hint(&ssb::query(QueryId::Q3_4)),
-            Some((19971201, 19971231))
-        );
-    }
-
-    #[test]
-    fn no_hint_for_wide_or_absent_filters() {
-        for id in [QueryId::Q2_1, QueryId::Q3_1, QueryId::Q4_1] {
-            assert_eq!(date_range_hint(&ssb::query(id)), None, "{}", id.label());
-        }
-    }
-
-    #[test]
-    fn parse_yearmonth_cases() {
-        assert_eq!(parse_yearmonth("Dec1997"), Some((1997, 12)));
-        assert_eq!(parse_yearmonth("Jan1992"), Some((1992, 1)));
-        assert_eq!(parse_yearmonth("xyz1997"), None);
-        assert_eq!(parse_yearmonth("Dec97"), None);
     }
 
     #[test]
@@ -190,5 +138,14 @@ mod tests {
         let mut n = 0;
         view.scan(TableId::Customer, &mut |_| n += 1);
         assert_eq!(n, 0);
+
+        // Morsels chunk the prefiltered row list and cover exactly it.
+        let morsels = view.morsels(TableId::History, Some((0, 1)));
+        assert_eq!(morsels.len(), 1);
+        let mut seen = Vec::new();
+        view.scan_morsel(TableId::History, &morsels[0], &mut |r| seen.push(r.u64(0)));
+        assert_eq!(seen, vec![2, 4]);
+        // Non-fact tables stay whole-table morsels.
+        assert_eq!(view.morsels(TableId::Customer, None), vec![Morsel::whole()]);
     }
 }

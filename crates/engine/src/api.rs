@@ -7,7 +7,7 @@
 //! on every engine design.
 
 use hat_common::{ColId, Result, Row, TableId};
-use hat_query::exec::QueryOutput;
+use hat_query::exec::{QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_storage::rowstore::RowId;
 use hat_txn::{IsolationLevel, LockPolicy, Ts};
@@ -51,7 +51,13 @@ impl IndexProfile {
 }
 
 /// Engine-independent configuration.
+///
+/// Construct via [`EngineConfig::builder`] (or start from
+/// [`EngineConfig::default`] and adjust fields): the struct is
+/// `#[non_exhaustive]`, so field-struct literals outside this crate no
+/// longer compile — future knobs then never churn call sites.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     pub isolation: IsolationLevel,
     pub indexes: IndexProfile,
@@ -75,6 +81,50 @@ impl EngineConfig {
     pub fn without_durability(mut self) -> Self {
         self.durability = DurabilityMode::Off;
         self
+    }
+
+    /// Starts a builder seeded with the paper-baseline defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EngineConfig`] — the supported way to construct one
+/// outside this crate. Every setter defaults to the paper baseline
+/// ([`EngineConfig::default`]).
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Transaction isolation level.
+    pub fn isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.config.isolation = isolation;
+        self
+    }
+
+    /// Physical index schema.
+    pub fn indexes(mut self, indexes: IndexProfile) -> Self {
+        self.config.indexes = indexes;
+        self
+    }
+
+    /// Write-lock conflict policy.
+    pub fn lock_policy(mut self, lock_policy: LockPolicy) -> Self {
+        self.config.lock_policy = lock_policy;
+        self
+    }
+
+    /// Commit durability mode.
+    pub fn durability(mut self, durability: DurabilityMode) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
+    /// Finalizes the config.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -158,6 +208,16 @@ pub struct EngineStats {
     /// Torn (partially written) trailing records truncated during
     /// recovery. Nonzero after a crash mid-write; always safe.
     pub torn_tail_truncations: u64,
+    /// Fact-table morsels scanned by analytical probes (cumulative).
+    pub morsels_scanned: u64,
+    /// Morsels skipped via date zone maps before scanning (cumulative).
+    pub morsels_pruned: u64,
+    /// Total probe-phase wall time across queries, nanoseconds.
+    pub probe_nanos: u64,
+    /// Largest probe worker count any query ran with (0 = no queries yet).
+    pub probe_workers_max: u32,
+    /// Aggregates clamped at the `i64` boundary instead of wrapping.
+    pub agg_saturations: u64,
 }
 
 /// One in-flight transaction.
@@ -223,8 +283,16 @@ pub trait HtapEngine: Send + Sync {
 
     /// Runs one analytical query at the engine's freshest available
     /// snapshot, per its design (shared: current snapshot; isolated:
-    /// replica's applied horizon; hybrid: merge/wait then read).
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput>;
+    /// replica's applied horizon; hybrid: merge/wait then read), with
+    /// explicit execution options (probe parallelism). Results are
+    /// bit-identical across option values.
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput>;
+
+    /// Back-compat wrapper: [`HtapEngine::run_query_opts`] with default
+    /// options (serial probe).
+    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+        self.run_query_opts(spec, &QueryOpts::default())
+    }
 
     /// Restores the data to its initial post-load state (the paper resets
     /// before each benchmark run, §6.1). Must be called with no concurrent
@@ -267,6 +335,27 @@ mod tests {
         );
         assert_eq!(c.lock_policy, LockPolicy::NoWait);
         assert_eq!(c.without_durability().durability, DurabilityMode::Off);
+    }
+
+    #[test]
+    fn builder_covers_every_knob_and_defaults_to_baseline() {
+        let c = EngineConfig::builder().build();
+        let d = EngineConfig::default();
+        assert_eq!(c.isolation, d.isolation);
+        assert_eq!(c.indexes, d.indexes);
+        assert_eq!(c.lock_policy, d.lock_policy);
+        assert_eq!(c.durability, d.durability);
+
+        let c = EngineConfig::builder()
+            .isolation(IsolationLevel::ReadCommitted)
+            .indexes(IndexProfile::Semi)
+            .lock_policy(LockPolicy::WaitDie)
+            .durability(DurabilityMode::Off)
+            .build();
+        assert_eq!(c.isolation, IsolationLevel::ReadCommitted);
+        assert_eq!(c.indexes, IndexProfile::Semi);
+        assert_eq!(c.lock_policy, LockPolicy::WaitDie);
+        assert!(c.durability.is_off());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hat_common::{Result, Row, TableId};
-use hat_query::exec::{execute, QueryOutput};
+use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_txn::LOAD_TS;
@@ -193,14 +193,16 @@ impl HtapEngine for CowEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
         // Analytics read the last snapshot, not the current horizon:
         // bounded staleness, no interference with in-flight commits'
         // version installation.
         let ts = self.snapshot_ts.load(Ordering::Acquire);
         let view = MixedView::rows(&self.kernel.db, ts);
-        Ok(execute(spec, &view))
+        let out = execute_with(spec, &view, opts);
+        self.kernel.stats.record_exec(&out.stats);
+        Ok(out)
     }
 
     fn reset(&self) -> Result<()> {

@@ -13,14 +13,14 @@
 //!   read-index wait until the learner reaches the query's start timestamp,
 //!   so freshness is zero at the cost of wait latency.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::RecvTimeoutError;
 use hat_common::{HatError, Result, Row, TableId};
-use hat_query::exec::{execute, QueryOutput};
+use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_storage::colstore::{ColumnTable, DimColumnCopy};
@@ -43,7 +43,14 @@ use crate::netsim::NetworkLink;
 struct ColumnarSide {
     lineorder: ColumnTable,
     dims: Vec<DimColumnCopy>,
+    /// Sealed lineorder segments built at load time (what reset keeps).
+    base_segments: AtomicUsize,
 }
+
+/// Rows per sealed base segment. Matches the executor's morsel size, so
+/// with date-clustered loading each base segment is one prunable morsel
+/// with a tight orderdate zone map.
+const LOAD_SEGMENT_ROWS: usize = 4096;
 
 impl ColumnarSide {
     fn new() -> Self {
@@ -53,6 +60,7 @@ impl ColumnarSide {
                 .iter()
                 .map(|&t| DimColumnCopy::new(t))
                 .collect(),
+            base_segments: AtomicUsize::new(0),
         }
     }
 
@@ -62,7 +70,15 @@ impl ColumnarSide {
         kernel.db.store(TableId::Lineorder).scan(LOAD_TS, |_, row| {
             rows.push(Arc::clone(row));
         });
-        self.lineorder.load_segment(LOAD_TS, rows);
+        // Cluster the sealed base segments by orderdate so their zone
+        // maps are tight and date-hinted queries can prune whole morsels.
+        // Row order within a sealed snapshot carries no semantics (every
+        // query aggregates), so this only sharpens min/max ranges.
+        rows.sort_by_key(|row| row[hat_common::ids::lineorder::ORDERDATE].as_u32().unwrap());
+        for chunk in rows.chunks(LOAD_SEGMENT_ROWS) {
+            self.lineorder.load_segment(LOAD_TS, chunk.iter().map(Arc::clone));
+        }
+        self.base_segments.store(self.lineorder.segment_count(), Ordering::Relaxed);
         for dim in &self.dims {
             let mut rows = Vec::new();
             kernel.db.store(dim.table()).scan(LOAD_TS, |_, row| {
@@ -114,7 +130,8 @@ impl ColumnarSide {
 
     /// Benchmark reset: back to the load-time content per table.
     fn reset(&self) {
-        self.lineorder.reset_keep_segments(1);
+        self.lineorder
+            .reset_keep_segments(self.base_segments.load(Ordering::Relaxed).max(1));
         for dim in &self.dims {
             dim.reset();
         }
@@ -247,14 +264,16 @@ impl HtapEngine for DualEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
         // Merge-on-read: the snapshot at the query's start includes every
         // delta row up to ts — the latest updates are always merged before
         // execution, so freshness is zero (§6.4).
         let ts = self.kernel.oracle.read_ts();
         let view = self.columnar.view(&self.kernel, ts);
-        Ok(execute(spec, &view))
+        let out = execute_with(spec, &view, opts);
+        self.kernel.stats.record_exec(&out.stats);
+        Ok(out)
     }
 
     fn reset(&self) -> Result<()> {
@@ -591,7 +610,7 @@ impl HtapEngine for LearnerEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
         // Read-index wait: TiDB merges the tail of the log with the
         // analytical data before executing, so the query sees everything
@@ -607,7 +626,9 @@ impl HtapEngine for LearnerEngine {
             return Err(HatError::ReplicaUnavailable);
         }
         let view = self.columnar.view(&self.kernel, ts);
-        Ok(execute(spec, &view))
+        let out = execute_with(spec, &view, opts);
+        self.kernel.stats.record_exec(&out.stats);
+        Ok(out)
     }
 
     fn reset(&self) -> Result<()> {

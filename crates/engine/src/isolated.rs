@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::RecvTimeoutError;
 use hat_common::clock::BenchClock;
 use hat_common::{HatError, Result, Row, TableId};
-use hat_query::exec::{execute, QueryOutput};
+use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_storage::rowstore::RowDb;
@@ -432,14 +432,16 @@ impl HtapEngine for IsoEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
         // Queries read the standby at its applied horizon — whatever has
         // been replayed so far. Staleness is visible through the
         // freshness side-read of the replicated FRESHNESS rows.
         let ts = self.replica.applied.get();
         let view = MixedView::rows(&self.replica.db, ts);
-        Ok(execute(spec, &view))
+        let out = execute_with(spec, &view, opts);
+        self.kernel.stats.record_exec(&out.stats);
+        Ok(out)
     }
 
     fn reset(&self) -> Result<()> {

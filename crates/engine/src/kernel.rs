@@ -227,6 +227,28 @@ pub struct KernelStats {
     /// Commits whose synchronous replication wait timed out
     /// (committed-in-doubt outcomes). A subset of `commits`.
     pub replication_timeouts: AtomicU64,
+    /// Fact-table morsels scanned by analytical probes.
+    pub morsels_scanned: AtomicU64,
+    /// Morsels pruned via date zone maps.
+    pub morsels_pruned: AtomicU64,
+    /// Total probe-phase wall time, nanoseconds.
+    pub probe_nanos: AtomicU64,
+    /// Largest probe worker count any query used.
+    pub probe_workers_max: AtomicU64,
+    /// Aggregates saturated at the `i64` boundary.
+    pub agg_saturations: AtomicU64,
+}
+
+impl KernelStats {
+    /// Folds one query's execution diagnostics into the cumulative
+    /// counters. Every engine calls this after [`hat_query::exec`] returns.
+    pub fn record_exec(&self, s: &hat_query::exec::ExecStats) {
+        self.morsels_scanned.fetch_add(s.morsels_scanned, Ordering::Relaxed);
+        self.morsels_pruned.fetch_add(s.morsels_pruned, Ordering::Relaxed);
+        self.probe_nanos.fetch_add(s.probe_nanos, Ordering::Relaxed);
+        self.probe_workers_max.fetch_max(s.workers as u64, Ordering::Relaxed);
+        self.agg_saturations.fetch_add(s.agg_saturations, Ordering::Relaxed);
+    }
 }
 
 /// The transactional core of an engine.
@@ -421,6 +443,11 @@ impl RowKernel {
             group_commit_p99: d.group_commit_p99,
             recovery_replayed_records: d.recovery_replayed_records,
             torn_tail_truncations: d.torn_tail_truncations,
+            morsels_scanned: self.stats.morsels_scanned.load(Ordering::Relaxed),
+            morsels_pruned: self.stats.morsels_pruned.load(Ordering::Relaxed),
+            probe_nanos: self.stats.probe_nanos.load(Ordering::Relaxed),
+            probe_workers_max: self.stats.probe_workers_max.load(Ordering::Relaxed) as u32,
+            agg_saturations: self.stats.agg_saturations.load(Ordering::Relaxed),
             ..EngineStats::default()
         }
     }

@@ -50,9 +50,10 @@ pub mod netsim;
 pub mod shared;
 
 pub use api::{
-    DesignCategory, DurabilityMode, EngineConfig, EngineStats, HtapEngine, IndexProfile,
-    NamedIndex, Session, TxnHandle,
+    DesignCategory, DurabilityMode, EngineConfig, EngineConfigBuilder, EngineStats, HtapEngine,
+    IndexProfile, NamedIndex, Session, TxnHandle,
 };
+pub use hat_query::exec::{ExecStats, QueryOpts};
 pub use durability::DurabilityLayer;
 pub use hat_storage::dwal::{KillPoint, WalConfig};
 pub use cow::{CowConfig, CowEngine};

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hat_common::{Result, Row, TableId};
-use hat_query::exec::{execute, QueryOutput};
+use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use parking_lot::RwLock;
@@ -132,20 +132,21 @@ impl HtapEngine for ShdEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
+    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
         let ts = self.kernel.oracle.read_ts();
         // Index-accelerated plan when the physical schema allows it.
-        if let Some((lo, hi)) = date_range_hint(spec) {
-            if let Some(rids) =
-                self.kernel.indexes.lineorder_rids_for_date_range(lo, hi)
-            {
-                let view = PrefilteredView::new(&self.kernel.db, ts, spec.fact, &rids);
-                return Ok(execute(spec, &view));
-            }
-        }
-        let view = MixedView::rows(&self.kernel.db, ts);
-        Ok(execute(spec, &view))
+        let out = if let Some(rids) = date_range_hint(spec)
+            .and_then(|(lo, hi)| self.kernel.indexes.lineorder_rids_for_date_range(lo, hi))
+        {
+            let view = PrefilteredView::new(&self.kernel.db, ts, spec.fact, &rids);
+            execute_with(spec, &view, opts)
+        } else {
+            let view = MixedView::rows(&self.kernel.db, ts);
+            execute_with(spec, &view, opts)
+        };
+        self.kernel.stats.record_exec(&out.stats);
+        Ok(out)
     }
 
     fn reset(&self) -> Result<()> {
@@ -162,6 +163,7 @@ mod tests {
     use super::*;
     use crate::api::{IndexProfile, NamedIndex};
     use hat_common::ids::customer;
+    use hat_query::exec::execute;
     use hat_common::value::row_from;
     use hat_common::{Money, Value};
     use hat_query::spec::QueryId;

@@ -1,25 +1,41 @@
-//! The star-join aggregation executor.
+//! The morsel-driven star-join aggregation executor.
 //!
 //! Interprets a [`QuerySpec`] against a [`SnapshotView`] in two phases:
 //!
 //! 1. **Build** — for each dimension join, scan the (small) dimension table
-//!    once, apply its filter, and hash `dim_key -> payload columns`.
-//! 2. **Probe** — scan the fact table once; each fact row that passes the
-//!    fact filter probes every dimension hash table (a miss filters the
-//!    row), assembles its group key from fact columns and join payloads,
-//!    and folds into the aggregate accumulator.
+//!    once, apply its filter, and hash `dim_key -> payload columns`. This
+//!    phase is serial; the tables are shared read-only with every probe
+//!    worker.
+//! 2. **Probe** — split the fact table into morsels
+//!    ([`SnapshotView::morsels`]), prune morsels whose date zone map cannot
+//!    intersect the query's date hint, then scan them. Each fact row that
+//!    passes the fact filter probes every dimension hash table (a miss
+//!    filters the row), assembles its group key, and folds into a
+//!    *per-worker* partial aggregate map. With [`QueryOpts::parallelism`]
+//!    `> 1` the morsels are pulled from a shared cursor by a scoped worker
+//!    pool; partials are then merged and the groups sorted by key.
+//!
+//! Parallel output is bit-identical to serial: aggregates accumulate in
+//! `i128` (exact, so merge order is irrelevant), the merged map is keyed by
+//! value, and the final sort fixes the order. Overflow past `i64` is
+//! detected once at output and saturated, counted in
+//! [`ExecStats::agg_saturations`] — never silently wrapped.
 //!
 //! The output also carries the HATtrick freshness vector read from the same
 //! snapshot (§4.2's UNION + cross-join, expressed as a side read — the
 //! visibility semantics are identical because both reads observe one
-//! snapshot timestamp).
+//! snapshot timestamp, and every probe worker scans under that same
+//! timestamp).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use hat_common::Money;
 
+use crate::hint::date_range_hint;
 use crate::spec::{AggExpr, GroupKey, GroupVal, QuerySpec};
-use crate::view::{RowRef, SnapshotView};
+use crate::view::{Morsel, RowRef, SnapshotView};
 
 /// One output row: the group key values and the aggregate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +45,23 @@ pub struct OutputRow {
     pub agg: i64,
     /// Number of fact rows folded into this group.
     pub rows: u64,
+}
+
+/// Per-query execution diagnostics. Plan-dependent: two executions of the
+/// same query may differ here while their results compare equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Fact-table morsels the probe phase actually scanned.
+    pub morsels_scanned: u64,
+    /// Morsels skipped because their date zone map cannot intersect the
+    /// query's date-range hint.
+    pub morsels_pruned: u64,
+    /// Wall time of the probe phase, nanoseconds.
+    pub probe_nanos: u64,
+    /// Worker threads the probe phase ran on (1 = serial).
+    pub workers: u32,
+    /// Output groups whose aggregate exceeded `i64` and was saturated.
+    pub agg_saturations: u64,
 }
 
 /// The result of executing a query.
@@ -41,7 +74,20 @@ pub struct QueryOutput {
     /// The freshness side-read: `(client, txnnum)` pairs visible in the
     /// query's snapshot.
     pub freshness: Vec<(u32, u64)>,
+    /// Execution diagnostics. Excluded from equality: plans with different
+    /// parallelism or pruning still compare equal when their results match.
+    pub stats: ExecStats,
 }
+
+impl PartialEq for QueryOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.groups == other.groups
+            && self.matched_rows == other.matched_rows
+            && self.freshness == other.freshness
+    }
+}
+
+impl Eq for QueryOutput {}
 
 impl QueryOutput {
     /// Total aggregate across all groups.
@@ -50,90 +96,244 @@ impl QueryOutput {
     }
 }
 
+/// Tuning knobs for one query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOpts {
+    /// Worker threads for the probe phase. `1` runs serial on the calling
+    /// thread; higher values fan the fact scan out over morsels. Results
+    /// are bit-identical across parallelism levels.
+    pub parallelism: usize,
+}
+
+impl Default for QueryOpts {
+    fn default() -> Self {
+        QueryOpts { parallelism: 1 }
+    }
+}
+
+impl QueryOpts {
+    /// Options with `parallelism` probe workers (clamped to ≥ 1).
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        QueryOpts { parallelism: parallelism.max(1) }
+    }
+}
+
 /// Hashed payload of one dimension join.
 struct DimTable {
     map: HashMap<u32, Vec<GroupVal>>,
 }
 
-/// Executes `spec` against `view`.
-pub fn execute(spec: &QuerySpec, view: &dyn SnapshotView) -> QueryOutput {
-    assert!(spec.joins.len() <= 4, "SSB stars have at most 4 dimensions");
-    // Phase 1: build dimension hash tables.
-    let mut dims: Vec<DimTable> = Vec::with_capacity(spec.joins.len());
-    for join in &spec.joins {
-        let mut map: HashMap<u32, Vec<GroupVal>> = HashMap::new();
-        view.scan(join.dim, &mut |row| {
-            if join.dim_filter.eval(row) {
-                let key = row.u32(join.dim_key);
-                let payload: Vec<GroupVal> = join
-                    .payload
-                    .iter()
-                    .map(|&col| payload_val(row, join.dim, col))
-                    .collect();
-                map.insert(key, payload);
-            }
-        });
-        dims.push(DimTable { map });
+/// Per-worker probe result: exact (`i128`) partial aggregates plus the
+/// worker's matched-row count.
+struct Partial {
+    groups: HashMap<Vec<GroupVal>, (i128, u64)>,
+    matched: u64,
+}
+
+/// One query execution: a spec, a snapshot view, and options. The
+/// redesigned entry point — [`execute`] and [`execute_with`] are thin
+/// wrappers over it.
+pub struct ExecContext<'a> {
+    spec: &'a QuerySpec,
+    view: &'a dyn SnapshotView,
+    opts: QueryOpts,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with default options (serial probe).
+    pub fn new(spec: &'a QuerySpec, view: &'a dyn SnapshotView) -> Self {
+        ExecContext { spec, view, opts: QueryOpts::default() }
     }
 
-    // Phase 2: probe the fact table and aggregate.
-    let mut groups: HashMap<Vec<GroupVal>, (i64, u64)> = HashMap::new();
-    let mut matched: u64 = 0;
-    let mut key_buf: Vec<GroupVal> = Vec::with_capacity(spec.group_by.len());
-    view.scan(spec.fact, &mut |row| {
-        if !spec.fact_filter.eval(row) {
-            return;
-        }
-        // Probe every join; a miss filters the row. Collect payload refs.
-        let mut payloads: [Option<&Vec<GroupVal>>; 4] = [None; 4];
-        for (ji, join) in spec.joins.iter().enumerate() {
-            match dims[ji].map.get(&row.u32(join.fact_key)) {
-                Some(p) => payloads[ji] = Some(p),
-                None => return,
-            }
-        }
-        matched += 1;
-        key_buf.clear();
-        for gk in &spec.group_by {
-            key_buf.push(match gk {
-                GroupKey::FactU32(col) => GroupVal::U32(row.u32(*col)),
-                GroupKey::DimU32(ji, pi) | GroupKey::DimStr(ji, pi) => {
-                    payloads[*ji].expect("probed above")[*pi].clone()
+    /// A context with explicit options.
+    pub fn with_opts(spec: &'a QuerySpec, view: &'a dyn SnapshotView, opts: QueryOpts) -> Self {
+        ExecContext { spec, view, opts }
+    }
+
+    /// Runs the query.
+    pub fn run(&self) -> QueryOutput {
+        let spec = self.spec;
+        assert!(spec.joins.len() <= 4, "SSB stars have at most 4 dimensions");
+
+        // Phase 1: build dimension hash tables (serial — dims are small).
+        let mut dims: Vec<DimTable> = Vec::with_capacity(spec.joins.len());
+        for join in &spec.joins {
+            let mut map: HashMap<u32, Vec<GroupVal>> = HashMap::new();
+            self.view.scan(join.dim, &mut |row| {
+                if join.dim_filter.eval(row) {
+                    let key = row.u32(join.dim_key);
+                    let payload: Vec<GroupVal> = join
+                        .payload
+                        .iter()
+                        .map(|&col| payload_val(row, join.dim, col))
+                        .collect();
+                    map.insert(key, payload);
                 }
             });
+            dims.push(DimTable { map });
         }
-        let delta = match spec.agg {
-            AggExpr::SumMoney(col) => row.money(col).cents(),
-            AggExpr::SumMoneyTimesPct(mcol, pcol) => {
-                row.money(mcol).pct(row.u32(pcol) as i64).cents()
-            }
-            AggExpr::SumMoneyDiff(a, b) => (row.money(a) - row.money(b)).cents(),
-            AggExpr::CountRows => 1,
+
+        // Phase 2: probe the fact table morsel by morsel. The hint prunes
+        // only morsels that cannot contain a fact row passing the date
+        // join (the hint range is a superset of the dates the date filter
+        // admits), so pruning never changes `groups` or `matched_rows`.
+        let hint = date_range_hint(spec);
+        let (morsels, pruned): (Vec<Morsel>, Vec<Morsel>) = self
+            .view
+            .morsels(spec.fact, hint)
+            .into_iter()
+            .partition(|m| m.may_overlap(hint));
+        let workers = self.opts.parallelism.clamp(1, morsels.len().max(1));
+
+        let probe_start = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let partials: Vec<Partial> = if workers <= 1 {
+            vec![probe_morsels(spec, self.view, &dims, &morsels, &cursor)]
+        } else {
+            let (spec, view, dims, morsels) = (spec, self.view, &dims, &morsels);
+            let cursor = &cursor;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(move || probe_morsels(spec, view, dims, morsels, cursor)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe worker panicked"))
+                    .collect()
+            })
         };
-        match groups.get_mut(key_buf.as_slice()) {
-            Some((agg, rows)) => {
-                *agg += delta;
-                *rows += 1;
+        let probe_nanos = probe_start.elapsed().as_nanos() as u64;
+
+        // Merge partials. Addition over `i128` is exact, so the merged
+        // values are independent of worker scheduling and merge order.
+        let matched: u64 = partials.iter().map(|p| p.matched).sum();
+        let mut merged: HashMap<Vec<GroupVal>, (i128, u64)> = HashMap::new();
+        for partial in partials {
+            if merged.is_empty() {
+                merged = partial.groups;
+                continue;
             }
-            None => {
-                groups.insert(key_buf.clone(), (delta, 1));
+            for (key, (agg, rows)) in partial.groups {
+                match merged.get_mut(&key) {
+                    Some((a, r)) => {
+                        *a += agg;
+                        *r += rows;
+                    }
+                    None => {
+                        merged.insert(key, (agg, rows));
+                    }
+                }
             }
         }
-    });
 
-    // Global aggregates produce one row even over zero matches, matching
-    // SQL `SUM` over an empty input (we report 0 rather than NULL).
-    if groups.is_empty() && spec.group_by.is_empty() {
-        groups.insert(Vec::new(), (0, 0));
+        // Global aggregates produce one row even over zero matches,
+        // matching SQL `SUM` over an empty input (0 rather than NULL).
+        if merged.is_empty() && spec.group_by.is_empty() {
+            merged.insert(Vec::new(), (0, 0));
+        }
+
+        let mut agg_saturations = 0u64;
+        let mut out: Vec<OutputRow> = merged
+            .into_iter()
+            .map(|(key, (agg, rows))| {
+                let agg = if agg > i64::MAX as i128 {
+                    agg_saturations += 1;
+                    i64::MAX
+                } else if agg < i64::MIN as i128 {
+                    agg_saturations += 1;
+                    i64::MIN
+                } else {
+                    agg as i64
+                };
+                OutputRow { key, agg, rows }
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+
+        QueryOutput {
+            groups: out,
+            matched_rows: matched,
+            freshness: self.view.freshness_vector(),
+            stats: ExecStats {
+                morsels_scanned: morsels.len() as u64,
+                morsels_pruned: pruned.len() as u64,
+                probe_nanos,
+                workers: workers as u32,
+                agg_saturations,
+            },
+        }
     }
+}
 
-    let mut out: Vec<OutputRow> = groups
-        .into_iter()
-        .map(|(key, (agg, rows))| OutputRow { key, agg, rows })
-        .collect();
-    out.sort_by(|a, b| a.key.cmp(&b.key));
+/// Probe-phase worker: pulls morsel indices from the shared cursor and
+/// folds matching fact rows into a private partial map. Aggregates
+/// accumulate in `i128` so merging partials is exact regardless of how the
+/// cursor distributed morsels across workers.
+fn probe_morsels(
+    spec: &QuerySpec,
+    view: &dyn SnapshotView,
+    dims: &[DimTable],
+    morsels: &[Morsel],
+    cursor: &AtomicUsize,
+) -> Partial {
+    let mut groups: HashMap<Vec<GroupVal>, (i128, u64)> = HashMap::new();
+    let mut matched: u64 = 0;
+    let mut key_buf: Vec<GroupVal> = Vec::with_capacity(spec.group_by.len());
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(morsel) = morsels.get(i) else { break };
+        view.scan_morsel(spec.fact, morsel, &mut |row| {
+            if !spec.fact_filter.eval(row) {
+                return;
+            }
+            // Probe every join; a miss filters the row.
+            let mut payloads: [Option<&Vec<GroupVal>>; 4] = [None; 4];
+            for (ji, join) in spec.joins.iter().enumerate() {
+                match dims[ji].map.get(&row.u32(join.fact_key)) {
+                    Some(p) => payloads[ji] = Some(p),
+                    None => return,
+                }
+            }
+            matched += 1;
+            key_buf.clear();
+            for gk in &spec.group_by {
+                key_buf.push(match gk {
+                    GroupKey::FactU32(col) => GroupVal::U32(row.u32(*col)),
+                    GroupKey::DimU32(ji, pi) | GroupKey::DimStr(ji, pi) => {
+                        payloads[*ji].expect("probed above")[*pi].clone()
+                    }
+                });
+            }
+            let delta = match spec.agg {
+                AggExpr::SumMoney(col) => row.money(col).cents(),
+                AggExpr::SumMoneyTimesPct(mcol, pcol) => {
+                    row.money(mcol).pct(row.u32(pcol) as i64).cents()
+                }
+                AggExpr::SumMoneyDiff(a, b) => (row.money(a) - row.money(b)).cents(),
+                AggExpr::CountRows => 1,
+            };
+            match groups.get_mut(key_buf.as_slice()) {
+                Some((agg, rows)) => {
+                    *agg += delta as i128;
+                    *rows += 1;
+                }
+                None => {
+                    groups.insert(key_buf.clone(), (delta as i128, 1));
+                }
+            }
+        });
+    }
+    Partial { groups, matched }
+}
 
-    QueryOutput { groups: out, matched_rows: matched, freshness: view.freshness_vector() }
+/// Executes `spec` against `view` with default options (serial probe).
+pub fn execute(spec: &QuerySpec, view: &dyn SnapshotView) -> QueryOutput {
+    ExecContext::new(spec, view).run()
+}
+
+/// Executes `spec` against `view` with explicit options.
+pub fn execute_with(spec: &QuerySpec, view: &dyn SnapshotView, opts: &QueryOpts) -> QueryOutput {
+    ExecContext::with_opts(spec, view, opts.clone()).run()
 }
 
 /// Extracts a payload value with the right [`GroupVal`] variant based on
@@ -431,5 +631,177 @@ mod tests {
         let view = crate::view::MixedView::rows(&db, 10);
         let out = execute(&base_spec(), &view);
         assert_eq!(out.freshness, vec![(0, 41)]);
+    }
+
+    /// A larger star spread over many morsels, grouped, so the parallel
+    /// path exercises work distribution and partial-map merging.
+    fn many_row_db(n: u64) -> RowDb {
+        let db = tiny_db();
+        let h = db.store(TableId::History);
+        for i in 0..n {
+            h.install_insert(history_row(100 + i, (i % 3) as u32 + 1, i as i64), 2);
+        }
+        db
+    }
+
+    fn grouped_spec() -> QuerySpec {
+        let mut spec = base_spec();
+        spec.joins = vec![JoinSpec {
+            dim: TableId::Customer,
+            fact_key: history::CUSTKEY,
+            dim_key: customer::CUSTKEY,
+            dim_filter: Predicate::all(),
+            payload: vec![customer::NATION],
+        }];
+        spec.group_by = vec![GroupKey::DimStr(0, 0)];
+        spec
+    }
+
+    #[test]
+    fn parallel_probe_matches_serial_bit_for_bit() {
+        let n = crate::view::MORSEL_ROWS as u64 * 3 + 17;
+        let db = many_row_db(n);
+        let view = crate::view::MixedView::rows(&db, 10);
+        let spec = grouped_spec();
+        let serial = execute_with(&spec, &view, &QueryOpts::with_parallelism(1));
+        assert_eq!(serial.stats.workers, 1);
+        assert!(serial.stats.morsels_scanned >= 4);
+        for p in [2, 3, 8] {
+            let par = execute_with(&spec, &view, &QueryOpts::with_parallelism(p));
+            assert_eq!(par, serial, "parallelism {p}");
+            // Byte-identical, not just PartialEq: same order, same counts.
+            assert_eq!(
+                format!("{:?} {:?} {:?}", par.groups, par.matched_rows, par.freshness),
+                format!(
+                    "{:?} {:?} {:?}",
+                    serial.groups, serial.matched_rows, serial.freshness
+                ),
+                "parallelism {p}"
+            );
+            assert_eq!(par.stats.workers as usize, p.min(par.stats.morsels_scanned as usize));
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_to_morsel_count() {
+        let db = tiny_db(); // 5 fact rows -> 1 morsel
+        let view = crate::view::MixedView::rows(&db, 10);
+        let out = execute_with(&base_spec(), &view, &QueryOpts::with_parallelism(8));
+        assert_eq!(out.stats.workers, 1, "no point spawning idle workers");
+        assert_eq!(out.groups[0].agg, 100 + 200 + 300 + 400 + 999);
+    }
+
+    #[test]
+    fn aggregate_saturates_instead_of_wrapping() {
+        let db = RowDb::new();
+        let h = db.store(TableId::History);
+        // Two near-max values: their i64 sum wraps negative; the executor
+        // must saturate and count it instead.
+        h.install_insert(history_row(1, 1, i64::MAX - 10), 1);
+        h.install_insert(history_row(2, 1, i64::MAX - 10), 1);
+        let view = crate::view::MixedView::rows(&db, 10);
+        let out = execute(&base_spec(), &view);
+        assert_eq!(out.groups[0].agg, i64::MAX);
+        assert_eq!(out.stats.agg_saturations, 1);
+        // Sanity: a non-overflowing query reports zero saturations.
+        let small = execute(&base_spec(), &crate::view::MixedView::rows(&tiny_db(), 10));
+        assert_eq!(small.stats.agg_saturations, 0);
+    }
+
+    #[test]
+    fn zone_map_pruning_counts_and_preserves_results() {
+        // Build a columnar LINEORDER with one 1993 segment and one 1994
+        // segment, join on DATE with d_year = 1994: the 1993 segment's
+        // morsels must be pruned without changing the result.
+        use hat_common::ids::{date, lineorder};
+        use hat_storage::colstore::ColumnTable;
+        use std::sync::Arc as StdArc;
+
+        fn lo_row(ok: u64, orderdate: u32, cents: i64) -> Row {
+            row_from([
+                Value::U64(ok),
+                Value::U32(1),
+                Value::U32(1),
+                Value::U32(1),
+                Value::U32(1),
+                Value::U32(orderdate),
+                Value::Str(StdArc::from("p")),
+                Value::Str(StdArc::from("s")),
+                Value::U32(1),
+                Value::Money(Money::from_cents(cents)),
+                Value::Money(Money::from_cents(cents)),
+                Value::U32(0),
+                Value::Money(Money::from_cents(cents)),
+                Value::Money(Money::from_cents(0)),
+                Value::U32(0),
+                Value::U32(orderdate),
+                Value::Str(StdArc::from("RAIL")),
+            ])
+        }
+        fn date_row(datekey: u32, year: u32) -> Row {
+            row_from([
+                Value::U32(datekey),
+                Value::from("d"),
+                Value::from("Monday"),
+                Value::from("January"),
+                Value::U32(year),
+                Value::U32(year * 100 + 1),
+                Value::from("Jan1994"),
+                Value::U32(1),
+                Value::U32(1),
+                Value::U32(1),
+                Value::U32(year * 10000 + 101),
+                Value::U32(31),
+                Value::from("Winter"),
+                Value::from(false),
+                Value::from(true),
+                Value::from(false),
+            ])
+        }
+
+        let db = RowDb::new();
+        let d = db.store(TableId::Date);
+        d.install_insert(date_row(19930105, 1993), 1);
+        d.install_insert(date_row(19940105, 1994), 1);
+
+        let ct = ColumnTable::new(TableId::Lineorder);
+        ct.load_segment(1, (0..20).map(|i| lo_row(i, 19930105, 10)));
+        ct.load_segment(1, (0..20).map(|i| lo_row(100 + i, 19940105, 10)));
+        let view = crate::view::MixedView::rows(&db, 10)
+            .with_columnar(TableId::Lineorder, ct.snapshot(10));
+
+        let spec = QuerySpec {
+            id: QueryId::Q1_1,
+            fact: TableId::Lineorder,
+            fact_filter: Predicate::all(),
+            joins: vec![JoinSpec {
+                dim: TableId::Date,
+                fact_key: lineorder::ORDERDATE,
+                dim_key: date::DATEKEY,
+                dim_filter: Predicate::and(vec![ColPredicate::U32Eq(date::YEAR, 1994)]),
+                payload: vec![],
+            }],
+            group_by: vec![],
+            agg: AggExpr::SumMoney(lineorder::REVENUE),
+        };
+        let out = execute(&spec, &view);
+        assert_eq!(out.stats.morsels_pruned, 1, "the 1993 segment prunes");
+        assert_eq!(out.stats.morsels_scanned, 1);
+        assert_eq!(out.matched_rows, 20, "only 1994 rows join");
+        assert_eq!(out.groups[0].agg, 200);
+
+        // Same query through plain scans (no zone maps): identical output.
+        struct NoMorselView<'a>(&'a crate::view::MixedView<'a>);
+        impl SnapshotView for NoMorselView<'_> {
+            fn ts(&self) -> hat_txn::Ts {
+                self.0.ts()
+            }
+            fn scan(&self, table: TableId, visit: &mut dyn FnMut(&RowRef<'_>)) {
+                self.0.scan(table, visit)
+            }
+        }
+        let unpruned = execute(&spec, &NoMorselView(&view));
+        assert_eq!(unpruned.stats.morsels_pruned, 0);
+        assert_eq!(out, unpruned);
     }
 }

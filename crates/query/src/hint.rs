@@ -1,0 +1,118 @@
+//! Date-range hints extracted from query specs.
+//!
+//! Several SSB queries restrict the fact table to a contiguous
+//! `lo_orderdate` range via their date-dimension filter. The executor and
+//! the engines both exploit that: row-store engines feed the hint to the
+//! orderdate index prefilter, and the morsel planner uses it to prune
+//! columnar segments through their zone maps. Keeping the extraction here
+//! (next to the executor) guarantees both consumers agree on the hint.
+
+use hat_common::dates;
+use hat_common::ids::{date, lineorder};
+use hat_common::TableId;
+
+use crate::predicate::ColPredicate;
+use crate::spec::QuerySpec;
+
+/// If `spec`'s date join restricts orders to one contiguous, selective
+/// date-key range, returns `(lo, hi)` inclusive.
+///
+/// Recognized filters: `d_year = y` and `d_yearmonthnum = yyyymm`, plus the
+/// string form `d_yearmonth = "MonYYYY"`. Ranges wider than a year (the
+/// flight-3 `d_year between` filters) are not worth an index pass and
+/// return `None`. The hint may be a superset of the true filter (e.g. the
+/// week-level Q1.3 hints its whole year) — the date join re-applies the
+/// exact predicate, so correctness never depends on hint tightness.
+pub fn date_range_hint(spec: &QuerySpec) -> Option<(u32, u32)> {
+    let join = spec
+        .joins
+        .iter()
+        .find(|j| j.dim == TableId::Date && j.fact_key == lineorder::ORDERDATE)?;
+    for pred in &join.dim_filter.conjuncts {
+        match pred {
+            ColPredicate::U32Eq(col, y) if *col == date::YEAR => {
+                return Some((y * 10000 + 101, y * 10000 + 1231));
+            }
+            ColPredicate::U32Eq(col, ym) if *col == date::YEARMONTHNUM => {
+                let (y, m) = (ym / 100, ym % 100);
+                let last = dates::days_in_month(y, m);
+                return Some((ym * 100 + 1, ym * 100 + last));
+            }
+            ColPredicate::StrEq(col, s) if *col == date::YEARMONTH => {
+                return parse_yearmonth(s).map(|(y, m)| {
+                    let ym = y * 100 + m;
+                    (ym * 100 + 1, ym * 100 + dates::days_in_month(y, m))
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_yearmonth(s: &str) -> Option<(u32, u32)> {
+    if s.len() != 7 {
+        return None;
+    }
+    let month = match &s[..3] {
+        "Jan" => 1,
+        "Feb" => 2,
+        "Mar" => 3,
+        "Apr" => 4,
+        "May" => 5,
+        "Jun" => 6,
+        "Jul" => 7,
+        "Aug" => 8,
+        "Sep" => 9,
+        "Oct" => 10,
+        "Nov" => 11,
+        "Dec" => 12,
+        _ => return None,
+    };
+    s[3..].parse::<u32>().ok().map(|y| (y, month))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QueryId;
+    use crate::ssb;
+
+    #[test]
+    fn hints_for_flight1_and_q34() {
+        assert_eq!(
+            date_range_hint(&ssb::query(QueryId::Q1_1)),
+            Some((19930101, 19931231))
+        );
+        assert_eq!(
+            date_range_hint(&ssb::query(QueryId::Q1_2)),
+            Some((19940101, 19940131))
+        );
+        // Week-level filter: the year conjunct still yields a (superset)
+        // year range — the join re-applies the exact filter.
+        assert_eq!(
+            date_range_hint(&ssb::query(QueryId::Q1_3)),
+            Some((19940101, 19941231))
+        );
+        // Q3.4 filters d_yearmonth = Dec1997.
+        assert_eq!(
+            date_range_hint(&ssb::query(QueryId::Q3_4)),
+            Some((19971201, 19971231))
+        );
+    }
+
+    #[test]
+    fn no_hint_for_wide_or_absent_filters() {
+        for id in [QueryId::Q2_1, QueryId::Q3_1, QueryId::Q4_1] {
+            assert_eq!(date_range_hint(&ssb::query(id)), None, "{}", id.label());
+        }
+    }
+
+    #[test]
+    fn parse_yearmonth_cases() {
+        assert_eq!(parse_yearmonth("Dec1997"), Some((1997, 12)));
+        assert_eq!(parse_yearmonth("Jan1992"), Some((1992, 1)));
+        assert_eq!(parse_yearmonth("xyz1997"), None);
+        assert_eq!(parse_yearmonth("Dec97"), None);
+    }
+}

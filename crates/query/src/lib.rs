@@ -42,12 +42,14 @@
 //! ```
 
 pub mod exec;
+pub mod hint;
 pub mod predicate;
 pub mod spec;
 pub mod ssb;
 pub mod view;
 
-pub use exec::{execute, QueryOutput};
+pub use exec::{execute, ExecContext, ExecStats, QueryOpts, QueryOutput};
+pub use hint::date_range_hint;
 pub use predicate::{ColPredicate, Predicate};
 pub use spec::{AggExpr, GroupKey, GroupVal, JoinSpec, QueryId, QuerySpec};
-pub use view::{MixedView, RowRef, SnapshotView};
+pub use view::{MixedView, Morsel, MorselSource, RowRef, SnapshotView};

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hat_common::ids::freshness;
+use hat_common::ids::{freshness, lineorder};
 use hat_common::{ColId, Money, Row, TableId};
 use hat_storage::colstore::{ColumnSnapshot, DimSnapshot, Segment};
 use hat_storage::rowstore::RowDb;
@@ -75,13 +75,94 @@ impl RowRef<'_> {
     }
 }
 
+/// Target number of rows per morsel. Small enough that SF ≥ 1 fact tables
+/// split into thousands of work units (good load balance), large enough
+/// that per-morsel dispatch overhead is noise next to the scan itself.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Where a [`Morsel`]'s rows live. All variants are interpreted relative to
+/// the view that produced the morsel, at that view's snapshot timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorselSource {
+    /// The entire table, through the view's [`SnapshotView::scan`]. The
+    /// default for views that don't split their scans.
+    Whole,
+    /// Row-store slots `[lo, hi)`.
+    RowRange { lo: u64, hi: u64 },
+    /// Rows `[lo, hi)` of the sealed columnar segment at index `segment`
+    /// in the view's snapshot.
+    SegmentRows { segment: usize, lo: usize, hi: usize },
+    /// Rows `[lo, hi)` of the view's row-format tail for the table — the
+    /// columnar delta, or a prefiltered row list.
+    RowSlice { lo: usize, hi: usize },
+}
+
+/// One contiguous unit of scan work: the scheduling quantum of the
+/// morsel-driven probe phase. Views *describe* morsels; the executor
+/// decides which to scan (pruning) and on which worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// The row range this morsel covers.
+    pub source: MorselSource,
+    /// Zone-map `(min, max)` of the fact date-key column over the morsel's
+    /// backing rows, when the storage tracks one. `None` means "unknown"
+    /// and exempts the morsel from pruning.
+    pub date_minmax: Option<(u32, u32)>,
+}
+
+impl Morsel {
+    /// The whole-table morsel: correct for any view, no intra-table
+    /// parallelism.
+    pub fn whole() -> Self {
+        Morsel { source: MorselSource::Whole, date_minmax: None }
+    }
+
+    /// Whether the morsel could contain a row whose date key falls in the
+    /// inclusive `hint` range. `true` whenever either side is unknown.
+    pub fn may_overlap(&self, hint: Option<(u32, u32)>) -> bool {
+        match (self.date_minmax, hint) {
+            (Some((min, max)), Some((lo, hi))) => max >= lo && min <= hi,
+            _ => true,
+        }
+    }
+}
+
 /// The executor's window onto an engine at one snapshot timestamp.
-pub trait SnapshotView {
+///
+/// `Sync` is a supertrait so `&dyn SnapshotView` can be shared across the
+/// probe phase's scoped worker threads; views are read-only snapshots, so
+/// every implementation is naturally `Sync`.
+pub trait SnapshotView: Sync {
     /// The snapshot timestamp all scans observe.
     fn ts(&self) -> Ts;
 
     /// Scans every visible row of `table`, invoking `visit` per row.
     fn scan(&self, table: TableId, visit: &mut dyn FnMut(&RowRef<'_>));
+
+    /// Splits `table`'s visible rows into contiguous morsels for the
+    /// parallel probe phase. `hint` is the query's inclusive date-key range
+    /// (when one exists); views that track per-morsel date bounds attach
+    /// them so the executor can prune non-overlapping morsels. Scanning
+    /// every returned morsel with [`SnapshotView::scan_morsel`] must visit
+    /// exactly the rows [`SnapshotView::scan`] would, in some order.
+    fn morsels(&self, _table: TableId, _hint: Option<(u32, u32)>) -> Vec<Morsel> {
+        vec![Morsel::whole()]
+    }
+
+    /// Scans one morsel previously returned by [`SnapshotView::morsels`]
+    /// for `table`. The default handles only [`MorselSource::Whole`]; a
+    /// view that returns range morsels must override this too.
+    fn scan_morsel(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        visit: &mut dyn FnMut(&RowRef<'_>),
+    ) {
+        match morsel.source {
+            MorselSource::Whole => self.scan(table, visit),
+            other => panic!("view produced {other:?} but does not implement scan_morsel"),
+        }
+    }
 
     /// The HATtrick freshness side-read (§4.2): the highest transaction
     /// number from each transactional client visible in this snapshot,
@@ -173,6 +254,86 @@ impl SnapshotView for MixedView<'_> {
             self.row_db.store(table).scan(self.ts, |_, row| visit(&RowRef::Row(row)));
         }
     }
+
+    fn morsels(&self, table: TableId, hint: Option<(u32, u32)>) -> Vec<Morsel> {
+        if self.dims.contains_key(&table) {
+            // Dimension overlays are tiny; not worth splitting.
+            return vec![Morsel::whole()];
+        }
+        let mut out = Vec::new();
+        if let Some(snap) = self.columnar.get(&table) {
+            // Only the fact date column participates in pruning, and only
+            // when the query actually supplied a hint.
+            let date_col = (table == TableId::Lineorder && hint.is_some())
+                .then_some(lineorder::ORDERDATE);
+            for (si, seg) in snap.segments().iter().enumerate() {
+                let visible = seg.visible_prefix(self.ts);
+                let minmax = date_col.and_then(|col| seg.u32_minmax(col));
+                let mut lo = 0;
+                while lo < visible {
+                    let hi = (lo + MORSEL_ROWS).min(visible);
+                    out.push(Morsel {
+                        source: MorselSource::SegmentRows { segment: si, lo, hi },
+                        date_minmax: minmax,
+                    });
+                    lo = hi;
+                }
+            }
+            let delta = snap.delta().len();
+            let mut lo = 0;
+            while lo < delta {
+                let hi = (lo + MORSEL_ROWS).min(delta);
+                out.push(Morsel {
+                    source: MorselSource::RowSlice { lo, hi },
+                    date_minmax: None,
+                });
+                lo = hi;
+            }
+        } else {
+            let slots = self.row_db.store(table).slot_count();
+            let mut lo = 0u64;
+            while lo < slots {
+                let hi = (lo + MORSEL_ROWS as u64).min(slots);
+                out.push(Morsel {
+                    source: MorselSource::RowRange { lo, hi },
+                    date_minmax: None,
+                });
+                lo = hi;
+            }
+        }
+        out
+    }
+
+    fn scan_morsel(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        visit: &mut dyn FnMut(&RowRef<'_>),
+    ) {
+        match morsel.source {
+            MorselSource::Whole => self.scan(table, visit),
+            MorselSource::RowRange { lo, hi } => {
+                self.row_db
+                    .store(table)
+                    .scan_range(self.ts, lo, hi, |_, row| visit(&RowRef::Row(row)));
+            }
+            MorselSource::SegmentRows { segment, lo, hi } => {
+                let snap =
+                    self.columnar.get(&table).expect("segment morsel on non-columnar table");
+                let seg = &snap.segments()[segment];
+                for idx in lo..hi {
+                    visit(&RowRef::Col { seg, idx });
+                }
+            }
+            MorselSource::RowSlice { lo, hi } => {
+                let snap =
+                    self.columnar.get(&table).expect("delta morsel on non-columnar table");
+                for (_, row) in &snap.delta()[lo..hi] {
+                    visit(&RowRef::Row(row));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +421,115 @@ mod tests {
         view.scan(TableId::History, &mut |r| custkeys.push(r.u32(1)));
         assert_eq!(custkeys, vec![10, 10, 10, 10]);
         assert_eq!(view.columnar_tables(), vec![TableId::History]);
+    }
+
+    fn lineorder_row(orderdate: u32) -> Row {
+        row_from([
+            Value::U64(1),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(1),
+            Value::U32(orderdate),
+            Value::Str(Arc::from("p")),
+            Value::Str(Arc::from("s")),
+            Value::U32(1),
+            Value::Money(Money::from_cents(100)),
+            Value::Money(Money::from_cents(100)),
+            Value::U32(0),
+            Value::Money(Money::from_cents(100)),
+            Value::Money(Money::from_cents(50)),
+            Value::U32(0),
+            Value::U32(orderdate),
+            Value::Str(Arc::from("RAIL")),
+        ])
+    }
+
+    /// Concatenating a view's morsel scans must equal its full scan.
+    fn assert_morsels_cover(view: &MixedView<'_>, table: TableId) -> usize {
+        let mut full = Vec::new();
+        view.scan(table, &mut |r| full.push(r.u64(0)));
+        let morsels = view.morsels(table, None);
+        let mut pieces = Vec::new();
+        for m in &morsels {
+            view.scan_morsel(table, m, &mut |r| pieces.push(r.u64(0)));
+        }
+        pieces.sort_unstable();
+        let mut sorted_full = full.clone();
+        sorted_full.sort_unstable();
+        assert_eq!(pieces, sorted_full);
+        morsels.len()
+    }
+
+    #[test]
+    fn morsel_overlap_semantics() {
+        let m = |mm| Morsel { source: MorselSource::Whole, date_minmax: mm };
+        assert!(m(None).may_overlap(Some((10, 20))), "unknown bounds never prune");
+        assert!(m(Some((1, 5))).may_overlap(None), "no hint never prunes");
+        assert!(m(Some((15, 30))).may_overlap(Some((10, 20))));
+        assert!(m(Some((20, 30))).may_overlap(Some((10, 20))), "inclusive edge");
+        assert!(!m(Some((21, 30))).may_overlap(Some((10, 20))));
+        assert!(!m(Some((1, 9))).may_overlap(Some((10, 20))));
+    }
+
+    #[test]
+    fn row_store_morsels_chunk_and_cover() {
+        let db = RowDb::new();
+        let store = db.store(TableId::History);
+        let n = MORSEL_ROWS as u64 + 100;
+        for i in 0..n {
+            store.install_insert(history_row(i, 0, 0), 2);
+        }
+        let view = MixedView::rows(&db, 5);
+        assert_eq!(assert_morsels_cover(&view, TableId::History), 2);
+        // Empty table: no morsels, nothing to scan.
+        assert!(view.morsels(TableId::Customer, None).is_empty());
+    }
+
+    #[test]
+    fn columnar_morsels_split_segments_and_delta() {
+        let db = RowDb::new();
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(2, (0..10).map(|i| history_row(i, 0, 0)));
+        ct.append_delta(4, history_row(10, 0, 0));
+        ct.append_delta(7, history_row(11, 0, 0));
+        let view = MixedView::rows(&db, 5).with_columnar(TableId::History, ct.snapshot(5));
+        let morsels = view.morsels(TableId::History, None);
+        assert_eq!(morsels.len(), 2, "one segment chunk + one visible-delta chunk");
+        assert!(matches!(morsels[0].source, MorselSource::SegmentRows { .. }));
+        assert!(matches!(morsels[1].source, MorselSource::RowSlice { .. }));
+        assert_morsels_cover(&view, TableId::History);
+    }
+
+    #[test]
+    fn dim_tables_stay_whole_morsels() {
+        use hat_storage::colstore::DimColumnCopy;
+        let db = RowDb::new();
+        let dim = DimColumnCopy::new(TableId::History);
+        dim.load(2, (0..4).map(|i| history_row(i, 10, 0)));
+        let view = MixedView::rows(&db, 5).with_dim(TableId::History, dim.snapshot(5));
+        assert_eq!(view.morsels(TableId::History, None), vec![Morsel::whole()]);
+        assert_morsels_cover(&view, TableId::History);
+    }
+
+    #[test]
+    fn lineorder_zone_maps_flow_into_morsels() {
+        let db = RowDb::new();
+        let ct = ColumnTable::new(TableId::Lineorder);
+        ct.load_segment(2, (0..20).map(|i| lineorder_row(19930101 + i)));
+        ct.load_segment(2, (0..20).map(|i| lineorder_row(19940101 + i)));
+        let view =
+            MixedView::rows(&db, 5).with_columnar(TableId::Lineorder, ct.snapshot(5));
+        let hint = Some((19940101, 19941231));
+        let morsels = view.morsels(TableId::Lineorder, hint);
+        assert_eq!(morsels.len(), 2);
+        assert_eq!(morsels[0].date_minmax, Some((19930101, 19930120)));
+        assert_eq!(morsels[1].date_minmax, Some((19940101, 19940120)));
+        assert!(!morsels[0].may_overlap(hint), "1993 segment prunes");
+        assert!(morsels[1].may_overlap(hint));
+        // Without a hint the view skips zone-map lookup entirely.
+        let unhinted = view.morsels(TableId::Lineorder, None);
+        assert!(unhinted.iter().all(|m| m.date_minmax.is_none()));
     }
 
     #[test]

@@ -274,6 +274,10 @@ pub struct Segment {
     /// Commit timestamp of each row, ascending.
     tss: Vec<Ts>,
     cols: Vec<ColumnData>,
+    /// Zone map: per-column `(min, max)` over all rows, for `u32` columns
+    /// only (`None` for other types). Covers the whole segment, so it is a
+    /// conservative superset of any visible prefix — safe for pruning.
+    u32_minmax: Vec<Option<(u32, u32)>>,
 }
 
 impl Segment {
@@ -309,6 +313,16 @@ impl Segment {
     /// Approximate compressed size in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.tss.len() * 8 + self.cols.iter().map(|c| c.approx_bytes()).sum::<usize>()
+    }
+
+    /// Zone-map lookup: the `(min, max)` of a `u32` column over *all* rows
+    /// in the segment. `None` for non-u32 columns and empty segments. The
+    /// range covers rows beyond any visible prefix too, so a scan that
+    /// skips a segment because this range misses its predicate can never
+    /// skip a visible matching row.
+    #[inline]
+    pub fn u32_minmax(&self, col: usize) -> Option<(u32, u32)> {
+        self.u32_minmax.get(col).copied().flatten()
     }
 }
 
@@ -357,7 +371,9 @@ impl SegmentBuilder {
         let types = table_column_types(self.table);
         let n = self.rows.len();
         let mut cols = Vec::with_capacity(types.len());
+        let mut u32_minmax = Vec::with_capacity(types.len());
         for (ci, ty) in types.iter().enumerate() {
+            let mut minmax = None;
             let col = match ty {
                 ColumnType::U64 => ColumnData::U64(
                     self.rows.iter().map(|r| r[ci].as_u64().expect("typed")).collect(),
@@ -365,6 +381,12 @@ impl SegmentBuilder {
                 ColumnType::U32 => {
                     let vals: Vec<u32> =
                         self.rows.iter().map(|r| r[ci].as_u32().expect("typed")).collect();
+                    minmax = vals
+                        .iter()
+                        .fold(None, |acc: Option<(u32, u32)>, &v| match acc {
+                            None => Some((v, v)),
+                            Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+                        });
                     if self.compress && n > 16 {
                         let rle = RleU32::encode(&vals);
                         if (rle.run_count() as f64) < RLE_THRESHOLD * n as f64 {
@@ -398,8 +420,9 @@ impl SegmentBuilder {
                 ),
             };
             cols.push(col);
+            u32_minmax.push(minmax);
         }
-        Segment { tss: self.tss, cols }
+        Segment { tss: self.tss, cols, u32_minmax }
     }
 }
 
@@ -776,6 +799,21 @@ mod tests {
         assert_eq!(seg.visible_prefix(51), 50);
         assert_eq!(seg.visible_prefix(1), 0);
         assert_eq!(seg.visible_prefix(u64::MAX), 100);
+    }
+
+    #[test]
+    fn zone_map_tracks_u32_columns_only() {
+        let mut b = SegmentBuilder::new(TableId::History);
+        for i in 0..100u64 {
+            b.push(2, history_row(i, 300 + (i % 5) as u32, 0));
+        }
+        let seg = b.build();
+        assert_eq!(seg.u32_minmax(1), Some((300, 304)));
+        assert_eq!(seg.u32_minmax(0), None, "u64 column has no u32 zone map");
+        assert_eq!(seg.u32_minmax(2), None, "money column has no u32 zone map");
+        assert_eq!(seg.u32_minmax(99), None, "out-of-range column is None");
+        let empty = SegmentBuilder::new(TableId::History).build();
+        assert_eq!(empty.u32_minmax(1), None);
     }
 
     #[test]

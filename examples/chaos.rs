@@ -80,6 +80,7 @@ fn main() {
             seed,
             reset_between_points: false,
             retry: RetryPolicy::default(),
+            ..BenchmarkConfig::default()
         },
     );
     let point = harness.run_point(4, 2);

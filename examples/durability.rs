@@ -22,10 +22,8 @@ use hattrick_repro::engine::{
 
 fn run_mode(mode: DurabilityMode, t: u32, a: u32) -> PointMeasurement {
     let data = generate(ScaleFactor(0.01), 5);
-    let engine: Arc<dyn HtapEngine> = Arc::new(ShdEngine::new(EngineConfig {
-        durability: mode,
-        ..EngineConfig::default()
-    }));
+    let engine: Arc<dyn HtapEngine> =
+        Arc::new(ShdEngine::new(EngineConfig::builder().durability(mode).build()));
     data.load_into(engine.as_ref()).expect("load");
     let harness = Harness::new(
         engine,

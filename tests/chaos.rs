@@ -146,6 +146,7 @@ fn chaos_mix_conserves_money_and_loses_no_commits() {
             seed: CHAOS_SEED,
             reset_between_points: false,
             retry: RetryPolicy::default(),
+            ..BenchmarkConfig::default()
         },
     );
     let loaded_hist: i64 = data

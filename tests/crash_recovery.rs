@@ -54,14 +54,13 @@ fn wal_dir(tag: &str, seed: u64) -> PathBuf {
 }
 
 fn fsync_config(dir: &Path) -> EngineConfig {
-    EngineConfig {
-        durability: DurabilityMode::Fsync(WalConfig {
+    EngineConfig::builder()
+        .durability(DurabilityMode::Fsync(WalConfig {
             // Small segments so scenarios cross rotation boundaries.
             segment_bytes: 4096,
             ..WalConfig::new(dir)
-        }),
-        ..EngineConfig::default()
-    }
+        }))
+        .build()
 }
 
 fn supplier_row(k: u32) -> hattrick_repro::common::Row {

@@ -14,7 +14,7 @@ use hattrick_repro::common::rng::HatRng;
 use hattrick_repro::common::value::row_with;
 use hattrick_repro::common::{HatError, Value};
 use hattrick_repro::engine::{
-    EngineConfig, HtapEngine, IndexProfile, LearnerConfig, LearnerEngine,
+    DurabilityMode, EngineConfig, HtapEngine, IndexProfile, LearnerConfig, LearnerEngine,
     LearnerProfile, NamedIndex, ShdEngine,
 };
 use hattrick_repro::query::spec::QueryId;
@@ -44,10 +44,12 @@ fn session_is_single_use() {
 fn no_index_profile_falls_back_to_scans_with_same_answers() {
     let data = generate(ScaleFactor(0.0008), 77);
     let make = |profile| {
-        let engine = ShdEngine::new(EngineConfig {
-            indexes: profile,
-            ..EngineConfig::default().without_durability()
-        });
+        let engine = ShdEngine::new(
+            EngineConfig::builder()
+                .indexes(profile)
+                .durability(DurabilityMode::Off)
+                .build(),
+        );
         data.load_into(&engine).unwrap();
         engine
     };

@@ -9,7 +9,7 @@ use std::time::Duration;
 use hattrick_repro::bench::freshness::FreshnessAgg;
 use hattrick_repro::bench::gen::{generate, ScaleFactor};
 use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
-use hattrick_repro::engine::{EngineConfig, HtapEngine, LockPolicy, ShdEngine};
+use hattrick_repro::engine::{DurabilityMode, EngineConfig, HtapEngine, LockPolicy, ShdEngine};
 
 fn no_reset_harness() -> Harness {
     let data = common::small_data();
@@ -66,10 +66,12 @@ fn wait_die_engine_completes_contended_workload() {
     // (possibly with die-retries) and conserve money exactly like no-wait.
     let data = generate(ScaleFactor(0.0006), 3);
     for policy in [LockPolicy::NoWait, LockPolicy::WaitDie] {
-        let engine = Arc::new(ShdEngine::new(EngineConfig {
-            lock_policy: policy,
-            ..EngineConfig::default().without_durability()
-        }));
+        let engine = Arc::new(ShdEngine::new(
+            EngineConfig::builder()
+                .lock_policy(policy)
+                .durability(DurabilityMode::Off)
+                .build(),
+        ));
         data.load_into(engine.as_ref()).unwrap();
         let state = WorkloadState::new(&data.profile);
         std::thread::scope(|scope| {

@@ -184,3 +184,40 @@ fn queries_reflect_new_orders_identically_across_engines() {
         assert_eq!(*rows, first_rows, "{name} matched rows diverged");
     }
 }
+
+#[test]
+fn index_prefilter_and_full_scan_agree_on_flight_one() {
+    // Regression for the prefilter fast path: the date-index plan must
+    // produce the exact same QueryOutput (groups, matched_rows, freshness
+    // side-read) as a full MixedView scan of the same snapshot. Run some
+    // transactions first so the snapshot is not just the loaded state.
+    use hattrick_repro::bench::workload::{run_transaction, TxnKind, WorkloadState};
+    use hattrick_repro::common::rng::HatRng;
+    use hattrick_repro::engine::{HtapEngine, ShdEngine};
+    use hattrick_repro::query::exec::execute;
+    use hattrick_repro::query::view::MixedView;
+
+    let data = common::small_data();
+    let engine = ShdEngine::new(common::fast_engine_config());
+    data.load_into(&engine).unwrap();
+    let state = WorkloadState::new(&data.profile);
+    let mut rng = HatRng::seeded(4242);
+    for i in 1..=20 {
+        run_transaction(&engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
+            .unwrap();
+    }
+
+    for id in [QueryId::Q1_1, QueryId::Q1_2, QueryId::Q1_3] {
+        let spec = ssb::query(id);
+        // The engine's plan: index prefilter (flight 1 always has a date
+        // range hint and the default profile includes the orderdate index).
+        let fast = engine.run_query(&spec).unwrap();
+        // The reference plan: full scan of the same snapshot.
+        let ts = engine.kernel().oracle.read_ts();
+        let view = MixedView::rows(&engine.kernel().db, ts);
+        let slow = execute(&spec, &view);
+        assert_eq!(fast, slow, "{}: prefilter plan diverged from full scan", id.label());
+        assert_eq!(fast.matched_rows, slow.matched_rows, "{}", id.label());
+        assert_eq!(fast.freshness, slow.freshness, "{}", id.label());
+    }
+}
