@@ -9,8 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hat_common::rng::HatRng;
 use hat_common::TableId;
 use hat_engine::{
-    DualConfig, DualEngine, EngineConfig, HtapEngine, IsoConfig, IsoEngine,
-    LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode, ShdEngine,
+    DualConfig, DualEngine, DurabilityMode, EngineConfig, HtapEngine, IsoConfig,
+    IsoEngine, LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode,
+    ShdEngine,
 };
 use hat_txn::LockManager;
 use hattrick::gen::{generate, GeneratedData, ScaleFactor};

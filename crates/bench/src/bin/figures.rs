@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use hat_bench::{
-    dataset, freshness_at_ratios, harness_for, out_dir, quick_mode, run_panel,
-    saturation_config, write_out, SfRole,
+    dataset, freshness_at_ratios, harness_for, out_dir, panel_artifact, quick_mode,
+    run_panel, saturation_config, write_out, SfRole,
 };
 use hat_engine::{
     DualConfig, DualEngine, EngineConfig, HtapEngine, IndexProfile, IsoConfig,
@@ -65,20 +65,18 @@ fn fig1() {
     let data = dataset(role, quick);
     let harness = harness_for(dual_engine(), &data, role, quick);
 
-    // (a) random sampling of client mixes.
+    // (a) random sampling of client mixes, published through the run
+    // artifact like every other measurement.
     let n = if quick { 8 } else { 30 };
     let mut rng = hat_common::rng::HatRng::seeded(0xF16);
     let samples = hattrick::frontier::sample_random(&harness, n, 12, &mut rng);
-    let mut csv = String::from("t_clients,a_clients,tps,qps\n");
-    let mut pts = Vec::new();
-    for m in &samples {
-        csv.push_str(&format!(
-            "{},{},{:.2},{:.3}\n",
-            m.t_clients, m.a_clients, m.tps, m.qps
-        ));
-        pts.push((m.tps, m.qps));
+    let pts: Vec<(f64, f64)> = samples.iter().map(|m| (m.tps, m.qps)).collect();
+    let mut sampling = panel_artifact("sampling", &harness);
+    for m in samples {
+        sampling.push_point(m);
     }
-    write_out(&dir, "sampling.csv", &csv);
+    write_out(&dir, "sampling.csv", &sampling.points_csv());
+    write_out(&dir, "sampling.artifact.json", &sampling.dump());
     println!(
         "{}",
         report::ascii_plot(

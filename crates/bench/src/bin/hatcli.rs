@@ -3,8 +3,11 @@
 //! ```text
 //! hatcli engines
 //! hatcli point    --engine shared --sf 0.01 -t 4 -a 2 [--repeats 3]
+//!                 [--metrics-out run.json]
 //! hatcli frontier --engine learner-dist --sf 0.01 [--quick]
+//!                 [--metrics-out run.json]
 //! hatcli compare  --sf 0.02
+//! hatcli artifact run.json          # validate + summarize an artifact
 //! ```
 //!
 //! Engine names: `shared`, `shared-rc`, `shared-semi`, `shared-noidx`,
@@ -20,10 +23,11 @@ use hat_engine::{
     LearnerProfile, QueryOpts, ReplicationMode, ShdEngine, WalConfig,
 };
 use hat_txn::IsolationLevel;
+use hattrick::artifact::{RunArtifact, RunConfig};
 use hattrick::freshness::FreshnessAgg;
 use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
 use hattrick::gen::{generate, ScaleFactor};
-use hattrick::harness::{BenchmarkConfig, Harness, PointMeasurement};
+use hattrick::harness::{BenchmarkConfig, Harness, PointMeasurement, SamplePhase};
 use hattrick::report;
 
 const ENGINES: [&str; 11] = [
@@ -167,13 +171,17 @@ fn make_harness(
 fn print_point(m: &PointMeasurement) {
     println!(
         "tps={:.1} qps={:.2} (commits={} queries={} aborts={})",
-        m.tps, m.qps, m.committed, m.queries, m.aborts
+        m.tps,
+        m.qps,
+        m.committed(),
+        m.queries(),
+        m.aborts()
     );
-    println!("{}", report::resilience_line(m).trim_start());
-    if let Some(line) = report::durability_line(m) {
+    println!("{}", report::resilience_line(&m.metrics).trim_start());
+    if let Some(line) = report::durability_line(&m.metrics_end) {
         println!("{}", line.trim_start());
     }
-    if let Some(line) = report::analytics_line(m) {
+    if let Some(line) = report::analytics_line(&m.metrics_end) {
         println!("{}", line.trim_start());
     }
     let agg = FreshnessAgg::from_samples(&m.freshness);
@@ -186,24 +194,53 @@ fn print_point(m: &PointMeasurement) {
             agg.zero_fraction * 100.0
         );
     }
-    if !m.txn_latency.is_empty() {
+    let txn_latency = m.txn_latency();
+    if !txn_latency.is_empty() {
         println!("transaction latency (ms):");
-        for (label, s) in &m.txn_latency {
+        for (label, s) in &txn_latency {
             println!(
                 "  {label:<14} n={:<7} mean={:.3} p95={:.3} max={:.3}",
                 s.count, s.mean_ms, s.p95_ms, s.max_ms
             );
         }
     }
-    if !m.query_latency.is_empty() {
+    let query_latency = m.query_latency();
+    if !query_latency.is_empty() {
         println!("query latency (ms):");
-        for (label, s) in &m.query_latency {
+        for (label, s) in &query_latency {
             println!(
                 "  {label:<6} n={:<5} mean={:.2} p95={:.2} max={:.2}",
                 s.count, s.mean_ms, s.p95_ms, s.max_ms
             );
         }
     }
+}
+
+/// The artifact header for a run this process is about to execute.
+fn run_config(engine: &str, sf: f64, repeats: u32, harness: &Harness) -> RunConfig {
+    let cfg = harness.config();
+    RunConfig {
+        engine: engine.to_string(),
+        scale_factor: sf,
+        seed: cfg.seed,
+        warmup_secs: cfg.warmup.as_secs_f64(),
+        measure_secs: cfg.measure.as_secs_f64(),
+        sample_every_secs: cfg.sample_every.as_secs_f64(),
+        repeats,
+    }
+}
+
+/// Validates and writes the artifact where `--metrics-out` points.
+fn write_artifact(path: &str, artifact: &RunArtifact) -> i32 {
+    if let Err(e) = artifact.validate() {
+        eprintln!("error: metrics artifact failed validation: {e}");
+        return 1;
+    }
+    artifact
+        .write_to(std::path::Path::new(path))
+        .expect("write metrics artifact");
+    println!("wrote metrics artifact {path}");
+    0
 }
 
 fn cmd_point(args: &Args) -> i32 {
@@ -223,6 +260,11 @@ fn cmd_point(args: &Args) -> i32 {
     let m = harness.run_point_avg(t, a, repeats);
     println!("== {} @ SF {sf}, T:A = {t}:{a}, {repeats} repeat(s) ==", engine);
     print_point(&m);
+    if let Some(path) = args.get(&["metrics-out"]) {
+        let mut artifact = RunArtifact::new(run_config(&engine, sf, repeats, &harness));
+        artifact.push_point(m);
+        return write_artifact(path, &artifact);
+    }
     0
 }
 
@@ -260,6 +302,59 @@ fn cmd_frontier(args: &Args) -> i32 {
         std::fs::write(out, hattrick::svg::frontier_svg(&engine, &[(&engine, &frontier)]))
             .expect("write svg");
         println!("wrote {out}");
+    }
+    if let Some(path) = args.get(&["metrics-out"]) {
+        let mut artifact = RunArtifact::new(run_config(&engine, sf, 1, &harness));
+        for m in &grid.measurements {
+            artifact.push_point(m.clone());
+        }
+        return write_artifact(path, &artifact);
+    }
+    0
+}
+
+/// Parses, validates, and summarizes a previously written run artifact.
+fn cmd_artifact(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: hatcli artifact <run.json>");
+        return 2;
+    };
+    let artifact = match RunArtifact::read_from(std::path::Path::new(path)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = artifact.validate() {
+        eprintln!("error: invalid artifact: {e}");
+        return 1;
+    }
+    let c = &artifact.config;
+    println!(
+        "artifact schema v{}: {} @ SF {} ({} point(s))",
+        artifact.schema_version,
+        c.engine,
+        c.scale_factor,
+        artifact.points.len()
+    );
+    for m in &artifact.points {
+        let samples = m
+            .timeseries
+            .iter()
+            .filter(|s| s.phase == SamplePhase::Measure)
+            .count();
+        println!(
+            "  T:A={}:{} tps={:.1} qps={:.2} commits={} queries={} \
+             ({} measurement samples)",
+            m.t_clients,
+            m.a_clients,
+            m.tps,
+            m.qps,
+            m.committed(),
+            m.queries(),
+            samples
+        );
     }
     0
 }
@@ -319,12 +414,17 @@ fn main() {
         "point" => cmd_point(&args),
         "frontier" => cmd_frontier(&args),
         "compare" => cmd_compare(&args),
+        "artifact" => cmd_artifact(argv.get(1).map(String::as_str)),
         _ => {
             eprintln!(
-                "usage: hatcli <engines|point|frontier|compare> [flags]\n\
+                "usage: hatcli <engines|point|frontier|compare|artifact> [flags]\n\
                  point:    --engine <name> --sf <f> -t <n> -a <n> [--repeats n]\n\
                  frontier: --engine <name> --sf <f> [--quick] [--out chart.svg]\n\
                  compare:  --sf <f> [--quick]\n\
+                 artifact: <run.json> (validate + summarize a metrics artifact)\n\
+                 point/frontier also take --metrics-out <run.json> (write the\n\
+                 versioned JSON run artifact: config, per-point metric\n\
+                 snapshots, latency histograms, time series)\n\
                  point/frontier/compare also take --a-threads <n> (morsel\n\
                  parallelism per analytical query, default 1) and\n\
                  point/frontier --durability off|sleep|fsync\n\

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hat_engine::HtapEngine;
+use hattrick::artifact::{RunArtifact, RunConfig};
 use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
 use hattrick::gen::{generate, GeneratedData, ScaleFactor};
 use hattrick::harness::{BenchmarkConfig, Harness};
@@ -129,10 +130,27 @@ pub struct PanelResult {
     pub name: String,
     pub grid: hattrick::frontier::GridGraph,
     pub frontier: Frontier,
+    /// Every grid measurement as a versioned run artifact — the same
+    /// document `hatcli --metrics-out` writes.
+    pub artifact: RunArtifact,
 }
 
-/// Runs the saturation method for one engine/panel, writes CSVs, prints
-/// the ASCII frontier.
+/// Builds the artifact for a measured panel from the harness that ran it.
+pub fn panel_artifact(panel: &str, harness: &Harness) -> RunArtifact {
+    let cfg = harness.config();
+    RunArtifact::new(RunConfig {
+        engine: format!("{panel} ({})", harness.engine().name()),
+        scale_factor: harness.profile().scale,
+        seed: cfg.seed,
+        warmup_secs: cfg.warmup.as_secs_f64(),
+        measure_secs: cfg.measure.as_secs_f64(),
+        sample_every_secs: cfg.sample_every.as_secs_f64(),
+        repeats: 1,
+    })
+}
+
+/// Runs the saturation method for one engine/panel, writes CSVs plus the
+/// metrics artifact, prints the ASCII frontier.
 pub fn run_panel(
     fig_dir: &Path,
     panel: &str,
@@ -142,11 +160,21 @@ pub fn run_panel(
     println!("-- panel {panel}");
     let grid = build_grid(harness, cfg);
     let frontier = Frontier::from_grid(&grid);
+    let mut artifact = panel_artifact(panel, harness);
+    for m in &grid.measurements {
+        artifact.push_point(m.clone());
+    }
     write_out(fig_dir, &format!("{panel}.grid.csv"), &report::grid_csv(&grid));
     write_out(
         fig_dir,
         &format!("{panel}.frontier.csv"),
         &report::frontier_csv(&frontier),
+    );
+    write_out(fig_dir, &format!("{panel}.artifact.json"), &artifact.dump());
+    write_out(
+        fig_dir,
+        &format!("{panel}.timeseries.csv"),
+        &artifact.timeseries_csv(),
     );
     write_out(
         fig_dir,
@@ -172,7 +200,7 @@ pub fn run_panel(
         t_ret,
         a_ret,
     );
-    PanelResult { name: panel.to_string(), grid, frontier }
+    PanelResult { name: panel.to_string(), grid, frontier, artifact }
 }
 
 /// The paper's freshness ratio points: T:A = 20:80, 50:50, 80:20 over a

@@ -16,6 +16,7 @@ pub mod error;
 pub mod ids;
 pub mod money;
 pub mod rng;
+pub mod telemetry;
 pub mod value;
 
 pub use clock::{BenchClock, Nanos};

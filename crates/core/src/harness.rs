@@ -7,21 +7,30 @@
 //! measurement. Each client issues one request at a time and waits for the
 //! result before the next (§5.3); T and A clients are independent threads,
 //! so the engine is free to schedule them as it pleases.
+//!
+//! Telemetry: the coordinator samples [`HtapEngine::metrics`] on a fixed
+//! cadence through both phases, producing a per-run time series
+//! ([`TimeSeriesSample`]) alongside the end-of-run snapshots. A
+//! [`PointMeasurement`] carries two [`MetricsSnapshot`]s — the
+//! measurement-window diff plus the cumulative post-run state — and every
+//! counter the old struct exposed as a field is now a derived accessor
+//! over those snapshots.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hat_common::clock::BenchClock;
 use hat_common::rng::HatRng;
+use hat_common::telemetry::{names, Histogram, HistogramSnapshot, MetricsSnapshot};
 use hat_engine::{HtapEngine, QueryOpts};
+use hat_query::spec::QueryId;
 use hat_query::ssb;
 use parking_lot::Mutex;
 
 use crate::freshness::{score_query, CommitRegistry, FreshnessSample};
 use crate::gen::{DataProfile, MAX_TXN_CLIENTS};
-use crate::workload::{query_batch, run_transaction, TxnMix, WorkloadState};
+use crate::workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};
 
 /// Phases of a benchmark run.
 const PHASE_WARMUP: u8 = 0;
@@ -94,6 +103,10 @@ pub struct BenchmarkConfig {
     /// [`HtapEngine::run_query_opts`] — notably the intra-query morsel
     /// parallelism (`hatcli --a-threads`).
     pub query_opts: QueryOpts,
+    /// Cadence of the coordinator's engine-metrics samples (the time
+    /// series in every [`PointMeasurement`]). Clamped so the measurement
+    /// phase always yields at least five samples.
+    pub sample_every: Duration,
 }
 
 impl Default for BenchmarkConfig {
@@ -105,6 +118,7 @@ impl Default for BenchmarkConfig {
             reset_between_points: true,
             retry: RetryPolicy::default(),
             query_opts: QueryOpts::default(),
+            sample_every: Duration::from_millis(5),
         }
     }
 }
@@ -119,47 +133,116 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_nanos(mut samples: Vec<u64>) -> Self {
-        if samples.is_empty() {
+    /// Summarizes a latency histogram (nanosecond values) into
+    /// milliseconds. The p95 is the bucket upper bound, clamped to the
+    /// observed maximum — at most one log-linear bucket width (6.25%)
+    /// above the true quantile.
+    pub fn from_hist(h: &HistogramSnapshot) -> Self {
+        if h.is_empty() {
             return LatencyStats { count: 0, mean_ms: 0.0, p95_ms: 0.0, max_ms: 0.0 };
         }
-        samples.sort_unstable();
-        let count = samples.len() as u64;
-        let mean = samples.iter().sum::<u64>() as f64 / count as f64;
-        let p95 = samples[((samples.len() - 1) as f64 * 0.95).round() as usize];
         LatencyStats {
-            count,
-            mean_ms: mean / 1e6,
-            p95_ms: p95 as f64 / 1e6,
-            max_ms: *samples.last().expect("non-empty") as f64 / 1e6,
+            count: h.count,
+            mean_ms: h.mean() / 1e6,
+            p95_ms: h.quantile(0.95) as f64 / 1e6,
+            max_ms: h.max as f64 / 1e6,
         }
     }
 }
 
-/// Shared per-label latency collector.
-#[derive(Default)]
-struct LatencyLog {
-    samples: Mutex<HashMap<&'static str, Vec<u64>>>,
+/// Pre-registered per-label latency histograms.
+///
+/// `record` is a linear scan over a handful of static labels plus an
+/// atomic bucket increment — no lock, no allocation — so it sits directly
+/// on the client loops without perturbing the latencies it measures.
+struct LatencyHists {
+    entries: Vec<(&'static str, Histogram)>,
 }
 
-impl LatencyLog {
-    fn record(&self, label: &'static str, nanos: u64) {
-        self.samples.lock().entry(label).or_default().push(nanos);
+impl LatencyHists {
+    fn new(labels: impl IntoIterator<Item = &'static str>) -> Self {
+        LatencyHists {
+            entries: labels.into_iter().map(|l| (l, Histogram::new())).collect(),
+        }
     }
 
-    fn summarize(self) -> Vec<(String, LatencyStats)> {
-        let mut out: Vec<(String, LatencyStats)> = self
-            .samples
-            .into_inner()
-            .into_iter()
-            .map(|(label, samples)| (label.to_string(), LatencyStats::from_nanos(samples)))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+    fn record(&self, label: &str, nanos: u64) {
+        if let Some((_, h)) = self.entries.iter().find(|(l, _)| *l == label) {
+            h.record(nanos);
+        }
     }
+
+    /// Installs the non-empty label histograms into `snap` under `prefix`.
+    fn install(&self, snap: &mut MetricsSnapshot, prefix: &str) {
+        for (label, h) in &self.entries {
+            let s = h.snapshot();
+            if !s.is_empty() {
+                snap.set_histogram(&format!("{prefix}{label}"), s);
+            }
+        }
+    }
+}
+
+/// Phase a time-series sample was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePhase {
+    Warmup,
+    Measure,
+}
+
+impl SamplePhase {
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplePhase::Warmup => "warmup",
+            SamplePhase::Measure => "measure",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<SamplePhase> {
+        match s {
+            "warmup" => Some(SamplePhase::Warmup),
+            "measure" => Some(SamplePhase::Measure),
+            _ => None,
+        }
+    }
+}
+
+/// One fixed-cadence sample of engine state during a run. The paper's
+/// §6.2 figures plot throughput and freshness *over time*; this is the
+/// raw series behind such plots, taken through warmup and measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesSample {
+    /// Seconds since this run's clients started (warmup included).
+    pub t_secs: f64,
+    pub phase: SamplePhase,
+    /// Which repetition of the point the sample came from (0-based; set
+    /// by [`PointMeasurement::average`]).
+    pub run: u32,
+    /// Engine-side commit rate over the sampling interval. Includes
+    /// warmup and in-doubt commits, unlike the harness-side `tps` which
+    /// counts only acknowledged measurement-phase commits.
+    pub tps: f64,
+    /// Engine-side query completion rate over the sampling interval.
+    pub qps: f64,
+    /// Replication backlog gauge at sample time (records shipped but not
+    /// yet applied).
+    pub backlog: u64,
+    /// Columnar delta rows awaiting merge at sample time.
+    pub delta_rows: u64,
+    /// Mean freshness score (seconds) of the queries that finished in
+    /// this interval; `0.0` when none finished.
+    pub freshness_lag: f64,
 }
 
 /// The measured outcome of one `(τ, α)` point.
+///
+/// Counters live in two [`MetricsSnapshot`]s rather than hand-copied
+/// fields: `metrics` is the measurement window (engine deltas + harness
+/// client counters + latency histograms), `metrics_end` the cumulative
+/// engine state after the run. The old struct fields survive as derived
+/// accessors ([`PointMeasurement::committed`] etc.), so consumers read
+/// the same numbers through one schema that also serializes into the run
+/// artifact.
 #[derive(Debug, Clone)]
 pub struct PointMeasurement {
     pub t_clients: u32,
@@ -168,63 +251,149 @@ pub struct PointMeasurement {
     pub tps: f64,
     /// Finished analytical queries per second during measurement.
     pub qps: f64,
-    pub committed: u64,
-    pub queries: u64,
-    pub aborts: u64,
-    /// Retry attempts issued by transactional clients after retryable
-    /// aborts (each is also counted in `aborts`).
-    pub retries: u64,
-    /// Commits that returned committed-in-doubt (replication timeout): the
-    /// work is durable on the primary but the acknowledgment bound was
-    /// missed. Not counted in `committed` or `tps`.
-    pub timeouts: u64,
-    /// Logical transactions abandoned after exhausting the retry budget.
-    pub gave_up: u64,
-    /// Analytical query attempts that failed retryably (replica
-    /// unavailable / read-index timeout) and were retried or abandoned.
-    pub query_retries: u64,
-    /// High-water mark of the engine's replication backlog sampled during
-    /// the measurement phase (records shipped but not yet applied).
-    pub backlog_hwm: u64,
-    /// Durability flushes since engine start (real fsyncs in `Fsync`
-    /// mode, simulated group-commit flushes in `Sleep` mode).
-    pub fsyncs: u64,
-    /// Median group-commit batch size (commits per flush).
-    pub group_commit_p50: f64,
-    /// 99th-percentile group-commit batch size.
-    pub group_commit_p99: f64,
-    /// Morsels the analytical executor scanned since engine start.
-    pub morsels_scanned: u64,
-    /// Morsels skipped by zone-map pruning since engine start.
-    pub morsels_pruned: u64,
-    /// Wall-clock nanoseconds spent in parallel probe phases.
-    pub probe_nanos: u64,
-    /// Largest worker pool any single query used.
-    pub probe_workers: u32,
-    /// Aggregate folds clamped at the i64 range instead of wrapping.
-    pub agg_saturations: u64,
-    /// WAL records replayed at engine start (crash recovery).
-    pub recovery_replayed_records: u64,
-    /// Torn trailing records truncated at engine start.
-    pub torn_tail_truncations: u64,
+    /// Measurement-window metrics: engine-counter diffs across the
+    /// measurement phase, `harness.*` client counters, and
+    /// `latency.txn.*` / `latency.query.*` histograms.
+    pub metrics: MetricsSnapshot,
+    /// Cumulative engine snapshot taken after the run — for counters
+    /// meaningful since engine start (WAL recovery, fsyncs, scans).
+    pub metrics_end: MetricsSnapshot,
+    /// Fixed-cadence engine samples through warmup and measurement.
+    pub timeseries: Vec<TimeSeriesSample>,
     /// Freshness scores (seconds) of the queries finished during
     /// measurement.
     pub freshness: Vec<FreshnessSample>,
-    /// Actual measurement-phase length.
+    /// Actual measurement-phase length (summed across averaged runs).
     pub measured_secs: f64,
-    /// Per-transaction-type latency during measurement (§6.1: the
-    /// benchmark "extracts also the average response time of each
-    /// transaction type and analytical query").
-    pub txn_latency: Vec<(String, LatencyStats)>,
-    /// Per-query latency during measurement.
-    pub query_latency: Vec<(String, LatencyStats)>,
 }
 
 impl PointMeasurement {
+    /// Acknowledged commits during measurement.
+    pub fn committed(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_COMMITTED)
+    }
+
+    /// Analytical queries finished during measurement.
+    pub fn queries(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_QUERIES)
+    }
+
+    /// Retryable aborts observed during measurement.
+    pub fn aborts(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_ABORTS)
+    }
+
+    /// Retry attempts issued by transactional clients after retryable
+    /// aborts (each is also counted in [`Self::aborts`]).
+    pub fn retries(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_RETRIES)
+    }
+
+    /// Commits that returned committed-in-doubt (replication timeout):
+    /// durable on the primary but the acknowledgment bound was missed.
+    /// Not counted in [`Self::committed`] or `tps`.
+    pub fn timeouts(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_TIMEOUTS)
+    }
+
+    /// Logical transactions abandoned after exhausting the retry budget.
+    pub fn gave_up(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_GAVE_UP)
+    }
+
+    /// Analytical query attempts that failed retryably (replica
+    /// unavailable / read-index timeout).
+    pub fn query_retries(&self) -> u64 {
+        self.metrics.counter(names::HARNESS_QUERY_RETRIES)
+    }
+
+    /// High-water mark of the replication backlog sampled during the run.
+    pub fn backlog_hwm(&self) -> u64 {
+        self.metrics.gauge(names::HARNESS_BACKLOG_HWM)
+    }
+
+    /// Durability flushes since engine start (real fsyncs in `Fsync`
+    /// mode, simulated group-commit flushes in `Sleep` mode).
+    pub fn fsyncs(&self) -> u64 {
+        self.metrics_end.counter(names::WAL_FSYNCS)
+    }
+
+    /// Median group-commit batch size (commits per flush).
+    pub fn group_commit_p50(&self) -> f64 {
+        self.metrics_end
+            .histogram(names::WAL_GROUP_COMMIT_BATCH)
+            .map_or(0.0, |h| h.quantile(0.50) as f64)
+    }
+
+    /// 99th-percentile group-commit batch size.
+    pub fn group_commit_p99(&self) -> f64 {
+        self.metrics_end
+            .histogram(names::WAL_GROUP_COMMIT_BATCH)
+            .map_or(0.0, |h| h.quantile(0.99) as f64)
+    }
+
+    /// Morsels the analytical executor scanned since engine start.
+    pub fn morsels_scanned(&self) -> u64 {
+        self.metrics_end.counter(names::MORSELS_SCANNED)
+    }
+
+    /// Morsels skipped by zone-map pruning since engine start.
+    pub fn morsels_pruned(&self) -> u64 {
+        self.metrics_end.counter(names::MORSELS_PRUNED)
+    }
+
+    /// Wall-clock nanoseconds spent in parallel probe phases.
+    pub fn probe_nanos(&self) -> u64 {
+        self.metrics_end.counter(names::PROBE_NANOS)
+    }
+
+    /// Largest worker pool any single query used.
+    pub fn probe_workers(&self) -> u32 {
+        self.metrics_end.gauge(names::PROBE_WORKERS_MAX) as u32
+    }
+
+    /// Aggregate folds clamped at the i64 range instead of wrapping.
+    pub fn agg_saturations(&self) -> u64 {
+        self.metrics_end.counter(names::AGG_SATURATIONS)
+    }
+
+    /// WAL records replayed at engine start (crash recovery).
+    pub fn recovery_replayed_records(&self) -> u64 {
+        self.metrics_end.counter(names::WAL_RECOVERY_REPLAYED)
+    }
+
+    /// Torn trailing records truncated at engine start.
+    pub fn torn_tail_truncations(&self) -> u64 {
+        self.metrics_end.counter(names::WAL_TORN_TAILS)
+    }
+
+    /// Per-transaction-type latency during measurement (§6.1: the
+    /// benchmark "extracts also the average response time of each
+    /// transaction type and analytical query").
+    pub fn txn_latency(&self) -> Vec<(String, LatencyStats)> {
+        self.latency_with_prefix(names::LATENCY_TXN_PREFIX)
+    }
+
+    /// Per-query latency during measurement.
+    pub fn query_latency(&self) -> Vec<(String, LatencyStats)> {
+        self.latency_with_prefix(names::LATENCY_QUERY_PREFIX)
+    }
+
+    fn latency_with_prefix(&self, prefix: &str) -> Vec<(String, LatencyStats)> {
+        self.metrics
+            .histograms_with_prefix(prefix)
+            .map(|(label, h)| (label.to_string(), LatencyStats::from_hist(h)))
+            .collect()
+    }
+
     /// Averages repeated measurements of the same point (§6.1: "we repeat
     /// the execution of the benchmark three times and report the average
-    /// results"). Throughputs are averaged; counters summed; freshness
-    /// samples concatenated; latency stats taken from the longest run.
+    /// results"). Throughputs are averaged; window counters and latency
+    /// histograms merge exactly (bucket-wise addition), so the reported
+    /// latency distribution covers *every* run — the old code took the
+    /// stats of the single busiest run. Freshness samples and time series
+    /// are concatenated (samples tagged with their run index); the
+    /// cumulative end snapshot of the final run covers all runs.
     pub fn average(runs: Vec<PointMeasurement>) -> PointMeasurement {
         assert!(!runs.is_empty(), "need at least one run");
         let n = runs.len() as f64;
@@ -232,66 +401,31 @@ impl PointMeasurement {
         let a_clients = runs[0].a_clients;
         let tps = runs.iter().map(|m| m.tps).sum::<f64>() / n;
         let qps = runs.iter().map(|m| m.qps).sum::<f64>() / n;
-        let committed = runs.iter().map(|m| m.committed).sum();
-        let queries = runs.iter().map(|m| m.queries).sum();
-        let aborts = runs.iter().map(|m| m.aborts).sum();
-        let retries = runs.iter().map(|m| m.retries).sum();
-        let timeouts = runs.iter().map(|m| m.timeouts).sum();
-        let gave_up = runs.iter().map(|m| m.gave_up).sum();
-        let query_retries = runs.iter().map(|m| m.query_retries).sum();
-        let backlog_hwm = runs.iter().map(|m| m.backlog_hwm).max().unwrap_or(0);
-        let fsyncs = runs.iter().map(|m| m.fsyncs).max().unwrap_or(0);
-        // Scan counters are cumulative since engine start, like `fsyncs`:
-        // the last (largest) snapshot covers all runs.
-        let morsels_scanned = runs.iter().map(|m| m.morsels_scanned).max().unwrap_or(0);
-        let morsels_pruned = runs.iter().map(|m| m.morsels_pruned).max().unwrap_or(0);
-        let probe_nanos = runs.iter().map(|m| m.probe_nanos).max().unwrap_or(0);
-        let probe_workers = runs.iter().map(|m| m.probe_workers).max().unwrap_or(0);
-        let agg_saturations = runs.iter().map(|m| m.agg_saturations).max().unwrap_or(0);
-        let recovery_replayed_records =
-            runs.iter().map(|m| m.recovery_replayed_records).max().unwrap_or(0);
-        let torn_tail_truncations =
-            runs.iter().map(|m| m.torn_tail_truncations).max().unwrap_or(0);
         let measured_secs = runs.iter().map(|m| m.measured_secs).sum();
-        let mut freshness = Vec::new();
-        let mut best: Option<PointMeasurement> = None;
-        for m in runs {
-            freshness.extend_from_slice(&m.freshness);
-            let better = best
-                .as_ref()
-                .is_none_or(|b| m.committed + m.queries > b.committed + b.queries);
-            if better {
-                best = Some(m);
-            }
+        let mut metrics = runs[0].metrics.clone();
+        for m in &runs[1..] {
+            metrics = metrics.merge(&m.metrics);
         }
-        let best = best.expect("non-empty");
+        let metrics_end = runs.last().expect("non-empty").metrics_end.clone();
+        let mut freshness = Vec::new();
+        let mut timeseries = Vec::new();
+        for (run, m) in runs.into_iter().enumerate() {
+            freshness.extend_from_slice(&m.freshness);
+            timeseries.extend(m.timeseries.into_iter().map(|mut s| {
+                s.run = run as u32;
+                s
+            }));
+        }
         PointMeasurement {
             t_clients,
             a_clients,
             tps,
             qps,
-            committed,
-            queries,
-            aborts,
-            retries,
-            timeouts,
-            gave_up,
-            query_retries,
-            backlog_hwm,
-            fsyncs,
-            group_commit_p50: best.group_commit_p50,
-            group_commit_p99: best.group_commit_p99,
-            morsels_scanned,
-            morsels_pruned,
-            probe_nanos,
-            probe_workers,
-            agg_saturations,
-            recovery_replayed_records,
-            torn_tail_truncations,
+            metrics,
+            metrics_end,
+            timeseries,
             freshness,
             measured_secs,
-            txn_latency: best.txn_latency,
-            query_latency: best.query_latency,
         }
     }
 
@@ -302,28 +436,11 @@ impl PointMeasurement {
             a_clients,
             tps: 0.0,
             qps: 0.0,
-            committed: 0,
-            queries: 0,
-            aborts: 0,
-            retries: 0,
-            timeouts: 0,
-            gave_up: 0,
-            query_retries: 0,
-            backlog_hwm: 0,
-            fsyncs: 0,
-            group_commit_p50: 0.0,
-            group_commit_p99: 0.0,
-            morsels_scanned: 0,
-            morsels_pruned: 0,
-            probe_nanos: 0,
-            probe_workers: 0,
-            agg_saturations: 0,
-            recovery_replayed_records: 0,
-            torn_tail_truncations: 0,
+            metrics: MetricsSnapshot::new(),
+            metrics_end: MetricsSnapshot::new(),
+            timeseries: Vec::new(),
             freshness: Vec::new(),
             measured_secs: 0.0,
-            txn_latency: Vec::new(),
-            query_latency: Vec::new(),
         }
     }
 }
@@ -432,8 +549,10 @@ impl Harness {
         let gave_up = AtomicU64::new(0);
         let query_retries = AtomicU64::new(0);
         let freshness: Mutex<Vec<FreshnessSample>> = Mutex::new(Vec::new());
-        let txn_latency = LatencyLog::default();
-        let query_latency = LatencyLog::default();
+        let txn_latency = LatencyHists::new(
+            [TxnKind::NewOrder, TxnKind::Payment, TxnKind::CountOrders].map(TxnKind::label),
+        );
+        let query_latency = LatencyHists::new(QueryId::ALL.map(|q| q.label()));
         let bases: Vec<u64> = self
             .txnnums
             .iter()
@@ -441,7 +560,7 @@ impl Harness {
             .collect();
         let registry = CommitRegistry::new(&bases);
 
-        let backlog_hwm = std::thread::scope(|scope| {
+        let (timeseries, backlog_hwm, measure_begin) = std::thread::scope(|scope| {
             // Transactional clients.
             for client in 0..t_clients {
                 let engine = &*self.engine;
@@ -599,59 +718,120 @@ impl Harness {
                 });
             }
 
-            // Coordinator: warm up, then sample the replication backlog
-            // while the measurement phase elapses, then stop.
-            std::thread::sleep(self.config.warmup);
-            phase.store(PHASE_MEASURE, Ordering::Relaxed);
-            let deadline = Instant::now() + self.config.measure;
-            let mut hwm = self.engine.stats().replication_backlog;
-            loop {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+            // Coordinator: tick through warmup and measurement on a
+            // fixed cadence, sampling engine metrics into the time
+            // series, then stop. The tick is clamped so the measurement
+            // phase yields at least five samples even when `measure` is
+            // shorter than the configured cadence.
+            let tick = self
+                .config
+                .sample_every
+                .min(self.config.measure / 8)
+                .max(Duration::from_micros(100));
+            let t0 = Instant::now();
+            let mut series: Vec<TimeSeriesSample> = Vec::new();
+            let mut prev = self.engine.metrics();
+            let mut prev_t = t0;
+            let mut fresh_seen = 0usize;
+            let mut hwm = prev.gauge(names::REPL_BACKLOG);
+            let measure_begin;
+            // Block scope: the sampler closure borrows `series`/`hwm`
+            // mutably; its borrows must end before they are moved out.
+            {
+                let mut sample = |p: SamplePhase| {
+                    let now = Instant::now();
+                    let snap = self.engine.metrics();
+                    let dt = (now - prev_t).as_secs_f64().max(1e-9);
+                    let d_commits = snap
+                        .counter(names::TXN_COMMITS)
+                        .saturating_sub(prev.counter(names::TXN_COMMITS));
+                    let d_queries = snap
+                        .counter(names::QUERIES)
+                        .saturating_sub(prev.counter(names::QUERIES));
+                    let backlog = snap.gauge(names::REPL_BACKLOG);
+                    hwm = hwm.max(backlog);
+                    let freshness_lag = {
+                        let all = freshness.lock();
+                        let new = &all[fresh_seen.min(all.len())..];
+                        let lag = if new.is_empty() {
+                            0.0
+                        } else {
+                            new.iter().sum::<f64>() / new.len() as f64
+                        };
+                        fresh_seen = all.len();
+                        lag
+                    };
+                    series.push(TimeSeriesSample {
+                        t_secs: (now - t0).as_secs_f64(),
+                        phase: p,
+                        run: 0,
+                        tps: d_commits as f64 / dt,
+                        qps: d_queries as f64 / dt,
+                        backlog,
+                        delta_rows: snap.gauge(names::DELTA_ROWS),
+                        freshness_lag,
+                    });
+                    prev = snap;
+                    prev_t = now;
+                };
+                let warmup_deadline = t0 + self.config.warmup;
+                loop {
+                    let now = Instant::now();
+                    if now >= warmup_deadline {
+                        break;
+                    }
+                    std::thread::sleep((warmup_deadline - now).min(tick));
+                    sample(SamplePhase::Warmup);
                 }
-                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
-                hwm = hwm.max(self.engine.stats().replication_backlog);
+                phase.store(PHASE_MEASURE, Ordering::Relaxed);
+                measure_begin = self.engine.metrics();
+                let deadline = Instant::now() + self.config.measure;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(tick));
+                    sample(SamplePhase::Measure);
+                }
             }
             phase.store(PHASE_DONE, Ordering::Relaxed);
             stop.store(true, Ordering::Relaxed);
             // Scope joins all clients here.
-            hwm
+            (series, hwm, measure_begin)
         });
 
         let elapsed = self.config.measure.as_secs_f64();
         let committed = committed.load(Ordering::Relaxed);
         let queries = queries.load(Ordering::Relaxed);
-        // Durability counters are cumulative since engine start; report
-        // the post-measurement snapshot.
-        let dstats = self.engine.stats();
+        // The window diff captures what the engine did during measurement;
+        // the cumulative snapshot keeps the since-start counters (WAL
+        // recovery, fsyncs, scan totals).
+        let metrics_end = self.engine.metrics();
+        let mut metrics = metrics_end.diff(&measure_begin);
+        metrics.set_counter(names::HARNESS_COMMITTED, committed);
+        metrics.set_counter(names::HARNESS_QUERIES, queries);
+        metrics.set_counter(names::HARNESS_ABORTS, aborts.load(Ordering::Relaxed));
+        metrics.set_counter(names::HARNESS_RETRIES, retries.load(Ordering::Relaxed));
+        metrics.set_counter(names::HARNESS_TIMEOUTS, timeouts.load(Ordering::Relaxed));
+        metrics.set_counter(names::HARNESS_GAVE_UP, gave_up.load(Ordering::Relaxed));
+        metrics.set_counter(
+            names::HARNESS_QUERY_RETRIES,
+            query_retries.load(Ordering::Relaxed),
+        );
+        metrics.set_gauge(names::HARNESS_BACKLOG_HWM, backlog_hwm);
+        txn_latency.install(&mut metrics, names::LATENCY_TXN_PREFIX);
+        query_latency.install(&mut metrics, names::LATENCY_QUERY_PREFIX);
         PointMeasurement {
             t_clients,
             a_clients,
             tps: committed as f64 / elapsed,
             qps: queries as f64 / elapsed,
-            committed,
-            queries,
-            aborts: aborts.load(Ordering::Relaxed),
-            retries: retries.load(Ordering::Relaxed),
-            timeouts: timeouts.load(Ordering::Relaxed),
-            gave_up: gave_up.load(Ordering::Relaxed),
-            query_retries: query_retries.load(Ordering::Relaxed),
-            backlog_hwm,
-            fsyncs: dstats.fsyncs,
-            group_commit_p50: dstats.group_commit_p50,
-            group_commit_p99: dstats.group_commit_p99,
-            morsels_scanned: dstats.morsels_scanned,
-            morsels_pruned: dstats.morsels_pruned,
-            probe_nanos: dstats.probe_nanos,
-            probe_workers: dstats.probe_workers_max,
-            agg_saturations: dstats.agg_saturations,
-            recovery_replayed_records: dstats.recovery_replayed_records,
-            torn_tail_truncations: dstats.torn_tail_truncations,
+            metrics,
+            metrics_end,
+            timeseries,
             freshness: freshness.into_inner(),
             measured_secs: elapsed,
-            txn_latency: txn_latency.summarize(),
-            query_latency: query_latency.summarize(),
         }
     }
 }
@@ -683,7 +863,7 @@ mod tests {
     fn pure_txn_point_produces_throughput() {
         let h = tiny_harness();
         let m = h.run_point(2, 0);
-        assert!(m.tps > 0.0, "committed {} in {}s", m.committed, m.measured_secs);
+        assert!(m.tps > 0.0, "committed {} in {}s", m.committed(), m.measured_secs);
         assert_eq!(m.qps, 0.0);
         assert_eq!(m.t_clients, 2);
         assert!(m.freshness.is_empty());
@@ -693,7 +873,7 @@ mod tests {
     fn pure_analytic_point_produces_queries() {
         let h = tiny_harness();
         let m = h.run_point(0, 2);
-        assert!(m.qps > 0.0, "{} queries", m.queries);
+        assert!(m.qps > 0.0, "{} queries", m.queries());
         assert_eq!(m.tps, 0.0);
     }
 
@@ -703,7 +883,7 @@ mod tests {
         let m = h.run_point(2, 1);
         assert!(m.tps > 0.0);
         assert!(m.qps > 0.0);
-        assert_eq!(m.freshness.len() as u64, m.queries);
+        assert_eq!(m.freshness.len() as u64, m.queries());
         // Shared engine: freshness must be (essentially) zero.
         let agg = crate::freshness::FreshnessAgg::from_samples(&m.freshness);
         assert!(agg.p99 < 0.005, "shared design is fresh, saw p99={}", agg.p99);
@@ -713,13 +893,15 @@ mod tests {
     fn latency_stats_collected_per_label() {
         let h = tiny_harness();
         let m = h.run_point(2, 1);
-        assert!(!m.txn_latency.is_empty(), "txn latencies recorded");
-        assert!(!m.query_latency.is_empty(), "query latencies recorded");
-        let total: u64 = m.txn_latency.iter().map(|(_, s)| s.count).sum();
-        assert_eq!(total, m.committed);
-        let qtotal: u64 = m.query_latency.iter().map(|(_, s)| s.count).sum();
-        assert_eq!(qtotal, m.queries);
-        for (label, stats) in m.txn_latency.iter().chain(&m.query_latency) {
+        let txn = m.txn_latency();
+        let query = m.query_latency();
+        assert!(!txn.is_empty(), "txn latencies recorded");
+        assert!(!query.is_empty(), "query latencies recorded");
+        let total: u64 = txn.iter().map(|(_, s)| s.count).sum();
+        assert_eq!(total, m.committed());
+        let qtotal: u64 = query.iter().map(|(_, s)| s.count).sum();
+        assert_eq!(qtotal, m.queries());
+        for (label, stats) in txn.iter().chain(&query) {
             assert!(stats.mean_ms > 0.0, "{label}");
             assert!(stats.p95_ms >= stats.mean_ms * 0.1, "{label}");
             assert!(stats.max_ms >= stats.p95_ms, "{label}");
@@ -727,21 +909,67 @@ mod tests {
     }
 
     #[test]
+    fn timeseries_sampled_through_both_phases() {
+        let h = tiny_harness();
+        let m = h.run_point(2, 1);
+        let warm = m
+            .timeseries
+            .iter()
+            .filter(|s| s.phase == SamplePhase::Warmup)
+            .count();
+        let meas = m
+            .timeseries
+            .iter()
+            .filter(|s| s.phase == SamplePhase::Measure)
+            .count();
+        assert!(warm >= 1, "warmup sampled ({warm})");
+        assert!(meas >= 5, "at least five measurement samples ({meas})");
+        // Samples are time-ordered and the engine committed something
+        // over the run, so some interval must show commits.
+        let ordered = m.timeseries.windows(2).all(|w| w[0].t_secs <= w[1].t_secs);
+        assert!(ordered, "time series is ordered");
+        assert!(m.timeseries.iter().any(|s| s.tps > 0.0));
+    }
+
+    #[test]
+    fn window_metrics_match_engine_deltas() {
+        let h = tiny_harness();
+        let m = h.run_point(2, 0);
+        // The engine committed at least as much as the harness
+        // acknowledged during measurement (engine window also catches
+        // commits straddling the phase flip).
+        assert!(m.metrics.counter(names::TXN_COMMITS) > 0);
+        assert!(m.metrics_end.counter(names::TXN_COMMITS) >= m.committed());
+        // Commit spans were recorded in the window.
+        let span = m.metrics.histogram(names::SPAN_COMMIT).expect("commit span");
+        assert!(span.count > 0);
+    }
+
+    #[test]
     fn averaging_repeated_points() {
         let h = tiny_harness();
         let avg = h.run_point_avg(1, 1, 2);
         assert!(avg.tps > 0.0);
-        assert_eq!(avg.freshness.len() as u64, avg.queries, "samples concatenated");
+        assert_eq!(avg.freshness.len() as u64, avg.queries(), "samples concatenated");
+        assert!(avg.timeseries.iter().any(|s| s.run == 1), "series tagged per run");
         // Synthetic check of the math.
         let mut a = PointMeasurement::zero(1, 0);
         a.tps = 10.0;
-        a.committed = 10;
+        a.metrics.set_counter(names::HARNESS_COMMITTED, 10);
+        a.metrics
+            .set_histogram("latency.txn.payment", HistogramSnapshot::from_values(&[100]));
         let mut b = PointMeasurement::zero(1, 0);
         b.tps = 20.0;
-        b.committed = 20;
+        b.metrics.set_counter(names::HARNESS_COMMITTED, 20);
+        b.metrics
+            .set_histogram("latency.txn.payment", HistogramSnapshot::from_values(&[300]));
         let m = PointMeasurement::average(vec![a, b]);
         assert_eq!(m.tps, 15.0);
-        assert_eq!(m.committed, 30);
+        assert_eq!(m.committed(), 30);
+        // Latency histograms merged across runs, not taken from one run.
+        let lat = m.txn_latency();
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat[0].1.count, 2);
     }
 
     #[test]

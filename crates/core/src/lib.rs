@@ -10,6 +10,8 @@
 //!   proportional line/bounding box annotations, and the design-category
 //!   classifier (§3).
 //! * [`report`] — text/CSV rendering of frontiers, grids, and CDFs.
+//! * [`artifact`] — the versioned JSON run artifact (config + per-point
+//!   metric snapshots + time series), written by `hatcli --metrics-out`.
 //!
 //! Quick start:
 //!
@@ -30,6 +32,7 @@
 //! assert!(point.tps > 0.0 && point.qps > 0.0);
 //! ```
 
+pub mod artifact;
 pub mod freshness;
 pub mod frontier;
 pub mod gen;
@@ -38,11 +41,14 @@ pub mod report;
 pub mod svg;
 pub mod workload;
 
+pub use artifact::{RunArtifact, RunConfig, SCHEMA_VERSION};
 pub use freshness::{cdf, score_query, CommitRegistry, FreshnessAgg, FreshnessSample};
 pub use frontier::{
     build_grid, classify, find_saturation, sample_random, FixedKind, Frontier,
     FrontierPoint, GridGraph, GridLine, SaturationConfig, ShapeClass,
 };
 pub use gen::{generate, DataProfile, GeneratedData, ScaleFactor, MAX_TXN_CLIENTS};
-pub use harness::{BenchmarkConfig, Harness, PointMeasurement};
+pub use harness::{
+    BenchmarkConfig, Harness, PointMeasurement, SamplePhase, TimeSeriesSample,
+};
 pub use workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};

@@ -9,9 +9,10 @@
 
 use std::fmt::Write as _;
 
+use hat_common::telemetry::{names, MetricsSnapshot};
+
 use crate::freshness::FreshnessAgg;
 use crate::frontier::{classify, FixedKind, Frontier, GridGraph};
-use crate::harness::PointMeasurement;
 
 /// CSV of a frontier: `t_clients,a_clients,tps,qps`.
 pub fn frontier_csv(frontier: &Frontier) -> String {
@@ -162,62 +163,86 @@ pub fn summary(name: &str, frontier: &Frontier, freshness: &FreshnessAgg) -> Str
 
 /// One-line resilience accounting for a measured point: how the clients
 /// coped with retryable failures, and how far replication fell behind.
-/// Fault-free runs (all counters zero) report "clean".
-pub fn resilience_line(m: &PointMeasurement) -> String {
-    if m.aborts == 0
-        && m.retries == 0
-        && m.timeouts == 0
-        && m.gave_up == 0
-        && m.query_retries == 0
-        && m.backlog_hwm == 0
+/// Takes the point's *window* snapshot ([`PointMeasurement::metrics`]:
+/// `harness.*` counters). Fault-free runs (all counters zero) report
+/// "clean".
+///
+/// [`PointMeasurement::metrics`]: crate::harness::PointMeasurement
+pub fn resilience_line(m: &MetricsSnapshot) -> String {
+    let aborts = m.counter(names::HARNESS_ABORTS);
+    let retries = m.counter(names::HARNESS_RETRIES);
+    let timeouts = m.counter(names::HARNESS_TIMEOUTS);
+    let gave_up = m.counter(names::HARNESS_GAVE_UP);
+    let query_retries = m.counter(names::HARNESS_QUERY_RETRIES);
+    let backlog_hwm = m.gauge(names::HARNESS_BACKLOG_HWM);
+    if aborts == 0
+        && retries == 0
+        && timeouts == 0
+        && gave_up == 0
+        && query_retries == 0
+        && backlog_hwm == 0
     {
         return "  resilience: clean (no retryable failures, backlog 0)".to_string();
     }
     format!(
-        "  resilience: {} aborts, {} retries, {} in-doubt commits, {} gave up, \
-         {} query retries, backlog hwm {}",
-        m.aborts, m.retries, m.timeouts, m.gave_up, m.query_retries, m.backlog_hwm
+        "  resilience: {aborts} aborts, {retries} retries, {timeouts} in-doubt commits, \
+         {gave_up} gave up, {query_retries} query retries, backlog hwm {backlog_hwm}"
     )
 }
 
-/// One-line durability accounting for a measured point: how many flushes
-/// the durability layer issued, how well group commit batched concurrent
-/// commits, and what (if anything) crash recovery replayed at startup.
-/// Returns `None` when durability is off (nothing to report).
-pub fn durability_line(m: &PointMeasurement) -> Option<String> {
-    if m.fsyncs == 0 && m.recovery_replayed_records == 0 && m.torn_tail_truncations == 0 {
+/// One-line durability accounting: how many flushes the durability layer
+/// issued, how well group commit batched concurrent commits, and what (if
+/// anything) crash recovery replayed at startup. Takes the *cumulative*
+/// snapshot ([`PointMeasurement::metrics_end`]: `wal.*` counters run
+/// since engine start). Returns `None` when durability is off (nothing
+/// to report).
+///
+/// [`PointMeasurement::metrics_end`]: crate::harness::PointMeasurement
+pub fn durability_line(m: &MetricsSnapshot) -> Option<String> {
+    let fsyncs = m.counter(names::WAL_FSYNCS);
+    let replayed = m.counter(names::WAL_RECOVERY_REPLAYED);
+    let torn = m.counter(names::WAL_TORN_TAILS);
+    if fsyncs == 0 && replayed == 0 && torn == 0 {
         return None;
     }
+    let (p50, p99) = m
+        .histogram(names::WAL_GROUP_COMMIT_BATCH)
+        .map_or((0.0, 0.0), |h| {
+            (h.quantile(0.50) as f64, h.quantile(0.99) as f64)
+        });
     let mut line = format!(
-        "  durability: {} fsyncs, group-commit batch p50 {:.1} / p99 {:.1}",
-        m.fsyncs, m.group_commit_p50, m.group_commit_p99
+        "  durability: {fsyncs} fsyncs, group-commit batch p50 {p50:.1} / p99 {p99:.1}"
     );
-    if m.recovery_replayed_records > 0 || m.torn_tail_truncations > 0 {
+    if replayed > 0 || torn > 0 {
         line.push_str(&format!(
-            ", recovered {} records ({} torn tails truncated)",
-            m.recovery_replayed_records, m.torn_tail_truncations
+            ", recovered {replayed} records ({torn} torn tails truncated)"
         ));
     }
     Some(line)
 }
 
-/// One-line analytical-executor accounting for a measured point: the
-/// largest worker pool a query used, how many morsels the probe phases
-/// scanned vs. pruned via zone maps, and the wall time spent probing.
-/// Returns `None` when no analytical query ran (no morsels scanned).
-pub fn analytics_line(m: &PointMeasurement) -> Option<String> {
-    if m.morsels_scanned == 0 && m.morsels_pruned == 0 {
+/// One-line analytical-executor accounting: the largest worker pool a
+/// query used, how many morsels the probe phases scanned vs. pruned via
+/// zone maps, and the wall time spent probing. Takes the *cumulative*
+/// snapshot ([`PointMeasurement::metrics_end`]: `scan.*`/`probe.*`
+/// counters). Returns `None` when no analytical query ran.
+///
+/// [`PointMeasurement::metrics_end`]: crate::harness::PointMeasurement
+pub fn analytics_line(m: &MetricsSnapshot) -> Option<String> {
+    let scanned = m.counter(names::MORSELS_SCANNED);
+    let pruned = m.counter(names::MORSELS_PRUNED);
+    if scanned == 0 && pruned == 0 {
         return None;
     }
     let mut line = format!(
-        "  analytics: {} workers max, {} morsels scanned, {} pruned, probe {:.1}ms",
-        m.probe_workers,
-        m.morsels_scanned,
-        m.morsels_pruned,
-        m.probe_nanos as f64 / 1e6
+        "  analytics: {} workers max, {scanned} morsels scanned, {pruned} pruned, \
+         probe {:.1}ms",
+        m.gauge(names::PROBE_WORKERS_MAX),
+        m.counter(names::PROBE_NANOS) as f64 / 1e6
     );
-    if m.agg_saturations > 0 {
-        line.push_str(&format!(", {} aggregate saturations", m.agg_saturations));
+    let saturations = m.counter(names::AGG_SATURATIONS);
+    if saturations > 0 {
+        line.push_str(&format!(", {saturations} aggregate saturations"));
     }
     Some(line)
 }
@@ -226,6 +251,7 @@ pub fn analytics_line(m: &PointMeasurement) -> Option<String> {
 mod tests {
     use super::*;
     use crate::frontier::FrontierPoint;
+    use hat_common::telemetry::HistogramSnapshot;
 
     fn frontier() -> Frontier {
         Frontier::from_points(vec![
@@ -246,19 +272,21 @@ mod tests {
 
     #[test]
     fn durability_line_elides_off_mode_and_reports_counters() {
-        let off = PointMeasurement::zero(2, 1);
+        let off = MetricsSnapshot::new();
         assert!(durability_line(&off).is_none(), "nothing to say when durability is off");
-        let mut flushed = PointMeasurement::zero(2, 1);
-        flushed.fsyncs = 120;
-        flushed.group_commit_p50 = 3.0;
-        flushed.group_commit_p99 = 9.0;
+        let mut flushed = MetricsSnapshot::new();
+        flushed.set_counter(names::WAL_FSYNCS, 120);
+        flushed.set_histogram(
+            names::WAL_GROUP_COMMIT_BATCH,
+            HistogramSnapshot::from_values(&[3, 3, 3, 9]),
+        );
         let line = durability_line(&flushed).unwrap();
         assert!(line.contains("120 fsyncs"));
         assert!(line.contains("p50 3.0"));
         assert!(line.contains("p99 9.0"));
         assert!(!line.contains("recovered"), "no recovery counters on a clean start");
-        flushed.recovery_replayed_records = 42;
-        flushed.torn_tail_truncations = 1;
+        flushed.set_counter(names::WAL_RECOVERY_REPLAYED, 42);
+        flushed.set_counter(names::WAL_TORN_TAILS, 1);
         let line = durability_line(&flushed).unwrap();
         assert!(line.contains("recovered 42 records"));
         assert!(line.contains("1 torn tails truncated"));
@@ -266,20 +294,20 @@ mod tests {
 
     #[test]
     fn analytics_line_elides_idle_points_and_reports_counters() {
-        let idle = PointMeasurement::zero(2, 0);
+        let idle = MetricsSnapshot::new();
         assert!(analytics_line(&idle).is_none(), "no queries ran, nothing to say");
-        let mut busy = PointMeasurement::zero(2, 1);
-        busy.probe_workers = 8;
-        busy.morsels_scanned = 240;
-        busy.morsels_pruned = 60;
-        busy.probe_nanos = 2_500_000;
+        let mut busy = MetricsSnapshot::new();
+        busy.set_gauge(names::PROBE_WORKERS_MAX, 8);
+        busy.set_counter(names::MORSELS_SCANNED, 240);
+        busy.set_counter(names::MORSELS_PRUNED, 60);
+        busy.set_counter(names::PROBE_NANOS, 2_500_000);
         let line = analytics_line(&busy).unwrap();
         assert!(line.contains("8 workers max"));
         assert!(line.contains("240 morsels scanned"));
         assert!(line.contains("60 pruned"));
         assert!(line.contains("probe 2.5ms"));
         assert!(!line.contains("saturations"), "clamp counter elided when zero");
-        busy.agg_saturations = 3;
+        busy.set_counter(names::AGG_SATURATIONS, 3);
         let line = analytics_line(&busy).unwrap();
         assert!(line.contains("3 aggregate saturations"));
     }
@@ -323,15 +351,15 @@ mod tests {
 
     #[test]
     fn resilience_line_elides_clean_runs_and_reports_counters() {
-        let clean = PointMeasurement::zero(2, 1);
+        let clean = MetricsSnapshot::new();
         assert!(resilience_line(&clean).contains("clean"));
-        let mut noisy = PointMeasurement::zero(2, 1);
-        noisy.aborts = 4;
-        noisy.retries = 3;
-        noisy.timeouts = 2;
-        noisy.gave_up = 1;
-        noisy.query_retries = 5;
-        noisy.backlog_hwm = 17;
+        let mut noisy = MetricsSnapshot::new();
+        noisy.set_counter(names::HARNESS_ABORTS, 4);
+        noisy.set_counter(names::HARNESS_RETRIES, 3);
+        noisy.set_counter(names::HARNESS_TIMEOUTS, 2);
+        noisy.set_counter(names::HARNESS_GAVE_UP, 1);
+        noisy.set_counter(names::HARNESS_QUERY_RETRIES, 5);
+        noisy.set_gauge(names::HARNESS_BACKLOG_HWM, 17);
         let line = resilience_line(&noisy);
         assert!(line.contains("4 aborts"));
         assert!(line.contains("3 retries"));

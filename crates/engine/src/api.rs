@@ -6,6 +6,7 @@
 //! workload crate is written once against these traits and runs unchanged
 //! on every engine design.
 
+use hat_common::telemetry::{names, MetricsSnapshot};
 use hat_common::{ColId, Result, Row, TableId};
 use hat_query::exec::{QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
@@ -220,6 +221,33 @@ pub struct EngineStats {
     pub agg_saturations: u64,
 }
 
+impl EngineStats {
+    /// Derives the flat legacy view from a [`MetricsSnapshot`]. This is
+    /// the *only* place metric names map to struct fields; everything
+    /// else reads the snapshot by name.
+    pub fn from_metrics(m: &MetricsSnapshot) -> EngineStats {
+        let batches = m.histogram(names::WAL_GROUP_COMMIT_BATCH);
+        EngineStats {
+            commits: m.counter(names::TXN_COMMITS),
+            aborts: m.counter(names::TXN_ABORTS),
+            queries: m.counter(names::QUERIES),
+            replication_backlog: m.gauge(names::REPL_BACKLOG),
+            delta_rows: m.gauge(names::DELTA_ROWS),
+            replication_timeouts: m.counter(names::TXN_REPL_TIMEOUTS),
+            fsyncs: m.counter(names::WAL_FSYNCS),
+            group_commit_p50: batches.map_or(0.0, |h| h.quantile(0.50) as f64),
+            group_commit_p99: batches.map_or(0.0, |h| h.quantile(0.99) as f64),
+            recovery_replayed_records: m.counter(names::WAL_RECOVERY_REPLAYED),
+            torn_tail_truncations: m.counter(names::WAL_TORN_TAILS),
+            morsels_scanned: m.counter(names::MORSELS_SCANNED),
+            morsels_pruned: m.counter(names::MORSELS_PRUNED),
+            probe_nanos: m.counter(names::PROBE_NANOS),
+            probe_workers_max: m.gauge(names::PROBE_WORKERS_MAX) as u32,
+            agg_saturations: m.counter(names::AGG_SATURATIONS),
+        }
+    }
+}
+
 /// One in-flight transaction.
 ///
 /// All reads observe the session's isolation level; all writes are buffered
@@ -299,8 +327,17 @@ pub trait HtapEngine: Send + Sync {
     /// traffic.
     fn reset(&self) -> Result<()>;
 
-    /// Current counters.
-    fn stats(&self) -> EngineStats;
+    /// One diffable, serializable snapshot of every metric the engine
+    /// tracks: kernel counters, span histograms, durability counters, and
+    /// the engine's own gauges (replication backlog, delta rows). The
+    /// harness diffs successive snapshots for measurement windows and
+    /// time-series sampling.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Flat legacy view of [`HtapEngine::metrics`].
+    fn stats(&self) -> EngineStats {
+        EngineStats::from_metrics(&self.metrics())
+    }
 }
 
 /// Blanket helper: a handle bundling an engine reference (used by client

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use hat_common::telemetry::{MetricsSnapshot, SpanTimer};
 use hat_common::{Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
@@ -33,7 +34,7 @@ use hat_query::view::MixedView;
 use hat_txn::LOAD_TS;
 use parking_lot::RwLock;
 
-use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
+use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
 use crate::kernel::RowKernel;
 
 /// Configuration of the snapshot engine.
@@ -194,11 +195,13 @@ impl HtapEngine for CowEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
-        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.queries.inc();
         // Analytics read the last snapshot, not the current horizon:
         // bounded staleness, no interference with in-flight commits'
         // version installation.
+        let span = SpanTimer::start();
         let ts = self.snapshot_ts.load(Ordering::Acquire);
+        span.finish(&self.kernel.stats.snapshot_span);
         let view = MixedView::rows(&self.kernel.db, ts);
         let out = execute_with(spec, &view, opts);
         self.kernel.stats.record_exec(&out.stats);
@@ -212,8 +215,8 @@ impl HtapEngine for CowEngine {
         Ok(())
     }
 
-    fn stats(&self) -> EngineStats {
-        self.kernel.stats_snapshot()
+    fn metrics(&self) -> MetricsSnapshot {
+        self.kernel.metrics()
     }
 }
 

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use hat_common::telemetry::Histogram;
 use hat_common::Result;
 use hat_storage::dwal::{DurableWal, DurableWalStats, WalConfig, WalRecovery};
 use hat_storage::wal::TableOp;
@@ -68,6 +69,8 @@ struct SleepGroupCommit {
     latency: Duration,
     state: Mutex<SleepState>,
     cv: Condvar,
+    /// Waiters per simulated flush (lock-free; read by `stats`).
+    batch_hist: Histogram,
 }
 
 #[derive(Default)]
@@ -81,7 +84,6 @@ struct SleepState {
     /// Waiters enrolled in the pending (not yet flushing) epoch.
     enrolled: u64,
     flushes: u64,
-    batch_sizes: Vec<u64>,
 }
 
 impl SleepGroupCommit {
@@ -90,6 +92,7 @@ impl SleepGroupCommit {
             latency,
             state: Mutex::new(SleepState::default()),
             cv: Condvar::new(),
+            batch_hist: Histogram::new(),
         }
     }
 
@@ -115,11 +118,7 @@ impl SleepGroupCommit {
                 st.durable_epoch = st.epoch;
                 st.leader_active = false;
                 st.flushes += 1;
-                st.batch_sizes.push(batch);
-                if st.batch_sizes.len() > 1 << 16 {
-                    let half = st.batch_sizes.len() / 2;
-                    st.batch_sizes.drain(..half);
-                }
+                self.batch_hist.record(batch);
                 self.cv.notify_all();
                 return;
             }
@@ -128,28 +127,16 @@ impl SleepGroupCommit {
     }
 
     fn stats(&self) -> DurableWalStats {
-        let st = self.state.lock();
-        let (p50, p99) = percentiles(&st.batch_sizes);
+        let batches = self.batch_hist.snapshot();
+        let flushes = self.state.lock().flushes;
         DurableWalStats {
-            fsyncs: st.flushes,
-            group_commit_p50: p50,
-            group_commit_p99: p99,
+            fsyncs: flushes,
+            group_commit_p50: batches.quantile(0.50) as f64,
+            group_commit_p99: batches.quantile(0.99) as f64,
+            group_commit_batches: batches,
             ..DurableWalStats::default()
         }
     }
-}
-
-fn percentiles(samples: &[u64]) -> (f64, f64) {
-    if samples.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |q: f64| {
-        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[idx] as f64
-    };
-    (at(0.50), at(0.99))
 }
 
 /// The runtime object behind a [`DurabilityMode`], held by the kernel.

@@ -19,6 +19,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::RecvTimeoutError;
+use hat_common::telemetry::{names, MetricsSnapshot, SpanTimer};
 use hat_common::{HatError, Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
@@ -29,7 +30,7 @@ use hat_txn::{IsolationLevel, Ts, Watermark, LOAD_TS};
 use parking_lot::RwLock;
 
 use crate::api::{
-    DesignCategory, EngineConfig, EngineStats, HtapEngine, IndexProfile, Session,
+    DesignCategory, EngineConfig, HtapEngine, IndexProfile, Session,
 };
 use crate::kernel::{CommitHooks, RowKernel};
 use crate::netsim::NetworkLink;
@@ -265,12 +266,15 @@ impl HtapEngine for DualEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
-        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.queries.inc();
         // Merge-on-read: the snapshot at the query's start includes every
         // delta row up to ts — the latest updates are always merged before
-        // execution, so freshness is zero (§6.4).
+        // execution, so freshness is zero (§6.4). The snapshot span prices
+        // that merge-on-read view construction.
+        let span = SpanTimer::start();
         let ts = self.kernel.oracle.read_ts();
         let view = self.columnar.view(&self.kernel, ts);
+        span.finish(&self.kernel.stats.snapshot_span);
         let out = execute_with(spec, &view, opts);
         self.kernel.stats.record_exec(&out.stats);
         Ok(out)
@@ -282,10 +286,10 @@ impl HtapEngine for DualEngine {
         Ok(())
     }
 
-    fn stats(&self) -> EngineStats {
-        let mut stats = self.kernel.stats_snapshot();
-        stats.delta_rows = self.columnar.lineorder.delta_len() as u64;
-        stats
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.kernel.metrics();
+        snap.set_gauge(names::DELTA_ROWS, self.columnar.lineorder.delta_len() as u64);
+        snap
     }
 }
 
@@ -611,11 +615,13 @@ impl HtapEngine for LearnerEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
-        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.queries.inc();
         // Read-index wait: TiDB merges the tail of the log with the
         // analytical data before executing, so the query sees everything
         // committed before its start — freshness zero by construction
-        // (§6.5.1), paid as wait latency here.
+        // (§6.5.1), paid as wait latency here. The snapshot span prices
+        // that wait plus view construction.
+        let span = SpanTimer::start();
         let ts = self.kernel.oracle.read_ts();
         // Wait only up to the last logged commit: timestamps burned
         // without a record (aborted installs) never reach the learner,
@@ -626,6 +632,7 @@ impl HtapEngine for LearnerEngine {
             return Err(HatError::ReplicaUnavailable);
         }
         let view = self.columnar.view(&self.kernel, ts);
+        span.finish(&self.kernel.stats.snapshot_span);
         let out = execute_with(spec, &view, opts);
         self.kernel.stats.record_exec(&out.stats);
         Ok(out)
@@ -639,11 +646,11 @@ impl HtapEngine for LearnerEngine {
         Ok(())
     }
 
-    fn stats(&self) -> EngineStats {
-        let mut stats = self.kernel.stats_snapshot();
-        stats.replication_backlog = self.backlog.load(Ordering::Relaxed);
-        stats.delta_rows = self.columnar.lineorder.delta_len() as u64;
-        stats
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.kernel.metrics();
+        snap.set_gauge(names::REPL_BACKLOG, self.backlog.load(Ordering::Relaxed));
+        snap.set_gauge(names::DELTA_ROWS, self.columnar.lineorder.delta_len() as u64);
+        snap
     }
 }
 

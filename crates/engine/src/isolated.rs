@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
 use hat_common::clock::BenchClock;
+use hat_common::telemetry::{names, MetricsSnapshot, SpanTimer};
 use hat_common::{HatError, Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
@@ -34,7 +35,7 @@ use hat_storage::wal::{TableOp, Wal, DEFAULT_RETENTION};
 use hat_txn::{Ts, Watermark, LOAD_TS};
 use parking_lot::RwLock;
 
-use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
+use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
 use crate::kernel::{CommitHooks, RowKernel};
 use crate::netsim::NetworkLink;
 
@@ -433,11 +434,13 @@ impl HtapEngine for IsoEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
-        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.queries.inc();
         // Queries read the standby at its applied horizon — whatever has
         // been replayed so far. Staleness is visible through the
         // freshness side-read of the replicated FRESHNESS rows.
+        let span = SpanTimer::start();
         let ts = self.replica.applied.get();
+        span.finish(&self.kernel.stats.snapshot_span);
         let view = MixedView::rows(&self.replica.db, ts);
         let out = execute_with(spec, &view, opts);
         self.kernel.stats.record_exec(&out.stats);
@@ -460,10 +463,10 @@ impl HtapEngine for IsoEngine {
         Ok(())
     }
 
-    fn stats(&self) -> EngineStats {
-        let mut stats = self.kernel.stats_snapshot();
-        stats.replication_backlog = self.replica.backlog.load(Ordering::Relaxed);
-        stats
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.kernel.metrics();
+        snap.set_gauge(names::REPL_BACKLOG, self.replica.backlog.load(Ordering::Relaxed));
+        snap
     }
 }
 

@@ -8,10 +8,12 @@
 //! in where their analytical queries read — the kernel itself is the
 //! "primary node" of all four designs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hat_common::ids::{customer, date, lineorder, part, supplier};
+use hat_common::telemetry::{
+    names, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SpanTimer,
+};
 use hat_common::{HatError, Result, Row, TableId};
 use hat_storage::bptree::BPlusTree;
 use hat_storage::dwal::{CheckpointData, TableCheckpoint, WalRecovery};
@@ -218,36 +220,73 @@ impl IndexSet {
     }
 }
 
-/// Counters shared across sessions.
-#[derive(Default)]
+/// Counters shared across sessions: typed handles into the kernel's
+/// [`MetricsRegistry`]. Hot paths touch the handles (lock-free atomics);
+/// [`RowKernel::metrics`] snapshots the whole registry by name.
 pub struct KernelStats {
-    pub commits: AtomicU64,
-    pub aborts: AtomicU64,
-    pub queries: AtomicU64,
+    /// The registry every handle below is named in.
+    pub registry: MetricsRegistry,
+    pub commits: Arc<Counter>,
+    pub aborts: Arc<Counter>,
+    pub queries: Arc<Counter>,
     /// Commits whose synchronous replication wait timed out
     /// (committed-in-doubt outcomes). A subset of `commits`.
-    pub replication_timeouts: AtomicU64,
+    pub replication_timeouts: Arc<Counter>,
     /// Fact-table morsels scanned by analytical probes.
-    pub morsels_scanned: AtomicU64,
+    pub morsels_scanned: Arc<Counter>,
     /// Morsels pruned via date zone maps.
-    pub morsels_pruned: AtomicU64,
+    pub morsels_pruned: Arc<Counter>,
     /// Total probe-phase wall time, nanoseconds.
-    pub probe_nanos: AtomicU64,
+    pub probe_nanos: Arc<Counter>,
     /// Largest probe worker count any query used.
-    pub probe_workers_max: AtomicU64,
+    pub probe_workers_max: Arc<Gauge>,
     /// Aggregates saturated at the `i64` boundary.
-    pub agg_saturations: AtomicU64,
+    pub agg_saturations: Arc<Counter>,
+    /// End-to-end commit call durations, nanoseconds.
+    pub commit_span: Arc<Histogram>,
+    /// Snapshot/view acquisition before a query, nanoseconds. Engines
+    /// record this around their read-timestamp/read-index/delta-merge
+    /// step, so replication waits and merge-on-read costs show up here.
+    pub snapshot_span: Arc<Histogram>,
+    /// Dimension hash-build durations, nanoseconds.
+    pub build_span: Arc<Histogram>,
+    /// Fact probe durations, nanoseconds.
+    pub probe_span: Arc<Histogram>,
+}
+
+impl Default for KernelStats {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        KernelStats {
+            commits: registry.counter(names::TXN_COMMITS),
+            aborts: registry.counter(names::TXN_ABORTS),
+            queries: registry.counter(names::QUERIES),
+            replication_timeouts: registry.counter(names::TXN_REPL_TIMEOUTS),
+            morsels_scanned: registry.counter(names::MORSELS_SCANNED),
+            morsels_pruned: registry.counter(names::MORSELS_PRUNED),
+            probe_nanos: registry.counter(names::PROBE_NANOS),
+            probe_workers_max: registry.gauge(names::PROBE_WORKERS_MAX),
+            agg_saturations: registry.counter(names::AGG_SATURATIONS),
+            commit_span: registry.histogram(names::SPAN_COMMIT),
+            snapshot_span: registry.histogram(names::SPAN_SNAPSHOT),
+            build_span: registry.histogram(names::SPAN_QUERY_BUILD),
+            probe_span: registry.histogram(names::SPAN_QUERY_PROBE),
+            registry,
+        }
+    }
 }
 
 impl KernelStats {
     /// Folds one query's execution diagnostics into the cumulative
     /// counters. Every engine calls this after [`hat_query::exec`] returns.
     pub fn record_exec(&self, s: &hat_query::exec::ExecStats) {
-        self.morsels_scanned.fetch_add(s.morsels_scanned, Ordering::Relaxed);
-        self.morsels_pruned.fetch_add(s.morsels_pruned, Ordering::Relaxed);
-        self.probe_nanos.fetch_add(s.probe_nanos, Ordering::Relaxed);
-        self.probe_workers_max.fetch_max(s.workers as u64, Ordering::Relaxed);
-        self.agg_saturations.fetch_add(s.agg_saturations, Ordering::Relaxed);
+        self.morsels_scanned.add(s.morsels_scanned);
+        self.morsels_pruned.add(s.morsels_pruned);
+        self.probe_nanos.add(s.probe_nanos);
+        self.probe_workers_max.set_max(s.workers as u64);
+        self.agg_saturations.add(s.agg_saturations);
+        self.build_span.record(s.build_nanos);
+        self.probe_span.record(s.probe_nanos);
     }
 }
 
@@ -430,26 +469,22 @@ impl RowKernel {
         }
     }
 
-    /// Current stats snapshot (kernel counters plus durability counters).
-    pub fn stats_snapshot(&self) -> EngineStats {
+    /// One diffable, serializable snapshot of every kernel metric,
+    /// including the durability layer's counters and batch histogram.
+    /// Engines overlay their own gauges (backlog, delta rows) on top.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.stats.registry.snapshot();
         let d = self.durability.stats();
-        EngineStats {
-            commits: self.stats.commits.load(Ordering::Relaxed),
-            aborts: self.stats.aborts.load(Ordering::Relaxed),
-            queries: self.stats.queries.load(Ordering::Relaxed),
-            replication_timeouts: self.stats.replication_timeouts.load(Ordering::Relaxed),
-            fsyncs: d.fsyncs,
-            group_commit_p50: d.group_commit_p50,
-            group_commit_p99: d.group_commit_p99,
-            recovery_replayed_records: d.recovery_replayed_records,
-            torn_tail_truncations: d.torn_tail_truncations,
-            morsels_scanned: self.stats.morsels_scanned.load(Ordering::Relaxed),
-            morsels_pruned: self.stats.morsels_pruned.load(Ordering::Relaxed),
-            probe_nanos: self.stats.probe_nanos.load(Ordering::Relaxed),
-            probe_workers_max: self.stats.probe_workers_max.load(Ordering::Relaxed) as u32,
-            agg_saturations: self.stats.agg_saturations.load(Ordering::Relaxed),
-            ..EngineStats::default()
-        }
+        snap.set_counter(names::WAL_FSYNCS, d.fsyncs);
+        snap.set_counter(names::WAL_RECOVERY_REPLAYED, d.recovery_replayed_records);
+        snap.set_counter(names::WAL_TORN_TAILS, d.torn_tail_truncations);
+        snap.set_histogram(names::WAL_GROUP_COMMIT_BATCH, d.group_commit_batches);
+        snap
+    }
+
+    /// Legacy flat view of [`RowKernel::metrics`].
+    pub fn stats_snapshot(&self) -> EngineStats {
+        EngineStats::from_metrics(&self.metrics())
     }
 }
 
@@ -492,7 +527,7 @@ impl KernelSession {
     fn abort_with(&mut self, err: HatError) -> HatError {
         self.kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
         self.ctx.close();
-        self.kernel.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.aborts.inc();
         err
     }
 
@@ -683,10 +718,14 @@ impl Session for KernelSession {
             return Err(HatError::TxnClosed);
         }
         let kernel = Arc::clone(&self.kernel);
+        // Span covers the whole commit call: validation, install, and the
+        // durability wait. Atomics-only; never on the abort path.
+        let span = SpanTimer::start();
         // Read-only transactions commit trivially at their snapshot.
         if self.ctx.is_read_only() {
             self.ctx.close();
-            kernel.stats.commits.fetch_add(1, Ordering::Relaxed);
+            kernel.stats.commits.inc();
+            kernel.stats.commit_span.record(span.elapsed_nanos());
             return Ok(self.ctx.begin_snapshot().ts);
         }
 
@@ -779,10 +818,11 @@ impl Session for KernelSession {
         // the outcome is committed-in-doubt — counted as a commit, and the
         // timeout surfaced for the client to account separately.
         let post = kernel.hooks.post_commit(commit_ts);
-        kernel.stats.commits.fetch_add(1, Ordering::Relaxed);
+        kernel.stats.commits.inc();
+        kernel.stats.commit_span.record(span.elapsed_nanos());
         if let Err(e) = post {
             debug_assert!(e.is_commit_in_doubt(), "post_commit errors must be in-doubt");
-            kernel.stats.replication_timeouts.fetch_add(1, Ordering::Relaxed);
+            kernel.stats.replication_timeouts.inc();
             return Err(e);
         }
         Ok(commit_ts)
@@ -792,7 +832,7 @@ impl Session for KernelSession {
         if !self.ctx.is_closed() {
             self.kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
             self.ctx.close();
-            self.kernel.stats.aborts.fetch_add(1, Ordering::Relaxed);
+            self.kernel.stats.aborts.inc();
         }
     }
 }

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use hat_common::telemetry::{MetricsSnapshot, SpanTimer};
 use hat_common::{Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
@@ -19,7 +20,7 @@ use hat_query::view::MixedView;
 use parking_lot::RwLock;
 
 use crate::analytics::{date_range_hint, PrefilteredView};
-use crate::api::{DesignCategory, EngineConfig, EngineStats, HtapEngine, Session};
+use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
 use crate::kernel::RowKernel;
 
 /// A single-node, single-copy MVCC engine.
@@ -133,8 +134,10 @@ impl HtapEngine for ShdEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
-        self.kernel.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.kernel.stats.queries.inc();
+        let span = SpanTimer::start();
         let ts = self.kernel.oracle.read_ts();
+        span.finish(&self.kernel.stats.snapshot_span);
         // Index-accelerated plan when the physical schema allows it.
         let out = if let Some(rids) = date_range_hint(spec)
             .and_then(|(lo, hi)| self.kernel.indexes.lineorder_rids_for_date_range(lo, hi))
@@ -153,8 +156,8 @@ impl HtapEngine for ShdEngine {
         self.kernel.reset()
     }
 
-    fn stats(&self) -> EngineStats {
-        self.kernel.stats_snapshot()
+    fn metrics(&self) -> MetricsSnapshot {
+        self.kernel.metrics()
     }
 }
 

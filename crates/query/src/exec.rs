@@ -56,6 +56,8 @@ pub struct ExecStats {
     /// Morsels skipped because their date zone map cannot intersect the
     /// query's date-range hint.
     pub morsels_pruned: u64,
+    /// Wall time of the dimension hash-build phase, nanoseconds.
+    pub build_nanos: u64,
     /// Wall time of the probe phase, nanoseconds.
     pub probe_nanos: u64,
     /// Worker threads the probe phase ran on (1 = serial).
@@ -156,6 +158,7 @@ impl<'a> ExecContext<'a> {
         assert!(spec.joins.len() <= 4, "SSB stars have at most 4 dimensions");
 
         // Phase 1: build dimension hash tables (serial — dims are small).
+        let build_start = Instant::now();
         let mut dims: Vec<DimTable> = Vec::with_capacity(spec.joins.len());
         for join in &spec.joins {
             let mut map: HashMap<u32, Vec<GroupVal>> = HashMap::new();
@@ -172,6 +175,7 @@ impl<'a> ExecContext<'a> {
             });
             dims.push(DimTable { map });
         }
+        let build_nanos = build_start.elapsed().as_nanos() as u64;
 
         // Phase 2: probe the fact table morsel by morsel. The hint prunes
         // only morsels that cannot contain a fact row passing the date
@@ -257,6 +261,7 @@ impl<'a> ExecContext<'a> {
             stats: ExecStats {
                 morsels_scanned: morsels.len() as u64,
                 morsels_pruned: pruned.len() as u64,
+                build_nanos,
                 probe_nanos,
                 workers: workers as u32,
                 agg_saturations,

@@ -61,6 +61,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use hat_common::telemetry::{Histogram, HistogramSnapshot};
 use hat_common::{HatError, Money, Result, Row, TableId, Value};
 use hat_txn::Ts;
 use parking_lot::{Condvar, Mutex};
@@ -177,8 +178,8 @@ impl WalRecovery {
     }
 }
 
-/// Counters surfaced through `KernelStats` → `report.rs` → `hatcli`.
-#[derive(Debug, Clone, Copy, Default)]
+/// Counters surfaced through the kernel's `MetricsSnapshot` → reports.
+#[derive(Debug, Clone, Default)]
 pub struct DurableWalStats {
     /// Flush batches made durable (one fsync each).
     pub fsyncs: u64,
@@ -188,6 +189,8 @@ pub struct DurableWalStats {
     pub group_commit_p50: f64,
     /// 99th-percentile records per fsync batch.
     pub group_commit_p99: f64,
+    /// Full records-per-fsync distribution (mergeable across runs).
+    pub group_commit_batches: HistogramSnapshot,
     /// Records replayed from the WAL tail at open.
     pub recovery_replayed_records: u64,
     /// Incomplete trailing frames truncated at open.
@@ -504,8 +507,6 @@ struct FlushState {
     shutdown: bool,
     kill: Option<KillPoint>,
     fsyncs: u64,
-    /// Records per flush batch, for the group-commit percentiles.
-    batch_sizes: Vec<u64>,
     checkpoints: u64,
     segments_deleted: u64,
 }
@@ -524,6 +525,8 @@ struct WalShared {
     /// First LSN of the segment the flusher currently appends to; the
     /// checkpointer must never delete that file.
     active_first_lsn: std::sync::atomic::AtomicU64,
+    /// Records per flush batch (lock-free; read by `stats`).
+    batch_hist: Histogram,
 }
 
 /// See the module docs: segment files + group-commit flusher +
@@ -585,13 +588,13 @@ impl DurableWal {
                 shutdown: false,
                 kill: None,
                 fsyncs: 0,
-                batch_sizes: Vec::new(),
                 checkpoints: 0,
                 segments_deleted: 0,
             }),
             work: Condvar::new(),
             durable: Condvar::new(),
             active_first_lsn: std::sync::atomic::AtomicU64::new(recovery.next_lsn),
+            batch_hist: Histogram::new(),
             config,
         });
 
@@ -787,13 +790,14 @@ impl DurableWal {
 
     /// Current counters.
     pub fn stats(&self) -> DurableWalStats {
+        let batches = self.inner.batch_hist.snapshot();
         let st = self.inner.state.lock();
-        let (p50, p99) = percentiles(&st.batch_sizes);
         DurableWalStats {
             fsyncs: st.fsyncs,
             durable_lsn: st.durable_lsn,
-            group_commit_p50: p50,
-            group_commit_p99: p99,
+            group_commit_p50: batches.quantile(0.50) as f64,
+            group_commit_p99: batches.quantile(0.99) as f64,
+            group_commit_batches: batches,
             recovery_replayed_records: self.recovery_replayed,
             torn_tail_truncations: self.recovery_torn,
             checkpoints: st.checkpoints,
@@ -814,20 +818,6 @@ impl Drop for DurableWal {
         self.inner.work.notify_all();
         self.join_flusher();
     }
-}
-
-/// Median and p99 of a sample set (0 when empty).
-fn percentiles(samples: &[u64]) -> (f64, f64) {
-    if samples.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let at = |q: f64| {
-        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[idx] as f64
-    };
-    (at(0.50), at(0.99))
 }
 
 /// The group-commit flusher: drains whole batches of pending frames,
@@ -927,14 +917,10 @@ fn flusher_loop(wal: Arc<WalShared>, mut seg: ActiveSegment) {
             return;
         }
 
+        wal.batch_hist.record(count);
         let mut st = wal.state.lock();
         st.durable_lsn = last_lsn;
         st.fsyncs += 1;
-        st.batch_sizes.push(count);
-        if st.batch_sizes.len() > 1 << 16 {
-            let half = st.batch_sizes.len() / 2;
-            st.batch_sizes.drain(..half);
-        }
         let after_kill = st.kill == Some(KillPoint::AfterFlush);
         if after_kill {
             st.kill = None;

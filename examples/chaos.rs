@@ -94,9 +94,9 @@ fn main() {
     engine.quiesce_replication();
     println!(
         "hybrid throughput under chaos: {:.0} tps, {:.1} qps ({} commits, {} queries)",
-        point.tps, point.qps, point.committed, point.queries
+        point.tps, point.qps, point.committed(), point.queries()
     );
-    println!("{}", report::resilience_line(&point).trim_start());
+    println!("{}", report::resilience_line(&point.metrics).trim_start());
     let agg = FreshnessAgg::from_samples(&point.freshness);
     println!(
         "freshness: mean {:.4}s, p99 {:.4}s, max {:.4}s",

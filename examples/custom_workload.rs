@@ -79,6 +79,6 @@ fn main() {
     let m = harness.run_point(4, 1);
     println!(
         "payment-heavy mix: {:.0} tps / {:.1} qps, {} aborts (write-conflict retries)",
-        m.tps, m.qps, m.aborts
+        m.tps, m.qps, m.aborts()
     );
 }

@@ -63,7 +63,7 @@ fn main() {
             relative * 100.0,
             m.qps
         );
-        match report::durability_line(&m) {
+        match report::durability_line(&m.metrics_end) {
             Some(line) => println!("  {}", line.trim_start()),
             None => println!("  durability: none (commits acknowledged immediately)"),
         }

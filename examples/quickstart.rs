@@ -45,7 +45,7 @@ fn main() {
     // 4. Report hybrid throughput and the freshness score (§4).
     println!(
         "hybrid throughput: {:.0} tps, {:.1} qps ({} commits, {} queries, {} aborts)",
-        point.tps, point.qps, point.committed, point.queries, point.aborts
+        point.tps, point.qps, point.committed(), point.queries(), point.aborts()
     );
     let agg = FreshnessAgg::from_samples(&point.freshness);
     println!(

@@ -7,6 +7,7 @@ mod common;
 use std::sync::Arc;
 use std::time::Duration;
 
+use hattrick_repro::bench::artifact::{RunArtifact, RunConfig, SCHEMA_VERSION};
 use hattrick_repro::bench::freshness::FreshnessAgg;
 use hattrick_repro::bench::frontier::{
     build_grid, classify, Frontier, SaturationConfig, ShapeClass,
@@ -24,14 +25,14 @@ fn latency_stats_cover_the_full_mix() {
     let harness = common::fast_harness(engine, &data);
     let m = harness.run_point(3, 1);
     // With enough commits, all three transaction types appear.
-    if m.committed > 100 {
-        let labels: Vec<&str> =
-            m.txn_latency.iter().map(|(l, _)| l.as_str()).collect();
-        assert!(labels.contains(&"new-order"), "{labels:?}");
-        assert!(labels.contains(&"payment"), "{labels:?}");
+    if m.committed() > 100 {
+        let labels: Vec<String> =
+            m.txn_latency().into_iter().map(|(l, _)| l).collect();
+        assert!(labels.iter().any(|l| l == "new-order"), "{labels:?}");
+        assert!(labels.iter().any(|l| l == "payment"), "{labels:?}");
     }
     // Query labels are SSB names.
-    for (label, stats) in &m.query_latency {
+    for (label, stats) in m.query_latency() {
         assert!(label.starts_with('Q'), "{label}");
         assert!(stats.count > 0);
     }
@@ -55,8 +56,8 @@ fn custom_mix_restricts_transaction_types() {
     )
     .with_mix(TxnMix { new_order: 0, payment: 100, count_orders: 0 });
     let m = harness.run_point(2, 0);
-    assert!(m.committed > 0);
-    for (label, _) in &m.txn_latency {
+    assert!(m.committed() > 0);
+    for (label, _) in m.txn_latency() {
         assert_eq!(label, "payment");
     }
 }
@@ -108,13 +109,62 @@ fn grid_measurements_carry_freshness_and_latency() {
     let mixed: Vec<_> = grid
         .measurements
         .iter()
-        .filter(|m| m.t_clients > 0 && m.a_clients > 0 && m.queries > 0)
+        .filter(|m| m.t_clients > 0 && m.a_clients > 0 && m.queries() > 0)
         .collect();
     assert!(!mixed.is_empty(), "grid has mixed points with queries");
     for m in mixed {
-        assert_eq!(m.freshness.len() as u64, m.queries);
-        assert!(!m.query_latency.is_empty());
+        assert_eq!(m.freshness.len() as u64, m.queries());
+        assert!(!m.query_latency().is_empty());
     }
+}
+
+#[test]
+fn run_artifact_roundtrips_a_real_measurement() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let m = harness.run_point(2, 1);
+    let cfg = harness.config();
+    let mut artifact = RunArtifact::new(RunConfig {
+        engine: "test".into(),
+        scale_factor: data.profile.scale,
+        seed: cfg.seed,
+        warmup_secs: cfg.warmup.as_secs_f64(),
+        measure_secs: cfg.measure.as_secs_f64(),
+        sample_every_secs: cfg.sample_every.as_secs_f64(),
+        repeats: 1,
+    });
+    artifact.push_point(m);
+    artifact.validate().expect("fresh measurement validates");
+    let text = artifact.dump();
+    let back = RunArtifact::parse(&text).expect("parses back");
+    back.validate().expect("round-tripped artifact validates");
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+    let (a, b) = (&artifact.points[0], &back.points[0]);
+    assert_eq!(a.committed(), b.committed());
+    assert_eq!(a.queries(), b.queries());
+    assert_eq!(a.metrics, b.metrics, "window snapshot round-trips exactly");
+    assert_eq!(a.metrics_end, b.metrics_end);
+    assert_eq!(a.timeseries, b.timeseries);
+    assert_eq!(a.freshness, b.freshness);
+    // Per-label latency histograms survive the trip.
+    assert_eq!(a.txn_latency(), b.txn_latency());
+    assert_eq!(a.query_latency(), b.query_latency());
+}
+
+#[test]
+fn measurement_phase_has_dense_time_series() {
+    let data = common::small_data();
+    let (_, engine) = common::all_engines().remove(0);
+    let harness = common::fast_harness(engine, &data);
+    let m = harness.run_point(2, 1);
+    use hattrick_repro::bench::harness::SamplePhase;
+    let measure = m
+        .timeseries
+        .iter()
+        .filter(|s| s.phase == SamplePhase::Measure)
+        .count();
+    assert!(measure >= 5, "expected >= 5 measurement samples, got {measure}");
 }
 
 #[test]

@@ -43,7 +43,7 @@ fn zero_freshness_engines_measure_zero() {
         // The isolated engine in this list runs remote-apply: also zero.
         let harness = common::fast_harness(engine, &data);
         let m = harness.run_point(3, 1);
-        assert!(m.queries > 0, "{name}: no queries finished");
+        assert!(m.queries() > 0, "{name}: no queries finished");
         let agg = FreshnessAgg::from_samples(&m.freshness);
         assert!(
             agg.p99 < 0.01,
@@ -59,7 +59,7 @@ fn slow_replay_produces_measurable_staleness() {
     // several T clients: queries must observe stale snapshots.
     let harness = iso_harness(ReplicationMode::SyncOn, Duration::from_millis(2));
     let m = harness.run_point(4, 1);
-    assert!(m.queries > 0);
+    assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     assert!(
         agg.max > 0.01,
@@ -72,7 +72,7 @@ fn slow_replay_produces_measurable_staleness() {
 fn remote_apply_eliminates_staleness_at_same_replay_cost() {
     let harness = iso_harness(ReplicationMode::RemoteApply, Duration::from_millis(2));
     let m = harness.run_point(4, 1);
-    assert!(m.queries > 0);
+    assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     assert!(
         agg.p99 < 0.005,
@@ -113,7 +113,7 @@ fn cow_engine_staleness_is_bounded_by_the_snapshot_interval() {
         },
     );
     let m = harness.run_point(4, 1);
-    assert!(m.queries > 0);
+    assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     // Bounded: max staleness is about one interval (generous slack for
     // scheduling on one core), and under constant update load most

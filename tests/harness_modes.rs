@@ -33,11 +33,11 @@ fn continuation_mode_keeps_data_growing_and_scores_sanely() {
     let h = no_reset_harness();
     let a = h.run_point(2, 1);
     let b = h.run_point(2, 1);
-    assert!(a.committed > 0 && b.committed > 0);
+    assert!(a.committed() > 0 && b.committed() > 0);
     // Without reset the fact table keeps the first point's inserts; the
     // engine stats accumulate across points.
     let stats = h.engine().stats();
-    assert!(stats.commits >= a.committed + b.committed);
+    assert!(stats.commits >= a.committed() + b.committed());
     // Freshness scoring must remain non-negative and finite even though
     // the second point's registry starts past the first point's txnnums.
     for s in a.freshness.iter().chain(&b.freshness) {
@@ -52,8 +52,8 @@ fn repeat_averaging_accumulates_counters() {
     let h = no_reset_harness();
     let m = h.run_point_avg(1, 1, 3);
     assert!(m.tps > 0.0);
-    assert!(m.committed > 0);
-    assert_eq!(m.freshness.len() as u64, m.queries, "all samples kept");
+    assert!(m.committed() > 0);
+    assert_eq!(m.freshness.len() as u64, m.queries(), "all samples kept");
     assert!(m.measured_secs > 0.25, "three measurement windows summed");
 }
 

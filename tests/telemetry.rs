@@ -1,0 +1,208 @@
+//! Property tests for the telemetry layer: histogram merge algebra,
+//! quantile error bounds, and snapshot-diff monotonicity under real
+//! concurrent traffic. These pin down the guarantees the harness and
+//! the run artifact rely on (ISSUE 4, satellite 4).
+
+use std::sync::Arc;
+
+use hattrick_repro::common::rng::HatRng;
+use hattrick_repro::common::telemetry::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
+};
+
+/// Deterministic pseudo-random value sets with a heavy-tailed shape
+/// resembling latency samples (mixed exact-range and octave-range values).
+fn sample_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = HatRng::seeded(seed);
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.3) {
+                rng.range_u64(0, 32) // exact buckets
+            } else {
+                let exp = rng.range_u32(5, 40);
+                rng.range_u64(1u64 << exp, (1u64 << exp) + (1u64 << exp))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let a = HistogramSnapshot::from_values(&sample_values(1, 500));
+    let b = HistogramSnapshot::from_values(&sample_values(2, 300));
+    let c = HistogramSnapshot::from_values(&sample_values(3, 700));
+    // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+    assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    // a ∪ b == b ∪ a
+    assert_eq!(a.merge(&b), b.merge(&a));
+    // Identity: merging an empty snapshot changes nothing.
+    let empty = HistogramSnapshot::default();
+    assert_eq!(a.merge(&empty), a);
+    assert_eq!(empty.merge(&a), a);
+}
+
+#[test]
+fn histogram_merge_is_order_independent_across_partitions() {
+    // Splitting one value stream into arbitrary partitions and merging
+    // them back in any order must reproduce the single-histogram state.
+    let values = sample_values(7, 1000);
+    let whole = HistogramSnapshot::from_values(&values);
+    for parts in [2usize, 3, 7] {
+        let mut chunks: Vec<HistogramSnapshot> = values
+            .chunks(values.len().div_ceil(parts))
+            .map(HistogramSnapshot::from_values)
+            .collect();
+        // Forward order.
+        let forward = chunks
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, c| acc.merge(c));
+        assert_eq!(forward, whole, "forward merge of {parts} partitions");
+        // Reversed order.
+        chunks.reverse();
+        let backward = chunks
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, c| acc.merge(c));
+        assert_eq!(backward, whole, "reverse merge of {parts} partitions");
+    }
+}
+
+#[test]
+fn quantile_error_is_at_most_one_bucket_width() {
+    for seed in [11u64, 12, 13] {
+        let mut values = sample_values(seed, 800);
+        values.sort_unstable();
+        let snap = HistogramSnapshot::from_values(&values);
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize)
+                .clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = snap.quantile(q);
+            // The estimate is the upper bound of the exact value's bucket
+            // (clamped to the observed max): never below the true value,
+            // never above it by more than one bucket width.
+            let width = bucket_upper(bucket_index(exact)) - bucket_lower(bucket_index(exact));
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est <= exact + width,
+                "q={q}: est {est} exceeds exact {exact} by more than bucket width {width}"
+            );
+            // Relative bucket width bound: ≤ 6.25% for values ≥ 32.
+            if exact >= 32 {
+                assert!(
+                    (est - exact) as f64 <= exact as f64 * 0.0625 + 1.0,
+                    "q={q}: relative error too large (est {est}, exact {exact})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_preserves_exact_count_sum_min_max() {
+    let values = sample_values(21, 400);
+    let snap = HistogramSnapshot::from_values(&values);
+    assert_eq!(snap.count, values.len() as u64);
+    assert_eq!(snap.sum, values.iter().sum::<u64>());
+    assert_eq!(snap.min, *values.iter().min().unwrap());
+    assert_eq!(snap.max, *values.iter().max().unwrap());
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, snap.count, "buckets account for every value");
+}
+
+#[test]
+fn snapshot_diff_is_monotone_under_concurrent_traffic() {
+    // Hammer a registry from several threads while the main thread takes
+    // successive snapshots. Counters and histogram counts must never
+    // decrease between snapshots, and each window diff must be
+    // non-negative and sum back to the cumulative total.
+    let reg = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snaps: Vec<MetricsSnapshot> = std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let counter = reg.counter("test.ops");
+                let hist = reg.histogram("test.latency");
+                let gauge = reg.gauge("test.depth");
+                let mut rng = HatRng::derive(0xD1FF, t);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    counter.inc();
+                    hist.record(rng.range_u64(1, 1 << 20));
+                    gauge.set_max(rng.range_u64(0, 1 << 10));
+                }
+            });
+        }
+        let mut snaps = Vec::new();
+        for _ in 0..20 {
+            snaps.push(reg.snapshot());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        snaps
+    });
+    let mut windows = MetricsSnapshot::new();
+    for pair in snaps.windows(2) {
+        let (s1, s2) = (&pair[0], &pair[1]);
+        assert!(s2.counter("test.ops") >= s1.counter("test.ops"));
+        let (h1, h2) = (s1.histogram("test.latency"), s2.histogram("test.latency"));
+        let c1 = h1.map_or(0, |h| h.count);
+        let c2 = h2.map_or(0, |h| h.count);
+        assert!(c2 >= c1, "histogram count regressed: {c2} < {c1}");
+        let d = s2.diff(s1);
+        assert_eq!(
+            d.counter("test.ops"),
+            s2.counter("test.ops") - s1.counter("test.ops")
+        );
+        if let Some(h) = d.histogram("test.latency") {
+            assert_eq!(h.count, c2 - c1, "window histogram count is the delta");
+            for &(_, n) in &h.buckets {
+                assert!(n > 0, "diff emits only positive bucket deltas");
+            }
+        }
+        windows = windows.merge(&d);
+    }
+    // Re-merging every window plus the first snapshot reproduces the
+    // final cumulative counter exactly.
+    let last = snaps.last().unwrap();
+    let first = snaps.first().unwrap();
+    assert_eq!(
+        first.counter("test.ops") + windows.counter("test.ops"),
+        last.counter("test.ops")
+    );
+    assert!(last.counter("test.ops") > 0, "threads made progress");
+}
+
+#[test]
+fn registry_handles_are_shared_and_lock_free_to_read() {
+    // Two lookups of the same name return the same underlying atomic.
+    let reg = MetricsRegistry::new();
+    let a = reg.counter("x");
+    let b = reg.counter("x");
+    a.add(3);
+    b.inc();
+    assert_eq!(a.get(), 4);
+    assert_eq!(reg.snapshot().counter("x"), 4);
+    // Histograms: concurrent recording through clones of the handle.
+    let h = reg.histogram("y");
+    let h2 = reg.histogram("y");
+    h.record(10);
+    h2.record(20);
+    let snap = reg.snapshot().histogram("y").cloned().unwrap();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.sum, 30);
+}
+
+#[test]
+fn live_histogram_matches_snapshot_builder() {
+    // Recording through the live atomic histogram and building from the
+    // same values must agree exactly.
+    let values = sample_values(31, 250);
+    let live = Histogram::new();
+    for &v in &values {
+        live.record(v);
+    }
+    assert_eq!(live.snapshot(), HistogramSnapshot::from_values(&values));
+    assert_eq!(live.count(), values.len() as u64);
+}
