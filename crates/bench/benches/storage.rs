@@ -106,6 +106,89 @@ fn rowstore(c: &mut Criterion) {
     group.finish();
 }
 
+/// Vacuum payoff: old-snapshot point reads against version chains of
+/// depth 1/64/1024, before and after a prune collapses each chain to
+/// newest + load-time base, plus the cost of the prune itself.
+fn rowstore_vacuum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowstore_vacuum");
+    group.sample_size(20);
+    let deep = |depth: u64| {
+        let store = RowStore::new(TableId::History);
+        let rid = store.install_insert(history_row(0), 1);
+        for v in 0..depth {
+            store.install_update(rid, history_row(v), 2 + v).unwrap();
+        }
+        (store, rid)
+    };
+    for depth in [1u64, 64, 1024] {
+        let (store, rid) = deep(depth);
+        // The base snapshot sits at the far end of the chain: the read
+        // walks every intermediate version until the vacuum removes them.
+        group.bench_with_input(
+            BenchmarkId::new("read_base_pre_vacuum", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| black_box(store.read(rid, 1)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("prune_chain", depth), &depth, |b, _| {
+            b.iter_batched(
+                || deep(depth).0,
+                |store| black_box(store.prune(u64::MAX)),
+                BatchSize::SmallInput,
+            );
+        });
+        let freed = store.prune(u64::MAX);
+        assert_eq!(freed, depth.saturating_sub(1), "prune keeps newest + base");
+        group.bench_with_input(
+            BenchmarkId::new("read_base_post_vacuum", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| black_box(store.read(rid, 1)));
+            },
+        );
+    }
+    // Full snapshot scans pay the chain walk on every slot: 1024 rows,
+    // each buried under `depth` newer versions, scanned at the base
+    // snapshot before and after the vacuum collapses the chains.
+    const SCAN_ROWS: u64 = 1024;
+    for depth in [1u64, 64, 1024] {
+        let store = RowStore::new(TableId::History);
+        for i in 0..SCAN_ROWS {
+            store.install_insert(history_row(i), 1);
+        }
+        for v in 0..depth {
+            for rid in 0..SCAN_ROWS {
+                store.install_update(rid, history_row(v), 2 + v).unwrap();
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("scan_base_pre_vacuum", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    store.scan(1, |_, _| n += 1);
+                    black_box(n)
+                });
+            },
+        );
+        store.prune(u64::MAX);
+        group.bench_with_input(
+            BenchmarkId::new("scan_base_post_vacuum", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    store.scan(1, |_, _| n += 1);
+                    black_box(n)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Ablation: columnar scan speed and segment build, compressed vs plain.
 fn colstore(c: &mut Criterion) {
     let mut group = c.benchmark_group("colstore");
@@ -172,5 +255,5 @@ fn colstore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bptree_fanout, rowstore, colstore);
+criterion_group!(benches, bptree_fanout, rowstore, rowstore_vacuum, colstore);
 criterion_main!(benches);

@@ -29,6 +29,7 @@ use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
 use hattrick::gen::{generate, ScaleFactor};
 use hattrick::harness::{BenchmarkConfig, Harness, PointMeasurement, SamplePhase};
 use hattrick::report;
+use hattrick::TxnMix;
 
 const ENGINES: [&str; 11] = [
     "shared",
@@ -44,18 +45,24 @@ const ENGINES: [&str; 11] = [
     "cow",
 ];
 
-fn build_engine(name: &str, durability: &DurabilityMode) -> Option<Arc<dyn HtapEngine>> {
+fn build_engine(
+    name: &str,
+    durability: &DurabilityMode,
+    vacuum: Option<Duration>,
+) -> Option<Arc<dyn HtapEngine>> {
     let shd = |iso, idx| -> Arc<dyn HtapEngine> {
-        Arc::new(ShdEngine::new(
-            EngineConfig::builder()
-                .isolation(iso)
-                .indexes(idx)
-                .durability(durability.clone())
-                .build(),
-        ))
+        let mut cfg = EngineConfig::builder()
+            .isolation(iso)
+            .indexes(idx)
+            .durability(durability.clone())
+            .build();
+        cfg.vacuum_interval = vacuum;
+        Arc::new(ShdEngine::new(cfg))
     };
     let iso = |mode| -> Arc<dyn HtapEngine> {
-        Arc::new(IsoEngine::new(IsoConfig { mode, ..IsoConfig::coalesced_default() }))
+        let mut cfg = IsoConfig { mode, ..IsoConfig::coalesced_default() };
+        cfg.engine.vacuum_interval = vacuum;
+        Arc::new(IsoEngine::new(cfg))
     };
     Some(match name {
         "shared" => shd(IsolationLevel::Serializable, IndexProfile::All),
@@ -65,13 +72,24 @@ fn build_engine(name: &str, durability: &DurabilityMode) -> Option<Arc<dyn HtapE
         "isolated-on" => iso(ReplicationMode::SyncOn),
         "isolated-ra" => iso(ReplicationMode::RemoteApply),
         "isolated-async" => iso(ReplicationMode::Async),
-        "dual" => Arc::new(DualEngine::new(DualConfig::default())),
-        "learner" => Arc::new(LearnerEngine::new(LearnerConfig::default())),
-        "learner-dist" => Arc::new(LearnerEngine::new(LearnerConfig {
-            profile: LearnerProfile::Distributed,
+        "dual" => Arc::new(DualEngine::new(DualConfig {
+            vacuum_interval: vacuum,
+            ..DualConfig::default()
+        })),
+        "learner" => Arc::new(LearnerEngine::new(LearnerConfig {
+            vacuum_interval: vacuum,
             ..LearnerConfig::default()
         })),
-        "cow" => Arc::new(CowEngine::new(CowConfig::default())),
+        "learner-dist" => Arc::new(LearnerEngine::new(LearnerConfig {
+            profile: LearnerProfile::Distributed,
+            vacuum_interval: vacuum,
+            ..LearnerConfig::default()
+        })),
+        "cow" => {
+            let mut cfg = CowConfig::default();
+            cfg.engine.vacuum_interval = vacuum;
+            Arc::new(CowEngine::new(cfg))
+        }
         _ => return None,
     })
 }
@@ -87,7 +105,9 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i].trim_start_matches('-').to_string();
-            if i + 1 < argv.len() && argv[i].starts_with('-') {
+            // A following flag is not this key's value: `--no-vacuum
+            // --metrics-out run.json` must leave `--metrics-out` intact.
+            if i + 1 < argv.len() && argv[i].starts_with('-') && !argv[i + 1].starts_with('-') {
                 pairs.push((key, argv[i + 1].clone()));
                 i += 2;
             } else {
@@ -143,14 +163,44 @@ fn parse_durability(args: &Args) -> Option<DurabilityMode> {
     })
 }
 
+/// Parses `--vacuum-interval-ms <ms>` / `--no-vacuum` into the interval
+/// every engine's background version-chain vacuum runs at. The default
+/// matches [`EngineConfig::DEFAULT_VACUUM_INTERVAL`]; `--no-vacuum`
+/// disables the thread entirely (version chains then grow for the whole
+/// run — the baseline a memory-plateau comparison needs).
+fn parse_vacuum(args: &Args) -> Option<Duration> {
+    if args.has("no-vacuum") {
+        return None;
+    }
+    match args.get(&["vacuum-interval-ms"]) {
+        Some(ms) => Some(Duration::from_millis(ms.parse().unwrap_or(25))),
+        None => Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
+    }
+}
+
 fn make_harness(
     engine_name: &str,
     sf: f64,
     seed: u64,
     durability: &DurabilityMode,
-    a_threads: u32,
+    args: &Args,
 ) -> Option<Harness> {
-    let engine = build_engine(engine_name, durability)?;
+    // `--mix n,p,c`: New Order / Payment / Count Orders weights
+    // (default 48,48,4 per §5.3). `--mix 0,96,4` gives an update-only
+    // write path — the mix the memory-plateau smoke uses.
+    let mix = match args.get(&["mix"]) {
+        None => TxnMix::default(),
+        Some(spec) => {
+            let w: Vec<u32> =
+                spec.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if w.len() != 3 || w.iter().sum::<u32>() == 0 {
+                eprintln!("bad --mix {spec}; expected three weights like 48,48,4");
+                return None;
+            }
+            TxnMix { new_order: w[0], payment: w[1], count_orders: w[2] }
+        }
+    };
+    let engine = build_engine(engine_name, durability, parse_vacuum(args))?;
     eprintln!("loading {} at SF {sf} ...", engine.name());
     let data = generate(ScaleFactor(sf), seed);
     data.load_into(engine.as_ref()).expect("load failed");
@@ -158,14 +208,17 @@ fn make_harness(
         engine,
         data.profile.clone(),
         BenchmarkConfig {
-            warmup: Duration::from_millis(200),
-            measure: Duration::from_millis(600),
+            warmup: Duration::from_millis(args.u32(&["warmup-ms"], 200) as u64),
+            measure: Duration::from_millis(args.u32(&["measure-ms"], 600) as u64),
             seed,
             reset_between_points: true,
-            query_opts: QueryOpts::with_parallelism(a_threads as usize),
+            query_opts: QueryOpts::with_parallelism(
+                args.u32(&["a-threads"], 1) as usize,
+            ),
             ..Default::default()
         },
-    ))
+    )
+    .with_mix(mix))
 }
 
 fn print_point(m: &PointMeasurement) {
@@ -182,6 +235,9 @@ fn print_point(m: &PointMeasurement) {
         println!("{}", line.trim_start());
     }
     if let Some(line) = report::analytics_line(&m.metrics_end) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(line) = report::vacuum_line(&m.metrics_end) {
         println!("{}", line.trim_start());
     }
     let agg = FreshnessAgg::from_samples(&m.freshness);
@@ -249,10 +305,9 @@ fn cmd_point(args: &Args) -> i32 {
     let t = args.u32(&["t"], 4);
     let a = args.u32(&["a"], 2);
     let repeats = args.u32(&["repeats", "r"], 1);
-    let a_threads = args.u32(&["a-threads"], 1);
     let Some(durability) = parse_durability(args) else { return 2 };
     let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, a_threads)
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, args)
     else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
@@ -271,10 +326,9 @@ fn cmd_point(args: &Args) -> i32 {
 fn cmd_frontier(args: &Args) -> i32 {
     let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
     let sf = args.f64(&["sf"], 0.01);
-    let a_threads = args.u32(&["a-threads"], 1);
     let Some(durability) = parse_durability(args) else { return 2 };
     let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, a_threads)
+        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, args)
     else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
@@ -369,8 +423,7 @@ fn cmd_compare(args: &Args) -> i32 {
     let names = ["shared", "isolated-on", "dual", "learner"];
     let mut results: Vec<(String, Frontier, FreshnessAgg)> = Vec::new();
     for name in names {
-        let a_threads = args.u32(&["a-threads"], 1);
-        let harness = make_harness(name, sf, 7, &DurabilityMode::SleepDefault, a_threads)
+        let harness = make_harness(name, sf, 7, &DurabilityMode::SleepDefault, args)
             .expect("builtin engine");
         let grid = build_grid(&harness, &cfg);
         let frontier = Frontier::from_grid(&grid);
@@ -426,9 +479,15 @@ fn main() {
                  versioned JSON run artifact: config, per-point metric\n\
                  snapshots, latency histograms, time series)\n\
                  point/frontier/compare also take --a-threads <n> (morsel\n\
-                 parallelism per analytical query, default 1) and\n\
-                 point/frontier --durability off|sleep|fsync\n\
-                 [--wal-dir <dir>] (fsync runs a real on-disk WAL)"
+                 parallelism per analytical query, default 1),\n\
+                 --vacuum-interval-ms <ms> (background MVCC version-chain\n\
+                 vacuum cadence, default 25) or --no-vacuum (disable it),\n\
+                 --warmup-ms/--measure-ms <ms> (per-point window lengths,\n\
+                 default 200/600), --mix <n,p,c> (New Order / Payment /\n\
+                 Count Orders weights, default 48,48,4),\n\
+                 and point/frontier --durability\n\
+                 off|sleep|fsync [--wal-dir <dir>] (fsync runs a real\n\
+                 on-disk WAL)"
             );
             if cmd == "help" {
                 0

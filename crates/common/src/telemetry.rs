@@ -56,6 +56,15 @@ pub mod names {
     pub const WAL_TORN_TAILS: &str = "wal.torn_tail_truncations";
     pub const REPL_BACKLOG: &str = "repl.backlog";
     pub const DELTA_ROWS: &str = "delta.rows";
+    /// Background MVCC vacuum passes completed.
+    pub const VACUUM_PASSES: &str = "vacuum.passes";
+    /// Row versions reclaimed by vacuum (all passes, all tables).
+    pub const VACUUM_VERSIONS_PRUNED: &str = "vacuum.versions_pruned";
+    /// Live MVCC versions across every chain in the row store (gauge;
+    /// the long-run memory-plateau signal).
+    pub const LIVE_VERSIONS: &str = "vacuum.live_versions";
+    /// Pre-prune chain length of each slot a vacuum pass visited.
+    pub const VACUUM_CHAIN_LENGTH: &str = "vacuum.chain_length";
     pub const HARNESS_COMMITTED: &str = "harness.committed";
     pub const HARNESS_QUERIES: &str = "harness.queries";
     pub const HARNESS_ABORTS: &str = "harness.aborts";

@@ -17,7 +17,8 @@ use hat_common::telemetry::MetricsSnapshot;
 use crate::harness::{PointMeasurement, SamplePhase, TimeSeriesSample};
 
 /// Version of the artifact layout produced by this build.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added `live_versions` to every time-series sample.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The run configuration echoed into the artifact, so a result file is
 /// self-describing (which engine, scale, seed, and phase lengths
@@ -75,6 +76,7 @@ fn sample_to_json(s: &TimeSeriesSample) -> Json {
         ("qps".into(), Json::from_f64(s.qps)),
         ("backlog".into(), Json::from_u64(s.backlog)),
         ("delta_rows".into(), Json::from_u64(s.delta_rows)),
+        ("live_versions".into(), Json::from_u64(s.live_versions)),
         ("freshness_lag".into(), Json::from_f64(s.freshness_lag)),
     ])
 }
@@ -99,6 +101,7 @@ fn sample_from_json(j: &Json) -> Result<TimeSeriesSample, String> {
         qps: f("qps")?,
         backlog: u("backlog")?,
         delta_rows: u("delta_rows")?,
+        live_versions: u("live_versions")?,
         freshness_lag: f("freshness_lag")?,
     })
 }
@@ -278,12 +281,13 @@ impl RunArtifact {
     /// CSV of the full time series: one row per sample across all points.
     pub fn timeseries_csv(&self) -> String {
         let mut out = String::from(
-            "t_clients,a_clients,run,phase,t_secs,tps,qps,backlog,delta_rows,freshness_lag\n",
+            "t_clients,a_clients,run,phase,t_secs,tps,qps,backlog,delta_rows,\
+             live_versions,freshness_lag\n",
         );
         for m in &self.points {
             for s in &m.timeseries {
                 out.push_str(&format!(
-                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{:.6}\n",
+                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6}\n",
                     m.t_clients,
                     m.a_clients,
                     s.run,
@@ -293,6 +297,7 @@ impl RunArtifact {
                     s.qps,
                     s.backlog,
                     s.delta_rows,
+                    s.live_versions,
                     s.freshness_lag
                 ));
             }
@@ -340,6 +345,7 @@ mod tests {
                 qps: 5.0,
                 backlog: 1,
                 delta_rows: 0,
+                live_versions: 100,
                 freshness_lag: 0.0,
             },
             TimeSeriesSample {
@@ -350,6 +356,7 @@ mod tests {
                 qps: 8.0,
                 backlog: 3,
                 delta_rows: 2,
+                live_versions: 104,
                 freshness_lag: 0.002,
             },
         ];
@@ -394,7 +401,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let mut art = RunArtifact::new(config());
         art.push_point(synthetic_point());
-        let text = art.dump().replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let text = art.dump().replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = RunArtifact::parse(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

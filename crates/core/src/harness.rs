@@ -229,6 +229,10 @@ pub struct TimeSeriesSample {
     pub backlog: u64,
     /// Columnar delta rows awaiting merge at sample time.
     pub delta_rows: u64,
+    /// MVCC versions alive across the engine's row stores at sample
+    /// time. A healthy vacuum makes this plateau under a write-heavy
+    /// mix; without it the series grows without bound.
+    pub live_versions: u64,
     /// Mean freshness score (seconds) of the queries that finished in
     /// this interval; `0.0` when none finished.
     pub freshness_lag: f64,
@@ -360,6 +364,21 @@ impl PointMeasurement {
     /// WAL records replayed at engine start (crash recovery).
     pub fn recovery_replayed_records(&self) -> u64 {
         self.metrics_end.counter(names::WAL_RECOVERY_REPLAYED)
+    }
+
+    /// Background MVCC vacuum passes since engine start.
+    pub fn vacuum_passes(&self) -> u64 {
+        self.metrics_end.counter(names::VACUUM_PASSES)
+    }
+
+    /// Superseded row versions reclaimed by vacuum since engine start.
+    pub fn versions_pruned(&self) -> u64 {
+        self.metrics_end.counter(names::VACUUM_VERSIONS_PRUNED)
+    }
+
+    /// MVCC versions alive at the end of the run.
+    pub fn live_versions(&self) -> u64 {
+        self.metrics_end.gauge(names::LIVE_VERSIONS)
     }
 
     /// Torn trailing records truncated at engine start.
@@ -769,6 +788,7 @@ impl Harness {
                         qps: d_queries as f64 / dt,
                         backlog,
                         delta_rows: snap.gauge(names::DELTA_ROWS),
+                        live_versions: snap.gauge(names::LIVE_VERSIONS),
                         freshness_lag,
                     });
                     prev = snap;

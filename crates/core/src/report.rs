@@ -221,6 +221,34 @@ pub fn durability_line(m: &MetricsSnapshot) -> Option<String> {
     Some(line)
 }
 
+/// One-line MVCC vacuum accounting: how many background passes ran, how
+/// many dead versions they reclaimed, and how many versions remained
+/// alive at the end of the run. Takes the *cumulative* snapshot
+/// ([`PointMeasurement::metrics_end`]: `vacuum.*` counters run since
+/// engine start). Returns `None` when the vacuum never ran and no
+/// version count was sampled (e.g. `--no-vacuum` on a read-only run).
+///
+/// [`PointMeasurement::metrics_end`]: crate::harness::PointMeasurement
+pub fn vacuum_line(m: &MetricsSnapshot) -> Option<String> {
+    let passes = m.counter(names::VACUUM_PASSES);
+    let pruned = m.counter(names::VACUUM_VERSIONS_PRUNED);
+    let live = m.gauge(names::LIVE_VERSIONS);
+    if passes == 0 && pruned == 0 && live == 0 {
+        return None;
+    }
+    let mut line = format!(
+        "  vacuum: {passes} passes, {pruned} versions pruned, {live} live"
+    );
+    if let Some(h) = m.histogram(names::VACUUM_CHAIN_LENGTH) {
+        line.push_str(&format!(
+            ", chain p50 {} / p99 {}",
+            h.quantile(0.50),
+            h.quantile(0.99)
+        ));
+    }
+    Some(line)
+}
+
 /// One-line analytical-executor accounting: the largest worker pool a
 /// query used, how many morsels the probe phases scanned vs. pruned via
 /// zone maps, and the wall time spent probing. Takes the *cumulative*
@@ -310,6 +338,27 @@ mod tests {
         busy.set_counter(names::AGG_SATURATIONS, 3);
         let line = analytics_line(&busy).unwrap();
         assert!(line.contains("3 aggregate saturations"));
+    }
+
+    #[test]
+    fn vacuum_line_elides_idle_runs_and_reports_counters() {
+        let idle = MetricsSnapshot::new();
+        assert!(vacuum_line(&idle).is_none(), "vacuum never ran, nothing to say");
+        let mut busy = MetricsSnapshot::new();
+        busy.set_counter(names::VACUUM_PASSES, 40);
+        busy.set_counter(names::VACUUM_VERSIONS_PRUNED, 12_000);
+        busy.set_gauge(names::LIVE_VERSIONS, 600);
+        let line = vacuum_line(&busy).unwrap();
+        assert!(line.contains("40 passes"));
+        assert!(line.contains("12000 versions pruned"));
+        assert!(line.contains("600 live"));
+        assert!(!line.contains("chain"), "histogram elided when absent");
+        busy.set_histogram(
+            names::VACUUM_CHAIN_LENGTH,
+            HistogramSnapshot::from_values(&[1, 1, 2, 9]),
+        );
+        let line = vacuum_line(&busy).unwrap();
+        assert!(line.contains("chain p50 1 / p99 9"));
     }
 
     #[test]

@@ -71,12 +71,23 @@ pub struct EngineConfig {
     /// The default models an SSD-class group-commit flush as a coalesced
     /// sleep; [`DurabilityMode::Fsync`] runs a real on-disk WAL.
     pub durability: DurabilityMode,
+    /// Cadence of the background MVCC vacuum thread that reclaims row
+    /// versions below the oldest active snapshot. `None` disables vacuum
+    /// entirely — version chains then grow for the life of the run, which
+    /// is the pre-vacuum behavior and still useful as an ablation.
+    pub vacuum_interval: Option<std::time::Duration>,
 }
 
 impl EngineConfig {
     /// Default commit durability latency (an SSD-class WAL flush).
     pub const DEFAULT_COMMIT_LATENCY: std::time::Duration =
         std::time::Duration::from_micros(100);
+
+    /// Default background-vacuum cadence. Frequent enough that candidate
+    /// sets stay small (cost tracks update rate) while staying invisible
+    /// next to commit and query work.
+    pub const DEFAULT_VACUUM_INTERVAL: std::time::Duration =
+        std::time::Duration::from_millis(25);
 
     /// Convenience: this config with durability waits disabled (tests).
     pub fn without_durability(mut self) -> Self {
@@ -123,6 +134,19 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Background vacuum cadence.
+    pub fn vacuum_interval(mut self, interval: std::time::Duration) -> Self {
+        self.config.vacuum_interval = Some(interval);
+        self
+    }
+
+    /// Disables the background vacuum thread (version chains grow
+    /// unboundedly — the pre-vacuum ablation).
+    pub fn no_vacuum(mut self) -> Self {
+        self.config.vacuum_interval = None;
+        self
+    }
+
     /// Finalizes the config.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -136,6 +160,7 @@ impl Default for EngineConfig {
             indexes: IndexProfile::All,
             lock_policy: LockPolicy::NoWait,
             durability: DurabilityMode::SleepDefault,
+            vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
         }
     }
 }
@@ -219,6 +244,14 @@ pub struct EngineStats {
     pub probe_workers_max: u32,
     /// Aggregates clamped at the `i64` boundary instead of wrapping.
     pub agg_saturations: u64,
+    /// Background vacuum passes completed since engine start.
+    pub vacuum_passes: u64,
+    /// Row versions reclaimed by vacuum (cumulative, all tables).
+    pub versions_pruned: u64,
+    /// Live MVCC versions across every row chain right now. Under a
+    /// vacuum thread this plateaus; without one it grows with every
+    /// update for the life of the run.
+    pub live_versions: u64,
 }
 
 impl EngineStats {
@@ -244,6 +277,9 @@ impl EngineStats {
             probe_nanos: m.counter(names::PROBE_NANOS),
             probe_workers_max: m.gauge(names::PROBE_WORKERS_MAX) as u32,
             agg_saturations: m.counter(names::AGG_SATURATIONS),
+            vacuum_passes: m.counter(names::VACUUM_PASSES),
+            versions_pruned: m.counter(names::VACUUM_VERSIONS_PRUNED),
+            live_versions: m.gauge(names::LIVE_VERSIONS),
         }
     }
 }
@@ -382,17 +418,26 @@ mod tests {
         assert_eq!(c.indexes, d.indexes);
         assert_eq!(c.lock_policy, d.lock_policy);
         assert_eq!(c.durability, d.durability);
+        assert_eq!(c.vacuum_interval, d.vacuum_interval);
+        assert_eq!(
+            d.vacuum_interval,
+            Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
+            "vacuum is on by default"
+        );
 
         let c = EngineConfig::builder()
             .isolation(IsolationLevel::ReadCommitted)
             .indexes(IndexProfile::Semi)
             .lock_policy(LockPolicy::WaitDie)
             .durability(DurabilityMode::Off)
+            .vacuum_interval(std::time::Duration::from_millis(3))
             .build();
         assert_eq!(c.isolation, IsolationLevel::ReadCommitted);
         assert_eq!(c.indexes, IndexProfile::Semi);
         assert_eq!(c.lock_policy, LockPolicy::WaitDie);
         assert!(c.durability.is_off());
+        assert_eq!(c.vacuum_interval, Some(std::time::Duration::from_millis(3)));
+        assert_eq!(EngineConfig::builder().no_vacuum().build().vacuum_interval, None);
     }
 
     #[test]

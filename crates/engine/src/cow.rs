@@ -31,11 +31,11 @@ use hat_common::{Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
-use hat_txn::LOAD_TS;
-use parking_lot::RwLock;
+use hat_txn::{SnapshotGuard, LOAD_TS};
+use parking_lot::{Mutex, RwLock};
 
 use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
-use crate::kernel::RowKernel;
+use crate::kernel::{spawn_vacuum, RowKernel};
 
 /// Configuration of the snapshot engine.
 #[derive(Debug, Clone)]
@@ -66,9 +66,49 @@ pub struct CowEngine {
     config: CowConfig,
     /// Timestamp of the snapshot analytics currently read.
     snapshot_ts: Arc<AtomicU64>,
+    /// Standing registration of [`Self::snapshot_ts`] in the kernel's
+    /// snapshot registry: it clamps the vacuum horizon at the published
+    /// snapshot so stale analytical reads stay safe between refreshes.
+    /// `None` while the snapshot is `LOAD_TS` (load-time base versions
+    /// are never reclaimed, so no pin is needed).
+    pin: Arc<Mutex<Option<SnapshotGuard>>>,
     snapshots_taken: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     refresher: RwLock<Option<JoinHandle<()>>>,
+    vacuum: RwLock<Option<JoinHandle<()>>>,
+}
+
+/// Takes a snapshot: burns a commit timestamp while commits are stalled,
+/// re-pins the snapshot registry at it, and publishes it to analytics.
+/// Shared by [`CowEngine::refresh_snapshot`] and the refresher thread.
+fn take_snapshot(
+    kernel: &Arc<RowKernel>,
+    pin: &Mutex<Option<SnapshotGuard>>,
+    snapshot_ts: &AtomicU64,
+    snapshots_taken: &AtomicU64,
+    fork_pause: Duration,
+) {
+    // Enter the commit critical section: no commit can install while
+    // the "fork" happens, exactly like HyPer quiescing OLTP. The
+    // allocated timestamp is burned (no versions installed), which the
+    // oracle handles by advancing the horizon.
+    let guard = kernel.oracle.begin_commit();
+    if !fork_pause.is_zero() {
+        std::thread::sleep(fork_pause);
+    }
+    // Everything strictly before the burned ts is installed; make the
+    // snapshot exactly that prefix.
+    let ts = guard.ts() - 1;
+    // Re-pin the vacuum horizon at the new snapshot while still inside
+    // the commit critical section: the visibility frontier (and hence
+    // any advertised prune horizon) cannot pass `ts` until the commit
+    // lock is released, so this registration never retries, and swapping
+    // new-before-old keeps the coverage chain unbroken.
+    let new_pin = kernel.snapshots.register_with(|| ts);
+    *pin.lock() = Some(new_pin);
+    drop(guard);
+    snapshot_ts.store(ts, Ordering::Release);
+    snapshots_taken.fetch_add(1, Ordering::Relaxed);
 }
 
 impl CowEngine {
@@ -79,9 +119,11 @@ impl CowEngine {
             kernel,
             config,
             snapshot_ts: Arc::new(AtomicU64::new(LOAD_TS)),
+            pin: Arc::new(Mutex::new(None)),
             snapshots_taken: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
             refresher: RwLock::new(None),
+            vacuum: RwLock::new(None),
         }
     }
 
@@ -99,20 +141,13 @@ impl CowEngine {
     /// Commits are stalled for the configured fork pause while the
     /// snapshot point is chosen.
     pub fn refresh_snapshot(&self) {
-        // Enter the commit critical section: no commit can install while
-        // the "fork" happens, exactly like HyPer quiescing OLTP. The
-        // allocated timestamp is burned (no versions installed), which the
-        // oracle handles by advancing the horizon.
-        let guard = self.kernel.oracle.begin_commit();
-        if !self.config.fork_pause.is_zero() {
-            std::thread::sleep(self.config.fork_pause);
-        }
-        // Everything strictly before the burned ts is installed; make the
-        // snapshot exactly that prefix.
-        let ts = guard.ts() - 1;
-        drop(guard);
-        self.snapshot_ts.store(ts, Ordering::Release);
-        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        take_snapshot(
+            &self.kernel,
+            &self.pin,
+            &self.snapshot_ts,
+            &self.snapshots_taken,
+            self.config.fork_pause,
+        );
     }
 
     fn spawn_refresher(&self) {
@@ -121,6 +156,7 @@ impl CowEngine {
         let engine_ptr = SelfPtr {
             kernel: Arc::clone(&self.kernel),
             snapshot_ts: Arc::clone(&self.snapshot_ts),
+            pin: Arc::clone(&self.pin),
             snapshots_taken: Arc::clone(&self.snapshots_taken),
             fork_pause: self.config.fork_pause,
         };
@@ -151,20 +187,20 @@ impl CowEngine {
 struct SelfPtr {
     kernel: Arc<RowKernel>,
     snapshot_ts: Arc<AtomicU64>,
+    pin: Arc<Mutex<Option<SnapshotGuard>>>,
     snapshots_taken: Arc<AtomicU64>,
     fork_pause: Duration,
 }
 
 impl SelfPtr {
     fn refresh(&self) {
-        let guard = self.kernel.oracle.begin_commit();
-        if !self.fork_pause.is_zero() {
-            std::thread::sleep(self.fork_pause);
-        }
-        let ts = guard.ts() - 1;
-        drop(guard);
-        self.snapshot_ts.store(ts, Ordering::Release);
-        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        take_snapshot(
+            &self.kernel,
+            &self.pin,
+            &self.snapshot_ts,
+            &self.snapshots_taken,
+            self.fork_pause,
+        );
     }
 }
 
@@ -187,6 +223,9 @@ impl HtapEngine for CowEngine {
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
         self.spawn_refresher();
+        // The standing pin clamps the kernel's vacuum at the published
+        // snapshot, so the background pass needs no extra work here.
+        *self.vacuum.write() = spawn_vacuum(&self.kernel, &self.stop, || {});
         Ok(())
     }
 
@@ -200,7 +239,15 @@ impl HtapEngine for CowEngine {
         // bounded staleness, no interference with in-flight commits'
         // version installation.
         let span = SpanTimer::start();
-        let ts = self.snapshot_ts.load(Ordering::Acquire);
+        // Registering at the published snapshot never spins: the standing
+        // pin keeps the prune horizon at or below it, and during the
+        // instant a refresh moves the pin before publishing the new
+        // timestamp, a retry simply re-reads `snapshot_ts`.
+        let _guard = self
+            .kernel
+            .snapshots
+            .register_with(|| self.snapshot_ts.load(Ordering::Acquire));
+        let ts = _guard.ts();
         span.finish(&self.kernel.stats.snapshot_span);
         let view = MixedView::rows(&self.kernel.db, ts);
         let out = execute_with(spec, &view, opts);
@@ -211,6 +258,11 @@ impl HtapEngine for CowEngine {
     fn reset(&self) -> Result<()> {
         self.kernel.reset()?;
         // Re-point analytics at the loaded state until the next refresh.
+        // The standing pin is dropped rather than moved: a snapshot at
+        // `LOAD_TS` needs no pin because the store never reclaims
+        // load-time base versions (the same rule that makes the revert
+        // in `kernel.reset()` possible at all).
+        *self.pin.lock() = None;
         self.snapshot_ts.store(LOAD_TS, Ordering::Release);
         Ok(())
     }
@@ -223,8 +275,10 @@ impl HtapEngine for CowEngine {
 impl Drop for CowEngine {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.refresher.write().take() {
-            let _ = handle.join();
+        for slot in [&self.refresher, &self.vacuum] {
+            if let Some(handle) = slot.write().take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -318,6 +372,49 @@ mod tests {
         engine.reset().unwrap();
         let out = engine.run_query(&count_spec()).unwrap();
         assert!(out.freshness.iter().all(|&(_, t)| t == 0));
+    }
+
+    #[test]
+    fn pinned_snapshot_holds_the_vacuum_horizon_until_refresh() {
+        let engine = CowEngine::new(CowConfig {
+            engine: EngineConfig {
+                vacuum_interval: Some(Duration::from_millis(1)),
+                ..EngineConfig::default().without_durability()
+            },
+            snapshot_interval: Duration::from_secs(3600),
+            fork_pause: Duration::from_micros(50),
+        });
+        let rows: Vec<Row> = (0..2).map(|c| freshness_row(c, 0)).collect();
+        engine.load(TableId::Freshness, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        // Commit once so the snapshot pin lands above the load timestamp,
+        // then pin and bury row 0 under 40 more committed updates while
+        // the vacuum thread runs aggressively.
+        let mut s = engine.begin();
+        s.update(TableId::Freshness, 1, freshness_row(1, 7)).unwrap();
+        s.commit().unwrap();
+        engine.refresh_snapshot();
+        for n in 1..=40u64 {
+            let mut s = engine.begin();
+            s.update(TableId::Freshness, 0, freshness_row(0, n)).unwrap();
+            s.commit().unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        // 2 base versions + row 1's update + row 0's 40 updates: the pin
+        // keeps the horizon below all of them, so nothing is reclaimed.
+        assert_eq!(engine.kernel.db.live_versions(), 43, "pin holds the horizon");
+        let out = engine.run_query(&count_spec()).unwrap();
+        assert_eq!(out.freshness, vec![(0, 0), (1, 7)], "snapshot stays consistent");
+        // Moving the snapshot forward releases the buried versions: each
+        // chain converges to its newest version plus the immortal base.
+        engine.refresh_snapshot();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engine.kernel.db.live_versions() > 4 {
+            assert!(std::time::Instant::now() < deadline, "vacuum never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let out = engine.run_query(&count_spec()).unwrap();
+        assert_eq!(out.freshness, vec![(0, 40), (1, 7)]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use parking_lot::RwLock;
 use crate::api::{
     DesignCategory, EngineConfig, HtapEngine, IndexProfile, Session,
 };
-use crate::kernel::{CommitHooks, RowKernel};
+use crate::kernel::{spawn_vacuum, CommitHooks, RowKernel};
 use crate::netsim::NetworkLink;
 
 /// The columnar side shared by both hybrid engines: a live fact copy
@@ -153,6 +153,9 @@ pub struct DualConfig {
     pub merge_threshold: usize,
     /// How often the compactor checks the delta.
     pub merge_interval: Duration,
+    /// Row-side MVCC vacuum cadence (`None` disables it); forwarded to
+    /// the kernel's [`EngineConfig::vacuum_interval`].
+    pub vacuum_interval: Option<Duration>,
 }
 
 impl Default for DualConfig {
@@ -161,6 +164,7 @@ impl Default for DualConfig {
             indexes: IndexProfile::Semi,
             merge_threshold: 4096,
             merge_interval: Duration::from_millis(5),
+            vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
         }
     }
 }
@@ -186,6 +190,7 @@ pub struct DualEngine {
     config: DualConfig,
     stop: Arc<AtomicBool>,
     compactor: RwLock<Option<JoinHandle<()>>>,
+    vacuum: RwLock<Option<JoinHandle<()>>>,
 }
 
 impl DualEngine {
@@ -199,6 +204,7 @@ impl DualEngine {
                 indexes: config.indexes,
                 // Memory-optimized engine: cheaper log persistence.
                 durability: crate::api::DurabilityMode::Sleep(Duration::from_micros(60)),
+                vacuum_interval: config.vacuum_interval,
                 ..EngineConfig::default()
             },
             hooks,
@@ -209,6 +215,7 @@ impl DualEngine {
             config,
             stop: Arc::new(AtomicBool::new(false)),
             compactor: RwLock::new(None),
+            vacuum: RwLock::new(None),
         }
     }
 
@@ -258,6 +265,8 @@ impl HtapEngine for DualEngine {
         self.kernel.finish_load();
         self.columnar.build_from(&self.kernel);
         self.spawn_compactor();
+        // Row-side MVCC vacuum; the columnar side has its own compactor.
+        *self.vacuum.write() = spawn_vacuum(&self.kernel, &self.stop, || {});
         Ok(())
     }
 
@@ -272,7 +281,11 @@ impl HtapEngine for DualEngine {
         // execution, so freshness is zero (§6.4). The snapshot span prices
         // that merge-on-read view construction.
         let span = SpanTimer::start();
-        let ts = self.kernel.oracle.read_ts();
+        let _guard = self
+            .kernel
+            .snapshots
+            .register_with(|| self.kernel.oracle.read_ts());
+        let ts = _guard.ts();
         let view = self.columnar.view(&self.kernel, ts);
         span.finish(&self.kernel.stats.snapshot_span);
         let out = execute_with(spec, &view, opts);
@@ -296,8 +309,10 @@ impl HtapEngine for DualEngine {
 impl Drop for DualEngine {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.compactor.write().take() {
-            let _ = handle.join();
+        for slot in [&self.compactor, &self.vacuum] {
+            if let Some(handle) = slot.write().take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -369,6 +384,11 @@ pub struct LearnerConfig {
     pub read_index_timeout: Duration,
     /// Log records retained for learner catch-up after a crash.
     pub wal_retention: usize,
+    /// Row-side MVCC vacuum cadence (`None` disables it); forwarded to
+    /// the kernel's [`EngineConfig::vacuum_interval`]. The columnar copy
+    /// needs no vacuum — the learner thread already folds its delta and
+    /// dimension update logs at the applied watermark.
+    pub vacuum_interval: Option<Duration>,
 }
 
 impl Default for LearnerConfig {
@@ -381,6 +401,7 @@ impl Default for LearnerConfig {
             consensus_timeout: Duration::from_millis(250),
             read_index_timeout: Duration::from_millis(500),
             wal_retention: DEFAULT_RETENTION,
+            vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
         }
     }
 }
@@ -441,6 +462,8 @@ pub struct LearnerEngine {
     fast_drain: Arc<AtomicBool>,
     config: LearnerConfig,
     learner: RwLock<Option<LearnerCtl>>,
+    stop_vacuum: Arc<AtomicBool>,
+    vacuum: RwLock<Option<JoinHandle<()>>>,
 }
 
 impl LearnerEngine {
@@ -468,6 +491,7 @@ impl LearnerEngine {
                 indexes: config.indexes,
                 // Durability is paid inside the consensus rounds.
                 durability: crate::api::DurabilityMode::Off,
+                vacuum_interval: config.vacuum_interval,
                 ..EngineConfig::default()
             },
             hooks,
@@ -485,6 +509,8 @@ impl LearnerEngine {
             fast_drain: Arc::new(AtomicBool::new(false)),
             config,
             learner: RwLock::new(None),
+            stop_vacuum: Arc::new(AtomicBool::new(false)),
+            vacuum: RwLock::new(None),
         }
     }
 
@@ -607,6 +633,9 @@ impl HtapEngine for LearnerEngine {
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
         self.columnar.build_from(&self.kernel);
+        // Row-side MVCC vacuum. The columnar copy prunes itself at the
+        // applied watermark (the learner thread's merge_background).
+        *self.vacuum.write() = spawn_vacuum(&self.kernel, &self.stop_vacuum, || {});
         self.spawn_learner()
     }
 
@@ -620,9 +649,14 @@ impl HtapEngine for LearnerEngine {
         // analytical data before executing, so the query sees everything
         // committed before its start — freshness zero by construction
         // (§6.5.1), paid as wait latency here. The snapshot span prices
-        // that wait plus view construction.
+        // that wait plus view construction. The guard is taken before the
+        // wait so vacuum cannot pass the query's snapshot while it blocks.
         let span = SpanTimer::start();
-        let ts = self.kernel.oracle.read_ts();
+        let _guard = self
+            .kernel
+            .snapshots
+            .register_with(|| self.kernel.oracle.read_ts());
+        let ts = _guard.ts();
         // Wait only up to the last logged commit: timestamps burned
         // without a record (aborted installs) never reach the learner,
         // and nothing with a record in (last_logged, ts] exists. Bounded:
@@ -657,6 +691,10 @@ impl HtapEngine for LearnerEngine {
 impl Drop for LearnerEngine {
     fn drop(&mut self) {
         self.wal.close();
+        self.stop_vacuum.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.vacuum.write().take() {
+            let _ = handle.join();
+        }
         if let Some(ctl) = self.learner.write().take() {
             ctl.stop.store(true, Ordering::Release);
             let _ = ctl.handle.join();
@@ -763,6 +801,38 @@ mod tests {
         assert_eq!(engine.delta_rows(), 0);
         let out = engine.run_query(&sum_revenue_spec()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
+    }
+
+    #[test]
+    fn dual_vacuum_prunes_row_side_version_chains() {
+        let engine = DualEngine::new(DualConfig {
+            merge_threshold: 8,
+            merge_interval: Duration::from_millis(1),
+            vacuum_interval: Some(Duration::from_millis(1)),
+            ..DualConfig::default()
+        });
+        let rows: Vec<Row> = (0..10).map(|i| lineorder_row(i, 1, 100)).collect();
+        engine.load(TableId::Lineorder, &mut rows.into_iter()).unwrap();
+        let fr = vec![row_from([Value::U32(0), Value::U64(0)])];
+        engine.load(TableId::Freshness, &mut fr.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        let base = engine.kernel.db.live_versions();
+        // Bury the freshness row (row-format, merge-on-read reads it from
+        // the row store) under 40 committed updates.
+        for n in 1..=40u64 {
+            let mut s = engine.begin();
+            s.update(TableId::Freshness, 0, row_from([Value::U32(0), Value::U64(n)]))
+                .unwrap();
+            s.commit().unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engine.kernel.db.live_versions() > base + 1 {
+            assert!(std::time::Instant::now() < deadline, "vacuum never converged");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 1000);
+        assert_eq!(out.freshness, vec![(0, 40)], "newest version survives");
     }
 
     #[test]

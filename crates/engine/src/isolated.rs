@@ -32,11 +32,11 @@ use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
 use hat_storage::rowstore::RowDb;
 use hat_storage::wal::{TableOp, Wal, DEFAULT_RETENTION};
-use hat_txn::{Ts, Watermark, LOAD_TS};
+use hat_txn::{SnapshotRegistry, Ts, Watermark, LOAD_TS};
 use parking_lot::RwLock;
 
 use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
-use crate::kernel::{CommitHooks, RowKernel};
+use crate::kernel::{spawn_vacuum, CommitHooks, RowKernel};
 use crate::netsim::NetworkLink;
 
 /// PostgreSQL-style `synchronous_commit` settings.
@@ -120,6 +120,11 @@ impl IsoConfig {
 struct Replica {
     db: RowDb,
     applied: Watermark,
+    /// Active snapshots over the replica's database. Replica queries
+    /// register here (not in the primary kernel's registry): the standby
+    /// prunes against its *applied* watermark, independent of the
+    /// primary's visibility frontier.
+    snapshots: Arc<SnapshotRegistry>,
     /// Records shipped but not yet applied.
     backlog: AtomicU64,
     /// Highest LSN the replay thread has applied. Survives a replay-thread
@@ -205,6 +210,8 @@ pub struct IsoEngine {
     last_logged: Arc<AtomicU64>,
     config: IsoConfig,
     replay: RwLock<Option<ReplayCtl>>,
+    stop_vacuum: Arc<AtomicBool>,
+    vacuum: RwLock<Option<JoinHandle<()>>>,
 }
 
 impl IsoEngine {
@@ -219,6 +226,7 @@ impl IsoEngine {
         let replica = Arc::new(Replica {
             db: RowDb::new(),
             applied: Watermark::new(LOAD_TS),
+            snapshots: Arc::new(SnapshotRegistry::new()),
             backlog: AtomicU64::new(0),
             applied_lsn: AtomicU64::new(0),
             down: AtomicBool::new(false),
@@ -242,6 +250,8 @@ impl IsoEngine {
             last_logged,
             config,
             replay: RwLock::new(None),
+            stop_vacuum: Arc::new(AtomicBool::new(false)),
+            vacuum: RwLock::new(None),
         }
     }
 
@@ -426,6 +436,17 @@ impl HtapEngine for IsoEngine {
 
     fn finish_load(&self) -> Result<()> {
         self.kernel.finish_load();
+        // One vacuum thread covers both nodes: the primary pass prunes at
+        // the kernel's safe horizon, and the extra hook prunes the standby
+        // at its own applied watermark (a standby never needs versions
+        // older than what the oldest replica query can see).
+        let replica = Arc::clone(&self.replica);
+        let pruned = Arc::clone(&self.kernel.stats.versions_pruned);
+        *self.vacuum.write() = spawn_vacuum(&self.kernel, &self.stop_vacuum, move || {
+            let horizon = replica.snapshots.prune_horizon(replica.applied.get());
+            let stats = replica.db.vacuum(horizon, |_| {});
+            pruned.add(stats.freed);
+        });
         self.spawn_replay()
     }
 
@@ -439,7 +460,11 @@ impl HtapEngine for IsoEngine {
         // been replayed so far. Staleness is visible through the
         // freshness side-read of the replicated FRESHNESS rows.
         let span = SpanTimer::start();
-        let ts = self.replica.applied.get();
+        let _guard = self
+            .replica
+            .snapshots
+            .register_with(|| self.replica.applied.get());
+        let ts = _guard.ts();
         span.finish(&self.kernel.stats.snapshot_span);
         let view = MixedView::rows(&self.replica.db, ts);
         let out = execute_with(spec, &view, opts);
@@ -466,6 +491,12 @@ impl HtapEngine for IsoEngine {
     fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.kernel.metrics();
         snap.set_gauge(names::REPL_BACKLOG, self.replica.backlog.load(Ordering::Relaxed));
+        // Bounded memory is a two-node property here: report the version
+        // population of primary and standby together.
+        snap.set_gauge(
+            names::LIVE_VERSIONS,
+            self.kernel.db.live_versions() + self.replica.db.live_versions(),
+        );
         snap
     }
 }
@@ -473,6 +504,10 @@ impl HtapEngine for IsoEngine {
 impl Drop for IsoEngine {
     fn drop(&mut self) {
         self.wal.close();
+        self.stop_vacuum.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.vacuum.write().take() {
+            let _ = handle.join();
+        }
         if let Some(ctl) = self.replay.write().take() {
             ctl.stop.store(true, Ordering::Release);
             let _ = ctl.handle.join();
@@ -781,6 +816,46 @@ mod tests {
         }
         let err = engine.restart_replica().unwrap_err();
         assert!(matches!(err, HatError::WalTruncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn both_nodes_vacuum_and_the_standby_prunes_at_applied() {
+        let mut cfg = fast_config(ReplicationMode::RemoteApply);
+        cfg.engine.vacuum_interval = Some(Duration::from_millis(1));
+        let engine = IsoEngine::new(cfg);
+        let customers: Vec<Row> = (1..=4).map(customer_row).collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        let base = engine.replica.db.live_versions();
+        // Remote-apply: every commit is replayed before the next begins,
+        // so both nodes accumulate the same 30-version chain on customer 1.
+        for n in 1..=30u32 {
+            let mut s = engine.begin();
+            let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+            s.update(
+                TableId::Customer,
+                rid,
+                row_with(&row, customer::PAYMENTCNT, Value::U32(n)),
+            )
+            .unwrap();
+            s.commit().unwrap();
+        }
+        // The vacuum thread converges both databases to newest + base.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let primary = engine.kernel.db.live_versions();
+            let standby = engine.replica.db.live_versions();
+            if primary <= base + 1 && standby <= base + 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "vacuum never converged: primary={primary} standby={standby}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Replica reads still see the newest state.
+        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert_eq!(out.groups[0].agg, 4);
+        let snap = engine.metrics();
+        assert!(snap.gauge(names::LIVE_VERSIONS) <= 2 * (base + 1));
     }
 
     #[test]

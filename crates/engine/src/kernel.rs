@@ -8,6 +8,7 @@
 //! in where their analytical queries read — the kernel itself is the
 //! "primary node" of all four designs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hat_common::ids::{customer, date, lineorder, part, supplier};
@@ -17,9 +18,11 @@ use hat_common::telemetry::{
 use hat_common::{HatError, Result, Row, TableId};
 use hat_storage::bptree::BPlusTree;
 use hat_storage::dwal::{CheckpointData, TableCheckpoint, WalRecovery};
-use hat_storage::rowstore::{RowDb, RowId};
+use hat_storage::rowstore::{PruneStats, RowDb, RowId};
 use hat_storage::wal::TableOp;
-use hat_txn::{LockManager, Ts, TsOracle, TxnCtx, WriteOp, LOAD_TS};
+use hat_txn::{
+    LockManager, SnapshotGuard, SnapshotRegistry, Ts, TsOracle, TxnCtx, WriteOp, LOAD_TS,
+};
 use parking_lot::RwLock;
 
 use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
@@ -252,6 +255,15 @@ pub struct KernelStats {
     pub build_span: Arc<Histogram>,
     /// Fact probe durations, nanoseconds.
     pub probe_span: Arc<Histogram>,
+    /// Completed vacuum passes.
+    pub vacuum_passes: Arc<Counter>,
+    /// Row versions reclaimed by vacuum.
+    pub versions_pruned: Arc<Counter>,
+    /// Live versions across the row store (refreshed by every vacuum
+    /// pass and by [`RowKernel::metrics`]).
+    pub live_versions: Arc<Gauge>,
+    /// Version-chain lengths observed by vacuum before pruning.
+    pub chain_length: Arc<Histogram>,
 }
 
 impl Default for KernelStats {
@@ -271,6 +283,10 @@ impl Default for KernelStats {
             snapshot_span: registry.histogram(names::SPAN_SNAPSHOT),
             build_span: registry.histogram(names::SPAN_QUERY_BUILD),
             probe_span: registry.histogram(names::SPAN_QUERY_PROBE),
+            vacuum_passes: registry.counter(names::VACUUM_PASSES),
+            versions_pruned: registry.counter(names::VACUUM_VERSIONS_PRUNED),
+            live_versions: registry.gauge(names::LIVE_VERSIONS),
+            chain_length: registry.histogram(names::VACUUM_CHAIN_LENGTH),
             registry,
         }
     }
@@ -302,6 +318,14 @@ pub struct RowKernel {
     /// this owns the on-disk WAL; engines reach through it for
     /// checkpoints, crash injection, and counters.
     pub durability: DurabilityLayer,
+    /// Active snapshots against this kernel's row store: every session
+    /// and every analytical query that reads the primary holds a guard
+    /// here, and [`RowKernel::vacuum_pass`] prunes below their minimum.
+    pub snapshots: Arc<SnapshotRegistry>,
+    /// Timestamp of the last durable checkpoint (0 before the first).
+    /// Under `Fsync`, vacuum never prunes above it: the in-memory store
+    /// keeps every version the on-disk image hasn't caught up to.
+    last_checkpoint_ts: AtomicU64,
     hooks: Arc<dyn CommitHooks>,
     /// Slot counts per table recorded at `finish_load`, for reset.
     loaded_counts: RwLock<Vec<u64>>,
@@ -340,6 +364,8 @@ impl RowKernel {
             config,
             stats: KernelStats::default(),
             durability,
+            snapshots: Arc::new(SnapshotRegistry::new()),
+            last_checkpoint_ts: AtomicU64::new(0),
             hooks,
             loaded_counts: RwLock::new(vec![0; TableId::COUNT]),
         };
@@ -356,6 +382,7 @@ impl RowKernel {
     /// everything recovered.
     fn apply_recovery(&self, recovery: &WalRecovery) -> Result<()> {
         if let Some(ckpt) = &recovery.checkpoint {
+            self.last_checkpoint_ts.store(ckpt.last_ts, Ordering::Release);
             for tc in &ckpt.tables {
                 let store = self.db.store(tc.table);
                 for (rid, ts, row) in &tc.rows {
@@ -413,7 +440,10 @@ impl RowKernel {
                 tables.push(TableCheckpoint { table: t, rows });
             }
         }
-        wal.checkpoint(&CheckpointData { lsn, last_ts: ts, tables })
+        wal.checkpoint(&CheckpointData { lsn, last_ts: ts, tables })?;
+        // Only now is the image durable; release the vacuum clamp up to it.
+        self.last_checkpoint_ts.store(ts, Ordering::Release);
+        Ok(())
     }
 
     /// Replaces the hooks (engines call this once during construction,
@@ -460,13 +490,41 @@ impl RowKernel {
         Ok(())
     }
 
-    /// Starts a session at the kernel's configured isolation level.
+    /// Starts a session at the kernel's configured isolation level. The
+    /// session registers its begin snapshot in the kernel's
+    /// [`SnapshotRegistry`] and holds the guard for its whole lifetime,
+    /// so vacuum can never reclaim a version an open transaction might
+    /// still read.
     pub fn begin_session(self: &Arc<Self>) -> KernelSession {
-        let snapshot_ts = self.oracle.read_ts();
+        let snapshot = self.snapshots.register_with(|| self.oracle.read_ts());
         KernelSession {
+            ctx: TxnCtx::begin(self.config.isolation, snapshot.ts()),
             kernel: Arc::clone(self),
-            ctx: TxnCtx::begin(self.config.isolation, snapshot_ts),
+            _snapshot: snapshot,
         }
+    }
+
+    /// One vacuum pass: computes the safe prune horizon — the current
+    /// visibility frontier, clamped to the last durable checkpoint under
+    /// `Fsync` and to the oldest active snapshot — and reclaims version
+    /// chains below it, visiting only slots updated since the last pass.
+    /// Called by each engine's background vacuum thread (see
+    /// [`EngineConfig::vacuum_interval`]); safe to call manually.
+    pub fn vacuum_pass(&self) -> PruneStats {
+        let mut frontier = self.oracle.read_ts();
+        if self.durability.wal().is_some() {
+            // LOAD_TS floors the clamp so pre-checkpoint passes are
+            // harmless no-ops rather than pruning at the 0 sentinel.
+            frontier =
+                frontier.min(self.last_checkpoint_ts.load(Ordering::Acquire).max(LOAD_TS));
+        }
+        let horizon = self.snapshots.prune_horizon(frontier);
+        let chain_hist = &self.stats.chain_length;
+        let stats = self.db.vacuum(horizon, |len| chain_hist.record(len));
+        self.stats.vacuum_passes.inc();
+        self.stats.versions_pruned.add(stats.freed);
+        self.stats.live_versions.set(self.db.live_versions());
+        stats
     }
 
     /// One diffable, serializable snapshot of every kernel metric,
@@ -479,6 +537,8 @@ impl RowKernel {
         snap.set_counter(names::WAL_RECOVERY_REPLAYED, d.recovery_replayed_records);
         snap.set_counter(names::WAL_TORN_TAILS, d.torn_tail_truncations);
         snap.set_histogram(names::WAL_GROUP_COMMIT_BATCH, d.group_commit_batches);
+        // Always-fresh gauge: accurate even with vacuum disabled.
+        snap.set_gauge(names::LIVE_VERSIONS, self.db.live_versions());
         snap
     }
 
@@ -488,10 +548,42 @@ impl RowKernel {
     }
 }
 
+/// Spawns an engine's background vacuum thread: one
+/// [`RowKernel::vacuum_pass`] every `config.vacuum_interval`, plus an
+/// engine-specific `extra` step per pass (replica and learner engines
+/// prune their own copies at their applied watermark there). Returns
+/// `None` when the config disabled vacuum ([`EngineConfig::no_vacuum`]).
+/// The caller owns the stop flag and must join the handle on drop.
+pub fn spawn_vacuum(
+    kernel: &Arc<RowKernel>,
+    stop: &Arc<std::sync::atomic::AtomicBool>,
+    extra: impl Fn() + Send + 'static,
+) -> Option<std::thread::JoinHandle<()>> {
+    let every = kernel.config.vacuum_interval?;
+    let kernel = Arc::clone(kernel);
+    let stop = Arc::clone(stop);
+    let handle = std::thread::Builder::new()
+        .name("mvcc-vacuum".into())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(every);
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                kernel.vacuum_pass();
+                extra();
+            }
+        })
+        .expect("spawn vacuum");
+    Some(handle)
+}
+
 /// A transaction running against a [`RowKernel`].
 pub struct KernelSession {
     kernel: Arc<RowKernel>,
     ctx: TxnCtx,
+    /// Pins the begin snapshot against vacuum for the session's lifetime.
+    _snapshot: SnapshotGuard,
 }
 
 impl KernelSession {
@@ -1067,6 +1159,53 @@ mod tests {
         Box::new(s).commit().unwrap();
         let mut s = k.begin_session();
         assert_eq!(s.count_orders(1).unwrap(), 1);
+        Box::new(s).abort();
+    }
+
+    #[test]
+    fn vacuum_respects_open_sessions_and_reclaims_after_release() {
+        let k = kernel(IsolationLevel::SnapshotIsolation, IndexProfile::All);
+        load_customers(&k, 4);
+        let base = k.db.live_versions();
+        // Commit once so the pinned session's snapshot lands above the
+        // load timestamp (guards at LOAD_TS are exempt from the horizon:
+        // they only read immortal base versions).
+        {
+            let mut s = k.begin_session();
+            let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
+            s.update(TableId::Customer, rid, row).unwrap();
+            Box::new(s).commit().unwrap();
+        }
+        // Pin a snapshot, then rewrite customer 1 five times.
+        let pinned = k.begin_session();
+        for _ in 0..5 {
+            let mut s = k.begin_session();
+            let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+            s.update(TableId::Customer, rid, row).unwrap();
+            Box::new(s).commit().unwrap();
+        }
+        assert_eq!(k.db.live_versions(), base + 6);
+        // The open session pins its begin snapshot: the version visible
+        // there plus everything newer must survive the pass.
+        let stats = k.vacuum_pass();
+        assert_eq!(stats.freed, 0);
+        assert_eq!(k.db.live_versions(), base + 6, "pinned snapshot holds the horizon");
+        Box::new(pinned).abort();
+        // Released: the next pass reclaims customer 1's intermediate
+        // versions, keeping the newest plus the load-time base (reset
+        // needs it). Customer 2's chain is already converged.
+        let stats = k.vacuum_pass();
+        assert_eq!(stats.freed, 4);
+        assert_eq!(k.db.live_versions(), base + 2);
+        let snap = k.metrics();
+        assert_eq!(snap.counter(names::VACUUM_PASSES), 2);
+        assert_eq!(snap.counter(names::VACUUM_VERSIONS_PRUNED), 4);
+        assert_eq!(snap.gauge(names::LIVE_VERSIONS), base + 2);
+        // Reset after vacuum restores the loaded row state.
+        k.reset().unwrap();
+        let mut s = k.begin_session();
+        let (_, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+        assert_eq!(row[customer::PAYMENTCNT].as_u32().unwrap(), 0);
         Box::new(s).abort();
     }
 

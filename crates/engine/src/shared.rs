@@ -21,14 +21,17 @@ use parking_lot::RwLock;
 
 use crate::analytics::{date_range_hint, PrefilteredView};
 use crate::api::{DesignCategory, EngineConfig, HtapEngine, Session};
-use crate::kernel::RowKernel;
+use crate::kernel::{spawn_vacuum, RowKernel};
 
 /// A single-node, single-copy MVCC engine.
 pub struct ShdEngine {
     kernel: Arc<RowKernel>,
+    /// Stops the background threads (checkpointer, vacuum) on drop.
+    stop_background: Arc<AtomicBool>,
     /// Background checkpointer (Fsync durability with `checkpoint_every`).
-    stop_checkpointer: Arc<AtomicBool>,
     checkpointer: RwLock<Option<JoinHandle<()>>>,
+    /// Background MVCC vacuum ([`EngineConfig::vacuum_interval`]).
+    vacuum: RwLock<Option<JoinHandle<()>>>,
 }
 
 impl ShdEngine {
@@ -47,8 +50,9 @@ impl ShdEngine {
     pub fn try_new(config: EngineConfig) -> Result<Self> {
         Ok(ShdEngine {
             kernel: Arc::new(RowKernel::try_new(config)?),
-            stop_checkpointer: Arc::new(AtomicBool::new(false)),
+            stop_background: Arc::new(AtomicBool::new(false)),
             checkpointer: RwLock::new(None),
+            vacuum: RwLock::new(None),
         })
     }
 
@@ -73,9 +77,11 @@ impl ShdEngine {
 
 impl Drop for ShdEngine {
     fn drop(&mut self) {
-        self.stop_checkpointer.store(true, Ordering::Release);
-        if let Some(handle) = self.checkpointer.write().take() {
-            let _ = handle.join();
+        self.stop_background.store(true, Ordering::Release);
+        for slot in [&self.checkpointer, &self.vacuum] {
+            if let Some(handle) = slot.write().take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -106,7 +112,7 @@ impl HtapEngine for ShdEngine {
             self.kernel.checkpoint()?;
             if let Some(every) = self.checkpoint_interval() {
                 let kernel = Arc::clone(&self.kernel);
-                let stop = Arc::clone(&self.stop_checkpointer);
+                let stop = Arc::clone(&self.stop_background);
                 let handle = std::thread::Builder::new()
                     .name("wal-checkpointer".into())
                     .spawn(move || {
@@ -126,6 +132,7 @@ impl HtapEngine for ShdEngine {
                 *self.checkpointer.write() = Some(handle);
             }
         }
+        *self.vacuum.write() = spawn_vacuum(&self.kernel, &self.stop_background, || {});
         Ok(())
     }
 
@@ -136,7 +143,14 @@ impl HtapEngine for ShdEngine {
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         self.kernel.stats.queries.inc();
         let span = SpanTimer::start();
-        let ts = self.kernel.oracle.read_ts();
+        // The guard pins the query's snapshot against vacuum for the whole
+        // scan; registration picks the timestamp (it may retry past a
+        // concurrent pass, always landing on a fresh frontier).
+        let _guard = self
+            .kernel
+            .snapshots
+            .register_with(|| self.kernel.oracle.read_ts());
+        let ts = _guard.ts();
         span.finish(&self.kernel.stats.snapshot_span);
         // Index-accelerated plan when the physical schema allows it.
         let out = if let Some(rids) = date_range_hint(spec)
@@ -326,6 +340,51 @@ mod tests {
         s.update(TableId::Customer, rid, patched).unwrap();
         s.commit().unwrap();
         assert_eq!(engine.stats().commits, 1);
+    }
+
+    #[test]
+    fn background_vacuum_reclaims_superseded_versions() {
+        let engine = ShdEngine::new(EngineConfig {
+            durability: crate::api::DurabilityMode::Off,
+            vacuum_interval: Some(Duration::from_millis(1)),
+            ..EngineConfig::default()
+        });
+        let customers: Vec<Row> = (1..=4u32)
+            .map(|i| {
+                row_from([
+                    Value::U32(i),
+                    Value::from(format!("Customer#{i:09}")),
+                    Value::from("addr"),
+                    Value::from("CITY0"),
+                    Value::from("CHINA"),
+                    Value::from("ASIA"),
+                    Value::from("phone"),
+                    Value::from("AUTO"),
+                    Value::U32(0),
+                ])
+            })
+            .collect();
+        engine.load(TableId::Customer, &mut customers.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+        let base = engine.kernel().db.live_versions();
+        for _ in 0..50 {
+            let mut s = engine.begin();
+            let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
+            s.update(TableId::Customer, rid, row).unwrap();
+            s.commit().unwrap();
+        }
+        // The background thread converges the chain to newest + base.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while engine.kernel().db.live_versions() > base + 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "vacuum failed to reclaim: {} live versions",
+                engine.kernel().db.live_versions()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(engine.stats().vacuum_passes > 0);
+        assert!(engine.stats().versions_pruned >= 48);
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub use dwal::{
     CheckpointData, DurableWal, DurableWalStats, KillPoint, TableCheckpoint, WalConfig,
     WalRecovery,
 };
-pub use rowstore::{RowDb, RowId, RowStore};
+pub use rowstore::{PruneStats, RowDb, RowId, RowStore};
 pub use wal::{LogRecord, TableOp, Wal};

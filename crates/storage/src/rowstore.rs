@@ -30,6 +30,16 @@ pub type RowId = u64;
 const SEG_SHIFT: usize = 12;
 const SEG_SIZE: usize = 1 << SEG_SHIFT;
 
+/// Words in a segment's dirty-slot bitmap (one bit per slot).
+const DIRTY_WORDS: usize = SEG_SIZE / 64;
+
+/// Timestamp of bulk-loaded base versions (`hat-txn`'s `LOAD_TS`).
+/// Pruning always preserves a row's base version: benchmark reset
+/// restores the loaded state via `revert_versions_after(BASE_TS)`, which
+/// must find it even after vacuum reclaimed every intermediate version.
+/// The cost is bounded — at most one extra version per updated row.
+pub const BASE_TS: Ts = 1;
+
 /// One committed version of a row.
 struct Version {
     ts: Ts,
@@ -49,16 +59,49 @@ impl Drop for Version {
     }
 }
 
-/// A fixed block of slots.
+/// A fixed block of slots, plus a dirty bitmap driving vacuum.
+///
+/// `dirty` has one bit per slot, set by [`RowStore::install_update`] after
+/// prepending a version. A vacuum pass claims whole words with `swap(0)`
+/// and visits only the set bits, so GC cost tracks the *update* rate, not
+/// the table size; slots whose chain still holds versions above the prune
+/// horizon are re-marked so a later pass (with a higher horizon) returns.
 struct Segment {
     slots: Box<[Mutex<Option<Version>>]>,
+    dirty: Box<[AtomicU64]>,
 }
 
 impl Segment {
     fn new() -> Arc<Segment> {
         let slots: Vec<Mutex<Option<Version>>> =
             (0..SEG_SIZE).map(|_| Mutex::new(None)).collect();
-        Arc::new(Segment { slots: slots.into_boxed_slice() })
+        let dirty: Vec<AtomicU64> = (0..DIRTY_WORDS).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Segment {
+            slots: slots.into_boxed_slice(),
+            dirty: dirty.into_boxed_slice(),
+        })
+    }
+
+    /// Marks the slot at in-segment `offset` as a vacuum candidate.
+    #[inline]
+    fn mark_dirty(&self, offset: usize) {
+        self.dirty[offset / 64].fetch_or(1u64 << (offset % 64), Ordering::Release);
+    }
+}
+
+/// Outcome of one vacuum pass over a store (or summed over a database).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Versions reclaimed.
+    pub freed: u64,
+    /// Slots examined (for candidate passes: how many dirty bits fired).
+    pub visited: u64,
+}
+
+impl PruneStats {
+    pub fn absorb(&mut self, other: PruneStats) {
+        self.freed += other.freed;
+        self.visited += other.visited;
     }
 }
 
@@ -68,6 +111,9 @@ pub struct RowStore {
     segments: RwLock<Vec<Arc<Segment>>>,
     /// Number of allocated slots (== next RowId).
     count: AtomicU64,
+    /// Live versions across all chains (slots + their history). Kept
+    /// exact by install/prune/truncate/revert so the memory gauge is O(1).
+    versions: AtomicU64,
 }
 
 impl RowStore {
@@ -77,6 +123,7 @@ impl RowStore {
             table,
             segments: RwLock::new(Vec::new()),
             count: AtomicU64::new(0),
+            versions: AtomicU64::new(0),
         }
     }
 
@@ -90,6 +137,13 @@ impl RowStore {
     #[inline]
     pub fn slot_count(&self) -> u64 {
         self.count.load(Ordering::Acquire)
+    }
+
+    /// Total live versions across every chain in the store. One insert or
+    /// update contributes one version until vacuum (or reset) reclaims it.
+    #[inline]
+    pub fn live_versions(&self) -> u64 {
+        self.versions.load(Ordering::Acquire)
     }
 
     /// Grabs the segment holding `rid`, growing the directory if needed.
@@ -124,6 +178,7 @@ impl RowStore {
         let mut slot = Self::slot_of(&seg, rid).lock();
         debug_assert!(slot.is_none(), "fresh slot must be empty");
         *slot = Some(Version { ts, row, next: None });
+        self.versions.fetch_add(1, Ordering::AcqRel);
         rid
     }
 
@@ -153,6 +208,12 @@ impl RowStore {
             "versions must be installed in increasing ts order"
         );
         *slot = Some(Version { ts, row, next: old.map(Box::new) });
+        drop(slot);
+        self.versions.fetch_add(1, Ordering::AcqRel);
+        // Mark *after* installing: a vacuum pass that already claimed this
+        // slot's bit re-finds it on its next pass; marking first could let
+        // the claim race hide the new version's chain forever.
+        seg.mark_dirty((rid as usize) & (SEG_SIZE - 1));
         Ok(())
     }
 
@@ -303,10 +364,62 @@ impl RowStore {
         n
     }
 
+    /// Prunes one slot: keeps every version newer than `horizon`, the one
+    /// visible *at* `horizon`, and the load-time base version (see
+    /// [`BASE_TS`]), drops the rest. Returns `(versions freed, chain
+    /// length before, chain length after, revisit)` where `revisit` says
+    /// whether a later pass with a higher horizon could reclaim more.
+    fn prune_slot(slot: &Mutex<Option<Version>>, horizon: Ts) -> (u64, u64, u64, bool) {
+        let mut guard = slot.lock();
+        let Some(head) = guard.as_mut() else { return (0, 0, 0, false) };
+        let mut freed = 0;
+        let mut kept: u64 = 1;
+        let mut has_base = false;
+        // Walk to the first version with ts <= horizon; everything
+        // strictly older than that version is unreachable — except the
+        // base version at the chain's tail, which is re-attached.
+        let mut cur: &mut Version = head;
+        loop {
+            if cur.ts <= horizon {
+                has_base = cur.ts <= BASE_TS;
+                let mut dropped = cur.next.take();
+                let mut base: Option<Box<Version>> = None;
+                while let Some(mut v) = dropped {
+                    dropped = v.next.take();
+                    if dropped.is_none() && v.ts <= BASE_TS {
+                        base = Some(v);
+                    } else {
+                        freed += 1;
+                    }
+                }
+                if let Some(b) = base {
+                    cur.next = Some(b);
+                    kept += 1;
+                    has_base = true;
+                }
+                break;
+            }
+            match cur.next {
+                Some(ref mut next) => {
+                    kept += 1;
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        // Fully vacuumed, this chain converges to the newest version plus
+        // (if distinct) the base; anything beyond that is future work.
+        let head_ts = guard.as_ref().expect("chain non-empty").ts;
+        let converged = 1 + u64::from(has_base && head_ts > BASE_TS);
+        (freed, kept + freed, kept, kept > converged)
+    }
+
     /// Garbage-collects versions that no snapshot at or above `horizon`
-    /// can ever read: for each slot, keeps all versions newer than
-    /// `horizon` plus the one version visible *at* `horizon`. Returns the
-    /// number of versions freed.
+    /// can ever read, scanning **every** slot. Returns the number of
+    /// versions freed. Each row's load-time base version survives
+    /// regardless (see [`BASE_TS`]); reset depends on it. The background
+    /// vacuum uses [`RowStore::prune_dirty`] instead; the full scan
+    /// remains for resets, tests, and one-shot compaction.
     pub fn prune(&self, horizon: Ts) -> u64 {
         let count = self.slot_count();
         let segs: Vec<Arc<Segment>> = self.segments.read().clone();
@@ -318,28 +431,64 @@ impl RowStore {
                     break 'outer;
                 }
                 rid += 1;
-                let mut guard = slot.lock();
-                let Some(head) = guard.as_mut() else { continue };
-                // Walk to the first version with ts <= horizon; everything
-                // strictly older than that version is unreachable.
-                let mut cur: &mut Version = head;
-                loop {
-                    if cur.ts <= horizon {
-                        let mut dropped = cur.next.take();
-                        while let Some(mut v) = dropped {
-                            freed += 1;
-                            dropped = v.next.take();
-                        }
-                        break;
+                let (f, _, _, _) = Self::prune_slot(slot, horizon);
+                freed += f;
+            }
+        }
+        self.versions.fetch_sub(freed, Ordering::AcqRel);
+        freed
+    }
+
+    /// Candidate-driven vacuum pass: visits only slots updated since the
+    /// last pass (per-segment dirty bitmaps claimed with `swap(0)`), so
+    /// cost scales with update traffic rather than table size. Slots whose
+    /// chain still holds more than one version after pruning are re-marked
+    /// — a later pass with a higher horizon will reclaim them.
+    ///
+    /// `observe_chain` receives the pre-prune chain length of every
+    /// non-empty slot visited (the chain-length telemetry histogram).
+    pub fn prune_dirty(
+        &self,
+        horizon: Ts,
+        mut observe_chain: impl FnMut(u64),
+    ) -> PruneStats {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut stats = PruneStats::default();
+        for (seg_idx, seg) in segs.iter().enumerate() {
+            let base = (seg_idx << SEG_SHIFT) as u64;
+            if base >= count {
+                break;
+            }
+            for (word_idx, word) in seg.dirty.iter().enumerate() {
+                if word.load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                // Claim the whole word; updates landing after this swap
+                // simply re-mark and are handled next pass.
+                let mut bits = word.swap(0, Ordering::AcqRel);
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let offset = word_idx * 64 + bit;
+                    if base + offset as u64 >= count {
+                        continue;
                     }
-                    match cur.next {
-                        Some(ref mut next) => cur = next,
-                        None => break,
+                    stats.visited += 1;
+                    let (freed, before, _after, revisit) =
+                        Self::prune_slot(&seg.slots[offset], horizon);
+                    if before > 0 {
+                        observe_chain(before);
+                    }
+                    stats.freed += freed;
+                    if revisit {
+                        seg.mark_dirty(offset);
                     }
                 }
             }
         }
-        freed
+        self.versions.fetch_sub(stats.freed, Ordering::AcqRel);
+        stats
     }
 
     /// Drops every slot at or beyond `n`, shrinking the store back to `n`
@@ -352,10 +501,18 @@ impl RowStore {
             return;
         }
         let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut dropped = 0;
         for rid in n..count {
             let seg = &segs[(rid >> SEG_SHIFT) as usize];
-            *Self::slot_of(seg, rid).lock() = None;
+            let mut slot = Self::slot_of(seg, rid).lock();
+            let mut v = slot.as_ref();
+            while let Some(x) = v {
+                dropped += 1;
+                v = x.next.as_deref();
+            }
+            *slot = None;
         }
+        self.versions.fetch_sub(dropped, Ordering::AcqRel);
         self.count.store(n, Ordering::Release);
     }
 
@@ -366,6 +523,7 @@ impl RowStore {
     pub fn revert_versions_after(&self, ts: Ts) {
         let count = self.slot_count();
         let segs: Vec<Arc<Segment>> = self.segments.read().clone();
+        let mut popped = 0;
         for rid in 0..count {
             let seg = &segs[(rid >> SEG_SHIFT) as usize];
             let mut slot = Self::slot_of(seg, rid).lock();
@@ -374,17 +532,36 @@ impl RowStore {
                 if head.ts <= ts {
                     break;
                 }
+                popped += 1;
                 *slot = head.next.take().map(|b| *b);
             }
         }
+        self.versions.fetch_sub(popped, Ordering::AcqRel);
     }
 
-    /// Approximate bytes of the newest versions (raw-data-size report).
+    /// Approximate bytes of row data held live, **including every version
+    /// in every chain** — this is what the memory gauge and the vacuum's
+    /// plateau claim are measured against. (It used to count only newest
+    /// versions, which hid unbounded chain growth entirely.)
     pub fn approx_bytes(&self) -> usize {
+        let count = self.slot_count();
+        let segs: Vec<Arc<Segment>> = self.segments.read().clone();
         let mut total = 0;
-        self.scan(Ts::MAX, |_, row| {
-            total += row.iter().map(|v| v.approx_bytes()).sum::<usize>();
-        });
+        let mut rid: RowId = 0;
+        'outer: for seg in segs {
+            for slot in seg.slots.iter() {
+                if rid >= count {
+                    break 'outer;
+                }
+                rid += 1;
+                let guard = slot.lock();
+                let mut version = guard.as_ref();
+                while let Some(v) = version {
+                    total += v.row.iter().map(|val| val.approx_bytes()).sum::<usize>();
+                    version = v.next.as_deref();
+                }
+            }
+        }
         total
     }
 }
@@ -662,12 +839,146 @@ mod tests {
     }
 
     #[test]
-    fn approx_bytes_counts_latest() {
+    fn approx_bytes_counts_every_version_in_the_chain() {
         let s = store();
         let rid = s.install_insert(row(1), 2);
-        let before = s.approx_bytes();
+        let one = s.approx_bytes();
+        assert!(one > 0);
+        // A hand-built chain of 4 identical-width versions weighs 4x the
+        // base version; pruning back to one version restores the base.
         s.install_update(rid, row(2), 3).unwrap();
-        assert_eq!(s.approx_bytes(), before, "only newest version counted");
+        s.install_update(rid, row(3), 4).unwrap();
+        s.install_update(rid, row(4), 5).unwrap();
+        assert_eq!(s.approx_bytes(), 4 * one, "full chain counted");
+        assert_eq!(s.prune(5), 3);
+        assert_eq!(s.approx_bytes(), one, "vacuum shrinks the gauge");
+    }
+
+    #[test]
+    fn live_versions_tracks_installs_prunes_and_resets() {
+        let s = store();
+        assert_eq!(s.live_versions(), 0);
+        let a = s.install_insert(row(1), 2);
+        let b = s.install_insert(row(2), 2);
+        s.install_update(a, row(3), 4).unwrap();
+        s.install_update(a, row(4), 6).unwrap();
+        assert_eq!(s.live_versions(), 4);
+        assert_eq!(s.prune(6), 2);
+        assert_eq!(s.live_versions(), 2);
+        s.install_update(b, row(5), 8).unwrap();
+        // Revert pops the @8 update and `a`'s @6 head; `a`'s chain was
+        // pruned above, so its slot empties entirely.
+        s.revert_versions_after(2);
+        assert_eq!(s.live_versions(), 1);
+        s.truncate_slots(1);
+        assert_eq!(s.live_versions(), 0, "only the empty slot survives");
+    }
+
+    #[test]
+    fn prune_preserves_the_load_time_base_version() {
+        let s = store();
+        let rid = s.install_insert(row(1), BASE_TS);
+        s.install_update(rid, row(2), 4).unwrap();
+        s.install_update(rid, row(3), 6).unwrap();
+        s.install_update(rid, row(4), 8).unwrap();
+        // Horizon past every version: intermediates go, newest + base stay.
+        assert_eq!(s.prune(10), 2);
+        assert_eq!(s.live_versions(), 2);
+        assert_eq!(s.read(rid, 100).unwrap()[0].as_u32().unwrap(), 4);
+        // Benchmark reset still restores the loaded row after vacuum.
+        s.revert_versions_after(BASE_TS);
+        assert_eq!(s.read(rid, 100).unwrap()[0].as_u32().unwrap(), 1);
+        assert_eq!(s.latest_ts(rid), Some(BASE_TS));
+    }
+
+    #[test]
+    fn prune_dirty_converged_base_chain_is_not_remarked() {
+        let s = store();
+        let rid = s.install_insert(row(1), BASE_TS);
+        s.install_update(rid, row(2), 4).unwrap();
+        s.install_update(rid, row(3), 6).unwrap();
+        let stats = s.prune_dirty(10, |_| {});
+        assert_eq!(stats, PruneStats { freed: 1, visited: 1 });
+        assert_eq!(s.live_versions(), 2, "newest plus base");
+        // Fully converged: the dirty bit must not be re-set, or vacuum
+        // would revisit every ever-updated slot on every pass forever.
+        assert_eq!(s.prune_dirty(10, |_| {}), PruneStats { freed: 0, visited: 0 });
+    }
+
+    #[test]
+    fn prune_dirty_visits_only_updated_slots() {
+        let s = store();
+        for i in 0..500u32 {
+            s.install_insert(row(i), 2);
+        }
+        // Only three rows ever get updated.
+        for &rid in &[7u64, 300, 499] {
+            s.install_update(rid, row(1000), 5).unwrap();
+        }
+        let mut chains = Vec::new();
+        let stats = s.prune_dirty(10, |len| chains.push(len));
+        assert_eq!(stats.visited, 3, "candidate pass skips clean slots");
+        assert_eq!(stats.freed, 3);
+        chains.sort_unstable();
+        assert_eq!(chains, vec![2, 2, 2], "pre-prune chain lengths observed");
+        // Chains are back to length 1 and the bits were consumed: the
+        // next pass has nothing to do.
+        let stats = s.prune_dirty(10, |_| {});
+        assert_eq!(stats, PruneStats { freed: 0, visited: 0 });
+    }
+
+    #[test]
+    fn prune_dirty_remarks_chains_still_above_the_horizon() {
+        let s = store();
+        let rid = s.install_insert(row(1), 2);
+        s.install_update(rid, row(2), 10).unwrap();
+        // Horizon 5 cannot touch the @10 version, and the @2 version is
+        // still visible at 5 — nothing freed, slot re-marked.
+        let stats = s.prune_dirty(5, |_| {});
+        assert_eq!(stats, PruneStats { freed: 0, visited: 1 });
+        assert_eq!(s.live_versions(), 2);
+        // A later pass with a horizon past the update reclaims it without
+        // any new write having re-marked the slot.
+        let stats = s.prune_dirty(10, |_| {});
+        assert_eq!(stats, PruneStats { freed: 1, visited: 1 });
+        assert_eq!(s.live_versions(), 1);
+        assert_eq!(s.prune_dirty(10, |_| {}).visited, 0, "bit consumed");
+    }
+
+    #[test]
+    fn prune_dirty_under_concurrent_updates_loses_no_candidates() {
+        // Updates racing a vacuum pass must never strand a reclaimable
+        // version: whatever a pass misses, a later pass (after writers
+        // stop) must fully reclaim.
+        let s = Arc::new(store());
+        for i in 0..64u32 {
+            s.install_insert(row(i), 2);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ts = 3;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for rid in 0..64u64 {
+                        s.install_update(rid, row(ts as u32), ts).unwrap();
+                        ts += 1;
+                    }
+                }
+                ts
+            })
+        };
+        for _ in 0..50 {
+            s.prune_dirty(s.latest_ts(0).unwrap_or(2), |_| {});
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let final_ts = writer.join().unwrap();
+        // Writers quiesced: one pass at the final horizon must leave
+        // exactly one version per slot.
+        s.prune_dirty(final_ts, |_| {});
+        assert_eq!(s.live_versions(), 64, "every chain collapsed to one version");
+        assert_eq!(s.visible_count(final_ts), 64);
     }
 }
 
@@ -697,9 +1008,27 @@ impl RowDb {
         Arc::clone(&self.stores[table.index()])
     }
 
-    /// Approximate row-format bytes across all tables.
+    /// Approximate row-format bytes across all tables, full version
+    /// chains included.
     pub fn approx_bytes(&self) -> usize {
         self.stores.iter().map(|s| s.approx_bytes()).sum()
+    }
+
+    /// Total live versions across all tables (O(1); see
+    /// [`RowStore::live_versions`]).
+    pub fn live_versions(&self) -> u64 {
+        self.stores.iter().map(|s| s.live_versions()).sum()
+    }
+
+    /// One candidate-driven vacuum pass over every table. See
+    /// [`RowStore::prune_dirty`] for the safety contract: `horizon` must
+    /// not exceed the oldest active snapshot on this database.
+    pub fn vacuum(&self, horizon: Ts, mut observe_chain: impl FnMut(u64)) -> PruneStats {
+        let mut stats = PruneStats::default();
+        for s in &self.stores {
+            stats.absorb(s.prune_dirty(horizon, &mut observe_chain));
+        }
+        stats
     }
 }
 

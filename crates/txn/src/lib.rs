@@ -8,6 +8,8 @@
 //!   observe a half-installed transaction,
 //! * [`snapshot::Snapshot`] / [`IsolationLevel`] — MVCC visibility rules for
 //!   read committed, snapshot isolation, and OCC-serializable execution,
+//! * [`registry::SnapshotRegistry`] — striped active-snapshot tracking
+//!   whose oldest registered timestamp is the safe MVCC vacuum horizon,
 //! * [`locks::LockManager`] — sharded per-row no-wait write locks
 //!   implementing the first-updater-wins conflict rule,
 //! * [`txn::TxnCtx`] — the per-transaction read/write bookkeeping shared by
@@ -15,12 +17,14 @@
 
 pub mod locks;
 pub mod oracle;
+pub mod registry;
 pub mod snapshot;
 pub mod watermark;
 pub mod txn;
 
 pub use locks::{LockKey, LockManager, LockPolicy};
 pub use oracle::{CommitGuard, Ts, TsOracle, LOAD_TS};
+pub use registry::{SnapshotGuard, SnapshotRegistry};
 pub use snapshot::{IsolationLevel, Snapshot};
 pub use txn::{ReadEntry, TxnCtx, WriteOp};
 pub use watermark::Watermark;

@@ -1,0 +1,524 @@
+//! Active-snapshot registry: the safe prune horizon for MVCC vacuum.
+//!
+//! Every transaction begin and every analytical query takes an RAII
+//! [`SnapshotGuard`] stamped with its snapshot timestamp. A background
+//! vacuum pass asks the registry for the *safe horizon* — the oldest
+//! timestamp any live reader might still dereference — and prunes version
+//! chains below it. This is the standard MVCC reclamation rule (PostgreSQL's
+//! `oldest xmin`, Hekaton's active-transaction map): a long analytical
+//! snapshot holds the horizon back, and releasing it resumes reclamation.
+//!
+//! The registry sits on the transaction hot path, so it is striped and
+//! atomic rather than a global mutex: registration is a handful of
+//! compare-exchange attempts on a thread-striped slot array, and the
+//! scan in [`SnapshotRegistry::min_active_ts`] is a few hundred relaxed
+//! loads — cheap for a vacuum thread that runs every few milliseconds.
+//!
+//! ## The registration race
+//!
+//! A reader that picks its snapshot timestamp *before* publishing it races
+//! with vacuum: between the pick and the publish, commits can advance the
+//! frontier and a vacuum pass (seeing no active snapshot) could prune the
+//! very versions the reader is about to read. The classic fix is a
+//! store/load handshake (Dekker-style, both sides `SeqCst`):
+//!
+//! * **Readers** publish their timestamp into a slot, *then* check the
+//!   advertised horizon. If the horizon already passed their timestamp they
+//!   clear the slot and retry with a fresh (necessarily newer) timestamp.
+//! * **Vacuum** advertises its candidate horizon first, *then* scans the
+//!   slots and lowers the candidate to the oldest active snapshot it finds —
+//!   and finally settles the advertisement at that actual horizon, so
+//!   readers legitimately below the frontier (pinned snapshots) are not
+//!   told to retry against a value nothing was pruned at.
+//!
+//! The `SeqCst` total order guarantees at least one side sees the other:
+//! either vacuum's scan observes the reader's slot (and keeps its versions),
+//! or the reader observes the advertised horizon (and retries). Pruning at
+//! horizon `h` is safe for every snapshot at `ts >= h` because
+//! `RowStore::prune` keeps the version visible *at* `h` along with
+//! everything newer.
+//!
+//! ## The load snapshot is exempt
+//!
+//! Guards at `ts <= LOAD_TS` neither retry nor hold the horizon back. The
+//! store contractually never reclaims load-time base versions (hat-storage's
+//! `BASE_TS` keep-base rule, which benchmark reset depends on), so a reader
+//! at the load snapshot is safe under *any* prune horizon — this is what
+//! lets a copy-on-write engine rewind its published snapshot to `LOAD_TS`
+//! on reset without a covering guard, and lets freshly-begun sessions on an
+//! idle database (where `read_ts() == LOAD_TS`) register without spinning
+//! against an advertised horizon.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::oracle::{Ts, LOAD_TS};
+
+/// Stripe count; each stripe has [`SLOTS_PER_STRIPE`] slots. 8×64 = 512
+/// concurrent snapshots before the (mutex-protected) overflow list kicks
+/// in — far above the harness's client counts, so the overflow path is a
+/// correctness backstop, not a steady state.
+const STRIPES: usize = 8;
+const SLOTS_PER_STRIPE: usize = 64;
+
+/// Slot value meaning "free". Timestamp `0` is reserved for "before any
+/// transaction" (real snapshots are `>= LOAD_TS = 1`), so it doubles as
+/// the sentinel.
+const FREE: u64 = 0;
+
+struct Stripe {
+    slots: [AtomicU64; SLOTS_PER_STRIPE],
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe { slots: std::array::from_fn(|_| AtomicU64::new(FREE)) }
+    }
+}
+
+/// Where a guard parked its timestamp.
+enum SlotLoc {
+    /// `stripes[stripe].slots[slot]`.
+    Striped { stripe: usize, slot: usize },
+    /// Entry in the overflow list, keyed by a unique id.
+    Overflow(u64),
+}
+
+/// Tracks the snapshot timestamps of all live readers. One registry per
+/// independent [`RowStore`](../hat_storage) database: the primary kernel
+/// owns one, and each replica/learner copy owns its own (replicas prune at
+/// their *applied* watermark, not the primary frontier).
+pub struct SnapshotRegistry {
+    stripes: Box<[Stripe]>,
+    /// Spill list for the (unexpected) case of more than `STRIPES *
+    /// SLOTS_PER_STRIPE` concurrent snapshots: `(id, ts)` pairs.
+    overflow: Mutex<Vec<(u64, Ts)>>,
+    overflow_ids: AtomicU64,
+    /// The horizon a reader must not register below. During a vacuum
+    /// pass this is the pass's unclamped *candidate* (the Dekker
+    /// handshake requires advertising before scanning); between passes it
+    /// settles at the horizon actually pruned, so readers at pinned
+    /// timestamps below the frontier (CoW snapshots, replica queries)
+    /// pass the check instead of spinning against a value nothing was
+    /// pruned at.
+    advertised: AtomicU64,
+    /// Serializes vacuum passes and carries the floor: the highest
+    /// horizon any pass has pruned at, which `advertised` must never
+    /// settle below.
+    vacuum_serial: Mutex<Ts>,
+}
+
+impl std::fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRegistry")
+            .field("active", &self.active_snapshots())
+            .field("min_active_ts", &self.min_active_ts())
+            .field("advertised", &self.advertised.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+thread_local! {
+    /// Per-thread stripe preference so threads don't all hammer stripe 0.
+    static STRIPE_HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn stripe_hint() -> usize {
+    STRIPE_HINT.with(|h| {
+        let mut v = h.get();
+        if v == usize::MAX {
+            // Derive a stable per-thread stripe from a stack address: the
+            // low bits past cache-line granularity differ across threads.
+            let probe = 0u8;
+            v = (&probe as *const u8 as usize) >> 7;
+            h.set(v);
+        }
+        v
+    })
+}
+
+impl SnapshotRegistry {
+    pub fn new() -> Self {
+        SnapshotRegistry {
+            stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+            overflow: Mutex::new(Vec::new()),
+            overflow_ids: AtomicU64::new(1),
+            advertised: AtomicU64::new(0),
+            vacuum_serial: Mutex::new(0),
+        }
+    }
+
+    /// Registers an active snapshot, asking `frontier` for the candidate
+    /// timestamp and retrying (with a fresh, necessarily newer candidate)
+    /// if a concurrent vacuum pass already advertised a horizon past it.
+    /// This is the entry point for transaction begins and analytical
+    /// queries; `frontier` is typically `|| oracle.read_ts()` or a
+    /// replica's `|| applied.get()`.
+    pub fn register_with(
+        self: &Arc<Self>,
+        mut frontier: impl FnMut() -> Ts,
+    ) -> SnapshotGuard {
+        loop {
+            let ts = frontier();
+            let guard = self.publish(ts);
+            // SeqCst load pairs with the SeqCst advertise in
+            // `prune_horizon`: if vacuum's slot scan missed our publish,
+            // we are guaranteed to see its advertised horizon here. The
+            // load snapshot is exempt — base versions are never pruned.
+            if ts <= LOAD_TS || self.advertised.load(Ordering::SeqCst) <= ts {
+                return guard;
+            }
+            // Vacuum already passed this timestamp; its versions may be
+            // gone. Drop the slot and re-read the frontier — it has
+            // necessarily advanced to at least the advertised horizon.
+            drop(guard);
+        }
+    }
+
+    /// Registers a snapshot at an exact timestamp **already covered by a
+    /// live guard** (e.g. re-pinning a copy-on-write snapshot while the
+    /// previous pin is still held, or a query at a timestamp pinned by the
+    /// engine's standing guard). The covering pin is what makes the
+    /// no-retry registration safe; debug builds assert it.
+    pub fn register_pinned(self: &Arc<Self>, ts: Ts) -> SnapshotGuard {
+        debug_assert!(
+            ts <= LOAD_TS || self.min_active_ts().is_some_and(|m| m <= ts),
+            "register_pinned({ts}) with no live covering guard at or below it"
+        );
+        self.publish(ts)
+    }
+
+    /// Parks `ts` in a free slot (or the overflow list) and returns its
+    /// guard. `SeqCst` on the slot store is half of the Dekker handshake
+    /// with `prune_horizon`.
+    fn publish(self: &Arc<Self>, ts: Ts) -> SnapshotGuard {
+        debug_assert!(ts >= 1, "timestamp 0 is the free-slot sentinel");
+        let start = stripe_hint();
+        for i in 0..STRIPES {
+            let stripe_idx = (start + i) % STRIPES;
+            let stripe = &self.stripes[stripe_idx];
+            for (slot_idx, slot) in stripe.slots.iter().enumerate() {
+                if slot
+                    .compare_exchange(FREE, ts, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return SnapshotGuard {
+                        registry: Arc::clone(self),
+                        loc: SlotLoc::Striped { stripe: stripe_idx, slot: slot_idx },
+                        ts,
+                    };
+                }
+            }
+        }
+        // All 512 slots busy: fall back to the mutex-protected spill list.
+        let id = self.overflow_ids.fetch_add(1, Ordering::Relaxed);
+        self.overflow.lock().push((id, ts));
+        // The mutex release orders the push; the fence makes the publish
+        // visible to `prune_horizon`'s SeqCst scan like a slot store.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        SnapshotGuard { registry: Arc::clone(self), loc: SlotLoc::Overflow(id), ts }
+    }
+
+    /// The oldest snapshot timestamp currently registered, if any.
+    pub fn min_active_ts(&self) -> Option<Ts> {
+        let mut min: Option<Ts> = None;
+        for stripe in self.stripes.iter() {
+            for slot in &stripe.slots {
+                let v = slot.load(Ordering::SeqCst);
+                if v != FREE {
+                    min = Some(min.map_or(v, |m: Ts| m.min(v)));
+                }
+            }
+        }
+        for &(_, ts) in self.overflow.lock().iter() {
+            min = Some(min.map_or(ts, |m: Ts| m.min(ts)));
+        }
+        min
+    }
+
+    /// Like [`Self::min_active_ts`] but ignoring guards at the load
+    /// snapshot (`ts <= LOAD_TS`): those readers only dereference base
+    /// versions, which the store never reclaims, so they must not hold
+    /// the vacuum horizon back.
+    fn min_holding_ts(&self) -> Option<Ts> {
+        let mut min: Option<Ts> = None;
+        for stripe in self.stripes.iter() {
+            for slot in &stripe.slots {
+                let v = slot.load(Ordering::SeqCst);
+                if v > LOAD_TS {
+                    min = Some(min.map_or(v, |m: Ts| m.min(v)));
+                }
+            }
+        }
+        for &(_, ts) in self.overflow.lock().iter() {
+            if ts > LOAD_TS {
+                min = Some(min.map_or(ts, |m: Ts| m.min(ts)));
+            }
+        }
+        min
+    }
+
+    /// Number of currently registered snapshots (telemetry/tests).
+    pub fn active_snapshots(&self) -> usize {
+        let striped: usize = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter(|s| s.load(Ordering::Relaxed) != FREE)
+            .count();
+        striped + self.overflow.lock().len()
+    }
+
+    /// Computes the safe prune horizon for a vacuum pass: advertises the
+    /// caller-clamped `frontier` (visibility horizon, possibly lowered to
+    /// the durable checkpoint under `Fsync`), then scans active snapshots
+    /// and returns the lower of the two. Pruning at the returned value is
+    /// safe for every current and future reader. Passes serialize on an
+    /// internal mutex (readers never touch it), and the returned horizon
+    /// is monotone: it never drops below what an earlier pass pruned at,
+    /// even if the caller's frontier regresses.
+    pub fn prune_horizon(&self, frontier: Ts) -> Ts {
+        let mut floor = self.vacuum_serial.lock();
+        // Advertise before scanning (the other half of the handshake):
+        // any reader we miss in the scan below will see this value and
+        // retry above it.
+        self.advertised.fetch_max(frontier, Ordering::SeqCst);
+        let h = match self.min_holding_ts() {
+            Some(m) => m.min(frontier),
+            None => frontier,
+        }
+        .max(*floor);
+        *floor = h;
+        // Settle the advertisement at the actual horizon. Leaving it at
+        // the unclamped candidate would make every reader below the
+        // frontier — a query against a pinned CoW snapshot, a replica
+        // read at its applied watermark — retry forever against a value
+        // nothing was pruned at. Settling is safe: `h` covers every
+        // horizon ever pruned (the floor), so a reader that passes the
+        // check still can't land below reclaimed versions.
+        self.advertised.store(h, Ordering::SeqCst);
+        h
+    }
+}
+
+impl Default for SnapshotRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII registration of one active snapshot; dropping it releases the
+/// timestamp and lets the vacuum horizon advance past it.
+#[must_use = "dropping the guard releases the snapshot's pin on old versions"]
+pub struct SnapshotGuard {
+    registry: Arc<SnapshotRegistry>,
+    loc: SlotLoc,
+    ts: Ts,
+}
+
+impl SnapshotGuard {
+    /// The registered snapshot timestamp. When acquired through
+    /// [`SnapshotRegistry::register_with`] this is the timestamp the
+    /// reader must use (it may be newer than the first frontier read).
+    #[inline]
+    pub fn ts(&self) -> Ts {
+        self.ts
+    }
+}
+
+impl std::fmt::Debug for SnapshotGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotGuard").field("ts", &self.ts).finish()
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        match self.loc {
+            SlotLoc::Striped { stripe, slot } => {
+                self.registry.stripes[stripe].slots[slot].store(FREE, Ordering::SeqCst);
+            }
+            SlotLoc::Overflow(id) => {
+                let mut ov = self.registry.overflow.lock();
+                if let Some(pos) = ov.iter().position(|&(i, _)| i == id) {
+                    ov.swap_remove(pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn empty_registry_prunes_at_frontier() {
+        let r = Arc::new(SnapshotRegistry::new());
+        assert_eq!(r.min_active_ts(), None);
+        assert_eq!(r.prune_horizon(42), 42);
+    }
+
+    #[test]
+    fn guard_holds_horizon_and_release_resumes() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let g = r.register_with(|| 10);
+        assert_eq!(g.ts(), 10);
+        assert_eq!(r.min_active_ts(), Some(10));
+        assert_eq!(r.prune_horizon(50), 10, "pinned below the frontier");
+        drop(g);
+        assert_eq!(r.min_active_ts(), None);
+        assert_eq!(r.prune_horizon(50), 50, "release resumes reclamation");
+    }
+
+    #[test]
+    fn min_across_many_guards() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let guards: Vec<_> = (5..25).map(|ts| r.register_with(|| ts)).collect();
+        assert_eq!(r.min_active_ts(), Some(5));
+        assert_eq!(r.active_snapshots(), 20);
+        drop(guards);
+        assert_eq!(r.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn retries_past_an_advertised_horizon() {
+        let r = Arc::new(SnapshotRegistry::new());
+        // A vacuum pass advertised horizon 10.
+        assert_eq!(r.prune_horizon(10), 10);
+        // A reader whose first frontier read was stale (5) must land on
+        // its second, fresher read (12).
+        let mut reads = [5u64, 12].into_iter();
+        let g = r.register_with(|| reads.next().expect("at most two reads"));
+        assert_eq!(g.ts(), 12);
+    }
+
+    #[test]
+    fn register_pinned_skips_the_retry_check() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let standing = r.register_with(|| 7);
+        assert_eq!(r.prune_horizon(20), 7);
+        // A query at the pinned timestamp is covered by the standing
+        // guard even though 7 < the frontier.
+        let q = r.register_pinned(7);
+        drop(standing);
+        assert_eq!(r.min_active_ts(), Some(7), "query guard still pins");
+        drop(q);
+        assert_eq!(r.min_active_ts(), None);
+    }
+
+    #[test]
+    fn advertisement_settles_at_the_actual_horizon() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let pin = r.register_with(|| 7);
+        assert_eq!(r.prune_horizon(100), 7);
+        // A reader at the pinned timestamp (e.g. a CoW query against the
+        // engine's standing snapshot) must pass the retry check even
+        // though 7 is far below the candidate frontier the pass
+        // advertised (100): nothing above 7 was actually pruned.
+        let q = r.register_with(|| 7);
+        assert_eq!(q.ts(), 7);
+        drop((pin, q));
+        // With the pins gone the horizon rises to the frontier...
+        assert_eq!(r.prune_horizon(100), 100);
+        // ...and never regresses below a level already pruned at, even
+        // for a caller with a stale frontier.
+        assert_eq!(r.prune_horizon(50), 100);
+    }
+
+    #[test]
+    fn load_snapshot_guards_never_retry_or_hold_the_horizon() {
+        let r = Arc::new(SnapshotRegistry::new());
+        assert_eq!(r.prune_horizon(40), 40);
+        // A reader at the load snapshot registers without retrying even
+        // though the horizon already passed it: load-time base versions
+        // are never reclaimed (hat-storage's keep-base rule), so the
+        // frontier closure is consulted exactly once.
+        let g = r.register_with(|| LOAD_TS);
+        assert_eq!(g.ts(), LOAD_TS);
+        assert_eq!(r.min_active_ts(), Some(LOAD_TS), "still visible to telemetry");
+        // ...and it does not hold the horizon back.
+        assert_eq!(r.prune_horizon(50), 50);
+        drop(g);
+        // Re-pinning at LOAD_TS needs no covering guard (CoW reset path).
+        let pin = r.register_pinned(LOAD_TS);
+        assert_eq!(pin.ts(), LOAD_TS);
+    }
+
+    #[test]
+    fn overflow_beyond_striped_capacity() {
+        let r = Arc::new(SnapshotRegistry::new());
+        let n = STRIPES * SLOTS_PER_STRIPE + 40;
+        let mut guards: Vec<_> = (0..n).map(|i| r.register_with(|| 100 + i as Ts)).collect();
+        assert_eq!(r.active_snapshots(), n);
+        assert_eq!(r.min_active_ts(), Some(100));
+        // Drop the oldest half (including every overflow entry's
+        // potential minimum) and check the min tracks survivors.
+        guards.drain(0..n / 2);
+        assert_eq!(r.min_active_ts(), Some(100 + (n / 2) as Ts));
+        drop(guards);
+        assert_eq!(r.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn concurrent_register_drop_vs_vacuum_never_overruns_a_guard() {
+        // Readers register at the current frontier and record (ts,
+        // horizon-observed-later); vacuum advances the frontier and takes
+        // prune horizons. Invariant: no prune horizon may exceed the
+        // timestamp of a guard that was registered when it was computed —
+        // checked indirectly: every reader re-validates that the global
+        // advertised horizon never passed its own registered ts while the
+        // guard was live.
+        let r = Arc::new(SnapshotRegistry::new());
+        // Start above LOAD_TS: guards at the load snapshot are exempt
+        // from the horizon by design, which would trip the check below.
+        let frontier = Arc::new(AtomicU64::new(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&r);
+            let frontier = Arc::clone(&frontier);
+            let stop = Arc::clone(&stop);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let g = r.register_with(|| frontier.load(Ordering::SeqCst));
+                    // While the guard lives, no vacuum pass may compute a
+                    // horizon above its ts.
+                    let h = r.prune_horizon(frontier.load(Ordering::SeqCst));
+                    if h > g.ts() {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(g);
+                }
+            }));
+        }
+        let vac = {
+            let r = Arc::clone(&r);
+            let frontier = Arc::clone(&frontier);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let f = frontier.fetch_add(1, Ordering::SeqCst) + 1;
+                    let h = r.prune_horizon(f);
+                    assert!(h >= last, "horizon is monotone under a single vacuum");
+                    last = h;
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        vac.join().unwrap();
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+        assert_eq!(r.min_active_ts(), None, "all guards released");
+    }
+}

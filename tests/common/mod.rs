@@ -7,8 +7,8 @@ use std::time::Duration;
 use hattrick_repro::bench::gen::{generate, GeneratedData, ScaleFactor};
 use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
 use hattrick_repro::engine::{
-    DualConfig, DualEngine, EngineConfig, HtapEngine, IsoConfig, IsoEngine,
-    LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode, ShdEngine,
+    CowConfig, CowEngine, DualConfig, DualEngine, EngineConfig, HtapEngine, IsoConfig,
+    IsoEngine, LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode, ShdEngine,
 };
 
 /// A small but non-trivial dataset (~6k lineorder rows).
@@ -37,6 +37,57 @@ pub fn all_engines() -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
             Arc::new(LearnerEngine::new(LearnerConfig {
                 profile: LearnerProfile::SingleNode,
                 apply_cost: Duration::from_micros(5),
+                ..LearnerConfig::default()
+            })),
+        ),
+    ]
+}
+
+/// All five designs with an explicit MVCC vacuum cadence (`None`
+/// disables the background thread). The CoW engine refreshes its
+/// analytical snapshot every 5ms so quiesced queries observe the full
+/// committed history within a short sleep.
+pub fn all_engines_with_vacuum(
+    vacuum: Option<Duration>,
+) -> Vec<(&'static str, Arc<dyn HtapEngine>)> {
+    let cfg = || {
+        let mut c = fast_engine_config();
+        c.vacuum_interval = vacuum;
+        c
+    };
+    vec![
+        ("shared", Arc::new(ShdEngine::new(cfg()))),
+        (
+            "cow",
+            Arc::new(CowEngine::new(CowConfig {
+                engine: cfg(),
+                snapshot_interval: Duration::from_millis(5),
+                ..CowConfig::default()
+            })),
+        ),
+        (
+            "isolated",
+            Arc::new(IsoEngine::new(IsoConfig {
+                engine: cfg(),
+                mode: ReplicationMode::RemoteApply,
+                link_one_way: Duration::from_micros(20),
+                replay_cost: Duration::from_micros(5),
+                ..IsoConfig::default()
+            })),
+        ),
+        (
+            "dual",
+            Arc::new(DualEngine::new(DualConfig {
+                vacuum_interval: vacuum,
+                ..DualConfig::default()
+            })),
+        ),
+        (
+            "learner",
+            Arc::new(LearnerEngine::new(LearnerConfig {
+                profile: LearnerProfile::SingleNode,
+                apply_cost: Duration::from_micros(5),
+                vacuum_interval: vacuum,
                 ..LearnerConfig::default()
             })),
         ),

@@ -121,6 +121,82 @@ fn all_queries_byte_identical_across_parallelism_on_every_engine() {
     }
 }
 
+/// Replays the same seeded single-writer transaction sequence against
+/// `engine` while a query thread applies concurrent read pressure (each
+/// answer checked for internal consistency). A single writer never
+/// conflicts, so the committed history — and every commit timestamp — is
+/// identical across engines fed the same seed.
+fn run_fixed_workload(engine: &dyn HtapEngine, data: &hattrick_repro::bench::gen::GeneratedData) {
+    let state = WorkloadState::new(&data.profile);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let spec = ssb::query(QueryId::Q3_2);
+            while !stop_ref.load(Ordering::Relaxed) {
+                let out = engine
+                    .run_query_opts(&spec, &QueryOpts::with_parallelism(2))
+                    .unwrap();
+                assert_sorted_keys("concurrent", &out);
+            }
+        });
+        let mut rng = HatRng::seeded(0xACE);
+        for txnnum in 1..=300u64 {
+            let kind = if txnnum % 3 == 0 { TxnKind::Payment } else { TxnKind::NewOrder };
+            run_transaction(engine, &data.profile, &state, &mut rng, kind, 0, txnnum)
+                .expect("single writer cannot conflict");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn answers_identical_with_vacuum_off_and_aggressive() {
+    // The vacuum must be invisible to query semantics: after the same
+    // committed history, every SSB answer with an aggressive 1ms vacuum
+    // (which pruned thousands of versions while writers and readers ran)
+    // is byte-identical to the answer with the vacuum disabled.
+    use hattrick_repro::common::telemetry::names;
+
+    let data = common::small_data();
+    let off = common::all_engines_with_vacuum(None);
+    let aggressive =
+        common::all_engines_with_vacuum(Some(Duration::from_millis(1)));
+    let mut total_pruned = 0;
+    for ((name, e_off), (_, e_fast)) in off.into_iter().zip(aggressive) {
+        data.load_into(e_off.as_ref()).unwrap();
+        data.load_into(e_fast.as_ref()).unwrap();
+        run_fixed_workload(e_off.as_ref(), &data);
+        run_fixed_workload(e_fast.as_ref(), &data);
+        wait_quiesced(e_off.as_ref());
+        wait_quiesced(e_fast.as_ref());
+        // Let the CoW refresher re-pin at the final timestamp and give
+        // the aggressive vacuum a last few cycles over the settled state.
+        std::thread::sleep(Duration::from_millis(60));
+        for qid in QueryId::ALL {
+            let spec = ssb::query(qid);
+            let a = e_off.run_query_opts(&spec, &QueryOpts::with_parallelism(1)).unwrap();
+            let b = e_fast.run_query_opts(&spec, &QueryOpts::with_parallelism(1)).unwrap();
+            assert_eq!(
+                answer_bytes(&a),
+                answer_bytes(&b),
+                "{name}: {} differs between vacuum off and 1ms vacuum",
+                qid.label()
+            );
+        }
+        assert_eq!(
+            e_off.metrics().counter(names::VACUUM_PASSES),
+            0,
+            "{name}: --no-vacuum engine still ran vacuum passes"
+        );
+        total_pruned += e_fast.metrics().counter(names::VACUUM_VERSIONS_PRUNED);
+    }
+    assert!(
+        total_pruned > 0,
+        "aggressive vacuum never pruned anything — the comparison is vacuous"
+    );
+}
+
 #[test]
 fn pinned_snapshot_parallel_probe_ignores_concurrent_inserts() {
     // Snapshot stability: a view pinned at ts must return the same bytes
