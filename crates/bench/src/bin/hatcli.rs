@@ -18,9 +18,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hat_engine::{
-    CowConfig, CowEngine, DualConfig, DualEngine, DurabilityMode, EngineConfig,
-    HtapEngine, IndexProfile, IsoConfig, IsoEngine, LearnerConfig, LearnerEngine,
-    LearnerProfile, QueryOpts, ReplicationMode, ShdEngine, WalConfig,
+    CowConfig, CowEngine, DiskFaultPlan, DualConfig, DualEngine, DurabilityMode,
+    EngineConfig, HtapEngine, IndexProfile, IsoConfig, IsoEngine, LearnerConfig,
+    LearnerEngine, LearnerProfile, QueryOpts, ReplicationMode, ShdEngine, WalConfig,
 };
 use hat_txn::IsolationLevel;
 use hattrick::artifact::{RunArtifact, RunConfig};
@@ -143,10 +143,30 @@ impl Args {
 /// directory; it applies to the engines built directly from an
 /// [`EngineConfig`] (the shared family) — the other designs price
 /// durability inside their own replication/consensus waits.
+///
+/// Two chaos knobs ride along and require `--durability fsync`:
+/// `--disk-faults <seed>` arms a seeded [`DiskFaultPlan`] against the WAL
+/// (transient EIO, fsync failures, ENOSPC windows, write stalls), and
+/// `--max-commit-backlog <frames>` bounds the group-commit queue so a
+/// degraded device sheds commits instead of buffering without limit.
 fn parse_durability(args: &Args) -> Option<DurabilityMode> {
+    let fault_seed = args.get(&["disk-faults"]).map(|v| v.parse::<u64>());
+    let max_backlog = args.get(&["max-commit-backlog"]).map(|v| v.parse::<usize>());
     Some(match args.get(&["durability"]) {
-        None | Some("sleep") => DurabilityMode::SleepDefault,
-        Some("off") => DurabilityMode::Off,
+        None | Some("sleep") | Some("off") => {
+            if fault_seed.is_some() || max_backlog.is_some() {
+                eprintln!(
+                    "--disk-faults / --max-commit-backlog need a real WAL; \
+                     add --durability fsync"
+                );
+                return None;
+            }
+            if matches!(args.get(&["durability"]), Some("off")) {
+                DurabilityMode::Off
+            } else {
+                DurabilityMode::SleepDefault
+            }
+        }
         Some("fsync") => {
             let dir = match args.get(&["wal-dir"]) {
                 Some(d) => std::path::PathBuf::from(d),
@@ -154,7 +174,23 @@ fn parse_durability(args: &Args) -> Option<DurabilityMode> {
                     .join(format!("hatcli-wal-{}", std::process::id())),
             };
             eprintln!("durability: fsync WAL in {}", dir.display());
-            DurabilityMode::Fsync(WalConfig::new(dir))
+            let mut config = WalConfig::new(dir);
+            if let Some(parsed) = fault_seed {
+                let Ok(seed) = parsed else {
+                    eprintln!("bad --disk-faults; expected a u64 seed");
+                    return None;
+                };
+                eprintln!("disk chaos: fault plan seeded with {seed}");
+                config.fault_plan = DiskFaultPlan::seeded(seed);
+            }
+            if let Some(parsed) = max_backlog {
+                let Ok(frames) = parsed else {
+                    eprintln!("bad --max-commit-backlog; expected a frame count");
+                    return None;
+                };
+                config.max_backlog = frames;
+            }
+            DurabilityMode::Fsync(config)
         }
         Some(other) => {
             eprintln!("unknown --durability {other}; use off|sleep|fsync");
@@ -232,6 +268,9 @@ fn print_point(m: &PointMeasurement) {
     );
     println!("{}", report::resilience_line(&m.metrics).trim_start());
     if let Some(line) = report::durability_line(&m.metrics_end) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(line) = report::degradation_line(&m.metrics_end) {
         println!("{}", line.trim_start());
     }
     if let Some(line) = report::analytics_line(&m.metrics_end) {
@@ -487,7 +526,11 @@ fn main() {
                  Count Orders weights, default 48,48,4),\n\
                  and point/frontier --durability\n\
                  off|sleep|fsync [--wal-dir <dir>] (fsync runs a real\n\
-                 on-disk WAL)"
+                 on-disk WAL); with fsync, --disk-faults <seed> arms a\n\
+                 seeded disk-fault plan (EIO, fsync failures, ENOSPC,\n\
+                 stalls) and --max-commit-backlog <frames> bounds the\n\
+                 group-commit queue (excess commits shed with retryable\n\
+                 errors)"
             );
             if cmd == "help" {
                 0

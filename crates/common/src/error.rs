@@ -65,6 +65,18 @@ pub enum HatError {
     /// assert that injected bit-flips are detected as such. `lsn` is the
     /// expected sequence position of the bad record. Not retryable.
     ChecksumMismatch { lsn: u64 },
+    /// The engine shed this commit because its storage is degraded (a
+    /// failed fsync/write quarantined the active WAL segment) or the
+    /// group-commit backlog hit its bound. Nothing was installed: the
+    /// transaction aborted cleanly and may be retried once the health
+    /// state machine re-admits writes. Reads and analytics keep working
+    /// throughout. Retryable.
+    Degraded,
+    /// A sealed WAL segment failed checksum verification during a scrub:
+    /// the storage is not just transiently failing but has lost durable
+    /// bytes. Commits stay shed until an operator restores the segment
+    /// (`segment` is its first LSN); retrying cannot help. Not retryable.
+    Quarantined { segment: u64 },
 }
 
 impl HatError {
@@ -80,6 +92,7 @@ impl HatError {
                 | HatError::SerializationFailure
                 | HatError::ReplicationTimeout
                 | HatError::ReplicaUnavailable
+                | HatError::Degraded
         )
     }
 
@@ -130,6 +143,16 @@ impl fmt::Display for HatError {
             HatError::ChecksumMismatch { lsn } => {
                 write!(f, "wal record checksum mismatch at lsn {lsn}")
             }
+            HatError::Degraded => {
+                write!(f, "commit shed: engine degraded by a storage fault or full backlog")
+            }
+            HatError::Quarantined { segment } => {
+                write!(
+                    f,
+                    "wal segment at lsn {segment} quarantined after failed scrub; \
+                     operator intervention required"
+                )
+            }
         }
     }
 }
@@ -160,6 +183,11 @@ mod tests {
             (HatError::WalTruncated { requested: 7, oldest: 42 }, false, false),
             (HatError::WalCorrupt { detail: "bad magic".into() }, false, false),
             (HatError::ChecksumMismatch { lsn: 99 }, false, false),
+            // Shed commits aborted cleanly before install: retry once the
+            // health state machine re-admits writes.
+            (HatError::Degraded, true, false),
+            // Scrub-confirmed durable-byte loss: retrying cannot help.
+            (HatError::Quarantined { segment: 17 }, false, false),
         ]
     }
 
@@ -197,7 +225,9 @@ mod tests {
                 | HatError::ReplicaUnavailable
                 | HatError::WalTruncated { .. }
                 | HatError::WalCorrupt { .. }
-                | HatError::ChecksumMismatch { .. } => true,
+                | HatError::ChecksumMismatch { .. }
+                | HatError::Degraded
+                | HatError::Quarantined { .. } => true,
             };
             assert!(covered);
         }
@@ -205,7 +235,7 @@ mod tests {
         let discriminants: std::collections::HashSet<std::mem::Discriminant<HatError>> =
             table.iter().map(|(e, _, _)| std::mem::discriminant(e)).collect();
         assert_eq!(discriminants.len(), table.len(), "duplicate table entries");
-        assert_eq!(discriminants.len(), 15, "table must cover all 15 variants");
+        assert_eq!(discriminants.len(), 17, "table must cover all 17 variants");
     }
 
     #[test]
@@ -222,5 +252,9 @@ mod tests {
         assert!(e.to_string().contains("short header"));
         let e = HatError::ChecksumMismatch { lsn: 12 };
         assert!(e.to_string().contains("12") && e.to_string().contains("checksum"));
+        let e = HatError::Degraded;
+        assert!(e.to_string().contains("degraded"));
+        let e = HatError::Quarantined { segment: 17 };
+        assert!(e.to_string().contains("17") && e.to_string().contains("quarantined"));
     }
 }

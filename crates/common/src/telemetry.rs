@@ -54,6 +54,21 @@ pub mod names {
     pub const WAL_GROUP_COMMIT_BATCH: &str = "wal.group_commit_batch";
     pub const WAL_RECOVERY_REPLAYED: &str = "wal.recovery_replayed";
     pub const WAL_TORN_TAILS: &str = "wal.torn_tail_truncations";
+    /// Commits shed with a retryable `Degraded` error (storage fault or
+    /// group-commit backlog at its bound) instead of being queued.
+    pub const WAL_SHED_COMMITS: &str = "wal.shed_commits";
+    /// Background scrub passes (checksum re-verification of sealed
+    /// segments plus a device probe while degraded).
+    pub const WAL_SCRUB_PASSES: &str = "wal.scrub_passes";
+    /// Active segments quarantined after a failed write/fsync (sealed at
+    /// their durable prefix, replaced by a fresh segment on re-admission).
+    pub const WAL_QUARANTINED: &str = "wal.quarantined_segments";
+    /// Engine health gauge: 0 healthy, 1 degraded, 2 recovering.
+    pub const HEALTH_STATE: &str = "health.state";
+    /// Scrub ticks spent outside `Healthy` (degraded-time proxy).
+    pub const HEALTH_DEGRADED_TICKS: &str = "health.degraded_ticks";
+    /// Faults injected by a seeded `DiskFaultPlan` (chaos runs only).
+    pub const DISK_FAULTS: &str = "disk.faults_injected";
     pub const REPL_BACKLOG: &str = "repl.backlog";
     pub const DELTA_ROWS: &str = "delta.rows";
     /// Background MVCC vacuum passes completed.

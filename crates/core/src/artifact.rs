@@ -17,8 +17,9 @@ use hat_common::telemetry::MetricsSnapshot;
 use crate::harness::{PointMeasurement, SamplePhase, TimeSeriesSample};
 
 /// Version of the artifact layout produced by this build.
-/// v2 added `live_versions` to every time-series sample.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v2 added `live_versions` to every time-series sample; v3 added the
+/// storage-health fields `health` and `shed`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The run configuration echoed into the artifact, so a result file is
 /// self-describing (which engine, scale, seed, and phase lengths
@@ -78,6 +79,8 @@ fn sample_to_json(s: &TimeSeriesSample) -> Json {
         ("delta_rows".into(), Json::from_u64(s.delta_rows)),
         ("live_versions".into(), Json::from_u64(s.live_versions)),
         ("freshness_lag".into(), Json::from_f64(s.freshness_lag)),
+        ("health".into(), Json::from_u64(s.health)),
+        ("shed".into(), Json::from_u64(s.shed)),
     ])
 }
 
@@ -103,6 +106,8 @@ fn sample_from_json(j: &Json) -> Result<TimeSeriesSample, String> {
         delta_rows: u("delta_rows")?,
         live_versions: u("live_versions")?,
         freshness_lag: f("freshness_lag")?,
+        health: u("health")?,
+        shed: u("shed")?,
     })
 }
 
@@ -282,12 +287,12 @@ impl RunArtifact {
     pub fn timeseries_csv(&self) -> String {
         let mut out = String::from(
             "t_clients,a_clients,run,phase,t_secs,tps,qps,backlog,delta_rows,\
-             live_versions,freshness_lag\n",
+             live_versions,freshness_lag,health,shed\n",
         );
         for m in &self.points {
             for s in &m.timeseries {
                 out.push_str(&format!(
-                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6}\n",
+                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6},{},{}\n",
                     m.t_clients,
                     m.a_clients,
                     s.run,
@@ -298,7 +303,9 @@ impl RunArtifact {
                     s.backlog,
                     s.delta_rows,
                     s.live_versions,
-                    s.freshness_lag
+                    s.freshness_lag,
+                    s.health,
+                    s.shed
                 ));
             }
         }
@@ -347,6 +354,8 @@ mod tests {
                 delta_rows: 0,
                 live_versions: 100,
                 freshness_lag: 0.0,
+                health: 0,
+                shed: 0,
             },
             TimeSeriesSample {
                 t_secs: 0.05,
@@ -358,6 +367,8 @@ mod tests {
                 delta_rows: 2,
                 live_versions: 104,
                 freshness_lag: 0.002,
+                health: 1,
+                shed: 2,
             },
         ];
         m
@@ -401,7 +412,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let mut art = RunArtifact::new(config());
         art.push_point(synthetic_point());
-        let text = art.dump().replace("\"schema_version\": 2", "\"schema_version\": 999");
+        let text = art.dump().replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = RunArtifact::parse(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

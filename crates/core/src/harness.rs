@@ -236,6 +236,13 @@ pub struct TimeSeriesSample {
     /// Mean freshness score (seconds) of the queries that finished in
     /// this interval; `0.0` when none finished.
     pub freshness_lag: f64,
+    /// Storage-health gauge at sample time: 0 Healthy, 1 Degraded,
+    /// 2 Recovering. A chaos run shows this step up and back down as the
+    /// scrubber re-admits the device.
+    pub health: u64,
+    /// Commits shed by admission control during the sampling interval
+    /// (degraded WAL or full group-commit backlog).
+    pub shed: u64,
 }
 
 /// The measured outcome of one `(τ, α)` point.
@@ -790,6 +797,10 @@ impl Harness {
                         delta_rows: snap.gauge(names::DELTA_ROWS),
                         live_versions: snap.gauge(names::LIVE_VERSIONS),
                         freshness_lag,
+                        health: snap.gauge(names::HEALTH_STATE),
+                        shed: snap
+                            .counter(names::WAL_SHED_COMMITS)
+                            .saturating_sub(prev.counter(names::WAL_SHED_COMMITS)),
                     });
                     prev = snap;
                     prev_t = now;
@@ -877,6 +888,37 @@ mod tests {
                 ..BenchmarkConfig::default()
             },
         )
+    }
+
+    #[test]
+    fn retry_policy_backs_off_on_degraded() {
+        use hat_common::HatError;
+        // Shed commits surface as retryable `Degraded`: the client loop
+        // (`Err(e) if e.is_retryable()`) takes the backoff path — not
+        // give-up, not committed-in-doubt. Quarantine is terminal and is
+        // never retried.
+        assert!(HatError::Degraded.is_retryable());
+        assert!(!HatError::Degraded.is_commit_in_doubt());
+        assert!(!HatError::Quarantined { segment: 1 }.is_retryable());
+        let policy = RetryPolicy::default();
+        let mut rng = HatRng::seeded(7);
+        for attempt in 1..=8u32 {
+            let ceiling = policy
+                .initial_backoff
+                .saturating_mul(1u32 << (attempt - 1).min(20))
+                .min(policy.max_backoff);
+            for _ in 0..32 {
+                let b = policy.backoff(attempt, &mut rng);
+                assert!(b <= ceiling, "attempt {attempt}: {b:?} > {ceiling:?}");
+            }
+        }
+        // The jittered ceiling actually grows with consecutive sheds, so
+        // a degraded engine sees an ever-sparser retry stream.
+        let max_at = |attempt: u32| {
+            let mut rng = HatRng::seeded(11);
+            (0..64).map(|_| policy.backoff(attempt, &mut rng)).max().unwrap()
+        };
+        assert!(max_at(5) > max_at(1), "backoff grows with attempts");
     }
 
     #[test]

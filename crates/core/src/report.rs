@@ -221,6 +221,41 @@ pub fn durability_line(m: &MetricsSnapshot) -> Option<String> {
     Some(line)
 }
 
+/// One-line storage-degradation accounting: how many disk faults the WAL
+/// absorbed, how many commits were shed with retryable errors, how long
+/// the engine sat below `Healthy`, and whether any segment is still
+/// quarantined. Takes the *cumulative* snapshot
+/// ([`PointMeasurement::metrics_end`]: `wal.*`/`health.*`/`disk.*`
+/// counters run since engine start). Returns `None` for fault-free runs
+/// (all counters zero and the health gauge at `Healthy`), so clean
+/// reports stay clean.
+///
+/// [`PointMeasurement::metrics_end`]: crate::harness::PointMeasurement
+pub fn degradation_line(m: &MetricsSnapshot) -> Option<String> {
+    let faults = m.counter(names::DISK_FAULTS);
+    let shed = m.counter(names::WAL_SHED_COMMITS);
+    let degraded_ticks = m.counter(names::HEALTH_DEGRADED_TICKS);
+    let scrub_passes = m.counter(names::WAL_SCRUB_PASSES);
+    let quarantined = m.counter(names::WAL_QUARANTINED);
+    let health = m.gauge(names::HEALTH_STATE);
+    if faults == 0 && shed == 0 && degraded_ticks == 0 && quarantined == 0 && health == 0 {
+        return None;
+    }
+    let state = match health {
+        0 => "healthy",
+        1 => "degraded",
+        _ => "recovering",
+    };
+    let mut line = format!(
+        "  degradation: {faults} disk faults, {shed} commits shed, \
+         {degraded_ticks} degraded ticks, {scrub_passes} scrub passes, ended {state}"
+    );
+    if quarantined > 0 {
+        line.push_str(&format!(", {quarantined} segments quarantined"));
+    }
+    Some(line)
+}
+
 /// One-line MVCC vacuum accounting: how many background passes ran, how
 /// many dead versions they reclaimed, and how many versions remained
 /// alive at the end of the run. Takes the *cumulative* snapshot
@@ -338,6 +373,33 @@ mod tests {
         busy.set_counter(names::AGG_SATURATIONS, 3);
         let line = analytics_line(&busy).unwrap();
         assert!(line.contains("3 aggregate saturations"));
+    }
+
+    #[test]
+    fn degradation_line_elides_clean_runs_and_reports_counters() {
+        let clean = MetricsSnapshot::new();
+        assert!(degradation_line(&clean).is_none(), "fault-free runs stay silent");
+        let mut hurt = MetricsSnapshot::new();
+        hurt.set_counter(names::DISK_FAULTS, 6);
+        hurt.set_counter(names::WAL_SHED_COMMITS, 11);
+        hurt.set_counter(names::HEALTH_DEGRADED_TICKS, 4);
+        hurt.set_counter(names::WAL_SCRUB_PASSES, 2);
+        let line = degradation_line(&hurt).unwrap();
+        assert!(line.contains("6 disk faults"));
+        assert!(line.contains("11 commits shed"));
+        assert!(line.contains("4 degraded ticks"));
+        assert!(line.contains("2 scrub passes"));
+        assert!(line.contains("ended healthy"));
+        assert!(!line.contains("quarantined"), "quarantine elided when zero");
+        hurt.set_counter(names::WAL_QUARANTINED, 1);
+        hurt.set_gauge(names::HEALTH_STATE, 1);
+        let line = degradation_line(&hurt).unwrap();
+        assert!(line.contains("ended degraded"));
+        assert!(line.contains("1 segments quarantined"));
+        // A run that ends below Healthy reports even with zero counters.
+        let mut stuck = MetricsSnapshot::new();
+        stuck.set_gauge(names::HEALTH_STATE, 2);
+        assert!(degradation_line(&stuck).unwrap().contains("ended recovering"));
     }
 
     #[test]

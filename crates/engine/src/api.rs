@@ -252,6 +252,21 @@ pub struct EngineStats {
     /// vacuum thread this plateaus; without one it grows with every
     /// update for the life of the run.
     pub live_versions: u64,
+    /// Storage-health ladder position: 0 Healthy, 1 Degraded, 2
+    /// Recovering (always 0 without a real WAL).
+    pub health: u64,
+    /// Commits shed pre-install by admission control (degraded WAL or
+    /// full group-commit backlog); each surfaced as a retryable
+    /// [`HatError::Degraded`](hat_common::HatError).
+    pub shed_commits: u64,
+    /// Scrubber ticks spent below `Healthy` — the degradation dwell time.
+    pub degraded_ticks: u64,
+    /// Faults the injection layer actually fired (zero outside chaos runs).
+    pub disk_faults: u64,
+    /// Scrub passes (re-verification sweeps over sealed segments).
+    pub scrub_passes: u64,
+    /// WAL segments quarantined after a failed write/fsync.
+    pub quarantined_segments: u64,
 }
 
 impl EngineStats {
@@ -280,6 +295,12 @@ impl EngineStats {
             vacuum_passes: m.counter(names::VACUUM_PASSES),
             versions_pruned: m.counter(names::VACUUM_VERSIONS_PRUNED),
             live_versions: m.gauge(names::LIVE_VERSIONS),
+            health: m.gauge(names::HEALTH_STATE),
+            shed_commits: m.counter(names::WAL_SHED_COMMITS),
+            degraded_ticks: m.counter(names::HEALTH_DEGRADED_TICKS),
+            disk_faults: m.counter(names::DISK_FAULTS),
+            scrub_passes: m.counter(names::WAL_SCRUB_PASSES),
+            quarantined_segments: m.counter(names::WAL_QUARANTINED),
         }
     }
 }

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use hat_common::telemetry::Histogram;
 use hat_common::Result;
-use hat_storage::dwal::{DurableWal, DurableWalStats, WalConfig, WalRecovery};
+use hat_storage::dwal::{DurableWal, DurableWalStats, HealthState, WalConfig, WalRecovery};
 use hat_storage::wal::TableOp;
 use hat_txn::Ts;
 use parking_lot::{Condvar, Mutex};
@@ -200,6 +200,25 @@ impl DurabilityLayer {
         match self {
             DurabilityLayer::Fsync(wal) => Some(wal),
             _ => None,
+        }
+    }
+
+    /// Admission control for a commit about to install: sheds it with a
+    /// retryable [`HatError::Degraded`](hat_common::HatError) (or a
+    /// terminal `Quarantined`) when the WAL is unhealthy or its backlog
+    /// is full. Modes without a real WAL admit everything.
+    pub fn admit(&self) -> hat_common::Result<()> {
+        match self {
+            DurabilityLayer::Fsync(wal) => wal.admit(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Position on the storage-health ladder (`Healthy` without a WAL).
+    pub fn health(&self) -> HealthState {
+        match self {
+            DurabilityLayer::Fsync(wal) => wal.health(),
+            _ => HealthState::Healthy,
         }
     }
 

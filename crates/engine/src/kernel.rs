@@ -537,9 +537,21 @@ impl RowKernel {
         snap.set_counter(names::WAL_RECOVERY_REPLAYED, d.recovery_replayed_records);
         snap.set_counter(names::WAL_TORN_TAILS, d.torn_tail_truncations);
         snap.set_histogram(names::WAL_GROUP_COMMIT_BATCH, d.group_commit_batches);
+        snap.set_counter(names::WAL_SHED_COMMITS, d.shed_commits);
+        snap.set_counter(names::WAL_SCRUB_PASSES, d.scrub_passes);
+        snap.set_counter(names::WAL_QUARANTINED, d.quarantined_segments);
+        snap.set_counter(names::HEALTH_DEGRADED_TICKS, d.degraded_ticks);
+        snap.set_counter(names::DISK_FAULTS, d.disk_faults);
+        snap.set_gauge(names::HEALTH_STATE, d.health.as_u64());
         // Always-fresh gauge: accurate even with vacuum disabled.
         snap.set_gauge(names::LIVE_VERSIONS, self.db.live_versions());
         snap
+    }
+
+    /// Current position on the storage-health ladder (always `Healthy`
+    /// for durability modes without a real WAL).
+    pub fn health(&self) -> hat_storage::dwal::HealthState {
+        self.durability.health()
     }
 
     /// Legacy flat view of [`RowKernel::metrics`].
@@ -824,6 +836,14 @@ impl Session for KernelSession {
         // Engine-specific pre-commit latency (consensus rounds). Nothing
         // is installed yet, so a failure here is a clean, retryable abort.
         if let Err(e) = kernel.hooks.pre_commit() {
+            return Err(self.abort_with(e));
+        }
+
+        // Admission control: a degraded/quarantined WAL or a full
+        // group-commit backlog sheds the commit here, *before* anything
+        // installs — a clean abort the client may retry, while reads and
+        // analytics keep serving from the in-memory store.
+        if let Err(e) = kernel.durability.admit() {
             return Err(self.abort_with(e));
         }
 

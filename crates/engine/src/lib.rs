@@ -55,7 +55,9 @@ pub use api::{
 };
 pub use hat_query::exec::{ExecStats, QueryOpts};
 pub use durability::DurabilityLayer;
-pub use hat_storage::dwal::{KillPoint, WalConfig};
+pub use hat_storage::dwal::{
+    DiskFault, DiskFaultKind, DiskFaultPlan, HealthState, KillPoint, WalConfig,
+};
 pub use cow::{CowConfig, CowEngine};
 pub use hybrid::{DualConfig, DualEngine, LearnerConfig, LearnerEngine, LearnerProfile};
 pub use isolated::{IsoConfig, IsoEngine, ReplicationMode};

@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hat_common::telemetry::{MetricsSnapshot, SpanTimer};
-use hat_common::{Result, Row, TableId};
+use hat_common::{HatError, Result, Row, TableId};
 use hat_query::exec::{execute_with, QueryOpts, QueryOutput};
 use hat_query::spec::QuerySpec;
 use hat_query::view::MixedView;
@@ -121,10 +121,12 @@ impl HtapEngine for ShdEngine {
                             if stop.load(Ordering::Acquire) {
                                 break;
                             }
-                            // A crashed WAL ends the loop; errors are
-                            // surfaced through the WAL's crashed flag.
-                            if kernel.checkpoint().is_err() {
-                                break;
+                            // A degraded WAL refuses checkpoints until the
+                            // scrubber re-admits it: skip the tick and try
+                            // again. A crashed WAL ends the loop.
+                            match kernel.checkpoint() {
+                                Ok(()) | Err(HatError::Degraded) => {}
+                                Err(_) => break,
                             }
                         }
                     })

@@ -1,0 +1,497 @@
+//! Disk-fault chaos harness for the durable WAL wired through the shared
+//! engine: the storage-failure counterpart of `crash_recovery.rs`.
+//!
+//! Each scenario arms a [`DiskFaultPlan`] (transient EIO, fsync failure,
+//! persistent ENOSPC, write stalls) against the WAL of a `ShdEngine` in
+//! `DurabilityMode::Fsync`, drives explicit payment transactions through
+//! the faults with client-side retries, and checks the degradation
+//! contract:
+//!
+//! 1. **Graceful degradation** — storage faults surface as retryable
+//!    [`HatError::Degraded`] shed commits, never as a panic or a process
+//!    crash; analytics keep serving throughout.
+//! 2. **Recovery to Healthy** — once the fault window passes, the
+//!    background scrubber re-verifies the sealed segments, probes the
+//!    device, and the health gauge returns to `Healthy`; transactional
+//!    throughput recovers in the same run.
+//! 3. **Durability invariants across faults and crashes** — every
+//!    acknowledged payment survives reopen, recovery invents nothing,
+//!    and supplier YTD equals the sum of recovered HISTORY amounts.
+//!
+//! Scenarios are seed-parameterized; `HAT_DISK_SEED=<n>` pins a single
+//! seed (the CI matrix fans out over seeds this way). WAL directories
+//! live under `target/disk-chaos/` and are kept on failure so the
+//! failing seed's evidence can be archived.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hattrick_repro::common::ids::{history, supplier, TableId};
+use hattrick_repro::common::rng::HatRng;
+use hattrick_repro::common::value::{row_from, row_with};
+use hattrick_repro::common::{HatError, Money, Value};
+use hattrick_repro::engine::{
+    DiskFault, DiskFaultKind, DiskFaultPlan, DurabilityMode, EngineConfig, HealthState,
+    HtapEngine, KillPoint, NamedIndex, ShdEngine, WalConfig,
+};
+use hattrick_repro::query::{AggExpr, Predicate, QueryId, QuerySpec};
+
+const NSUPP: u32 = 8;
+
+/// Seeds to run each scenario under. `HAT_DISK_SEED` pins one (CI runs a
+/// matrix over it); the default trio keeps local runs fast but varied.
+fn seeds() -> Vec<u64> {
+    match std::env::var("HAT_DISK_SEED") {
+        Ok(s) => vec![s.parse().expect("HAT_DISK_SEED must be an integer")],
+        Err(_) => vec![0x11, 0x2F, 0x63],
+    }
+}
+
+/// A fresh WAL directory under `target/` (predictable path for CI
+/// artifact collection). Leftovers from a previous run are removed.
+fn wal_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("disk-chaos")
+        .join(format!("{tag}-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Engine config with the given fault plan armed against the WAL. Small
+/// segments cross rotation boundaries mid-fault; a fast scrubber keeps
+/// the Degraded window (and so the test) short.
+fn chaos_config(dir: &Path, plan: DiskFaultPlan) -> EngineConfig {
+    EngineConfig::builder()
+        .durability(DurabilityMode::Fsync(WalConfig {
+            segment_bytes: 4096,
+            fault_plan: plan,
+            max_backlog: 64,
+            scrub_interval: Duration::from_millis(1),
+            ..WalConfig::new(dir)
+        }))
+        .build()
+}
+
+fn supplier_row(k: u32) -> hattrick_repro::common::Row {
+    row_from([
+        Value::U32(k),
+        Value::from(format!("Supplier#{k:09}")),
+        Value::from("addr"),
+        Value::from("CITY0"),
+        Value::from("CHINA"),
+        Value::from("ASIA"),
+        Value::from("phone"),
+        Value::Money(Money::ZERO),
+    ])
+}
+
+/// Opens (or recovers) an engine on `dir` with the given fault plan and
+/// loads the base suppliers on a fresh directory.
+fn open_engine(dir: &Path, plan: DiskFaultPlan, fresh: bool) -> ShdEngine {
+    let engine = ShdEngine::try_new(chaos_config(dir, plan)).expect("open engine");
+    if fresh {
+        let rows: Vec<_> = (1..=NSUPP).map(supplier_row).collect();
+        engine.load(TableId::Supplier, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+    }
+    engine
+}
+
+/// One payment: supplier YTD += amount, plus a HISTORY row carrying the
+/// (unique) amount. Returns Err if the commit was not acknowledged.
+fn payment(engine: &ShdEngine, suppkey: u32, amount_cents: i64) -> Result<(), HatError> {
+    let mut s = engine.begin();
+    let (rid, row) = s
+        .lookup_u32(NamedIndex::SupplierPk, suppkey)?
+        .expect("supplier exists");
+    let ytd = row[supplier::YTD].as_money().expect("typed");
+    s.update(
+        TableId::Supplier,
+        rid,
+        row_with(&row, supplier::YTD, Value::Money(ytd + Money::from_cents(amount_cents))),
+    )?;
+    s.insert(
+        TableId::History,
+        row_from([
+            Value::U64(amount_cents as u64),
+            Value::U32(suppkey),
+            Value::Money(Money::from_cents(amount_cents)),
+        ]),
+    )?;
+    s.commit().map(|_| ())
+}
+
+/// The recovered HISTORY amounts, sorted.
+fn recovered_amounts(engine: &ShdEngine) -> Vec<i64> {
+    let k = engine.kernel();
+    let ts = k.oracle.read_ts();
+    let mut amounts = Vec::new();
+    k.db.store(TableId::History).scan(ts, |_, row| {
+        amounts.push(row[history::AMOUNT].as_money().expect("typed").cents());
+    });
+    amounts.sort_unstable();
+    amounts
+}
+
+/// Total supplier YTD (equals the sum of applied payment amounts).
+fn total_ytd(engine: &ShdEngine) -> i64 {
+    let k = engine.kernel();
+    let ts = k.oracle.read_ts();
+    let mut sum = 0i64;
+    k.db.store(TableId::Supplier).scan(ts, |_, row| {
+        sum += row[supplier::YTD].as_money().expect("typed").cents();
+    });
+    sum
+}
+
+/// A trivial analytical plan (global `count(*)` over LINEORDER): enough
+/// to prove the read path serves while the write path is shedding.
+fn count_query() -> QuerySpec {
+    QuerySpec {
+        id: QueryId::Q1_1,
+        fact: TableId::Lineorder,
+        fact_filter: Predicate::all(),
+        joins: Vec::new(),
+        group_by: Vec::new(),
+        agg: AggExpr::CountRows,
+    }
+}
+
+/// Outcome of a chaos scenario's traffic phase.
+#[derive(Debug)]
+struct Traffic {
+    /// Amounts of payments whose commit returned Ok.
+    acked: Vec<i64>,
+    /// Amounts of every payment attempted (acked or not). A payment that
+    /// failed post-install (fsync fault after `commit()` installed the
+    /// versions) may legitimately be recovered, so ghosts are judged
+    /// against this set, not against `acked`.
+    attempted: Vec<i64>,
+}
+
+/// Drives payments until `want` of them are acknowledged, retrying
+/// through shed commits with a fresh (unique) amount per attempt.
+/// Returns Err if the budget runs out before `want` acks (a fault window
+/// that never clears).
+fn drive_acked(
+    engine: &ShdEngine,
+    seed: u64,
+    want: usize,
+    start_amount: i64,
+) -> Result<Traffic, Traffic> {
+    let mut rng = HatRng::seeded(seed);
+    let mut acked = Vec::new();
+    let mut attempted = Vec::new();
+    let mut amount = start_amount;
+    let mut consecutive_failures = 0u32;
+    for _ in 0..50_000 {
+        if acked.len() >= want {
+            return Ok(Traffic { acked, attempted });
+        }
+        amount += 1;
+        let supp = rng.range_u32(1, NSUPP);
+        attempted.push(amount);
+        match payment(engine, supp, amount) {
+            Ok(()) => {
+                acked.push(amount);
+                consecutive_failures = 0;
+            }
+            Err(e) => {
+                assert!(
+                    e.is_retryable(),
+                    "chaos surfaces retryable errors, got {e} (seed {seed})"
+                );
+                // First retries are immediate (the shed counter must see
+                // the degraded window before the scrubber heals it);
+                // sustained failure backs off like the harness would.
+                consecutive_failures += 1;
+                if consecutive_failures > 2 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+    Err(Traffic { acked, attempted })
+}
+
+/// Blocks until the health gauge returns to `Healthy` (bounded).
+fn wait_healthy(engine: &ShdEngine, seed: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if engine.kernel().health() == HealthState::Healthy {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scrubber failed to re-admit within 10s (seed {seed})"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Core durability assertions after reopening the directory.
+fn assert_recovered(engine: &ShdEngine, traffic: &Traffic, scenario: &str) {
+    let recovered = recovered_amounts(engine);
+    for a in &traffic.acked {
+        assert!(
+            recovered.contains(a),
+            "{scenario}: acknowledged payment {a} lost by recovery"
+        );
+    }
+    for r in &recovered {
+        assert!(
+            traffic.attempted.contains(r),
+            "{scenario}: recovery surfaced ghost payment {r}"
+        );
+    }
+    assert_eq!(
+        total_ytd(engine),
+        recovered.iter().sum::<i64>(),
+        "{scenario}: supplier YTD diverged from history (torn payment)"
+    );
+}
+
+#[test]
+fn seeded_fault_plan_degrades_and_recovers_without_losing_acks() {
+    for seed in seeds() {
+        let dir = wal_dir("seeded", seed);
+        let traffic = {
+            let engine = open_engine(&dir, DiskFaultPlan::seeded(seed), true);
+            // Enough acks to drive the op counter through every seeded
+            // fault window (they end below op ~300; each payment costs
+            // at least two I/O ops).
+            let traffic = drive_acked(&engine, seed, 160, 100_000)
+                .expect("seeded fault windows are finite");
+            wait_healthy(&engine, seed);
+            let stats = engine.stats();
+            // A window whose single op lands on the wrong I/O class
+            // injects nothing; but any observed failure must trace back
+            // to an injected fault, and vice versa a fault-free run must
+            // have acknowledged every attempt.
+            if traffic.attempted.len() > traffic.acked.len() {
+                assert!(
+                    stats.disk_faults >= 1,
+                    "failures without injected faults (seed {seed})"
+                );
+            } else if stats.disk_faults == 0 {
+                assert_eq!(
+                    traffic.acked.len(),
+                    traffic.attempted.len(),
+                    "fault-free run acks everything (seed {seed})"
+                );
+            }
+            assert_eq!(stats.health, 0, "gauge agrees with the kernel (seed {seed})");
+            traffic
+        };
+        // Reopen with a clean plan: recovery must honor every ack.
+        let engine = open_engine(&dir, DiskFaultPlan::new(), false);
+        assert_recovered(&engine, &traffic, "seeded");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn fsync_fault_then_crash_loses_no_acked_commits() {
+    for seed in seeds() {
+        let dir = wal_dir("fsync-crash", seed);
+        // Four consecutive ops always include at least one sync (the
+        // longest write-only run — a rotation or checkpoint — is three
+        // ops), so this window is guaranteed to void one fsync.
+        let plan = DiskFaultPlan::new().with(DiskFault {
+            kind: DiskFaultKind::FsyncFail,
+            at_op: 30 + seed % 7,
+            for_ops: 4,
+        });
+        let mut traffic = {
+            let engine = open_engine(&dir, plan, true);
+            let traffic =
+                drive_acked(&engine, seed, 40, 200_000).expect("fault window is finite");
+            let stats = engine.stats();
+            assert!(stats.disk_faults >= 1, "fsync fault fired (seed {seed})");
+            assert!(
+                stats.shed_commits >= 1,
+                "degraded WAL sheds commits (seed {seed})"
+            );
+            // The scrubber must re-admit before the crash half of the
+            // scenario, so the kill lands on a healthy WAL.
+            wait_healthy(&engine, seed);
+            assert!(
+                stats.quarantined_segments >= 1 || stats.scrub_passes >= 1,
+                "degradation left a trace (seed {seed})"
+            );
+            traffic
+        };
+        // Now the crash: reopen with the fault behind us, arm a kill, and
+        // die mid-traffic. Recovery after *both* a storage fault and a
+        // process crash must still honor every acknowledgement.
+        let traffic = {
+            let engine = open_engine(&dir, DiskFaultPlan::new(), false);
+            let mut rng = HatRng::seeded(seed ^ 0xDEAD);
+            let mut amount = 300_000;
+            for _ in 0..6 {
+                amount += 1;
+                traffic.attempted.push(amount);
+                payment(&engine, rng.range_u32(1, NSUPP), amount).unwrap();
+                traffic.acked.push(amount);
+            }
+            engine.kernel().durability.wal().expect("fsync mode").arm_kill(KillPoint::AfterFlush);
+            let mut crashed = false;
+            for _ in 0..64 {
+                amount += 1;
+                traffic.attempted.push(amount);
+                match payment(&engine, rng.range_u32(1, NSUPP), amount) {
+                    Ok(()) => traffic.acked.push(amount),
+                    Err(e) => {
+                        assert!(matches!(e, HatError::EngineStopped), "got {e}");
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(crashed, "armed kill-point must fire (seed {seed})");
+            traffic
+        };
+        let engine = open_engine(&dir, DiskFaultPlan::new(), false);
+        assert_recovered(&engine, &traffic, "fsync-crash");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn persistent_enospc_sheds_writes_but_keeps_serving_reads() {
+    for seed in seeds() {
+        let dir = wal_dir("enospc", seed);
+        let plan = DiskFaultPlan::new().with(DiskFault {
+            kind: DiskFaultKind::WriteEnospc,
+            at_op: 12,
+            for_ops: u64::MAX,
+        });
+        let engine = open_engine(&dir, plan, true);
+        // Drive until the device fills: acks stop, every later attempt
+        // is shed with a retryable error, and the loop exits fast (no
+        // I/O happens on a shed commit).
+        let mut rng = HatRng::seeded(seed);
+        let mut acked = Vec::new();
+        let mut attempted = Vec::new();
+        let mut amount = 400_000i64;
+        let mut failures = 0u32;
+        for _ in 0..2_000 {
+            amount += 1;
+            let supp = rng.range_u32(1, NSUPP);
+            attempted.push(amount);
+            match payment(&engine, supp, amount) {
+                Ok(()) => acked.push(amount),
+                Err(e) => {
+                    assert!(e.is_retryable(), "got {e} (seed {seed})");
+                    failures += 1;
+                    if failures >= 64 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(failures >= 64, "ENOSPC never clears; acks must stop (seed {seed})");
+        let traffic = Traffic { acked, attempted };
+        assert!(
+            engine.kernel().health() != HealthState::Healthy,
+            "device-full pins the WAL below Healthy (seed {seed})"
+        );
+        assert!(
+            !engine.kernel().durability.wal().expect("fsync mode").is_crashed(),
+            "ENOSPC degrades, never crashes (seed {seed})"
+        );
+        // Fresh commits are shed with a clean retryable error...
+        let err = payment(&engine, 1, 999_999).expect_err("degraded WAL sheds");
+        assert!(matches!(err, HatError::Degraded), "got {err}");
+        assert!(err.is_retryable());
+        // ...while the read side keeps serving: point lookups and a full
+        // analytical query both succeed on the degraded engine.
+        let mut s = engine.begin();
+        assert!(s.lookup_u32(NamedIndex::SupplierPk, 1).unwrap().is_some());
+        drop(s);
+        engine.run_query(&count_query()).expect("analytics serve while degraded");
+        let stats = engine.stats();
+        assert!(stats.shed_commits >= 1, "sheds are counted (seed {seed})");
+        assert!(stats.health != 0, "gauge shows the degradation (seed {seed})");
+        // Clean shutdown while degraded must not wedge or panic.
+        let acked = traffic.acked.clone();
+        drop(engine);
+        // Reopen on pristine I/O: every acked payment is on disk.
+        let engine = open_engine(&dir, DiskFaultPlan::new(), false);
+        let recovered = recovered_amounts(&engine);
+        for a in &acked {
+            assert!(recovered.contains(a), "acked {a} lost (seed {seed})");
+        }
+        assert_recovered(&engine, &traffic, "enospc");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn throughput_recovers_after_the_fault_clears() {
+    for seed in seeds() {
+        let dir = wal_dir("recover", seed);
+        let plan = DiskFaultPlan::new().with(DiskFault {
+            kind: DiskFaultKind::FsyncFail,
+            at_op: 24,
+            for_ops: 4,
+        });
+        let engine = open_engine(&dir, plan, true);
+        let traffic =
+            drive_acked(&engine, seed, 60, 500_000).expect("fault window is finite");
+        wait_healthy(&engine, seed);
+        let before = engine.stats();
+        assert!(before.disk_faults >= 1, "fault fired (seed {seed})");
+        assert!(before.scrub_passes >= 1, "scrubber drove re-admission (seed {seed})");
+        assert_eq!(before.health, 0, "back to Healthy (seed {seed})");
+        // Post-recovery burst: every commit acknowledges first try — the
+        // WAL sheds nothing once re-admitted.
+        let mut rng = HatRng::seeded(seed ^ 0xBEEF);
+        let mut amount = 600_000;
+        for _ in 0..30 {
+            amount += 1;
+            payment(&engine, rng.range_u32(1, NSUPP), amount)
+                .expect("healthy WAL acknowledges first try");
+        }
+        let after = engine.stats();
+        assert_eq!(
+            after.shed_commits, before.shed_commits,
+            "no shedding after recovery (seed {seed})"
+        );
+        assert!(traffic.acked.len() >= 60, "target throughput reached (seed {seed})");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn write_stalls_slow_commits_without_degrading() {
+    for seed in seeds() {
+        let dir = wal_dir("stall", seed);
+        let plan = DiskFaultPlan::new().with(DiskFault {
+            kind: DiskFaultKind::WriteStall(Duration::from_millis(2)),
+            at_op: 16,
+            for_ops: 8,
+        });
+        let engine = open_engine(&dir, plan, true);
+        // Stalls are not errors: every payment eventually acknowledges
+        // and the health ladder never moves.
+        let mut rng = HatRng::seeded(seed);
+        let mut amount = 700_000;
+        for _ in 0..30 {
+            amount += 1;
+            payment(&engine, rng.range_u32(1, NSUPP), amount)
+                .expect("stalled writes still acknowledge");
+        }
+        assert_eq!(engine.kernel().health(), HealthState::Healthy, "seed {seed}");
+        let stats = engine.stats();
+        assert!(stats.disk_faults >= 1, "stalls are counted as faults (seed {seed})");
+        assert_eq!(stats.shed_commits, 0, "no shedding from a slow device (seed {seed})");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
