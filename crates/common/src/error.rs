@@ -65,13 +65,23 @@ pub enum HatError {
     /// assert that injected bit-flips are detected as such. `lsn` is the
     /// expected sequence position of the bad record. Not retryable.
     ChecksumMismatch { lsn: u64 },
-    /// The engine shed this commit because its storage is degraded (a
-    /// failed fsync/write quarantined the active WAL segment) or the
-    /// group-commit backlog hit its bound. Nothing was installed: the
-    /// transaction aborted cleanly and may be retried once the health
-    /// state machine re-admits writes. Reads and analytics keep working
-    /// throughout. Retryable.
+    /// The engine shed this commit *at admission* because its storage is
+    /// degraded (a failed fsync/write quarantined the active WAL
+    /// segment) or the group-commit backlog hit its bound. Nothing was
+    /// installed: the transaction aborted cleanly and may be retried
+    /// once the health state machine re-admits writes. Reads and
+    /// analytics keep working throughout. Retryable. A failure *after*
+    /// install is [`HatError::DurabilityInDoubt`], never this.
     Degraded,
+    /// A storage fault voided the durability wait *after* the
+    /// transaction installed: its WAL frame is re-queued to be rewritten
+    /// onto a fresh segment, so the commit stays visible and becomes
+    /// durable once the WAL re-admits itself (or is lost if the process
+    /// dies first). Committed-in-doubt like
+    /// [`HatError::ReplicationTimeout`]: the client's connection
+    /// recovers, but the transaction must never be blindly re-executed —
+    /// that would double-apply it.
+    DurabilityInDoubt,
     /// A sealed WAL segment failed checksum verification during a scrub:
     /// the storage is not just transiently failing but has lost durable
     /// bytes. Commits stay shed until an operator restores the segment
@@ -93,6 +103,7 @@ impl HatError {
                 | HatError::ReplicationTimeout
                 | HatError::ReplicaUnavailable
                 | HatError::Degraded
+                | HatError::DurabilityInDoubt
         )
     }
 
@@ -100,7 +111,7 @@ impl HatError {
     /// the error. Such outcomes must not be blindly re-executed: the
     /// writes are durable locally and a retry would double-apply them.
     pub fn is_commit_in_doubt(&self) -> bool {
-        matches!(self, HatError::ReplicationTimeout)
+        matches!(self, HatError::ReplicationTimeout | HatError::DurabilityInDoubt)
     }
 }
 
@@ -146,6 +157,12 @@ impl fmt::Display for HatError {
             HatError::Degraded => {
                 write!(f, "commit shed: engine degraded by a storage fault or full backlog")
             }
+            HatError::DurabilityInDoubt => {
+                write!(
+                    f,
+                    "durability wait voided by a storage fault after install (commit in doubt)"
+                )
+            }
             HatError::Quarantined { segment } => {
                 write!(
                     f,
@@ -186,6 +203,9 @@ mod tests {
             // Shed commits aborted cleanly before install: retry once the
             // health state machine re-admits writes.
             (HatError::Degraded, true, false),
+            // Installed, then the durability wait was voided: like
+            // ReplicationTimeout, the client must never re-execute it.
+            (HatError::DurabilityInDoubt, true, true),
             // Scrub-confirmed durable-byte loss: retrying cannot help.
             (HatError::Quarantined { segment: 17 }, false, false),
         ]
@@ -227,6 +247,7 @@ mod tests {
                 | HatError::WalCorrupt { .. }
                 | HatError::ChecksumMismatch { .. }
                 | HatError::Degraded
+                | HatError::DurabilityInDoubt
                 | HatError::Quarantined { .. } => true,
             };
             assert!(covered);
@@ -235,7 +256,7 @@ mod tests {
         let discriminants: std::collections::HashSet<std::mem::Discriminant<HatError>> =
             table.iter().map(|(e, _, _)| std::mem::discriminant(e)).collect();
         assert_eq!(discriminants.len(), table.len(), "duplicate table entries");
-        assert_eq!(discriminants.len(), 17, "table must cover all 17 variants");
+        assert_eq!(discriminants.len(), 18, "table must cover all 18 variants");
     }
 
     #[test]
@@ -254,6 +275,8 @@ mod tests {
         assert!(e.to_string().contains("12") && e.to_string().contains("checksum"));
         let e = HatError::Degraded;
         assert!(e.to_string().contains("degraded"));
+        let e = HatError::DurabilityInDoubt;
+        assert!(e.to_string().contains("in doubt"));
         let e = HatError::Quarantined { segment: 17 };
         assert!(e.to_string().contains("17") && e.to_string().contains("quarantined"));
     }

@@ -900,6 +900,12 @@ mod tests {
         assert!(HatError::Degraded.is_retryable());
         assert!(!HatError::Degraded.is_commit_in_doubt());
         assert!(!HatError::Quarantined { segment: 1 }.is_retryable());
+        // A durability wait voided *after* install is committed-in-doubt:
+        // the in-doubt arm precedes the retry arm in the client loop, so
+        // it is recorded (sequence number consumed) and never
+        // re-executed — exactly like `ReplicationTimeout`.
+        assert!(HatError::DurabilityInDoubt.is_commit_in_doubt());
+        assert!(HatError::DurabilityInDoubt.is_retryable());
         let policy = RetryPolicy::default();
         let mut rng = HatRng::seeded(7);
         for attempt in 1..=8u32 {

@@ -183,7 +183,11 @@ impl DurabilityLayer {
     }
 
     /// Blocks until the commit is durable (outside the critical section,
-    /// so concurrent commits share the flush).
+    /// so concurrent commits share the flush). The versions are already
+    /// installed by this point, so a storage fault here surfaces as the
+    /// commit-in-doubt
+    /// [`HatError::DurabilityInDoubt`](hat_common::HatError) — never as
+    /// the clean-abort `Degraded` that [`DurabilityLayer::admit`] uses.
     pub fn wait(&self, token: u64) -> Result<()> {
         match self {
             DurabilityLayer::Off => Ok(()),

@@ -66,8 +66,10 @@
 //! (the fsyncgate lesson). Instead the active segment is *quarantined* —
 //! truncated back to its durable prefix and sealed — the unacknowledged
 //! frames are re-queued to be rewritten from memory onto a fresh segment,
-//! waiters receive a retryable [`HatError::Degraded`], and the WAL enters
-//! the `Healthy → Degraded → Recovering → Healthy` ladder:
+//! waiters receive [`HatError::DurabilityInDoubt`] (their commit is
+//! installed and will become durable on re-admission, so it must never
+//! be blindly re-executed), and the WAL enters the
+//! `Healthy → Degraded → Recovering → Healthy` ladder:
 //!
 //! * **Degraded** — the flusher parks; [`DurableWal::admit`] sheds new
 //!   commits with [`HatError::Degraded`] (bounded backlog, never an
@@ -131,7 +133,10 @@ pub struct WalConfig {
     /// clients instead of growing an unbounded queue.
     pub max_backlog: usize,
     /// Cadence of the background scrubber (checksum re-verification and,
-    /// while degraded, the device probe driving re-admission).
+    /// while degraded, the device probe driving re-admission). With an
+    /// empty fault plan the scrubber parks while `Healthy` — zero
+    /// background I/O or CPU in fault-free benchmark runs — and only
+    /// starts ticking if a real I/O failure degrades the WAL.
     pub scrub_interval: Duration,
 }
 
@@ -223,13 +228,26 @@ enum IoClass {
     Read,
 }
 
+impl IoClass {
+    /// Index into [`WalIo`]'s per-class op clocks.
+    fn idx(self) -> usize {
+        match self {
+            IoClass::Write => 0,
+            IoClass::Sync => 1,
+            IoClass::Read => 2,
+        }
+    }
+}
+
 /// One scheduled fault window: ops `at_op .. at_op + for_ops` of the
 /// matching [`IoClass`] misbehave. `for_ops == 1` is a transient fault;
 /// `u64::MAX` is a persistent one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskFault {
     pub kind: DiskFaultKind,
-    /// First [`WalIo`] operation index (0-based) the fault covers.
+    /// First operation index (0-based) the fault covers, counted on the
+    /// clock of the fault's own I/O class (writes, fsyncs, and reads
+    /// each tick independently).
     pub at_op: u64,
     /// Number of consecutive operations covered.
     pub for_ops: u64,
@@ -240,6 +258,17 @@ pub struct DiskFault {
 /// still exists for crash-recovery tests) into something the chaos
 /// harness can script: faults fire at fixed operation indices, so a run
 /// is reproducible from its seed.
+///
+/// Reproducibility is guaranteed per I/O class: each class has its own
+/// op clock, write/sync clocks are advanced only by the durability path
+/// (flusher and checkpoint writes/fsyncs), and the wall-clock-driven
+/// scrubber consults them *without* advancing ([`WalIo::probe_gate`],
+/// which instead consumes a covering window on failure). The read clock
+/// is advanced by recovery reads — which happen at open, before any
+/// background thread runs — and by scrub verification reads, so
+/// read-side windows aimed past recovery fire at scrubber-timing-
+/// dependent points ([`DiskFaultPlan::seeded`] excludes them for this
+/// reason).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DiskFaultPlan {
     faults: Vec<DiskFault>,
@@ -284,8 +313,9 @@ impl DiskFaultPlan {
         self.faults.is_empty()
     }
 
-    /// The fault (if any) covering operation `op` of class `class`.
-    fn fault_at(&self, op: u64, class: IoClass) -> Option<DiskFaultKind> {
+    /// The fault window (if any) covering operation `op` of class
+    /// `class`.
+    fn window_at(&self, op: u64, class: IoClass) -> Option<DiskFault> {
         self.faults
             .iter()
             .find(|f| {
@@ -293,7 +323,12 @@ impl DiskFaultPlan {
                     && op >= f.at_op
                     && op - f.at_op < f.for_ops
             })
-            .map(|f| f.kind)
+            .copied()
+    }
+
+    /// The fault kind (if any) covering operation `op` of class `class`.
+    fn fault_at(&self, op: u64, class: IoClass) -> Option<DiskFaultKind> {
+        self.window_at(op, class).map(|f| f.kind)
     }
 }
 
@@ -303,25 +338,33 @@ impl DiskFaultPlan {
 /// pass-through (two relaxed atomic ops per call).
 struct WalIo {
     plan: DiskFaultPlan,
-    /// Monotonic operation index (shared clock for all fault windows).
-    op: AtomicU64,
+    /// Per-class monotonic op clocks ([`IoClass::idx`]). The write/sync
+    /// clocks are the *fault clocks* the durability path (flusher,
+    /// checkpoints) advances; scrub probes consult them without
+    /// advancing, so seeded fault windows fire at the same flusher ops
+    /// regardless of scrubber timing.
+    ops: [AtomicU64; 3],
     /// Faults actually injected (the `disk.faults_injected` counter).
     injected: AtomicU64,
 }
 
 impl WalIo {
     fn new(plan: DiskFaultPlan) -> Self {
-        WalIo { plan, op: AtomicU64::new(0), injected: AtomicU64::new(0) }
+        WalIo {
+            plan,
+            ops: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            injected: AtomicU64::new(0),
+        }
     }
 
     fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// Consults the plan for the next operation of `class`; returns the
-    /// injected error, or sleeps through a stall.
-    fn gate(&self, class: IoClass) -> std::io::Result<()> {
-        let op = self.op.fetch_add(1, Ordering::Relaxed);
+    /// Injects the scheduled misbehavior of the fault (if any) covering
+    /// operation `op` of class `class`: returns the injected error, or
+    /// sleeps through a stall. Does not advance any clock.
+    fn inject_at(&self, op: u64, class: IoClass) -> std::io::Result<()> {
         match self.plan.fault_at(op, class) {
             None => Ok(()),
             Some(DiskFaultKind::WriteStall(d)) => {
@@ -342,6 +385,32 @@ impl WalIo {
             // Bit-rot is applied by `read`, not here.
             Some(DiskFaultKind::ReadBitRot) => Ok(()),
         }
+    }
+
+    /// Consults the plan for the next operation of `class`, advancing
+    /// that class's fault clock.
+    fn gate(&self, class: IoClass) -> std::io::Result<()> {
+        let op = self.ops[class.idx()].fetch_add(1, Ordering::Relaxed);
+        self.inject_at(op, class)
+    }
+
+    /// Scrub-probe gate: consults the `class` fault clock **without
+    /// advancing it** — probes run on wall-clock cadence and must not
+    /// perturb where flusher/checkpoint ops land. A covering fault
+    /// window still fails the probe, and that failure *consumes* the
+    /// window (the clock jumps to its end), so a transient fault expires
+    /// after one failed probe instead of after a timing-dependent number
+    /// of scrub ticks. Persistent windows (`at_op + for_ops` overflows)
+    /// are never consumed: the probe keeps failing.
+    fn probe_gate(&self, class: IoClass) -> std::io::Result<()> {
+        let clock = &self.ops[class.idx()];
+        let op = clock.load(Ordering::Relaxed);
+        if let Some(f) = self.plan.window_at(op, class) {
+            if let Some(end) = f.at_op.checked_add(f.for_ops) {
+                clock.fetch_max(end, Ordering::Relaxed);
+            }
+        }
+        self.inject_at(op, class)
     }
 
     fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()> {
@@ -365,7 +434,7 @@ impl WalIo {
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
         let mut bytes = Vec::new();
         File::open(path).and_then(|mut f| f.read_to_end(&mut bytes))?;
-        let op = self.op.fetch_add(1, Ordering::Relaxed);
+        let op = self.ops[IoClass::Read.idx()].fetch_add(1, Ordering::Relaxed);
         if let Some(DiskFaultKind::ReadBitRot) = self.plan.fault_at(op, IoClass::Read) {
             let body = SEGMENT_HEADER_BYTES as usize;
             if bytes.len() > body {
@@ -1019,7 +1088,12 @@ impl DurableWal {
     /// waiters). Fails with [`HatError::EngineStopped`] if the WAL
     /// crashed before covering `lsn` — the commit's durability is then
     /// unknown to the caller, exactly like a process crash between write
-    /// and acknowledgement.
+    /// and acknowledgement. Fails with [`HatError::DurabilityInDoubt`]
+    /// if a storage fault degraded the WAL first: the caller's commit is
+    /// *installed* (its frame is re-queued and becomes durable on
+    /// re-admission), so this is committed-in-doubt — never the clean
+    /// pre-install abort [`HatError::Degraded`] signals, and never safe
+    /// to blindly re-execute.
     pub fn wait_durable(&self, lsn: Lsn) -> Result<()> {
         let mut st = self.inner.state.lock();
         loop {
@@ -1030,11 +1104,11 @@ impl DurableWal {
                 return Err(HatError::EngineStopped);
             }
             // A storage fault voided this batch's durability claim: the
-            // commit was installed but never acknowledged. Waiters get
-            // the retryable `Degraded` instead of blocking until (if
-            // ever) the re-queued frames land on a fresh segment.
+            // commit was installed but never acknowledged. Waiters fail
+            // with the commit-in-doubt error instead of blocking until
+            // (if ever) the re-queued frames land on a fresh segment.
             if st.health != HealthState::Healthy {
-                return Err(HatError::Degraded);
+                return Err(HatError::DurabilityInDoubt);
             }
             self.inner.durable.wait(&mut st);
         }
@@ -1104,6 +1178,9 @@ impl DurableWal {
             st.health = HealthState::Degraded;
             drop(st);
             self.inner.durable.notify_all();
+            // Wake the scrubber: with an empty fault plan it parks while
+            // healthy and must be told the device went sick for real.
+            self.inner.scrub.notify_all();
             return Err(HatError::Degraded);
         }
         fs::rename(&tmp, checkpoint_path(&self.inner.config.dir, data.lsn))
@@ -1484,9 +1561,12 @@ fn degrade_flusher(
     let next_first = st.pending.first().map(|(l, _)| *l).unwrap_or(st.next_lsn);
     wal.active_first_lsn.store(next_first, Ordering::Relaxed);
     drop(st);
-    // Waiters observe `Degraded` and fail retryably; admission control
-    // sheds new commits before they install anything.
+    // Waiters observe `Degraded` and fail with the commit-in-doubt
+    // error; admission control sheds new commits before they install
+    // anything. The scrubber may be parked (empty fault plan) — wake it
+    // so it drives re-admission.
     wal.durable.notify_all();
+    wal.scrub.notify_all();
     true
 }
 
@@ -1496,6 +1576,11 @@ fn degrade_flusher(
 /// a fresh write+fsync probe succeeds — never by trusting a retried
 /// fsync of old data. A sealed segment that fails verification pins the
 /// WAL in quarantine ([`HatError::Quarantined`]) for an operator.
+///
+/// With an empty fault plan the scrubber parks while `Healthy` instead
+/// of ticking: a fault-free benchmark run pays zero background I/O and
+/// CPU for it. Degrade paths (`degrade_flusher`, a failed checkpoint)
+/// notify `scrub` to wake it when a real device failure needs it.
 fn scrubber_loop(wal: Arc<WalShared>) {
     let mut tick: u64 = 0;
     loop {
@@ -1504,7 +1589,11 @@ fn scrubber_loop(wal: Arc<WalShared>) {
             if st.shutdown || st.crashed {
                 return;
             }
-            wal.scrub.wait_for(&mut st, wal.config.scrub_interval);
+            if st.health == HealthState::Healthy && wal.config.fault_plan.is_empty() {
+                wal.scrub.wait(&mut st);
+            } else {
+                wal.scrub.wait_for(&mut st, wal.config.scrub_interval);
+            }
             if st.shutdown || st.crashed {
                 return;
             }
@@ -1588,7 +1677,16 @@ fn verify_sealed_segments(wal: &WalShared) -> std::result::Result<(), Lsn> {
 
 fn verify_segment(wal: &WalShared, first_lsn: Lsn) -> Result<()> {
     let path = segment_path(&wal.config.dir, first_lsn);
-    let bytes = wal.io.read(&path).map_err(|e| io_err("scrub read", e))?;
+    let bytes = match wal.io.read(&path) {
+        Ok(bytes) => bytes,
+        // The checkpointer races this scan: it may prune a sealed
+        // segment below the low-water mark between the directory listing
+        // and this read. A vanished file is benign GC, not durable-byte
+        // loss — only a segment that exists and fails its checks may
+        // quarantine the WAL.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io_err("scrub read", e)),
+    };
     if bytes.len() < SEGMENT_HEADER_BYTES as usize || &bytes[..8] != SEGMENT_MAGIC {
         return Err(corrupt("bad header"));
     }
@@ -1611,13 +1709,24 @@ fn verify_segment(wal: &WalShared, first_lsn: Lsn) -> Result<()> {
 
 /// Writes and fsyncs a small probe file through the fault-injection
 /// layer: the device is considered writable again only when a *fresh*
-/// write succeeds end to end.
+/// write succeeds end to end. Probes use the non-advancing
+/// [`WalIo::probe_gate`] so their wall-clock cadence never shifts where
+/// the flusher's own ops land on the fault clocks (a failed probe
+/// consumes the covering window instead — that is what lets a transient
+/// window expire while the flusher is parked).
 fn probe_device(wal: &WalShared) -> std::io::Result<()> {
     let path = wal.config.dir.join("probe.tmp");
     let result = (|| {
-        let mut f = wal.io.create(&path)?;
-        wal.io.write_all(&mut f, b"hat-scrub-probe")?;
-        wal.io.sync(&f, wal.config.sync)
+        wal.io.probe_gate(IoClass::Write)?;
+        let mut f =
+            OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        f.write_all(b"hat-scrub-probe")?;
+        wal.io.probe_gate(IoClass::Sync)?;
+        if wal.config.sync {
+            f.sync_all()
+        } else {
+            Ok(())
+        }
     })();
     let _ = fs::remove_file(&path);
     result
@@ -2168,9 +2277,10 @@ mod tests {
     #[test]
     fn fsync_fault_degrades_then_scrubber_readmits() {
         let dir = test_dir("fsync-fault");
-        // Ops: open consumes 0-1 (segment create + header); each
-        // single-record batch consumes a write + a sync, so op 7 is the
-        // third batch's fsync — fail it and the one after.
+        // Sync-clock ops are batch fsyncs only (per-class clocks): each
+        // serial single-record batch is one fsync, so op 6 is the 7th
+        // batch's. The second window op is consumed by the scrubber's
+        // failed probe, so exactly one durability claim is voided.
         let plan = DiskFaultPlan::new()
             .with(DiskFault { kind: DiskFaultKind::FsyncFail, at_op: 6, for_ops: 2 });
         let config = WalConfig {
@@ -2193,7 +2303,10 @@ mod tests {
             let lsn = wal.append(i as u64 + 1, &[op(i)]).unwrap();
             match wal.wait_durable(lsn) {
                 Ok(()) => acked.push(lsn),
-                Err(HatError::Degraded) => shed += 1,
+                // Post-install failures are committed-in-doubt, never the
+                // clean pre-install `Degraded` (a client honoring the
+                // contract would double-apply on blind retry otherwise).
+                Err(HatError::DurabilityInDoubt) => shed += 1,
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
@@ -2219,11 +2332,12 @@ mod tests {
     #[test]
     fn persistent_enospc_sheds_writes_but_stays_up() {
         let dir = test_dir("enospc");
-        // The disk fills at op 4 (the second batch's write) and never
-        // frees: the WAL must shed, not crash.
+        // Write-clock ops: segment create (0), header (1), first batch's
+        // frame (2) — the disk fills at op 3 (the second batch's write)
+        // and never frees: the WAL must shed, not crash.
         let plan = DiskFaultPlan::new().with(DiskFault {
             kind: DiskFaultKind::WriteEnospc,
-            at_op: 4,
+            at_op: 3,
             for_ops: u64::MAX,
         });
         let config = WalConfig {
@@ -2235,11 +2349,17 @@ mod tests {
         let l1 = wal.append(2, &[op(1)]).unwrap();
         wal.wait_durable(l1).unwrap();
         let l2 = wal.append(3, &[op(2)]).unwrap();
-        assert_eq!(wal.wait_durable(l2), Err(HatError::Degraded));
+        // The wait-path error is committed-in-doubt (l2 is installed and
+        // re-queued); the admission-path error is a clean retryable abort.
+        let err = wal.wait_durable(l2).unwrap_err();
+        assert_eq!(err, HatError::DurabilityInDoubt);
+        assert!(err.is_commit_in_doubt() && err.is_retryable());
         // The scrubber keeps probing, but the device never heals.
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(wal.health(), HealthState::Degraded);
-        assert_eq!(wal.admit(), Err(HatError::Degraded));
+        let shed_err = wal.admit().unwrap_err();
+        assert_eq!(shed_err, HatError::Degraded);
+        assert!(shed_err.is_retryable() && !shed_err.is_commit_in_doubt());
         assert!(!wal.is_crashed(), "a full disk must degrade, not crash");
         let stats = wal.stats();
         assert_eq!(stats.durable_lsn, 1);
@@ -2285,6 +2405,89 @@ mod tests {
     }
 
     #[test]
+    fn scrub_treats_vanished_segment_as_benign_gc() {
+        // The scrubber lists sealed segments without the state lock, so
+        // the checkpointer may prune one below the low-water mark between
+        // the listing and the read. A vanished file must verify as benign
+        // GC — treating it as corruption would pin `admit()` on the
+        // terminal `Quarantined` for what was routine cleanup.
+        let dir = test_dir("scrub-race");
+        let config = WalConfig { segment_bytes: 256, ..cfg(&dir) };
+        let (wal, _) = DurableWal::open(config).unwrap();
+        append_n(&wal, 40);
+        assert!(
+            verify_segment(&wal.inner, 999_999).is_ok(),
+            "a pruned segment is not durable-byte loss"
+        );
+        // The WAL still serves and stays healthy after such a scan.
+        assert_eq!(wal.health(), HealthState::Healthy);
+        append_n(&wal, 1);
+    }
+
+    #[test]
+    fn idle_scrubber_does_no_background_io_without_a_fault_plan() {
+        // Fault-free benchmark configs must not pay for the scrubber: with
+        // an empty plan it parks instead of ticking, so a measured run has
+        // zero background verify reads competing with the workload.
+        let dir = test_dir("idle-scrub");
+        let config = WalConfig { scrub_interval: Duration::from_millis(1), ..cfg(&dir) };
+        let (wal, _) = DurableWal::open(config).unwrap();
+        append_n(&wal, 8);
+        // 200 ms at a 1 ms cadence would be ~3 full verify passes under an
+        // always-on scrubber; a parked one never reads a byte.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(wal.stats().scrub_passes, 0, "scrubber ticked while parked");
+        append_n(&wal, 1);
+        assert_eq!(wal.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn fault_clocks_are_immune_to_scrubber_timing() {
+        // Per-class op clocks: the wall-clock-driven scrubber (verify
+        // reads, device probes) must not shift where write/sync fault
+        // windows land on the flusher. Two identical serial runs under
+        // very different scrub cadences inject the same fault count and
+        // quarantine the same number of segments.
+        let run = |tag: &str, scrub: Duration| -> (u64, u64) {
+            let dir = test_dir(tag);
+            let plan = DiskFaultPlan::new()
+                .with(DiskFault { kind: DiskFaultKind::FsyncFail, at_op: 5, for_ops: 3 })
+                .with(DiskFault { kind: DiskFaultKind::WriteEio, at_op: 20, for_ops: 2 });
+            let config = WalConfig { fault_plan: plan, scrub_interval: scrub, ..cfg(&dir) };
+            let (wal, _) = DurableWal::open(config).unwrap();
+            let mut i = 0u32;
+            let mut acked = 0u32;
+            while acked < 30 {
+                i += 1;
+                assert!(i < 50_000, "never recovered ({tag})");
+                if wal.admit().is_err() {
+                    std::thread::sleep(Duration::from_micros(100));
+                    continue;
+                }
+                let lsn = wal.append(i as u64 + 1, &[op(i)]).unwrap();
+                match wal.wait_durable(lsn) {
+                    Ok(()) => acked += 1,
+                    Err(HatError::DurabilityInDoubt) => {}
+                    Err(e) => panic!("unexpected error ({tag}): {e}"),
+                }
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while wal.health() != HealthState::Healthy {
+                assert!(std::time::Instant::now() < deadline, "stuck degraded ({tag})");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let stats = wal.stats();
+            (stats.disk_faults, stats.quarantined_segments)
+        };
+        // Each window fails the flusher once and one probe once (the
+        // probe's failure consumes the window), whatever the cadence.
+        let fast = run("det-fast", Duration::from_millis(1));
+        let slow = run("det-slow", Duration::from_millis(10));
+        assert_eq!(fast, slow, "scrubber cadence changed the fault schedule");
+        assert_eq!(fast, (4, 2));
+    }
+
+    #[test]
     fn seeded_plans_are_deterministic() {
         assert_eq!(DiskFaultPlan::seeded(7), DiskFaultPlan::seeded(7));
         assert!(!DiskFaultPlan::seeded(7).is_empty());
@@ -2316,7 +2519,7 @@ mod tests {
                 let lsn = wal.append(attempts as u64 + 1, &[op(attempts)]).unwrap();
                 match wal.wait_durable(lsn) {
                     Ok(()) => acked.push(lsn),
-                    Err(HatError::Degraded) => {}
+                    Err(HatError::DurabilityInDoubt) => {}
                     Err(e) => panic!("seed {seed}: unexpected error: {e}"),
                 }
             }

@@ -7,9 +7,12 @@
 //! the faults with client-side retries, and checks the degradation
 //! contract:
 //!
-//! 1. **Graceful degradation** — storage faults surface as retryable
-//!    [`HatError::Degraded`] shed commits, never as a panic or a process
-//!    crash; analytics keep serving throughout.
+//! 1. **Graceful degradation** — storage faults surface as typed errors,
+//!    never as a panic or a process crash: commits shed *at admission*
+//!    abort cleanly with retryable [`HatError::Degraded`], while a fault
+//!    that voids the durability wait *after* install is the
+//!    commit-in-doubt [`HatError::DurabilityInDoubt`]; analytics keep
+//!    serving throughout.
 //! 2. **Recovery to Healthy** — once the fault window passes, the
 //!    background scrubber re-verifies the sealed segments, probes the
 //!    device, and the health gauge returns to `Healthy`; transactional
@@ -164,16 +167,18 @@ struct Traffic {
     /// Amounts of payments whose commit returned Ok.
     acked: Vec<i64>,
     /// Amounts of every payment attempted (acked or not). A payment that
-    /// failed post-install (fsync fault after `commit()` installed the
-    /// versions) may legitimately be recovered, so ghosts are judged
-    /// against this set, not against `acked`.
+    /// failed post-install ([`HatError::DurabilityInDoubt`]: the fsync
+    /// fault hit after `commit()` installed the versions) may
+    /// legitimately be recovered, so ghosts are judged against this set,
+    /// not against `acked`.
     attempted: Vec<i64>,
 }
 
 /// Drives payments until `want` of them are acknowledged, retrying
-/// through shed commits with a fresh (unique) amount per attempt.
-/// Returns Err if the budget runs out before `want` acks (a fault window
-/// that never clears).
+/// through failures with a fresh (unique) amount per attempt — shed
+/// commits aborted cleanly, and commit-in-doubt outcomes must never be
+/// re-executed verbatim anyway. Returns Err if the budget runs out
+/// before `want` acks (a fault window that never clears).
 fn drive_acked(
     engine: &ShdEngine,
     seed: u64,
@@ -258,10 +263,12 @@ fn seeded_fault_plan_degrades_and_recovers_without_losing_acks() {
         let dir = wal_dir("seeded", seed);
         let traffic = {
             let engine = open_engine(&dir, DiskFaultPlan::seeded(seed), true);
-            // Enough acks to drive the op counter through every seeded
-            // fault window (they end below op ~300; each payment costs
-            // at least two I/O ops).
-            let traffic = drive_acked(&engine, seed, 160, 100_000)
+            // Enough acks to drive every per-class fault clock through
+            // every seeded window (they end below op ~300 on their own
+            // clock; each acked payment advances both the write clock —
+            // its frame — and the sync clock — its group-commit fsync —
+            // at least once).
+            let traffic = drive_acked(&engine, seed, 320, 100_000)
                 .expect("seeded fault windows are finite");
             wait_healthy(&engine, seed);
             let stats = engine.stats();
@@ -296,9 +303,9 @@ fn seeded_fault_plan_degrades_and_recovers_without_losing_acks() {
 fn fsync_fault_then_crash_loses_no_acked_commits() {
     for seed in seeds() {
         let dir = wal_dir("fsync-crash", seed);
-        // Four consecutive ops always include at least one sync (the
-        // longest write-only run — a rotation or checkpoint — is three
-        // ops), so this window is guaranteed to void one fsync.
+        // The window sits on the sync-class clock, so it voids the
+        // fsyncs at sync-ops 30..34 (+seed skew) directly; 40 serial
+        // payments (one group-commit fsync each) sweep well past it.
         let plan = DiskFaultPlan::new().with(DiskFault {
             kind: DiskFaultKind::FsyncFail,
             at_op: 30 + seed % 7,
@@ -426,6 +433,104 @@ fn persistent_enospc_sheds_writes_but_keeps_serving_reads() {
             assert!(recovered.contains(a), "acked {a} lost (seed {seed})");
         }
         assert_recovered(&engine, &traffic, "enospc");
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wait_path_failures_are_commit_in_doubt_not_clean_aborts() {
+    // The two failure surfaces a storage fault exposes must classify
+    // differently. A payment whose versions installed before its fsync
+    // failed is committed-in-doubt: already visible to readers, durable
+    // once the scrubber re-admits the WAL — re-executing it verbatim
+    // would double-apply. A payment shed at admission while the engine
+    // is degraded aborted cleanly: nothing installed, safe to retry
+    // blindly. The error types must carry that distinction.
+    for seed in seeds() {
+        let dir = wal_dir("in-doubt", seed);
+        // An 8-op fsync window: the first failure degrades the flusher
+        // and the scrubber's first device probe also fails (consuming
+        // the window), so Degraded holds until the *next* probe — long
+        // enough for the follow-up payment to observe the admission
+        // shed deterministically.
+        let plan = DiskFaultPlan::new().with(DiskFault {
+            kind: DiskFaultKind::FsyncFail,
+            at_op: 3,
+            for_ops: 8,
+        });
+        let config = EngineConfig::builder()
+            .durability(DurabilityMode::Fsync(WalConfig {
+                segment_bytes: 4096,
+                fault_plan: plan,
+                max_backlog: 64,
+                scrub_interval: Duration::from_millis(50),
+                ..WalConfig::new(&dir)
+            }))
+            .build();
+        let engine = ShdEngine::try_new(config).expect("open engine");
+        let rows: Vec<_> = (1..=NSUPP).map(supplier_row).collect();
+        engine.load(TableId::Supplier, &mut rows.into_iter()).unwrap();
+        engine.finish_load().unwrap();
+
+        // Serial payments until the window voids one durability wait.
+        let mut acked = Vec::new();
+        let mut attempted = Vec::new();
+        let mut amount = 800_000i64;
+        let in_doubt_amount = loop {
+            amount += 1;
+            assert!(amount < 800_100, "fault never fired (seed {seed})");
+            attempted.push(amount);
+            match payment(&engine, 1, amount) {
+                Ok(()) => acked.push(amount),
+                Err(e) => {
+                    assert!(
+                        matches!(e, HatError::DurabilityInDoubt),
+                        "wait-path failure misclassified as {e} (seed {seed})"
+                    );
+                    assert!(e.is_commit_in_doubt() && e.is_retryable());
+                    break amount;
+                }
+            }
+        };
+        // While the window still holds the WAL degraded, a fresh commit
+        // is shed at admission: a clean, not-in-doubt abort.
+        amount += 1;
+        let shed_amount = amount;
+        attempted.push(shed_amount);
+        let shed = payment(&engine, 1, shed_amount).expect_err("degraded WAL sheds");
+        assert!(
+            matches!(shed, HatError::Degraded),
+            "admission shed misclassified as {shed} (seed {seed})"
+        );
+        assert!(shed.is_retryable() && !shed.is_commit_in_doubt());
+        // The in-doubt payment really did install: it is visible to
+        // readers right now, while the shed one is not.
+        let live = recovered_amounts(&engine);
+        assert!(
+            live.contains(&in_doubt_amount),
+            "in-doubt payment must stay visible (seed {seed})"
+        );
+        assert!(
+            !live.contains(&shed_amount),
+            "shed payment must not install (seed {seed})"
+        );
+        // And after re-admission + reopen it is durable too — exactly
+        // why a contract-following client must not re-execute it.
+        wait_healthy(&engine, seed);
+        let traffic = Traffic { acked, attempted };
+        drop(engine);
+        let engine = open_engine(&dir, DiskFaultPlan::new(), false);
+        let recovered = recovered_amounts(&engine);
+        assert!(
+            recovered.contains(&in_doubt_amount),
+            "in-doubt payment durable after re-admission (seed {seed})"
+        );
+        assert!(
+            !recovered.contains(&shed_amount),
+            "shed payment resurrected by recovery (seed {seed})"
+        );
+        assert_recovered(&engine, &traffic, "in-doubt");
         drop(engine);
         let _ = std::fs::remove_dir_all(&dir);
     }
