@@ -336,7 +336,7 @@ fn fig12() {
         // Freshness at the 50:50 ratio point, as the paper reports.
         let data = dataset(SfRole::Large, quick);
         let harness = harness_for(engine, &data, SfRole::Large, quick);
-        let m = harness.run_point(5, 5);
+        let m = harness.run_point(5, 5).expect("ratio point failed");
         let agg = FreshnessAgg::from_samples(&m.freshness);
         let guess = classify(&r.frontier);
         summary.push_str(&format!(

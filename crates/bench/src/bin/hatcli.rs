@@ -4,6 +4,10 @@
 //! hatcli engines
 //! hatcli point    --engine shared --sf 0.01 -t 4 -a 2 [--repeats 3]
 //!                 [--metrics-out run.json]
+//! hatcli point    --engine shared --sf 0.01 --arrival-rate 3000
+//!                 [--arrival-shape poisson|bursty|step] [--deadline-ms 20]
+//!                 [--workers 4] [--ticks 100] [--tick-ms 5]
+//!                 [--retry-budget 100]     # open-loop overload run
 //! hatcli frontier --engine learner-dist --sf 0.01 [--quick]
 //!                 [--metrics-out run.json]
 //! hatcli compare  --sf 0.02
@@ -27,7 +31,10 @@ use hattrick::artifact::{RunArtifact, RunConfig};
 use hattrick::freshness::FreshnessAgg;
 use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
 use hattrick::gen::{generate, ScaleFactor};
-use hattrick::harness::{BenchmarkConfig, Harness, PointMeasurement, SamplePhase};
+use hattrick::harness::{
+    BenchmarkConfig, Harness, PointMeasurement, RetryBudgetConfig, SamplePhase,
+};
+use hattrick::openloop::{ArrivalShape, OpenLoopConfig};
 use hattrick::report;
 use hattrick::TxnMix;
 
@@ -240,6 +247,19 @@ fn make_harness(
     eprintln!("loading {} at SF {sf} ...", engine.name());
     let data = generate(ScaleFactor(sf), seed);
     data.load_into(engine.as_ref()).expect("load failed");
+    // `--retry-budget <cap>` arms the shared retry budget (tokens; refill
+    // ratio stays at the default 0.1 per in-deadline success). The budget
+    // is what turns a metastable retry storm into accounted give-ups;
+    // leaving it off is the control arm of the overload experiments.
+    let mut retry = hattrick::harness::RetryPolicy::default();
+    if let Some(cap) = args.get(&["retry-budget"]) {
+        let Ok(cap) = cap.parse::<u32>() else {
+            eprintln!("bad --retry-budget {cap}; expected a token count");
+            return None;
+        };
+        retry.budget = Some(RetryBudgetConfig { cap, ..RetryBudgetConfig::default() });
+    }
+    retry.max_attempts = args.u32(&["max-attempts"], retry.max_attempts);
     Some(Harness::new(
         engine,
         data.profile.clone(),
@@ -248,6 +268,7 @@ fn make_harness(
             measure: Duration::from_millis(args.u32(&["measure-ms"], 600) as u64),
             seed,
             reset_between_points: true,
+            retry,
             query_opts: QueryOpts::with_parallelism(
                 args.u32(&["a-threads"], 1) as usize,
             ),
@@ -255,6 +276,90 @@ fn make_harness(
         },
     )
     .with_mix(mix))
+}
+
+/// Parses `--arrival-shape poisson|bursty|step` with its shape knobs
+/// (`--burst-period`/`--burst-depth` for bursty, `--burst-mult`/
+/// `--burst-from`/`--burst-until` for step).
+fn parse_arrival_shape(args: &Args) -> Option<ArrivalShape> {
+    match args.get(&["arrival-shape"]).unwrap_or("poisson") {
+        "poisson" => Some(ArrivalShape::Poisson),
+        "bursty" => Some(ArrivalShape::Bursty {
+            period_ticks: args.u32(&["burst-period"], 40),
+            depth: args.f64(&["burst-depth"], 0.5),
+        }),
+        "step" => Some(ArrivalShape::Step {
+            mult: args.f64(&["burst-mult"], 10.0),
+            from_tick: args.u32(&["burst-from"], 30),
+            until_tick: args.u32(&["burst-until"], 50),
+        }),
+        other => {
+            eprintln!("unknown --arrival-shape {other}; try poisson|bursty|step");
+            None
+        }
+    }
+}
+
+/// Runs `hatcli point` in open-loop mode (`--arrival-rate` present):
+/// offered load comes from a seeded arrival schedule instead of τ
+/// waiting clients, and the report leads with goodput and shed-by-cause.
+fn cmd_open_loop(args: &Args, engine: &str, sf: f64, harness: &Harness) -> i32 {
+    let Some(shape) = parse_arrival_shape(args) else { return 2 };
+    let ol = OpenLoopConfig {
+        arrival_rate: args.f64(&["arrival-rate"], 2000.0),
+        shape,
+        deadline: Duration::from_millis(args.u32(&["deadline-ms"], 20) as u64),
+        workers: args.u32(&["workers"], 4),
+        queue_cap: args.u32(&["queue-cap"], 4096),
+        ticks: args.u32(&["ticks"], 100),
+        tick: Duration::from_millis(args.u32(&["tick-ms"], 5) as u64),
+        service_pad: Duration::from_micros(
+            args.u32(&["service-pad-us"], 0) as u64
+        ),
+    };
+    let m = match harness.run_open_loop(&ol) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: invalid open-loop configuration: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "== {engine} @ SF {sf}, open-loop {:.0}/s {} x {} ticks of {}ms, \
+         deadline {}ms, {} workers ==",
+        ol.arrival_rate,
+        ol.shape.label(),
+        ol.ticks,
+        ol.tick.as_millis(),
+        ol.deadline.as_millis(),
+        ol.workers
+    );
+    println!(
+        "offered={} goodput={} ({:.1}%) completed={} late={} shed_overload={} \
+         shed_degraded={} retries={} denied={} gave_up={}",
+        m.offered(),
+        m.goodput(),
+        100.0 * m.goodput_ratio(),
+        m.completed(),
+        m.deadline_missed(),
+        m.shed_overload(),
+        m.shed_degraded(),
+        m.retries(),
+        m.retry_denied(),
+        m.gave_up()
+    );
+    if let Some(line) = report::overload_line(&m.point.metrics) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(line) = report::degradation_line(&m.point.metrics_end) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(path) = args.get(&["metrics-out"]) {
+        let mut artifact = RunArtifact::new(run_config(engine, sf, 1, harness));
+        artifact.push_point(m.point);
+        return write_artifact(path, &artifact);
+    }
+    0
 }
 
 fn print_point(m: &PointMeasurement) {
@@ -351,7 +456,16 @@ fn cmd_point(args: &Args) -> i32 {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
     };
-    let m = harness.run_point_avg(t, a, repeats);
+    if args.get(&["arrival-rate"]).is_some() {
+        return cmd_open_loop(args, &engine, sf, &harness);
+    }
+    let m = match harness.run_point_avg(t, a, repeats) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: invalid point configuration: {e}");
+            return 2;
+        }
+    };
     println!("== {} @ SF {sf}, T:A = {t}:{a}, {repeats} repeat(s) ==", engine);
     print_point(&m);
     if let Some(path) = args.get(&["metrics-out"]) {
@@ -530,7 +644,16 @@ fn main() {
                  seeded disk-fault plan (EIO, fsync failures, ENOSPC,\n\
                  stalls) and --max-commit-backlog <frames> bounds the\n\
                  group-commit queue (excess commits shed with retryable\n\
-                 errors)"
+                 errors)\n\
+                 point --arrival-rate <req/s> switches to an open-loop\n\
+                 overload run: offered load is an input, not a client\n\
+                 count. Knobs: --arrival-shape poisson|bursty|step\n\
+                 (bursty: --burst-period/--burst-depth; step:\n\
+                 --burst-mult/--burst-from/--burst-until),\n\
+                 --deadline-ms <ms>, --workers <n>, --queue-cap <n>,\n\
+                 --ticks <n>, --tick-ms <ms>, --service-pad-us <us>,\n\
+                 --retry-budget <tokens> (shared budget; omit for the\n\
+                 unbudgeted control arm), --max-attempts <n>"
             );
             if cmd == "help" {
                 0

@@ -25,7 +25,7 @@ fn main() {
     });
     for (t, a) in [(1,0),(2,0),(4,0),(0,1),(0,2),(2,2)] {
         let t0 = Instant::now();
-        let m = harness.run_point(t, a);
+        let m = harness.run_point(t, a).unwrap();
         println!("point ({t},{a}): tps={:.0} qps={:.2} aborts={} wall={:?}", m.tps, m.qps, m.aborts(), t0.elapsed());
     }
 }

@@ -214,7 +214,7 @@ pub fn freshness_at_ratios(
     RATIO_POINTS
         .iter()
         .map(|&(t, a)| {
-            let m = harness.run_point(t, a);
+            let m = harness.run_point(t, a).expect("ratio point failed");
             let agg = FreshnessAgg::from_samples(&m.freshness);
             let label = format!("{}:{}", t * 10, a * 10);
             println!(

@@ -18,8 +18,11 @@ use crate::harness::{PointMeasurement, SamplePhase, TimeSeriesSample};
 
 /// Version of the artifact layout produced by this build.
 /// v2 added `live_versions` to every time-series sample; v3 added the
-/// storage-health fields `health` and `shed`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// storage-health fields `health` and `shed`; v4 added the overload
+/// fields `shed_overload` and `offered` (splitting sheds by cause:
+/// `shed` is storage-degradation, `shed_overload` is traffic) plus the
+/// `openloop.*` counters and sojourn histogram inside point metrics.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The run configuration echoed into the artifact, so a result file is
 /// self-describing (which engine, scale, seed, and phase lengths
@@ -81,6 +84,8 @@ fn sample_to_json(s: &TimeSeriesSample) -> Json {
         ("freshness_lag".into(), Json::from_f64(s.freshness_lag)),
         ("health".into(), Json::from_u64(s.health)),
         ("shed".into(), Json::from_u64(s.shed)),
+        ("shed_overload".into(), Json::from_u64(s.shed_overload)),
+        ("offered".into(), Json::from_u64(s.offered)),
     ])
 }
 
@@ -108,6 +113,8 @@ fn sample_from_json(j: &Json) -> Result<TimeSeriesSample, String> {
         freshness_lag: f("freshness_lag")?,
         health: u("health")?,
         shed: u("shed")?,
+        shed_overload: u("shed_overload")?,
+        offered: u("offered")?,
     })
 }
 
@@ -287,12 +294,12 @@ impl RunArtifact {
     pub fn timeseries_csv(&self) -> String {
         let mut out = String::from(
             "t_clients,a_clients,run,phase,t_secs,tps,qps,backlog,delta_rows,\
-             live_versions,freshness_lag,health,shed\n",
+             live_versions,freshness_lag,health,shed,shed_overload,offered\n",
         );
         for m in &self.points {
             for s in &m.timeseries {
                 out.push_str(&format!(
-                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6},{},{}\n",
+                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6},{},{},{},{}\n",
                     m.t_clients,
                     m.a_clients,
                     s.run,
@@ -305,7 +312,9 @@ impl RunArtifact {
                     s.live_versions,
                     s.freshness_lag,
                     s.health,
-                    s.shed
+                    s.shed,
+                    s.shed_overload,
+                    s.offered
                 ));
             }
         }
@@ -356,6 +365,8 @@ mod tests {
                 freshness_lag: 0.0,
                 health: 0,
                 shed: 0,
+                shed_overload: 0,
+                offered: 95,
             },
             TimeSeriesSample {
                 t_secs: 0.05,
@@ -369,6 +380,8 @@ mod tests {
                 freshness_lag: 0.002,
                 health: 1,
                 shed: 2,
+                shed_overload: 4,
+                offered: 130,
             },
         ];
         m
@@ -412,7 +425,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let mut art = RunArtifact::new(config());
         art.push_point(synthetic_point());
-        let text = art.dump().replace("\"schema_version\": 3", "\"schema_version\": 999");
+        let text = art.dump().replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = RunArtifact::parse(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -198,7 +198,8 @@ pub fn find_saturation(
         let m = match kind {
             FixedKind::FixedT => harness.run_point(clients, 0),
             FixedKind::FixedA => harness.run_point(0, clients),
-        };
+        }
+        .expect("saturation point failed");
         let value = match kind {
             FixedKind::FixedT => m.tps,
             FixedKind::FixedA => m.qps,
@@ -260,7 +261,7 @@ pub fn build_grid(harness: &Harness, cfg: &SaturationConfig) -> GridGraph {
     for &tau in &t_levels {
         let mut points = Vec::new();
         for &alpha in &a_sweep {
-            let m = harness.run_point(tau, alpha);
+            let m = harness.run_point(tau, alpha).expect("grid point failed");
             points.push(FrontierPoint::from_measurement(&m));
             measurements.push(m);
         }
@@ -270,7 +271,7 @@ pub fn build_grid(harness: &Harness, cfg: &SaturationConfig) -> GridGraph {
     for &alpha in &a_levels {
         let mut points = Vec::new();
         for &tau in &t_sweep {
-            let m = harness.run_point(tau, alpha);
+            let m = harness.run_point(tau, alpha).expect("grid point failed");
             points.push(FrontierPoint::from_measurement(&m));
             measurements.push(m);
         }
@@ -292,7 +293,7 @@ pub fn sample_random(
         .map(|_| {
             let tau = rng.range_u32(0, cap_t);
             let alpha = rng.range_u32(if tau == 0 { 1 } else { 0 }, max_clients);
-            harness.run_point(tau, alpha)
+            harness.run_point(tau, alpha).expect("sampled point failed")
         })
         .collect()
 }

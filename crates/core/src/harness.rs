@@ -16,6 +16,7 @@
 //! counter the old struct exposed as a field is now a derived accessor
 //! over those snapshots.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,10 +27,11 @@ use hat_common::telemetry::{names, Histogram, HistogramSnapshot, MetricsSnapshot
 use hat_engine::{HtapEngine, QueryOpts};
 use hat_query::spec::QueryId;
 use hat_query::ssb;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::freshness::{score_query, CommitRegistry, FreshnessSample};
 use crate::gen::{DataProfile, MAX_TXN_CLIENTS};
+use crate::openloop::{arrival_schedule, OpenLoopConfig, OpenLoopTick};
 use crate::workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};
 
 /// Phases of a benchmark run.
@@ -54,6 +56,17 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Attempts per logical operation (1 = no retries).
     pub max_attempts: u32,
+    /// Optional *shared* retry budget across every client of a run.
+    /// Backoff and the attempt cap bound each client individually, but
+    /// under overload every client fails at once and the aggregate retry
+    /// stream alone can exceed capacity — the metastable failure mode,
+    /// where the system stays collapsed after the original burst ends
+    /// because its own retries sustain the overload. The budget bounds
+    /// the aggregate: retries spend tokens, only in-deadline successes
+    /// earn them back, so a failing system converges to give-ups instead
+    /// of a self-sustaining retry storm. `None` (default) keeps the
+    /// pre-existing unbudgeted behavior.
+    pub budget: Option<RetryBudgetConfig>,
 }
 
 impl Default for RetryPolicy {
@@ -62,7 +75,98 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_micros(200),
             max_backoff: Duration::from_millis(20),
             max_attempts: 10,
+            budget: None,
         }
+    }
+}
+
+/// Parameters of the shared [`RetryBudget`] token bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Bucket capacity in whole retry tokens (also the initial fill) —
+    /// the burst of retries the run may spend before earning more.
+    pub cap: u32,
+    /// Tokens refunded per successful in-deadline operation. `0.1` means
+    /// sustained retries may be at most ~10% of sustained goodput — a
+    /// healthy system never notices the budget, a collapsed one runs dry
+    /// almost immediately.
+    pub refill_per_success: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig { cap: 100, refill_per_success: 0.1 }
+    }
+}
+
+/// Shared token bucket bounding a run's aggregate retries (lock-free;
+/// tokens kept in milli-token fixed point so fractional refill ratios
+/// accumulate exactly).
+#[derive(Debug)]
+pub struct RetryBudget {
+    millitokens: AtomicU64,
+    cap_milli: u64,
+    refill_milli: u64,
+}
+
+impl RetryBudget {
+    const MILLI: u64 = 1000;
+
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        let cap_milli = u64::from(config.cap) * Self::MILLI;
+        RetryBudget {
+            millitokens: AtomicU64::new(cap_milli),
+            cap_milli,
+            refill_milli: (config.refill_per_success.max(0.0) * Self::MILLI as f64) as u64,
+        }
+    }
+
+    /// Spends one retry token; `false` means the budget is exhausted and
+    /// the caller must give up instead of retrying.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < Self::MILLI {
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - Self::MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Refunds the per-success ratio, saturating at the cap.
+    pub fn on_success(&self) {
+        if self.refill_milli == 0 {
+            return;
+        }
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = (cur + self.refill_milli).min(self.cap_milli);
+            if next == cur {
+                return;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.millitokens.load(Ordering::Relaxed) / Self::MILLI
     }
 }
 
@@ -240,9 +344,21 @@ pub struct TimeSeriesSample {
     /// 2 Recovering. A chaos run shows this step up and back down as the
     /// scrubber re-admits the device.
     pub health: u64,
-    /// Commits shed by admission control during the sampling interval
-    /// (degraded WAL or full group-commit backlog).
+    /// Commits shed for *storage* reasons during the sampling interval:
+    /// a degraded/quarantined WAL, a full group-commit backlog, or the
+    /// admission circuit breaker tripping on off-Healthy health.
     pub shed: u64,
+    /// Requests shed for *overload* reasons during the interval: queue
+    /// sojourn over the deadline budget, bounded-queue overflow, or the
+    /// engine's admission gate. Disjoint from `shed` by construction, so
+    /// "disk unhappy" and "traffic too high" chart separately.
+    pub shed_overload: u64,
+    /// Offered load during the interval: requests that reached an
+    /// admission gate (closed-loop runs) or that the arrival schedule
+    /// generated (open-loop runs). In a closed-loop run this tracks the
+    /// completion rate; in an open-loop run it is the independent
+    /// variable and may exceed it arbitrarily.
+    pub offered: u64,
 }
 
 /// The measured outcome of one `(τ, α)` point.
@@ -471,6 +587,116 @@ impl PointMeasurement {
     }
 }
 
+/// The measured outcome of one open-loop overload run.
+///
+/// `point` reuses the closed-loop [`PointMeasurement`] schema — its
+/// window metrics carry the `openloop.*` counters and the sojourn
+/// histogram, its time series has one sample per tick — so artifacts,
+/// reports, and plots consume open-loop runs through the exact same
+/// pipeline. `ticks` is the raw per-tick outcome series behind that, and
+/// `sojourn` the enqueue-to-completion distribution of every request
+/// that actually executed.
+#[derive(Debug, Clone)]
+pub struct OpenLoopMeasurement {
+    pub point: PointMeasurement,
+    pub ticks: Vec<OpenLoopTick>,
+    /// Enqueue-to-completion nanoseconds of executed requests.
+    pub sojourn: HistogramSnapshot,
+}
+
+impl OpenLoopMeasurement {
+    fn total(&self, f: impl Fn(&OpenLoopTick) -> u64) -> u64 {
+        self.ticks.iter().map(f).sum()
+    }
+
+    /// Arrivals the schedule generated (the independent variable).
+    pub fn offered(&self) -> u64 {
+        self.total(|t| t.offered)
+    }
+
+    /// Requests that finished executing (in or out of deadline).
+    pub fn completed(&self) -> u64 {
+        self.total(|t| t.completed)
+    }
+
+    /// Completions within deadline — the number that matters under
+    /// overload.
+    pub fn goodput(&self) -> u64 {
+        self.total(|t| t.goodput)
+    }
+
+    /// Completions past their deadline (work done, client gone).
+    pub fn deadline_missed(&self) -> u64 {
+        self.total(|t| t.deadline_missed)
+    }
+
+    /// Sheds for traffic reasons: queue overflow, stale sojourn, or the
+    /// engine's admission gate.
+    pub fn shed_overload(&self) -> u64 {
+        self.total(|t| t.shed_overload())
+    }
+
+    /// Sheds attributed to storage degradation.
+    pub fn shed_degraded(&self) -> u64 {
+        self.total(|t| t.shed_degraded)
+    }
+
+    /// Retry attempts re-enqueued.
+    pub fn retries(&self) -> u64 {
+        self.total(|t| t.retries)
+    }
+
+    /// Retries denied by the shared retry budget.
+    pub fn retry_denied(&self) -> u64 {
+        self.total(|t| t.retry_denied)
+    }
+
+    /// Logical requests abandoned.
+    pub fn gave_up(&self) -> u64 {
+        self.total(|t| t.gave_up)
+    }
+
+    /// Fraction of offered load that became goodput.
+    pub fn goodput_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.goodput() as f64 / offered as f64
+    }
+}
+
+/// One queued open-loop request. `enq` is re-stamped on retry — the
+/// virtual client that retries is issuing a *new* request with a fresh
+/// deadline budget; `attempt` is what persists across the logical
+/// operation.
+#[derive(Clone, Copy)]
+struct OpenRequest {
+    enq: Instant,
+    attempt: u32,
+    kind: TxnKind,
+}
+
+/// Per-tick atomic outcome counters (workers race on them freely; the
+/// relaxed ordering is fine because the scope join is the only reader
+/// barrier that matters).
+#[derive(Default)]
+struct TickCells {
+    offered: AtomicU64,
+    enqueued: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_stale: AtomicU64,
+    shed_engine: AtomicU64,
+    shed_degraded: AtomicU64,
+    completed: AtomicU64,
+    goodput: AtomicU64,
+    deadline_missed: AtomicU64,
+    retries: AtomicU64,
+    retry_denied: AtomicU64,
+    gave_up: AtomicU64,
+    aborts: AtomicU64,
+}
+
 /// Drives one engine + generated dataset through benchmark points.
 pub struct Harness {
     engine: Arc<dyn HtapEngine>,
@@ -540,27 +766,34 @@ impl Harness {
         t_clients: u32,
         a_clients: u32,
         repeats: u32,
-    ) -> PointMeasurement {
+    ) -> hat_common::Result<PointMeasurement> {
         let runs: Vec<PointMeasurement> = (0..repeats.max(1))
             .map(|_| self.run_point(t_clients, a_clients))
-            .collect();
-        PointMeasurement::average(runs)
+            .collect::<hat_common::Result<_>>()?;
+        Ok(PointMeasurement::average(runs))
     }
 
     /// Measures one `(τ, α)` point.
     ///
-    /// Panics if `t_clients` exceeds [`MAX_TXN_CLIENTS`] (the FRESHNESS
-    /// table is pre-sized).
-    pub fn run_point(&self, t_clients: u32, a_clients: u32) -> PointMeasurement {
-        assert!(
-            t_clients <= MAX_TXN_CLIENTS,
-            "at most {MAX_TXN_CLIENTS} transactional clients"
-        );
+    /// Returns [`HatError::InvalidConfig`](hat_common::HatError) when
+    /// `t_clients` exceeds [`MAX_TXN_CLIENTS`] (the FRESHNESS table is
+    /// pre-sized) — a diagnosable configuration error, not a panic.
+    pub fn run_point(
+        &self,
+        t_clients: u32,
+        a_clients: u32,
+    ) -> hat_common::Result<PointMeasurement> {
+        if t_clients > MAX_TXN_CLIENTS {
+            return Err(hat_common::HatError::InvalidConfig(format!(
+                "{t_clients} transactional clients requested, but the FRESHNESS \
+                 table is pre-sized for at most {MAX_TXN_CLIENTS}"
+            )));
+        }
         if t_clients == 0 && a_clients == 0 {
-            return PointMeasurement::zero(0, 0);
+            return Ok(PointMeasurement::zero(0, 0));
         }
         if self.config.reset_between_points {
-            self.reset().expect("engine reset failed");
+            self.reset()?;
         }
         let point_idx = self.points_run.fetch_add(1, Ordering::Relaxed);
 
@@ -585,6 +818,9 @@ impl Harness {
             .map(|n| n.load(Ordering::Relaxed) + 1)
             .collect();
         let registry = CommitRegistry::new(&bases);
+        // One budget shared by every client: the aggregate retry stream
+        // is what must stay bounded, not any single client's.
+        let budget = self.config.retry.budget.map(RetryBudget::new);
 
         let (timeseries, backlog_hwm, measure_begin) = std::thread::scope(|scope| {
             // Transactional clients.
@@ -602,6 +838,7 @@ impl Harness {
                 let timeouts = &timeouts;
                 let gave_up = &gave_up;
                 let retry = &self.config.retry;
+                let budget = budget.as_ref();
                 let registry = &registry;
                 let txn_latency = &txn_latency;
                 let txnnum_slot = &self.txnnums[client as usize];
@@ -632,6 +869,9 @@ impl Harness {
                                     committed.fetch_add(1, Ordering::Relaxed);
                                     txn_latency.record(kind.label(), done - begin);
                                 }
+                                if let Some(b) = budget {
+                                    b.on_success();
+                                }
                                 kind = mix.draw(&mut rng);
                                 attempt = 1;
                             }
@@ -655,7 +895,14 @@ impl Harness {
                                 if measuring() {
                                     aborts.fetch_add(1, Ordering::Relaxed);
                                 }
-                                if attempt >= retry.max_attempts {
+                                // A retry happens only while both the
+                                // per-client attempt cap and the shared
+                                // budget allow it (the cap is checked
+                                // first so an already-doomed attempt
+                                // never spends a token).
+                                let out_of_budget = attempt >= retry.max_attempts
+                                    || budget.is_some_and(|b| !b.try_spend());
+                                if out_of_budget {
                                     if measuring() {
                                         gave_up.fetch_add(1, Ordering::Relaxed);
                                     }
@@ -798,9 +1045,24 @@ impl Harness {
                         live_versions: snap.gauge(names::LIVE_VERSIONS),
                         freshness_lag,
                         health: snap.gauge(names::HEALTH_STATE),
-                        shed: snap
-                            .counter(names::WAL_SHED_COMMITS)
-                            .saturating_sub(prev.counter(names::WAL_SHED_COMMITS)),
+                        shed: (snap.counter(names::WAL_SHED_COMMITS)
+                            + snap.counter(names::ADMIT_TXN_SHED_BREAKER))
+                        .saturating_sub(
+                            prev.counter(names::WAL_SHED_COMMITS)
+                                + prev.counter(names::ADMIT_TXN_SHED_BREAKER),
+                        ),
+                        shed_overload: (snap.counter(names::ADMIT_TXN_SHED)
+                            + snap.counter(names::ADMIT_QUERY_SHED))
+                        .saturating_sub(
+                            prev.counter(names::ADMIT_TXN_SHED)
+                                + prev.counter(names::ADMIT_QUERY_SHED),
+                        ),
+                        offered: (snap.counter(names::ADMIT_TXN_OFFERED)
+                            + snap.counter(names::ADMIT_QUERY_OFFERED))
+                        .saturating_sub(
+                            prev.counter(names::ADMIT_TXN_OFFERED)
+                                + prev.counter(names::ADMIT_QUERY_OFFERED),
+                        ),
                     });
                     prev = snap;
                     prev_t = now;
@@ -853,7 +1115,7 @@ impl Harness {
         metrics.set_gauge(names::HARNESS_BACKLOG_HWM, backlog_hwm);
         txn_latency.install(&mut metrics, names::LATENCY_TXN_PREFIX);
         query_latency.install(&mut metrics, names::LATENCY_QUERY_PREFIX);
-        PointMeasurement {
+        Ok(PointMeasurement {
             t_clients,
             a_clients,
             tps: committed as f64 / elapsed,
@@ -863,7 +1125,341 @@ impl Harness {
             timeseries,
             freshness: freshness.into_inner(),
             measured_secs: elapsed,
+        })
+    }
+
+    /// Runs one open-loop overload experiment.
+    ///
+    /// Where [`run_point`](Self::run_point) is closed-loop (τ clients
+    /// each wait for their previous request, so offered load can never
+    /// exceed sustained throughput), here offered load is an *input*: a
+    /// seeded arrival schedule ([`arrival_schedule`]) enqueues requests
+    /// onto a bounded queue — each stamped with its enqueue time and
+    /// carrying the per-attempt deadline budget — and a fixed pool of
+    /// `workers` threads drains it. When arrivals outpace the pool the
+    /// queue absorbs the difference and the outcome (shed, missed
+    /// deadlines, recovery or metastable collapse) is what the per-tick
+    /// series records.
+    ///
+    /// Virtual-client behavior under failure mirrors real systems: a
+    /// request whose sojourn passes its deadline is shed without
+    /// executing (the client already gave up; executing it would be
+    /// doomed work), and a request that *completes* past its deadline
+    /// counts as `deadline_missed` — and, policy permitting, the client
+    /// has already retried it, which is precisely the work amplification
+    /// that sustains metastable failure. The shared
+    /// [`RetryPolicy::budget`] is the mitigation under test.
+    pub fn run_open_loop(
+        &self,
+        ol: &OpenLoopConfig,
+    ) -> hat_common::Result<OpenLoopMeasurement> {
+        ol.validate()?;
+        if self.config.reset_between_points {
+            self.reset()?;
         }
+        let point_idx = self.points_run.fetch_add(1, Ordering::Relaxed);
+        let schedule = arrival_schedule(ol, self.config.seed);
+        let nticks = ol.ticks as usize;
+        let tick_nanos = ol.tick.as_nanos().max(1);
+        let cap = ol.queue_cap as usize;
+        let deadline = ol.deadline;
+
+        let cells: Vec<TickCells> = (0..nticks).map(|_| TickCells::default()).collect();
+        let queue: Mutex<VecDeque<OpenRequest>> = Mutex::new(VecDeque::new());
+        let arrived = Condvar::new();
+        let stop = AtomicBool::new(false);
+        let sojourn_hist = Histogram::new();
+        let started = AtomicU64::new(0);
+        let budget = self.config.retry.budget.map(RetryBudget::new);
+        let retry = &self.config.retry;
+
+        let measure_begin = self.engine.metrics();
+        let t0 = Instant::now();
+        // Attributes an event to the tick it happened in; events during
+        // the post-schedule drain clamp to the final tick.
+        let tick_of = move |now: Instant| -> usize {
+            (((now - t0).as_nanos() / tick_nanos) as usize).min(nticks - 1)
+        };
+        // The virtual client's reaction to a failed or timed-out attempt.
+        // Retries re-enter the arrival queue with a fresh enqueue stamp
+        // (a retry is a new request with a new deadline); the attempt
+        // count is what carries across, and the shared budget is spent
+        // *before* the re-enqueue so a collapsed run converges to
+        // give-ups instead of feeding itself.
+        let maybe_retry = |req: OpenRequest| {
+            let cell = &cells[tick_of(Instant::now())];
+            if stop.load(Ordering::Relaxed) || req.attempt >= retry.max_attempts {
+                cell.gave_up.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if let Some(b) = budget.as_ref() {
+                if !b.try_spend() {
+                    cell.retry_denied.fetch_add(1, Ordering::Relaxed);
+                    cell.gave_up.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            let mut q = queue.lock();
+            if q.len() >= cap {
+                drop(q);
+                cell.gave_up.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            q.push_back(OpenRequest {
+                enq: Instant::now(),
+                attempt: req.attempt + 1,
+                kind: req.kind,
+            });
+            drop(q);
+            arrived.notify_one();
+            cell.retries.fetch_add(1, Ordering::Relaxed);
+        };
+
+        let engine_samples = std::thread::scope(|scope| {
+            // Fixed worker pool — the serving capacity.
+            for client in 0..ol.workers {
+                let engine = &*self.engine;
+                let profile = &self.profile;
+                let state = &self.state;
+                let seed = self.config.seed;
+                let queue = &queue;
+                let arrived = &arrived;
+                let stop = &stop;
+                let cells = &cells;
+                let sojourn_hist = &sojourn_hist;
+                let started = &started;
+                let budget = budget.as_ref();
+                let txnnum_slot = &self.txnnums[client as usize];
+                let service_pad = ol.service_pad;
+                scope.spawn(move || {
+                    let mut rng =
+                        HatRng::derive(seed, (point_idx << 16) | client as u64 | 0xB000);
+                    loop {
+                        // Pop or wait; after stop, drain what remains so
+                        // every enqueued request gets an accounted fate.
+                        let req = {
+                            let mut q = queue.lock();
+                            loop {
+                                if let Some(r) = q.pop_front() {
+                                    break Some(r);
+                                }
+                                if stop.load(Ordering::Relaxed) {
+                                    break None;
+                                }
+                                arrived.wait_for(&mut q, Duration::from_millis(1));
+                            }
+                        };
+                        let Some(req) = req else { break };
+                        // CoDel-flavored staleness check at dequeue: if
+                        // the queue alone already ate the deadline, the
+                        // client is gone — never spend service time on it.
+                        if req.enq.elapsed() > deadline {
+                            cells[tick_of(Instant::now())]
+                                .shed_stale
+                                .fetch_add(1, Ordering::Relaxed);
+                            maybe_retry(req);
+                            continue;
+                        }
+                        started.fetch_add(1, Ordering::Relaxed);
+                        if !service_pad.is_zero() {
+                            std::thread::sleep(service_pad);
+                        }
+                        let txnnum = txnnum_slot.load(Ordering::Relaxed) + 1;
+                        let outcome = run_transaction(
+                            engine, profile, state, &mut rng, req.kind, client, txnnum,
+                        );
+                        let now = Instant::now();
+                        let cell = &cells[tick_of(now)];
+                        match outcome {
+                            Ok(_) => {
+                                txnnum_slot.store(txnnum, Ordering::Relaxed);
+                                let sojourn = now - req.enq;
+                                sojourn_hist.record(sojourn.as_nanos() as u64);
+                                cell.completed.fetch_add(1, Ordering::Relaxed);
+                                if sojourn <= deadline {
+                                    cell.goodput.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(b) = budget {
+                                        b.on_success();
+                                    }
+                                } else {
+                                    // The engine committed the work, but
+                                    // the client stopped waiting at the
+                                    // deadline and (policy permitting)
+                                    // retries — committed-but-retried is
+                                    // the classic metastable amplifier.
+                                    cell.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                                    maybe_retry(req);
+                                }
+                            }
+                            Err(hat_common::HatError::Overloaded { .. }) => {
+                                cell.shed_engine.fetch_add(1, Ordering::Relaxed);
+                                maybe_retry(req);
+                            }
+                            Err(hat_common::HatError::Degraded) => {
+                                cell.shed_degraded.fetch_add(1, Ordering::Relaxed);
+                                maybe_retry(req);
+                            }
+                            Err(e) if e.is_commit_in_doubt() => {
+                                // Durable on the primary: consume the
+                                // sequence number, count the completion
+                                // (but never as goodput), never
+                                // re-execute.
+                                txnnum_slot.store(txnnum, Ordering::Relaxed);
+                                cell.completed.fetch_add(1, Ordering::Relaxed);
+                                cell.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if e.is_retryable() => {
+                                cell.aborts.fetch_add(1, Ordering::Relaxed);
+                                maybe_retry(req);
+                            }
+                            Err(e) => panic!("open-loop worker {client}: {e}"),
+                        }
+                    }
+                });
+            }
+
+            // Generator: the only writer to the arrival queue. Paces the
+            // seeded schedule onto real time, sheds at enqueue only when
+            // the bounded queue is full (the memory backstop), and
+            // samples engine gauges at each tick boundary.
+            let mut gen_rng =
+                HatRng::derive(self.config.seed, (point_idx << 16) | 0xC000);
+            let mix = self.mix;
+            let mut samples: Vec<MetricsSnapshot> = Vec::with_capacity(nticks);
+            for (t, &n) in schedule.iter().enumerate() {
+                let boundary = t0 + ol.tick * t as u32;
+                loop {
+                    let now = Instant::now();
+                    if now >= boundary {
+                        break;
+                    }
+                    std::thread::sleep(boundary - now);
+                }
+                if t > 0 {
+                    // Closes tick t-1.
+                    samples.push(self.engine.metrics());
+                }
+                let cell = &cells[t];
+                cell.offered.fetch_add(n, Ordering::Relaxed);
+                if n > 0 {
+                    let mut q = queue.lock();
+                    for _ in 0..n {
+                        if q.len() >= cap {
+                            cell.shed_queue.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        q.push_back(OpenRequest {
+                            enq: Instant::now(),
+                            attempt: 1,
+                            kind: mix.draw(&mut gen_rng),
+                        });
+                        cell.enqueued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(q);
+                    arrived.notify_all();
+                }
+            }
+            let end = t0 + ol.tick * ol.ticks;
+            loop {
+                let now = Instant::now();
+                if now >= end {
+                    break;
+                }
+                std::thread::sleep(end - now);
+            }
+            samples.push(self.engine.metrics());
+            stop.store(true, Ordering::Relaxed);
+            arrived.notify_all();
+            // Scope joins the workers here (they drain the queue first).
+            samples
+        });
+
+        let elapsed = (ol.tick * ol.ticks).as_secs_f64();
+        let ticks: Vec<OpenLoopTick> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| OpenLoopTick {
+                tick: i as u32,
+                offered: c.offered.load(Ordering::Relaxed),
+                enqueued: c.enqueued.load(Ordering::Relaxed),
+                shed_queue: c.shed_queue.load(Ordering::Relaxed),
+                shed_stale: c.shed_stale.load(Ordering::Relaxed),
+                shed_engine: c.shed_engine.load(Ordering::Relaxed),
+                shed_degraded: c.shed_degraded.load(Ordering::Relaxed),
+                completed: c.completed.load(Ordering::Relaxed),
+                goodput: c.goodput.load(Ordering::Relaxed),
+                deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
+                retries: c.retries.load(Ordering::Relaxed),
+                retry_denied: c.retry_denied.load(Ordering::Relaxed),
+                gave_up: c.gave_up.load(Ordering::Relaxed),
+                aborts: c.aborts.load(Ordering::Relaxed),
+            })
+            .collect();
+        let sojourn = sojourn_hist.snapshot();
+
+        let sum = |f: fn(&OpenLoopTick) -> u64| ticks.iter().map(f).sum::<u64>();
+        let offered = sum(|t| t.offered);
+        let completed = sum(|t| t.completed);
+        let goodput = sum(|t| t.goodput);
+        let metrics_end = self.engine.metrics();
+        let mut metrics = metrics_end.diff(&measure_begin);
+        metrics.set_counter(names::OPENLOOP_OFFERED, offered);
+        metrics.set_counter(names::OPENLOOP_STARTED, started.load(Ordering::Relaxed));
+        metrics.set_counter(names::OPENLOOP_COMPLETED, completed);
+        metrics.set_counter(names::OPENLOOP_GOODPUT, goodput);
+        metrics.set_counter(names::OPENLOOP_DEADLINE_MISSED, sum(|t| t.deadline_missed));
+        metrics.set_counter(names::OPENLOOP_SHED_QUEUE, sum(|t| t.shed_queue));
+        metrics.set_counter(names::OPENLOOP_SHED_STALE, sum(|t| t.shed_stale));
+        metrics.set_counter(names::OPENLOOP_SHED_ENGINE, sum(|t| t.shed_engine));
+        metrics.set_counter(names::OPENLOOP_SHED_DEGRADED, sum(|t| t.shed_degraded));
+        metrics.set_counter(names::OPENLOOP_RETRIES, sum(|t| t.retries));
+        metrics.set_counter(names::OPENLOOP_RETRY_DENIED, sum(|t| t.retry_denied));
+        metrics.set_counter(names::OPENLOOP_GAVE_UP, sum(|t| t.gave_up));
+        metrics.set_counter(names::HARNESS_COMMITTED, completed);
+        metrics.set_counter(names::HARNESS_ABORTS, sum(|t| t.aborts));
+        metrics.set_counter(names::HARNESS_RETRIES, sum(|t| t.retries));
+        metrics.set_counter(names::HARNESS_GAVE_UP, sum(|t| t.gave_up));
+        metrics.set_histogram(names::OPENLOOP_SOJOURN, sojourn.clone());
+        let backlog_hwm = engine_samples
+            .iter()
+            .map(|s| s.gauge(names::REPL_BACKLOG))
+            .max()
+            .unwrap_or(0);
+        metrics.set_gauge(names::HARNESS_BACKLOG_HWM, backlog_hwm);
+
+        let tick_secs = ol.tick.as_secs_f64();
+        let timeseries: Vec<TimeSeriesSample> = ticks
+            .iter()
+            .zip(engine_samples.iter())
+            .map(|(t, snap)| TimeSeriesSample {
+                t_secs: (t.tick as f64 + 1.0) * tick_secs,
+                phase: SamplePhase::Measure,
+                run: 0,
+                tps: t.goodput as f64 / tick_secs,
+                qps: 0.0,
+                backlog: snap.gauge(names::REPL_BACKLOG),
+                delta_rows: snap.gauge(names::DELTA_ROWS),
+                live_versions: snap.gauge(names::LIVE_VERSIONS),
+                freshness_lag: 0.0,
+                health: snap.gauge(names::HEALTH_STATE),
+                shed: t.shed_degraded,
+                shed_overload: t.shed_overload(),
+                offered: t.offered,
+            })
+            .collect();
+
+        let point = PointMeasurement {
+            t_clients: ol.workers,
+            a_clients: 0,
+            tps: goodput as f64 / elapsed,
+            qps: 0.0,
+            metrics,
+            metrics_end,
+            timeseries,
+            freshness: Vec::new(),
+            measured_secs: elapsed,
+        };
+        Ok(OpenLoopMeasurement { point, ticks, sojourn })
     }
 }
 
@@ -930,7 +1526,7 @@ mod tests {
     #[test]
     fn pure_txn_point_produces_throughput() {
         let h = tiny_harness();
-        let m = h.run_point(2, 0);
+        let m = h.run_point(2, 0).unwrap();
         assert!(m.tps > 0.0, "committed {} in {}s", m.committed(), m.measured_secs);
         assert_eq!(m.qps, 0.0);
         assert_eq!(m.t_clients, 2);
@@ -940,7 +1536,7 @@ mod tests {
     #[test]
     fn pure_analytic_point_produces_queries() {
         let h = tiny_harness();
-        let m = h.run_point(0, 2);
+        let m = h.run_point(0, 2).unwrap();
         assert!(m.qps > 0.0, "{} queries", m.queries());
         assert_eq!(m.tps, 0.0);
     }
@@ -948,7 +1544,7 @@ mod tests {
     #[test]
     fn mixed_point_measures_both_and_scores_freshness() {
         let h = tiny_harness();
-        let m = h.run_point(2, 1);
+        let m = h.run_point(2, 1).unwrap();
         assert!(m.tps > 0.0);
         assert!(m.qps > 0.0);
         assert_eq!(m.freshness.len() as u64, m.queries());
@@ -960,7 +1556,7 @@ mod tests {
     #[test]
     fn latency_stats_collected_per_label() {
         let h = tiny_harness();
-        let m = h.run_point(2, 1);
+        let m = h.run_point(2, 1).unwrap();
         let txn = m.txn_latency();
         let query = m.query_latency();
         assert!(!txn.is_empty(), "txn latencies recorded");
@@ -979,7 +1575,7 @@ mod tests {
     #[test]
     fn timeseries_sampled_through_both_phases() {
         let h = tiny_harness();
-        let m = h.run_point(2, 1);
+        let m = h.run_point(2, 1).unwrap();
         let warm = m
             .timeseries
             .iter()
@@ -1002,7 +1598,7 @@ mod tests {
     #[test]
     fn window_metrics_match_engine_deltas() {
         let h = tiny_harness();
-        let m = h.run_point(2, 0);
+        let m = h.run_point(2, 0).unwrap();
         // The engine committed at least as much as the harness
         // acknowledged during measurement (engine window also catches
         // commits straddling the phase flip).
@@ -1016,7 +1612,7 @@ mod tests {
     #[test]
     fn averaging_repeated_points() {
         let h = tiny_harness();
-        let avg = h.run_point_avg(1, 1, 2);
+        let avg = h.run_point_avg(1, 1, 2).unwrap();
         assert!(avg.tps > 0.0);
         assert_eq!(avg.freshness.len() as u64, avg.queries(), "samples concatenated");
         assert!(avg.timeseries.iter().any(|s| s.run == 1), "series tagged per run");
@@ -1043,7 +1639,7 @@ mod tests {
     #[test]
     fn origin_point_is_zero() {
         let h = tiny_harness();
-        let m = h.run_point(0, 0);
+        let m = h.run_point(0, 0).unwrap();
         assert_eq!(m.tps, 0.0);
         assert_eq!(m.qps, 0.0);
     }
@@ -1051,8 +1647,8 @@ mod tests {
     #[test]
     fn reset_between_points_keeps_results_stable() {
         let h = tiny_harness();
-        let a = h.run_point(1, 0);
-        let b = h.run_point(1, 0);
+        let a = h.run_point(1, 0).unwrap();
+        let b = h.run_point(1, 0).unwrap();
         assert!(a.tps > 0.0 && b.tps > 0.0);
         // Same initial state both times: throughputs within 5x of each
         // other (loose CI-safe check; the point is no systematic collapse

@@ -5,6 +5,9 @@
 //!   Count Orders) and the 13-query analytical batches.
 //! * [`harness`] — client drivers, warm-up/measurement phases, commit-time
 //!   registry, and per-operating-point measurement.
+//! * [`openloop`] — seeded arrival schedules (Poisson / bursty / step
+//!   overload) and config for the open-loop overload driver
+//!   ([`Harness::run_open_loop`](harness::Harness::run_open_loop)).
 //! * [`freshness`] — freshness-score computation and aggregation (§4).
 //! * [`frontier`] — the saturation method, grid graph, throughput frontier,
 //!   proportional line/bounding box annotations, and the design-category
@@ -28,7 +31,7 @@
 //! cfg.warmup = std::time::Duration::from_millis(20);
 //! cfg.measure = std::time::Duration::from_millis(60);
 //! let harness = Harness::new(Arc::new(engine), data.profile.clone(), cfg);
-//! let point = harness.run_point(1, 1);
+//! let point = harness.run_point(1, 1).unwrap();
 //! assert!(point.tps > 0.0 && point.qps > 0.0);
 //! ```
 
@@ -37,6 +40,7 @@ pub mod freshness;
 pub mod frontier;
 pub mod gen;
 pub mod harness;
+pub mod openloop;
 pub mod report;
 pub mod svg;
 pub mod workload;
@@ -49,6 +53,8 @@ pub use frontier::{
 };
 pub use gen::{generate, DataProfile, GeneratedData, ScaleFactor, MAX_TXN_CLIENTS};
 pub use harness::{
-    BenchmarkConfig, Harness, PointMeasurement, SamplePhase, TimeSeriesSample,
+    BenchmarkConfig, Harness, OpenLoopMeasurement, PointMeasurement, RetryBudget,
+    RetryBudgetConfig, RetryPolicy, SamplePhase, TimeSeriesSample,
 };
+pub use openloop::{arrival_schedule, ArrivalShape, OpenLoopConfig, OpenLoopTick};
 pub use workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};

@@ -13,6 +13,7 @@ use hat_query::spec::QuerySpec;
 use hat_storage::rowstore::RowId;
 use hat_txn::{IsolationLevel, LockPolicy, Ts};
 
+pub use crate::admission::AdmissionConfig;
 pub use crate::durability::DurabilityMode;
 
 /// Which B+tree indexes exist — the paper's "physical schemas" experiment
@@ -76,6 +77,13 @@ pub struct EngineConfig {
     /// entirely — version chains then grow for the life of the run, which
     /// is the pre-vacuum behavior and still useful as an ablation.
     pub vacuum_interval: Option<std::time::Duration>,
+    /// Per-class overload admission gates in front of commit and query
+    /// execution. Disabled by default (unbounded admission), which is
+    /// correct for closed-loop runs: their client count already bounds
+    /// concurrency. Open-loop runs enable it so offered load beyond
+    /// capacity is shed at the front door instead of collapsing the
+    /// engine.
+    pub admission: AdmissionConfig,
 }
 
 impl EngineConfig {
@@ -147,6 +155,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Overload admission gates (disabled by default).
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
     /// Finalizes the config.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -161,6 +175,7 @@ impl Default for EngineConfig {
             lock_policy: LockPolicy::NoWait,
             durability: DurabilityMode::SleepDefault,
             vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -267,6 +282,19 @@ pub struct EngineStats {
     pub scrub_passes: u64,
     /// WAL segments quarantined after a failed write/fsync.
     pub quarantined_segments: u64,
+    /// Transactions that reached the admission gate (admitted + shed).
+    pub admit_txn_offered: u64,
+    /// Transactions shed at the gate by overload (queue sojourn over the
+    /// deadline budget, or queue overflow) — the *traffic* cause,
+    /// distinct from the storage-cause `shed_commits`.
+    pub admit_txn_shed: u64,
+    /// Queries that reached the admission gate.
+    pub admit_query_offered: u64,
+    /// Queries shed at the gate by overload.
+    pub admit_query_shed: u64,
+    /// Writes shed by the admission circuit breaker because storage
+    /// health was off `Healthy` (disk cause, surfaced as `Degraded`).
+    pub admit_breaker_sheds: u64,
 }
 
 impl EngineStats {
@@ -301,6 +329,12 @@ impl EngineStats {
             disk_faults: m.counter(names::DISK_FAULTS),
             scrub_passes: m.counter(names::WAL_SCRUB_PASSES),
             quarantined_segments: m.counter(names::WAL_QUARANTINED),
+            admit_txn_offered: m.counter(names::ADMIT_TXN_OFFERED),
+            admit_txn_shed: m.counter(names::ADMIT_TXN_SHED),
+            admit_query_offered: m.counter(names::ADMIT_QUERY_OFFERED),
+            admit_query_shed: m.counter(names::ADMIT_QUERY_SHED),
+            admit_breaker_sheds: m.counter(names::ADMIT_TXN_SHED_BREAKER)
+                + m.counter(names::ADMIT_QUERY_SHED_BREAKER),
         }
     }
 }
@@ -428,6 +462,9 @@ mod tests {
             DurabilityMode::Sleep(EngineConfig::DEFAULT_COMMIT_LATENCY)
         );
         assert_eq!(c.lock_policy, LockPolicy::NoWait);
+        // Admission control is off by default: closed-loop runs bound
+        // concurrency by client count already.
+        assert!(!c.admission.is_enabled());
         assert_eq!(c.without_durability().durability, DurabilityMode::Off);
     }
 
@@ -459,6 +496,11 @@ mod tests {
         assert!(c.durability.is_off());
         assert_eq!(c.vacuum_interval, Some(std::time::Duration::from_millis(3)));
         assert_eq!(EngineConfig::builder().no_vacuum().build().vacuum_interval, None);
+
+        let c = EngineConfig::builder().admission(AdmissionConfig::bounded(8, 2)).build();
+        assert!(c.admission.is_enabled());
+        assert_eq!(c.admission.txn_slots, Some(8));
+        assert_eq!(c.admission.query_slots, Some(2));
     }
 
     #[test]

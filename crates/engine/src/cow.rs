@@ -234,6 +234,10 @@ impl HtapEngine for CowEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+        // A-class overload gate: a no-op unless admission is enabled, a
+        // bounded sojourn-deadline-shed queue when it is. Shed queries
+        // never execute and are not counted as executed.
+        let _admit = self.kernel.admission.admit_query()?;
         self.kernel.stats.queries.inc();
         // Analytics read the last snapshot, not the current horizon:
         // bounded staleness, no interference with in-flight commits'

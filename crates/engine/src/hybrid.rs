@@ -275,6 +275,10 @@ impl HtapEngine for DualEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+        // A-class overload gate: a no-op unless admission is enabled, a
+        // bounded sojourn-deadline-shed queue when it is. Shed queries
+        // never execute and are not counted as executed.
+        let _admit = self.kernel.admission.admit_query()?;
         self.kernel.stats.queries.inc();
         // Merge-on-read: the snapshot at the query's start includes every
         // delta row up to ts — the latest updates are always merged before
@@ -644,6 +648,10 @@ impl HtapEngine for LearnerEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+        // A-class overload gate: a no-op unless admission is enabled, a
+        // bounded sojourn-deadline-shed queue when it is. Shed queries
+        // never execute and are not counted as executed.
+        let _admit = self.kernel.admission.admit_query()?;
         self.kernel.stats.queries.inc();
         // Read-index wait: TiDB merges the tail of the log with the
         // analytical data before executing, so the query sees everything

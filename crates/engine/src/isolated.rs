@@ -455,6 +455,10 @@ impl HtapEngine for IsoEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+        // A-class overload gate: a no-op unless admission is enabled, a
+        // bounded sojourn-deadline-shed queue when it is. Shed queries
+        // never execute and are not counted as executed.
+        let _admit = self.kernel.admission.admit_query()?;
         self.kernel.stats.queries.inc();
         // Queries read the standby at its applied horizon — whatever has
         // been replayed so far. Staleness is visible through the

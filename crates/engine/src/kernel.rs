@@ -25,8 +25,10 @@ use hat_txn::{
 };
 use parking_lot::RwLock;
 
+use crate::admission::AdmissionController;
 use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
 use crate::durability::DurabilityLayer;
+use hat_storage::dwal::HealthState;
 
 /// Hooks an engine attaches to the kernel's commit path.
 pub trait CommitHooks: Send + Sync {
@@ -318,6 +320,11 @@ pub struct RowKernel {
     /// this owns the on-disk WAL; engines reach through it for
     /// checkpoints, crash injection, and counters.
     pub durability: DurabilityLayer,
+    /// Per-class overload gate in front of commit (T) and query
+    /// execution (A). Disabled by the default config; its counters are
+    /// registered in `stats.registry` so they flow through
+    /// [`RowKernel::metrics`] either way.
+    pub admission: AdmissionController,
     /// Active snapshots against this kernel's row store: every session
     /// and every analytical query that reads the primary holds a guard
     /// here, and [`RowKernel::vacuum_pass`] prunes below their minimum.
@@ -356,14 +363,17 @@ impl RowKernel {
     /// kernel comes back exactly as of the last acknowledged commit.
     pub fn try_with_hooks(config: EngineConfig, hooks: Arc<dyn CommitHooks>) -> Result<Self> {
         let (durability, recovery) = DurabilityLayer::open(&config.durability)?;
+        let stats = KernelStats::default();
+        let admission = AdmissionController::new(&config.admission, &stats.registry);
         let kernel = RowKernel {
             db: RowDb::new(),
             oracle: TsOracle::new(),
             locks: LockManager::with_policy(config.lock_policy),
             indexes: IndexSet::new(config.indexes),
             config,
-            stats: KernelStats::default(),
+            stats,
             durability,
+            admission,
             snapshots: Arc::new(SnapshotRegistry::new()),
             last_checkpoint_ts: AtomicU64::new(0),
             hooks,
@@ -832,6 +842,20 @@ impl Session for KernelSession {
             kernel.stats.commit_span.record(span.elapsed_nanos());
             return Ok(self.ctx.begin_snapshot().ts);
         }
+
+        // Overload admission at the front door: when the T gate is
+        // enabled and the engine is at its in-flight bound, the commit
+        // queues here (bounded, sojourn-deadline-shed) before any
+        // engine-side work runs. Off-Healthy storage trips the gate's
+        // circuit breaker instead of queueing doomed work. Nothing is
+        // installed yet: a shed is a clean, retryable abort.
+        let _admit = match kernel
+            .admission
+            .admit_txn(kernel.durability.health() == HealthState::Healthy)
+        {
+            Ok(permit) => permit,
+            Err(e) => return Err(self.abort_with(e)),
+        };
 
         // Engine-specific pre-commit latency (consensus rounds). Nothing
         // is installed yet, so a failure here is a clean, retryable abort.

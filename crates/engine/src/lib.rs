@@ -39,6 +39,7 @@
 //! assert_eq!(engine.stats().commits, 1);
 //! ```
 
+pub mod admission;
 pub mod analytics;
 pub mod api;
 pub mod cow;
@@ -49,6 +50,7 @@ pub mod kernel;
 pub mod netsim;
 pub mod shared;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmitPermit};
 pub use api::{
     DesignCategory, DurabilityMode, EngineConfig, EngineConfigBuilder, EngineStats, HtapEngine,
     IndexProfile, NamedIndex, Session, TxnHandle,

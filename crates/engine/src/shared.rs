@@ -143,6 +143,10 @@ impl HtapEngine for ShdEngine {
     }
 
     fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+        // A-class overload gate: a no-op unless admission is enabled, a
+        // bounded sojourn-deadline-shed queue when it is. Shed queries
+        // never execute and are not counted as executed.
+        let _admit = self.kernel.admission.admit_query()?;
         self.kernel.stats.queries.inc();
         let span = SpanTimer::start();
         // The guard pins the query's snapshot against vacuum for the whole

@@ -83,7 +83,7 @@ fn main() {
             ..BenchmarkConfig::default()
         },
     );
-    let point = harness.run_point(4, 2);
+    let point = harness.run_point(4, 2).unwrap();
     chaos.join().unwrap();
     injector.stop();
 

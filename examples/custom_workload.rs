@@ -76,7 +76,7 @@ fn main() {
         },
     )
     .with_mix(TxnMix { new_order: 10, payment: 90, count_orders: 0 });
-    let m = harness.run_point(4, 1);
+    let m = harness.run_point(4, 1).unwrap();
     println!(
         "payment-heavy mix: {:.0} tps / {:.1} qps, {} aborts (write-conflict retries)",
         m.tps, m.qps, m.aborts()

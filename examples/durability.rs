@@ -36,7 +36,7 @@ fn run_mode(mode: DurabilityMode, t: u32, a: u32) -> PointMeasurement {
             ..Default::default()
         },
     );
-    harness.run_point(t, a)
+    harness.run_point(t, a).unwrap()
 }
 
 fn main() {

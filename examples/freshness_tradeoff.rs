@@ -30,7 +30,7 @@ fn run_mode(mode: ReplicationMode, t: u32, a: u32) -> PointMeasurement {
             ..Default::default()
         },
     );
-    harness.run_point(t, a)
+    harness.run_point(t, a).unwrap()
 }
 
 fn main() {

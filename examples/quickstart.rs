@@ -40,7 +40,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let point = harness.run_point(4, 2);
+    let point = harness.run_point(4, 2).unwrap();
 
     // 4. Report hybrid throughput and the freshness score (§4).
     println!(

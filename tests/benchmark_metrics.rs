@@ -23,7 +23,7 @@ fn latency_stats_cover_the_full_mix() {
     let data = common::small_data();
     let (_, engine) = common::all_engines().remove(0);
     let harness = common::fast_harness(engine, &data);
-    let m = harness.run_point(3, 1);
+    let m = harness.run_point(3, 1).unwrap();
     // With enough commits, all three transaction types appear.
     if m.committed() > 100 {
         let labels: Vec<String> =
@@ -55,7 +55,7 @@ fn custom_mix_restricts_transaction_types() {
         },
     )
     .with_mix(TxnMix { new_order: 0, payment: 100, count_orders: 0 });
-    let m = harness.run_point(2, 0);
+    let m = harness.run_point(2, 0).unwrap();
     assert!(m.committed() > 0);
     for (label, _) in m.txn_latency() {
         assert_eq!(label, "payment");
@@ -123,7 +123,7 @@ fn run_artifact_roundtrips_a_real_measurement() {
     let data = common::small_data();
     let (_, engine) = common::all_engines().remove(0);
     let harness = common::fast_harness(engine, &data);
-    let m = harness.run_point(2, 1);
+    let m = harness.run_point(2, 1).unwrap();
     let cfg = harness.config();
     let mut artifact = RunArtifact::new(RunConfig {
         engine: "test".into(),
@@ -157,7 +157,7 @@ fn measurement_phase_has_dense_time_series() {
     let data = common::small_data();
     let (_, engine) = common::all_engines().remove(0);
     let harness = common::fast_harness(engine, &data);
-    let m = harness.run_point(2, 1);
+    let m = harness.run_point(2, 1).unwrap();
     use hattrick_repro::bench::harness::SamplePhase;
     let measure = m
         .timeseries

@@ -181,7 +181,7 @@ fn chaos_mix_conserves_money_and_loses_no_commits() {
         })
     };
 
-    let m = harness.run_point(4, 1);
+    let m = harness.run_point(4, 1).unwrap();
     chaos.join().unwrap();
     injector.stop();
 

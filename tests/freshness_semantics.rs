@@ -42,7 +42,7 @@ fn zero_freshness_engines_measure_zero() {
     for (name, engine) in common::all_engines() {
         // The isolated engine in this list runs remote-apply: also zero.
         let harness = common::fast_harness(engine, &data);
-        let m = harness.run_point(3, 1);
+        let m = harness.run_point(3, 1).unwrap();
         assert!(m.queries() > 0, "{name}: no queries finished");
         let agg = FreshnessAgg::from_samples(&m.freshness);
         assert!(
@@ -58,7 +58,7 @@ fn slow_replay_produces_measurable_staleness() {
     // A deliberately slow replica (2ms per record) cannot keep up with
     // several T clients: queries must observe stale snapshots.
     let harness = iso_harness(ReplicationMode::SyncOn, Duration::from_millis(2));
-    let m = harness.run_point(4, 1);
+    let m = harness.run_point(4, 1).unwrap();
     assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     assert!(
@@ -71,7 +71,7 @@ fn slow_replay_produces_measurable_staleness() {
 #[test]
 fn remote_apply_eliminates_staleness_at_same_replay_cost() {
     let harness = iso_harness(ReplicationMode::RemoteApply, Duration::from_millis(2));
-    let m = harness.run_point(4, 1);
+    let m = harness.run_point(4, 1).unwrap();
     assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     assert!(
@@ -81,7 +81,7 @@ fn remote_apply_eliminates_staleness_at_same_replay_cost() {
     );
     // And the freshness/performance trade-off: RA commits slower than ON.
     let on = iso_harness(ReplicationMode::SyncOn, Duration::from_millis(2));
-    let m_on = on.run_point(4, 1);
+    let m_on = on.run_point(4, 1).unwrap();
     assert!(
         m_on.tps > m.tps,
         "ON mode should out-commit remote-apply ({} vs {})",
@@ -112,7 +112,7 @@ fn cow_engine_staleness_is_bounded_by_the_snapshot_interval() {
             ..Default::default()
         },
     );
-    let m = harness.run_point(4, 1);
+    let m = harness.run_point(4, 1).unwrap();
     assert!(m.queries() > 0);
     let agg = FreshnessAgg::from_samples(&m.freshness);
     // Bounded: max staleness is about one interval (generous slack for
@@ -134,8 +134,8 @@ fn staleness_grows_with_transactional_clients() {
     // Figure 8b's trend: more T clients -> more update volume -> the
     // replica lags further -> worse freshness scores.
     let harness = iso_harness(ReplicationMode::SyncOn, Duration::from_micros(800));
-    let low = harness.run_point(1, 2);
-    let high = harness.run_point(6, 2);
+    let low = harness.run_point(1, 2).unwrap();
+    let high = harness.run_point(6, 2).unwrap();
     let agg_low = FreshnessAgg::from_samples(&low.freshness);
     let agg_high = FreshnessAgg::from_samples(&high.freshness);
     // 10% slack: both means come from wall-clock sampling on a shared

@@ -31,8 +31,8 @@ fn no_reset_harness() -> Harness {
 #[test]
 fn continuation_mode_keeps_data_growing_and_scores_sanely() {
     let h = no_reset_harness();
-    let a = h.run_point(2, 1);
-    let b = h.run_point(2, 1);
+    let a = h.run_point(2, 1).unwrap();
+    let b = h.run_point(2, 1).unwrap();
     assert!(a.committed() > 0 && b.committed() > 0);
     // Without reset the fact table keeps the first point's inserts; the
     // engine stats accumulate across points.
@@ -50,7 +50,7 @@ fn continuation_mode_keeps_data_growing_and_scores_sanely() {
 #[test]
 fn repeat_averaging_accumulates_counters() {
     let h = no_reset_harness();
-    let m = h.run_point_avg(1, 1, 3);
+    let m = h.run_point_avg(1, 1, 3).unwrap();
     assert!(m.tps > 0.0);
     assert!(m.committed() > 0);
     assert_eq!(m.freshness.len() as u64, m.queries(), "all samples kept");

@@ -8,13 +8,17 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use hattrick_repro::bench::freshness::{cdf, score_query, CommitRegistry, FreshnessAgg};
 use hattrick_repro::bench::frontier::{Frontier, FrontierPoint};
+use hattrick_repro::bench::harness::{RetryBudget, RetryBudgetConfig, RetryPolicy};
 use hattrick_repro::common::dates::{add_days, CalendarDate, FIRST_DATE, LAST_DATE};
+use hattrick_repro::common::rng::HatRng;
+use hattrick_repro::common::telemetry::HistogramSnapshot;
 use hattrick_repro::common::Money;
 use hattrick_repro::storage::bptree::BPlusTree;
 use hattrick_repro::storage::colstore::{DictColumn, RleU32};
@@ -274,6 +278,177 @@ fn freshness_scores_are_nonnegative_and_monotone_in_start_time() {
         // Seeing everything committed before start means zero.
         let all_seen = score_query(start_b, &[(0, 6)], &registry);
         assert_eq!(all_seen, 0.0);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy and shared retry budget (§6e)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_backoff_ceiling_is_monotone_and_jitter_stays_in_bounds() {
+    property("retry_backoff_bounds", 64, |rng| {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_micros(rng.gen_range(1u64..5_000)),
+            max_backoff: Duration::from_micros(rng.gen_range(1u64..50_000)),
+            ..RetryPolicy::default()
+        };
+        let mut hat = HatRng::seeded(rng.gen());
+        let mut prev_ceiling = Duration::ZERO;
+        for attempt in 1..=24u32 {
+            let exp = attempt.saturating_sub(1).min(20);
+            let ceiling = policy
+                .initial_backoff
+                .saturating_mul(1u32 << exp)
+                .min(policy.max_backoff);
+            // The jitter window's ceiling only ever grows with the
+            // attempt number (until the cap), never shrinks.
+            assert!(ceiling >= prev_ceiling);
+            prev_ceiling = ceiling;
+            let mut distinct = HashSet::new();
+            let mut top_half = false;
+            for _ in 0..64 {
+                let b = policy.backoff(attempt, &mut hat);
+                assert!(b <= ceiling, "jitter above its ceiling: {b:?} > {ceiling:?}");
+                assert!(b <= policy.max_backoff, "jitter above the hard cap");
+                distinct.insert(b);
+                top_half |= b >= ceiling / 2;
+            }
+            // Full jitter really jitters: with a ≥1µs window, 64 draws
+            // land more than one value and reach the upper half (each
+            // failing spuriously with probability ≤ 2⁻⁶⁴).
+            if ceiling >= Duration::from_micros(1) {
+                assert!(distinct.len() > 1, "no jitter at attempt {attempt}");
+                assert!(top_half, "jitter never reached [ceiling/2, ceiling]");
+            }
+        }
+    });
+}
+
+#[test]
+fn retry_budget_concurrent_spend_never_exceeds_cap() {
+    property("retry_budget_cap", 32, |rng| {
+        let cap = rng.gen_range(1u32..200);
+        let threads = rng.gen_range(2usize..8);
+        let attempts_each = rng.gen_range(1u64..200);
+        let budget = RetryBudget::new(RetryBudgetConfig { cap, refill_per_success: 0.0 });
+        let spent: u64 = std::thread::scope(|s| {
+            (0..threads)
+                .map(|_| {
+                    let b = &budget;
+                    s.spawn(move || (0..attempts_each).filter(|_| b.try_spend()).count() as u64)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        // With refill off, racing spenders get *exactly* min(cap, offered)
+        // tokens between them — no lost updates, no double spends.
+        assert_eq!(spent, u64::from(cap).min(attempts_each * threads as u64));
+        assert_eq!(budget.available(), u64::from(cap) - spent);
+    });
+}
+
+#[test]
+fn retry_budget_refill_is_exact_and_saturates_at_cap() {
+    property("retry_budget_refill", 64, |rng| {
+        let cap = rng.gen_range(1u32..100);
+        let refill = rng.gen_range(0u32..2000) as f64 / 1000.0;
+        let budget = RetryBudget::new(RetryBudgetConfig { cap, refill_per_success: refill });
+        while budget.try_spend() {}
+        assert_eq!(budget.available(), 0, "a drained budget has nothing left");
+        let successes = rng.gen_range(0u64..400);
+        for _ in 0..successes {
+            budget.on_success();
+        }
+        // Milli-token fixed point makes fractional refill exact: after s
+        // successes from empty, available = min(s * refill, cap).
+        let refill_milli = (refill * 1000.0) as u64;
+        let earned_milli = (successes * refill_milli).min(u64::from(cap) * 1000);
+        assert_eq!(budget.available(), earned_milli / 1000);
+        assert!(budget.available() <= u64::from(cap));
+    });
+}
+
+#[test]
+fn retry_budget_conserves_tokens_under_concurrent_spend_and_refill() {
+    property("retry_budget_conservation", 32, |rng| {
+        let cap = rng.gen_range(1u32..50);
+        let refill = rng.gen_range(0u32..1000) as f64 / 1000.0;
+        let refill_milli = (refill * 1000.0) as u64;
+        let budget = RetryBudget::new(RetryBudgetConfig { cap, refill_per_success: refill });
+        let iters = rng.gen_range(1u64..300);
+        let threads = 4u64;
+        let spent: u64 = std::thread::scope(|s| {
+            (0..threads)
+                .map(|t| {
+                    let b = &budget;
+                    s.spawn(move || {
+                        let mut n = 0u64;
+                        for i in 0..iters {
+                            if b.try_spend() {
+                                n += 1;
+                            }
+                            if (i + t) % 3 == 0 {
+                                b.on_success();
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        // Conservation: every spent token was either initial fill or a
+        // refund — the aggregate retry stream is bounded by
+        // cap + successes × refill no matter how the threads interleave.
+        let refills = threads * (iters / 3 + 1);
+        assert!(
+            spent * 1000 <= u64::from(cap) * 1000 + refills * refill_milli,
+            "spent {spent} tokens from cap {cap} with ≤{refills} refills of {refill_milli}m"
+        );
+        assert!(budget.available() <= u64::from(cap), "refill overshot the cap");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram quantiles
+// ---------------------------------------------------------------------------
+
+#[test]
+fn histogram_quantiles_stay_within_one_bucket_of_exact() {
+    property("histogram_tail_accuracy", 48, |rng| {
+        let n = rng.gen_range(1usize..4000);
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| {
+                // Shifted draws span the full log-linear range, so the
+                // p999 tail crosses bucket-width regimes.
+                let shift = rng.gen_range(0u32..60);
+                rng.gen::<u64>() >> shift
+            })
+            .collect();
+        let snap = HistogramSnapshot::from_values(&values);
+        values.sort_unstable();
+        assert_eq!(snap.count, n as u64);
+        assert_eq!(snap.min, values[0]);
+        assert_eq!(snap.max, *values.last().unwrap());
+        for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let est = snap.quantile(q);
+            // The estimate never understates the true quantile, and
+            // overstates it by at most one log-linear bucket (≤ 1/16
+            // relative — the tail-accuracy contract p999 relies on).
+            assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            assert!(
+                est - exact <= exact / 16 + 1,
+                "q={q}: estimate {est} > one bucket above exact {exact}"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), *values.last().unwrap());
     });
 }
 
