@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hat_engine::{DualConfig, DualEngine, EngineConfig, HtapEngine, ShdEngine};
+use hat_engine::{DualConfig, DualEngine, EngineConfig, HtapEngine, ShdEngine, QueryOpts};
 use hat_query::spec::QueryId;
 use hat_query::ssb;
 use hat_query::view::SnapshotView;
@@ -36,7 +36,7 @@ fn ssb_queries(c: &mut Criterion) {
                 BenchmarkId::new(*backend, id.label()),
                 &spec,
                 |b, spec| {
-                    b.iter(|| black_box(engine.run_query(spec).unwrap()));
+                    b.iter(|| black_box(engine.query(spec, &QueryOpts::default()).unwrap()));
                 },
             );
         }
@@ -56,7 +56,7 @@ fn freshness_overhead(c: &mut Criterion) {
     // The full query (executor attaches the side-read).
     let spec = ssb::query(QueryId::Q1_2);
     group.bench_function("q12_with_side_read", |b| {
-        b.iter(|| black_box(engine.run_query(&spec).unwrap()));
+        b.iter(|| black_box(engine.query(&spec, &QueryOpts::default()).unwrap()));
     });
     // The side-read alone.
     group.bench_function("side_read_alone", |b| {

@@ -10,7 +10,7 @@ use hat_common::rng::HatRng;
 use hat_common::TableId;
 use hat_engine::{
     DualConfig, DualEngine, DurabilityMode, EngineConfig, HtapEngine, IsoConfig,
-    IsoEngine, LearnerConfig, LearnerEngine, LearnerProfile, ReplicationMode,
+    IsoEngine, LearnerConfig, LearnerEngine, LearnerProfile, QueryOpts, ReplicationMode,
     ShdEngine,
 };
 use hat_txn::LockManager;
@@ -146,7 +146,7 @@ fn merge_threshold(c: &mut Criterion) {
             BenchmarkId::new("q21_with_half_full_delta", threshold),
             &threshold,
             |b, _| {
-                b.iter(|| black_box(engine.run_query(&spec).unwrap()));
+                b.iter(|| black_box(engine.query(&spec, &QueryOpts::default()).unwrap()));
             },
         );
     }

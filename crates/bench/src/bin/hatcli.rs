@@ -29,7 +29,7 @@ use hat_engine::{
 use hat_txn::IsolationLevel;
 use hattrick::artifact::{RunArtifact, RunConfig};
 use hattrick::freshness::FreshnessAgg;
-use hattrick::frontier::{build_grid, Frontier, SaturationConfig};
+use hattrick::frontier::{build_grid, sweep_shards, Frontier, SaturationConfig};
 use hattrick::gen::{generate, ScaleFactor};
 use hattrick::harness::{
     BenchmarkConfig, Harness, PointMeasurement, RetryBudgetConfig, SamplePhase,
@@ -56,12 +56,14 @@ fn build_engine(
     name: &str,
     durability: &DurabilityMode,
     vacuum: Option<Duration>,
+    shards: u32,
 ) -> Option<Arc<dyn HtapEngine>> {
     let shd = |iso, idx| -> Arc<dyn HtapEngine> {
         let mut cfg = EngineConfig::builder()
             .isolation(iso)
             .indexes(idx)
             .durability(durability.clone())
+            .shards(shards)
             .build();
         cfg.vacuum_interval = vacuum;
         Arc::new(ShdEngine::new(cfg))
@@ -69,6 +71,7 @@ fn build_engine(
     let iso = |mode| -> Arc<dyn HtapEngine> {
         let mut cfg = IsoConfig { mode, ..IsoConfig::coalesced_default() };
         cfg.engine.vacuum_interval = vacuum;
+        cfg.engine.shards = shards.max(1);
         Arc::new(IsoEngine::new(cfg))
     };
     Some(match name {
@@ -81,24 +84,41 @@ fn build_engine(
         "isolated-async" => iso(ReplicationMode::Async),
         "dual" => Arc::new(DualEngine::new(DualConfig {
             vacuum_interval: vacuum,
+            shards,
             ..DualConfig::default()
         })),
         "learner" => Arc::new(LearnerEngine::new(LearnerConfig {
             vacuum_interval: vacuum,
+            shards,
             ..LearnerConfig::default()
         })),
         "learner-dist" => Arc::new(LearnerEngine::new(LearnerConfig {
             profile: LearnerProfile::Distributed,
             vacuum_interval: vacuum,
+            shards,
             ..LearnerConfig::default()
         })),
         "cow" => {
             let mut cfg = CowConfig::default();
             cfg.engine.vacuum_interval = vacuum;
+            cfg.engine.shards = shards.max(1);
             Arc::new(CowEngine::new(cfg))
         }
         _ => return None,
     })
+}
+
+/// Parses `--shards <n>` / `--shards <a,b,c>` into the sweep list
+/// (default: a single-shard kernel, the pre-ISSUE-8 baseline).
+fn parse_shards(args: &Args) -> Option<Vec<u32>> {
+    let Some(spec) = args.get(&["shards"]) else { return Some(vec![1]) };
+    let counts: Vec<u32> =
+        spec.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+    if counts.is_empty() || counts.iter().any(|&n| n == 0) {
+        eprintln!("bad --shards {spec}; expected counts like 4 or 1,2,4");
+        return None;
+    }
+    Some(counts)
 }
 
 /// Minimal flag parser: `--key value` and `-k value` pairs.
@@ -227,6 +247,7 @@ fn make_harness(
     seed: u64,
     durability: &DurabilityMode,
     args: &Args,
+    shards: u32,
 ) -> Option<Harness> {
     // `--mix n,p,c`: New Order / Payment / Count Orders weights
     // (default 48,48,4 per §5.3). `--mix 0,96,4` gives an update-only
@@ -243,7 +264,10 @@ fn make_harness(
             TxnMix { new_order: w[0], payment: w[1], count_orders: w[2] }
         }
     };
-    let engine = build_engine(engine_name, durability, parse_vacuum(args))?;
+    let engine = build_engine(engine_name, durability, parse_vacuum(args), shards)?;
+    if shards > 1 {
+        eprintln!("kernel split across {shards} commit shards");
+    }
     eprintln!("loading {} at SF {sf} ...", engine.name());
     let data = generate(ScaleFactor(sf), seed);
     data.load_into(engine.as_ref()).expect("load failed");
@@ -272,6 +296,7 @@ fn make_harness(
             query_opts: QueryOpts::with_parallelism(
                 args.u32(&["a-threads"], 1) as usize,
             ),
+            shards,
             ..Default::default()
         },
     )
@@ -450,9 +475,15 @@ fn cmd_point(args: &Args) -> i32 {
     let a = args.u32(&["a"], 2);
     let repeats = args.u32(&["repeats", "r"], 1);
     let Some(durability) = parse_durability(args) else { return 2 };
-    let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, args)
-    else {
+    let Some(shards) = parse_shards(args) else { return 2 };
+    let Some(harness) = make_harness(
+        &engine,
+        sf,
+        args.u32(&["seed"], 7) as u64,
+        &durability,
+        args,
+        shards[0],
+    ) else {
         eprintln!("unknown engine {engine}; try `hatcli engines`");
         return 2;
     };
@@ -480,16 +511,38 @@ fn cmd_frontier(args: &Args) -> i32 {
     let engine = args.get(&["engine", "e"]).unwrap_or("shared").to_string();
     let sf = args.f64(&["sf"], 0.01);
     let Some(durability) = parse_durability(args) else { return 2 };
-    let Some(harness) =
-        make_harness(&engine, sf, args.u32(&["seed"], 7) as u64, &durability, args)
-    else {
-        eprintln!("unknown engine {engine}; try `hatcli engines`");
-        return 2;
-    };
+    let Some(shards) = parse_shards(args) else { return 2 };
+    let seed = args.u32(&["seed"], 7) as u64;
     let cfg = if args.has("quick") {
         SaturationConfig::quick()
     } else {
         SaturationConfig::default()
+    };
+    // `--shards a,b,c`: the multi-core sweep — one freshly built engine
+    // per shard count, same saturation procedure, scaling table at the
+    // end (x_t per count, speedup over the first).
+    if shards.len() > 1 {
+        let entries = sweep_shards(&shards, &cfg, |n| {
+            make_harness(&engine, sf, seed, &durability, args, n)
+        });
+        if entries.is_empty() {
+            eprintln!("unknown engine {engine}; try `hatcli engines`");
+            return 2;
+        }
+        println!("== {engine} @ SF {sf}, shard sweep ==");
+        for e in &entries {
+            println!(
+                "{}",
+                report::frontier_ascii(&format!("{engine} x{}", e.shards), &e.frontier)
+            );
+        }
+        print!("{}", report::shard_scaling(&entries));
+        return 0;
+    }
+    let Some(harness) = make_harness(&engine, sf, seed, &durability, args, shards[0])
+    else {
+        eprintln!("unknown engine {engine}; try `hatcli engines`");
+        return 2;
     };
     let grid = build_grid(&harness, &cfg);
     let frontier = Frontier::from_grid(&grid);
@@ -576,7 +629,7 @@ fn cmd_compare(args: &Args) -> i32 {
     let names = ["shared", "isolated-on", "dual", "learner"];
     let mut results: Vec<(String, Frontier, FreshnessAgg)> = Vec::new();
     for name in names {
-        let harness = make_harness(name, sf, 7, &DurabilityMode::SleepDefault, args)
+        let harness = make_harness(name, sf, 7, &DurabilityMode::SleepDefault, args, 1)
             .expect("builtin engine");
         let grid = build_grid(&harness, &cfg);
         let frontier = Frontier::from_grid(&grid);
@@ -631,6 +684,10 @@ fn main() {
                  point/frontier also take --metrics-out <run.json> (write the\n\
                  versioned JSON run artifact: config, per-point metric\n\
                  snapshots, latency histograms, time series)\n\
+                 point/frontier also take --shards <n> (commit shards the\n\
+                 transactional kernel is hash-split across, default 1);\n\
+                 frontier --shards <a,b,c> runs the multi-core sweep: one\n\
+                 frontier per shard count plus the T-scaling table\n\
                  point/frontier/compare also take --a-threads <n> (morsel\n\
                  parallelism per analytical query, default 1),\n\
                  --vacuum-interval-ms <ms> (background MVCC version-chain\n\

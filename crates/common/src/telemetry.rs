@@ -34,6 +34,9 @@ pub mod names {
     pub const TXN_COMMITS: &str = "txn.commits";
     pub const TXN_ABORTS: &str = "txn.aborts";
     pub const TXN_REPL_TIMEOUTS: &str = "txn.replication_timeouts";
+    /// Commits whose write set spanned more than one commit shard (each
+    /// pays the cross-shard 2PC round). Zero on a shard-local workload.
+    pub const TXN_XSHARD_COMMITS: &str = "txn.xshard_commits";
     pub const QUERIES: &str = "query.executed";
     pub const MORSELS_SCANNED: &str = "scan.morsels_scanned";
     pub const MORSELS_PRUNED: &str = "scan.morsels_pruned";
@@ -123,6 +126,9 @@ pub mod names {
     pub const VACUUM_PASSES: &str = "vacuum.passes";
     /// Row versions reclaimed by vacuum (all passes, all tables).
     pub const VACUUM_VERSIONS_PRUNED: &str = "vacuum.versions_pruned";
+    /// Dead secondary-index entries reclaimed by the vacuum sweep
+    /// (lineorder composite indexes; entries whose rid has no live slot).
+    pub const VACUUM_INDEX_SWEPT: &str = "vacuum.index_entries_swept";
     /// Live MVCC versions across every chain in the row store (gauge;
     /// the long-run memory-plateau signal).
     pub const LIVE_VERSIONS: &str = "vacuum.live_versions";

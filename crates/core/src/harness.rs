@@ -204,13 +204,18 @@ pub struct BenchmarkConfig {
     /// Client reaction to retryable failures.
     pub retry: RetryPolicy,
     /// Execution options every analytical client passes to
-    /// [`HtapEngine::run_query_opts`] — notably the intra-query morsel
+    /// [`HtapEngine::query`] — notably the intra-query morsel
     /// parallelism (`hatcli --a-threads`).
     pub query_opts: QueryOpts,
     /// Cadence of the coordinator's engine-metrics samples (the time
     /// series in every [`PointMeasurement`]). Clamped so the measurement
     /// phase always yields at least five samples.
     pub sample_every: Duration,
+    /// Commit-shard count of the engine under test (`hatcli --shards`).
+    /// Shard layout is fixed at engine construction, so this is the
+    /// harness's record of the knob — it annotates run artifacts and the
+    /// shard-sweep report rather than re-sharding the engine.
+    pub shards: u32,
 }
 
 impl Default for BenchmarkConfig {
@@ -223,6 +228,7 @@ impl Default for BenchmarkConfig {
             retry: RetryPolicy::default(),
             query_opts: QueryOpts::default(),
             sample_every: Duration::from_millis(5),
+            shards: 1,
         }
     }
 }
@@ -858,7 +864,7 @@ impl Harness {
                         match run_transaction(
                             engine, profile, state, &mut rng, kind, client, txnnum,
                         ) {
-                            Ok(_ts) => {
+                            Ok(receipt) if receipt.is_acked() => {
                                 // Client-side commit time (§4.2: "the time
                                 // when the transaction result is returned
                                 // to a client").
@@ -875,13 +881,14 @@ impl Harness {
                                 kind = mix.draw(&mut rng);
                                 attempt = 1;
                             }
-                            Err(e) if e.is_commit_in_doubt() => {
+                            Ok(_in_doubt) => {
                                 // The commit installed durably on the
-                                // primary; only the replication ack timed
-                                // out. Record it for freshness density
-                                // (the sequence number is consumed) but
-                                // keep it out of `committed`/tps, and
-                                // never re-execute it.
+                                // primary; only the durability/replication
+                                // ack is in doubt. Record it for freshness
+                                // density (the sequence number is
+                                // consumed) but keep it out of
+                                // `committed`/tps, and never re-execute
+                                // it.
                                 let done = clock.now();
                                 registry.record(client, txnnum, done);
                                 txnnum_slot.store(txnnum, Ordering::Relaxed);
@@ -950,7 +957,7 @@ impl Harness {
                             let mut attempt: u32 = 1;
                             loop {
                                 let start = clock.now();
-                                match engine.run_query_opts(&spec, query_opts) {
+                                match engine.query(&spec, query_opts) {
                                     Ok(out) => {
                                         let done = clock.now();
                                         let score =
@@ -1271,7 +1278,7 @@ impl Harness {
                         let now = Instant::now();
                         let cell = &cells[tick_of(now)];
                         match outcome {
-                            Ok(_) => {
+                            Ok(receipt) if receipt.is_acked() => {
                                 txnnum_slot.store(txnnum, Ordering::Relaxed);
                                 let sojourn = now - req.enq;
                                 sojourn_hist.record(sojourn.as_nanos() as u64);
@@ -1299,7 +1306,7 @@ impl Harness {
                                 cell.shed_degraded.fetch_add(1, Ordering::Relaxed);
                                 maybe_retry(req);
                             }
-                            Err(e) if e.is_commit_in_doubt() => {
+                            Ok(_in_doubt) => {
                                 // Durable on the primary: consume the
                                 // sequence number, count the completion
                                 // (but never as goodput), never

@@ -13,9 +13,8 @@ use hat_common::ids::{customer, history, part, supplier, TableId};
 use hat_common::rng::HatRng;
 use hat_common::value::{row_from, row_with};
 use hat_common::{HatError, Money, Result, Row, Value};
-use hat_engine::{HtapEngine, NamedIndex};
+use hat_engine::{CommitReceipt, HtapEngine, NamedIndex};
 use hat_query::spec::QueryId;
-use hat_txn::Ts;
 
 use crate::gen::{customer_name, random_date_key, supplier_name, DataProfile};
 
@@ -95,7 +94,8 @@ impl WorkloadState {
 }
 
 /// Executes one transaction of `kind` for client `client` whose per-client
-/// sequence number is `txnnum`. Returns the commit timestamp.
+/// sequence number is `txnnum`. Returns the commit receipt (timestamp plus
+/// durability verdict — an in-doubt outcome is a commit, not an error).
 ///
 /// Retryable errors ([`HatError::is_retryable`]) mean the driver should run
 /// a fresh transaction; other errors are bugs.
@@ -107,7 +107,7 @@ pub fn run_transaction(
     kind: TxnKind,
     client: u32,
     txnnum: u64,
-) -> Result<Ts> {
+) -> Result<CommitReceipt> {
     match kind {
         TxnKind::NewOrder => new_order(engine, profile, state, rng, client, txnnum),
         TxnKind::Payment => payment(engine, profile, rng, client, txnnum),
@@ -138,7 +138,7 @@ fn new_order(
     rng: &mut HatRng,
     client: u32,
     txnnum: u64,
-) -> Result<Ts> {
+) -> Result<CommitReceipt> {
     let mut s = engine.begin();
     let cname = customer_name(rng.range_u32(1, profile.customers));
     let Some((_, cust_row)) = s.lookup_str(NamedIndex::CustomerName, &cname)? else {
@@ -226,7 +226,7 @@ fn payment(
     rng: &mut HatRng,
     client: u32,
     txnnum: u64,
-) -> Result<Ts> {
+) -> Result<CommitReceipt> {
     let mut s = engine.begin();
     let custkey = rng.range_u32(1, profile.customers);
     let lookup = if rng.chance(0.6) {
@@ -278,7 +278,7 @@ fn count_orders(
     rng: &mut HatRng,
     client: u32,
     txnnum: u64,
-) -> Result<Ts> {
+) -> Result<CommitReceipt> {
     let mut s = engine.begin();
     let cname = customer_name(rng.range_u32(1, profile.customers));
     let Some((_, cust_row)) = s.lookup_str(NamedIndex::CustomerName, &cname)? else {
@@ -343,8 +343,8 @@ mod tests {
         let (engine, profile, state) = tiny_engine();
         let mut rng = HatRng::seeded(1);
         let before = engine.kernel().db.store(TableId::Lineorder).slot_count();
-        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 3, 1)
-            .unwrap();
+        assert!(run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 3, 1)
+            .unwrap().is_acked());
         let after = engine.kernel().db.store(TableId::Lineorder).slot_count();
         assert!((1..=7).contains(&(after - before)), "1-7 lines inserted");
         // Freshness row for client 3 now carries txnnum 1.
@@ -361,8 +361,8 @@ mod tests {
         let (engine, profile, state) = tiny_engine();
         let mut rng = HatRng::seeded(2);
         let h_before = engine.kernel().db.store(TableId::History).slot_count();
-        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::Payment, 0, 1)
-            .unwrap();
+        assert!(run_transaction(&engine, &profile, &state, &mut rng, TxnKind::Payment, 0, 1)
+            .unwrap().is_acked());
         let h_after = engine.kernel().db.store(TableId::History).slot_count();
         assert_eq!(h_after - h_before, 1);
         // Some customer has paymentcnt 1 and some supplier has ytd > 0.
@@ -394,8 +394,8 @@ mod tests {
     fn count_orders_commits_and_touches_freshness() {
         let (engine, profile, state) = tiny_engine();
         let mut rng = HatRng::seeded(3);
-        run_transaction(&engine, &profile, &state, &mut rng, TxnKind::CountOrders, 5, 9)
-            .unwrap();
+        assert!(run_transaction(&engine, &profile, &state, &mut rng, TxnKind::CountOrders, 5, 9)
+            .unwrap().is_acked());
         let ts = engine.kernel().oracle.read_ts();
         let row = engine.kernel().db.store(TableId::Freshness).read(5, ts).unwrap();
         assert_eq!(row[1].as_u64().unwrap(), 9);
@@ -406,8 +406,8 @@ mod tests {
         let (engine, profile, state) = tiny_engine();
         let mut rng = HatRng::seeded(4);
         for i in 0..20 {
-            run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
-                .unwrap();
+            assert!(run_transaction(&engine, &profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
+                .unwrap().is_acked());
         }
         let ts = engine.kernel().oracle.read_ts();
         let mut keys = Vec::new();

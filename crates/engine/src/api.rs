@@ -63,6 +63,14 @@ impl IndexProfile {
 pub struct EngineConfig {
     pub isolation: IsolationLevel,
     pub indexes: IndexProfile,
+    /// Commit shards the transactional kernel is split across. Each shard
+    /// owns its own commit critical section, lock-table stripe,
+    /// group-commit queue, and (under `Fsync`) WAL stream; a transaction
+    /// whose write set routes to one shard commits entirely under that
+    /// shard's lock, while cross-shard write sets pay an epoch-based 2PC
+    /// round over every touched shard. `1` (the default) reproduces the
+    /// single-oracle kernel exactly.
+    pub shards: u32,
     /// Write-lock conflict policy (no-wait vs wait-die ablation).
     pub lock_policy: LockPolicy,
     /// How commits become durable, paid after installation outside the
@@ -130,6 +138,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Commit-shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
     /// Write-lock conflict policy.
     pub fn lock_policy(mut self, lock_policy: LockPolicy) -> Self {
         self.config.lock_policy = lock_policy;
@@ -172,6 +186,7 @@ impl Default for EngineConfig {
         EngineConfig {
             isolation: IsolationLevel::Serializable,
             indexes: IndexProfile::All,
+            shards: 1,
             lock_policy: LockPolicy::NoWait,
             durability: DurabilityMode::SleepDefault,
             vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
@@ -235,6 +250,10 @@ pub struct EngineStats {
     ///
     /// [`HatError::ReplicationTimeout`]: hat_common::HatError::ReplicationTimeout
     pub replication_timeouts: u64,
+    /// Commits whose write set spanned more than one commit shard (each
+    /// paid the cross-shard 2PC round). Zero at `shards = 1` and on
+    /// shard-local workloads. A subset of `commits`.
+    pub xshard_commits: u64,
     /// Durability-layer flushes: real fsyncs in `Fsync` mode, simulated
     /// group-commit flushes in `Sleep` mode. Zero when durability is off.
     pub fsyncs: u64,
@@ -310,6 +329,7 @@ impl EngineStats {
             replication_backlog: m.gauge(names::REPL_BACKLOG),
             delta_rows: m.gauge(names::DELTA_ROWS),
             replication_timeouts: m.counter(names::TXN_REPL_TIMEOUTS),
+            xshard_commits: m.counter(names::TXN_XSHARD_COMMITS),
             fsyncs: m.counter(names::WAL_FSYNCS),
             group_commit_p50: batches.map_or(0.0, |h| h.quantile(0.50) as f64),
             group_commit_p99: batches.map_or(0.0, |h| h.quantile(0.99) as f64),
@@ -336,6 +356,68 @@ impl EngineStats {
             admit_breaker_sheds: m.counter(names::ADMIT_TXN_SHED_BREAKER)
                 + m.counter(names::ADMIT_QUERY_SHED_BREAKER),
         }
+    }
+}
+
+/// Why an acknowledged commit is still *in doubt* somewhere downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InDoubtCause {
+    /// The synchronous-replication wait timed out after the transaction
+    /// installed on the primary: durable locally, unconfirmed at the
+    /// replica (the old [`HatError::ReplicationTimeout`] outcome).
+    ///
+    /// [`HatError::ReplicationTimeout`]: hat_common::HatError::ReplicationTimeout
+    Replication,
+    /// A storage fault voided the durability wait after install: the
+    /// commit stays visible and its WAL frame is re-queued, but the
+    /// acknowledgement never confirmed disk (the old
+    /// [`HatError::DurabilityInDoubt`] outcome).
+    ///
+    /// [`HatError::DurabilityInDoubt`]: hat_common::HatError::DurabilityInDoubt
+    Durability,
+}
+
+/// How durable/confirmed a successful commit is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitDurability {
+    /// Fully acknowledged: installed, durable per the engine's mode, and
+    /// (where applicable) replicated.
+    Acked,
+    /// Installed and visible, but some acknowledgement never arrived. The
+    /// client must treat the transaction as committed — re-executing it
+    /// would double-apply — while accounting it separately from clean
+    /// acks.
+    InDoubt(InDoubtCause),
+}
+
+/// What [`Session::commit`] returns: the commit timestamp plus an honest
+/// durability verdict. Committed-in-doubt outcomes used to be smuggled
+/// through the error enum (`Err(ReplicationTimeout)` *after* the commit
+/// installed); they are now `Ok` with [`CommitDurability::InDoubt`], so
+/// `Err` from commit always means *not installed*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an InDoubt receipt must not be treated as a clean ack"]
+pub struct CommitReceipt {
+    /// The commit timestamp (begin snapshot for read-only transactions).
+    pub ts: Ts,
+    /// Whether the acknowledgement is clean or in doubt.
+    pub durability: CommitDurability,
+}
+
+impl CommitReceipt {
+    /// A cleanly acknowledged commit at `ts`.
+    pub fn acked(ts: Ts) -> Self {
+        CommitReceipt { ts, durability: CommitDurability::Acked }
+    }
+
+    /// A committed-in-doubt outcome at `ts`.
+    pub fn in_doubt(ts: Ts, cause: InDoubtCause) -> Self {
+        CommitReceipt { ts, durability: CommitDurability::InDoubt(cause) }
+    }
+
+    /// Whether the commit was cleanly acknowledged.
+    pub fn is_acked(&self) -> bool {
+        self.durability == CommitDurability::Acked
     }
 }
 
@@ -374,8 +456,10 @@ pub trait Session {
         key: u32,
     ) -> Result<Option<(RowId, Row)>>;
 
-    /// Commits, returning the commit timestamp.
-    fn commit(self: Box<Self>) -> Result<Ts>;
+    /// Commits. `Ok` means the transaction installed — inspect the
+    /// receipt's [`CommitDurability`] for in-doubt acknowledgements.
+    /// `Err` always means nothing installed (clean abort or shed).
+    fn commit(self: Box<Self>) -> Result<CommitReceipt>;
 
     /// Aborts, releasing all locks.
     fn abort(self: Box<Self>);
@@ -404,13 +488,14 @@ pub trait HtapEngine: Send + Sync {
     /// snapshot, per its design (shared: current snapshot; isolated:
     /// replica's applied horizon; hybrid: merge/wait then read), with
     /// explicit execution options (probe parallelism). Results are
-    /// bit-identical across option values.
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput>;
+    /// bit-identical across option values. Pass `&QueryOpts::default()`
+    /// for the serial probe.
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput>;
 
-    /// Back-compat wrapper: [`HtapEngine::run_query_opts`] with default
-    /// options (serial probe).
+    /// Deprecated wrapper: [`HtapEngine::query`] with default options.
+    #[deprecated(note = "use `query(spec, &QueryOpts::default())`")]
     fn run_query(&self, spec: &QuerySpec) -> Result<QueryOutput> {
-        self.run_query_opts(spec, &QueryOpts::default())
+        self.query(spec, &QueryOpts::default())
     }
 
     /// Restores the data to its initial post-load state (the paper resets
@@ -462,6 +547,7 @@ mod tests {
             DurabilityMode::Sleep(EngineConfig::DEFAULT_COMMIT_LATENCY)
         );
         assert_eq!(c.lock_policy, LockPolicy::NoWait);
+        assert_eq!(c.shards, 1, "single-shard kernel is the baseline");
         // Admission control is off by default: closed-loop runs bound
         // concurrency by client count already.
         assert!(!c.admission.is_enabled());
@@ -501,6 +587,22 @@ mod tests {
         assert!(c.admission.is_enabled());
         assert_eq!(c.admission.txn_slots, Some(8));
         assert_eq!(c.admission.query_slots, Some(2));
+
+        let c = EngineConfig::builder().shards(4).build();
+        assert_eq!(c.shards, 4);
+        assert_eq!(EngineConfig::builder().shards(0).build().shards, 1, "clamped");
+    }
+
+    #[test]
+    fn commit_receipt_classification() {
+        let acked = CommitReceipt::acked(42);
+        assert!(acked.is_acked());
+        assert_eq!(acked.ts, 42);
+        let doubt = CommitReceipt::in_doubt(43, InDoubtCause::Replication);
+        assert!(!doubt.is_acked());
+        assert_eq!(doubt.durability, CommitDurability::InDoubt(InDoubtCause::Replication));
+        let doubt = CommitReceipt::in_doubt(44, InDoubtCause::Durability);
+        assert_eq!(doubt.durability, CommitDurability::InDoubt(InDoubtCause::Durability));
     }
 
     #[test]

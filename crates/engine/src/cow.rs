@@ -233,7 +233,7 @@ impl HtapEngine for CowEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         // A-class overload gate: a no-op unless admission is enabled, a
         // bounded sojourn-deadline-shed queue when it is. Shed queries
         // never execute and are not counted as executed.
@@ -329,11 +329,11 @@ mod tests {
         let engine = loaded(Duration::from_secs(3600));
         let mut s = engine.begin();
         s.update(TableId::Freshness, 0, freshness_row(0, 9)).unwrap();
-        s.commit().unwrap();
-        let out = engine.run_query(&count_spec()).unwrap();
+        assert!(s.commit().unwrap().is_acked());
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 0), (1, 0)], "stale before refresh");
         engine.refresh_snapshot();
-        let out = engine.run_query(&count_spec()).unwrap();
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 9), (1, 0)], "fresh after refresh");
         assert!(engine.snapshots_taken() >= 1);
     }
@@ -343,14 +343,14 @@ mod tests {
         let engine = loaded(Duration::from_millis(10));
         let mut s = engine.begin();
         s.update(TableId::Freshness, 1, freshness_row(1, 4)).unwrap();
-        let commit_ts = s.commit().unwrap();
+        let commit_ts = s.commit().unwrap().ts;
         // Within a few intervals the snapshot passes the commit.
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         while engine.snapshot_ts() < commit_ts {
             assert!(std::time::Instant::now() < deadline, "refresher stalled");
             std::thread::sleep(Duration::from_millis(5));
         }
-        let out = engine.run_query(&count_spec()).unwrap();
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness.iter().find(|(c, _)| *c == 1).unwrap().1, 4);
     }
 
@@ -361,7 +361,7 @@ mod tests {
         for n in 1..=50u64 {
             let mut s = engine.begin();
             s.update(TableId::Freshness, 0, freshness_row(0, n)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         assert_eq!(engine.stats().commits, 50);
     }
@@ -371,10 +371,10 @@ mod tests {
         let engine = loaded(Duration::from_secs(3600));
         let mut s = engine.begin();
         s.update(TableId::Freshness, 0, freshness_row(0, 5)).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.refresh_snapshot();
         engine.reset().unwrap();
-        let out = engine.run_query(&count_spec()).unwrap();
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert!(out.freshness.iter().all(|&(_, t)| t == 0));
     }
 
@@ -396,18 +396,18 @@ mod tests {
         // the vacuum thread runs aggressively.
         let mut s = engine.begin();
         s.update(TableId::Freshness, 1, freshness_row(1, 7)).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.refresh_snapshot();
         for n in 1..=40u64 {
             let mut s = engine.begin();
             s.update(TableId::Freshness, 0, freshness_row(0, n)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         std::thread::sleep(Duration::from_millis(20));
         // 2 base versions + row 1's update + row 0's 40 updates: the pin
         // keeps the horizon below all of them, so nothing is reclaimed.
         assert_eq!(engine.kernel.db.live_versions(), 43, "pin holds the horizon");
-        let out = engine.run_query(&count_spec()).unwrap();
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 0), (1, 7)], "snapshot stays consistent");
         // Moving the snapshot forward releases the buried versions: each
         // chain converges to its newest version plus the immortal base.
@@ -417,7 +417,7 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "vacuum never caught up");
             std::thread::sleep(Duration::from_millis(2));
         }
-        let out = engine.run_query(&count_spec()).unwrap();
+        let out = engine.query(&count_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 40), (1, 7)]);
     }
 

@@ -156,6 +156,9 @@ pub struct DualConfig {
     /// Row-side MVCC vacuum cadence (`None` disables it); forwarded to
     /// the kernel's [`EngineConfig::vacuum_interval`].
     pub vacuum_interval: Option<Duration>,
+    /// Commit shards of the transactional kernel; forwarded to
+    /// [`EngineConfig::shards`].
+    pub shards: u32,
 }
 
 impl Default for DualConfig {
@@ -165,6 +168,7 @@ impl Default for DualConfig {
             merge_threshold: 4096,
             merge_interval: Duration::from_millis(5),
             vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
+            shards: 1,
         }
     }
 }
@@ -180,6 +184,12 @@ impl CommitHooks for DualHooks {
         for op in ops {
             self.columnar.apply_op(ts, op);
         }
+    }
+
+    // The delta tail assumes timestamp-ordered appends; sharded commits
+    // must deliver through the sequencer.
+    fn ordered_install(&self) -> bool {
+        true
     }
 }
 
@@ -205,6 +215,7 @@ impl DualEngine {
                 // Memory-optimized engine: cheaper log persistence.
                 durability: crate::api::DurabilityMode::Sleep(Duration::from_micros(60)),
                 vacuum_interval: config.vacuum_interval,
+                shards: config.shards.max(1),
                 ..EngineConfig::default()
             },
             hooks,
@@ -274,7 +285,7 @@ impl HtapEngine for DualEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         // A-class overload gate: a no-op unless admission is enabled, a
         // bounded sojourn-deadline-shed queue when it is. Shed queries
         // never execute and are not counted as executed.
@@ -393,6 +404,9 @@ pub struct LearnerConfig {
     /// needs no vacuum — the learner thread already folds its delta and
     /// dimension update logs at the applied watermark.
     pub vacuum_interval: Option<Duration>,
+    /// Commit shards of the transactional kernel; forwarded to
+    /// [`EngineConfig::shards`].
+    pub shards: u32,
 }
 
 impl Default for LearnerConfig {
@@ -406,6 +420,7 @@ impl Default for LearnerConfig {
             read_index_timeout: Duration::from_millis(500),
             wal_retention: DEFAULT_RETENTION,
             vacuum_interval: Some(EngineConfig::DEFAULT_VACUUM_INTERVAL),
+            shards: 1,
         }
     }
 }
@@ -438,6 +453,12 @@ impl CommitHooks for LearnerHooks {
         self.backlog.fetch_add(1, Ordering::Relaxed);
         self.last_logged.store(ts, Ordering::Release);
         self.wal.append(ts, ops.to_vec());
+    }
+
+    // The learner log is a totally ordered stream; sharded commits must
+    // deliver through the sequencer.
+    fn ordered_install(&self) -> bool {
+        true
     }
 }
 
@@ -496,6 +517,7 @@ impl LearnerEngine {
                 // Durability is paid inside the consensus rounds.
                 durability: crate::api::DurabilityMode::Off,
                 vacuum_interval: config.vacuum_interval,
+                shards: config.shards.max(1),
                 ..EngineConfig::default()
             },
             hooks,
@@ -647,7 +669,7 @@ impl HtapEngine for LearnerEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         // A-class overload gate: a no-op unless admission is enabled, a
         // bounded sojourn-deadline-shed queue when it is. Shed queries
         // never execute and are not counted as executed.
@@ -766,13 +788,13 @@ mod tests {
     #[test]
     fn dual_queries_include_fresh_commits() {
         let engine = loaded_dual();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
         // Insert and immediately query: merge-on-read must see it.
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(10, 1, 500)).unwrap();
-        s.commit().unwrap();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert!(s.commit().unwrap().is_acked());
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1500, "zero freshness by construction");
     }
 
@@ -782,7 +804,7 @@ mod tests {
         for i in 0..20u64 {
             let mut s = engine.begin();
             s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         // Compactor threshold is 8; wait for it to run.
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
@@ -792,7 +814,7 @@ mod tests {
         assert!(engine.delta_rows() < 8, "compactor drained the delta");
         assert!(engine.lineorder_segments() >= 2);
         // Results unchanged by compaction.
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1000 + 200);
     }
 
@@ -802,12 +824,12 @@ mod tests {
         for i in 0..20u64 {
             let mut s = engine.begin();
             s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         engine.reset().unwrap();
         assert_eq!(engine.lineorder_segments(), 1);
         assert_eq!(engine.delta_rows(), 0);
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
     }
 
@@ -831,14 +853,14 @@ mod tests {
             let mut s = engine.begin();
             s.update(TableId::Freshness, 0, row_from([Value::U32(0), Value::U64(n)]))
                 .unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while engine.kernel.db.live_versions() > base + 1 {
             assert!(std::time::Instant::now() < deadline, "vacuum never converged");
             std::thread::sleep(Duration::from_millis(2));
         }
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
         assert_eq!(out.freshness, vec![(0, 40)], "newest version survives");
     }
@@ -869,10 +891,10 @@ mod tests {
         for i in 0..5u64 {
             let mut s = engine.begin();
             s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 100)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
             // Query immediately after each commit: read-index wait must
             // make the commit visible despite the async learner.
-            let out = engine.run_query(&sum_revenue_spec()).unwrap();
+            let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
             assert_eq!(out.groups[0].agg, 1000 + (i as i64 + 1) * 100);
         }
     }
@@ -883,12 +905,12 @@ mod tests {
         for i in 0..30u64 {
             let mut s = engine.begin();
             s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 10)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         engine.quiesce_learner();
         assert!(engine.columnar.lineorder.segment_count() >= 2);
         engine.reset().unwrap();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1000);
         assert_eq!(engine.stats().replication_backlog, 0);
     }
@@ -902,13 +924,13 @@ mod tests {
         for i in 0..5u64 {
             let mut s = engine.begin();
             s.insert(TableId::Lineorder, lineorder_row(10 + i, 1, 100)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         assert_eq!(engine.stats().replication_backlog, 5);
         engine.restart_learner().unwrap();
         engine.quiesce_learner();
         assert_eq!(engine.stats().replication_backlog, 0);
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 1500, "no lost or doubled records");
     }
 
@@ -925,12 +947,12 @@ mod tests {
         engine.crash_learner();
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(10, 1, 100)).unwrap();
-        s.commit().unwrap();
-        let err = engine.run_query(&sum_revenue_spec()).unwrap_err();
+        assert!(s.commit().unwrap().is_acked());
+        let err = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap_err();
         assert_eq!(err, HatError::ReplicaUnavailable);
         assert!(err.is_retryable() && !err.is_commit_in_doubt());
         engine.restart_learner().unwrap();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 500);
     }
 
@@ -954,13 +976,13 @@ mod tests {
         assert_eq!(stats.aborts, 1);
         // Nothing reached the log or the learner.
         engine.link().heal();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 400);
         // And a plain retry succeeds after the heal.
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(10, 1, 100)).unwrap();
-        s.commit().unwrap();
-        let out = engine.run_query(&sum_revenue_spec()).unwrap();
+        assert!(s.commit().unwrap().is_acked());
+        let out = engine.query(&sum_revenue_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 500);
     }
 
@@ -973,7 +995,7 @@ mod tests {
             for i in 0..10u64 {
                 let mut s = engine.begin();
                 s.insert(TableId::Lineorder, lineorder_row(100 + i, 1, 1)).unwrap();
-                s.commit().unwrap();
+                assert!(s.commit().unwrap().is_acked());
             }
             start.elapsed()
         };

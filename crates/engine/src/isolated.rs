@@ -164,6 +164,12 @@ impl CommitHooks for PrimaryHooks {
         self.wal.append(ts, ops.to_vec());
     }
 
+    // The shipped WAL is a totally ordered stream the standby replays
+    // sequentially; sharded commits must deliver through the sequencer.
+    fn ordered_install(&self) -> bool {
+        true
+    }
+
     fn post_commit(&self, ts: Ts) -> hat_common::Result<()> {
         match self.mode {
             ReplicationMode::Async => Ok(()),
@@ -382,11 +388,19 @@ impl IsoEngine {
                     for op in &record.ops {
                         match op {
                             TableOp::Insert { table, rid, row } => {
+                                // Gapped: the log is timestamp-ordered, but
+                                // at shards > 1 rid allocation interleaves
+                                // across shards, so a later-ts record can
+                                // carry an earlier rid.
                                 replica
                                     .db
                                     .store(*table)
-                                    .install_insert_at(*rid, Arc::clone(row), record.commit_ts)
-                                    .expect("replica applies in log order");
+                                    .install_insert_gapped(
+                                        *rid,
+                                        Arc::clone(row),
+                                        record.commit_ts,
+                                    )
+                                    .expect("replica applies each rid once");
                             }
                             TableOp::Update { table, rid, row } => {
                                 replica
@@ -454,7 +468,7 @@ impl HtapEngine for IsoEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         // A-class overload gate: a no-op unless admission is enabled, a
         // bounded sojourn-deadline-shed queue when it is. Shed queries
         // never execute and are not counted as executed.
@@ -522,6 +536,7 @@ impl Drop for IsoEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{CommitDurability, InDoubtCause};
     use hat_common::ids::customer;
     use hat_common::value::{row_from, row_with};
     use hat_common::Value;
@@ -590,7 +605,7 @@ mod tests {
             row_with(&row, customer::PAYMENTCNT, Value::U32(5)),
         )
         .unwrap();
-        let commit_ts = s.commit().unwrap();
+        let commit_ts = s.commit().unwrap().ts;
         engine.replica.applied.wait_for(commit_ts);
         let replicated = engine.replica.db.store(TableId::Customer).read(rid, commit_ts).unwrap();
         assert_eq!(replicated[customer::PAYMENTCNT].as_u32().unwrap(), 5);
@@ -603,10 +618,10 @@ mod tests {
         let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         s.update(TableId::Customer, rid, row_with(&row, customer::PAYMENTCNT, Value::U32(9)))
             .unwrap();
-        let commit_ts = s.commit().unwrap();
+        let commit_ts = s.commit().unwrap().ts;
         // RA: by the time commit returned, the replica has applied.
         assert!(engine.applied_ts() >= commit_ts);
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 10);
     }
 
@@ -615,8 +630,8 @@ mod tests {
         let engine = loaded_engine(ReplicationMode::RemoteApply);
         let mut s = engine.begin();
         s.update(TableId::Freshness, 0, freshness_row(0, 42)).unwrap();
-        s.commit().unwrap();
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        assert!(s.commit().unwrap().is_acked());
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 42), (1, 0)]);
     }
 
@@ -634,11 +649,11 @@ mod tests {
 
         let mut s = engine.begin();
         s.update(TableId::Freshness, 0, freshness_row(0, 7)).unwrap();
-        let commit_ts = s.commit().unwrap();
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let commit_ts = s.commit().unwrap().ts;
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 0)], "stale before replay");
         engine.replica.applied.wait_for(commit_ts);
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.freshness, vec![(0, 7)], "fresh after replay");
     }
 
@@ -647,12 +662,12 @@ mod tests {
         let engine = loaded_engine(ReplicationMode::RemoteApply);
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(11)).unwrap();
-        let commit_ts = s.commit().unwrap();
+        let commit_ts = s.commit().unwrap().ts;
         let primary_count = engine.kernel.db.store(TableId::Customer).slot_count();
         let replica_count = engine.replica.db.store(TableId::Customer).slot_count();
         assert_eq!(primary_count, replica_count);
         assert_eq!(primary_count, 11);
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 11);
         let _ = commit_ts;
     }
@@ -663,11 +678,11 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(11)).unwrap();
         s.update(TableId::Freshness, 0, freshness_row(0, 3)).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.reset().unwrap();
         assert_eq!(engine.kernel.db.store(TableId::Customer).slot_count(), 10);
         assert_eq!(engine.replica.db.store(TableId::Customer).slot_count(), 10);
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 10);
         assert_eq!(out.freshness, vec![(0, 0), (1, 0)]);
         assert_eq!(engine.stats().replication_backlog, 0);
@@ -686,7 +701,7 @@ mod tests {
         let mut t2 = engine.begin();
         let (rid, row) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         t2.update(TableId::Customer, rid, row).unwrap();
-        t2.commit().unwrap();
+        assert!(t2.commit().unwrap().is_acked());
         let (rid2, row2) = t1.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
         t1.update(TableId::Customer, rid2, row2).unwrap();
         assert!(t1.commit().is_err(), "validation must fail");
@@ -717,9 +732,12 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(11)).unwrap();
         let start = Instant::now();
-        let err = s.commit().unwrap_err();
-        assert_eq!(err, HatError::ReplicationTimeout);
-        assert!(err.is_commit_in_doubt());
+        let receipt = s.commit().unwrap();
+        assert_eq!(
+            receipt.durability,
+            CommitDurability::InDoubt(InDoubtCause::Replication)
+        );
+        assert!(!receipt.is_acked());
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert!(start.elapsed() < Duration::from_millis(500), "bounded, not hung");
         let stats = engine.stats();
@@ -731,9 +749,9 @@ mod tests {
         engine.link().heal();
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(12)).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.quiesce_replication();
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 12, "no lost commits after recovery");
     }
 
@@ -752,12 +770,15 @@ mod tests {
         assert!(engine.is_replica_down());
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(6)).unwrap();
-        let err = s.commit().unwrap_err();
-        assert_eq!(err, HatError::ReplicationTimeout);
+        let receipt = s.commit().unwrap();
+        assert_eq!(
+            receipt.durability,
+            CommitDurability::InDoubt(InDoubtCause::Replication)
+        );
         // Recovery: restart, catch up, and the write is there.
         engine.restart_replica().unwrap();
         engine.quiesce_replication();
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 6);
     }
 
@@ -769,16 +790,16 @@ mod tests {
         for ck in 11..=20 {
             let mut s = engine.begin();
             s.insert(TableId::Customer, customer_row(ck)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         assert_eq!(engine.stats().replication_backlog, 10);
-        let stale = engine.run_query(&count_customers_spec()).unwrap();
+        let stale = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(stale.groups[0].agg, 10, "standby frozen at crash point");
 
         engine.restart_replica().unwrap();
         engine.quiesce_replication();
         assert_eq!(engine.stats().replication_backlog, 0);
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 20, "every record recovered, none doubled");
         // Watermark continuity: the applied horizon reached the last
         // logged commit.
@@ -796,10 +817,10 @@ mod tests {
         assert!(!engine.is_replica_down());
         let mut s = engine.begin();
         s.insert(TableId::Customer, customer_row(11)).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.quiesce_replication();
         assert_eq!(
-            engine.run_query(&count_customers_spec()).unwrap().groups[0].agg,
+            engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap().groups[0].agg,
             11
         );
     }
@@ -816,7 +837,7 @@ mod tests {
         for ck in 4..=13 {
             let mut s = engine.begin();
             s.insert(TableId::Customer, customer_row(ck)).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         let err = engine.restart_replica().unwrap_err();
         assert!(matches!(err, HatError::WalTruncated { .. }), "{err:?}");
@@ -842,7 +863,7 @@ mod tests {
                 row_with(&row, customer::PAYMENTCNT, Value::U32(n)),
             )
             .unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         // The vacuum thread converges both databases to newest + base.
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -856,7 +877,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         // Replica reads still see the newest state.
-        let out = engine.run_query(&count_customers_spec()).unwrap();
+        let out = engine.query(&count_customers_spec(), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 4);
         let snap = engine.metrics();
         assert!(snap.gauge(names::LIVE_VERSIONS) <= 2 * (base + 1));

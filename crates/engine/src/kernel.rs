@@ -1,12 +1,16 @@
-//! The row-store transaction kernel shared by every engine.
+//! The sharded row-store transaction kernel shared by every engine.
 //!
-//! [`RowKernel`] combines a [`RowDb`], a timestamp oracle, a lock manager,
-//! and an [`IndexSet`] into a complete transactional engine: sessions
-//! buffer writes, acquire no-wait row locks, and install at commit inside
-//! the oracle's critical section. Engines differ in the [`CommitHooks`]
-//! they attach (WAL shipping, columnar delta append, consensus latency) and
-//! in where their analytical queries read — the kernel itself is the
-//! "primary node" of all four designs.
+//! [`RowKernel`] combines a [`RowDb`], a sharded timestamp oracle, a
+//! sharded lock table, and an [`IndexSet`] into a complete transactional
+//! engine: sessions buffer writes, acquire no-wait row locks, and install
+//! at commit inside the commit critical section of every shard their
+//! write set routes to. A single-shard write set commits entirely under
+//! its home shard's lock; a cross-shard write set pays a degenerate
+//! two-phase commit (all participant mutexes, one common timestamp, one
+//! redo record on the coordinator's WAL stream). Engines differ in the
+//! [`CommitHooks`] they attach (WAL shipping, columnar delta append,
+//! consensus latency) and in where their analytical queries read — the
+//! kernel itself is the "primary node" of all four designs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,16 +22,20 @@ use hat_common::telemetry::{
 use hat_common::{HatError, Result, Row, TableId};
 use hat_storage::bptree::BPlusTree;
 use hat_storage::dwal::{CheckpointData, TableCheckpoint, WalRecovery};
-use hat_storage::rowstore::{PruneStats, RowDb, RowId};
+use hat_storage::rowstore::{PruneStats, RowDb, RowId, RowStore};
 use hat_storage::wal::TableOp;
+use hat_txn::locks::OwnerId;
 use hat_txn::{
-    LockManager, SnapshotGuard, SnapshotRegistry, Ts, TsOracle, TxnCtx, WriteOp, LOAD_TS,
+    InstallSequencer, LockKey, LockManager, LockPolicy, ShardRouter, ShardedOracle,
+    SnapshotGuard, SnapshotRegistry, Ts, TxnCtx, WriteOp, LOAD_TS,
 };
 use parking_lot::RwLock;
 
 use crate::admission::AdmissionController;
-use crate::api::{EngineConfig, EngineStats, IndexProfile, NamedIndex, Session};
-use crate::durability::DurabilityLayer;
+use crate::api::{
+    CommitReceipt, EngineConfig, EngineStats, InDoubtCause, IndexProfile, NamedIndex, Session,
+};
+use crate::durability::ShardedDurability;
 use hat_storage::dwal::HealthState;
 
 /// Hooks an engine attaches to the kernel's commit path.
@@ -47,15 +55,71 @@ pub trait CommitHooks: Send + Sync {
     /// writes are installed and the record must reach the log.
     fn on_install(&self, _ts: Ts, _ops: &[TableOp]) {}
 
+    /// Whether [`CommitHooks::on_install`] must be delivered in global
+    /// commit-timestamp order. Hooks that ship a totally ordered stream
+    /// (replication WAL, columnar delta, learner log) return `true`, and
+    /// the kernel routes their deliveries through an
+    /// [`InstallSequencer`]; hook-free kernels skip the sequencer and
+    /// shards commit fully independently.
+    fn ordered_install(&self) -> bool {
+        false
+    }
+
     /// Runs after the critical section is released — synchronous
     /// replication waits live here so they don't serialize other commits.
     ///
     /// May fail with [`HatError::ReplicationTimeout`]: the transaction is
     /// already durable on the primary, so such an error means
     /// *committed-in-doubt*, not aborted — [`KernelSession::commit`]
-    /// surfaces it after counting the commit.
+    /// surfaces it through the receipt's
+    /// [`CommitDurability`](crate::api::CommitDurability) after counting
+    /// the commit.
     fn post_commit(&self, _ts: Ts) -> Result<()> {
         Ok(())
+    }
+}
+
+/// Per-shard row locks: one [`LockManager`] stripe per commit shard,
+/// routed by the same hash as the commit shards themselves, so a row's
+/// lock stripe and commit shard always agree.
+pub struct ShardedLocks {
+    router: ShardRouter,
+    stripes: Vec<LockManager>,
+}
+
+impl ShardedLocks {
+    fn new(policy: LockPolicy, shards: u32) -> Self {
+        ShardedLocks {
+            router: ShardRouter::new(shards),
+            stripes: (0..shards.max(1)).map(|_| LockManager::with_policy(policy)).collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, key: &LockKey) -> &LockManager {
+        &self.stripes[self.router.route(key.0, key.1)]
+    }
+
+    /// See [`LockManager::try_lock`].
+    pub fn try_lock(&self, key: LockKey, owner: OwnerId) -> Result<()> {
+        self.stripe(&key).try_lock(key, owner)
+    }
+
+    /// Releases every lock in `keys` held by `owner`.
+    pub fn unlock_all(&self, keys: &[LockKey], owner: OwnerId) {
+        for key in keys {
+            self.stripe(key).unlock(*key, owner);
+        }
+    }
+
+    /// See [`LockManager::held_by_other`].
+    pub fn held_by_other(&self, key: &LockKey, owner: OwnerId) -> bool {
+        self.stripe(key).held_by_other(key, owner)
+    }
+
+    /// Locks currently held across all stripes (test/diagnostic helper).
+    pub fn held_count(&self) -> usize {
+        self.stripes.iter().map(|s| s.held_count()).sum()
     }
 }
 
@@ -204,24 +268,38 @@ impl IndexSet {
         Some(rids)
     }
 
-    /// Benchmark reset: drops lineorder index entries for rids at or past
-    /// the loaded row count.
-    fn truncate_lineorder(&self, loaded: RowId) {
+    /// Live entry count across both lineorder composite indexes. The
+    /// vacuum sweep keeps this proportional to the live row count; the
+    /// plateau is asserted in the vacuum tests.
+    pub fn lineorder_entries(&self) -> u64 {
+        (self.lineorder_cust.read().len() + self.lineorder_date.read().len()) as u64
+    }
+
+    /// Sweeps dead lineorder index entries: removes every `(key, rid)`
+    /// pair whose rid no longer holds a committed version in `store`
+    /// (slot emptied by a benchmark reset or truncation). Piggybacked on
+    /// the vacuum prune horizon — once vacuum runs, an emptied slot can
+    /// never become visible again, so removal is safe without locking
+    /// the row. Returns the number of entries reclaimed.
+    fn sweep_dead(&self, store: &RowStore) -> u64 {
         if !self.profile.has_txn_indexes() {
-            return;
+            return 0;
         }
+        let mut swept = 0;
         for tree in [&self.lineorder_cust, &self.lineorder_date] {
             let mut guard = tree.write();
             let mut stale = Vec::new();
             guard.for_each(|&(k, rid), _| {
-                if rid >= loaded {
+                if store.latest_ts(rid).is_none() {
                     stale.push((k, rid));
                 }
             });
             for key in stale {
                 guard.remove(&key);
+                swept += 1;
             }
         }
+        swept
     }
 }
 
@@ -237,6 +315,10 @@ pub struct KernelStats {
     /// Commits whose synchronous replication wait timed out
     /// (committed-in-doubt outcomes). A subset of `commits`.
     pub replication_timeouts: Arc<Counter>,
+    /// Commits whose write set spanned more than one commit shard (each
+    /// paid the cross-shard 2PC round). A subset of `commits`; zero at
+    /// `shards = 1` and on shard-local workloads.
+    pub xshard_commits: Arc<Counter>,
     /// Fact-table morsels scanned by analytical probes.
     pub morsels_scanned: Arc<Counter>,
     /// Morsels pruned via date zone maps.
@@ -261,6 +343,8 @@ pub struct KernelStats {
     pub vacuum_passes: Arc<Counter>,
     /// Row versions reclaimed by vacuum.
     pub versions_pruned: Arc<Counter>,
+    /// Dead secondary-index entries reclaimed by the vacuum sweep.
+    pub index_entries_swept: Arc<Counter>,
     /// Live versions across the row store (refreshed by every vacuum
     /// pass and by [`RowKernel::metrics`]).
     pub live_versions: Arc<Gauge>,
@@ -276,6 +360,7 @@ impl Default for KernelStats {
             aborts: registry.counter(names::TXN_ABORTS),
             queries: registry.counter(names::QUERIES),
             replication_timeouts: registry.counter(names::TXN_REPL_TIMEOUTS),
+            xshard_commits: registry.counter(names::TXN_XSHARD_COMMITS),
             morsels_scanned: registry.counter(names::MORSELS_SCANNED),
             morsels_pruned: registry.counter(names::MORSELS_PRUNED),
             probe_nanos: registry.counter(names::PROBE_NANOS),
@@ -287,6 +372,7 @@ impl Default for KernelStats {
             probe_span: registry.histogram(names::SPAN_QUERY_PROBE),
             vacuum_passes: registry.counter(names::VACUUM_PASSES),
             versions_pruned: registry.counter(names::VACUUM_VERSIONS_PRUNED),
+            index_entries_swept: registry.counter(names::VACUUM_INDEX_SWEPT),
             live_versions: registry.gauge(names::LIVE_VERSIONS),
             chain_length: registry.histogram(names::VACUUM_CHAIN_LENGTH),
             registry,
@@ -308,23 +394,45 @@ impl KernelStats {
     }
 }
 
-/// The transactional core of an engine.
+/// Per-shard commit counters, registered in the kernel's registry under
+/// `txn.shard{N}.*` so they flow through [`RowKernel::metrics`].
+struct ShardCounters {
+    /// Commits coordinated by this shard.
+    commits: Arc<Counter>,
+    /// Cross-shard commits this shard participated in.
+    xshard_commits: Arc<Counter>,
+}
+
+/// The transactional core of an engine, hash-sharded across
+/// [`EngineConfig::shards`] commit shards.
 pub struct RowKernel {
     pub db: RowDb,
-    pub oracle: TsOracle,
-    pub locks: LockManager,
+    /// Per-shard commit critical sections behind one global visibility
+    /// horizon. `read_ts`/`advance_to`/`begin_commit` keep the old
+    /// single-oracle surface for engines and tests.
+    pub oracle: ShardedOracle,
+    /// Routes `(table, rid)` to its home commit shard.
+    router: ShardRouter,
+    /// Per-shard row-lock stripes (same routing as the oracle).
+    pub locks: ShardedLocks,
     pub indexes: IndexSet,
     pub config: EngineConfig,
     pub stats: KernelStats,
-    /// The durability layer commits log to and wait on. In `Fsync` mode
-    /// this owns the on-disk WAL; engines reach through it for
-    /// checkpoints, crash injection, and counters.
-    pub durability: DurabilityLayer,
-    /// Per-class overload gate in front of commit (T) and query
-    /// execution (A). Disabled by the default config; its counters are
-    /// registered in `stats.registry` so they flow through
-    /// [`RowKernel::metrics`] either way.
-    pub admission: AdmissionController,
+    /// Per-shard durability: each shard owns its own group-commit queue
+    /// and (under `Fsync`) WAL stream. Engines reach through
+    /// [`ShardedDurability::wal`] (shard 0, the checkpoint-bearing
+    /// stream) for checkpoints, crash injection, and counters.
+    pub durability: ShardedDurability,
+    /// Per-class overload gate in front of query execution (A) and — at
+    /// `shards = 1` — commit (T). Its counters are registered in
+    /// `stats.registry` so they flow through [`RowKernel::metrics`].
+    pub admission: Arc<AdmissionController>,
+    /// Per-shard commit gates: a commit admits on its *coordinator*
+    /// shard's gate, so overload on one shard back-pressures only the
+    /// traffic routed there. At `shards = 1` this is `admission` itself.
+    txn_gates: Vec<Arc<AdmissionController>>,
+    /// Per-shard commit counters (`txn.shard{N}.*`).
+    shard_counters: Vec<ShardCounters>,
     /// Active snapshots against this kernel's row store: every session
     /// and every analytical query that reads the primary holds a guard
     /// here, and [`RowKernel::vacuum_pass`] prunes below their minimum.
@@ -334,6 +442,10 @@ pub struct RowKernel {
     /// keeps every version the on-disk image hasn't caught up to.
     last_checkpoint_ts: AtomicU64,
     hooks: Arc<dyn CommitHooks>,
+    /// Engaged when the hooks demand timestamp-ordered `on_install`
+    /// delivery; `None` for hook-free kernels, which then commit with no
+    /// cross-shard coordination at all.
+    sequencer: Option<InstallSequencer>,
     /// Slot counts per table recorded at `finish_load`, for reset.
     loaded_counts: RwLock<Vec<u64>>,
 }
@@ -358,84 +470,228 @@ impl RowKernel {
 
     /// A kernel with engine-specific commit hooks. In
     /// [`DurabilityMode::Fsync`](crate::api::DurabilityMode) this opens
-    /// the WAL directory, replays any checkpoint + log tail found there
-    /// into the row store, and restores the timestamp horizon — the
-    /// kernel comes back exactly as of the last acknowledged commit.
+    /// every shard's WAL directory, replays any checkpoint + merged log
+    /// tails found there into the row store, and restores the timestamp
+    /// horizon — the kernel comes back exactly as of the last
+    /// acknowledged commit on every stream.
     pub fn try_with_hooks(config: EngineConfig, hooks: Arc<dyn CommitHooks>) -> Result<Self> {
-        let (durability, recovery) = DurabilityLayer::open(&config.durability)?;
+        let shards = config.shards.max(1);
+        let (durability, recoveries) = ShardedDurability::open(&config.durability, shards)?;
         let stats = KernelStats::default();
-        let admission = AdmissionController::new(&config.admission, &stats.registry);
-        let kernel = RowKernel {
+        let admission = Arc::new(AdmissionController::new(&config.admission, &stats.registry));
+        let txn_gates: Vec<Arc<AdmissionController>> = if shards == 1 {
+            vec![Arc::clone(&admission)]
+        } else {
+            // Divide the commit slots across shards (ceil, at least 1);
+            // the gates share the registry, so their counters aggregate.
+            let per_shard = config.admission.txn_slots.map(|n| n.div_ceil(shards).max(1));
+            (0..shards)
+                .map(|_| {
+                    let mut gate_config = config.admission.clone();
+                    gate_config.txn_slots = per_shard;
+                    Arc::new(AdmissionController::new(&gate_config, &stats.registry))
+                })
+                .collect()
+        };
+        let shard_counters = (0..shards)
+            .map(|s| ShardCounters {
+                commits: stats.registry.counter(&format!("txn.shard{s}.commits")),
+                xshard_commits: stats
+                    .registry
+                    .counter(&format!("txn.shard{s}.xshard_commits")),
+            })
+            .collect();
+        let mut kernel = RowKernel {
             db: RowDb::new(),
-            oracle: TsOracle::new(),
-            locks: LockManager::with_policy(config.lock_policy),
+            oracle: ShardedOracle::new(shards),
+            router: ShardRouter::new(shards),
+            locks: ShardedLocks::new(config.lock_policy, shards),
             indexes: IndexSet::new(config.indexes),
             config,
             stats,
             durability,
             admission,
+            txn_gates,
+            shard_counters,
             snapshots: Arc::new(SnapshotRegistry::new()),
             last_checkpoint_ts: AtomicU64::new(0),
             hooks,
+            sequencer: None,
             loaded_counts: RwLock::new(vec![0; TableId::COUNT]),
         };
-        if let Some(recovery) = recovery {
-            kernel.apply_recovery(&recovery)?;
+        if recoveries.iter().any(Option::is_some) {
+            kernel.apply_recovery(&recoveries)?;
         }
+        kernel.sequencer = kernel
+            .hooks
+            .ordered_install()
+            .then(|| InstallSequencer::new(kernel.oracle.read_ts() + 1));
         Ok(kernel)
     }
 
-    /// Rebuilds row-store state from what recovery found on disk: the
-    /// checkpoint snapshot first (rows land at their original rids, in
-    /// rid order), then the WAL tail in LSN order. Replayed timestamps
-    /// feed [`TsOracle::advance_to`] so new transactions snapshot past
+    /// The shard router (tests and workload generators use it to build
+    /// shard-local write sets).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The sorted, deduplicated commit-shard set of a write set: updates
+    /// route by `(table, rid)` — the row's home shard — and inserts by
+    /// the row's first column (the natural-key prefix, so all lines of
+    /// one order land together). Recovery never needs this mapping: all
+    /// streams are merged and replayed by logged rid/timestamp.
+    fn participants(&self, writes: &[WriteOp]) -> Vec<usize> {
+        if self.router.shards() == 1 || writes.is_empty() {
+            return vec![0];
+        }
+        let mut set: Vec<usize> = writes
+            .iter()
+            .map(|op| match op {
+                WriteOp::Update { table, rid, .. } => self.router.route(*table, *rid),
+                WriteOp::Insert { table, row } => {
+                    self.router.route(*table, insert_route_key(row))
+                }
+            })
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Passes an allocated-but-undelivered timestamp through the
+    /// sequencer so the ordered hook stream never wedges (aborts after
+    /// allocation, burned checkpoint timestamps).
+    fn sequencer_skip(&self, ts: Ts) {
+        if let Some(seq) = &self.sequencer {
+            seq.wait_turn(ts);
+            seq.advance(ts);
+        }
+    }
+
+    /// Rebuilds row-store state from what recovery found on disk. Shard
+    /// 0's stream carries the full data checkpoint (restored first, rows
+    /// at their original rids); the other shards' checkpoints are empty
+    /// markers used only for segment pruning. The WAL tails of *all*
+    /// shards are then merged: records at or below the checkpoint cut
+    /// are dropped (a crash between the shard-0 data checkpoint and the
+    /// markers leaves stale tails behind), inserts replay in rid order
+    /// with gap-filling (a rid acknowledged on one stream may neighbor a
+    /// lost, never-acknowledged rid from another), and updates replay in
+    /// timestamp order. A cross-shard commit's record lives *only* on
+    /// its coordinator's stream, so "durable there" is the whole
+    /// in-doubt resolution rule — every replay of the same directory
+    /// reaches the same verdict. Replayed timestamps feed
+    /// [`ShardedOracle::advance_to`] so new transactions snapshot past
     /// everything recovered.
-    fn apply_recovery(&self, recovery: &WalRecovery) -> Result<()> {
-        if let Some(ckpt) = &recovery.checkpoint {
+    fn apply_recovery(&self, recoveries: &[Option<WalRecovery>]) -> Result<()> {
+        let baseline = recoveries[0]
+            .as_ref()
+            .and_then(|r| r.checkpoint.as_ref())
+            .map(|c| c.last_ts)
+            .unwrap_or(0);
+        if let Some(ckpt) = recoveries[0].as_ref().and_then(|r| r.checkpoint.as_ref()) {
             self.last_checkpoint_ts.store(ckpt.last_ts, Ordering::Release);
             for tc in &ckpt.tables {
                 let store = self.db.store(tc.table);
                 for (rid, ts, row) in &tc.rows {
-                    store.install_insert_at(*rid, Arc::clone(row), *ts)?;
+                    // Gapped install: the image may itself contain holes
+                    // left by an earlier gap-filling replay.
+                    store.install_insert_gapped(*rid, Arc::clone(row), *ts)?;
                     self.indexes.index_row(tc.table, *rid, row);
                 }
             }
         }
-        for rec in &recovery.tail {
-            for op in &rec.ops {
-                match op {
-                    TableOp::Insert { table, rid, row } => {
-                        let store = self.db.store(*table);
-                        store.install_insert_at(*rid, Arc::clone(row), rec.commit_ts)?;
-                        self.indexes.index_row(*table, *rid, row);
-                    }
-                    TableOp::Update { table, rid, row } => {
-                        self.db
-                            .store(*table)
-                            .install_update(*rid, Arc::clone(row), rec.commit_ts)?;
+        let mut max_ts = baseline;
+        let mut inserts: Vec<(TableId, RowId, Ts, &Row)> = Vec::new();
+        let mut updates: Vec<(Ts, TableId, RowId, &Row)> = Vec::new();
+        for recovery in recoveries.iter().flatten() {
+            max_ts = max_ts.max(recovery.max_ts());
+            for rec in &recovery.tail {
+                if rec.commit_ts <= baseline {
+                    continue;
+                }
+                for op in &rec.ops {
+                    match op {
+                        TableOp::Insert { table, rid, row } => {
+                            inserts.push((*table, *rid, rec.commit_ts, row));
+                        }
+                        TableOp::Update { table, rid, row } => {
+                            updates.push((rec.commit_ts, *table, *rid, row));
+                        }
                     }
                 }
             }
         }
-        self.oracle.advance_to(recovery.max_ts());
+        inserts.sort_unstable_by_key(|(table, rid, _, _)| (table.index(), *rid));
+        for (table, rid, ts, row) in inserts {
+            let store = self.db.store(table);
+            store.install_insert_gapped(rid, Arc::clone(row), ts)?;
+            self.indexes.index_row(table, rid, row);
+        }
+        updates.sort_unstable_by_key(|(ts, table, rid, _)| (*ts, table.index(), *rid));
+        for (ts, table, rid, row) in updates {
+            let store = self.db.store(table);
+            if store.latest_ts(rid).is_some() {
+                store.install_update(rid, Arc::clone(row), ts)?;
+            } else {
+                // The row's insert was on another shard's stream and never
+                // became durable (its commit was never acknowledged), but
+                // this later update was. The update record carries the
+                // full row image, so installing it as the base version
+                // reproduces exactly the acknowledged state.
+                store.install_insert_gapped(rid, Arc::clone(row), ts)?;
+                self.indexes.index_row(table, rid, row);
+            }
+        }
+        self.oracle.advance_to(max_ts);
         Ok(())
     }
 
-    /// Writes a checkpoint: an atomically chosen `(lsn, ts)` pair from the
-    /// WAL plus a snapshot of every table at `ts`. Completed checkpoints
-    /// let recovery skip the log prefix and let sealed segments below the
-    /// checkpoint LSN be deleted. No-op unless durability is `Fsync`.
+    /// Writes a checkpoint: a globally consistent cut `(ts, lsn_s per
+    /// shard)` plus a snapshot of every table at `ts`. Completed
+    /// checkpoints let recovery skip the log prefix and let sealed
+    /// segments below each shard's checkpoint LSN be deleted. No-op
+    /// unless durability is `Fsync`.
+    ///
+    /// Shard 0's stream carries the full data image, written *first*;
+    /// shards 1..N then get empty marker checkpoints `(lsn_s, ts)` for
+    /// segment pruning. A crash between the writes leaves the shard-0
+    /// baseline at or above every marker's cut, so the merged-tail
+    /// replay (filtered to `ts > baseline`) loses nothing.
     ///
     /// Call once after bulk load (so the base data is durable without
     /// logging it), then periodically.
     pub fn checkpoint(&self) -> Result<()> {
-        let Some(wal) = self.durability.wal() else { return Ok(()) };
-        // (lsn, ts) are read atomically; appends happen in ts order inside
-        // the commit critical section, so "wal prefix <= lsn" is exactly
-        // "commits with commit_ts <= ts". LOAD_TS floors the snapshot so a
-        // checkpoint right after load captures the loaded rows.
-        let (lsn, wal_ts) = wal.last_appended();
-        let ts = wal_ts.max(LOAD_TS);
+        if self.durability.wal().is_none() {
+            return Ok(());
+        }
+        let shards = self.durability.shards();
+        let (ts, lsns) = if shards == 1 {
+            // (lsn, ts) are read atomically; appends happen in ts order
+            // inside the commit critical section, so "wal prefix <= lsn"
+            // is exactly "commits with commit_ts <= ts". LOAD_TS floors
+            // the snapshot so a checkpoint right after load captures the
+            // loaded rows.
+            let (lsn, wal_ts) = self.durability.wal().expect("checked").last_appended();
+            (wal_ts.max(LOAD_TS), vec![lsn])
+        } else {
+            // Quiesce: holding every shard's commit mutex, all commits
+            // below the burned timestamp have finished their appends, so
+            // each stream's current LSN covers exactly the cut.
+            let guard = self.oracle.begin_commit();
+            let cut = (guard.ts() - 1).max(LOAD_TS);
+            let lsns = (0..shards)
+                .map(|s| {
+                    self.durability.wal_for(s).map(|w| w.last_appended().0).unwrap_or(0)
+                })
+                .collect();
+            self.sequencer_skip(guard.ts());
+            guard.finish();
+            (cut, lsns)
+        };
+        // The scan runs outside the commit mutexes: MVCC reads at `ts`
+        // stay stable because vacuum is clamped at the *previous*
+        // checkpoint until this one lands.
         let mut tables = Vec::new();
         for t in TableId::ALL {
             let store = self.db.store(t);
@@ -450,15 +706,27 @@ impl RowKernel {
                 tables.push(TableCheckpoint { table: t, rows });
             }
         }
-        wal.checkpoint(&CheckpointData { lsn, last_ts: ts, tables })?;
+        self.durability
+            .wal_for(0)
+            .expect("checked")
+            .checkpoint(&CheckpointData { lsn: lsns[0], last_ts: ts, tables })?;
+        for (s, &lsn) in lsns.iter().enumerate().take(shards).skip(1) {
+            if let Some(wal) = self.durability.wal_for(s) {
+                wal.checkpoint(&CheckpointData { lsn, last_ts: ts, tables: Vec::new() })?;
+            }
+        }
         // Only now is the image durable; release the vacuum clamp up to it.
         self.last_checkpoint_ts.store(ts, Ordering::Release);
         Ok(())
     }
 
     /// Replaces the hooks (engines call this once during construction,
-    /// before any traffic).
+    /// before any traffic). Re-derives the install sequencer from the new
+    /// hooks' ordering demand.
     pub fn set_hooks(&mut self, hooks: Arc<dyn CommitHooks>) {
+        self.sequencer = hooks
+            .ordered_install()
+            .then(|| InstallSequencer::new(self.oracle.read_ts() + 1));
         self.hooks = hooks;
     }
 
@@ -496,7 +764,7 @@ impl RowKernel {
                 store.revert_versions_after(LOAD_TS);
             }
         }
-        self.indexes.truncate_lineorder(counts[TableId::Lineorder.index()]);
+        self.indexes.sweep_dead(self.db.store(TableId::Lineorder));
         Ok(())
     }
 
@@ -531,6 +799,11 @@ impl RowKernel {
         let horizon = self.snapshots.prune_horizon(frontier);
         let chain_hist = &self.stats.chain_length;
         let stats = self.db.vacuum(horizon, |len| chain_hist.record(len));
+        // Piggyback the secondary-index sweep on the same horizon: any
+        // lineorder rid whose slot is empty by now (reset/truncation) can
+        // never become visible again, so its index entries are dead.
+        let swept = self.indexes.sweep_dead(self.db.store(TableId::Lineorder));
+        self.stats.index_entries_swept.add(swept);
         self.stats.vacuum_passes.inc();
         self.stats.versions_pruned.add(stats.freed);
         self.stats.live_versions.set(self.db.live_versions());
@@ -691,6 +964,16 @@ fn visible_version_ts(
     Some(if latest <= ts { latest } else { ts })
 }
 
+/// Routing key of an insert, whose rid is unknown until install: the
+/// row's leading column as an integer. Every SSB/CH table leads with its
+/// natural key (and every lineorder line of one order shares its
+/// orderkey), so one order's lines always land on one shard.
+fn insert_route_key(row: &Row) -> u64 {
+    row.first()
+        .and_then(|v| v.as_u64().ok().or_else(|| v.as_u32().ok().map(u64::from)))
+        .unwrap_or(0)
+}
+
 impl Session for KernelSession {
     fn lookup_u32(&mut self, index: NamedIndex, key: u32) -> Result<Option<(RowId, Row)>> {
         if self.ctx.is_closed() {
@@ -827,7 +1110,7 @@ impl Session for KernelSession {
         Ok(self.scan_for_u32(table, col, key))
     }
 
-    fn commit(mut self: Box<Self>) -> Result<Ts> {
+    fn commit(mut self: Box<Self>) -> Result<CommitReceipt> {
         if self.ctx.is_closed() {
             return Err(HatError::TxnClosed);
         }
@@ -840,17 +1123,23 @@ impl Session for KernelSession {
             self.ctx.close();
             kernel.stats.commits.inc();
             kernel.stats.commit_span.record(span.elapsed_nanos());
-            return Ok(self.ctx.begin_snapshot().ts);
+            return Ok(CommitReceipt::acked(self.ctx.begin_snapshot().ts));
         }
 
+        // Route the write set: the sorted participant shard list, whose
+        // lowest member coordinates (its gate, its group-commit queue,
+        // its WAL stream). A shard-local write set never leaves its home
+        // shard's structures.
+        let participants = kernel.participants(self.ctx.writes());
+        let coordinator = participants[0];
+
         // Overload admission at the front door: when the T gate is
-        // enabled and the engine is at its in-flight bound, the commit
-        // queues here (bounded, sojourn-deadline-shed) before any
-        // engine-side work runs. Off-Healthy storage trips the gate's
+        // enabled and the coordinator shard is at its in-flight bound,
+        // the commit queues here (bounded, sojourn-deadline-shed) before
+        // any engine-side work runs. Off-Healthy storage trips the gate's
         // circuit breaker instead of queueing doomed work. Nothing is
         // installed yet: a shed is a clean, retryable abort.
-        let _admit = match kernel
-            .admission
+        let _admit = match kernel.txn_gates[coordinator]
             .admit_txn(kernel.durability.health() == HealthState::Healthy)
         {
             Ok(permit) => permit,
@@ -864,22 +1153,37 @@ impl Session for KernelSession {
         }
 
         // Admission control: a degraded/quarantined WAL or a full
-        // group-commit backlog sheds the commit here, *before* anything
-        // installs — a clean abort the client may retry, while reads and
-        // analytics keep serving from the in-memory store.
-        if let Err(e) = kernel.durability.admit() {
+        // group-commit backlog on the coordinator's stream sheds the
+        // commit here, *before* anything installs — a clean abort the
+        // client may retry, while reads and analytics keep serving from
+        // the in-memory store.
+        if let Err(e) = kernel.durability.admit(coordinator) {
             return Err(self.abort_with(e));
         }
 
-        let guard = kernel.oracle.begin_commit();
+        // Prepare: take every participant shard's commit mutex (ascending
+        // order — deadlock-free) and allocate one common commit
+        // timestamp. For a single-shard write set this is exactly the old
+        // single-mutex critical section, just on the home shard's stripe.
+        let guard = kernel.oracle.begin_commit_on(&participants);
         let commit_ts = guard.ts();
 
-        // Serializable read validation inside the critical section: no
-        // concurrent committer can slip between validation and install.
+        // Serializable read validation inside the critical section. A read
+        // is valid iff the version we observed is still the newest AND no
+        // concurrent transaction holds the row's write lock: a same-epoch
+        // committer on *another* shard may not have installed yet, but it
+        // has locked its write set, so `held_by_other` closes the
+        // cross-shard write-skew window (Silo-style).
         if self.ctx.isolation().validates_reads() {
             for entry in self.ctx.reads() {
+                let key = (entry.table, entry.rid);
                 let latest = kernel.db.store(entry.table).latest_ts(entry.rid);
-                if latest != Some(entry.version_ts) {
+                if latest != Some(entry.version_ts)
+                    || kernel.locks.held_by_other(&key, self.ctx.id())
+                {
+                    // The allocated timestamp must still pass through the
+                    // ordered-install stream or later commits wedge.
+                    kernel.sequencer_skip(commit_ts);
                     drop(guard);
                     return Err(self.abort_with(HatError::SerializationFailure));
                 }
@@ -929,11 +1233,27 @@ impl Session for KernelSession {
                 }
             }
         }
-        kernel.hooks.on_install(commit_ts, &redo);
-        // Log inside the critical section so WAL order equals commit-ts
-        // order (recovery replays the log sequentially). The append only
-        // enqueues bytes; the expensive flush wait happens after unlock.
-        let durability_token = kernel.durability.log(commit_ts, &redo);
+        // Ordered hook delivery: engines that ship a totally ordered
+        // stream (replication WAL, columnar delta, learner log) get
+        // `on_install` in global commit-ts order via the sequencer;
+        // hook-free kernels skip it and shards proceed independently.
+        if let Some(seq) = &kernel.sequencer {
+            seq.wait_turn(commit_ts);
+            kernel.hooks.on_install(commit_ts, &redo);
+            seq.advance(commit_ts);
+        } else {
+            kernel.hooks.on_install(commit_ts, &redo);
+        }
+        // Log inside the critical section so each stream's WAL order
+        // equals commit-ts order (recovery merges the streams by
+        // timestamp). The whole record — including the participant set —
+        // goes to the *coordinator's* stream only: "durable there" is the
+        // single source of truth a recovery consults to resolve an
+        // in-doubt cross-shard commit. The append only enqueues bytes;
+        // the expensive flush wait happens after unlock.
+        let participant_bytes: Vec<u8> = participants.iter().map(|&s| s as u8).collect();
+        let durability_token =
+            kernel.durability.log(coordinator, commit_ts, &redo, &participant_bytes);
         guard.finish();
 
         kernel.locks.unlock_all(self.ctx.locks(), self.ctx.id());
@@ -942,26 +1262,39 @@ impl Session for KernelSession {
         // Durability wait (WAL flush) outside the critical section:
         // concurrent commits overlap their flushes, as with group commit.
         // A failure here (WAL crashed before covering our record) means
-        // the commit was never acknowledged — surface the error without
-        // counting the commit; recovery decides its fate.
-        match durability_token {
-            Ok(token) => kernel.durability.wait(token)?,
-            Err(e) => return Err(e),
+        // the commit was never acknowledged: in-doubt outcomes surface
+        // through the receipt — without counting the commit; recovery
+        // decides its fate — and anything else propagates as the error it
+        // is.
+        if let Err(e) = durability_token.and_then(|token| kernel.durability.wait(coordinator, token))
+        {
+            if e.is_commit_in_doubt() {
+                return Ok(CommitReceipt::in_doubt(commit_ts, InDoubtCause::Durability));
+            }
+            return Err(e);
         }
         // Synchronous replication waits also happen outside the critical
         // section so concurrent commits can proceed. A timeout here does
         // NOT undo the commit: the writes are durable on the primary, so
-        // the outcome is committed-in-doubt — counted as a commit, and the
-        // timeout surfaced for the client to account separately.
+        // the outcome is committed-in-doubt — counted as a commit, and
+        // surfaced through the receipt for the client to account
+        // separately.
         let post = kernel.hooks.post_commit(commit_ts);
         kernel.stats.commits.inc();
+        kernel.shard_counters[coordinator].commits.inc();
+        if participants.len() > 1 {
+            kernel.stats.xshard_commits.inc();
+            for &s in &participants {
+                kernel.shard_counters[s].xshard_commits.inc();
+            }
+        }
         kernel.stats.commit_span.record(span.elapsed_nanos());
         if let Err(e) = post {
             debug_assert!(e.is_commit_in_doubt(), "post_commit errors must be in-doubt");
             kernel.stats.replication_timeouts.inc();
-            return Err(e);
+            return Ok(CommitReceipt::in_doubt(commit_ts, InDoubtCause::Replication));
         }
-        Ok(commit_ts)
+        Ok(CommitReceipt::acked(commit_ts))
     }
 
     fn abort(mut self: Box<Self>) {
@@ -1047,7 +1380,7 @@ mod tests {
         let own = writer.read(TableId::Customer, rid).unwrap().unwrap();
         assert_eq!(own[customer::PAYMENTCNT].as_u32().unwrap(), 9);
 
-        Box::new(writer).commit().unwrap();
+        assert!(Box::new(writer).commit().unwrap().is_acked());
 
         // New session sees the committed value.
         let mut after = k.begin_session();
@@ -1067,11 +1400,11 @@ mod tests {
         let err = b.update(TableId::Customer, rid, row).unwrap_err();
         assert!(err.is_retryable());
         // After A commits, a fresh session can update again.
-        Box::new(a).commit().unwrap();
+        assert!(Box::new(a).commit().unwrap().is_acked());
         let mut c = k.begin_session();
         let (rid, row) = c.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         c.update(TableId::Customer, rid, row).unwrap();
-        Box::new(c).commit().unwrap();
+        assert!(Box::new(c).commit().unwrap().is_acked());
         assert_eq!(k.locks.held_count(), 0);
     }
 
@@ -1084,7 +1417,7 @@ mod tests {
         let mut b = k.begin_session();
         let (rid, row) = a.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
         a.update(TableId::Customer, rid, Arc::clone(&row)).unwrap();
-        Box::new(a).commit().unwrap();
+        assert!(Box::new(a).commit().unwrap().is_acked());
         let err = b.update(TableId::Customer, rid, row).unwrap_err();
         assert!(matches!(err, HatError::WriteConflict { .. }));
     }
@@ -1097,10 +1430,10 @@ mod tests {
         let mut b = k.begin_session();
         let (rid, row) = a.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
         a.update(TableId::Customer, rid, Arc::clone(&row)).unwrap();
-        Box::new(a).commit().unwrap();
+        assert!(Box::new(a).commit().unwrap().is_acked());
         // Under RC this succeeds (no first-committer-wins check).
         b.update(TableId::Customer, rid, row).unwrap();
-        Box::new(b).commit().unwrap();
+        assert!(Box::new(b).commit().unwrap().is_acked());
     }
 
     #[test]
@@ -1115,7 +1448,7 @@ mod tests {
         let mut t2 = k.begin_session();
         let (rid1, row1) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         t2.update(TableId::Customer, rid1, row1).unwrap();
-        Box::new(t2).commit().unwrap();
+        assert!(Box::new(t2).commit().unwrap().is_acked());
 
         let mut t1 = t1; // continue t1
         let (rid3, row3) = t1.lookup_u32(NamedIndex::CustomerPk, 3).unwrap().unwrap();
@@ -1134,9 +1467,9 @@ mod tests {
         let mut t2 = k.begin_session();
         let (rid, row) = t2.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         t2.update(TableId::Customer, rid, row).unwrap();
-        Box::new(t2).commit().unwrap();
+        assert!(Box::new(t2).commit().unwrap().is_acked());
         // Read-only commit succeeds despite the invalidated read.
-        Box::new(t1).commit().unwrap();
+        assert!(Box::new(t1).commit().unwrap().is_acked());
     }
 
     #[test]
@@ -1147,7 +1480,7 @@ mod tests {
         for i in 0..4u64 {
             s.insert(TableId::Lineorder, lineorder_row(i, 2)).unwrap();
         }
-        Box::new(s).commit().unwrap();
+        assert!(Box::new(s).commit().unwrap().is_acked());
         let mut s = k.begin_session();
         assert_eq!(s.count_orders(2).unwrap(), 4);
         assert_eq!(s.count_orders(1).unwrap(), 0);
@@ -1164,7 +1497,7 @@ mod tests {
                 s.insert(TableId::Lineorder, lineorder_row(i, (i % 2) as u32 + 1))
                     .unwrap();
             }
-            Box::new(s).commit().unwrap();
+            assert!(Box::new(s).commit().unwrap().is_acked());
             let mut s = k.begin_session();
             assert_eq!(s.count_orders(1).unwrap(), 3, "profile {profile:?}");
             Box::new(s).abort();
@@ -1187,7 +1520,7 @@ mod tests {
         for i in 0..5u64 {
             s.insert(TableId::Lineorder, lineorder_row(i, 1)).unwrap();
         }
-        Box::new(s).commit().unwrap();
+        assert!(Box::new(s).commit().unwrap().is_acked());
 
         k.reset().unwrap();
 
@@ -1200,7 +1533,7 @@ mod tests {
         // Post-reset traffic works.
         let mut s = k.begin_session();
         s.insert(TableId::Lineorder, lineorder_row(0, 1)).unwrap();
-        Box::new(s).commit().unwrap();
+        assert!(Box::new(s).commit().unwrap().is_acked());
         let mut s = k.begin_session();
         assert_eq!(s.count_orders(1).unwrap(), 1);
         Box::new(s).abort();
@@ -1218,7 +1551,7 @@ mod tests {
             let mut s = k.begin_session();
             let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
             s.update(TableId::Customer, rid, row).unwrap();
-            Box::new(s).commit().unwrap();
+            assert!(Box::new(s).commit().unwrap().is_acked());
         }
         // Pin a snapshot, then rewrite customer 1 five times.
         let pinned = k.begin_session();
@@ -1226,7 +1559,7 @@ mod tests {
             let mut s = k.begin_session();
             let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
             s.update(TableId::Customer, rid, row).unwrap();
-            Box::new(s).commit().unwrap();
+            assert!(Box::new(s).commit().unwrap().is_acked());
         }
         assert_eq!(k.db.live_versions(), base + 6);
         // The open session pins its begin snapshot: the version visible
@@ -1251,6 +1584,28 @@ mod tests {
         let (_, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         assert_eq!(row[customer::PAYMENTCNT].as_u32().unwrap(), 0);
         Box::new(s).abort();
+
+        // Secondary-index sweep: dead lineorder entries are reclaimed at
+        // the vacuum horizon, so repeated grow/trim cycles plateau at the
+        // live row count instead of leaking index entries.
+        let store = k.db.store(TableId::Lineorder);
+        for cycle in 0..3u32 {
+            let mut s = k.begin_session();
+            for i in 0..8u64 {
+                s.insert(TableId::Lineorder, lineorder_row(i, 1)).unwrap();
+            }
+            assert!(Box::new(s).commit().unwrap().is_acked());
+            // `All` profile: one cust entry + one date entry per row.
+            assert_eq!(k.indexes.lineorder_entries(), 16, "cycle {cycle}: live rows indexed");
+            store.truncate_slots(0);
+            k.vacuum_pass();
+            assert_eq!(
+                k.indexes.lineorder_entries(),
+                0,
+                "cycle {cycle}: the sweep holds the index-size plateau"
+            );
+        }
+        assert_eq!(k.metrics().counter(names::VACUUM_INDEX_SWEPT), 48);
     }
 
     #[test]
@@ -1259,7 +1614,7 @@ mod tests {
         load_customers(&k, 2);
         let mut s = k.begin_session();
         s.insert(TableId::Lineorder, lineorder_row(0, 1)).unwrap();
-        Box::new(s).commit().unwrap();
+        assert!(Box::new(s).commit().unwrap().is_acked());
         let s = k.begin_session();
         Box::new(s).abort();
         let stats = k.stats_snapshot();

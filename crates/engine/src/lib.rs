@@ -34,8 +34,8 @@
 //! session
 //!     .update(TableId::Freshness, 0, row_from([Value::U32(0), Value::U64(7)]))
 //!     .unwrap();
-//! let commit_ts = session.commit().unwrap();
-//! assert!(commit_ts > 0);
+//! let receipt = session.commit().unwrap();
+//! assert!(receipt.is_acked() && receipt.ts > 0);
 //! assert_eq!(engine.stats().commits, 1);
 //! ```
 
@@ -52,8 +52,9 @@ pub mod shared;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmitPermit};
 pub use api::{
-    DesignCategory, DurabilityMode, EngineConfig, EngineConfigBuilder, EngineStats, HtapEngine,
-    IndexProfile, NamedIndex, Session, TxnHandle,
+    CommitDurability, CommitReceipt, DesignCategory, DurabilityMode, EngineConfig,
+    EngineConfigBuilder, EngineStats, HtapEngine, InDoubtCause, IndexProfile, NamedIndex,
+    Session, TxnHandle,
 };
 pub use hat_query::exec::{ExecStats, QueryOpts};
 pub use durability::DurabilityLayer;

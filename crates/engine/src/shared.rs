@@ -142,7 +142,7 @@ impl HtapEngine for ShdEngine {
         Box::new(self.kernel.begin_session())
     }
 
-    fn run_query_opts(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
+    fn query(&self, spec: &QuerySpec, opts: &QueryOpts) -> Result<QueryOutput> {
         // A-class overload gate: a no-op unless admission is enabled, a
         // bounded sojourn-deadline-shed queue when it is. Shed queries
         // never execute and are not counted as executed.
@@ -268,7 +268,7 @@ mod tests {
         let expected = 800;
         for profile in [IndexProfile::All, IndexProfile::Semi, IndexProfile::None] {
             let engine = engine_with_data(profile);
-            let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+            let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
             assert_eq!(out.groups[0].agg, expected, "profile {profile:?}");
             assert_eq!(out.matched_rows, 2);
         }
@@ -280,8 +280,8 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
             .unwrap();
-        s.commit().unwrap();
-        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        assert!(s.commit().unwrap().is_acked());
+        let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 800 + 1000, "freshness is zero by design");
     }
 
@@ -291,7 +291,7 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
             .unwrap();
-        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 800);
         s.abort();
     }
@@ -310,9 +310,9 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
             .unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         engine.reset().unwrap();
-        let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+        let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
         assert_eq!(out.groups[0].agg, 800);
     }
 
@@ -344,7 +344,7 @@ mod tests {
         let patched =
             hat_common::value::row_with(&row, customer::PAYMENTCNT, Value::U32(1));
         s.update(TableId::Customer, rid, patched).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         assert_eq!(engine.stats().commits, 1);
     }
 
@@ -377,7 +377,7 @@ mod tests {
             let mut s = engine.begin();
             let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
             s.update(TableId::Customer, rid, row).unwrap();
-            s.commit().unwrap();
+            assert!(s.commit().unwrap().is_acked());
         }
         // The background thread converges the chain to newest + base.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -402,7 +402,7 @@ mod tests {
         let mut s = engine.begin();
         s.insert(TableId::Lineorder, lineorder_row(4, 1, 19930601, 100_000, 1, 5))
             .unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         // Manually run the prefiltered plan at the old snapshot.
         let spec = ssb::query(QueryId::Q1_1);
         let (lo, hi) = date_range_hint(&spec).unwrap();

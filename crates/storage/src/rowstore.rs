@@ -195,6 +195,42 @@ impl RowStore {
         Ok(())
     }
 
+    /// Recovery-side insert at an exact row id, tolerating allocation
+    /// gaps. Per-shard WALs ack commits independently, so a crash can
+    /// durably record rid `r+1` (coordinator flushed) while rid `r`'s
+    /// commit — never acknowledged — is lost with its shard's tail. Replay
+    /// then needs to land `r+1` at its logged id, leaving `r` an empty
+    /// slot forever: readers and scans already skip empty slots, and the
+    /// vacuum's index sweep unhooks any index entry pointing at one.
+    pub fn install_insert_gapped(&self, rid: RowId, row: Row, ts: Ts) -> Result<()> {
+        let mut cur = self.count.load(Ordering::Acquire);
+        while cur <= rid {
+            match self.count.compare_exchange(
+                cur,
+                rid + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let seg = self.segment_for(rid);
+        let mut slot = Self::slot_of(&seg, rid).lock();
+        if slot.is_some() {
+            return Err(HatError::WalCorrupt {
+                detail: format!(
+                    "duplicate insert for {} rid {rid} during replay",
+                    self.table.name()
+                ),
+            });
+        }
+        *slot = Some(Version { ts, row, next: None });
+        drop(slot);
+        self.versions.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
     /// Prepends a new version of an existing row, committed at `ts`.
     pub fn install_update(&self, rid: RowId, row: Row, ts: Ts) -> Result<()> {
         if rid >= self.slot_count() {

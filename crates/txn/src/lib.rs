@@ -18,12 +18,14 @@
 pub mod locks;
 pub mod oracle;
 pub mod registry;
+pub mod shard;
 pub mod snapshot;
 pub mod watermark;
 pub mod txn;
 
 pub use locks::{LockKey, LockManager, LockPolicy};
 pub use oracle::{CommitGuard, Ts, TsOracle, LOAD_TS};
+pub use shard::{InstallSequencer, ShardCommitGuard, ShardRouter, ShardedOracle};
 pub use registry::{SnapshotGuard, SnapshotRegistry};
 pub use snapshot::{IsolationLevel, Snapshot};
 pub use txn::{ReadEntry, TxnCtx, WriteOp};

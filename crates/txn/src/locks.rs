@@ -165,6 +165,16 @@ impl LockManager {
         }
     }
 
+    /// Whether `key` is currently write-locked by a transaction other
+    /// than `owner`. Serializable validation uses this as the Silo-style
+    /// second check: a read is valid only if the row's version is
+    /// unchanged *and* no concurrent writer holds its lock — without it,
+    /// two cross-shard committers could validate stale reads of each
+    /// other's still-uninstalled writes (write skew).
+    pub fn held_by_other(&self, key: &LockKey, owner: OwnerId) -> bool {
+        self.shard(key).held.lock().get(key).is_some_and(|h| *h != owner)
+    }
+
     /// Number of locks currently held (test/diagnostic helper; takes every
     /// shard lock).
     pub fn held_count(&self) -> usize {

@@ -11,7 +11,7 @@ use hattrick_repro::bench::gen::{generate, ScaleFactor};
 use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
 use hattrick_repro::bench::workload::TxnMix;
 use hattrick_repro::common::ids::{customer, lineorder, TableId};
-use hattrick_repro::engine::{DualConfig, DualEngine, HtapEngine, NamedIndex};
+use hattrick_repro::engine::{DualConfig, DualEngine, HtapEngine, NamedIndex, QueryOpts};
 use hattrick_repro::query::predicate::{ColPredicate, Predicate};
 use hattrick_repro::query::spec::{AggExpr, GroupKey, JoinSpec, QueryId, QuerySpec};
 
@@ -41,7 +41,7 @@ fn main() {
         group_by: vec![GroupKey::DimStr(0, 0)],
         agg: AggExpr::SumMoney(lineorder::REVENUE),
     };
-    let out = engine.run_query(&spec).expect("query");
+    let out = engine.query(&spec, &QueryOpts::default()).expect("query");
     println!("revenue by region (discount 8-10):");
     for g in &out.groups {
         println!("  {:<12} {:>14.2}", g.key[0].to_string(), g.agg as f64 / 100.0);

@@ -20,9 +20,9 @@ use hattrick_repro::bench::harness::{BenchmarkConfig, Harness, RetryPolicy};
 use hattrick_repro::bench::workload::{run_transaction, TxnKind, WorkloadState};
 use hattrick_repro::common::ids::{supplier, TableId};
 use hattrick_repro::common::rng::HatRng;
-use hattrick_repro::common::HatError;
 use hattrick_repro::engine::{
-    FaultInjector, FaultPlan, FaultPlanConfig, HtapEngine, IsoConfig, IsoEngine,
+    CommitDurability, InDoubtCause,
+    FaultInjector, FaultPlan, FaultPlanConfig, HtapEngine, IsoConfig, IsoEngine, QueryOpts,
     ReplicationMode,
 };
 use hattrick_repro::query::predicate::Predicate;
@@ -52,7 +52,7 @@ fn sum_money(engine: &dyn HtapEngine, table: TableId, col: usize) -> i64 {
         group_by: vec![],
         agg: AggExpr::SumMoney(col),
     };
-    engine.run_query(&spec).unwrap().groups[0].agg
+    engine.query(&spec, &QueryOpts::default()).unwrap().groups[0].agg
 }
 
 /// The replica-visible freshness entry for `client`.
@@ -65,7 +65,7 @@ fn replica_txnnum(engine: &dyn HtapEngine, client: u32) -> u64 {
         group_by: vec![],
         agg: AggExpr::CountRows,
     };
-    let out = engine.run_query(&spec).unwrap();
+    let out = engine.query(&spec, &QueryOpts::default()).unwrap();
     out.freshness
         .iter()
         .find(|&&(c, _)| c == client)
@@ -95,7 +95,7 @@ fn sync_commits_under_partition_fail_fast_as_in_doubt() {
 
     engine.link().partition();
     let t0 = Instant::now();
-    let err = run_transaction(
+    let receipt = run_transaction(
         engine.as_ref(),
         &data.profile,
         &state,
@@ -104,11 +104,14 @@ fn sync_commits_under_partition_fail_fast_as_in_doubt() {
         0,
         1,
     )
-    .unwrap_err();
+    .unwrap();
     let elapsed = t0.elapsed();
-    assert!(matches!(err, HatError::ReplicationTimeout), "got {err}");
-    assert!(err.is_commit_in_doubt());
-    assert!(err.is_retryable());
+    assert_eq!(
+        receipt.durability,
+        CommitDurability::InDoubt(InDoubtCause::Replication),
+        "partitioned sync commit surfaces as in-doubt"
+    );
+    assert!(!receipt.is_acked());
     // Bounded: roughly the configured 40ms commit timeout, never a hang.
     assert!(elapsed >= Duration::from_millis(40), "{elapsed:?}");
     assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
@@ -118,7 +121,7 @@ fn sync_commits_under_partition_fail_fast_as_in_doubt() {
 
     // Healed link: the next payment acknowledges within the bound.
     engine.link().heal();
-    run_transaction(
+    assert!(run_transaction(
         engine.as_ref(),
         &data.profile,
         &state,
@@ -127,7 +130,7 @@ fn sync_commits_under_partition_fail_fast_as_in_doubt() {
         0,
         2,
     )
-    .unwrap();
+    .unwrap().is_acked());
     assert_eq!(engine.stats().commits, 2);
 }
 
@@ -202,7 +205,7 @@ fn chaos_mix_conserves_money_and_loses_no_commits() {
     // the freshness watermark survived the crash.
     let state = WorkloadState::new(&data.profile);
     let mut rng = HatRng::seeded(CHAOS_SEED ^ 1);
-    run_transaction(
+    assert!(run_transaction(
         dynamic.as_ref(),
         &data.profile,
         &state,
@@ -211,7 +214,7 @@ fn chaos_mix_conserves_money_and_loses_no_commits() {
         7,
         1,
     )
-    .unwrap();
+    .unwrap().is_acked());
     engine.quiesce_replication();
     assert_eq!(replica_txnnum(dynamic.as_ref(), 7), 1, "sentinel visible");
 
@@ -237,7 +240,7 @@ fn replica_freshness_is_monotone_across_crash_and_recovery() {
         std::thread::spawn(move || {
             let mut rng = HatRng::seeded(CHAOS_SEED ^ 2);
             for txnnum in 1..=60u64 {
-                run_transaction(
+                assert!(run_transaction(
                     engine.as_ref(),
                     &profile,
                     &state,
@@ -246,7 +249,7 @@ fn replica_freshness_is_monotone_across_crash_and_recovery() {
                     0,
                     txnnum,
                 )
-                .unwrap();
+                .unwrap().is_acked());
                 std::thread::sleep(Duration::from_millis(1));
             }
         })

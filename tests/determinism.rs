@@ -85,7 +85,7 @@ fn all_queries_byte_identical_across_parallelism_on_every_engine() {
                 let spec = ssb::query(qid);
                 for p in PARALLELISMS {
                     let out = engine
-                        .run_query_opts(&spec, &QueryOpts::with_parallelism(p))
+                        .query(&spec, &QueryOpts::with_parallelism(p))
                         .unwrap();
                     assert_sorted_keys(name, &out);
                     assert!(
@@ -103,12 +103,12 @@ fn all_queries_byte_identical_across_parallelism_on_every_engine() {
         for qid in QueryId::ALL {
             let spec = ssb::query(qid);
             let serial = engine
-                .run_query_opts(&spec, &QueryOpts::with_parallelism(1))
+                .query(&spec, &QueryOpts::with_parallelism(1))
                 .unwrap();
             let serial_bytes = answer_bytes(&serial);
             for p in &PARALLELISMS[1..] {
                 let parallel = engine
-                    .run_query_opts(&spec, &QueryOpts::with_parallelism(*p))
+                    .query(&spec, &QueryOpts::with_parallelism(*p))
                     .unwrap();
                 assert_eq!(
                     answer_bytes(&parallel),
@@ -135,7 +135,7 @@ fn run_fixed_workload(engine: &dyn HtapEngine, data: &hattrick_repro::bench::gen
             let spec = ssb::query(QueryId::Q3_2);
             while !stop_ref.load(Ordering::Relaxed) {
                 let out = engine
-                    .run_query_opts(&spec, &QueryOpts::with_parallelism(2))
+                    .query(&spec, &QueryOpts::with_parallelism(2))
                     .unwrap();
                 assert_sorted_keys("concurrent", &out);
             }
@@ -143,8 +143,8 @@ fn run_fixed_workload(engine: &dyn HtapEngine, data: &hattrick_repro::bench::gen
         let mut rng = HatRng::seeded(0xACE);
         for txnnum in 1..=300u64 {
             let kind = if txnnum % 3 == 0 { TxnKind::Payment } else { TxnKind::NewOrder };
-            run_transaction(engine, &data.profile, &state, &mut rng, kind, 0, txnnum)
-                .expect("single writer cannot conflict");
+            assert!(run_transaction(engine, &data.profile, &state, &mut rng, kind, 0, txnnum)
+                .expect("single writer cannot conflict").is_acked());
         }
         stop.store(true, Ordering::Relaxed);
     });
@@ -175,8 +175,8 @@ fn answers_identical_with_vacuum_off_and_aggressive() {
         std::thread::sleep(Duration::from_millis(60));
         for qid in QueryId::ALL {
             let spec = ssb::query(qid);
-            let a = e_off.run_query_opts(&spec, &QueryOpts::with_parallelism(1)).unwrap();
-            let b = e_fast.run_query_opts(&spec, &QueryOpts::with_parallelism(1)).unwrap();
+            let a = e_off.query(&spec, &QueryOpts::with_parallelism(1)).unwrap();
+            let b = e_fast.query(&spec, &QueryOpts::with_parallelism(1)).unwrap();
             assert_eq!(
                 answer_bytes(&a),
                 answer_bytes(&b),
@@ -227,10 +227,10 @@ fn pinned_snapshot_parallel_probe_ignores_concurrent_inserts() {
             let mut rng = HatRng::seeded(0x5EED);
             let mut txnnum = 1;
             while !stop_ref.load(Ordering::Relaxed) {
-                run_transaction(
+                assert!(run_transaction(
                     engine_ref, profile, state, &mut rng, TxnKind::NewOrder, 0, txnnum,
                 )
-                .unwrap();
+                .unwrap().is_acked());
                 txnnum += 1;
             }
         });

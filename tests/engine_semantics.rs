@@ -15,7 +15,7 @@ use hattrick_repro::common::value::row_with;
 use hattrick_repro::common::{HatError, Value};
 use hattrick_repro::engine::{
     DurabilityMode, EngineConfig, HtapEngine, IndexProfile, LearnerConfig, LearnerEngine,
-    LearnerProfile, NamedIndex, ShdEngine,
+    LearnerProfile, NamedIndex, QueryOpts, ShdEngine,
 };
 use hattrick_repro::query::spec::QueryId;
 use hattrick_repro::query::ssb;
@@ -28,15 +28,16 @@ fn session_is_single_use() {
         let mut s = engine.begin();
         let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 1).unwrap().unwrap();
         s.update(TableId::Customer, rid, row).unwrap();
-        s.commit().unwrap();
+        assert!(s.commit().unwrap().is_acked());
         // A fresh session works; operations on it after abort fail.
         let s2 = engine.begin();
         s2.abort();
         // (s2 consumed; start another and check TxnClosed is surfaced via
         // the session's own lifecycle.)
         let s3 = engine.begin();
-        let err = s3.commit().unwrap_or_else(|_| panic!("{name}: read-only commit"));
-        assert!(err > 0, "{name}: commit timestamps are positive");
+        let receipt = s3.commit().unwrap_or_else(|_| panic!("{name}: read-only commit"));
+        assert!(receipt.is_acked(), "{name}: read-only commits ack");
+        assert!(receipt.ts > 0, "{name}: commit timestamps are positive");
     }
 }
 
@@ -87,7 +88,7 @@ fn writes_in_aborted_sessions_leave_no_trace() {
     let data = common::small_data();
     for (name, engine) in common::all_engines() {
         data.load_into(engine.as_ref()).unwrap();
-        let before = engine.run_query(&ssb::query(QueryId::Q2_1)).unwrap();
+        let before = engine.query(&ssb::query(QueryId::Q2_1), &QueryOpts::default()).unwrap();
         let mut s = engine.begin();
         let (rid, row) = s.lookup_u32(NamedIndex::CustomerPk, 2).unwrap().unwrap();
         s.update(
@@ -97,7 +98,7 @@ fn writes_in_aborted_sessions_leave_no_trace() {
         )
         .unwrap();
         s.abort();
-        let after = engine.run_query(&ssb::query(QueryId::Q2_1)).unwrap();
+        let after = engine.query(&ssb::query(QueryId::Q2_1), &QueryOpts::default()).unwrap();
         assert_eq!(before.groups, after.groups, "{name}");
         // Row unchanged for the next reader.
         let mut s = engine.begin();
@@ -142,7 +143,7 @@ fn analytical_snapshot_is_stable_against_concurrent_commits() {
             });
             let mut last_seen = 0u64;
             for _ in 0..20 {
-                let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+                let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
                 let seen = out
                     .freshness
                     .iter()
@@ -176,16 +177,16 @@ fn learner_distributed_profile_behaves_like_single_but_slower() {
     let dist = mk(LearnerProfile::Distributed);
     // Same query answers.
     for id in [QueryId::Q1_1, QueryId::Q3_1] {
-        let a = single.run_query(&ssb::query(id)).unwrap();
-        let b = dist.run_query(&ssb::query(id)).unwrap();
+        let a = single.query(&ssb::query(id), &QueryOpts::default()).unwrap();
+        let b = dist.query(&ssb::query(id), &QueryOpts::default()).unwrap();
         assert_eq!(a.groups, b.groups, "{}", id.label());
     }
     // Same transactional semantics (commit succeeds, learner catches up).
     for engine in [&single, &dist] {
         let state = WorkloadState::new(&data.profile);
         let mut rng = HatRng::seeded(6);
-        run_transaction(engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, 1)
-            .unwrap();
+        assert!(run_transaction(engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, 1)
+            .unwrap().is_acked());
         engine.quiesce_learner();
         assert_eq!(engine.stats().replication_backlog, 0);
     }
@@ -204,9 +205,9 @@ fn duplicate_freshness_update_in_one_txn_is_idempotent_lockwise() {
     };
     s.update(TableId::Freshness, 0, row(1)).unwrap();
     s.update(TableId::Freshness, 0, row(2)).unwrap();
-    s.commit().unwrap();
+    assert!(s.commit().unwrap().is_acked());
     // Final state is the last write.
-    let out = engine.run_query(&ssb::query(QueryId::Q1_1)).unwrap();
+    let out = engine.query(&ssb::query(QueryId::Q1_1), &QueryOpts::default()).unwrap();
     assert_eq!(out.freshness.iter().find(|(c, _)| *c == 0).unwrap().1, 2);
 }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 use hattrick_repro::bench::freshness::FreshnessAgg;
 use hattrick_repro::bench::gen::{generate, ScaleFactor};
 use hattrick_repro::bench::harness::{BenchmarkConfig, Harness};
-use hattrick_repro::engine::{DurabilityMode, EngineConfig, HtapEngine, LockPolicy, ShdEngine};
+use hattrick_repro::engine::{DurabilityMode, EngineConfig, HtapEngine, LockPolicy, QueryOpts, ShdEngine};
 
 fn no_reset_harness() -> Harness {
     let data = common::small_data();
@@ -107,14 +107,14 @@ fn wait_die_engine_completes_contended_workload() {
         use hattrick_repro::query::predicate::Predicate;
         use hattrick_repro::query::spec::{AggExpr, QueryId, QuerySpec};
         let ytd = engine
-            .run_query(&QuerySpec {
+            .query(&QuerySpec {
                 id: QueryId::Q1_1,
                 fact: TableId::Supplier,
                 fact_filter: Predicate::all(),
                 joins: vec![],
                 group_by: vec![],
                 agg: AggExpr::SumMoney(supplier::YTD),
-            })
+            }, &QueryOpts::default())
             .unwrap()
             .groups[0]
             .agg;

@@ -11,7 +11,7 @@ use hattrick_repro::bench::workload::{run_transaction, TxnKind, TxnMix, Workload
 use hattrick_repro::common::ids::{customer, lineorder, supplier, TableId};
 use hattrick_repro::common::rng::HatRng;
 use hattrick_repro::common::Money;
-use hattrick_repro::engine::HtapEngine;
+use hattrick_repro::engine::{HtapEngine, QueryOpts};
 use hattrick_repro::query::predicate::Predicate;
 use hattrick_repro::query::spec::{AggExpr, GroupKey, QueryId, QuerySpec};
 
@@ -25,7 +25,7 @@ fn sum_money(engine: &dyn HtapEngine, table: TableId, col: usize) -> i64 {
         group_by: vec![],
         agg: AggExpr::SumMoney(col),
     };
-    engine.run_query(&spec).unwrap().groups[0].agg
+    engine.query(&spec, &QueryOpts::default()).unwrap().groups[0].agg
 }
 
 /// Global count(*) via the analytical path.
@@ -38,7 +38,7 @@ fn count_rows(engine: &dyn HtapEngine, table: TableId) -> i64 {
         group_by: vec![],
         agg: AggExpr::CountRows,
     };
-    engine.run_query(&spec).unwrap().groups[0].agg
+    engine.query(&spec, &QueryOpts::default()).unwrap().groups[0].agg
 }
 
 #[test]
@@ -118,7 +118,7 @@ fn concurrent_payments_conserve_money_on_every_engine() {
             group_by: vec![GroupKey::FactU32(customer::PAYMENTCNT)],
             agg: AggExpr::CountRows,
         };
-        let out = engine.run_query(&spec).unwrap();
+        let out = engine.query(&spec, &QueryOpts::default()).unwrap();
         let total_paycnt: i64 = out
             .groups
             .iter()
@@ -182,7 +182,7 @@ fn concurrent_mixed_workload_preserves_order_integrity() {
             group_by: vec![GroupKey::FactU32(lineorder::LINENUMBER)],
             agg: AggExpr::CountRows,
         };
-        let out = engine.run_query(&spec).unwrap();
+        let out = engine.query(&spec, &QueryOpts::default()).unwrap();
         for g in &out.groups {
             let line_no: u32 = g.key[0].to_string().parse().unwrap();
             assert!(
@@ -200,7 +200,7 @@ fn reset_roundtrips_to_identical_analytics() {
         data.load_into(engine.as_ref()).unwrap();
         let before = {
             let out = engine
-                .run_query(&hattrick_repro::query::ssb::query(QueryId::Q2_1))
+                .query(&hattrick_repro::query::ssb::query(QueryId::Q2_1), &QueryOpts::default())
                 .unwrap();
             (out.groups.clone(), out.matched_rows)
         };
@@ -221,7 +221,7 @@ fn reset_roundtrips_to_identical_analytics() {
         }
         engine.reset().unwrap();
         let out = engine
-            .run_query(&hattrick_repro::query::ssb::query(QueryId::Q2_1))
+            .query(&hattrick_repro::query::ssb::query(QueryId::Q2_1), &QueryOpts::default())
             .unwrap();
         assert_eq!(out.groups, before.0, "{name}: groups after reset");
         assert_eq!(out.matched_rows, before.1, "{name}: rows after reset");
@@ -240,7 +240,7 @@ fn new_order_totals_are_consistent_per_order() {
     let state = WorkloadState::new(&data.profile);
     let mut rng = HatRng::seeded(9);
     for i in 1..=20 {
-        run_transaction(
+        assert!(run_transaction(
             engine.as_ref(),
             &data.profile,
             &state,
@@ -249,7 +249,7 @@ fn new_order_totals_are_consistent_per_order() {
             0,
             i,
         )
-        .unwrap();
+        .unwrap().is_acked());
     }
     // Scan appended orders through the analytical path: sum extended per
     // order equals max ordtotal per order. Verify via a direct spec pair.
@@ -266,7 +266,7 @@ fn new_order_totals_are_consistent_per_order() {
         .iter()
         .map(|r| r[lineorder::EXTENDEDPRICE].as_money().unwrap().cents())
         .sum();
-    let total = engine.run_query(&sum_spec).unwrap().groups[0].agg;
+    let total = engine.query(&sum_spec, &QueryOpts::default()).unwrap().groups[0].agg;
     assert!(total > loaded_sum, "{name}: new lines added value");
     let _ = Money::ZERO;
 }

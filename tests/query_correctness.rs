@@ -16,6 +16,7 @@ use hattrick_repro::common::{Row, Value};
 use hattrick_repro::query::predicate::{ColPredicate, Predicate};
 use hattrick_repro::query::spec::{AggExpr, GroupKey, QueryId, QuerySpec};
 use hattrick_repro::query::ssb;
+use hattrick_repro::engine::QueryOpts;
 
 /// Evaluates one predicate directly on a raw row.
 fn eval_pred(p: &ColPredicate, row: &Row) -> bool {
@@ -129,7 +130,7 @@ fn all_13_queries_match_reference_on_every_engine() {
     for (name, engine) in common::all_engines() {
         data.load_into(engine.as_ref()).unwrap();
         for (id, expected) in &reference {
-            let out = engine.run_query(&ssb::query(*id)).unwrap();
+            let out = engine.query(&ssb::query(*id), &QueryOpts::default()).unwrap();
             let got: HashMap<String, i64> = out
                 .groups
                 .iter()
@@ -161,7 +162,7 @@ fn queries_reflect_new_orders_identically_across_engines() {
         // Same seed -> same generated orders on every engine.
         let mut rng = HatRng::seeded(777);
         for i in 1..=25 {
-            run_transaction(
+            assert!(run_transaction(
                 engine.as_ref(),
                 &data.profile,
                 &state,
@@ -170,10 +171,10 @@ fn queries_reflect_new_orders_identically_across_engines() {
                 0,
                 i,
             )
-            .unwrap();
+            .unwrap().is_acked());
         }
         // Q3.1 aggregates revenue; new orders change it deterministically.
-        let out = engine.run_query(&ssb::query(QueryId::Q3_1)).unwrap();
+        let out = engine.query(&ssb::query(QueryId::Q3_1), &QueryOpts::default()).unwrap();
         let total: i64 = out.groups.iter().map(|g| g.agg).sum();
         let rows: u64 = out.matched_rows;
         totals.push((name.to_string(), total, rows));
@@ -193,7 +194,7 @@ fn index_prefilter_and_full_scan_agree_on_flight_one() {
     // transactions first so the snapshot is not just the loaded state.
     use hattrick_repro::bench::workload::{run_transaction, TxnKind, WorkloadState};
     use hattrick_repro::common::rng::HatRng;
-    use hattrick_repro::engine::{HtapEngine, ShdEngine};
+    use hattrick_repro::engine::{HtapEngine, QueryOpts, ShdEngine};
     use hattrick_repro::query::exec::execute;
     use hattrick_repro::query::view::MixedView;
 
@@ -203,15 +204,15 @@ fn index_prefilter_and_full_scan_agree_on_flight_one() {
     let state = WorkloadState::new(&data.profile);
     let mut rng = HatRng::seeded(4242);
     for i in 1..=20 {
-        run_transaction(&engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
-            .unwrap();
+        assert!(run_transaction(&engine, &data.profile, &state, &mut rng, TxnKind::NewOrder, 0, i)
+            .unwrap().is_acked());
     }
 
     for id in [QueryId::Q1_1, QueryId::Q1_2, QueryId::Q1_3] {
         let spec = ssb::query(id);
         // The engine's plan: index prefilter (flight 1 always has a date
         // range hint and the default profile includes the orderdate index).
-        let fast = engine.run_query(&spec).unwrap();
+        let fast = engine.query(&spec, &QueryOpts::default()).unwrap();
         // The reference plan: full scan of the same snapshot.
         let ts = engine.kernel().oracle.read_ts();
         let view = MixedView::rows(&engine.kernel().db, ts);

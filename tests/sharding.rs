@@ -1,0 +1,545 @@
+//! Cross-shard correctness suite for the sharded transactional kernel.
+//!
+//! The kernel hash-splits commits across N shards: single-shard
+//! transactions commit entirely shard-locally, cross-shard transactions
+//! pay a 2PC round over the per-shard oracles and install at one common
+//! commit timestamp. These tests pin the contract down:
+//!
+//! 1. **Shard locality** — a workload whose every transaction writes one
+//!    shard never takes the cross-shard round (`txn.xshard_commits` and
+//!    every per-shard `txn.shardN.xshard_commits` stay 0).
+//! 2. **Atomicity across shards** — money moved by cross-shard payments
+//!    is conserved, and no snapshot anywhere observes half of a
+//!    cross-shard install.
+//! 3. **Query equivalence** — all 13 SSB queries answer byte-identically
+//!    at shards 1, 2, and 8 over the same data.
+//! 4. **Crash recovery** — a cross-shard commit killed mid-durability
+//!    resolves the same way (atomically present or atomically absent) on
+//!    every replay of the per-shard WAL merge.
+//!
+//! A `#[ignore]`d release-mode smoke asserts the scaling target the
+//! redesign exists for: shard-local throughput at shards=4 must beat
+//! shards=1 by at least 1.8x (CI runs it with `--release --ignored`).
+
+mod common;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hattrick_repro::common::ids::{history, supplier, TableId};
+use hattrick_repro::common::rng::HatRng;
+use hattrick_repro::common::value::{row_from, row_with};
+use hattrick_repro::common::{Money, Value};
+use hattrick_repro::engine::{
+    DurabilityMode, EngineConfig, HtapEngine, KillPoint, NamedIndex, QueryOpts,
+    ShdEngine, WalConfig,
+};
+use hattrick_repro::query::spec::QueryId;
+use hattrick_repro::query::ssb;
+
+const NSUPP: u32 = 16;
+
+fn sharded_config(shards: u32) -> EngineConfig {
+    EngineConfig::builder()
+        .shards(shards)
+        .durability(DurabilityMode::Off)
+        .build()
+}
+
+fn supplier_row(k: u32) -> hattrick_repro::common::Row {
+    row_from([
+        Value::U32(k),
+        Value::from(format!("Supplier#{k:09}")),
+        Value::from("addr"),
+        Value::from("CITY0"),
+        Value::from("CHINA"),
+        Value::from("ASIA"),
+        Value::from("phone"),
+        Value::Money(Money::ZERO),
+    ])
+}
+
+fn load_suppliers(engine: &ShdEngine, n: u32) {
+    let rows: Vec<_> = (1..=n).map(supplier_row).collect();
+    engine.load(TableId::Supplier, &mut rows.into_iter()).unwrap();
+    engine.finish_load().unwrap();
+}
+
+/// One payment: supplier `suppkey` YTD += amount plus a HISTORY row
+/// carrying the (unique) amount. The HISTORY insert routes by its first
+/// column — the amount — so the caller steers which shard the insert
+/// lands on, and thereby whether the payment is cross-shard.
+fn payment(engine: &ShdEngine, suppkey: u32, amount_cents: i64) -> bool {
+    let mut s = engine.begin();
+    let (rid, row) = s
+        .lookup_u32(NamedIndex::SupplierPk, suppkey)
+        .unwrap()
+        .expect("supplier exists");
+    let ytd = row[supplier::YTD].as_money().expect("typed");
+    // Write locks are taken eagerly, so a concurrent writer surfaces
+    // here as a retryable abort rather than at commit.
+    if let Err(e) = s.update(
+        TableId::Supplier,
+        rid,
+        row_with(&row, supplier::YTD, Value::Money(ytd + Money::from_cents(amount_cents))),
+    ) {
+        assert!(e.is_retryable(), "unexpected update error: {e}");
+        return false;
+    }
+    s.insert(
+        TableId::History,
+        row_from([
+            Value::U64(amount_cents as u64),
+            Value::U32(suppkey),
+            Value::Money(Money::from_cents(amount_cents)),
+        ]),
+    )
+    .unwrap();
+    match s.commit() {
+        Ok(receipt) => {
+            assert!(receipt.is_acked(), "durability off: commits always ack");
+            true
+        }
+        Err(e) => {
+            assert!(e.is_retryable(), "unexpected commit error: {e}");
+            false
+        }
+    }
+}
+
+/// Sorted HISTORY amounts visible at the latest snapshot.
+fn history_amounts(engine: &ShdEngine) -> Vec<i64> {
+    let k = engine.kernel();
+    let ts = k.oracle.read_ts();
+    let mut amounts = Vec::new();
+    k.db.store(TableId::History).scan(ts, |_, row| {
+        amounts.push(row[history::AMOUNT].as_money().expect("typed").cents());
+    });
+    amounts.sort_unstable();
+    amounts
+}
+
+/// Per-supplier YTD cents in rid order (the recovery fingerprint).
+fn ytd_vector(engine: &ShdEngine) -> Vec<i64> {
+    let k = engine.kernel();
+    let ts = k.oracle.read_ts();
+    let mut out = Vec::new();
+    k.db.store(TableId::Supplier).scan(ts, |_, row| {
+        out.push(row[supplier::YTD].as_money().expect("typed").cents());
+    });
+    out
+}
+
+#[test]
+fn shard_local_transactions_never_pay_the_cross_shard_round() {
+    let engine = ShdEngine::new(sharded_config(4));
+    load_suppliers(&engine, NSUPP);
+    // Every transaction writes exactly one row: a one-element write set
+    // is one participant by construction, whatever shard it hashes to.
+    for round in 0..20i64 {
+        for k in 1..=NSUPP {
+            let mut s = engine.begin();
+            let (rid, row) =
+                s.lookup_u32(NamedIndex::SupplierPk, k).unwrap().expect("supplier");
+            let ytd = row[supplier::YTD].as_money().unwrap();
+            s.update(
+                TableId::Supplier,
+                rid,
+                row_with(&row, supplier::YTD, Value::Money(ytd + Money::from_cents(round))),
+            )
+            .unwrap();
+            assert!(s.commit().unwrap().is_acked());
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.commits, 20 * NSUPP as u64);
+    assert_eq!(stats.xshard_commits, 0, "shard-local workload never crosses shards");
+    let snap = engine.kernel().metrics();
+    let mut shard_commits = 0;
+    for shard in 0..4 {
+        assert_eq!(
+            snap.counter(&format!("txn.shard{shard}.xshard_commits")),
+            0,
+            "shard {shard} saw a phantom cross-shard round"
+        );
+        shard_commits += snap.counter(&format!("txn.shard{shard}.commits"));
+    }
+    assert_eq!(shard_commits, stats.commits, "every commit lands on exactly one shard");
+    // The hash router actually spread the load: no shard owns everything.
+    for shard in 0..4 {
+        let own = snap.counter(&format!("txn.shard{shard}.commits"));
+        assert!(own < stats.commits, "shard {shard} absorbed the whole workload");
+    }
+}
+
+#[test]
+fn cross_shard_payments_conserve_money() {
+    let engine = Arc::new(ShdEngine::new(sharded_config(4)));
+    load_suppliers(&engine, NSUPP);
+    let next_amount = AtomicU64::new(1);
+    std::thread::scope(|scope| {
+        for client in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            let next_amount = &next_amount;
+            scope.spawn(move || {
+                let mut rng = HatRng::derive(0x5AD, client);
+                for _ in 0..60 {
+                    // A fresh amount per attempt: conflicts abort cleanly,
+                    // so a retried amount would double-count otherwise.
+                    loop {
+                        let amount = next_amount.fetch_add(1, Ordering::Relaxed) as i64;
+                        if payment(engine.as_ref(), rng.range_u32(1, NSUPP), amount) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let amounts = history_amounts(&engine);
+    assert_eq!(amounts.len(), 240, "every acked payment has its history row");
+    assert_eq!(
+        ytd_vector(&engine).iter().sum::<i64>(),
+        amounts.iter().sum::<i64>(),
+        "supplier YTD diverged from history: a cross-shard payment tore"
+    );
+    // The amount-steered inserts really did cross shards: with 4 shards
+    // and 240 payments the odds of every insert co-homing with its
+    // supplier row are nil.
+    assert!(
+        engine.stats().xshard_commits > 0,
+        "workload never exercised the 2PC round"
+    );
+}
+
+#[test]
+fn no_partial_cross_shard_install_at_any_snapshot() {
+    let engine = Arc::new(ShdEngine::new(sharded_config(4)));
+    load_suppliers(&engine, NSUPP);
+    // Two suppliers whose rows commit on different shards.
+    let router = *engine.kernel().router();
+    let (a, b) = {
+        let mut found = (1u32, 2u32);
+        'outer: for a in 1..=NSUPP {
+            for b in 1..=NSUPP {
+                if a != b
+                    && router.route(TableId::Supplier, (a - 1) as u64)
+                        != router.route(TableId::Supplier, (b - 1) as u64)
+                {
+                    found = (a, b);
+                    break 'outer;
+                }
+            }
+        }
+        found
+    };
+    let rid_a = (a - 1) as u64;
+    let rid_b = (b - 1) as u64;
+    assert_ne!(
+        router.route(TableId::Supplier, rid_a),
+        router.route(TableId::Supplier, rid_b),
+        "picked a genuinely cross-shard pair"
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writer: transfer money from A to B and back, both legs in one
+        // transaction. Every commit is cross-shard; the invariant is that
+        // YTD(a) + YTD(b) == 0 at every instant.
+        let writer_engine = Arc::clone(&engine);
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut moved = 0i64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let delta = if moved % 2 == 0 { 7 } else { -7 };
+                moved += 1;
+                let mut s = writer_engine.begin();
+                let (rid, row) =
+                    s.lookup_u32(NamedIndex::SupplierPk, a).unwrap().expect("a");
+                let ytd = row[supplier::YTD].as_money().unwrap();
+                s.update(
+                    TableId::Supplier,
+                    rid,
+                    row_with(&row, supplier::YTD, Value::Money(ytd + Money::from_cents(delta))),
+                )
+                .unwrap();
+                let (rid, row) =
+                    s.lookup_u32(NamedIndex::SupplierPk, b).unwrap().expect("b");
+                let ytd = row[supplier::YTD].as_money().unwrap();
+                s.update(
+                    TableId::Supplier,
+                    rid,
+                    row_with(&row, supplier::YTD, Value::Money(ytd - Money::from_cents(delta))),
+                )
+                .unwrap();
+                match s.commit() {
+                    Ok(receipt) => assert!(receipt.is_acked()),
+                    Err(e) => assert!(e.is_retryable(), "{e}"),
+                }
+            }
+        });
+        // Readers: one snapshot each, both legs read inside it. A torn
+        // install would show a nonzero pair sum.
+        for _ in 0..2 {
+            let reader_engine = Arc::clone(&engine);
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                let mut observed = 0u32;
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let mut s = reader_engine.begin();
+                    let (_, row_a) =
+                        s.lookup_u32(NamedIndex::SupplierPk, a).unwrap().expect("a");
+                    let (_, row_b) =
+                        s.lookup_u32(NamedIndex::SupplierPk, b).unwrap().expect("b");
+                    let sum = row_a[supplier::YTD].as_money().unwrap().cents()
+                        + row_b[supplier::YTD].as_money().unwrap().cents();
+                    assert_eq!(sum, 0, "snapshot observed half a cross-shard install");
+                    s.abort();
+                    observed += 1;
+                }
+                assert!(observed > 0);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(engine.stats().xshard_commits > 0, "transfers exercised the 2PC round");
+}
+
+#[test]
+fn ssb_answers_are_byte_identical_across_shard_counts() {
+    let data = common::small_data();
+    let mut baseline: Option<Vec<String>> = None;
+    for shards in [1u32, 2, 8] {
+        let engine = ShdEngine::new(sharded_config(shards));
+        data.load_into(&engine).unwrap();
+        let answers: Vec<String> = QueryId::ALL
+            .iter()
+            .map(|&id| {
+                let out = engine.query(&ssb::query(id), &QueryOpts::default()).unwrap();
+                format!("{:?}", out.groups)
+            })
+            .collect();
+        match &baseline {
+            None => baseline = Some(answers),
+            Some(base) => {
+                for (i, (want, got)) in base.iter().zip(&answers).enumerate() {
+                    assert_eq!(
+                        want,
+                        got,
+                        "{} diverged at shards={shards}",
+                        QueryId::ALL[i].label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// WAL directory under `target/` (predictable path for CI artifact
+/// collection, like the disk-chaos suites). Leftovers are removed.
+fn wal_dir(seed: u64) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("shard-chaos")
+        .join(format!("kill-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_sharded_config(dir: &Path) -> EngineConfig {
+    EngineConfig::builder()
+        .shards(4)
+        .durability(DurabilityMode::Fsync(WalConfig {
+            segment_bytes: 4096,
+            ..WalConfig::new(dir)
+        }))
+        .build()
+}
+
+#[test]
+fn in_doubt_cross_shard_commit_resolves_identically_on_every_replay() {
+    for seed in [0x5Au64, 0xB7, 0x1C3] {
+        let dir = wal_dir(seed);
+        let kill_amount;
+        {
+            let engine =
+                ShdEngine::try_new(durable_sharded_config(&dir)).expect("open engine");
+            load_suppliers(&engine, NSUPP);
+            // Some acked cross-shard traffic first, so recovery has both
+            // durable commits to keep and (after the kill) one to drop.
+            let mut rng = HatRng::seeded(seed);
+            let mut amount = 1_000i64;
+            for _ in 0..12 {
+                amount += 1;
+                while !payment(&engine, rng.range_u32(1, NSUPP), amount) {}
+            }
+            // Steer the next payment cross-shard, then kill the
+            // coordinator's WAL before its record can flush: the commit
+            // installs in memory but its single 2PC record (participant
+            // set and all) never becomes durable.
+            let suppkey = rng.range_u32(1, NSUPP);
+            let router = *engine.kernel().router();
+            let supp_shard = router.route(TableId::Supplier, (suppkey - 1) as u64);
+            amount += 1;
+            while router.route(TableId::History, amount as u64) == supp_shard {
+                amount += 1;
+            }
+            kill_amount = amount;
+            let hist_shard = router.route(TableId::History, amount as u64);
+            let coordinator = supp_shard.min(hist_shard);
+            engine
+                .kernel()
+                .durability
+                .wal_for(coordinator)
+                .expect("fsync mode")
+                .arm_kill(KillPoint::BeforeFlush);
+            // The commit is unresolved from the client's view: either a
+            // terminal error or an in-doubt receipt, never a clean ack.
+            let mut s = engine.begin();
+            let (rid, row) = s
+                .lookup_u32(NamedIndex::SupplierPk, suppkey)
+                .unwrap()
+                .expect("supplier");
+            let ytd = row[supplier::YTD].as_money().unwrap();
+            s.update(
+                TableId::Supplier,
+                rid,
+                row_with(
+                    &row,
+                    supplier::YTD,
+                    Value::Money(ytd + Money::from_cents(kill_amount)),
+                ),
+            )
+            .unwrap();
+            s.insert(
+                TableId::History,
+                row_from([
+                    Value::U64(kill_amount as u64),
+                    Value::U32(suppkey),
+                    Value::Money(Money::from_cents(kill_amount)),
+                ]),
+            )
+            .unwrap();
+            match s.commit() {
+                Ok(receipt) => assert!(
+                    !receipt.is_acked(),
+                    "seed {seed}: a killed durability wait must not ack"
+                ),
+                Err(e) => assert!(
+                    !e.is_retryable() || e.is_commit_in_doubt(),
+                    "seed {seed}: unexpected outcome {e}"
+                ),
+            }
+        }
+        // Replay the per-shard WAL merge three times. Every replay must
+        // resolve the in-doubt commit the same way — and since its record
+        // never hit the coordinator's disk, that way is "dropped whole":
+        // neither the supplier leg nor the history leg survives.
+        let mut fingerprints = Vec::new();
+        for replay in 0..3 {
+            let engine = ShdEngine::try_new(durable_sharded_config(&dir))
+                .unwrap_or_else(|e| panic!("seed {seed} replay {replay}: reopen: {e}"));
+            let amounts = history_amounts(&engine);
+            let ytds = ytd_vector(&engine);
+            assert_eq!(
+                amounts.iter().sum::<i64>(),
+                ytds.iter().sum::<i64>(),
+                "seed {seed} replay {replay}: recovery tore a cross-shard commit"
+            );
+            assert!(
+                !amounts.contains(&kill_amount),
+                "seed {seed} replay {replay}: the undurable 2PC record resurrected"
+            );
+            assert_eq!(amounts.len(), 12, "seed {seed}: the acked prefix survived");
+            fingerprints.push((amounts, ytds));
+        }
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: replays diverged — in-doubt resolution is nondeterministic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Release-mode scaling smoke (CI: `--release --ignored`): shard-local
+/// update throughput at shards=4 must beat shards=1 by the redesign's
+/// 1.8x floor. Eight closed-loop clients, disjoint key ranges (zero lock
+/// conflicts), durability off so the kernel's commit critical section is
+/// the measured object.
+#[test]
+#[ignore = "release-mode scaling smoke; run with --release --ignored"]
+fn shard_scaling_smoke_tps4_beats_tps1() {
+    const CLIENTS: u32 = 8;
+    const PER_CLIENT: u32 = 32; // suppliers per client, disjoint
+    // Shard scaling is core scaling: on a box without the cores to run
+    // shards in parallel the ratio is physically capped at 1x, so the
+    // smoke only means something on the multi-core CI runner.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping shard-scaling smoke: {cores} core(s), need >= 4");
+        return;
+    }
+    let tps = |shards: u32| -> f64 {
+        let engine = Arc::new(ShdEngine::new(sharded_config(shards)));
+        load_suppliers(&engine, CLIENTS * PER_CLIENT);
+        let run = |window: Duration, record: bool| -> u64 {
+            let committed = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let engine = Arc::clone(&engine);
+                    let committed = &committed;
+                    scope.spawn(move || {
+                        let lo = client * PER_CLIENT + 1;
+                        let deadline = Instant::now() + window;
+                        let mut k = lo;
+                        let mut n = 0u64;
+                        while Instant::now() < deadline {
+                            let mut s = engine.begin();
+                            let (rid, row) = s
+                                .lookup_u32(NamedIndex::SupplierPk, k)
+                                .unwrap()
+                                .expect("supplier");
+                            let ytd = row[supplier::YTD].as_money().unwrap();
+                            s.update(
+                                TableId::Supplier,
+                                rid,
+                                row_with(
+                                    &row,
+                                    supplier::YTD,
+                                    Value::Money(ytd + Money::from_cents(1)),
+                                ),
+                            )
+                            .unwrap();
+                            if s.commit().expect("no conflicts possible").is_acked() {
+                                n += 1;
+                            }
+                            k += 1;
+                            if k == lo + PER_CLIENT {
+                                k = lo;
+                            }
+                        }
+                        if record {
+                            committed.fetch_add(n, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            committed.load(Ordering::Relaxed)
+        };
+        run(Duration::from_millis(200), false); // warmup
+        let window = Duration::from_millis(800);
+        run(window, true) as f64 / window.as_secs_f64()
+    };
+    let tps1 = tps(1);
+    let tps4 = tps(4);
+    eprintln!("shard scaling: tps(1)={tps1:.0} tps(4)={tps4:.0} ({:.2}x)", tps4 / tps1);
+    assert!(
+        tps4 >= 1.8 * tps1,
+        "shards=4 must scale >= 1.8x over shards=1: got {tps1:.0} -> {tps4:.0} \
+         ({:.2}x)",
+        tps4 / tps1
+    );
+}
