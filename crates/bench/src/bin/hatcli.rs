@@ -114,7 +114,7 @@ fn parse_shards(args: &Args) -> Option<Vec<u32>> {
     let Some(spec) = args.get(&["shards"]) else { return Some(vec![1]) };
     let counts: Vec<u32> =
         spec.split(',').filter_map(|s| s.trim().parse().ok()).collect();
-    if counts.is_empty() || counts.iter().any(|&n| n == 0) {
+    if counts.is_empty() || counts.contains(&0) {
         eprintln!("bad --shards {spec}; expected counts like 4 or 1,2,4");
         return None;
     }
@@ -404,6 +404,9 @@ fn print_point(m: &PointMeasurement) {
         println!("{}", line.trim_start());
     }
     if let Some(line) = report::analytics_line(&m.metrics_end) {
+        println!("{}", line.trim_start());
+    }
+    if let Some(line) = report::scan_line(&m.metrics_end) {
         println!("{}", line.trim_start());
     }
     if let Some(line) = report::vacuum_line(&m.metrics_end) {

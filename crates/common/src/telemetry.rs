@@ -40,6 +40,18 @@ pub mod names {
     pub const QUERIES: &str = "query.executed";
     pub const MORSELS_SCANNED: &str = "scan.morsels_scanned";
     pub const MORSELS_PRUNED: &str = "scan.morsels_pruned";
+    /// Scan batches pulled by the vectorized probe path.
+    pub const SCAN_BATCHES: &str = "scan.batches";
+    /// Fact rows skipped unscanned because morsel zone maps cannot
+    /// satisfy the query's zone checks.
+    pub const SCAN_ROWS_PRUNED: &str = "scan.rows_pruned_zonemap";
+    /// Fact rows removed by the vectorized filter kernels.
+    pub const SCAN_ROWS_FILTERED: &str = "scan.rows_filtered_vectorized";
+    /// Compressed bytes resident in columnar segments (gauge).
+    pub const COLSTORE_BYTES_ENCODED: &str = "colstore.bytes_encoded";
+    /// Bytes those segments would occupy fully decoded (gauge); the
+    /// encoded/decoded ratio is the compression ratio.
+    pub const COLSTORE_BYTES_DECODED: &str = "colstore.bytes_decoded_equiv";
     pub const PROBE_NANOS: &str = "probe.nanos";
     pub const PROBE_WORKERS_MAX: &str = "probe.workers_max";
     pub const AGG_SATURATIONS: &str = "agg.saturations";

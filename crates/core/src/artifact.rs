@@ -21,8 +21,12 @@ use crate::harness::{PointMeasurement, SamplePhase, TimeSeriesSample};
 /// storage-health fields `health` and `shed`; v4 added the overload
 /// fields `shed_overload` and `offered` (splitting sheds by cause:
 /// `shed` is storage-degradation, `shed_overload` is traffic) plus the
-/// `openloop.*` counters and sojourn histogram inside point metrics.
-pub const SCHEMA_VERSION: u64 = 4;
+/// `openloop.*` counters and sojourn histogram inside point metrics; v5
+/// added the vectorized-scan counters (`scan.batches`,
+/// `scan.rows_pruned_zonemap`, `scan.rows_filtered_vectorized`) and the
+/// compression-ratio gauges (`colstore.bytes_encoded`,
+/// `colstore.bytes_decoded_equiv`) inside point metrics.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The run configuration echoed into the artifact, so a result file is
 /// self-describing (which engine, scale, seed, and phase lengths
@@ -425,7 +429,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let mut art = RunArtifact::new(config());
         art.push_point(synthetic_point());
-        let text = art.dump().replace("\"schema_version\": 4", "\"schema_version\": 999");
+        let text = art.dump().replace("\"schema_version\": 5", "\"schema_version\": 999");
         let err = RunArtifact::parse(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -396,6 +396,40 @@ pub fn analytics_line(m: &MetricsSnapshot) -> Option<String> {
     Some(line)
 }
 
+/// One-line vectorized-scan accounting: how many column batches the
+/// kernels filtered, how many rows zone maps pruned before any batch was
+/// read vs. how many the selection-vector kernels rejected, and the
+/// columnar compression ratio (decoded-equivalent bytes over encoded
+/// bytes). Takes the *cumulative* snapshot
+/// ([`PointMeasurement::metrics_end`]: `scan.*` counters and
+/// `colstore.*` gauges). Returns `None` when the vectorized path never
+/// ran (scalar-only engines, or no analytical queries).
+///
+/// [`PointMeasurement::metrics_end`]: crate::harness::PointMeasurement
+pub fn scan_line(m: &MetricsSnapshot) -> Option<String> {
+    let batches = m.counter(names::SCAN_BATCHES);
+    let pruned = m.counter(names::SCAN_ROWS_PRUNED);
+    let filtered = m.counter(names::SCAN_ROWS_FILTERED);
+    if batches == 0 && pruned == 0 && filtered == 0 {
+        return None;
+    }
+    let mut line = format!(
+        "  scan: {batches} batches, {pruned} rows pruned (zone maps), \
+         {filtered} filtered (kernels)"
+    );
+    let encoded = m.gauge(names::COLSTORE_BYTES_ENCODED);
+    let decoded = m.gauge(names::COLSTORE_BYTES_DECODED);
+    if encoded > 0 && decoded > 0 {
+        line.push_str(&format!(
+            ", colstore {:.2}x compressed ({} -> {} bytes)",
+            decoded as f64 / encoded as f64,
+            decoded,
+            encoded
+        ));
+    }
+    Some(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +493,26 @@ mod tests {
         busy.set_counter(names::AGG_SATURATIONS, 3);
         let line = analytics_line(&busy).unwrap();
         assert!(line.contains("3 aggregate saturations"));
+    }
+
+    #[test]
+    fn scan_line_elides_scalar_runs_and_reports_ratio() {
+        let idle = MetricsSnapshot::new();
+        assert!(scan_line(&idle).is_none(), "scalar-only runs stay silent");
+        let mut busy = MetricsSnapshot::new();
+        busy.set_counter(names::SCAN_BATCHES, 50);
+        busy.set_counter(names::SCAN_ROWS_PRUNED, 8192);
+        busy.set_counter(names::SCAN_ROWS_FILTERED, 3000);
+        let line = scan_line(&busy).unwrap();
+        assert!(line.contains("50 batches"));
+        assert!(line.contains("8192 rows pruned (zone maps)"));
+        assert!(line.contains("3000 filtered (kernels)"));
+        assert!(!line.contains("compressed"), "ratio elided without gauges");
+        busy.set_gauge(names::COLSTORE_BYTES_ENCODED, 1_000);
+        busy.set_gauge(names::COLSTORE_BYTES_DECODED, 4_000);
+        let line = scan_line(&busy).unwrap();
+        assert!(line.contains("4.00x compressed"));
+        assert!(line.contains("4000 -> 1000 bytes"));
     }
 
     #[test]

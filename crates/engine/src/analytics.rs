@@ -8,6 +8,8 @@
 //! the index instead of scanning the whole fact table.
 
 use hat_common::{Row, TableId};
+use hat_query::batch::ScanBatch;
+use hat_query::hint::ScanPruner;
 use hat_query::view::{Morsel, MorselSource, RowRef, SnapshotView, MORSEL_ROWS};
 use hat_storage::rowstore::RowDb;
 use hat_txn::Ts;
@@ -60,7 +62,7 @@ impl SnapshotView for PrefilteredView<'_> {
         }
     }
 
-    fn morsels(&self, table: TableId, _hint: Option<(u32, u32)>) -> Vec<Morsel> {
+    fn morsels(&self, table: TableId, _pruner: &ScanPruner) -> Vec<Morsel> {
         if table != self.fact {
             return vec![Morsel::whole()];
         }
@@ -71,7 +73,7 @@ impl SnapshotView for PrefilteredView<'_> {
         let mut lo = 0;
         while lo < n {
             let hi = (lo + MORSEL_ROWS).min(n);
-            out.push(Morsel { source: MorselSource::RowSlice { lo, hi }, date_minmax: None });
+            out.push(Morsel { source: MorselSource::RowSlice { lo, hi }, zones: Vec::new() });
             lo = hi;
         }
         out
@@ -90,7 +92,23 @@ impl SnapshotView for PrefilteredView<'_> {
                     visit(&RowRef::Row(row));
                 }
             }
-            other => panic!("unexpected morsel {other:?} for prefiltered view"),
+            ref other => panic!("unexpected morsel {other:?} for prefiltered view"),
+        }
+    }
+
+    fn scan_batches(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        emit: &mut dyn FnMut(&ScanBatch<'_>),
+    ) {
+        match morsel.source {
+            // The prefiltered row list is already resident row-format:
+            // hand the slice over zero-copy.
+            MorselSource::RowSlice { lo, hi } if table == self.fact => {
+                emit(&ScanBatch::Rows(&self.fact_rows[lo..hi]));
+            }
+            _ => hat_query::view::scalar_batch_adapter(self, table, morsel, emit),
         }
     }
 }
@@ -140,12 +158,20 @@ mod tests {
         assert_eq!(n, 0);
 
         // Morsels chunk the prefiltered row list and cover exactly it.
-        let morsels = view.morsels(TableId::History, Some((0, 1)));
+        let morsels = view.morsels(TableId::History, &ScanPruner::none());
         assert_eq!(morsels.len(), 1);
         let mut seen = Vec::new();
         view.scan_morsel(TableId::History, &morsels[0], &mut |r| seen.push(r.u64(0)));
         assert_eq!(seen, vec![2, 4]);
+        // Batches cover the same rows, zero-copy from the row list.
+        let mut batched = Vec::new();
+        view.scan_batches(TableId::History, &morsels[0], &mut |b| {
+            for i in 0..b.len() {
+                batched.push(b.row_ref(i).u64(0));
+            }
+        });
+        assert_eq!(batched, vec![2, 4]);
         // Non-fact tables stay whole-table morsels.
-        assert_eq!(view.morsels(TableId::Customer, None), vec![Morsel::whole()]);
+        assert_eq!(view.morsels(TableId::Customer, &ScanPruner::none()), vec![Morsel::whole()]);
     }
 }

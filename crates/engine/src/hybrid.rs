@@ -317,6 +317,14 @@ impl HtapEngine for DualEngine {
     fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.kernel.metrics();
         snap.set_gauge(names::DELTA_ROWS, self.columnar.lineorder.delta_len() as u64);
+        snap.set_gauge(
+            names::COLSTORE_BYTES_ENCODED,
+            self.columnar.lineorder.approx_bytes() as u64,
+        );
+        snap.set_gauge(
+            names::COLSTORE_BYTES_DECODED,
+            self.columnar.lineorder.decoded_bytes_equiv() as u64,
+        );
         snap
     }
 }
@@ -714,6 +722,14 @@ impl HtapEngine for LearnerEngine {
         let mut snap = self.kernel.metrics();
         snap.set_gauge(names::REPL_BACKLOG, self.backlog.load(Ordering::Relaxed));
         snap.set_gauge(names::DELTA_ROWS, self.columnar.lineorder.delta_len() as u64);
+        snap.set_gauge(
+            names::COLSTORE_BYTES_ENCODED,
+            self.columnar.lineorder.approx_bytes() as u64,
+        );
+        snap.set_gauge(
+            names::COLSTORE_BYTES_DECODED,
+            self.columnar.lineorder.decoded_bytes_equiv() as u64,
+        );
         snap
     }
 }

@@ -323,6 +323,12 @@ pub struct KernelStats {
     pub morsels_scanned: Arc<Counter>,
     /// Morsels pruned via date zone maps.
     pub morsels_pruned: Arc<Counter>,
+    /// Scan batches pulled by the vectorized probe path.
+    pub scan_batches: Arc<Counter>,
+    /// Fact rows skipped unscanned by zone-map pruning.
+    pub scan_rows_pruned: Arc<Counter>,
+    /// Fact rows removed by the vectorized filter kernels.
+    pub scan_rows_filtered: Arc<Counter>,
     /// Total probe-phase wall time, nanoseconds.
     pub probe_nanos: Arc<Counter>,
     /// Largest probe worker count any query used.
@@ -363,6 +369,9 @@ impl Default for KernelStats {
             xshard_commits: registry.counter(names::TXN_XSHARD_COMMITS),
             morsels_scanned: registry.counter(names::MORSELS_SCANNED),
             morsels_pruned: registry.counter(names::MORSELS_PRUNED),
+            scan_batches: registry.counter(names::SCAN_BATCHES),
+            scan_rows_pruned: registry.counter(names::SCAN_ROWS_PRUNED),
+            scan_rows_filtered: registry.counter(names::SCAN_ROWS_FILTERED),
             probe_nanos: registry.counter(names::PROBE_NANOS),
             probe_workers_max: registry.gauge(names::PROBE_WORKERS_MAX),
             agg_saturations: registry.counter(names::AGG_SATURATIONS),
@@ -386,6 +395,9 @@ impl KernelStats {
     pub fn record_exec(&self, s: &hat_query::exec::ExecStats) {
         self.morsels_scanned.add(s.morsels_scanned);
         self.morsels_pruned.add(s.morsels_pruned);
+        self.scan_batches.add(s.batches);
+        self.scan_rows_pruned.add(s.rows_pruned_zonemap);
+        self.scan_rows_filtered.add(s.rows_filtered_vectorized);
         self.probe_nanos.add(s.probe_nanos);
         self.probe_workers_max.set_max(s.workers as u64);
         self.agg_saturations.add(s.agg_saturations);

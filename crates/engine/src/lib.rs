@@ -56,7 +56,7 @@ pub use api::{
     EngineConfigBuilder, EngineStats, HtapEngine, InDoubtCause, IndexProfile, NamedIndex,
     Session, TxnHandle,
 };
-pub use hat_query::exec::{ExecStats, QueryOpts};
+pub use hat_query::exec::{ExecStats, QueryOpts, ScanMode};
 pub use durability::DurabilityLayer;
 pub use hat_storage::dwal::{
     DiskFault, DiskFaultKind, DiskFaultPlan, HealthState, KillPoint, WalConfig,

@@ -1,4 +1,4 @@
-//! Date-range hints extracted from query specs.
+//! Scan-pruning hints extracted from query specs.
 //!
 //! Several SSB queries restrict the fact table to a contiguous
 //! `lo_orderdate` range via their date-dimension filter. The executor and
@@ -6,13 +6,87 @@
 //! orderdate index prefilter, and the morsel planner uses it to prune
 //! columnar segments through their zone maps. Keeping the extraction here
 //! (next to the executor) guarantees both consumers agree on the hint.
+//!
+//! [`ScanPruner`] generalizes the date hint to *every* `u32` conjunct of
+//! the fact filter: each becomes a zone check the morsel planner matches
+//! against the per-segment `u32_minmax` zone maps, so a `lo_discount` or
+//! `lo_quantity` range prunes morsels exactly like the date range does.
 
 use hat_common::dates;
 use hat_common::ids::{date, lineorder};
-use hat_common::TableId;
+use hat_common::{ColId, TableId};
 
 use crate::predicate::ColPredicate;
 use crate::spec::QuerySpec;
+
+/// One zone-map check against a `u32` column: "could any value in
+/// `[min, max]` satisfy the predicate?"
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneCheck {
+    /// Inclusive `[lo, hi]` range (equality is a one-point range).
+    Range(u32, u32),
+    /// Small IN list.
+    In(Vec<u32>),
+}
+
+impl ZoneCheck {
+    /// Whether a column whose values all lie in `[min, max]` could contain
+    /// a passing row. Conservative: `true` keeps the morsel.
+    pub fn may_overlap(&self, min: u32, max: u32) -> bool {
+        match self {
+            ZoneCheck::Range(lo, hi) => max >= *lo && min <= *hi,
+            ZoneCheck::In(vs) => vs.iter().any(|&v| min <= v && v <= max),
+        }
+    }
+}
+
+/// The executor's zone-map pruning plan for one query: every `u32` check
+/// the morsel planner should match against segment zone maps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanPruner {
+    /// `(fact column, check)` pairs. A morsel survives only if every check
+    /// whose column has a known zone overlaps that zone.
+    pub checks: Vec<(ColId, ZoneCheck)>,
+}
+
+impl ScanPruner {
+    /// A pruner with no checks (prunes nothing).
+    pub fn none() -> Self {
+        ScanPruner::default()
+    }
+
+    /// Builds the pruning plan for `spec`: the date-range hint (when one
+    /// exists) plus every `U32Eq` / `U32Between` / `U32In` conjunct of the
+    /// fact filter. Each check is a superset of the true predicate over
+    /// any candidate morsel, so pruning never drops a passing row.
+    pub fn for_spec(spec: &QuerySpec) -> Self {
+        let mut checks = Vec::new();
+        if let Some((lo, hi)) = date_range_hint(spec) {
+            checks.push((lineorder::ORDERDATE, ZoneCheck::Range(lo, hi)));
+        }
+        for pred in &spec.fact_filter.conjuncts {
+            match pred {
+                ColPredicate::U32Eq(c, v) => checks.push((*c, ZoneCheck::Range(*v, *v))),
+                ColPredicate::U32Between(c, lo, hi) => {
+                    checks.push((*c, ZoneCheck::Range(*lo, *hi)));
+                }
+                ColPredicate::U32In(c, vs) => checks.push((*c, ZoneCheck::In(vs.clone()))),
+                _ => {}
+            }
+        }
+        ScanPruner { checks }
+    }
+
+    /// Whether the pruner has no checks at all.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// The columns the planner should collect zone maps for.
+    pub fn cols(&self) -> impl Iterator<Item = ColId> + '_ {
+        self.checks.iter().map(|(c, _)| *c)
+    }
+}
 
 /// If `spec`'s date join restricts orders to one contiguous, selective
 /// date-key range, returns `(lo, hi)` inclusive.
@@ -114,5 +188,35 @@ mod tests {
         assert_eq!(parse_yearmonth("Jan1992"), Some((1992, 1)));
         assert_eq!(parse_yearmonth("xyz1997"), None);
         assert_eq!(parse_yearmonth("Dec97"), None);
+    }
+
+    #[test]
+    fn zone_check_overlap_semantics() {
+        assert!(ZoneCheck::Range(10, 20).may_overlap(15, 30));
+        assert!(ZoneCheck::Range(10, 20).may_overlap(20, 30), "inclusive edge");
+        assert!(!ZoneCheck::Range(10, 20).may_overlap(21, 30));
+        assert!(!ZoneCheck::Range(10, 20).may_overlap(1, 9));
+        assert!(ZoneCheck::In(vec![5, 25]).may_overlap(20, 30));
+        assert!(!ZoneCheck::In(vec![5, 35]).may_overlap(20, 30));
+        assert!(!ZoneCheck::In(vec![]).may_overlap(0, u32::MAX), "empty IN admits nothing");
+    }
+
+    #[test]
+    fn pruner_combines_date_hint_and_fact_conjuncts() {
+        // Q1.1: d_year = 1993 plus discount BETWEEN and quantity <.
+        let pruner = ScanPruner::for_spec(&ssb::query(QueryId::Q1_1));
+        assert_eq!(pruner.checks[0], (
+            lineorder::ORDERDATE,
+            ZoneCheck::Range(19930101, 19931231)
+        ));
+        assert!(
+            pruner.cols().any(|c| c == lineorder::DISCOUNT),
+            "fact-filter u32 conjuncts become zone checks"
+        );
+        assert!(!pruner.is_empty());
+        // A query with neither date hint nor u32 fact conjuncts.
+        let pruner = ScanPruner::for_spec(&ssb::query(QueryId::Q2_1));
+        assert!(pruner.is_empty(), "Q2.1 filters only via dimension joins");
+        assert!(ScanPruner::none().is_empty());
     }
 }

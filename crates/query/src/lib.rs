@@ -41,6 +41,7 @@
 //! assert_eq!(out.groups[0].agg, 1000);
 //! ```
 
+pub mod batch;
 pub mod exec;
 pub mod hint;
 pub mod predicate;
@@ -48,8 +49,9 @@ pub mod spec;
 pub mod ssb;
 pub mod view;
 
-pub use exec::{execute, ExecContext, ExecStats, QueryOpts, QueryOutput};
-pub use hint::date_range_hint;
+pub use batch::{filter_batch, BatchReader, KernelCache, ScanBatch};
+pub use exec::{execute, ExecContext, ExecStats, QueryOpts, QueryOutput, ScanMode};
+pub use hint::{date_range_hint, ScanPruner, ZoneCheck};
 pub use predicate::{ColPredicate, Predicate};
 pub use spec::{AggExpr, GroupKey, GroupVal, JoinSpec, QueryId, QuerySpec};
 pub use view::{MixedView, Morsel, MorselSource, RowRef, SnapshotView};

@@ -11,11 +11,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hat_common::ids::{freshness, lineorder};
+use hat_common::ids::freshness;
 use hat_common::{ColId, Money, Row, TableId};
-use hat_storage::colstore::{ColumnSnapshot, DimSnapshot, Segment};
+use hat_storage::colstore::{materialize_row, ColumnSnapshot, DimSnapshot, Segment};
 use hat_storage::rowstore::RowDb;
 use hat_txn::Ts;
+
+use crate::batch::ScanBatch;
+use crate::hint::ScanPruner;
 
 /// A borrowed reference to one logical row in either format.
 pub enum RowRef<'a> {
@@ -100,29 +103,44 @@ pub enum MorselSource {
 /// One contiguous unit of scan work: the scheduling quantum of the
 /// morsel-driven probe phase. Views *describe* morsels; the executor
 /// decides which to scan (pruning) and on which worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Morsel {
     /// The row range this morsel covers.
     pub source: MorselSource,
-    /// Zone-map `(min, max)` of the fact date-key column over the morsel's
-    /// backing rows, when the storage tracks one. `None` means "unknown"
-    /// and exempts the morsel from pruning.
-    pub date_minmax: Option<(u32, u32)>,
+    /// Per-column zone maps over the morsel's backing rows: `(column,
+    /// min, max)` for each pruner column the storage tracks. A column
+    /// absent here is "unknown" and exempts the morsel from that check.
+    pub zones: Vec<(ColId, u32, u32)>,
 }
 
 impl Morsel {
     /// The whole-table morsel: correct for any view, no intra-table
     /// parallelism.
     pub fn whole() -> Self {
-        Morsel { source: MorselSource::Whole, date_minmax: None }
+        Morsel { source: MorselSource::Whole, zones: Vec::new() }
     }
 
-    /// Whether the morsel could contain a row whose date key falls in the
-    /// inclusive `hint` range. `true` whenever either side is unknown.
-    pub fn may_overlap(&self, hint: Option<(u32, u32)>) -> bool {
-        match (self.date_minmax, hint) {
-            (Some((min, max)), Some((lo, hi))) => max >= lo && min <= hi,
-            _ => true,
+    /// Whether the morsel could contain a row passing every one of
+    /// `pruner`'s zone checks. Checks whose column has no zone here never
+    /// prune.
+    pub fn may_overlap(&self, pruner: &ScanPruner) -> bool {
+        pruner.checks.iter().all(|(col, check)| {
+            match self.zones.iter().find(|(c, _, _)| c == col) {
+                Some(&(_, min, max)) => check.may_overlap(min, max),
+                None => true,
+            }
+        })
+    }
+
+    /// Number of backing rows, when the source states one (pruned-row
+    /// accounting). `Whole` morsels never carry zones, so they are never
+    /// pruned and never need a count.
+    pub fn rows(&self) -> Option<u64> {
+        match self.source {
+            MorselSource::Whole => None,
+            MorselSource::RowRange { lo, hi } => Some(hi - lo),
+            MorselSource::SegmentRows { lo, hi, .. } => Some((hi - lo) as u64),
+            MorselSource::RowSlice { lo, hi } => Some((hi - lo) as u64),
         }
     }
 }
@@ -140,12 +158,12 @@ pub trait SnapshotView: Sync {
     fn scan(&self, table: TableId, visit: &mut dyn FnMut(&RowRef<'_>));
 
     /// Splits `table`'s visible rows into contiguous morsels for the
-    /// parallel probe phase. `hint` is the query's inclusive date-key range
-    /// (when one exists); views that track per-morsel date bounds attach
-    /// them so the executor can prune non-overlapping morsels. Scanning
-    /// every returned morsel with [`SnapshotView::scan_morsel`] must visit
+    /// parallel probe phase. `pruner` names the query's zone checks; views
+    /// that track per-morsel column bounds attach matching zones so the
+    /// executor can prune morsels that cannot pass. Scanning every
+    /// returned morsel with [`SnapshotView::scan_morsel`] must visit
     /// exactly the rows [`SnapshotView::scan`] would, in some order.
-    fn morsels(&self, _table: TableId, _hint: Option<(u32, u32)>) -> Vec<Morsel> {
+    fn morsels(&self, _table: TableId, _pruner: &ScanPruner) -> Vec<Morsel> {
         vec![Morsel::whole()]
     }
 
@@ -160,8 +178,23 @@ pub trait SnapshotView: Sync {
     ) {
         match morsel.source {
             MorselSource::Whole => self.scan(table, visit),
-            other => panic!("view produced {other:?} but does not implement scan_morsel"),
+            ref other => panic!("view produced {other:?} but does not implement scan_morsel"),
         }
+    }
+
+    /// Emits one morsel's rows as [`ScanBatch`]es of at most
+    /// [`MORSEL_ROWS`] rows each. This is the executor's primary scan
+    /// entry point: columnar views emit encoded [`ScanBatch::Cols`]
+    /// chunks zero-copy; everything else goes through the scalar fallback
+    /// adapter, which buffers [`SnapshotView::scan_morsel`]'s rows into
+    /// row-format batches. Either way the executor sees one API.
+    fn scan_batches(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        emit: &mut dyn FnMut(&ScanBatch<'_>),
+    ) {
+        scalar_batch_adapter(self, table, morsel, emit);
     }
 
     /// The HATtrick freshness side-read (§4.2): the highest transaction
@@ -175,6 +208,33 @@ pub trait SnapshotView: Sync {
         });
         out.sort_unstable_by_key(|(c, _)| *c);
         out
+    }
+}
+
+/// The scalar fallback batch adapter: buffers a morsel's row-at-a-time
+/// visitation into row-format [`ScanBatch`]es. Columnar rows are
+/// materialized (they have no resident row form); row-format rows are
+/// cheap `Arc` clones. Correct for any view, which is what keeps all five
+/// engines behind the one batch API.
+pub fn scalar_batch_adapter<V: SnapshotView + ?Sized>(
+    view: &V,
+    table: TableId,
+    morsel: &Morsel,
+    emit: &mut dyn FnMut(&ScanBatch<'_>),
+) {
+    let mut buf: Vec<Row> = Vec::with_capacity(MORSEL_ROWS);
+    view.scan_morsel(table, morsel, &mut |r| {
+        buf.push(match r {
+            RowRef::Row(row) => Arc::clone(row),
+            RowRef::Col { seg, idx } => materialize_row(table, seg, *idx),
+        });
+        if buf.len() == MORSEL_ROWS {
+            emit(&ScanBatch::Rows(&buf));
+            buf.clear();
+        }
+    });
+    if !buf.is_empty() {
+        emit(&ScanBatch::Rows(&buf));
     }
 }
 
@@ -255,26 +315,29 @@ impl SnapshotView for MixedView<'_> {
         }
     }
 
-    fn morsels(&self, table: TableId, hint: Option<(u32, u32)>) -> Vec<Morsel> {
+    fn morsels(&self, table: TableId, pruner: &ScanPruner) -> Vec<Morsel> {
         if self.dims.contains_key(&table) {
             // Dimension overlays are tiny; not worth splitting.
             return vec![Morsel::whole()];
         }
         let mut out = Vec::new();
         if let Some(snap) = self.columnar.get(&table) {
-            // Only the fact date column participates in pruning, and only
-            // when the query actually supplied a hint.
-            let date_col = (table == TableId::Lineorder && hint.is_some())
-                .then_some(lineorder::ORDERDATE);
+            // Attach a zone per pruner column the segment tracks — any
+            // u32 column, any table. The segment zone map covers all
+            // rows, a superset of the visible prefix, so pruning on it is
+            // always safe.
             for (si, seg) in snap.segments().iter().enumerate() {
                 let visible = seg.visible_prefix(self.ts);
-                let minmax = date_col.and_then(|col| seg.u32_minmax(col));
+                let zones: Vec<(ColId, u32, u32)> = pruner
+                    .cols()
+                    .filter_map(|col| seg.u32_minmax(col).map(|(mn, mx)| (col, mn, mx)))
+                    .collect();
                 let mut lo = 0;
                 while lo < visible {
                     let hi = (lo + MORSEL_ROWS).min(visible);
                     out.push(Morsel {
                         source: MorselSource::SegmentRows { segment: si, lo, hi },
-                        date_minmax: minmax,
+                        zones: zones.clone(),
                     });
                     lo = hi;
                 }
@@ -285,7 +348,7 @@ impl SnapshotView for MixedView<'_> {
                 let hi = (lo + MORSEL_ROWS).min(delta);
                 out.push(Morsel {
                     source: MorselSource::RowSlice { lo, hi },
-                    date_minmax: None,
+                    zones: Vec::new(),
                 });
                 lo = hi;
             }
@@ -296,7 +359,7 @@ impl SnapshotView for MixedView<'_> {
                 let hi = (lo + MORSEL_ROWS as u64).min(slots);
                 out.push(Morsel {
                     source: MorselSource::RowRange { lo, hi },
-                    date_minmax: None,
+                    zones: Vec::new(),
                 });
                 lo = hi;
             }
@@ -331,6 +394,36 @@ impl SnapshotView for MixedView<'_> {
                 for (_, row) in &snap.delta()[lo..hi] {
                     visit(&RowRef::Row(row));
                 }
+            }
+        }
+    }
+
+    fn scan_batches(
+        &self,
+        table: TableId,
+        morsel: &Morsel,
+        emit: &mut dyn FnMut(&ScanBatch<'_>),
+    ) {
+        match morsel.source {
+            // The vectorized fast path: hand the executor the encoded
+            // segment chunk directly, zero-copy.
+            MorselSource::SegmentRows { segment, lo, hi } => {
+                let snap =
+                    self.columnar.get(&table).expect("segment morsel on non-columnar table");
+                let seg = &snap.segments()[segment];
+                emit(&ScanBatch::Cols { seg, lo, len: hi - lo });
+            }
+            // Delta rows are already row-format: batch their `Arc`s.
+            MorselSource::RowSlice { lo, hi } => {
+                let snap =
+                    self.columnar.get(&table).expect("delta morsel on non-columnar table");
+                let buf: Vec<Row> =
+                    snap.delta()[lo..hi].iter().map(|(_, r)| Arc::clone(r)).collect();
+                emit(&ScanBatch::Rows(&buf));
+            }
+            // Row store and whole-table morsels: scalar fallback adapter.
+            MorselSource::Whole | MorselSource::RowRange { .. } => {
+                scalar_batch_adapter(self, table, morsel, emit);
             }
         }
     }
@@ -445,15 +538,23 @@ mod tests {
         ])
     }
 
-    /// Concatenating a view's morsel scans must equal its full scan.
+    /// Concatenating a view's morsel scans must equal its full scan, and
+    /// its batch emissions must cover the same rows.
     fn assert_morsels_cover(view: &MixedView<'_>, table: TableId) -> usize {
         let mut full = Vec::new();
         view.scan(table, &mut |r| full.push(r.u64(0)));
-        let morsels = view.morsels(table, None);
+        let morsels = view.morsels(table, &ScanPruner::none());
         let mut pieces = Vec::new();
+        let mut batched = Vec::new();
         for m in &morsels {
             view.scan_morsel(table, m, &mut |r| pieces.push(r.u64(0)));
+            view.scan_batches(table, m, &mut |b| {
+                for i in 0..b.len() {
+                    batched.push(b.row_ref(i).u64(0));
+                }
+            });
         }
+        assert_eq!(batched, pieces, "batches emit morsel rows in order");
         pieces.sort_unstable();
         let mut sorted_full = full.clone();
         sorted_full.sort_unstable();
@@ -463,13 +564,35 @@ mod tests {
 
     #[test]
     fn morsel_overlap_semantics() {
-        let m = |mm| Morsel { source: MorselSource::Whole, date_minmax: mm };
-        assert!(m(None).may_overlap(Some((10, 20))), "unknown bounds never prune");
-        assert!(m(Some((1, 5))).may_overlap(None), "no hint never prunes");
-        assert!(m(Some((15, 30))).may_overlap(Some((10, 20))));
-        assert!(m(Some((20, 30))).may_overlap(Some((10, 20))), "inclusive edge");
-        assert!(!m(Some((21, 30))).may_overlap(Some((10, 20))));
-        assert!(!m(Some((1, 9))).may_overlap(Some((10, 20))));
+        use crate::hint::ZoneCheck;
+        let m = |zones| Morsel { source: MorselSource::Whole, zones };
+        let pruner = |lo, hi| ScanPruner { checks: vec![(1, ZoneCheck::Range(lo, hi))] };
+        assert!(m(vec![]).may_overlap(&pruner(10, 20)), "unknown bounds never prune");
+        assert!(m(vec![(1, 1, 5)]).may_overlap(&ScanPruner::none()), "no checks never prune");
+        assert!(m(vec![(1, 15, 30)]).may_overlap(&pruner(10, 20)));
+        assert!(m(vec![(1, 20, 30)]).may_overlap(&pruner(10, 20)), "inclusive edge");
+        assert!(!m(vec![(1, 21, 30)]).may_overlap(&pruner(10, 20)));
+        assert!(!m(vec![(1, 1, 9)]).may_overlap(&pruner(10, 20)));
+        // A zone for a different column does not satisfy the check.
+        assert!(m(vec![(2, 50, 60)]).may_overlap(&pruner(10, 20)));
+        // Multiple checks: all must overlap.
+        let both = ScanPruner {
+            checks: vec![(1, ZoneCheck::Range(10, 20)), (2, ZoneCheck::In(vec![7]))],
+        };
+        assert!(m(vec![(1, 15, 16), (2, 5, 9)]).may_overlap(&both));
+        assert!(!m(vec![(1, 15, 16), (2, 8, 9)]).may_overlap(&both));
+    }
+
+    #[test]
+    fn morsel_row_counts() {
+        assert_eq!(Morsel::whole().rows(), None);
+        let m = |source| Morsel { source, zones: Vec::new() };
+        assert_eq!(m(MorselSource::RowRange { lo: 5, hi: 25 }).rows(), Some(20));
+        assert_eq!(
+            m(MorselSource::SegmentRows { segment: 0, lo: 0, hi: 4096 }).rows(),
+            Some(4096)
+        );
+        assert_eq!(m(MorselSource::RowSlice { lo: 3, hi: 10 }).rows(), Some(7));
     }
 
     #[test]
@@ -483,7 +606,7 @@ mod tests {
         let view = MixedView::rows(&db, 5);
         assert_eq!(assert_morsels_cover(&view, TableId::History), 2);
         // Empty table: no morsels, nothing to scan.
-        assert!(view.morsels(TableId::Customer, None).is_empty());
+        assert!(view.morsels(TableId::Customer, &ScanPruner::none()).is_empty());
     }
 
     #[test]
@@ -494,7 +617,7 @@ mod tests {
         ct.append_delta(4, history_row(10, 0, 0));
         ct.append_delta(7, history_row(11, 0, 0));
         let view = MixedView::rows(&db, 5).with_columnar(TableId::History, ct.snapshot(5));
-        let morsels = view.morsels(TableId::History, None);
+        let morsels = view.morsels(TableId::History, &ScanPruner::none());
         assert_eq!(morsels.len(), 2, "one segment chunk + one visible-delta chunk");
         assert!(matches!(morsels[0].source, MorselSource::SegmentRows { .. }));
         assert!(matches!(morsels[1].source, MorselSource::RowSlice { .. }));
@@ -508,28 +631,66 @@ mod tests {
         let dim = DimColumnCopy::new(TableId::History);
         dim.load(2, (0..4).map(|i| history_row(i, 10, 0)));
         let view = MixedView::rows(&db, 5).with_dim(TableId::History, dim.snapshot(5));
-        assert_eq!(view.morsels(TableId::History, None), vec![Morsel::whole()]);
+        assert_eq!(view.morsels(TableId::History, &ScanPruner::none()), vec![Morsel::whole()]);
         assert_morsels_cover(&view, TableId::History);
     }
 
     #[test]
     fn lineorder_zone_maps_flow_into_morsels() {
+        use crate::hint::ZoneCheck;
+        use hat_common::ids::lineorder;
         let db = RowDb::new();
         let ct = ColumnTable::new(TableId::Lineorder);
         ct.load_segment(2, (0..20).map(|i| lineorder_row(19930101 + i)));
         ct.load_segment(2, (0..20).map(|i| lineorder_row(19940101 + i)));
         let view =
             MixedView::rows(&db, 5).with_columnar(TableId::Lineorder, ct.snapshot(5));
-        let hint = Some((19940101, 19941231));
-        let morsels = view.morsels(TableId::Lineorder, hint);
+        let pruner = ScanPruner {
+            checks: vec![(lineorder::ORDERDATE, ZoneCheck::Range(19940101, 19941231))],
+        };
+        let morsels = view.morsels(TableId::Lineorder, &pruner);
         assert_eq!(morsels.len(), 2);
-        assert_eq!(morsels[0].date_minmax, Some((19930101, 19930120)));
-        assert_eq!(morsels[1].date_minmax, Some((19940101, 19940120)));
-        assert!(!morsels[0].may_overlap(hint), "1993 segment prunes");
-        assert!(morsels[1].may_overlap(hint));
-        // Without a hint the view skips zone-map lookup entirely.
-        let unhinted = view.morsels(TableId::Lineorder, None);
-        assert!(unhinted.iter().all(|m| m.date_minmax.is_none()));
+        assert_eq!(morsels[0].zones, vec![(lineorder::ORDERDATE, 19930101, 19930120)]);
+        assert_eq!(morsels[1].zones, vec![(lineorder::ORDERDATE, 19940101, 19940120)]);
+        assert!(!morsels[0].may_overlap(&pruner), "1993 segment prunes");
+        assert!(morsels[1].may_overlap(&pruner));
+        // Without checks the view skips zone-map lookup entirely.
+        let unchecked = view.morsels(TableId::Lineorder, &ScanPruner::none());
+        assert!(unchecked.iter().all(|m| m.zones.is_empty()));
+    }
+
+    #[test]
+    fn non_date_u32_zone_maps_flow_into_morsels() {
+        // The generalized pruner: a custkey check (not the date column)
+        // picks up segment zone maps just the same.
+        use crate::hint::ZoneCheck;
+        let db = RowDb::new();
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(2, (0..20).map(|i| history_row(i, 100 + i as u32, 0)));
+        ct.load_segment(2, (0..20).map(|i| history_row(i, 500 + i as u32, 0)));
+        let view = MixedView::rows(&db, 5).with_columnar(TableId::History, ct.snapshot(5));
+        let pruner = ScanPruner { checks: vec![(1, ZoneCheck::Range(505, 510))] };
+        let morsels = view.morsels(TableId::History, &pruner);
+        assert_eq!(morsels.len(), 2);
+        assert!(!morsels[0].may_overlap(&pruner), "custkeys 100..119 prune");
+        assert!(morsels[1].may_overlap(&pruner));
+    }
+
+    #[test]
+    fn columnar_batches_are_zero_copy_cols() {
+        let db = RowDb::new();
+        let ct = ColumnTable::new(TableId::History);
+        ct.load_segment(2, (0..10).map(|i| history_row(i, 0, 0)));
+        ct.append_delta(4, history_row(10, 0, 0));
+        let view = MixedView::rows(&db, 5).with_columnar(TableId::History, ct.snapshot(5));
+        let morsels = view.morsels(TableId::History, &ScanPruner::none());
+        let mut kinds = Vec::new();
+        for m in &morsels {
+            view.scan_batches(TableId::History, m, &mut |b| {
+                kinds.push(matches!(b, ScanBatch::Cols { .. }));
+            });
+        }
+        assert_eq!(kinds, vec![true, false], "segment -> Cols, delta -> Rows");
     }
 
     #[test]

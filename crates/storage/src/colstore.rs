@@ -89,6 +89,135 @@ impl RleU32 {
             std::iter::repeat_n(v, count as usize)
         })
     }
+
+    /// Iterates the runs overlapping logical rows `[lo, hi)` as
+    /// `(value, start, end)` triples clipped to that window. This is the
+    /// run-at-a-time entry point for scan kernels: one predicate
+    /// evaluation per run instead of one per row.
+    pub fn runs_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (u32, usize, usize)> + '_ {
+        let first = self.runs.partition_point(|&(_, end)| end as usize <= lo);
+        let mut start = if first == 0 { 0 } else { self.runs[first - 1].1 as usize };
+        self.runs[first..].iter().map_while(move |&(v, end)| {
+            if start.max(lo) >= hi {
+                return None;
+            }
+            let clipped = (v, start.max(lo), (end as usize).min(hi));
+            start = end as usize;
+            Some(clipped)
+        })
+    }
+
+    /// A sequential-access cursor positioned at the first run.
+    pub fn cursor(&self) -> RleCursor {
+        RleCursor { run: 0 }
+    }
+}
+
+/// A cached run position for sequential access into an [`RleU32`].
+///
+/// `RleU32::get` pays a binary search per call, which is pathological for
+/// the executor's late-materialization loops that walk a selection vector
+/// in ascending order. The cursor remembers the last run: in-run and
+/// next-run accesses are O(1), forward skips advance linearly, and a
+/// backward jump falls back to the binary search. Any access pattern is
+/// therefore correct; monotone patterns are fast.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RleCursor {
+    run: usize,
+}
+
+impl RleCursor {
+    /// The value at logical index `idx`, updating the cached position.
+    #[inline]
+    pub fn value_at(&mut self, rle: &RleU32, idx: usize) -> u32 {
+        debug_assert!(idx < rle.len());
+        let runs = &rle.runs;
+        let run_start =
+            |i: usize| if i == 0 { 0 } else { runs[i - 1].1 as usize };
+        if self.run >= runs.len() || idx < run_start(self.run) {
+            // Backward jump (or stale cursor): reseek.
+            self.run = runs.partition_point(|&(_, end)| end as usize <= idx);
+        } else {
+            // Forward: advance run by run. Amortized O(1) over a monotone
+            // walk — each run is stepped past at most once.
+            while idx >= runs[self.run].1 as usize {
+                self.run += 1;
+            }
+        }
+        runs[self.run].0
+    }
+}
+
+/// A bit-packed vector of `u32`: every value stored in `bits` bits,
+/// little-endian within a `u64` word stream. Chosen for narrow columns
+/// (small maxima) where neither runs nor a dictionary help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedU32 {
+    bits: u32,
+    len: u32,
+    words: Vec<u64>,
+}
+
+impl PackedU32 {
+    /// Packs `values` at the smallest width that fits their maximum
+    /// (minimum 1 bit; 32 for a maximum with the top bit set).
+    pub fn encode(values: &[u32]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let bits = (32 - max.leading_zeros()).max(1);
+        let total_bits = values.len() * bits as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            let off = i * bits as usize;
+            let (word, shift) = (off / 64, (off % 64) as u32);
+            words[word] |= (v as u64) << shift;
+            if shift + bits > 64 {
+                words[word + 1] |= (v as u64) >> (64 - shift);
+            }
+        }
+        PackedU32 { bits, len: values.len() as u32, words }
+    }
+
+    /// Number of logical elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per value.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Random access by logical index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.len());
+        let off = idx * self.bits as usize;
+        let (word, shift) = (off / 64, (off % 64) as u32);
+        let mut v = self.words[word] >> shift;
+        if shift + self.bits > 64 {
+            v |= self.words[word + 1] << (64 - shift);
+        }
+        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        (v & mask) as u32
+    }
+
+    /// Iterates all logical values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Packed size in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
 }
 
 /// A dictionary-encoded string column.
@@ -99,9 +228,12 @@ pub struct DictColumn {
 }
 
 impl DictColumn {
-    /// Encodes a sequence of strings.
+    /// Encodes a sequence of strings. Codes are assigned in first-seen
+    /// order, so encoding is deterministic for a given input sequence.
     pub fn encode<'a, I: IntoIterator<Item = &'a Arc<str>>>(values: I) -> Self {
-        let mut map: HashMap<&str, u32> = HashMap::new();
+        // The build map keys on `Arc<str>` clones of the dictionary
+        // entries; lookups borrow as `&str`, so no per-value allocation.
+        let mut map: HashMap<Arc<str>, u32> = HashMap::new();
         let mut dict: Vec<Arc<str>> = Vec::new();
         let mut codes = Vec::new();
         for v in values {
@@ -110,9 +242,7 @@ impl DictColumn {
                 None => {
                     let c = dict.len() as u32;
                     dict.push(Arc::clone(v));
-                    // Key borrows from `dict`'s Arc, which outlives the map.
-                    let key: &str = unsafe { &*(dict[c as usize].as_ref() as *const str) };
-                    map.insert(key, c);
+                    map.insert(Arc::clone(v), c);
                     c
                 }
             };
@@ -162,10 +292,27 @@ impl DictColumn {
     pub fn code_of(&self, value: &str) -> Option<u32> {
         self.dict.iter().position(|s| s.as_ref() == value).map(|i| i as u32)
     }
+
+    /// The dictionary entries, indexed by code. Scan kernels evaluate a
+    /// string predicate once per entry here, then compare codes per row.
+    #[inline]
+    pub fn entries(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
+    /// The code vector (kernel fast path: compare codes, never strings).
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
 }
 
 /// Fraction of distinct runs below which a `u32` column is RLE-encoded.
 const RLE_THRESHOLD: f64 = 0.5;
+
+/// Bit width above which bit-packing a `u32` column is not worth the
+/// shift/mask on access (packing at 30+ bits saves almost nothing).
+const PACK_MAX_BITS: u32 = 28;
 
 /// One typed, possibly compressed column vector.
 #[derive(Debug, Clone)]
@@ -173,6 +320,7 @@ pub enum ColumnData {
     U64(Vec<u64>),
     U32(Vec<u32>),
     U32Rle(RleU32),
+    U32Packed(PackedU32),
     Money(Vec<i64>),
     Str(DictColumn),
     Bool(Vec<bool>),
@@ -185,6 +333,7 @@ impl ColumnData {
             ColumnData::U64(v) => v.len(),
             ColumnData::U32(v) => v.len(),
             ColumnData::U32Rle(v) => v.len(),
+            ColumnData::U32Packed(v) => v.len(),
             ColumnData::Money(v) => v.len(),
             ColumnData::Str(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
@@ -203,6 +352,7 @@ impl ColumnData {
             ColumnData::U64(v) => v[idx],
             ColumnData::U32(v) => v[idx] as u64,
             ColumnData::U32Rle(v) => v.get(idx) as u64,
+            ColumnData::U32Packed(v) => v.get(idx) as u64,
             _ => panic!("u64_at on non-integer column"),
         }
     }
@@ -213,6 +363,7 @@ impl ColumnData {
         match self {
             ColumnData::U32(v) => v[idx],
             ColumnData::U32Rle(v) => v.get(idx),
+            ColumnData::U32Packed(v) => v.get(idx),
             _ => panic!("u32_at on non-u32 column"),
         }
     }
@@ -259,9 +410,27 @@ impl ColumnData {
             ColumnData::U64(v) => v.len() * 8,
             ColumnData::U32(v) => v.len() * 4,
             ColumnData::U32Rle(v) => v.run_count() * 8,
+            ColumnData::U32Packed(v) => v.packed_bytes(),
             ColumnData::Money(v) => v.len() * 8,
             ColumnData::Str(d) => {
                 d.codes.len() * 4 + d.dict.iter().map(|s| s.len()).sum::<usize>()
+            }
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Size the column would occupy fully decoded (plain vectors; strings
+    /// at their byte length). `approx_bytes / decoded_bytes` is the
+    /// compression ratio the telemetry gauges report.
+    pub fn decoded_bytes(&self) -> usize {
+        match self {
+            ColumnData::U64(v) => v.len() * 8,
+            ColumnData::U32(v) => v.len() * 4,
+            ColumnData::U32Rle(v) => v.len() * 4,
+            ColumnData::U32Packed(v) => v.len() * 4,
+            ColumnData::Money(v) => v.len() * 8,
+            ColumnData::Str(d) => {
+                d.codes.iter().map(|&c| d.dict[c as usize].len()).sum::<usize>()
             }
             ColumnData::Bool(v) => v.len(),
         }
@@ -278,6 +447,9 @@ pub struct Segment {
     /// only (`None` for other types). Covers the whole segment, so it is a
     /// conservative superset of any visible prefix — safe for pruning.
     u32_minmax: Vec<Option<(u32, u32)>>,
+    /// Fully-decoded size in bytes, cached at build (the `Str` term is
+    /// O(rows) to recompute).
+    decoded_bytes: usize,
 }
 
 impl Segment {
@@ -313,6 +485,12 @@ impl Segment {
     /// Approximate compressed size in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.tss.len() * 8 + self.cols.iter().map(|c| c.approx_bytes()).sum::<usize>()
+    }
+
+    /// Size the segment would occupy with every column fully decoded
+    /// (same ts-column term as [`Segment::approx_bytes`]).
+    pub fn decoded_bytes(&self) -> usize {
+        self.tss.len() * 8 + self.decoded_bytes
     }
 
     /// Zone-map lookup: the `(min, max)` of a `u32` column over *all* rows
@@ -392,7 +570,14 @@ impl SegmentBuilder {
                         if (rle.run_count() as f64) < RLE_THRESHOLD * n as f64 {
                             ColumnData::U32Rle(rle)
                         } else {
-                            ColumnData::U32(vals)
+                            // No useful runs: bit-pack when the value
+                            // domain is narrow enough to pay off.
+                            let packed = PackedU32::encode(&vals);
+                            if packed.bits() <= PACK_MAX_BITS {
+                                ColumnData::U32Packed(packed)
+                            } else {
+                                ColumnData::U32(vals)
+                            }
                         }
                     } else {
                         ColumnData::U32(vals)
@@ -422,7 +607,8 @@ impl SegmentBuilder {
             cols.push(col);
             u32_minmax.push(minmax);
         }
-        Segment { tss: self.tss, cols, u32_minmax }
+        let decoded_bytes = cols.iter().map(|c| c.decoded_bytes()).sum();
+        Segment { tss: self.tss, cols, u32_minmax, decoded_bytes }
     }
 }
 
@@ -535,6 +721,12 @@ impl ColumnTable {
     /// Approximate compressed size in bytes (segments only).
     pub fn approx_bytes(&self) -> usize {
         self.inner.read().segments.iter().map(|s| s.approx_bytes()).sum()
+    }
+
+    /// Size the sealed segments would occupy fully decoded (compression
+    /// ratio denominator for the `colstore.*` gauges).
+    pub fn decoded_bytes_equiv(&self) -> usize {
+        self.inner.read().segments.iter().map(|s| s.decoded_bytes()).sum()
     }
 }
 
@@ -686,8 +878,9 @@ impl DimColumnCopy {
     }
 }
 
-/// Converts one columnar row back to row format (dim fold path).
-fn materialize_row(table: TableId, seg: &Segment, idx: usize) -> Row {
+/// Converts one columnar row back to row format (dim fold path and the
+/// scalar fallback batch adapter in the query layer).
+pub fn materialize_row(table: TableId, seg: &Segment, idx: usize) -> Row {
     use hat_common::Value;
     let types = table_column_types(table);
     let values: Vec<Value> = types
@@ -830,13 +1023,127 @@ mod tests {
     }
 
     #[test]
-    fn high_cardinality_u32_stays_plain() {
+    fn narrow_high_cardinality_u32_bit_packs() {
         let mut b = SegmentBuilder::new(TableId::History);
         for i in 0..100u64 {
+            // No runs, but the domain fits in 7 bits.
             b.push(2, history_row(i, i as u32, 0));
         }
         let seg = b.build();
+        assert!(matches!(seg.col(1), ColumnData::U32Packed(_)));
+        for i in 0..100usize {
+            assert_eq!(seg.col(1).u32_at(i), i as u32);
+        }
+        assert!(seg.col(1).approx_bytes() < 100 * 4, "packed must beat plain");
+    }
+
+    #[test]
+    fn wide_high_cardinality_u32_stays_plain() {
+        let mut b = SegmentBuilder::new(TableId::History);
+        for i in 0..100u64 {
+            // Values need more than PACK_MAX_BITS bits: packing is not
+            // worth the shift/mask overhead, keep plain.
+            b.push(2, history_row(i, u32::MAX - i as u32, 0));
+        }
+        let seg = b.build();
         assert!(matches!(seg.col(1), ColumnData::U32(_)));
+    }
+
+    #[test]
+    fn packed_u32_roundtrip_word_straddle() {
+        // 7-bit values straddle u64 word boundaries every 64/7 values.
+        let vals: Vec<u32> = (0..1000u32).map(|i| i % 128).collect();
+        let packed = PackedU32::encode(&vals);
+        assert_eq!(packed.bits(), 7);
+        assert_eq!(packed.len(), vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(packed.get(i), v, "index {i}");
+        }
+        assert_eq!(packed.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn packed_u32_edge_widths() {
+        // Zero only: minimum width of 1 bit.
+        let zeros = vec![0u32; 100];
+        let p = PackedU32::encode(&zeros);
+        assert_eq!(p.bits(), 1);
+        assert!(p.iter().all(|v| v == 0));
+        // Full-width values: 32 bits, mask must not overflow.
+        let wide = vec![u32::MAX, 0, u32::MAX - 1, 7];
+        let p = PackedU32::encode(&wide);
+        assert_eq!(p.bits(), 32);
+        assert_eq!(p.iter().collect::<Vec<_>>(), wide);
+        // Empty input.
+        let p = PackedU32::encode(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn rle_cursor_matches_get_on_jumpy_walk() {
+        let data: Vec<u32> = (0..500u32).map(|i| i / 7).collect();
+        let rle = RleU32::encode(&data);
+        let mut cur = rle.cursor();
+        // Forward, backward, and repeated accesses all agree with get().
+        let walk =
+            [0usize, 1, 2, 100, 101, 50, 499, 0, 250, 250, 251, 13, 499, 498];
+        for &i in &walk {
+            assert_eq!(cur.value_at(&rle, i), rle.get(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn rle_runs_in_covers_window_exactly() {
+        let data = vec![5, 5, 5, 7, 7, 9, 9, 9, 9, 5];
+        let rle = RleU32::encode(&data);
+        // Window [2, 8): tail of the 5-run, the 7-run, head of the 9-run.
+        let runs: Vec<(u32, usize, usize)> = rle.runs_in(2, 8).collect();
+        assert_eq!(runs, vec![(5, 2, 3), (7, 3, 5), (9, 5, 8)]);
+        // Full window reproduces the data.
+        let mut out = Vec::new();
+        for (v, s, e) in rle.runs_in(0, data.len()) {
+            out.extend(std::iter::repeat_n(v, e - s));
+            assert!(s < e);
+        }
+        assert_eq!(out, data);
+        // Empty window.
+        assert_eq!(rle.runs_in(4, 4).count(), 0);
+    }
+
+    #[test]
+    fn dict_encode_stable_and_duplicate_free() {
+        // Regression for the former unsafe self-referential build map:
+        // codes must be assigned in first-seen order and the entry table
+        // must contain each distinct string exactly once.
+        let strs: Vec<Arc<str>> = ["b", "a", "b", "c", "a", "b", "d", "c"]
+            .iter()
+            .map(|s| Arc::from(*s))
+            .collect();
+        let dict = DictColumn::encode(strs.iter());
+        assert_eq!(dict.entries().iter().map(|s| &**s).collect::<Vec<_>>(), [
+            "b", "a", "c", "d"
+        ]);
+        assert_eq!(dict.codes(), [0, 1, 0, 2, 1, 0, 3, 2]);
+        let mut seen = std::collections::HashSet::new();
+        assert!(dict.entries().iter().all(|s| seen.insert(Arc::clone(s))));
+        // Encoding the same input twice is deterministic.
+        let again = DictColumn::encode(strs.iter());
+        assert_eq!(again.codes(), dict.codes());
+        assert_eq!(again.entries(), dict.entries());
+    }
+
+    #[test]
+    fn decoded_bytes_reflect_compression_ratio() {
+        let mut b = SegmentBuilder::new(TableId::Supplier);
+        for i in 0..200u32 {
+            b.push(2, supplier_row(i % 4, 0));
+        }
+        let seg = b.build();
+        // Heavily repetitive strings: encoded size far below decoded size.
+        assert!(seg.approx_bytes() < seg.decoded_bytes());
+        // Decoded equivalent counts every string byte once per row.
+        assert!(seg.decoded_bytes() > 200 * "Supplier#000000001".len());
     }
 
     #[test]

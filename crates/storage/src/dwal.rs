@@ -1976,7 +1976,7 @@ mod tests {
                 Value::U64(v as u64 * 10),
                 Value::Money(Money::from_cents(-25)),
                 Value::Str(Arc::from("note")),
-                Value::Bool(v % 2 == 0),
+                Value::Bool(v.is_multiple_of(2)),
             ]),
         }
     }

@@ -424,7 +424,7 @@ mod tests {
             std::thread::spawn(move || {
                 let mut n = 0u64;
                 while stop.load(Ordering::Relaxed) == 0 {
-                    let shards = if n % 3 == 0 { vec![1, 3] } else { vec![(n % 4) as usize] };
+                    let shards = if n.is_multiple_of(3) { vec![1, 3] } else { vec![(n % 4) as usize] };
                     let g = o.begin_commit_on(&shards);
                     in_flight.store(g.ts(), Ordering::SeqCst);
                     std::hint::spin_loop();

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use hattrick_repro::bench::workload::{run_transaction, TxnKind, WorkloadState};
 use hattrick_repro::common::rng::HatRng;
-use hattrick_repro::engine::{HtapEngine, QueryOpts};
+use hattrick_repro::engine::{HtapEngine, QueryOpts, ScanMode};
 use hattrick_repro::query::exec::{execute_with, QueryOutput};
 use hattrick_repro::query::spec::QueryId;
 use hattrick_repro::query::ssb;
@@ -114,6 +114,84 @@ fn all_queries_byte_identical_across_parallelism_on_every_engine() {
                     answer_bytes(&parallel),
                     serial_bytes,
                     "{name}: {} not byte-identical at parallelism {p}",
+                    qid.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_and_scalar_scans_byte_identical_on_every_engine() {
+    // The batch scan API promises `ScanMode` is a performance knob, never
+    // a semantics knob: the vectorized kernels (dict-code comparisons,
+    // run-at-a-time RLE, zone-map pruning, late materialization) must
+    // return the same bytes as the scalar reference path for every SSB
+    // query on every engine design, serial and parallel.
+    let data = common::small_data();
+    for (name, engine) in common::all_engines() {
+        data.load_into(engine.as_ref()).unwrap();
+        let state = WorkloadState::new(&data.profile);
+
+        // Phase 1: concurrent T traffic. Vectorized parallel queries must
+        // stay internally consistent while writers install versions.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for client in 0..2u32 {
+                let engine = &*engine;
+                let profile = &data.profile;
+                let state = &state;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut rng = HatRng::seeded(0xBA7C + client as u64);
+                    let mut txnnum = 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        let kind =
+                            if txnnum % 3 == 0 { TxnKind::Payment } else { TxnKind::NewOrder };
+                        match run_transaction(
+                            engine, profile, state, &mut rng, kind, client, txnnum,
+                        ) {
+                            Ok(_) => txnnum += 1,
+                            Err(e) if e.is_retryable() => {}
+                            Err(e) => panic!("writer {client}: {e}"),
+                        }
+                    }
+                });
+            }
+            for qid in [QueryId::Q1_1, QueryId::Q2_1, QueryId::Q4_1] {
+                let spec = ssb::query(qid);
+                for mode in [ScanMode::Vectorized, ScanMode::Scalar] {
+                    let out = engine
+                        .query(&spec, &QueryOpts::with_parallelism(8).scan_mode(mode))
+                        .unwrap();
+                    assert_sorted_keys(name, &out);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Phase 2: quiesce, then demand byte-identity between scan modes
+        // for the full SSB suite at every parallelism level.
+        wait_quiesced(engine.as_ref());
+        for qid in QueryId::ALL {
+            let spec = ssb::query(qid);
+            for p in PARALLELISMS {
+                let scalar = engine
+                    .query(
+                        &spec,
+                        &QueryOpts::with_parallelism(p).scan_mode(ScanMode::Scalar),
+                    )
+                    .unwrap();
+                let vectorized = engine
+                    .query(
+                        &spec,
+                        &QueryOpts::with_parallelism(p).scan_mode(ScanMode::Vectorized),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    answer_bytes(&vectorized),
+                    answer_bytes(&scalar),
+                    "{name}: {} vectorized != scalar at parallelism {p}",
                     qid.label()
                 );
             }

@@ -21,7 +21,7 @@ use hattrick_repro::common::rng::HatRng;
 use hattrick_repro::common::telemetry::HistogramSnapshot;
 use hattrick_repro::common::Money;
 use hattrick_repro::storage::bptree::BPlusTree;
-use hattrick_repro::storage::colstore::{DictColumn, RleU32};
+use hattrick_repro::storage::colstore::{DictColumn, PackedU32, RleU32};
 
 const BASE_SEED: u64 = 0x4a77_5ec0_0d15_ea5e;
 
@@ -164,6 +164,48 @@ fn dict_roundtrips() {
         }
         let distinct: HashSet<&str> = words.iter().map(|s| s.as_str()).collect();
         assert_eq!(dict.cardinality(), distinct.len());
+    });
+}
+
+#[test]
+fn packed_u32_roundtrips_at_every_width() {
+    property("packed_u32_roundtrips", 64, |rng| {
+        // Bound values to a random bit width so every width (including
+        // word-straddling ones like 7, 13, 28) gets exercised.
+        let bits = rng.gen_range(1u32..=32);
+        let n = rng.gen_range(0usize..500);
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let values: Vec<u32> = (0..n).map(|_| rng.gen::<u32>() & mask).collect();
+        let packed = PackedU32::encode(&values);
+        assert_eq!(packed.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(packed.get(i), v, "bits={bits} i={i}");
+        }
+        // The chosen width is exactly wide enough for the largest value.
+        let max = values.iter().copied().max().unwrap_or(0);
+        let need = if max == 0 { 1 } else { 32 - max.leading_zeros() };
+        assert_eq!(packed.bits(), need.max(1));
+    });
+}
+
+#[test]
+fn rle_cursor_agrees_with_get_on_random_walks() {
+    property("rle_cursor_agrees_with_get", 64, |rng| {
+        let n = rng.gen_range(1usize..500);
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..8)).collect();
+        let rle = RleU32::encode(&values);
+        // A jumpy access pattern (forward skips and backward re-seeks)
+        // must read the same values as random access.
+        let mut cursor = rle.cursor();
+        let mut idx = 0usize;
+        for _ in 0..200 {
+            assert_eq!(cursor.value_at(&rle, idx), rle.get(idx), "idx={idx}");
+            idx = if rng.gen_bool(0.7) {
+                (idx + rng.gen_range(1usize..16)) % n
+            } else {
+                rng.gen_range(0usize..n)
+            };
+        }
     });
 }
 
