@@ -8,6 +8,10 @@
 //!                 [--arrival-shape poisson|bursty|step] [--deadline-ms 20]
 //!                 [--workers 4] [--ticks 100] [--tick-ms 5]
 //!                 [--retry-budget 100]     # open-loop overload run
+//! hatcli point    --engine shared --sf 0.01 --arrival-rate 3000
+//!                 --sched elastic [--budget 4] [--dwell 5]
+//!                 [--t-floor 1] [--high-backlog 8] [--low-backlog 2]
+//!                 [--overlay-out traj.svg]  # per-tick trajectory figure
 //! hatcli frontier --engine learner-dist --sf 0.01 [--quick]
 //!                 [--metrics-out run.json]
 //! hatcli compare  --sf 0.02
@@ -36,6 +40,7 @@ use hattrick::harness::{
 };
 use hattrick::openloop::{ArrivalShape, OpenLoopConfig};
 use hattrick::report;
+use hattrick::sched::{SchedPolicy, SchedTarget};
 use hattrick::TxnMix;
 
 const ENGINES: [&str; 11] = [
@@ -293,8 +298,12 @@ fn make_harness(
             seed,
             reset_between_points: true,
             retry,
+            // `--a-threads <n>` pins the morsel parallelism; without it
+            // every analytical query sizes its pool to the machine
+            // (clamped — see `QueryOpts::default_parallelism`).
             query_opts: QueryOpts::with_parallelism(
-                args.u32(&["a-threads"], 1) as usize,
+                args.u32(&["a-threads"], QueryOpts::default_parallelism() as u32)
+                    as usize,
             ),
             shards,
             ..Default::default()
@@ -325,11 +334,48 @@ fn parse_arrival_shape(args: &Args) -> Option<ArrivalShape> {
     }
 }
 
+/// Parses `--sched static|elastic` with the elastic knobs: `--budget`
+/// (total cores under the controller), `--dwell` (calm ticks before a
+/// give-back), and the per-core backlog watermarks `--high-backlog` /
+/// `--low-backlog`. Defaults match [`SchedTarget::default`].
+fn parse_sched(args: &Args) -> Option<SchedPolicy> {
+    match args.get(&["sched"]).unwrap_or("static") {
+        "static" => Some(SchedPolicy::Static),
+        "elastic" => {
+            let d = SchedTarget::default();
+            let target = SchedTarget {
+                budget: args.u32(&["budget"], d.budget),
+                t_floor: args.u32(&["t-floor"], d.t_floor),
+                dwell_ticks: args.u32(&["dwell"], d.dwell_ticks),
+                high_backlog_per_core: args
+                    .u32(&["high-backlog"], d.high_backlog_per_core as u32)
+                    as u64,
+                low_backlog_per_core: args
+                    .u32(&["low-backlog"], d.low_backlog_per_core as u32)
+                    as u64,
+            };
+            Some(SchedPolicy::Elastic { target })
+        }
+        "pinned" => {
+            let budget = args.u32(&["budget"], SchedTarget::default().budget);
+            Some(SchedPolicy::Pinned {
+                budget,
+                t_cores: args.u32(&["t-cores"], budget / 2),
+            })
+        }
+        other => {
+            eprintln!("unknown --sched {other}; try static|elastic|pinned");
+            None
+        }
+    }
+}
+
 /// Runs `hatcli point` in open-loop mode (`--arrival-rate` present):
 /// offered load comes from a seeded arrival schedule instead of τ
 /// waiting clients, and the report leads with goodput and shed-by-cause.
 fn cmd_open_loop(args: &Args, engine: &str, sf: f64, harness: &Harness) -> i32 {
     let Some(shape) = parse_arrival_shape(args) else { return 2 };
+    let Some(policy) = parse_sched(args) else { return 2 };
     let ol = OpenLoopConfig {
         arrival_rate: args.f64(&["arrival-rate"], 2000.0),
         shape,
@@ -342,22 +388,31 @@ fn cmd_open_loop(args: &Args, engine: &str, sf: f64, harness: &Harness) -> i32 {
             args.u32(&["service-pad-us"], 0) as u64
         ),
     };
-    let m = match harness.run_open_loop(&ol) {
+    let m = match harness.run_open_loop_sched(&ol, &policy) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: invalid open-loop configuration: {e}");
             return 2;
         }
     };
+    let capacity = match &policy {
+        SchedPolicy::Static => format!("{} workers", ol.workers),
+        SchedPolicy::Elastic { target } => {
+            format!("elastic budget {} cores", target.budget)
+        }
+        SchedPolicy::Pinned { .. } => {
+            let (t, a) = policy.pinned_split().expect("pinned");
+            format!("pinned split {t}t/{a}a")
+        }
+    };
     println!(
         "== {engine} @ SF {sf}, open-loop {:.0}/s {} x {} ticks of {}ms, \
-         deadline {}ms, {} workers ==",
+         deadline {}ms, {capacity} ==",
         ol.arrival_rate,
         ol.shape.label(),
         ol.ticks,
         ol.tick.as_millis(),
         ol.deadline.as_millis(),
-        ol.workers
     );
     println!(
         "offered={} goodput={} ({:.1}%) completed={} late={} shed_overload={} \
@@ -376,8 +431,31 @@ fn cmd_open_loop(args: &Args, engine: &str, sf: f64, harness: &Harness) -> i32 {
     if let Some(line) = report::overload_line(&m.point.metrics) {
         println!("{}", line.trim_start());
     }
+    if let Some(line) = report::sched_line(&m.point.metrics) {
+        println!("{}", line.trim_start());
+        println!("a_queries={} qps={:.2}", m.a_queries(), m.point.qps);
+    }
     if let Some(line) = report::degradation_line(&m.point.metrics_end) {
         println!("{}", line.trim_start());
+    }
+    if let Some(path) = args.get(&["overlay-out"]) {
+        // Per-tick (goodput tps, analytical qps) trajectory; a sched run
+        // traces how the controller walks the throughput plane.
+        let traj: Vec<(f64, f64)> = m
+            .point
+            .timeseries
+            .iter()
+            .filter(|s| s.phase == SamplePhase::Measure)
+            .map(|s| (s.tps, s.qps))
+            .collect();
+        let svg = hattrick::svg::frontier_overlay_svg(
+            &format!("{engine} — per-tick trajectory ({capacity})"),
+            &[],
+            "per-tick",
+            &traj,
+        );
+        std::fs::write(path, svg).expect("write overlay svg");
+        println!("wrote {path}");
     }
     if let Some(path) = args.get(&["metrics-out"]) {
         let mut artifact = RunArtifact::new(run_config(engine, sf, 1, harness));
@@ -713,7 +791,20 @@ fn main() {
                  --deadline-ms <ms>, --workers <n>, --queue-cap <n>,\n\
                  --ticks <n>, --tick-ms <ms>, --service-pad-us <us>,\n\
                  --retry-budget <tokens> (shared budget; omit for the\n\
-                 unbudgeted control arm), --max-attempts <n>"
+                 unbudgeted control arm), --max-attempts <n>\n\
+                 open-loop runs also take --sched static|elastic|pinned;\n\
+                 elastic\n\
+                 holds a fixed core budget and reassigns it between the\n\
+                 commit and query sides at tick granularity. Knobs:\n\
+                 --budget <cores> (default 4), --t-floor <cores>,\n\
+                 --dwell <ticks> (calm ticks before giving a core back),\n\
+                 --high-backlog/--low-backlog <per-core> (AIMD\n\
+                 watermarks); pinned runs the same dual-population\n\
+                 driver at a fixed --t-cores <n> split (the static\n\
+                 comparison arm); the per-tick allocation trace lands in\n\
+                 the artifact (schema v6) as t_cores/a_cores columns and\n\
+                 --overlay-out <chart.svg> draws the per-tick\n\
+                 (goodput, qps) trajectory"
             );
             if cmd == "help" {
                 0

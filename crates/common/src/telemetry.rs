@@ -132,6 +132,15 @@ pub mod names {
     /// Enqueue-to-completion nanoseconds for every finished request
     /// (the p50/p99/p999 sojourn signal of the overload report).
     pub const OPENLOOP_SOJOURN: &str = "openloop.sojourn";
+    /// Elastic scheduler accounting: controller steps taken, split
+    /// *changes* among them, analytical queries completed by the elastic
+    /// A-side driver, and the final `(t, a)` core split as gauges. All
+    /// zero in static runs, which is what elides the report line.
+    pub const SCHED_DECISIONS: &str = "sched.decisions";
+    pub const SCHED_REASSIGNMENTS: &str = "sched.reassignments";
+    pub const SCHED_A_QUERIES: &str = "sched.a_queries";
+    pub const SCHED_T_CORES: &str = "sched.t_cores";
+    pub const SCHED_A_CORES: &str = "sched.a_cores";
     pub const REPL_BACKLOG: &str = "repl.backlog";
     pub const DELTA_ROWS: &str = "delta.rows";
     /// Background MVCC vacuum passes completed.

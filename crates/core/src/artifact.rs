@@ -25,8 +25,11 @@ use crate::harness::{PointMeasurement, SamplePhase, TimeSeriesSample};
 /// added the vectorized-scan counters (`scan.batches`,
 /// `scan.rows_pruned_zonemap`, `scan.rows_filtered_vectorized`) and the
 /// compression-ratio gauges (`colstore.bytes_encoded`,
-/// `colstore.bytes_decoded_equiv`) inside point metrics.
-pub const SCHEMA_VERSION: u64 = 5;
+/// `colstore.bytes_decoded_equiv`) inside point metrics; v6 added the
+/// elastic-scheduler allocation trace (`t_cores`/`a_cores` on every
+/// time-series sample — zero on static runs) and the `sched.*`
+/// counters/gauges inside point metrics.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The run configuration echoed into the artifact, so a result file is
 /// self-describing (which engine, scale, seed, and phase lengths
@@ -90,6 +93,8 @@ fn sample_to_json(s: &TimeSeriesSample) -> Json {
         ("shed".into(), Json::from_u64(s.shed)),
         ("shed_overload".into(), Json::from_u64(s.shed_overload)),
         ("offered".into(), Json::from_u64(s.offered)),
+        ("t_cores".into(), Json::from_u64(s.t_cores as u64)),
+        ("a_cores".into(), Json::from_u64(s.a_cores as u64)),
     ])
 }
 
@@ -119,6 +124,8 @@ fn sample_from_json(j: &Json) -> Result<TimeSeriesSample, String> {
         shed: u("shed")?,
         shed_overload: u("shed_overload")?,
         offered: u("offered")?,
+        t_cores: u("t_cores")? as u32,
+        a_cores: u("a_cores")? as u32,
     })
 }
 
@@ -298,12 +305,13 @@ impl RunArtifact {
     pub fn timeseries_csv(&self) -> String {
         let mut out = String::from(
             "t_clients,a_clients,run,phase,t_secs,tps,qps,backlog,delta_rows,\
-             live_versions,freshness_lag,health,shed,shed_overload,offered\n",
+             live_versions,freshness_lag,health,shed,shed_overload,offered,\
+             t_cores,a_cores\n",
         );
         for m in &self.points {
             for s in &m.timeseries {
                 out.push_str(&format!(
-                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6},{},{},{},{}\n",
+                    "{},{},{},{},{:.6},{:.2},{:.3},{},{},{},{:.6},{},{},{},{},{},{}\n",
                     m.t_clients,
                     m.a_clients,
                     s.run,
@@ -318,7 +326,9 @@ impl RunArtifact {
                     s.health,
                     s.shed,
                     s.shed_overload,
-                    s.offered
+                    s.offered,
+                    s.t_cores,
+                    s.a_cores
                 ));
             }
         }
@@ -371,6 +381,8 @@ mod tests {
                 shed: 0,
                 shed_overload: 0,
                 offered: 95,
+                t_cores: 0,
+                a_cores: 0,
             },
             TimeSeriesSample {
                 t_secs: 0.05,
@@ -386,6 +398,8 @@ mod tests {
                 shed: 2,
                 shed_overload: 4,
                 offered: 130,
+                t_cores: 3,
+                a_cores: 1,
             },
         ];
         m
@@ -429,7 +443,7 @@ mod tests {
     fn unsupported_schema_version_is_rejected() {
         let mut art = RunArtifact::new(config());
         art.push_point(synthetic_point());
-        let text = art.dump().replace("\"schema_version\": 5", "\"schema_version\": 999");
+        let text = art.dump().replace("\"schema_version\": 6", "\"schema_version\": 999");
         let err = RunArtifact::parse(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

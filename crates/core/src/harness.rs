@@ -17,14 +17,14 @@
 //! over those snapshots.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hat_common::clock::BenchClock;
 use hat_common::rng::HatRng;
 use hat_common::telemetry::{names, Histogram, HistogramSnapshot, MetricsSnapshot};
-use hat_engine::{HtapEngine, QueryOpts};
+use hat_engine::{CoreBudget, HtapEngine, QueryOpts};
 use hat_query::spec::QueryId;
 use hat_query::ssb;
 use parking_lot::{Condvar, Mutex};
@@ -32,6 +32,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::freshness::{score_query, CommitRegistry, FreshnessSample};
 use crate::gen::{DataProfile, MAX_TXN_CLIENTS};
 use crate::openloop::{arrival_schedule, OpenLoopConfig, OpenLoopTick};
+use crate::sched::{split_changes, ElasticController, SchedDecision, SchedPolicy, SchedSignal};
 use crate::workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};
 
 /// Phases of a benchmark run.
@@ -216,6 +217,12 @@ pub struct BenchmarkConfig {
     /// harness's record of the knob — it annotates run artifacts and the
     /// shard-sweep report rather than re-sharding the engine.
     pub shards: u32,
+    /// Core-assignment policy (`hatcli --sched`). `Static` reproduces
+    /// the paper's fixed-split measurement; `Elastic` engages the
+    /// tick-granular controller of [`crate::sched`], which resizes the
+    /// analytical worker cap and the engine's transactional admission
+    /// bounds (and, in open-loop runs, parks/unparks T workers).
+    pub sched: SchedPolicy,
 }
 
 impl Default for BenchmarkConfig {
@@ -229,6 +236,7 @@ impl Default for BenchmarkConfig {
             query_opts: QueryOpts::default(),
             sample_every: Duration::from_millis(5),
             shards: 1,
+            sched: SchedPolicy::Static,
         }
     }
 }
@@ -365,6 +373,14 @@ pub struct TimeSeriesSample {
     /// completion rate; in an open-loop run it is the independent
     /// variable and may exceed it arbitrarily.
     pub offered: u64,
+    /// Transactional cores held at the sample under the elastic
+    /// scheduler (the artifact's per-tick allocation trace, schema v6).
+    /// Zero in static runs — the split is whatever the client counts
+    /// say, and no controller is in the loop.
+    pub t_cores: u32,
+    /// Analytical cores held at the sample under the elastic scheduler;
+    /// zero in static runs.
+    pub a_cores: u32,
 }
 
 /// The measured outcome of one `(τ, α)` point.
@@ -608,6 +624,9 @@ pub struct OpenLoopMeasurement {
     pub ticks: Vec<OpenLoopTick>,
     /// Enqueue-to-completion nanoseconds of executed requests.
     pub sojourn: HistogramSnapshot,
+    /// The elastic controller's per-tick allocation trace (one decision
+    /// per tick, `decisions[k].tick == k`). Empty for static runs.
+    pub decisions: Vec<SchedDecision>,
 }
 
 impl OpenLoopMeasurement {
@@ -669,6 +688,17 @@ impl OpenLoopMeasurement {
             return 0.0;
         }
         self.goodput() as f64 / offered as f64
+    }
+
+    /// Analytical queries the elastic A-side driver completed (0 in
+    /// static runs, which have no A side).
+    pub fn a_queries(&self) -> u64 {
+        self.point.metrics.counter(names::SCHED_A_QUERIES)
+    }
+
+    /// Split changes the elastic controller made across the run.
+    pub fn reassignments(&self) -> u64 {
+        self.point.metrics.counter(names::SCHED_REASSIGNMENTS)
     }
 }
 
@@ -828,7 +858,35 @@ impl Harness {
         // is what must stay bounded, not any single client's.
         let budget = self.config.retry.budget.map(RetryBudget::new);
 
-        let (timeseries, backlog_hwm, measure_begin) = std::thread::scope(|scope| {
+        // Elastic closed-loop plumbing: the coordinator's sampling tick
+        // doubles as the controller's tick. The analytical lever is the
+        // shared worker cap inside the clients' QueryOpts; the
+        // transactional lever is the engine's admission bound (closed
+        // loop has no arrival queue to park workers against).
+        let (core_budget, mut controller) = match self.config.sched.target() {
+            Some(t) => {
+                let target = t.normalized();
+                let b = CoreBudget::new(target.budget);
+                let ctl = ElasticController::new(target, self.config.seed);
+                b.apply(&*self.engine, ctl.split().0);
+                (Some(b), Some(ctl))
+            }
+            None => (None, None),
+        };
+        let query_opts_val = match &core_budget {
+            Some(b) => {
+                // The cap must be able to bind: lift parallelism to the
+                // budget so a_cores is the effective probe width.
+                let mut opts =
+                    self.config.query_opts.clone().with_cap(b.worker_cap().clone());
+                opts.parallelism = opts.parallelism.max(b.total() as usize);
+                opts
+            }
+            None => self.config.query_opts.clone(),
+        };
+
+        let (timeseries, backlog_hwm, measure_begin, sched_steps, sched_changes) =
+            std::thread::scope(|scope| {
             // Transactional clients.
             for client in 0..t_clients {
                 let engine = &*self.engine;
@@ -939,7 +997,7 @@ impl Harness {
                 let queries = &queries;
                 let query_retries = &query_retries;
                 let retry = &self.config.retry;
-                let query_opts = &self.config.query_opts;
+                let query_opts = &query_opts_val;
                 let freshness = &freshness;
                 let registry = &registry;
                 let query_latency = &query_latency;
@@ -1014,6 +1072,8 @@ impl Harness {
             let mut prev_t = t0;
             let mut fresh_seen = 0usize;
             let mut hwm = prev.gauge(names::REPL_BACKLOG);
+            let mut sched_steps = 0u64;
+            let mut sched_changes = 0u64;
             let measure_begin;
             // Block scope: the sampler closure borrows `series`/`hwm`
             // mutably; its borrows must end before they are moved out.
@@ -1041,6 +1101,28 @@ impl Harness {
                         fresh_seen = all.len();
                         lag
                     };
+                    let shed_storage = (snap.counter(names::WAL_SHED_COMMITS)
+                        + snap.counter(names::ADMIT_TXN_SHED_BREAKER))
+                    .saturating_sub(
+                        prev.counter(names::WAL_SHED_COMMITS)
+                            + prev.counter(names::ADMIT_TXN_SHED_BREAKER),
+                    );
+                    let shed_overload = (snap.counter(names::ADMIT_TXN_SHED)
+                        + snap.counter(names::ADMIT_QUERY_SHED))
+                    .saturating_sub(
+                        prev.counter(names::ADMIT_TXN_SHED)
+                            + prev.counter(names::ADMIT_QUERY_SHED),
+                    );
+                    let offered = (snap.counter(names::ADMIT_TXN_OFFERED)
+                        + snap.counter(names::ADMIT_QUERY_OFFERED))
+                    .saturating_sub(
+                        prev.counter(names::ADMIT_TXN_OFFERED)
+                            + prev.counter(names::ADMIT_QUERY_OFFERED),
+                    );
+                    // The split in force during the sampled interval
+                    // (recorded before the controller reacts to it).
+                    let (t_cores, a_cores) =
+                        core_budget.as_ref().map(|b| b.split()).unwrap_or((0, 0));
                     series.push(TimeSeriesSample {
                         t_secs: (now - t0).as_secs_f64(),
                         phase: p,
@@ -1052,25 +1134,31 @@ impl Harness {
                         live_versions: snap.gauge(names::LIVE_VERSIONS),
                         freshness_lag,
                         health: snap.gauge(names::HEALTH_STATE),
-                        shed: (snap.counter(names::WAL_SHED_COMMITS)
-                            + snap.counter(names::ADMIT_TXN_SHED_BREAKER))
-                        .saturating_sub(
-                            prev.counter(names::WAL_SHED_COMMITS)
-                                + prev.counter(names::ADMIT_TXN_SHED_BREAKER),
-                        ),
-                        shed_overload: (snap.counter(names::ADMIT_TXN_SHED)
-                            + snap.counter(names::ADMIT_QUERY_SHED))
-                        .saturating_sub(
-                            prev.counter(names::ADMIT_TXN_SHED)
-                                + prev.counter(names::ADMIT_QUERY_SHED),
-                        ),
-                        offered: (snap.counter(names::ADMIT_TXN_OFFERED)
-                            + snap.counter(names::ADMIT_QUERY_OFFERED))
-                        .saturating_sub(
-                            prev.counter(names::ADMIT_TXN_OFFERED)
-                                + prev.counter(names::ADMIT_QUERY_OFFERED),
-                        ),
+                        shed: shed_storage,
+                        shed_overload,
+                        offered,
+                        t_cores,
+                        a_cores,
                     });
+                    // Elastic: this sample is the controller's tick.
+                    // Closed-loop pressure is what the admission gates
+                    // saw — overload sheds — since there is no arrival
+                    // queue to measure a backlog against.
+                    if let (Some(b), Some(ctl)) = (core_budget.as_ref(), controller.as_mut())
+                    {
+                        let decision = ctl.step(&SchedSignal {
+                            offered,
+                            goodput: d_commits,
+                            shed: shed_overload,
+                            backlog,
+                            a_done: d_queries,
+                        });
+                        sched_steps += 1;
+                        if (decision.t_cores, decision.a_cores) != (t_cores, a_cores) {
+                            sched_changes += 1;
+                            b.apply(&*self.engine, decision.t_cores);
+                        }
+                    }
                     prev = snap;
                     prev_t = now;
                 };
@@ -1098,7 +1186,7 @@ impl Harness {
             phase.store(PHASE_DONE, Ordering::Relaxed);
             stop.store(true, Ordering::Relaxed);
             // Scope joins all clients here.
-            (series, hwm, measure_begin)
+            (series, hwm, measure_begin, sched_steps, sched_changes)
         });
 
         let elapsed = self.config.measure.as_secs_f64();
@@ -1120,6 +1208,13 @@ impl Harness {
             query_retries.load(Ordering::Relaxed),
         );
         metrics.set_gauge(names::HARNESS_BACKLOG_HWM, backlog_hwm);
+        if let Some(b) = &core_budget {
+            let (t_cores, a_cores) = b.split();
+            metrics.set_counter(names::SCHED_DECISIONS, sched_steps);
+            metrics.set_counter(names::SCHED_REASSIGNMENTS, sched_changes);
+            metrics.set_gauge(names::SCHED_T_CORES, u64::from(t_cores));
+            metrics.set_gauge(names::SCHED_A_CORES, u64::from(a_cores));
+        }
         txn_latency.install(&mut metrics, names::LATENCY_TXN_PREFIX);
         query_latency.install(&mut metrics, names::LATENCY_QUERY_PREFIX);
         Ok(PointMeasurement {
@@ -1160,7 +1255,57 @@ impl Harness {
         &self,
         ol: &OpenLoopConfig,
     ) -> hat_common::Result<OpenLoopMeasurement> {
+        self.run_open_loop_sched(ol, &SchedPolicy::Static)
+    }
+
+    /// [`run_open_loop`](Self::run_open_loop) under an explicit
+    /// core-assignment policy.
+    ///
+    /// Under [`SchedPolicy::Static`] this is exactly the classic driver:
+    /// `ol.workers` transactional workers, no analytical side. Under
+    /// [`SchedPolicy::Elastic`] the run holds a fixed budget of
+    /// `target.budget` cores split between the two populations at tick
+    /// granularity:
+    ///
+    /// * `budget - 1` transactional workers are spawned but only the
+    ///   first `t_cores` of them serve; the rest park (`ol.workers` is
+    ///   ignored — the budget is the capacity knob).
+    /// * one analytical driver loops SSB query batches with its probe
+    ///   parallelism capped by the budget's live
+    ///   [`WorkerCap`](hat_engine::WorkerCap) gauge at `a_cores`.
+    /// * at every tick boundary the generator feeds the previous tick's
+    ///   outcome (sheds, queue depth, goodput, queries) to the
+    ///   [`ElasticController`] and applies its decision: the worker cap
+    ///   and the engine's transactional admission bounds move via
+    ///   [`CoreBudget::apply`], and T workers park or unpark.
+    ///
+    /// [`SchedPolicy::Pinned`] runs the same dual-population driver at a
+    /// fixed split — the eligible static arm for elastic-vs-static
+    /// comparisons.
+    ///
+    /// The per-tick decisions come back in
+    /// [`OpenLoopMeasurement::decisions`] and as the
+    /// `t_cores`/`a_cores` columns of the time series (artifact schema
+    /// v6), so the elastic trajectory can be overlaid on the static
+    /// frontier.
+    pub fn run_open_loop_sched(
+        &self,
+        ol: &OpenLoopConfig,
+        policy: &SchedPolicy,
+    ) -> hat_common::Result<OpenLoopMeasurement> {
         ol.validate()?;
+        let elastic_target = policy.target().map(|t| t.normalized());
+        let pinned = policy.pinned_split();
+        if let Some(budget) =
+            elastic_target.map(|t| t.budget).or(pinned.map(|(t, a)| t + a))
+        {
+            if budget as usize > MAX_TXN_CLIENTS as usize {
+                return Err(hat_common::HatError::InvalidConfig(format!(
+                    "core budget {budget} exceeds the harness's {MAX_TXN_CLIENTS} \
+                     worker slots"
+                )));
+            }
+        }
         if self.config.reset_between_points {
             self.reset()?;
         }
@@ -1170,6 +1315,29 @@ impl Harness {
         let tick_nanos = ol.tick.as_nanos().max(1);
         let cap = ol.queue_cap as usize;
         let deadline = ol.deadline;
+
+        // Elastic/pinned runtime: the controller (generator-thread-local,
+        // elastic only), the budget (shared levers), and the park gauge
+        // T workers poll.
+        let mut controller =
+            elastic_target.map(|t| ElasticController::new(t, self.config.seed));
+        let initial_split = controller.as_ref().map(|ctl| ctl.split()).or(pinned);
+        let core_budget = initial_split.map(|(t, a)| {
+            let b = CoreBudget::new(t + a);
+            b.apply(&*self.engine, t);
+            b
+        });
+        let t_workers = match &core_budget {
+            // T may hold at most budget-1 cores (A always keeps one).
+            Some(b) => b.total() - 1,
+            None => ol.workers,
+        };
+        let t_alloc = AtomicU32::new(match initial_split {
+            Some((t, _)) => t,
+            None => u32::MAX,
+        });
+        // Per-tick analytical completions (the open-loop qps series).
+        let a_cells: Vec<AtomicU64> = (0..nticks).map(|_| AtomicU64::new(0)).collect();
 
         let cells: Vec<TickCells> = (0..nticks).map(|_| TickCells::default()).collect();
         let queue: Mutex<VecDeque<OpenRequest>> = Mutex::new(VecDeque::new());
@@ -1222,9 +1390,11 @@ impl Harness {
             cell.retries.fetch_add(1, Ordering::Relaxed);
         };
 
-        let engine_samples = std::thread::scope(|scope| {
-            // Fixed worker pool — the serving capacity.
-            for client in 0..ol.workers {
+        let (engine_samples, decisions) = std::thread::scope(|scope| {
+            // Worker pool — the serving capacity. Static: a fixed pool of
+            // `ol.workers`. Elastic: `budget - 1` workers of which only
+            // the first `t_alloc` serve at any tick; the rest park.
+            for client in 0..t_workers {
                 let engine = &*self.engine;
                 let profile = &self.profile;
                 let state = &self.state;
@@ -1238,10 +1408,22 @@ impl Harness {
                 let budget = budget.as_ref();
                 let txnnum_slot = &self.txnnums[client as usize];
                 let service_pad = ol.service_pad;
+                let t_alloc = &t_alloc;
                 scope.spawn(move || {
                     let mut rng =
                         HatRng::derive(seed, (point_idx << 16) | client as u64 | 0xB000);
                     loop {
+                        // Elastic parking: a worker whose index is past
+                        // the current T allocation contributes no serving
+                        // capacity. It polls the gauge (well under a tick)
+                        // rather than blocking so an unpark takes effect
+                        // immediately; after stop it falls through to the
+                        // drain so every queued request gets a fate.
+                        while client >= t_alloc.load(Ordering::Relaxed)
+                            && !stop.load(Ordering::Relaxed)
+                        {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
                         // Pop or wait; after stop, drain what remains so
                         // every enqueued request gets an accounted fate.
                         let req = {
@@ -1325,14 +1507,59 @@ impl Harness {
                 });
             }
 
+            // Elastic analytical side: one driver looping SSB batches,
+            // its probe-worker pool clamped each query by the budget's
+            // live cap gauge — narrowing a_cores narrows the *next*
+            // query's parallelism without interrupting the current one.
+            if let Some(b) = &core_budget {
+                let engine = &*self.engine;
+                let stop = &stop;
+                let a_cells = &a_cells;
+                let seed = self.config.seed;
+                let mut a_opts =
+                    self.config.query_opts.clone().with_cap(b.worker_cap().clone());
+                a_opts.parallelism = a_opts.parallelism.max(b.total() as usize);
+                scope.spawn(move || {
+                    let mut rng =
+                        HatRng::derive(seed, (point_idx << 16) | 0xAE00);
+                    'outer: while !stop.load(Ordering::Relaxed) {
+                        for qid in query_batch(&mut rng) {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'outer;
+                            }
+                            match engine.query(&ssb::query(qid), &a_opts) {
+                                Ok(_) => {
+                                    a_cells[tick_of(Instant::now())]
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                                // Replica down / read-index timeout: skip
+                                // to the next query; the T side's retry
+                                // machinery is not this driver's job.
+                                Err(e) if e.is_retryable() => {
+                                    std::thread::sleep(Duration::from_micros(500));
+                                }
+                                Err(e) => panic!("elastic analytical driver: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+
             // Generator: the only writer to the arrival queue. Paces the
             // seeded schedule onto real time, sheds at enqueue only when
-            // the bounded queue is full (the memory backstop), and
-            // samples engine gauges at each tick boundary.
+            // the bounded queue is full (the memory backstop), samples
+            // engine gauges at each tick boundary — and, under the
+            // elastic policy, runs the controller right there: the
+            // closed tick's outcome is the signal, and the decision is
+            // applied before the new tick's arrivals are enqueued.
             let mut gen_rng =
                 HatRng::derive(self.config.seed, (point_idx << 16) | 0xC000);
             let mix = self.mix;
             let mut samples: Vec<MetricsSnapshot> = Vec::with_capacity(nticks);
+            let mut decisions: Vec<SchedDecision> = Vec::new();
+            if let Some(ctl) = controller.as_ref() {
+                decisions.push(ctl.initial_decision());
+            }
             for (t, &n) in schedule.iter().enumerate() {
                 let boundary = t0 + ol.tick * t as u32;
                 loop {
@@ -1345,6 +1572,26 @@ impl Harness {
                 if t > 0 {
                     // Closes tick t-1.
                     samples.push(self.engine.metrics());
+                    if let (Some(ctl), Some(b)) =
+                        (controller.as_mut(), core_budget.as_ref())
+                    {
+                        let c = &cells[t - 1];
+                        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                        let decision = ctl.step(&SchedSignal {
+                            offered: load(&c.offered),
+                            goodput: load(&c.goodput),
+                            shed: load(&c.shed_queue)
+                                + load(&c.shed_stale)
+                                + load(&c.shed_engine),
+                            backlog: queue.lock().len() as u64,
+                            a_done: a_cells[t - 1].load(Ordering::Relaxed),
+                        });
+                        if (decision.t_cores, decision.a_cores) != b.split() {
+                            b.apply(&*self.engine, decision.t_cores);
+                            t_alloc.store(decision.t_cores, Ordering::Relaxed);
+                        }
+                        decisions.push(decision);
+                    }
                 }
                 let cell = &cells[t];
                 cell.offered.fetch_add(n, Ordering::Relaxed);
@@ -1378,8 +1625,26 @@ impl Harness {
             stop.store(true, Ordering::Relaxed);
             arrived.notify_all();
             // Scope joins the workers here (they drain the queue first).
-            samples
+            (samples, decisions)
         });
+
+        // A pinned run has no controller trace; synthesize the constant
+        // one so its artifact carries the same allocation columns.
+        let decisions = match (decisions.is_empty(), pinned) {
+            (true, Some((t, a))) => (0..nticks as u32)
+                .map(|k| SchedDecision {
+                    tick: k,
+                    t_cores: t,
+                    a_cores: a,
+                    reason: if k == 0 {
+                        crate::sched::SchedReason::Init
+                    } else {
+                        crate::sched::SchedReason::Hold
+                    },
+                })
+                .collect(),
+            _ => decisions,
+        };
 
         let elapsed = (ol.tick * ol.ticks).as_secs_f64();
         let ticks: Vec<OpenLoopTick> = cells
@@ -1433,40 +1698,59 @@ impl Harness {
             .max()
             .unwrap_or(0);
         metrics.set_gauge(names::HARNESS_BACKLOG_HWM, backlog_hwm);
+        let a_total: u64 = a_cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        if let Some(b) = &core_budget {
+            let (t_final, a_final) = b.split();
+            metrics.set_counter(names::SCHED_DECISIONS, decisions.len() as u64);
+            metrics
+                .set_counter(names::SCHED_REASSIGNMENTS, split_changes(&decisions) as u64);
+            metrics.set_counter(names::SCHED_A_QUERIES, a_total);
+            metrics.set_gauge(names::SCHED_T_CORES, u64::from(t_final));
+            metrics.set_gauge(names::SCHED_A_CORES, u64::from(a_final));
+        }
 
         let tick_secs = ol.tick.as_secs_f64();
         let timeseries: Vec<TimeSeriesSample> = ticks
             .iter()
             .zip(engine_samples.iter())
-            .map(|(t, snap)| TimeSeriesSample {
-                t_secs: (t.tick as f64 + 1.0) * tick_secs,
-                phase: SamplePhase::Measure,
-                run: 0,
-                tps: t.goodput as f64 / tick_secs,
-                qps: 0.0,
-                backlog: snap.gauge(names::REPL_BACKLOG),
-                delta_rows: snap.gauge(names::DELTA_ROWS),
-                live_versions: snap.gauge(names::LIVE_VERSIONS),
-                freshness_lag: 0.0,
-                health: snap.gauge(names::HEALTH_STATE),
-                shed: t.shed_degraded,
-                shed_overload: t.shed_overload(),
-                offered: t.offered,
+            .map(|(t, snap)| {
+                let (t_cores, a_cores) = decisions
+                    .get(t.tick as usize)
+                    .map(|d| (d.t_cores, d.a_cores))
+                    .unwrap_or((0, 0));
+                TimeSeriesSample {
+                    t_secs: (t.tick as f64 + 1.0) * tick_secs,
+                    phase: SamplePhase::Measure,
+                    run: 0,
+                    tps: t.goodput as f64 / tick_secs,
+                    qps: a_cells[t.tick as usize].load(Ordering::Relaxed) as f64
+                        / tick_secs,
+                    backlog: snap.gauge(names::REPL_BACKLOG),
+                    delta_rows: snap.gauge(names::DELTA_ROWS),
+                    live_versions: snap.gauge(names::LIVE_VERSIONS),
+                    freshness_lag: 0.0,
+                    health: snap.gauge(names::HEALTH_STATE),
+                    shed: t.shed_degraded,
+                    shed_overload: t.shed_overload(),
+                    offered: t.offered,
+                    t_cores,
+                    a_cores,
+                }
             })
             .collect();
 
         let point = PointMeasurement {
-            t_clients: ol.workers,
-            a_clients: 0,
+            t_clients: t_workers,
+            a_clients: u32::from(core_budget.is_some()),
             tps: goodput as f64 / elapsed,
-            qps: 0.0,
+            qps: a_total as f64 / elapsed,
             metrics,
             metrics_end,
             timeseries,
             freshness: Vec::new(),
             measured_secs: elapsed,
         };
-        Ok(OpenLoopMeasurement { point, ticks, sojourn })
+        Ok(OpenLoopMeasurement { point, ticks, sojourn, decisions })
     }
 }
 

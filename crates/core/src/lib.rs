@@ -8,6 +8,10 @@
 //! * [`openloop`] — seeded arrival schedules (Poisson / bursty / step
 //!   overload) and config for the open-loop overload driver
 //!   ([`Harness::run_open_loop`](harness::Harness::run_open_loop)).
+//! * [`sched`] — the elastic T/A core scheduler: a seeded, deterministic
+//!   AIMD + hysteresis controller that reassigns a fixed core budget
+//!   between the transactional and analytical worker populations at tick
+//!   granularity ([`SchedPolicy`](sched::SchedPolicy)).
 //! * [`freshness`] — freshness-score computation and aggregation (§4).
 //! * [`frontier`] — the saturation method, grid graph, throughput frontier,
 //!   proportional line/bounding box annotations, and the design-category
@@ -42,6 +46,7 @@ pub mod gen;
 pub mod harness;
 pub mod openloop;
 pub mod report;
+pub mod sched;
 pub mod svg;
 pub mod workload;
 
@@ -57,4 +62,8 @@ pub use harness::{
     RetryBudgetConfig, RetryPolicy, SamplePhase, TimeSeriesSample,
 };
 pub use openloop::{arrival_schedule, ArrivalShape, OpenLoopConfig, OpenLoopTick};
+pub use sched::{
+    split_changes, trace_lines, ElasticController, SchedDecision, SchedPolicy,
+    SchedReason, SchedSignal, SchedTarget,
+};
 pub use workload::{query_batch, run_transaction, TxnKind, TxnMix, WorkloadState};

@@ -430,6 +430,30 @@ pub fn scan_line(m: &MetricsSnapshot) -> Option<String> {
     Some(line)
 }
 
+/// One-line elastic-scheduler accounting: how many controller decisions
+/// the run took, how many actually moved cores, the final `t/a` split,
+/// and how many analytical queries the elastic side completed. Takes the
+/// *window* snapshot ([`PointMeasurement::metrics`]: `sched.*` counters,
+/// present only on runs driven under [`SchedPolicy::Elastic`]). Returns
+/// `None` for static runs so their reports are unchanged.
+///
+/// [`PointMeasurement::metrics`]: crate::harness::PointMeasurement
+/// [`SchedPolicy::Elastic`]: crate::sched::SchedPolicy
+pub fn sched_line(m: &MetricsSnapshot) -> Option<String> {
+    let decisions = m.counter(names::SCHED_DECISIONS);
+    if decisions == 0 {
+        return None;
+    }
+    let reassignments = m.counter(names::SCHED_REASSIGNMENTS);
+    let a_queries = m.counter(names::SCHED_A_QUERIES);
+    let t_cores = m.gauge(names::SCHED_T_CORES);
+    let a_cores = m.gauge(names::SCHED_A_CORES);
+    Some(format!(
+        "  sched: {decisions} decisions, {reassignments} reassignments, \
+         final split {t_cores}t/{a_cores}a, {a_queries} analytical queries"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +620,23 @@ mod tests {
         assert!(line.contains("+ 3 degraded"));
         assert!(line.contains("sojourn p50"));
         assert!(line.contains("p999"));
+    }
+
+    #[test]
+    fn sched_line_elides_static_runs_and_reports_split() {
+        let static_run = MetricsSnapshot::new();
+        assert!(sched_line(&static_run).is_none(), "static runs stay silent");
+        let mut m = MetricsSnapshot::new();
+        m.set_counter(names::SCHED_DECISIONS, 60);
+        m.set_counter(names::SCHED_REASSIGNMENTS, 4);
+        m.set_counter(names::SCHED_A_QUERIES, 210);
+        m.set_gauge(names::SCHED_T_CORES, 3);
+        m.set_gauge(names::SCHED_A_CORES, 1);
+        let line = sched_line(&m).unwrap();
+        assert!(line.contains("60 decisions"));
+        assert!(line.contains("4 reassignments"));
+        assert!(line.contains("final split 3t/1a"));
+        assert!(line.contains("210 analytical queries"));
     }
 
     #[test]

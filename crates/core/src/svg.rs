@@ -240,6 +240,43 @@ pub fn frontier_svg(title: &str, frontiers: &[(&str, &Frontier)]) -> String {
     chart(title, "T throughput (tps)", "A throughput (qps)", &series)
 }
 
+/// A frontier chart with an elastic per-tick trajectory overlaid: the
+/// static frontier is the envelope of fixed splits; `trajectory` is the
+/// elastic run's `(tps, qps)` per tick, drawn as a dashed path so the
+/// controller's walk between the axes is visible against it. Ticks
+/// where neither side produced work (`(0, 0)`) are dropped — they are
+/// warmup or saturation stalls, not trajectory.
+pub fn frontier_overlay_svg(
+    title: &str,
+    frontiers: &[(&str, &Frontier)],
+    trajectory_name: &str,
+    trajectory: &[(f64, f64)],
+) -> String {
+    let mut series = Vec::new();
+    for (i, (name, f)) in frontiers.iter().enumerate() {
+        series.push(SvgSeries {
+            name,
+            color: PALETTE[i % PALETTE.len()],
+            line: true,
+            dash: "",
+            points: f.points.iter().map(|p| (p.t, p.a)).collect(),
+        });
+    }
+    let walk: Vec<(f64, f64)> = trajectory
+        .iter()
+        .copied()
+        .filter(|&(t, a)| t > 0.0 || a > 0.0)
+        .collect();
+    series.push(SvgSeries {
+        name: trajectory_name,
+        color: PALETTE[(frontiers.len() + 1) % PALETTE.len()],
+        line: true,
+        dash: "4,3",
+        points: walk,
+    });
+    chart(title, "T throughput (tps)", "A throughput (qps)", &series)
+}
+
 /// A grid-graph chart: every fixed-T and fixed-A line (Figure 2a's style).
 pub fn grid_svg(title: &str, grid: &GridGraph) -> String {
     let mut series = Vec::new();
@@ -339,6 +376,25 @@ mod tests {
         assert!(svg.contains("bounding box"));
         assert!(svg.contains("engine-a"));
         assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn frontier_overlay_draws_trajectory_and_drops_dead_ticks() {
+        let f = frontier();
+        let walk =
+            [(0.0, 0.0), (80.0, 2.0), (70.0, 4.0), (0.0, 0.0), (60.0, 5.0)];
+        let svg = frontier_overlay_svg(
+            "overlay",
+            &[("static frontier", &f)],
+            "elastic trajectory",
+            &walk,
+        );
+        assert!(svg.contains("static frontier"));
+        assert!(svg.contains("elastic trajectory"));
+        assert!(svg.contains(r#"stroke-dasharray="4,3""#), "dashed walk");
+        // 3 frontier points + 3 surviving trajectory points; the two
+        // (0, 0) stalls are dropped.
+        assert_eq!(svg.matches("<circle").count(), 6);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! admission, zero queueing, zero overhead beyond two counter bumps), so
 //! closed-loop benchmarks and existing tests behave exactly as before.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use hat_common::telemetry::{names, Counter, Histogram, MetricsRegistry};
@@ -94,11 +95,22 @@ struct GateState {
     waiting: u64,
 }
 
+/// Sentinel for "gate disabled" in [`ClassGate::slots`] — no bound, no
+/// queue, no lock taken.
+const SLOTS_DISABLED: u64 = u64::MAX;
+
 /// One class's gate: a concurrency bound, a bounded wait queue, and
 /// sojourn-deadline shedding.
 struct ClassGate {
     class: &'static str,
-    slots: Option<u64>,
+    /// Current in-flight bound; [`SLOTS_DISABLED`] means no gate. Atomic
+    /// so the elastic scheduler can narrow or widen it at tick granularity
+    /// without stalling admits; each `admit` reads it fresh, so a resize
+    /// applies from the next admission decision (and to waiters mid-queue,
+    /// which re-read it on every wake). Requests admitted while the gate
+    /// was disabled hold no slot, so enabling a disabled gate mid-flight
+    /// bounds only the requests arriving after the switch.
+    slots: AtomicU64,
     queue_cap: u64,
     deadline: Duration,
     /// The breaker applies only to the write class (see module docs).
@@ -117,10 +129,11 @@ impl ClassGate {
         self.offered.inc();
         // Disabled gate: count offered/admitted (goodput accounting works
         // either way) but never queue, never shed, never take a lock.
-        let Some(slots) = self.slots else {
+        let slots = self.slots.load(Ordering::Relaxed);
+        if slots == SLOTS_DISABLED {
             self.admitted.inc();
             return Ok(AdmitPermit { gate: None });
-        };
+        }
         // Circuit breaker: degraded storage means a queued write is
         // doomed work — shed now, with the storage-cause error, instead
         // of spending queue budget to learn the same thing.
@@ -144,7 +157,10 @@ impl ClassGate {
         }
         st.waiting += 1;
         loop {
-            if st.in_flight < slots {
+            // Re-read the bound each wake: a concurrent resize (widening
+            // under an elastic decision, or disabling the gate outright)
+            // must free queued waiters without waiting out their deadline.
+            if st.in_flight < self.slots.load(Ordering::Relaxed) {
                 st.in_flight += 1;
                 st.waiting -= 1;
                 drop(st);
@@ -169,6 +185,23 @@ impl ClassGate {
         st.in_flight -= 1;
         drop(st);
         self.cv.notify_one();
+    }
+
+    /// Live-resizes the in-flight bound (`None` disables the gate). A
+    /// narrower bound does not evict requests already inside — it holds
+    /// new admissions until in-flight drains below it. A wider (or
+    /// disabled) bound wakes every queued waiter so they re-check.
+    fn set_slots(&self, slots: Option<u64>) {
+        self.slots.store(slots.unwrap_or(SLOTS_DISABLED), Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// The current in-flight bound, `None` when the gate is disabled.
+    fn current_slots(&self) -> Option<u64> {
+        match self.slots.load(Ordering::Relaxed) {
+            SLOTS_DISABLED => None,
+            n => Some(n),
+        }
     }
 }
 
@@ -213,7 +246,7 @@ impl AdmissionController {
                     shed_breaker: &str,
                     queue_wait: &str| ClassGate {
             class,
-            slots: slots.map(u64::from),
+            slots: AtomicU64::new(slots.map(u64::from).unwrap_or(SLOTS_DISABLED)),
             queue_cap: u64::from(config.queue_cap),
             deadline: config.queue_deadline,
             breaker,
@@ -260,6 +293,28 @@ impl AdmissionController {
     /// storage health (reads keep serving while the WAL is degraded).
     pub fn admit_query(&self) -> Result<AdmitPermit<'_>> {
         self.query.admit(true)
+    }
+
+    /// Live-resizes the transactional in-flight bound (see
+    /// [`ClassGate::set_slots`]): the elastic scheduler's handle for
+    /// narrowing T-side concurrency when cores move to analytics.
+    pub fn set_txn_slots(&self, slots: Option<u32>) {
+        self.txn.set_slots(slots.map(u64::from));
+    }
+
+    /// Live-resizes the analytical in-flight bound.
+    pub fn set_query_slots(&self, slots: Option<u32>) {
+        self.query.set_slots(slots.map(u64::from));
+    }
+
+    /// The current transactional bound (`None` = gate disabled).
+    pub fn txn_slots(&self) -> Option<u64> {
+        self.txn.current_slots()
+    }
+
+    /// The current analytical bound (`None` = gate disabled).
+    pub fn query_slots(&self) -> Option<u64> {
+        self.query.current_slots()
     }
 }
 
@@ -371,6 +426,65 @@ mod tests {
         assert_eq!(snap.counter(names::ADMIT_TXN_SHED_BREAKER), 1);
         assert_eq!(snap.counter(names::ADMIT_TXN_SHED), 0);
         assert_eq!(snap.counter(names::ADMIT_QUERY_ADMITTED), 1);
+    }
+
+    #[test]
+    fn live_resize_narrows_widens_and_disables_the_bound() {
+        let config = AdmissionConfig {
+            txn_slots: Some(2),
+            queue_cap: 0,
+            queue_deadline: Duration::from_millis(10),
+            ..AdmissionConfig::default()
+        };
+        let (ctl, _registry) = controller(&config);
+        let a = ctl.admit_txn(true).unwrap();
+        let b = ctl.admit_txn(true).unwrap();
+        // Narrowing to 1 does not evict the two in flight, but a release
+        // leaves the gate full (in_flight 1 == slots 1).
+        ctl.set_txn_slots(Some(1));
+        assert_eq!(ctl.txn_slots(), Some(1));
+        drop(b);
+        let err = ctl.admit_txn(true).unwrap_err();
+        assert_eq!(err, HatError::Overloaded { class: "txn" });
+        // Widening reopens admission immediately.
+        ctl.set_txn_slots(Some(3));
+        let c = ctl.admit_txn(true).unwrap();
+        drop(c);
+        drop(a);
+        // Disabling makes the gate unbounded again.
+        ctl.set_txn_slots(None);
+        assert_eq!(ctl.txn_slots(), None);
+        let permits: Vec<_> = (0..32).map(|_| ctl.admit_txn(true).unwrap()).collect();
+        drop(permits);
+    }
+
+    #[test]
+    fn widening_wakes_queued_waiters_before_their_deadline() {
+        let config = AdmissionConfig {
+            txn_slots: Some(1),
+            queue_cap: 8,
+            queue_deadline: Duration::from_secs(10),
+            ..AdmissionConfig::default()
+        };
+        let (ctl, registry) = controller(&config);
+        let ctl = Arc::new(ctl);
+        let _held = ctl.admit_txn(true).unwrap();
+        let t = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || {
+                let p = ctl.admit_txn(true).unwrap();
+                drop(p);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // The waiter is queued behind the held slot; widening the bound
+        // (an elastic decision granting T a core) must free it without
+        // waiting for the holder to release.
+        ctl.set_txn_slots(Some(2));
+        t.join().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::ADMIT_TXN_ADMITTED), 2);
+        assert_eq!(snap.counter(names::ADMIT_TXN_SHED), 0);
     }
 
     #[test]

@@ -514,6 +514,17 @@ pub trait HtapEngine: Send + Sync {
     fn stats(&self) -> EngineStats {
         EngineStats::from_metrics(&self.metrics())
     }
+
+    /// Elastic-scheduling hook: resize the engine's transactional
+    /// admission bounds to reflect `t_cores` of a `total`-core budget
+    /// (see [`CoreBudget`](crate::budget::CoreBudget)). Engines scale
+    /// their configured commit in-flight bounds proportionally; the
+    /// default is a no-op so engines without a resizable admission gate
+    /// simply ignore T-side elastic decisions. Never evicts in-flight
+    /// work — a narrower bound drains, it does not preempt.
+    fn set_txn_cores(&self, t_cores: u32, total: u32) {
+        let _ = (t_cores, total);
+    }
 }
 
 /// Blanket helper: a handle bundling an engine reference (used by client

@@ -216,6 +216,10 @@ impl HtapEngine for CowEngine {
         DesignCategory::Shared
     }
 
+    fn set_txn_cores(&self, t_cores: u32, total: u32) {
+        self.kernel.set_txn_core_fraction(t_cores, total);
+    }
+
     fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
         self.kernel.load(table, rows)
     }

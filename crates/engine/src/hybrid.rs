@@ -268,6 +268,10 @@ impl HtapEngine for DualEngine {
         DesignCategory::Hybrid
     }
 
+    fn set_txn_cores(&self, t_cores: u32, total: u32) {
+        self.kernel.set_txn_core_fraction(t_cores, total);
+    }
+
     fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
         self.kernel.load(table, rows)
     }
@@ -658,6 +662,10 @@ impl HtapEngine for LearnerEngine {
 
     fn design(&self) -> DesignCategory {
         DesignCategory::Hybrid
+    }
+
+    fn set_txn_cores(&self, t_cores: u32, total: u32) {
+        self.kernel.set_txn_core_fraction(t_cores, total);
     }
 
     fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {

@@ -437,6 +437,10 @@ impl HtapEngine for IsoEngine {
         DesignCategory::Isolated
     }
 
+    fn set_txn_cores(&self, t_cores: u32, total: u32) {
+        self.kernel.set_txn_core_fraction(t_cores, total);
+    }
+
     fn load(&self, table: TableId, rows: &mut dyn Iterator<Item = Row>) -> Result<()> {
         // Base backup: load primary and standby directly (PostgreSQL
         // standbys start from a basebackup, not from WAL replay of the

@@ -547,6 +547,28 @@ impl RowKernel {
         &self.router
     }
 
+    /// Live-resizes the transactional admission bounds to reflect an
+    /// elastic core split: `t_cores` of a `total`-core budget. The
+    /// configured `txn_slots` scale proportionally (ceil), then divide
+    /// across the per-shard commit gates exactly as at construction
+    /// (ceil, at least 1 per shard — a shard with zero slots could never
+    /// drain its queue). Disabled admission stays disabled: with no
+    /// configured bound there is nothing to narrow, and the harness's
+    /// worker parking is the only T-side lever.
+    pub fn set_txn_core_fraction(&self, t_cores: u32, total: u32) {
+        let Some(base) = self.config.admission.txn_slots else {
+            return;
+        };
+        let total = u64::from(total.max(1));
+        let t = u64::from(t_cores).min(total);
+        let scaled = ((u64::from(base) * t).div_ceil(total) as u32).max(1);
+        let shards = self.txn_gates.len().max(1) as u32;
+        let per_shard = scaled.div_ceil(shards).max(1);
+        for gate in &self.txn_gates {
+            gate.set_txn_slots(Some(per_shard));
+        }
+    }
+
     /// The sorted, deduplicated commit-shard set of a write set: updates
     /// route by `(table, rid)` — the row's home shard — and inserts by
     /// the row's first column (the natural-key prefix, so all lines of

@@ -42,6 +42,7 @@
 pub mod admission;
 pub mod analytics;
 pub mod api;
+pub mod budget;
 pub mod cow;
 pub mod durability;
 pub mod hybrid;
@@ -56,7 +57,8 @@ pub use api::{
     EngineConfigBuilder, EngineStats, HtapEngine, InDoubtCause, IndexProfile, NamedIndex,
     Session, TxnHandle,
 };
-pub use hat_query::exec::{ExecStats, QueryOpts, ScanMode};
+pub use budget::CoreBudget;
+pub use hat_query::exec::{ExecStats, QueryOpts, ScanMode, WorkerCap};
 pub use durability::DurabilityLayer;
 pub use hat_storage::dwal::{
     DiskFault, DiskFaultKind, DiskFaultPlan, HealthState, KillPoint, WalConfig,

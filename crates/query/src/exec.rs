@@ -29,6 +29,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hat_common::Money;
@@ -121,6 +122,66 @@ pub enum ScanMode {
     Scalar,
 }
 
+/// A shared, live-updatable ceiling on probe workers.
+///
+/// The elastic scheduler narrows analytical parallelism at tick
+/// granularity by storing into this gauge; every [`ExecContext::run`]
+/// holding a clone reads it once when sizing its worker pool, so the new
+/// ceiling applies from the next query onward without replumbing
+/// [`QueryOpts`] through callers. `0` means uncapped. Results stay
+/// bit-identical at any cap — the cap only changes how many threads pull
+/// from the shared morsel cursor.
+#[derive(Debug, Clone)]
+pub struct WorkerCap(Arc<AtomicUsize>);
+
+impl Default for WorkerCap {
+    /// An uncapped gauge.
+    fn default() -> Self {
+        WorkerCap(Arc::new(AtomicUsize::new(0)))
+    }
+}
+
+/// Identity equality: two `QueryOpts` compare equal only when they share
+/// the same gauge (or both hold fresh uncapped defaults is *not* enough —
+/// distinct allocations differ). Value equality would make two contexts
+/// "equal" yet diverge as soon as one gauge moves.
+impl PartialEq for WorkerCap {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for WorkerCap {}
+
+impl WorkerCap {
+    /// A new uncapped gauge.
+    pub fn unlimited() -> Self {
+        WorkerCap::default()
+    }
+
+    /// Sets the ceiling; `0` removes it.
+    pub fn set(&self, workers: usize) {
+        self.0.store(workers, Ordering::Relaxed);
+    }
+
+    /// The current ceiling, `None` when uncapped.
+    pub fn get(&self) -> Option<usize> {
+        match self.0.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// `requested` clamped to the current ceiling (and to ≥ 1 — a cap of
+    /// 1 serializes the probe, it never blocks it).
+    pub fn clamp(&self, requested: usize) -> usize {
+        match self.get() {
+            Some(cap) => requested.min(cap).max(1),
+            None => requested,
+        }
+    }
+}
+
 /// Tuning knobs for one query execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOpts {
@@ -130,15 +191,34 @@ pub struct QueryOpts {
     pub parallelism: usize,
     /// Probe-phase scan strategy. Results are bit-identical across modes.
     pub scan: ScanMode,
+    /// Shared live ceiling on probe workers, consulted (once) at run time
+    /// on top of `parallelism`. Defaults to uncapped.
+    pub cap: WorkerCap,
 }
 
 impl Default for QueryOpts {
+    /// Defaults to one probe worker per hardware thread (clamped), so
+    /// out-of-the-box runs use the machine. Pin `parallelism` explicitly
+    /// (e.g. [`QueryOpts::with_parallelism`]) where reproducible worker
+    /// counts matter more than speed.
     fn default() -> Self {
-        QueryOpts { parallelism: 1, scan: ScanMode::default() }
+        QueryOpts {
+            parallelism: QueryOpts::default_parallelism(),
+            scan: ScanMode::default(),
+            cap: WorkerCap::default(),
+        }
     }
 }
 
 impl QueryOpts {
+    /// The default probe parallelism: `std::thread::available_parallelism()`
+    /// clamped to `1..=8`. The upper clamp keeps default-sized pools from
+    /// oversubscribing big machines with per-query thread spawns; beyond 8
+    /// workers the shared-cursor probe is memory-bound on SSB-scale data.
+    pub fn default_parallelism() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8)
+    }
+
     /// Options with `parallelism` probe workers (clamped to ≥ 1).
     pub fn with_parallelism(parallelism: usize) -> Self {
         QueryOpts { parallelism: parallelism.max(1), ..QueryOpts::default() }
@@ -147,6 +227,12 @@ impl QueryOpts {
     /// The same options with an explicit scan mode.
     pub fn scan_mode(mut self, scan: ScanMode) -> Self {
         self.scan = scan;
+        self
+    }
+
+    /// The same options sharing `cap` as their live worker ceiling.
+    pub fn with_cap(mut self, cap: WorkerCap) -> Self {
+        self.cap = cap;
         self
     }
 }
@@ -224,7 +310,7 @@ impl<'a> ExecContext<'a> {
             .into_iter()
             .partition(|m| m.may_overlap(&pruner));
         let rows_pruned: u64 = pruned.iter().map(|m| m.rows().unwrap_or(0)).sum();
-        let workers = self.opts.parallelism.clamp(1, morsels.len().max(1));
+        let workers = self.opts.cap.clamp(self.opts.parallelism).clamp(1, morsels.len().max(1));
         let scan_mode = self.opts.scan;
 
         let probe_start = Instant::now();
